@@ -1,0 +1,58 @@
+// Ablation: OVPL preprocessing choices (DESIGN.md "OVPL memory layout").
+// The paper sorts each color group by non-increasing degree to minimize
+// per-block degree spread; this bench quantifies that choice (lane waste
+// and move-phase time, sorted vs unsorted) and the block-size knob.
+#include "bench_common.hpp"
+#include "vgp/community/ovpl.hpp"
+
+using namespace vgp;
+
+namespace {
+
+double time_move(const Graph& g, const community::OvplLayout& lay,
+                 const bench::BenchConfig& cfg) {
+  const auto stats = harness::stats_repeated(bench::repeat_options(cfg), [&] {
+    community::MoveState state = community::make_move_state(g);
+    community::MoveCtx ctx = community::make_move_ctx(g, state);
+    const auto ms = community::move_phase_ovpl(ctx, lay);
+    return ms.seconds / static_cast<double>(std::max(1, ms.iterations));
+  });
+  return stats.median;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Ablation: OVPL layout (degree sort, block size)");
+
+  harness::Table table({"graph", "variant", "lane-waste", "move-seconds",
+                        "preproc-seconds"});
+
+  const char* names[] = {"delaunay_n24", "nlpkkt200", "uk-2002", "Oregon-2"};
+  for (const char* name : names) {
+    const Graph g = gen::suite_entry(name).make(cfg.scale);
+
+    const auto run = [&](const char* label, const community::OvplOptions& o) {
+      const auto lay = community::ovpl_preprocess(g, o);
+      table.add_row({name, label, harness::Table::num(lay.lane_waste(), 3),
+                     harness::Table::num(time_move(g, lay, cfg), 5),
+                     harness::Table::num(lay.preprocess_seconds, 5)});
+    };
+
+    community::OvplOptions sorted;
+    run("sorted-bs16", sorted);
+
+    community::OvplOptions unsorted;
+    unsorted.sort_by_degree = false;
+    run("unsorted-bs16", unsorted);
+
+    community::OvplOptions bs32;
+    bs32.block_size = 32;
+    run("sorted-bs32", bs32);
+  }
+  table.print("OVPL layout ablation");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: the reduce-scatter design space (DESIGN.md "Reduce-scatter
+// policy"). The paper describes two implementations and, for each, a
+// vector-once-plus-scalar-rest production variant and a fully iterative
+// variant. This bench sweeps the duplicate-community density per vector
+// — the regime knob — and times all five methods, showing why ONPL's
+// Auto policy switches from conflict detection (distinct-heavy, early
+// iterations) to in-vector reduction (duplicate-heavy, near convergence).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "vgp/simd/backend.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace {
+
+constexpr std::int64_t kN = 4096;
+constexpr std::int64_t kTable = 4096;
+
+struct Workload {
+  std::vector<std::int32_t> idx;
+  std::vector<float> vals;
+  std::vector<float> table;
+
+  /// distinct_pct = 0 -> one run per vector repeats the same index;
+  /// 100 -> fresh random index each position.
+  explicit Workload(int distinct_pct) {
+    vgp::Xoshiro256 rng(42);
+    std::int32_t last = 0;
+    for (std::int64_t i = 0; i < kN; ++i) {
+      if (i == 0 || rng.uniform() * 100.0 < distinct_pct) {
+        last = static_cast<std::int32_t>(rng.bounded(kTable));
+      }
+      idx.push_back(last);
+      vals.push_back(1.0f);
+    }
+    table.assign(kTable, 0.0f);
+  }
+};
+
+void run_method(benchmark::State& state, vgp::simd::RsMethod method) {
+  if (method != vgp::simd::RsMethod::Scalar &&
+      !vgp::simd::avx512_kernels_available()) {
+    state.SkipWithError("no AVX-512 at runtime");
+    return;
+  }
+  Workload w(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    vgp::simd::reduce_scatter(w.table.data(), w.idx.data(), w.vals.data(), kN,
+                              method);
+    benchmark::DoNotOptimize(w.table.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+
+void BM_Scalar(benchmark::State& s) { run_method(s, vgp::simd::RsMethod::Scalar); }
+void BM_Conflict(benchmark::State& s) { run_method(s, vgp::simd::RsMethod::Conflict); }
+void BM_ConflictIter(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::ConflictIterative);
+}
+void BM_Compress(benchmark::State& s) { run_method(s, vgp::simd::RsMethod::Compress); }
+void BM_CompressIter(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::CompressIterative);
+}
+
+// Sweep distinct-index density: 0%, 5%, 25%, 50%, 100%.
+#define RS_ARGS Arg(0)->Arg(5)->Arg(25)->Arg(50)->Arg(100)
+BENCHMARK(BM_Scalar)->RS_ARGS;
+BENCHMARK(BM_Conflict)->RS_ARGS;
+BENCHMARK(BM_ConflictIter)->RS_ARGS;
+BENCHMARK(BM_Compress)->RS_ARGS;
+BENCHMARK(BM_CompressIter)->RS_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

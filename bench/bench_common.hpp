@@ -1,0 +1,87 @@
+// Shared plumbing for the figure-reproduction binaries: standard CLI
+// knobs, suite iteration, and the per-variant Louvain move-phase timing
+// used by several figures.
+//
+// Every binary prints the paper series it reproduces as an aligned table
+// plus a csv block (see vgp/harness/experiment.hpp). Absolute numbers
+// reflect this host, not the paper's dual-socket testbeds; EXPERIMENTS.md
+// records the shape comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/gen/suite.hpp"
+#include "vgp/harness/experiment.hpp"
+#include "vgp/harness/options.hpp"
+#include "vgp/harness/table.hpp"
+#include "vgp/simd/backend.hpp"
+#include "vgp/support/cpu.hpp"
+
+namespace vgp::bench {
+
+struct BenchConfig {
+  gen::SuiteScale scale = gen::SuiteScale::Tiny;
+  int reps = 3;
+  int warmup = 1;
+  bool paper_mode = false;  // larger sweeps, more reps
+};
+
+/// Parses the standard knobs; returns false when --help was printed.
+inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
+                         harness::Options& opts) {
+  opts.describe("scale", "suite scale: tiny|small|medium|large (default tiny)")
+      .describe("reps", "timed repetitions per measurement (default 3)")
+      .describe("warmup", "warmup runs per measurement (default 1)")
+      .describe("paper", "heavier sweep closer to the paper's sizes");
+  if (!opts.parse(argc, argv)) return false;
+  cfg.scale = gen::parse_suite_scale(opts.get("scale", "tiny"));
+  cfg.reps = static_cast<int>(opts.get_int("reps", 3));
+  cfg.warmup = static_cast<int>(opts.get_int("warmup", 1));
+  cfg.paper_mode = opts.get_flag("paper");
+  if (cfg.paper_mode) {
+    cfg.reps = std::max(cfg.reps, 10);
+    if (cfg.scale == gen::SuiteScale::Tiny) cfg.scale = gen::SuiteScale::Small;
+  }
+  return true;
+}
+
+inline harness::RepeatOptions repeat_options(const BenchConfig& cfg) {
+  harness::RepeatOptions r;
+  r.repetitions = cfg.reps;
+  r.warmup = cfg.warmup;
+  return r;
+}
+
+inline void print_banner(const char* figure) {
+  std::printf("# %s\n# cpu features: %s | avx512 kernels: %s\n", figure,
+              cpu_feature_string().c_str(),
+              simd::avx512_kernels_available() ? "yes" : "no");
+}
+
+/// Mean wall time of one level-0 Louvain move-phase *iteration* under
+/// `policy` (fresh singleton state per repetition). Per-iteration
+/// normalization removes convergence-path variance: different variants
+/// legitimately take different iteration counts to stabilize (benign
+/// races, tie-breaks), which would otherwise dominate small-graph
+/// measurements. The paper's 25-run averages on paper-sized graphs smooth
+/// the same effect.
+inline double time_move_phase(const Graph& g, community::MovePolicy policy,
+                              const BenchConfig& cfg,
+                              community::RsPolicy rs = community::RsPolicy::Auto,
+                              simd::Backend backend = simd::Backend::Auto) {
+  const auto stats = harness::stats_repeated(repeat_options(cfg), [&] {
+    community::MoveState state = community::make_move_state(g);
+    community::MoveCtx ctx = community::make_move_ctx(g, state);
+    ctx.rs_policy = rs;
+    const auto ms = community::run_move_phase(ctx, policy, backend);
+    return ms.seconds / static_cast<double>(std::max(1, ms.iterations));
+  });
+  // Median: robust to the occasional slow rep on a shared core.
+  return stats.median;
+}
+
+}  // namespace vgp::bench

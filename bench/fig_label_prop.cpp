@@ -1,0 +1,52 @@
+// Figure "[Label Propagation] Speedup of vectorized Label Propagation
+// (ONLP) over the parallel Label Propagation (MPLP)" — per suite graph,
+// both scatter modes.
+//
+// Paper shape: moderate gains, best around 2x on high-average-degree
+// graphs; LP vectorizes but exposes fewer surrounding instructions than
+// the Louvain affinity/modularity computation, so gains stay below ONPL's.
+#include "bench_common.hpp"
+#include "vgp/community/label_prop.hpp"
+
+using namespace vgp;
+
+namespace {
+
+double lp_seconds(const Graph& g, simd::Backend backend,
+                  const bench::BenchConfig& cfg) {
+  community::LabelPropOptions opts;
+  opts.backend = backend;
+  opts.max_iterations = 4;  // fixed rounds: equal work for both variants
+  opts.theta = -1;
+  const auto stats = harness::stats_repeated(bench::repeat_options(cfg), [&] {
+    return community::label_propagation(g, opts).seconds;
+  });
+  return stats.median;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Fig: ONLP speedup over MPLP");
+
+  harness::Series fast{"onlp/host-avx512", {}, {}};
+  harness::Series slow{"onlp/slow-scatter", {}, {}};
+  for (const auto& entry : gen::table1_suite()) {
+    const Graph g = entry.make(cfg.scale);
+    const double scalar = lp_seconds(g, simd::Backend::Scalar, cfg);
+    const double vec = lp_seconds(g, simd::Backend::Avx512, cfg);
+    simd::set_emulate_slow_scatter(true);
+    const double vec_slow = lp_seconds(g, simd::Backend::Avx512, cfg);
+    simd::set_emulate_slow_scatter(false);
+
+    fast.labels.push_back(entry.name);
+    fast.values.push_back(harness::speedup(scalar, vec));
+    slow.labels.push_back(entry.name);
+    slow.values.push_back(harness::speedup(scalar, vec_slow));
+  }
+  harness::print_series("label propagation speedup over MPLP", {fast, slow});
+  return 0;
+}

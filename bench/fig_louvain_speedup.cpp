@@ -1,0 +1,69 @@
+// Figure "Speedup of ONPL and OVPL over MPLM" — the headline Louvain
+// result, on both "architectures" (host scatter vs emulated slow scatter,
+// the SkylakeX/Cascade Lake substitution).
+//
+// Paper shape: ONPL up to ~2.5x (good scatter) / ~1.8x (weak scatter);
+// OVPL up to ~9x / ~6.5x on degree-balanced graphs, with OVPL's
+// preprocessing excluded from the move-phase timing (reported separately
+// by fig_ovpl_selected).
+#include "bench_common.hpp"
+#include "vgp/community/ovpl.hpp"
+
+using namespace vgp;
+
+namespace {
+
+/// OVPL move-phase time on a prebuilt layout (preprocessing excluded,
+/// matching the paper's move-phase-only measurement).
+double time_ovpl_move(const Graph& g, const community::OvplLayout& lay,
+                      const bench::BenchConfig& cfg) {
+  const auto stats = harness::stats_repeated(bench::repeat_options(cfg), [&] {
+    community::MoveState state = community::make_move_state(g);
+    community::MoveCtx ctx = community::make_move_ctx(g, state);
+    const auto ms = community::move_phase_ovpl(ctx, lay);
+    return ms.seconds / static_cast<double>(std::max(1, ms.iterations));
+  });
+  return stats.median;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Fig: ONPL & OVPL move-phase speedup over MPLM");
+
+  harness::Series onpl_fast{"onpl/host-avx512", {}, {}};
+  harness::Series onpl_slow{"onpl/slow-scatter", {}, {}};
+  harness::Series ovpl_fast{"ovpl/host-avx512", {}, {}};
+  harness::Series ovpl_slow{"ovpl/slow-scatter", {}, {}};
+
+  for (const auto& entry : gen::table1_suite()) {
+    const Graph g = entry.make(cfg.scale);
+    const auto layout = community::ovpl_preprocess(g);
+
+    const double mplm = bench::time_move_phase(g, community::MovePolicy::MPLM, cfg);
+
+    const double onpl = bench::time_move_phase(g, community::MovePolicy::ONPL, cfg);
+    simd::set_emulate_slow_scatter(true);
+    const double onpl_s = bench::time_move_phase(g, community::MovePolicy::ONPL, cfg);
+    simd::set_emulate_slow_scatter(false);
+
+    const double ovpl = time_ovpl_move(g, layout, cfg);
+    simd::set_emulate_slow_scatter(true);
+    const double ovpl_s = time_ovpl_move(g, layout, cfg);
+    simd::set_emulate_slow_scatter(false);
+
+    for (auto* s : {&onpl_fast, &onpl_slow, &ovpl_fast, &ovpl_slow}) {
+      s->labels.push_back(entry.name);
+    }
+    onpl_fast.values.push_back(harness::speedup(mplm, onpl));
+    onpl_slow.values.push_back(harness::speedup(mplm, onpl_s));
+    ovpl_fast.values.push_back(harness::speedup(mplm, ovpl));
+    ovpl_slow.values.push_back(harness::speedup(mplm, ovpl_s));
+  }
+  harness::print_series("move-phase speedup over MPLM",
+                        {onpl_fast, onpl_slow, ovpl_fast, ovpl_slow});
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure "Modularity of MPLM, ONPL, and OVPL" — the quality sanity check:
+// despite benign races and reordered float arithmetic, every variant must
+// land at (almost) the same modularity on every graph.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vgp;
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Fig: modularity of MPLM / ONPL / OVPL");
+
+  harness::Series mplm{"mplm", {}, {}};
+  harness::Series onpl{"onpl", {}, {}};
+  harness::Series ovpl{"ovpl", {}, {}};
+
+  for (const auto& entry : gen::table1_suite()) {
+    const Graph g = entry.make(cfg.scale);
+    for (auto* series : {&mplm, &onpl, &ovpl}) series->labels.push_back(entry.name);
+
+    community::LouvainOptions lopts;
+    lopts.policy = community::MovePolicy::MPLM;
+    mplm.values.push_back(community::louvain(g, lopts).modularity);
+    lopts.policy = community::MovePolicy::ONPL;
+    onpl.values.push_back(community::louvain(g, lopts).modularity);
+    lopts.policy = community::MovePolicy::OVPL;
+    ovpl.values.push_back(community::louvain(g, lopts).modularity);
+  }
+  harness::print_series("final modularity per variant", {mplm, onpl, ovpl});
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure "Speedup of OVPL over MPLM for the selected graphs where many
+// vertices have degrees close to the average" — OVPL's best case. Blocks
+// of near-equal degree waste almost no lanes (the figure also reports the
+// measured lane waste and the preprocessing overhead the energy section
+// charges OVPL for).
+#include "bench_common.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/graph/stats.hpp"
+
+using namespace vgp;
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Fig: OVPL speedup over MPLM, degree-balanced graphs");
+
+  harness::Table table({"graph", "avgdeg", "balance", "lane-waste",
+                        "ovpl-speedup", "ovpl-speedup-slow", "preproc/iter"});
+
+  for (const auto& entry : gen::degree_balanced_suite()) {
+    const Graph g = entry.make(cfg.scale);
+    const auto s = compute_stats(g);
+    const auto layout = community::ovpl_preprocess(g);
+
+    const double mplm = bench::time_move_phase(g, community::MovePolicy::MPLM, cfg);
+    const auto time_move = [&] {
+      const auto stats = harness::stats_repeated(bench::repeat_options(cfg), [&] {
+        community::MoveState state = community::make_move_state(g);
+        community::MoveCtx ctx = community::make_move_ctx(g, state);
+        const auto ms = community::move_phase_ovpl(ctx, layout);
+        return ms.seconds / static_cast<double>(std::max(1, ms.iterations));
+      });
+      return stats.median;
+    };
+    const double ovpl = time_move();
+    simd::set_emulate_slow_scatter(true);
+    const double ovpl_slow = time_move();
+    simd::set_emulate_slow_scatter(false);
+
+    table.add_row({entry.name, harness::Table::num(s.avg_degree, 1),
+                   harness::Table::num(s.degree_balance, 2),
+                   harness::Table::num(layout.lane_waste(), 3),
+                   harness::Table::num(harness::speedup(mplm, ovpl), 2),
+                   harness::Table::num(harness::speedup(mplm, ovpl_slow), 2),
+                   // preprocessing cost in units of one move iteration:
+                   // a 25-iteration move phase amortizes values under ~25.
+                   harness::Table::num(
+                       ovpl > 0 ? layout.preprocess_seconds / ovpl : 0, 2)});
+  }
+  table.print("OVPL on degree-balanced graphs");
+  return 0;
+}

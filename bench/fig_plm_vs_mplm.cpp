@@ -1,0 +1,24 @@
+// Figure "PLM vs MPLM speedup" — how much the memory-management fix alone
+// buys, before any vectorization. PLM allocates the affinity container per
+// vertex visited; MPLM preallocates per-thread scratch. Every bar should
+// sit above 1.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vgp;
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Fig: MPLM speedup over PLM (memory fixes only)");
+
+  harness::Series speedup{"plm/mplm", {}, {}};
+  for (const auto& entry : gen::table1_suite()) {
+    const Graph g = entry.make(cfg.scale);
+    const double plm = bench::time_move_phase(g, community::MovePolicy::PLM, cfg);
+    const double mplm = bench::time_move_phase(g, community::MovePolicy::MPLM, cfg);
+    speedup.labels.push_back(entry.name);
+    speedup.values.push_back(harness::speedup(plm, mplm));
+  }
+  harness::print_series("MPLM speedup over PLM", {speedup});
+  return 0;
+}

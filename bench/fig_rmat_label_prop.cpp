@@ -1,0 +1,98 @@
+// Figures "rmat_lp_ef" and "rmat_lp_nodes" — ONLP label propagation gain
+// over the scalar MPLP on R-MAT graphs, for the paper's three probability
+// mixes (Table 2):
+//   (a) a=33 b=33 c=33 d=1   (b) a=40 b=30 c=20 d=10   (c) a=57 b=19 c=19 d=5
+// swept by edge-factor at fixed scale and by scale at fixed edge-factor.
+//
+// Paper shape: gain grows with edge-factor (more neighbors per vector)
+// and shrinks as scale grows (cache misses dominate).
+#include <functional>
+
+#include "bench_common.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/gen/rmat.hpp"
+
+using namespace vgp;
+
+namespace {
+
+double lp_seconds(const Graph& g, simd::Backend backend,
+                  const bench::BenchConfig& cfg) {
+  community::LabelPropOptions opts;
+  opts.backend = backend;
+  opts.max_iterations = 8;  // fixed rounds: equal work for both variants
+  opts.theta = -1;
+  const auto stats = harness::stats_repeated(bench::repeat_options(cfg), [&] {
+    return community::label_propagation(g, opts).seconds;
+  });
+  return stats.median;
+}
+
+double gain(const Graph& g, const bench::BenchConfig& cfg) {
+  const double scalar = lp_seconds(g, simd::Backend::Scalar, cfg);
+  const double vec = lp_seconds(g, simd::Backend::Avx512, cfg);
+  return harness::speedup(scalar, vec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Fig: ONLP label propagation gain on R-MAT");
+
+  struct Mix {
+    const char* name;
+    std::function<gen::RmatParams(int, int)> make;
+  };
+  const Mix mixes[] = {
+      {"a33-b33-c33-d1", gen::rmat_mix_flat},
+      {"a40-b30-c20-d10", gen::rmat_mix_skewed},
+      {"a57-b19-c19-d5", gen::rmat_mix_graph500},
+  };
+
+  const int base_scale = cfg.paper_mode ? 14 : 11;
+  const std::vector<int> edge_factors =
+      cfg.paper_mode ? std::vector<int>{1, 2, 4, 8, 16, 32, 64}
+                     : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<int> scales = cfg.paper_mode
+                                      ? std::vector<int>{12, 14, 16, 18}
+                                      : std::vector<int>{9, 10, 11, 12, 13};
+  const int fixed_ef = cfg.paper_mode ? 16 : 8;
+
+  // Sweep 1: gain vs edge-factor at fixed scale.
+  {
+    std::vector<harness::Series> series;
+    for (const auto& mix : mixes) {
+      harness::Series s{mix.name, {}, {}};
+      for (const int ef : edge_factors) {
+        const Graph g = gen::rmat(mix.make(base_scale, ef));
+        s.labels.push_back("ef=" + std::to_string(ef));
+        s.values.push_back(gain(g, cfg));
+      }
+      series.push_back(std::move(s));
+    }
+    harness::print_series("ONLP gain vs edge-factor (scale=" +
+                              std::to_string(base_scale) + ")",
+                          series);
+  }
+
+  // Sweep 2: gain vs number of vertices at fixed edge-factor.
+  {
+    std::vector<harness::Series> series;
+    for (const auto& mix : mixes) {
+      harness::Series s{mix.name, {}, {}};
+      for (const int sc : scales) {
+        const Graph g = gen::rmat(mix.make(sc, fixed_ef));
+        s.labels.push_back("2^" + std::to_string(sc));
+        s.values.push_back(gain(g, cfg));
+      }
+      series.push_back(std::move(s));
+    }
+    harness::print_series("ONLP gain vs vertices (edge-factor=" +
+                              std::to_string(fixed_ef) + ")",
+                          series);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figures "rmat_lv_ef" and "rmat_lv_nodes" — ONPL Louvain move-phase gain
+// over the scalar MPLM on R-MAT graphs, same Table 2 sweeps as the label
+// propagation figures.
+//
+// Paper shape: same trends as ONLP (gain grows with edge-factor, shrinks
+// with scale) but lower peaks — the Louvain affinity computation is
+// heavier and touches more memory per neighbor.
+#include <functional>
+
+#include "bench_common.hpp"
+#include "vgp/gen/rmat.hpp"
+
+using namespace vgp;
+
+namespace {
+
+double gain(const Graph& g, const bench::BenchConfig& cfg) {
+  const double scalar =
+      bench::time_move_phase(g, community::MovePolicy::MPLM, cfg);
+  const double vec =
+      bench::time_move_phase(g, community::MovePolicy::ONPL, cfg);
+  return harness::speedup(scalar, vec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("Fig: ONPL Louvain gain on R-MAT");
+
+  struct Mix {
+    const char* name;
+    std::function<gen::RmatParams(int, int)> make;
+  };
+  const Mix mixes[] = {
+      {"a33-b33-c33-d1", gen::rmat_mix_flat},
+      {"a40-b30-c20-d10", gen::rmat_mix_skewed},
+      {"a57-b19-c19-d5", gen::rmat_mix_graph500},
+  };
+
+  const int base_scale = cfg.paper_mode ? 13 : 10;
+  const std::vector<int> edge_factors =
+      cfg.paper_mode ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                     : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<int> scales = cfg.paper_mode
+                                      ? std::vector<int>{11, 13, 15, 17}
+                                      : std::vector<int>{9, 10, 11, 12};
+  const int fixed_ef = 8;
+
+  {
+    std::vector<harness::Series> series;
+    for (const auto& mix : mixes) {
+      harness::Series s{mix.name, {}, {}};
+      for (const int ef : edge_factors) {
+        const Graph g = gen::rmat(mix.make(base_scale, ef));
+        s.labels.push_back("ef=" + std::to_string(ef));
+        s.values.push_back(gain(g, cfg));
+      }
+      series.push_back(std::move(s));
+    }
+    harness::print_series("ONPL Louvain gain vs edge-factor (scale=" +
+                              std::to_string(base_scale) + ")",
+                          series);
+  }
+
+  {
+    std::vector<harness::Series> series;
+    for (const auto& mix : mixes) {
+      harness::Series s{mix.name, {}, {}};
+      for (const int sc : scales) {
+        const Graph g = gen::rmat(mix.make(sc, fixed_ef));
+        s.labels.push_back("2^" + std::to_string(sc));
+        s.values.push_back(gain(g, cfg));
+      }
+      series.push_back(std::move(s));
+    }
+    harness::print_series("ONPL Louvain gain vs vertices (edge-factor=" +
+                              std::to_string(fixed_ef) + ")",
+                          series);
+  }
+  return 0;
+}

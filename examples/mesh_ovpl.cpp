@@ -1,0 +1,75 @@
+// Scenario: domain decomposition of a finite-element mesh with OVPL — the
+// paper's best case ("graphs where most vertices have degrees close to
+// the average", like Delaunay triangulations). Shows the preprocessing
+// pipeline explicitly: coloring -> blocking -> sliced-ELLPACK layout ->
+// blocked vector move phase, with the layout quality metrics printed.
+//
+// Usage: ./examples/mesh_ovpl [--rows=300] [--cols=300]
+#include <cstdio>
+
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/gen/mesh.hpp"
+#include "vgp/graph/stats.hpp"
+#include "vgp/harness/options.hpp"
+#include "vgp/support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vgp;
+
+  harness::Options opts;
+  opts.describe("rows", "mesh rows (default 300)")
+      .describe("cols", "mesh cols (default 300)");
+  if (!opts.parse(argc, argv)) return 0;
+
+  gen::MeshParams mp;
+  mp.rows = opts.get_int("rows", 300);
+  mp.cols = opts.get_int("cols", 300);
+  const Graph g = gen::triangulated_mesh(mp);
+  const auto s = compute_stats(g);
+  std::printf("mesh: %lld nodes, %lld edges, degree balance %.2f "
+              "(fraction within 25%% of average)\n",
+              static_cast<long long>(s.vertices),
+              static_cast<long long>(s.edges), s.degree_balance);
+
+  // Preprocessing: coloring + degree-sorted blocks + interleaved layout.
+  const auto layout = community::ovpl_preprocess(g);
+  std::printf("ovpl layout: %lld blocks of %d, %lld colors, "
+              "lane waste %.1f%%, built in %.3fs\n",
+              static_cast<long long>(layout.num_blocks), layout.block_size,
+              static_cast<long long>(layout.colors_used),
+              100.0 * layout.lane_waste(), layout.preprocess_seconds);
+
+  // Blocked move phase vs the scalar baseline.
+  community::MoveState mplm_state = community::make_move_state(g);
+  community::MoveCtx mplm_ctx = community::make_move_ctx(g, mplm_state);
+  WallTimer t1;
+  const auto mplm_stats = community::move_phase_mplm(mplm_ctx);
+  const double mplm_sec = t1.seconds();
+
+  community::MoveState ovpl_state = community::make_move_state(g);
+  community::MoveCtx ovpl_ctx = community::make_move_ctx(g, ovpl_state);
+  WallTimer t2;
+  const auto ovpl_stats = community::move_phase_ovpl(ovpl_ctx, layout);
+  const double ovpl_sec = t2.seconds();
+
+  std::printf("mplm move phase: %.3fs, %d iterations, Q=%.4f\n", mplm_sec,
+              mplm_stats.iterations, community::modularity(g, mplm_state.zeta));
+  std::printf("ovpl move phase: %.3fs, %d iterations, Q=%.4f "
+              "(speedup %.2fx; amortize %.3fs preprocessing over reuse)\n",
+              ovpl_sec, ovpl_stats.iterations,
+              community::modularity(g, ovpl_state.zeta),
+              ovpl_sec > 0 ? mplm_sec / ovpl_sec : 0.0,
+              layout.preprocess_seconds);
+
+  // Full multilevel run for the actual decomposition.
+  community::LouvainOptions lopts;
+  lopts.policy = community::MovePolicy::OVPL;
+  const auto res = community::louvain(g, lopts);
+  std::printf("multilevel OVPL Louvain: %lld domains, modularity %.4f, "
+              "%d levels\n",
+              static_cast<long long>(res.num_communities), res.modularity,
+              res.levels);
+  return 0;
+}

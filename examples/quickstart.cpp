@@ -1,0 +1,84 @@
+// Quickstart: the whole public API in one file.
+//
+//   1. generate (or load) a graph;
+//   2. color it with the speculative greedy algorithm (scalar and ONPL);
+//   3. detect communities with Louvain under each move policy;
+//   4. run label propagation;
+//   5. measure energy around a kernel.
+//
+// Build & run:   ./examples/quickstart [--scale=small]
+#include <cstdio>
+
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/energy/meter.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/graph/stats.hpp"
+#include "vgp/harness/options.hpp"
+#include "vgp/simd/backend.hpp"
+#include "vgp/support/cpu.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vgp;
+
+  harness::Options opts;
+  opts.describe("scale", "rmat scale exponent (default 12)");
+  if (!opts.parse(argc, argv)) return 0;
+  const int scale = static_cast<int>(opts.get_int("scale", 12));
+
+  std::printf("vgp quickstart — cpu: %s, AVX-512 kernels: %s\n",
+              cpu_feature_string().c_str(),
+              simd::avx512_kernels_available() ? "available" : "unavailable");
+
+  // 1. An R-MAT graph with Graph500 parameters (Table 2 of the paper).
+  const Graph g = gen::rmat(gen::rmat_mix_graph500(scale, 8));
+  const auto stats = compute_stats(g);
+  std::printf("graph: %lld vertices, %lld edges, max degree %lld, avg %.1f\n",
+              static_cast<long long>(stats.vertices),
+              static_cast<long long>(stats.edges),
+              static_cast<long long>(stats.max_degree), stats.avg_degree);
+
+  // 2. Speculative greedy coloring, scalar vs ONPL-vectorized.
+  for (const auto backend : {simd::Backend::Scalar, simd::Backend::Avx512}) {
+    coloring::Options copts;
+    copts.backend = backend;
+    const auto res = coloring::color_graph(g, copts);
+    std::printf("coloring [%s]: %d colors in %d rounds (%lld conflicts)\n",
+                simd::backend_name(simd::resolve(backend)), res.num_colors,
+                res.rounds, static_cast<long long>(res.total_conflicts));
+  }
+
+  // 3. Louvain with every move policy.
+  for (const auto policy :
+       {community::MovePolicy::PLM, community::MovePolicy::MPLM,
+        community::MovePolicy::ColorSync, community::MovePolicy::ONPL,
+        community::MovePolicy::OVPL}) {
+    community::LouvainOptions lopts;
+    lopts.policy = policy;
+    const auto res = community::louvain(g, lopts);
+    std::printf(
+        "louvain [%s]: %lld communities, modularity %.4f, "
+        "first move phase %.3fs\n",
+        community::move_policy_name(policy),
+        static_cast<long long>(res.num_communities), res.modularity,
+        res.first_move_seconds);
+  }
+
+  // 4. Label propagation (ONLP when AVX-512 is available).
+  const auto lp = community::label_propagation(g);
+  std::printf("label propagation: %lld communities after %d rounds\n",
+              static_cast<long long>(lp.num_communities), lp.iterations);
+
+  // 5. Energy measurement around a kernel.
+  auto meter = energy::make_meter();
+  const auto sample = energy::measure(*meter, [&] {
+    community::LouvainOptions lopts;
+    lopts.policy = community::MovePolicy::ONPL;
+    community::louvain(g, lopts);
+  });
+  std::printf("energy [%s]: %.3f J over %.3f s (%.1f W)\n",
+              sample.source.c_str(), sample.joules, sample.seconds,
+              sample.watts());
+  return 0;
+}

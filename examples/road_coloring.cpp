@@ -1,0 +1,62 @@
+// Scenario: frequency/slot assignment on a road-sensor network via graph
+// coloring (road analysis is one of the paper's intro applications).
+// Adjacent sensors must not share a slot; the speculative parallel greedy
+// algorithm assigns slots, and the ONPL vectorization accelerates the
+// color-assignment kernel.
+//
+// Usage: ./examples/road_coloring [--rows=400] [--cols=400]
+#include <cstdio>
+#include <vector>
+
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/gen/lattice.hpp"
+#include "vgp/graph/stats.hpp"
+#include "vgp/harness/options.hpp"
+#include "vgp/support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vgp;
+
+  harness::Options opts;
+  opts.describe("rows", "sensor grid rows (default 400)")
+      .describe("cols", "sensor grid cols (default 400)");
+  if (!opts.parse(argc, argv)) return 0;
+
+  gen::RoadLikeParams params;
+  params.rows = opts.get_int("rows", 400);
+  params.cols = opts.get_int("cols", 400);
+  params.seed = 404;
+  const Graph g = gen::road_like(params);
+  const auto s = compute_stats(g);
+  std::printf("road network: %lld intersections, %lld segments, "
+              "max degree %lld\n",
+              static_cast<long long>(s.vertices),
+              static_cast<long long>(s.edges),
+              static_cast<long long>(s.max_degree));
+
+  for (const auto backend : {simd::Backend::Scalar, simd::Backend::Avx512}) {
+    coloring::Options copts;
+    copts.backend = backend;
+    WallTimer t;
+    const auto res = coloring::color_graph(g, copts);
+    const double seconds = t.seconds();
+
+    std::string why;
+    const bool valid = coloring::verify_coloring(g, res.colors, &why);
+    std::printf("[%s] %d slots, %d speculative rounds, %.4fs — %s\n",
+                simd::backend_name(simd::resolve(backend)), res.num_colors,
+                res.rounds, seconds, valid ? "valid" : why.c_str());
+    if (!valid) return 1;
+
+    // Slot usage histogram: greedy should pack most sensors in the first
+    // few slots on a sparse planar-ish network.
+    std::vector<std::int64_t> usage(static_cast<std::size_t>(res.num_colors) + 1, 0);
+    for (const auto c : res.colors) ++usage[static_cast<std::size_t>(c)];
+    std::printf("  slot usage:");
+    for (std::int32_t c = 1; c <= res.num_colors; ++c) {
+      std::printf(" %d:%lld", c, static_cast<long long>(usage[static_cast<std::size_t>(c)]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,189 @@
+// vgp_cli: one binary exposing the whole library on any graph file or
+// generated graph — the downstream user's entry point.
+//
+//   vgp_cli --cmd=stats     --in=road.gr
+//   vgp_cli --cmd=color     --gen=uk-2002 --ordering=smallest-last
+//   vgp_cli --cmd=louvain   --in=web.mtx --policy=onpl --rs=conflict
+//   vgp_cli --cmd=labelprop --in=social.el --backend=scalar
+//   vgp_cli --cmd=bfs       --in=mesh.graph --source=0
+//   vgp_cli --cmd=pagerank  --in=web.vgpb --top=10
+//   vgp_cli --cmd=analyze   --gen=loc-Gowalla   (components/cores/triangles)
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "vgp/classic/bfs.hpp"
+#include "vgp/classic/pagerank.hpp"
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/quality.hpp"
+#include "vgp/gen/suite.hpp"
+#include "vgp/graph/components.hpp"
+#include "vgp/graph/io.hpp"
+#include "vgp/graph/kcore.hpp"
+#include "vgp/graph/stats.hpp"
+#include "vgp/graph/triangles.hpp"
+#include "vgp/harness/options.hpp"
+#include "vgp/support/cpu.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace {
+
+using namespace vgp;
+
+Graph load(const harness::Options& opts) {
+  const std::string in = opts.get("in", "");
+  if (!in.empty()) return io::read_auto(in);
+  const std::string generate = opts.get("gen", "");
+  if (!generate.empty()) {
+    return gen::suite_entry(generate).make(
+        gen::parse_suite_scale(opts.get("scale", "small")));
+  }
+  throw std::invalid_argument("need --in=<file> or --gen=<suite-name>");
+}
+
+int cmd_stats(const Graph& g) {
+  const auto s = compute_stats(g);
+  std::printf("vertices        %lld\n", static_cast<long long>(s.vertices));
+  std::printf("edges           %lld\n", static_cast<long long>(s.edges));
+  std::printf("max degree      %lld\n", static_cast<long long>(s.max_degree));
+  std::printf("avg degree      %.2f\n", s.avg_degree);
+  std::printf("degree stddev   %.2f\n", s.degree_stddev);
+  std::printf("degree balance  %.2f\n", s.degree_balance);
+  std::printf("isolated        %lld\n", static_cast<long long>(s.isolated));
+  return 0;
+}
+
+int cmd_color(const Graph& g, const harness::Options& opts) {
+  coloring::Options copts;
+  copts.backend = simd::parse_backend(opts.get("backend", "auto"));
+  copts.ordering = coloring::parse_ordering(opts.get("ordering", "natural"));
+  WallTimer t;
+  const auto res = coloring::color_graph(g, copts);
+  std::string why;
+  const bool ok = coloring::verify_coloring(g, res.colors, &why);
+  std::printf("colors %d, rounds %d, conflicts %lld, %.3fs, %s\n",
+              res.num_colors, res.rounds,
+              static_cast<long long>(res.total_conflicts), t.seconds(),
+              ok ? "valid" : why.c_str());
+  return ok ? 0 : 1;
+}
+
+int cmd_louvain(const Graph& g, const harness::Options& opts) {
+  community::LouvainOptions lopts;
+  lopts.policy = community::parse_move_policy(opts.get("policy", "onpl"));
+  lopts.backend = simd::parse_backend(opts.get("backend", "auto"));
+  const std::string rs = opts.get("rs", "auto");
+  lopts.rs_policy = rs == "conflict"   ? community::RsPolicy::Conflict
+                    : rs == "compress" ? community::RsPolicy::Compress
+                                       : community::RsPolicy::Auto;
+  const auto res = community::louvain(g, lopts);
+  std::printf("policy %s: %lld communities, modularity %.4f, coverage %.4f, "
+              "%d levels, move phase %.3fs, total %.3fs\n",
+              community::move_policy_name(lopts.policy),
+              static_cast<long long>(res.num_communities), res.modularity,
+              community::coverage(g, res.communities), res.levels,
+              res.first_move_seconds, res.total_seconds);
+  return 0;
+}
+
+int cmd_labelprop(const Graph& g, const harness::Options& opts) {
+  community::LabelPropOptions popts;
+  popts.backend = simd::parse_backend(opts.get("backend", "auto"));
+  popts.theta = opts.get_int("theta", -1);
+  const auto res = community::label_propagation(g, popts);
+  std::printf("%lld communities after %d rounds (%.3fs), modularity %.4f\n",
+              static_cast<long long>(res.num_communities), res.iterations,
+              res.seconds, community::modularity(g, res.labels));
+  return 0;
+}
+
+int cmd_bfs(const Graph& g, const harness::Options& opts) {
+  classic::BfsOptions bopts;
+  bopts.backend = simd::parse_backend(opts.get("backend", "auto"));
+  const auto source = static_cast<VertexId>(opts.get_int("source", 0));
+  WallTimer t;
+  const auto res = classic::bfs(g, source, bopts);
+  std::printf("reached %lld/%lld vertices, eccentricity %d, %d rounds, %.3fs\n",
+              static_cast<long long>(res.reached),
+              static_cast<long long>(g.num_vertices()), res.max_distance,
+              res.rounds, t.seconds());
+  return 0;
+}
+
+int cmd_pagerank(const Graph& g, const harness::Options& opts) {
+  classic::PageRankOptions popts;
+  popts.backend = simd::parse_backend(opts.get("backend", "auto"));
+  const auto res = classic::pagerank(g, popts);
+  std::printf("converged after %d iterations (delta %.2e)\n", res.iterations,
+              res.final_delta);
+  const auto top = std::min<std::int64_t>(opts.get_int("top", 5),
+                                          g.num_vertices());
+  std::vector<VertexId> order(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) order[static_cast<std::size_t>(v)] = v;
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(top),
+                    order.end(), [&](VertexId a, VertexId b) {
+                      return res.rank[static_cast<std::size_t>(a)] >
+                             res.rank[static_cast<std::size_t>(b)];
+                    });
+  for (std::int64_t i = 0; i < top; ++i) {
+    const VertexId v = order[static_cast<std::size_t>(i)];
+    std::printf("  #%lld vertex %d rank %.6f (degree %lld)\n",
+                static_cast<long long>(i + 1), v,
+                res.rank[static_cast<std::size_t>(v)],
+                static_cast<long long>(g.degree(v)));
+  }
+  return 0;
+}
+
+int cmd_analyze(const Graph& g) {
+  const auto comps = connected_components(g);
+  std::printf("components      %lld (largest %lld vertices)\n",
+              static_cast<long long>(comps.count),
+              static_cast<long long>(comps.sizes[static_cast<std::size_t>(comps.largest)]));
+  const auto cd = core_decomposition(g);
+  std::printf("degeneracy      %d\n", cd.degeneracy);
+  const auto tri = count_triangles(g);
+  std::printf("triangles       %lld\n", static_cast<long long>(tri.triangles));
+  std::printf("clustering      %.4f\n", tri.global_clustering);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::Options opts;
+  opts.describe("cmd", "stats|color|louvain|labelprop|bfs|pagerank|analyze")
+      .describe("in", "input graph file (.el .graph .mtx .gr .vgpb)")
+      .describe("gen", "generate a Table 1 stand-in by name instead of --in")
+      .describe("scale", "generator scale tiny|small|medium|large")
+      .describe("backend", "auto|scalar|avx512")
+      .describe("policy", "louvain: plm|mplm|onpl|ovpl|colorsync")
+      .describe("rs", "louvain onpl: auto|conflict|compress")
+      .describe("ordering", "color: natural|largest-first|smallest-last|random")
+      .describe("theta", "labelprop termination threshold")
+      .describe("source", "bfs source vertex")
+      .describe("top", "pagerank: how many top vertices to print");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    const std::string cmd = opts.get("cmd", "stats");
+    const Graph g = load(opts);
+    std::printf("# vgp_cli %s — %lld vertices, %lld edges (cpu: %s)\n",
+                cmd.c_str(), static_cast<long long>(g.num_vertices()),
+                static_cast<long long>(g.num_edges()),
+                vgp::cpu_feature_string().c_str());
+    if (cmd == "stats") return cmd_stats(g);
+    if (cmd == "color") return cmd_color(g, opts);
+    if (cmd == "louvain") return cmd_louvain(g, opts);
+    if (cmd == "labelprop") return cmd_labelprop(g, opts);
+    if (cmd == "bfs") return cmd_bfs(g, opts);
+    if (cmd == "pagerank") return cmd_pagerank(g, opts);
+    if (cmd == "analyze") return cmd_analyze(g);
+    std::fprintf(stderr, "unknown --cmd=%s\n", cmd.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,124 @@
+#include "vgp/classic/bfs.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/support/opcount.hpp"
+
+namespace vgp::classic {
+
+namespace detail {
+
+void bfs_expand_scalar(const BfsCtx& ctx, const VertexId* frontier,
+                       std::int64_t count, std::vector<VertexId>& next) {
+  auto& oc = opcount::local();
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId v = frontier[k];
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto e = ctx.offsets[static_cast<std::size_t>(v) + 1];
+    oc.scalar_ops += 2 * (e - b);
+    for (auto i = b; i < e; ++i) {
+      const VertexId u = ctx.adj[i];
+      if (ctx.distance[u] == kUnreached) {
+        // Benign race: several threads/lanes may write the same level.
+        ctx.distance[u] = ctx.level;
+        next.push_back(u);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+BfsResult bfs(const Graph& g, VertexId source, const BfsOptions& opts) {
+  if (source < 0 || source >= g.num_vertices())
+    throw std::invalid_argument("bfs: source out of range");
+
+  BfsResult res;
+  res.distance.assign(static_cast<std::size_t>(g.num_vertices()), kUnreached);
+  res.distance[static_cast<std::size_t>(source)] = 0;
+  res.reached = 1;
+
+  auto expand = detail::bfs_expand_scalar;
+#if defined(VGP_HAVE_AVX512)
+  if (simd::resolve(opts.backend) == simd::Backend::Avx512) {
+    expand = detail::bfs_expand_avx512;
+  }
+#endif
+
+  detail::BfsCtx ctx;
+  ctx.offsets = g.offsets_data();
+  ctx.adj = g.adjacency_data();
+  ctx.distance = res.distance.data();
+
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  std::mutex merge_mutex;
+
+  while (!frontier.empty()) {
+    ++res.rounds;
+    ctx.level = res.rounds;  // frontier vertices sit at rounds-1
+    next.clear();
+    parallel_for(0, static_cast<std::int64_t>(frontier.size()), opts.grain,
+                 [&](std::int64_t first, std::int64_t last) {
+                   std::vector<VertexId> mine;
+                   expand(ctx, frontier.data() + first, last - first, mine);
+                   if (!mine.empty()) {
+                     std::lock_guard<std::mutex> lock(merge_mutex);
+                     next.insert(next.end(), mine.begin(), mine.end());
+                   }
+                 });
+    // Duplicates are possible when two threads discover the same vertex in
+    // the same round (both saw it unreached). Deduplicate: the distance is
+    // identical either way, but the frontier must not double-expand.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+
+    res.reached += static_cast<std::int64_t>(next.size());
+    if (!next.empty()) res.max_distance = ctx.level;
+    frontier.swap(next);
+  }
+  return res;
+}
+
+bool verify_bfs(const Graph& g, VertexId source,
+                const std::vector<std::int32_t>& distance, std::string* why) {
+  const auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (distance.size() != static_cast<std::size_t>(g.num_vertices()))
+    return fail("distance size mismatch");
+  if (distance[static_cast<std::size_t>(source)] != 0)
+    return fail("source distance not 0");
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto du = distance[static_cast<std::size_t>(u)];
+    if (du < kUnreached) return fail("negative distance");
+    for (const VertexId v : g.neighbors(u)) {
+      const auto dv = distance[static_cast<std::size_t>(v)];
+      if (du == kUnreached) {
+        if (dv != kUnreached)
+          return fail("unreached vertex adjacent to reached one");
+      } else {
+        if (dv == kUnreached)
+          return fail("reached vertex adjacent to unreached one");
+        if (std::abs(du - dv) > 1)
+          return fail("edge spans more than one level");
+      }
+    }
+    if (du > 0) {
+      // Some neighbor must be exactly one level closer.
+      bool has_parent = false;
+      for (const VertexId v : g.neighbors(u)) {
+        has_parent |= (distance[static_cast<std::size_t>(v)] == du - 1);
+      }
+      if (!has_parent) return fail("vertex has no parent one level up");
+    }
+  }
+  return true;
+}
+
+}  // namespace vgp::classic

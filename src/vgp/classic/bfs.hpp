@@ -1,0 +1,62 @@
+// Level-synchronous breadth-first search — one of the "classic" graph
+// kernels the paper contrasts against (§Introduction, §5: "while this
+// strategy applies to classic problems like BFS or SpMV ...").
+//
+// BFS vectorizes with ONPL-style neighbor gathering but, unlike the
+// community kernels, needs NO reduce-scatter: when two lanes discover the
+// same unvisited neighbor they scatter the *same* distance value, so the
+// write conflict is benign. This module exists to demonstrate that
+// contrast (see bench/contrast_classic.cpp) and as a plain utility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::classic {
+
+inline constexpr std::int32_t kUnreached = -1;
+
+struct BfsResult {
+  /// distance[v] = hops from the source, kUnreached if disconnected.
+  std::vector<std::int32_t> distance;
+  std::int64_t reached = 0;
+  std::int32_t max_distance = 0;
+  int rounds = 0;
+};
+
+struct BfsOptions {
+  simd::Backend backend = simd::Backend::Auto;
+  std::int64_t grain = 512;
+};
+
+BfsResult bfs(const Graph& g, VertexId source, const BfsOptions& opts = {});
+
+/// True when `distance` is a valid BFS labeling from `source` (triangle
+/// inequality over every edge, source at 0, reached set connected).
+bool verify_bfs(const Graph& g, VertexId source,
+                const std::vector<std::int32_t>& distance,
+                std::string* why = nullptr);
+
+namespace detail {
+
+struct BfsCtx {
+  const std::uint64_t* offsets = nullptr;
+  const VertexId* adj = nullptr;
+  std::int32_t* distance = nullptr;
+  std::int32_t level = 0;  // distance assigned to discovered vertices
+};
+
+/// Scans frontier[0..count), appends fresh discoveries to `next`.
+void bfs_expand_scalar(const BfsCtx& ctx, const VertexId* frontier,
+                       std::int64_t count, std::vector<VertexId>& next);
+
+#if defined(VGP_HAVE_AVX512)
+void bfs_expand_avx512(const BfsCtx& ctx, const VertexId* frontier,
+                       std::int64_t count, std::vector<VertexId>& next);
+#endif
+
+}  // namespace detail
+}  // namespace vgp::classic

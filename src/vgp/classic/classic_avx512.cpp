@@ -1,0 +1,81 @@
+// AVX-512 kernels for the classic contrast algorithms (BFS, PageRank).
+// Compiled with -mavx512f -mavx512cd.
+//
+// Both kernels use ONPL-style neighbor vectors but need none of the
+// reduce-scatter machinery of the partitioning kernels:
+//   * BFS scatters the SAME level value from every lane, so duplicate
+//     targets are benign;
+//   * PageRank pulls with gathers only — no scatter at all.
+// That asymmetry is the paper's motivating observation.
+#include "vgp/classic/bfs.hpp"
+#include "vgp/classic/pagerank.hpp"
+#include "vgp/simd/avx512_common.hpp"
+
+namespace vgp::classic::detail {
+
+using simd::kLanes;
+using simd::tail_mask16;
+
+void bfs_expand_avx512(const BfsCtx& ctx, const VertexId* frontier,
+                       std::int64_t count, std::vector<VertexId>& next) {
+  const bool slow = simd::emulate_slow_scatter();
+  const __m512i vlevel = _mm512_set1_epi32(ctx.level);
+  const __m512i vunreached = _mm512_set1_epi32(kUnreached);
+  simd::OpTally tally;
+
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId v = frontier[k];
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto deg = static_cast<std::int64_t>(
+        ctx.offsets[static_cast<std::size_t>(v) + 1] - b);
+    const VertexId* adj = ctx.adj + b;
+
+    for (std::int64_t i = 0; i < deg; i += kLanes) {
+      const __mmask16 tail = tail_mask16(deg - i);
+      const __m512i vnbr = _mm512_maskz_loadu_epi32(tail, adj + i);
+      const __m512i vdist = _mm512_mask_i32gather_epi32(
+          vlevel, tail, vnbr, ctx.distance, 4);
+      const __mmask16 fresh =
+          _mm512_mask_cmpeq_epi32_mask(tail, vdist, vunreached);
+      tally.add(3, __builtin_popcount(tail), __builtin_popcount(fresh), 0);
+      if (fresh == 0) continue;
+
+      // Duplicate targets inside the vector scatter the same level —
+      // benign; but the *frontier* must hold each vertex once, so the
+      // compress-stored batch is deduplicated against the vector itself
+      // by conflict detection.
+      simd::scatter_epi32(ctx.distance, fresh, vnbr, vlevel, slow);
+      const __m512i conf = _mm512_conflict_epi32(vnbr);
+      const __mmask16 unique_fresh = fresh &
+          _mm512_mask_cmpeq_epi32_mask(fresh, conf, _mm512_setzero_si512());
+      const auto old = next.size();
+      next.resize(old + static_cast<std::size_t>(__builtin_popcount(unique_fresh)));
+      _mm512_mask_compressstoreu_epi32(next.data() + old, unique_fresh, vnbr);
+    }
+  }
+  tally.flush();
+}
+
+void pr_pull_avx512(const PrCtx& ctx, std::int64_t first, std::int64_t last) {
+  simd::OpTally tally;
+  for (std::int64_t v = first; v < last; ++v) {
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto deg = static_cast<std::int64_t>(
+        ctx.offsets[static_cast<std::size_t>(v) + 1] - b);
+    const VertexId* adj = ctx.adj + b;
+
+    __m512 vsum = _mm512_setzero_ps();
+    for (std::int64_t i = 0; i < deg; i += kLanes) {
+      const __mmask16 tail = tail_mask16(deg - i);
+      const __m512i vnbr = _mm512_maskz_loadu_epi32(tail, adj + i);
+      const __m512 vc = _mm512_mask_i32gather_ps(_mm512_setzero_ps(), tail,
+                                                 vnbr, ctx.contrib, 4);
+      vsum = _mm512_add_ps(vsum, vc);
+      tally.add(3, __builtin_popcount(tail), 0, 0);
+    }
+    ctx.next[v] = ctx.base + ctx.damping * _mm512_reduce_add_ps(vsum);
+  }
+  tally.flush();
+}
+
+}  // namespace vgp::classic::detail

@@ -1,0 +1,86 @@
+#include "vgp/classic/pagerank.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/support/opcount.hpp"
+
+namespace vgp::classic {
+
+namespace detail {
+
+void pr_pull_scalar(const PrCtx& ctx, std::int64_t first, std::int64_t last) {
+  auto& oc = opcount::local();
+  for (std::int64_t v = first; v < last; ++v) {
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto e = ctx.offsets[static_cast<std::size_t>(v) + 1];
+    float sum = 0.0f;
+    for (auto i = b; i < e; ++i) sum += ctx.contrib[ctx.adj[i]];
+    ctx.next[v] = ctx.base + ctx.damping * sum;
+    oc.scalar_ops += 2 * (e - b) + 2;
+  }
+}
+
+}  // namespace detail
+
+PageRankResult pagerank(const Graph& g, const PageRankOptions& opts) {
+  const auto n = g.num_vertices();
+  PageRankResult res;
+  if (n == 0) return res;
+
+  auto pull = detail::pr_pull_scalar;
+#if defined(VGP_HAVE_AVX512)
+  if (simd::resolve(opts.backend) == simd::Backend::Avx512) {
+    pull = detail::pr_pull_avx512;
+  }
+#endif
+
+  const float inv_n = 1.0f / static_cast<float>(n);
+  std::vector<float> rank(static_cast<std::size_t>(n), inv_n);
+  std::vector<float> next(static_cast<std::size_t>(n), 0.0f);
+  std::vector<float> contrib(static_cast<std::size_t>(n), 0.0f);
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // contrib[v] = rank[v]/deg(v); dangling mass is spread uniformly.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto d = g.degree(v);
+      if (d == 0) {
+        dangling += rank[static_cast<std::size_t>(v)];
+        contrib[static_cast<std::size_t>(v)] = 0.0f;
+      } else {
+        contrib[static_cast<std::size_t>(v)] =
+            rank[static_cast<std::size_t>(v)] / static_cast<float>(d);
+      }
+    }
+
+    detail::PrCtx ctx;
+    ctx.offsets = g.offsets_data();
+    ctx.adj = g.adjacency_data();
+    ctx.contrib = contrib.data();
+    ctx.next = next.data();
+    ctx.damping = static_cast<float>(opts.damping);
+    ctx.base = static_cast<float>((1.0 - opts.damping) / static_cast<double>(n) +
+                                  opts.damping * dangling / static_cast<double>(n));
+
+    parallel_for(0, n, opts.grain, [&](std::int64_t first, std::int64_t last) {
+      pull(ctx, first, last);
+    });
+
+    double delta = 0.0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      delta += std::abs(static_cast<double>(next[static_cast<std::size_t>(v)]) -
+                        static_cast<double>(rank[static_cast<std::size_t>(v)]));
+    }
+    rank.swap(next);
+    ++res.iterations;
+    res.final_delta = delta;
+    if (delta < opts.tolerance) break;
+  }
+
+  res.rank = std::move(rank);
+  return res;
+}
+
+}  // namespace vgp::classic

@@ -1,0 +1,52 @@
+// PageRank by power iteration — the second "classic" contrast kernel.
+//
+// The pull formulation (each vertex gathers its neighbors' scaled ranks)
+// vectorizes with gathers alone: no scatter, no reduce-scatter, no
+// preprocessing. This is exactly the paper's introduction point — the
+// techniques that suffice for PageRank/SpMV do NOT carry over to
+// partitioning kernels, whose per-neighbor *group* updates need scatters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::classic {
+
+struct PageRankOptions {
+  simd::Backend backend = simd::Backend::Auto;
+  double damping = 0.85;
+  double tolerance = 1e-7;  // L1 change per iteration
+  int max_iterations = 100;
+  std::int64_t grain = 1024;
+};
+
+struct PageRankResult {
+  std::vector<float> rank;  // sums to ~1
+  int iterations = 0;
+  double final_delta = 0.0;
+};
+
+PageRankResult pagerank(const Graph& g, const PageRankOptions& opts = {});
+
+namespace detail {
+
+struct PrCtx {
+  const std::uint64_t* offsets = nullptr;
+  const VertexId* adj = nullptr;
+  /// contrib[v] = rank[v] / out_degree(v), precomputed per iteration.
+  const float* contrib = nullptr;
+  float* next = nullptr;
+  float base = 0.0f;     // (1-d)/n + dangling redistribution
+  float damping = 0.85f;
+};
+
+void pr_pull_scalar(const PrCtx& ctx, std::int64_t first, std::int64_t last);
+#if defined(VGP_HAVE_AVX512)
+void pr_pull_avx512(const PrCtx& ctx, std::int64_t first, std::int64_t last);
+#endif
+
+}  // namespace detail
+}  // namespace vgp::classic

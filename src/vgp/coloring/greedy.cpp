@@ -1,0 +1,152 @@
+#include "vgp/coloring/greedy.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/support/opcount.hpp"
+
+namespace vgp::coloring {
+
+namespace detail {
+
+void assign_range_scalar(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count, std::int32_t* forbidden,
+                         std::int32_t* epoch) {
+  auto& oc = opcount::local();
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId v = verts[k];
+    const std::int32_t e = ++*epoch;
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto end = ctx.offsets[static_cast<std::size_t>(v) + 1];
+    for (auto i = b; i < end; ++i) {
+      const VertexId u = ctx.adj[i];
+      if (u == v) continue;  // self-loops never forbid a color
+      forbidden[ctx.colors[u]] = e;
+    }
+    std::int32_t c = 1;
+    while (forbidden[c] == e) ++c;
+    ctx.colors[v] = c;
+    oc.scalar_ops += static_cast<std::uint64_t>(end - b) + static_cast<std::uint64_t>(c);
+  }
+}
+
+void detect_range_scalar(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count,
+                         std::vector<VertexId>& out_conflicts) {
+  auto& oc = opcount::local();
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId v = verts[k];
+    const std::int32_t cv = ctx.colors[v];
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto end = ctx.offsets[static_cast<std::size_t>(v) + 1];
+    oc.scalar_ops += static_cast<std::uint64_t>(end - b);
+    for (auto i = b; i < end; ++i) {
+      const VertexId u = ctx.adj[i];
+      // Algorithm 3: the higher-id endpoint re-enters CONF.
+      if (u < v && ctx.colors[u] == cv) {
+        out_conflicts.push_back(v);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+Result color_graph(const Graph& g, const Options& opts) {
+  const auto n = g.num_vertices();
+  Result res;
+  res.colors.assign(static_cast<std::size_t>(n), 0);
+  if (n == 0) return res;
+
+  const auto backend = simd::resolve(opts.backend);
+
+  detail::AssignCtx ctx;
+  ctx.offsets = g.offsets_data();
+  ctx.adj = g.adjacency_data();
+  ctx.colors = res.colors.data();
+  ctx.max_color = g.max_degree() + 1;
+
+  auto assign_fn = detail::assign_range_scalar;
+  auto detect_fn = detail::detect_range_scalar;
+#if defined(VGP_HAVE_AVX512)
+  if (backend == simd::Backend::Avx512) {
+    assign_fn = detail::assign_range_avx512;
+    detect_fn = detail::detect_range_avx512;
+  }
+#else
+  (void)backend;
+#endif
+
+  // Initial CONF = V, visited in the requested order.
+  std::vector<VertexId> conf = order_vertices(g, opts.ordering, opts.seed);
+
+  std::mutex merge_mutex;
+  std::vector<VertexId> next_conf;
+
+  while (!conf.empty() && res.rounds < opts.max_rounds) {
+    ++res.rounds;
+
+    // AssignColors over the conflict set. FORBIDDEN is per-thread and
+    // epoch-stamped; it persists across chunks via thread_local storage.
+    parallel_for(0, static_cast<std::int64_t>(conf.size()), opts.grain,
+                 [&](std::int64_t first, std::int64_t last) {
+                   thread_local std::vector<std::int32_t> forbidden;
+                   thread_local std::int32_t epoch = 0;
+                   // +16 tail padding: the vector free-color scan reads a
+                   // full 16-lane window; padded entries are never stamped
+                   // so they always read as "free" (harmless — a genuine
+                   // free color exists at index <= max_color).
+                   const auto need = static_cast<std::size_t>(ctx.max_color) + 18;
+                   if (forbidden.size() < need || epoch >= (1 << 30)) {
+                     forbidden.assign(need, 0);
+                     epoch = 0;
+                   }
+                   assign_fn(ctx, conf.data() + first, last - first,
+                             forbidden.data(), &epoch);
+                 });
+
+    // DetectConflicts; thread-local buffers merged under a lock.
+    next_conf.clear();
+    parallel_for(0, static_cast<std::int64_t>(conf.size()), opts.grain,
+                 [&](std::int64_t first, std::int64_t last) {
+                   std::vector<VertexId> mine;
+                   detect_fn(ctx, conf.data() + first, last - first, mine);
+                   if (!mine.empty()) {
+                     std::lock_guard<std::mutex> lock(merge_mutex);
+                     next_conf.insert(next_conf.end(), mine.begin(), mine.end());
+                   }
+                 });
+
+    res.total_conflicts += static_cast<std::int64_t>(next_conf.size());
+    std::sort(next_conf.begin(), next_conf.end());
+    conf.swap(next_conf);
+  }
+
+  res.num_colors = *std::max_element(res.colors.begin(), res.colors.end());
+  return res;
+}
+
+bool verify_coloring(const Graph& g, const std::vector<std::int32_t>& colors,
+                     std::string* why) {
+  const auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (colors.size() != static_cast<std::size_t>(g.num_vertices()))
+    return fail("color array size mismatch");
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (colors[static_cast<std::size_t>(v)] < 1)
+      return fail("vertex " + std::to_string(v) + " uncolored");
+    for (VertexId u : g.neighbors(v)) {
+      if (u != v && colors[static_cast<std::size_t>(u)] == colors[static_cast<std::size_t>(v)])
+        return fail("edge " + std::to_string(u) + "-" + std::to_string(v) +
+                    " is monochromatic");
+    }
+  }
+  return true;
+}
+
+}  // namespace vgp::coloring

@@ -1,0 +1,93 @@
+// Speculative parallel greedy graph coloring (paper Algorithms 1-3).
+//
+// Round structure (Algorithm 1): every vertex starts uncolored and in the
+// conflict set CONF. Each round speculatively colors all of CONF in
+// parallel with first-fit greedy (Algorithm 2, AssignColors), then scans
+// for neighbors that ended up with equal colors (Algorithm 3,
+// DetectConflicts) and re-queues one endpoint of each conflict. The loop
+// terminates because the later-indexed endpoint is re-colored while the
+// earlier one keeps its color.
+//
+// The ONPL vectorization (paper §4.1) accelerates AssignColors: 16
+// neighbor ids are loaded at once, their colors fetched with a gather, and
+// the FORBIDDEN marks written with a scatter (duplicate colors in one
+// vector are harmless — every lane writes the same mark). Conflict
+// detection compares 16 gathered neighbor colors against C(v) at a time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgp/coloring/ordering.hpp"
+#include "vgp/graph/csr.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::coloring {
+
+struct Options {
+  simd::Backend backend = simd::Backend::Auto;
+  /// Visit order of the initial speculative round (later rounds process
+  /// the much smaller conflict sets in id order).
+  Ordering ordering = Ordering::Natural;
+  std::uint64_t seed = 1;  // for Ordering::Random
+  /// parallel_for chunk size over the conflict set.
+  std::int64_t grain = 256;
+  /// Safety cap on speculative rounds (the algorithm converges long
+  /// before this on any real input).
+  int max_rounds = 1000;
+};
+
+struct Result {
+  /// colors[v] in 1..num_colors (greedy first-fit; 0 never survives).
+  std::vector<std::int32_t> colors;
+  std::int32_t num_colors = 0;
+  int rounds = 0;
+  /// Vertices re-queued over all conflict-detection rounds.
+  std::int64_t total_conflicts = 0;
+};
+
+/// Runs the full speculative loop. Self-loops are ignored (a vertex is
+/// never its own conflict).
+Result color_graph(const Graph& g, const Options& opts = {});
+
+/// True when no edge has equal endpoint colors and every vertex has a
+/// color >= 1. Fills `why` on failure.
+bool verify_coloring(const Graph& g, const std::vector<std::int32_t>& colors,
+                     std::string* why = nullptr);
+
+namespace detail {
+
+/// Shared state for one AssignColors sweep. FORBIDDEN is realized as an
+/// epoch-stamped array: marking writes the current epoch, clearing is a
+/// single increment (no O(maxdeg) reset per vertex).
+struct AssignCtx {
+  const std::uint64_t* offsets = nullptr;
+  const VertexId* adj = nullptr;
+  std::int32_t* colors = nullptr;
+  std::int64_t max_color = 0;  // first-fit never exceeds maxdeg+1
+};
+
+/// Scalar AssignColors over verts[0..count); forbidden has max_color+2
+/// entries stamped against *epoch.
+void assign_range_scalar(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count, std::int32_t* forbidden,
+                         std::int32_t* epoch);
+
+/// Scalar DetectConflicts: returns, via out_conflicts, the subset of
+/// verts that must be recolored (the higher-id endpoint of each clash).
+void detect_range_scalar(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count,
+                         std::vector<VertexId>& out_conflicts);
+
+#if defined(VGP_HAVE_AVX512)
+void assign_range_avx512(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count, std::int32_t* forbidden,
+                         std::int32_t* epoch);
+void detect_range_avx512(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count,
+                         std::vector<VertexId>& out_conflicts);
+#endif
+
+}  // namespace detail
+}  // namespace vgp::coloring

@@ -1,0 +1,90 @@
+// ONPL-vectorized kernels for speculative greedy coloring (paper §4.1).
+// Compiled with -mavx512f -mavx512cd.
+//
+// AssignColors: per conflict vertex, 16 neighbor ids are loaded with one
+// vector load, their colors fetched with one gather, and the FORBIDDEN
+// epoch marks written with one scatter. Duplicate colors inside a vector
+// all write the same epoch value, so — unlike the Louvain affinity kernel —
+// no reduce step is needed. The first-fit search then scans FORBIDDEN 16
+// entries per compare.
+//
+// DetectConflicts: 16 neighbor colors are gathered and compared against
+// C(v) under an id-order mask (only u < v re-queues v, Algorithm 3).
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/simd/avx512_common.hpp"
+
+namespace vgp::coloring::detail {
+
+using simd::charge_vector_chunk;
+using simd::kLanes;
+using simd::tail_mask16;
+
+void assign_range_avx512(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count, std::int32_t* forbidden,
+                         std::int32_t* epoch) {
+  const bool slow = simd::emulate_slow_scatter();
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId v = verts[k];
+    const std::int32_t e = ++*epoch;
+    const __m512i ve = _mm512_set1_epi32(e);
+    const __m512i vv = _mm512_set1_epi32(v);
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto end = ctx.offsets[static_cast<std::size_t>(v) + 1];
+    const auto deg = static_cast<std::int64_t>(end - b);
+
+    for (std::int64_t i = 0; i < deg; i += kLanes) {
+      const __mmask16 tail = tail_mask16(deg - i);
+      const __m512i vnbr = _mm512_maskz_loadu_epi32(tail, ctx.adj + b + i);
+      // Self-loops never forbid a color.
+      const __mmask16 m = _mm512_mask_cmpneq_epi32_mask(tail, vnbr, vv);
+      const __m512i vcol = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), m, vnbr, ctx.colors, 4);
+      simd::scatter_epi32(forbidden, m, vcol, ve, slow);
+      charge_vector_chunk(4, __builtin_popcount(m), __builtin_popcount(m), 0);
+    }
+
+    // First-fit: find the lowest index >= 1 whose mark is not this epoch.
+    std::int32_t c = 1;
+    for (;;) {
+      const __m512i marks =
+          _mm512_loadu_si512(reinterpret_cast<const void*>(forbidden + c));
+      const __mmask16 free_lanes = _mm512_cmpneq_epi32_mask(marks, ve);
+      if (free_lanes != 0) {
+        c += static_cast<std::int32_t>(__builtin_ctz(free_lanes));
+        break;
+      }
+      c += kLanes;
+    }
+    ctx.colors[v] = c;
+    charge_vector_chunk(2, 0, 0, 1);
+  }
+}
+
+void detect_range_avx512(const AssignCtx& ctx, const VertexId* verts,
+                         std::int64_t count,
+                         std::vector<VertexId>& out_conflicts) {
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId v = verts[k];
+    const __m512i vv = _mm512_set1_epi32(v);
+    const __m512i vcv = _mm512_set1_epi32(ctx.colors[v]);
+    const auto b = ctx.offsets[static_cast<std::size_t>(v)];
+    const auto end = ctx.offsets[static_cast<std::size_t>(v) + 1];
+    const auto deg = static_cast<std::int64_t>(end - b);
+
+    bool clash = false;
+    for (std::int64_t i = 0; i < deg && !clash; i += kLanes) {
+      const __mmask16 tail = tail_mask16(deg - i);
+      const __m512i vnbr = _mm512_maskz_loadu_epi32(tail, ctx.adj + b + i);
+      // Only lower-id neighbors re-queue v (this also drops u == v).
+      const __mmask16 lower = _mm512_mask_cmplt_epi32_mask(tail, vnbr, vv);
+      const __m512i vcol = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), lower, vnbr, ctx.colors, 4);
+      const __mmask16 eq = _mm512_mask_cmpeq_epi32_mask(lower, vcol, vcv);
+      clash = (eq != 0);
+      charge_vector_chunk(4, __builtin_popcount(lower), 0, 0);
+    }
+    if (clash) out_conflicts.push_back(v);
+  }
+}
+
+}  // namespace vgp::coloring::detail

@@ -1,0 +1,64 @@
+#include "vgp/coloring/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "vgp/graph/kcore.hpp"
+#include "vgp/graph/permute.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace vgp::coloring {
+
+const char* ordering_name(Ordering o) {
+  switch (o) {
+    case Ordering::Natural: return "natural";
+    case Ordering::LargestFirst: return "largest-first";
+    case Ordering::SmallestLast: return "smallest-last";
+    case Ordering::Random: return "random";
+  }
+  return "?";
+}
+
+Ordering parse_ordering(const std::string& name) {
+  if (name == "natural") return Ordering::Natural;
+  if (name == "largest-first") return Ordering::LargestFirst;
+  if (name == "smallest-last") return Ordering::SmallestLast;
+  if (name == "random") return Ordering::Random;
+  throw std::invalid_argument("unknown ordering: " + name);
+}
+
+std::vector<VertexId> order_vertices(const Graph& g, Ordering o,
+                                     std::uint64_t seed) {
+  const auto n = g.num_vertices();
+  switch (o) {
+    case Ordering::Natural: {
+      std::vector<VertexId> order(static_cast<std::size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      return order;
+    }
+    case Ordering::LargestFirst: {
+      std::vector<VertexId> order(static_cast<std::size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        return g.degree(a) > g.degree(b);
+      });
+      return order;
+    }
+    case Ordering::SmallestLast: {
+      // Matula's smallest-last = reversed degeneracy peel order.
+      auto order = core_decomposition(g).peel_order;
+      std::reverse(order.begin(), order.end());
+      return order;
+    }
+    case Ordering::Random:
+      return random_permutation(n, seed);
+  }
+  throw std::logic_error("unreachable ordering");
+}
+
+std::int64_t degeneracy(const Graph& g) {
+  return core_decomposition(g).degeneracy;
+}
+
+}  // namespace vgp::coloring

@@ -1,0 +1,36 @@
+// Vertex orderings for greedy coloring. The coloring literature the paper
+// builds on (Matula 1972 smallest-last, largest-first — see its
+// references) shows the visit order drives the color count of first-fit
+// greedy; the speculative parallel algorithm colors the initial CONF set
+// in whatever order it is given, so these orderings slot straight in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::coloring {
+
+enum class Ordering {
+  Natural,       // vertex id order
+  LargestFirst,  // non-increasing degree (Welsh-Powell)
+  SmallestLast,  // Matula's degeneracy ordering, reversed
+  Random,        // uniform shuffle (seeded)
+};
+
+const char* ordering_name(Ordering o);
+Ordering parse_ordering(const std::string& name);
+
+/// The visit order induced by `o`. SmallestLast peels minimum-degree
+/// vertices with a bucket queue in O(n + m).
+std::vector<VertexId> order_vertices(const Graph& g, Ordering o,
+                                     std::uint64_t seed = 1);
+
+/// Degeneracy of the graph (max min-degree over the peeling) — computed
+/// as a byproduct of smallest-last; first-fit in that order uses at most
+/// degeneracy+1 colors when run sequentially.
+std::int64_t degeneracy(const Graph& g);
+
+}  // namespace vgp::coloring

@@ -1,0 +1,45 @@
+#include "vgp/community/coarsen.hpp"
+
+#include <unordered_map>
+
+namespace vgp::community {
+
+CoarseResult coarsen(const Graph& g, const std::vector<CommunityId>& zeta) {
+  CoarseResult res;
+  res.mapping = zeta;
+  res.num_coarse = compact_labels(res.mapping);
+
+  // Aggregate fine edges into coarse (cu, cv) buckets. Each undirected
+  // fine edge is visited once (u <= v); float accumulation happens in
+  // double to keep heavy communities exact.
+  std::unordered_map<std::uint64_t, double> agg;
+  agg.reserve(static_cast<std::size_t>(g.num_edges()) / 4 + 16);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto cu = res.mapping[static_cast<std::size_t>(u)];
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (v < u) continue;
+      auto a = cu;
+      auto b = res.mapping[static_cast<std::size_t>(v)];
+      if (a > b) std::swap(a, b);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+          static_cast<std::uint32_t>(b);
+      agg[key] += ws[i];
+    }
+  }
+
+  std::vector<Edge> coarse_edges;
+  coarse_edges.reserve(agg.size());
+  for (const auto& [key, w] : agg) {
+    coarse_edges.push_back({static_cast<VertexId>(key >> 32),
+                            static_cast<VertexId>(key & 0xFFFFFFFFu),
+                            static_cast<float>(w)});
+  }
+  res.graph = Graph::from_edges(res.num_coarse, coarse_edges);
+  return res;
+}
+
+}  // namespace vgp::community

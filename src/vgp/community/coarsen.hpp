@@ -1,0 +1,24 @@
+// Coarsening phase of the Louvain method: each community collapses into a
+// single vertex; inter-community edge weights are summed into one edge,
+// intra-community weight (including original self-loops) becomes the
+// coarse vertex's self-loop. Total edge weight is invariant under
+// coarsening, which the tests check.
+#pragma once
+
+#include <vector>
+
+#include "vgp/community/partition.hpp"
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::community {
+
+struct CoarseResult {
+  Graph graph;
+  /// fine vertex -> coarse vertex (compacted community labels).
+  std::vector<CommunityId> mapping;
+  std::int64_t num_coarse = 0;
+};
+
+CoarseResult coarsen(const Graph& g, const std::vector<CommunityId>& zeta);
+
+}  // namespace vgp::community

@@ -1,0 +1,142 @@
+#include "vgp/community/label_prop.hpp"
+
+#include <atomic>
+
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/support/opcount.hpp"
+#include "vgp/support/rng.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp::community {
+
+namespace detail {
+
+bool lp_update_one_scalar(const LpCtx& ctx, VertexId u, DenseAffinity& aff) {
+  const Graph& g = *ctx.g;
+  const auto nbrs = g.neighbors(u);
+  const auto ws = g.edge_weights(u);
+  if (nbrs.empty()) return false;
+
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == u) continue;
+    aff.add(ctx.labels[nbrs[i]], ws[i]);
+  }
+  opcount::local().scalar_ops += 3 * nbrs.size();
+
+  // Heaviest label; ties prefer the current label (stability), else are
+  // broken pseudo-randomly per (vertex, round) — see LpCtx::salt.
+  const CommunityId cur = ctx.labels[u];
+  const std::uint32_t vsalt = mix32(ctx.salt ^ static_cast<std::uint32_t>(u));
+  float best_w = 0.0f;
+  CommunityId best = cur;
+  std::uint32_t best_rank = 0;
+  bool cur_attains = false;
+  for (const CommunityId l : aff.touched()) {
+    const float w = aff.get(l);
+    if (w > best_w) {
+      best_w = w;
+      best = l;
+      best_rank = mix32(static_cast<std::uint32_t>(l) ^ vsalt);
+      cur_attains = (l == cur);
+    } else if (w == best_w && w > 0.0f) {
+      if (l == cur) {
+        cur_attains = true;
+      } else {
+        const std::uint32_t rank = mix32(static_cast<std::uint32_t>(l) ^ vsalt);
+        if (rank > best_rank) {
+          best = l;
+          best_rank = rank;
+        }
+      }
+    }
+  }
+  if (cur_attains) best = cur;
+  aff.reset();
+
+  if (best == cur) return false;
+  ctx.labels[u] = best;
+  ctx.next_active->set(static_cast<std::size_t>(u));
+  for (const VertexId v : nbrs) {
+    if (v != u) ctx.next_active->set(static_cast<std::size_t>(v));
+  }
+  return true;
+}
+
+std::int64_t lp_process_scalar(const LpCtx& ctx, const VertexId* verts,
+                               std::int64_t count, DenseAffinity& aff) {
+  std::int64_t changed = 0;
+  for (std::int64_t k = 0; k < count; ++k) {
+    if (lp_update_one_scalar(ctx, verts[k], aff)) ++changed;
+  }
+  return changed;
+}
+
+}  // namespace detail
+
+LabelPropResult label_propagation(const Graph& g,
+                                  const LabelPropOptions& opts) {
+  const auto n = g.num_vertices();
+  LabelPropResult res;
+  res.labels = singleton_partition(n);
+  if (n == 0) return res;
+
+  WallTimer timer;
+  const auto backend = simd::resolve(opts.backend);
+  const std::int64_t theta =
+      opts.theta >= 0 ? opts.theta : std::max<std::int64_t>(1, n / 100000);
+
+  auto process = detail::lp_process_scalar;
+#if defined(VGP_HAVE_AVX512)
+  if (backend == simd::Backend::Avx512) process = detail::lp_process_avx512;
+#else
+  (void)backend;
+#endif
+
+  AtomicBitmap active(static_cast<std::size_t>(n));
+  AtomicBitmap next_active(static_cast<std::size_t>(n));
+  active.set_all();
+
+  std::vector<VertexId> worklist;
+  worklist.reserve(static_cast<std::size_t>(n));
+
+  double last_update_fraction = 1.0;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    worklist.clear();
+    active.collect(worklist);
+    if (worklist.empty()) break;
+    next_active.clear_all();
+
+    detail::LpCtx ctx;
+    ctx.g = &g;
+    ctx.labels = res.labels.data();
+    ctx.next_active = &next_active;
+    ctx.use_compress = opts.rs_policy == RsPolicy::Compress ||
+                       (opts.rs_policy == RsPolicy::Auto &&
+                        last_update_fraction < 0.02);
+    ctx.salt = mix32(static_cast<std::uint32_t>(iter) + 0x9e3779b9u);
+
+    std::atomic<std::int64_t> updated{0};
+    parallel_for(0, static_cast<std::int64_t>(worklist.size()), opts.grain,
+                 [&](std::int64_t first, std::int64_t last) {
+                   thread_local DenseAffinity aff;
+                   aff.ensure(n);
+                   const auto c = process(ctx, worklist.data() + first,
+                                          last - first, aff);
+                   updated.fetch_add(c, std::memory_order_relaxed);
+                 });
+
+    ++res.iterations;
+    res.updates_per_iteration.push_back(updated.load());
+    last_update_fraction =
+        static_cast<double>(updated.load()) / static_cast<double>(n);
+
+    std::swap(active, next_active);
+    if (updated.load() <= theta) break;
+  }
+
+  res.num_communities = count_communities(res.labels);
+  res.seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace vgp::community

@@ -1,0 +1,82 @@
+// Parallel label propagation community detection (paper Algorithm 5,
+// Raghavan et al. 2007).
+//
+// Every vertex starts in its own singleton community (label = vertex id).
+// Each round, every *active* vertex adopts the label with the largest
+// incident edge weight in its neighborhood; a vertex that changes label
+// re-activates itself and its neighbors, a vertex that keeps its label
+// deactivates. The process stops when a round changes no more than theta
+// vertices.
+//
+// MPLP is the scalar parallel implementation (preallocated per-thread
+// scratch, like MPLM). ONLP — One Neighbor Per Lane Label Propagation
+// (paper §4.3) — gathers 16 neighbor labels at a time, reduce-scatters
+// the edge weights into the per-thread label-weight table, and finds the
+// heaviest label with vectorized max scans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgp/community/move_ctx.hpp"
+#include "vgp/community/partition.hpp"
+#include "vgp/graph/csr.hpp"
+#include "vgp/parallel/atomic_bitmap.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::community {
+
+struct LabelPropOptions {
+  simd::Backend backend = simd::Backend::Auto;
+  /// Stop when a round updates <= theta vertices. Negative: use
+  /// max(1, n/100000), NetworKit's default.
+  std::int64_t theta = -1;
+  int max_iterations = 100;
+  std::int64_t grain = 256;
+  /// ONLP reduce-scatter flavor (Auto = conflict detection, switching to
+  /// in-vector reduction as the labels converge).
+  RsPolicy rs_policy = RsPolicy::Auto;
+};
+
+struct LabelPropResult {
+  std::vector<CommunityId> labels;
+  std::int64_t num_communities = 0;
+  int iterations = 0;
+  std::vector<std::int64_t> updates_per_iteration;
+  double seconds = 0.0;
+};
+
+LabelPropResult label_propagation(const Graph& g,
+                                  const LabelPropOptions& opts = {});
+
+namespace detail {
+
+struct LpCtx {
+  const Graph* g = nullptr;
+  CommunityId* labels = nullptr;
+  AtomicBitmap* next_active = nullptr;
+  bool use_compress = false;  // in-vector-reduction accumulate
+  /// Per-round salt for the random tie rule (Raghavan et al.: ties are
+  /// broken arbitrarily/randomly — a deterministic smallest-label rule
+  /// floods one label across bridges). A vertex's tied candidates are
+  /// ranked by mix32(label ^ mix32(salt ^ vertex)).
+  std::uint32_t salt = 1;
+};
+
+/// Processes verts[0..count): recomputes each vertex's heaviest neighbor
+/// label, applies changes, activates neighborhoods. Returns #changed.
+std::int64_t lp_process_scalar(const LpCtx& ctx, const VertexId* verts,
+                               std::int64_t count, DenseAffinity& aff);
+
+/// Scalar update of a single vertex (shared by the scalar driver and the
+/// vector kernel's low-degree fast path). Returns true when u changed.
+bool lp_update_one_scalar(const LpCtx& ctx, VertexId u, DenseAffinity& aff);
+
+#if defined(VGP_HAVE_AVX512)
+std::int64_t lp_process_avx512(const LpCtx& ctx, const VertexId* verts,
+                               std::int64_t count, DenseAffinity& aff);
+#endif
+
+}  // namespace detail
+}  // namespace vgp::community

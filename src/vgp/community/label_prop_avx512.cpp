@@ -1,0 +1,238 @@
+// ONLP — One Neighbor Per Lane Label Propagation (paper §4.3). Compiled
+// with -mavx512f -mavx512cd.
+//
+// Per active vertex: 16 neighbor labels are gathered at once and their
+// edge weights reduce-scattered into the per-thread label-weight table
+// (conflict-detection or in-vector-reduction, like the Louvain ONPL
+// kernel). The heaviest label is then found with vectorized max scans —
+// the paper names _mm512_reduce_max_ps for exactly this step.
+#include <limits>
+
+#include "vgp/community/label_prop.hpp"
+#include "vgp/simd/avx512_common.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace vgp::community::detail {
+namespace {
+
+using simd::charge_vector_chunk;
+using simd::kLanes;
+using simd::tail_mask16;
+
+const __m512i kNegLanes = _mm512_setr_epi32(-1, -2, -3, -4, -5, -6, -7, -8,
+                                            -9, -10, -11, -12, -13, -14, -15,
+                                            -16);
+
+inline void record_first_touch(std::vector<CommunityId>& touched,
+                               __mmask16 zero_mask, __m512i vlab) {
+  if (zero_mask == 0) return;
+  const auto old = touched.size();
+  touched.resize(old + static_cast<std::size_t>(__builtin_popcount(zero_mask)));
+  _mm512_mask_compressstoreu_epi32(touched.data() + old, zero_mask, vlab);
+}
+
+/// Conflict-detection accumulate of u's neighbor label weights.
+void accumulate_conflict(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
+                         bool slow) {
+  const Graph& g = *ctx.g;
+  float* table = aff.data();
+  auto& touched = aff.touched();
+  const auto b = g.offset(u);
+  const auto deg = g.degree(u);
+  const VertexId* adj = g.adjacency_data() + b;
+  const float* wgt = g.weights_data() + b;
+  const __m512i vu = _mm512_set1_epi32(u);
+
+  for (std::int64_t i = 0; i < deg; i += kLanes) {
+    const __mmask16 tail = tail_mask16(deg - i);
+    const __m512i vnbr = _mm512_maskz_loadu_epi32(tail, adj + i);
+    const __mmask16 m = _mm512_mask_cmpneq_epi32_mask(tail, vnbr, vu);
+    const __m512 vw = _mm512_maskz_loadu_ps(tail, wgt + i);
+    const __m512i vlab =
+        _mm512_mask_i32gather_epi32(kNegLanes, m, vnbr, ctx.labels, 4);
+
+    const __m512i conf = _mm512_conflict_epi32(vlab);
+    const __mmask16 first =
+        _mm512_mask_cmpeq_epi32_mask(m, conf, _mm512_setzero_si512());
+
+    const __m512 cur =
+        _mm512_mask_i32gather_ps(_mm512_setzero_ps(), first, vlab, table, 4);
+    record_first_touch(
+        touched,
+        _mm512_mask_cmp_ps_mask(first, cur, _mm512_setzero_ps(), _CMP_EQ_OQ),
+        vlab);
+    const __m512 sum = _mm512_add_ps(cur, vw);
+    simd::scatter_ps(table, first, vlab, sum, slow);
+
+    const __mmask16 pending = m & static_cast<__mmask16>(~first);
+    charge_vector_chunk(6, 2 * __builtin_popcount(first),
+                        __builtin_popcount(first),
+                        3 * __builtin_popcount(pending));
+    unsigned bits = pending;
+    while (bits != 0u) {
+      const int lane = __builtin_ctz(bits);
+      const CommunityId l = ctx.labels[adj[i + lane]];
+      if (table[l] == 0.0f) touched.push_back(l);
+      table[l] += wgt[i + lane];
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// In-vector-reduction accumulate (for mostly-converged label fields).
+void accumulate_compress(const LpCtx& ctx, VertexId u, DenseAffinity& aff) {
+  const Graph& g = *ctx.g;
+  float* table = aff.data();
+  auto& touched = aff.touched();
+  const auto b = g.offset(u);
+  const auto deg = g.degree(u);
+  const VertexId* adj = g.adjacency_data() + b;
+  const float* wgt = g.weights_data() + b;
+  const __m512i vu = _mm512_set1_epi32(u);
+
+  for (std::int64_t i = 0; i < deg; i += kLanes) {
+    const __mmask16 tail = tail_mask16(deg - i);
+    const __m512i vnbr = _mm512_maskz_loadu_epi32(tail, adj + i);
+    const __mmask16 m = _mm512_mask_cmpneq_epi32_mask(tail, vnbr, vu);
+    if (m == 0) continue;
+    const __m512 vw = _mm512_maskz_loadu_ps(tail, wgt + i);
+    const __m512i vlab =
+        _mm512_mask_i32gather_epi32(kNegLanes, m, vnbr, ctx.labels, 4);
+
+    const int lane0 = __builtin_ctz(static_cast<unsigned>(m));
+    const CommunityId l0 = ctx.labels[adj[i + lane0]];
+    const __mmask16 match =
+        _mm512_mask_cmpeq_epi32_mask(m, vlab, _mm512_set1_epi32(l0));
+    const float s = _mm512_mask_reduce_add_ps(match, vw);
+    if (table[l0] == 0.0f) touched.push_back(l0);
+    table[l0] += s;
+
+    const __mmask16 rest = m & static_cast<__mmask16>(~match);
+    charge_vector_chunk(5, __builtin_popcount(m), 0,
+                        3 * __builtin_popcount(rest) + 1);
+    unsigned bits = rest;
+    while (bits != 0u) {
+      const int lane = __builtin_ctz(bits);
+      const CommunityId l = ctx.labels[adj[i + lane]];
+      if (table[l] == 0.0f) touched.push_back(l);
+      table[l] += wgt[i + lane];
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// Vectorized mix32 (see support/rng.hpp) for the random tie rule.
+inline __m512i vmix32(__m512i x) {
+  x = _mm512_xor_si512(x, _mm512_srli_epi32(x, 16));
+  x = _mm512_mullo_epi32(x, _mm512_set1_epi32(0x7feb352d));
+  x = _mm512_xor_si512(x, _mm512_srli_epi32(x, 15));
+  x = _mm512_mullo_epi32(x, _mm512_set1_epi32(static_cast<int>(0x846ca68bu)));
+  x = _mm512_xor_si512(x, _mm512_srli_epi32(x, 16));
+  return x;
+}
+
+/// Vectorized heaviest-label scan with the scalar tie rules: prefer the
+/// current label; otherwise rank tied labels by mix32(label ^ vsalt) and
+/// take the largest rank (matches lp_process_scalar exactly).
+CommunityId choose_best_label(DenseAffinity& aff, CommunityId cur,
+                              std::uint32_t vsalt) {
+  const auto& touched = aff.touched();
+  const float* tab = aff.data();
+
+  // Pass 1: global max weight (the _mm512_reduce_max_ps step).
+  __m512 vmax = _mm512_setzero_ps();
+  const auto count = static_cast<std::int64_t>(touched.size());
+  for (std::int64_t i = 0; i < count; i += kLanes) {
+    const __mmask16 tail = tail_mask16(count - i);
+    const __m512i vl = _mm512_maskz_loadu_epi32(tail, touched.data() + i);
+    const __m512 vw =
+        _mm512_mask_i32gather_ps(_mm512_setzero_ps(), tail, vl, tab, 4);
+    vmax = _mm512_max_ps(vmax, vw);
+  }
+  const float maxw = _mm512_reduce_max_ps(vmax);
+  if (maxw <= 0.0f) return cur;
+  if (aff.get(cur) == maxw) return cur;
+
+  // Pass 2: among labels attaining maxw, take the one with the largest
+  // salted rank. Ranks are compared as unsigned; lanes start at rank 0
+  // with label `cur` so an empty mask degrades to "keep current".
+  const __m512 vmaxw = _mm512_set1_ps(maxw);
+  const __m512i vsaltv = _mm512_set1_epi32(static_cast<int>(vsalt));
+  __m512i vbest_rank = _mm512_setzero_si512();
+  __m512i vbest_lab = _mm512_set1_epi32(cur);
+  for (std::int64_t i = 0; i < count; i += kLanes) {
+    const __mmask16 tail = tail_mask16(count - i);
+    const __m512i vl = _mm512_maskz_loadu_epi32(tail, touched.data() + i);
+    const __m512 vw =
+        _mm512_mask_i32gather_ps(_mm512_setzero_ps(), tail, vl, tab, 4);
+    const __mmask16 at_max =
+        _mm512_mask_cmp_ps_mask(tail, vw, vmaxw, _CMP_EQ_OQ);
+    const __m512i vrank = vmix32(_mm512_xor_si512(vl, vsaltv));
+    const __mmask16 better =
+        _mm512_mask_cmplt_epu32_mask(at_max, vbest_rank, vrank);
+    vbest_rank = _mm512_mask_blend_epi32(better, vbest_rank, vrank);
+    vbest_lab = _mm512_mask_blend_epi32(better, vbest_lab, vl);
+  }
+  charge_vector_chunk(8 * static_cast<int>((count + kLanes - 1) / kLanes), 0,
+                      0, 0);
+
+  // Horizontal: lane with the largest rank wins.
+  alignas(64) std::uint32_t ranks[kLanes];
+  alignas(64) std::int32_t labs[kLanes];
+  _mm512_store_si512(reinterpret_cast<__m512i*>(ranks), vbest_rank);
+  _mm512_store_si512(reinterpret_cast<__m512i*>(labs), vbest_lab);
+  std::uint32_t best_rank = 0;
+  CommunityId best = cur;
+  for (int l = 0; l < kLanes; ++l) {
+    if (ranks[l] > best_rank) {
+      best_rank = ranks[l];
+      best = labs[l];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int64_t lp_process_avx512(const LpCtx& ctx, const VertexId* verts,
+                               std::int64_t count, DenseAffinity& aff) {
+  const Graph& g = *ctx.g;
+  const bool slow = simd::emulate_slow_scatter();
+  std::int64_t changed = 0;
+
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId u = verts[k];
+    const auto nbrs = g.neighbors(u);
+    if (nbrs.empty()) continue;
+
+    // Below one vector of neighbors the gathers cannot pay for
+    // themselves; use the shared scalar path.
+    if (static_cast<std::int64_t>(nbrs.size()) < kLanes) {
+      if (lp_update_one_scalar(ctx, u, aff)) ++changed;
+      continue;
+    }
+
+    if (ctx.use_compress) {
+      accumulate_compress(ctx, u, aff);
+    } else {
+      accumulate_conflict(ctx, u, aff, slow);
+    }
+
+    const CommunityId cur = ctx.labels[u];
+    const std::uint32_t vsalt = mix32(ctx.salt ^ static_cast<std::uint32_t>(u));
+    const CommunityId best = choose_best_label(aff, cur, vsalt);
+    aff.reset();
+
+    if (best != cur) {
+      ctx.labels[u] = best;
+      ++changed;
+      ctx.next_active->set(static_cast<std::size_t>(u));
+      for (const VertexId v : nbrs) {
+        if (v != u) ctx.next_active->set(static_cast<std::size_t>(v));
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace vgp::community::detail

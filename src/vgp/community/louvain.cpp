@@ -1,0 +1,111 @@
+#include "vgp/community/louvain.hpp"
+
+#include <stdexcept>
+
+#include "vgp/community/coarsen.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp::community {
+
+const char* move_policy_name(MovePolicy p) {
+  switch (p) {
+    case MovePolicy::PLM: return "plm";
+    case MovePolicy::MPLM: return "mplm";
+    case MovePolicy::ONPL: return "onpl";
+    case MovePolicy::OVPL: return "ovpl";
+    case MovePolicy::ColorSync: return "colorsync";
+  }
+  return "?";
+}
+
+MovePolicy parse_move_policy(const std::string& name) {
+  if (name == "plm") return MovePolicy::PLM;
+  if (name == "mplm") return MovePolicy::MPLM;
+  if (name == "onpl") return MovePolicy::ONPL;
+  if (name == "ovpl") return MovePolicy::OVPL;
+  if (name == "colorsync") return MovePolicy::ColorSync;
+  throw std::invalid_argument("unknown move policy: " + name);
+}
+
+MoveStats run_move_phase(const MoveCtx& ctx, MovePolicy policy,
+                         simd::Backend backend, int ovpl_block_size) {
+  switch (policy) {
+    case MovePolicy::PLM:
+      return move_phase_plm(ctx);
+    case MovePolicy::MPLM:
+      return move_phase_mplm(ctx);
+    case MovePolicy::ONPL:
+#if defined(VGP_HAVE_AVX512)
+      if (simd::resolve(backend) == simd::Backend::Avx512) {
+        return move_phase_onpl_avx512(ctx);
+      }
+#endif
+      // No AVX-512 at runtime: ONPL degenerates to the scalar MPLM loop.
+      return move_phase_mplm(ctx);
+    case MovePolicy::ColorSync:
+      return move_phase_colorsync(ctx, backend);
+    case MovePolicy::OVPL: {
+      OvplOptions oopts;
+      oopts.block_size = ovpl_block_size;
+      oopts.backend = backend;
+      const auto layout = ovpl_preprocess(*ctx.g, oopts);
+      auto stats = move_phase_ovpl(ctx, layout, backend);
+      stats.preprocess_seconds = layout.preprocess_seconds;
+      return stats;
+    }
+  }
+  throw std::logic_error("unreachable move policy");
+}
+
+LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
+  LouvainResult res;
+  WallTimer total_timer;
+
+  const auto n = g.num_vertices();
+  res.communities = singleton_partition(n);
+  if (n == 0) return res;
+
+  // `current` holds the level graph; level 0 runs directly on g.
+  Graph coarse_storage;
+  const Graph* current = &g;
+
+  for (int level = 0; level < opts.max_levels; ++level) {
+    MoveState state = make_move_state(*current);
+    MoveCtx ctx = make_move_ctx(*current, state);
+    ctx.max_iterations = opts.max_move_iterations;
+    ctx.grain = opts.grain;
+    ctx.rs_policy = opts.rs_policy;
+
+    MoveStats stats =
+        run_move_phase(ctx, opts.policy, opts.backend, opts.ovpl_block_size);
+    if (level == 0) {
+      res.first_move_seconds = stats.seconds;
+      res.preprocess_seconds = stats.preprocess_seconds;
+    }
+    res.level_stats.push_back(stats);
+    ++res.levels;
+
+    const std::int64_t k = compact_labels(state.zeta);
+
+    // Flatten: map every original vertex through this level's partition.
+    for (auto& c : res.communities) {
+      c = state.zeta[static_cast<std::size_t>(c)];
+    }
+
+    if (!opts.full_multilevel) break;
+    if (k == current->num_vertices()) break;  // no merges: converged
+
+    CoarseResult cr = coarsen(*current, state.zeta);
+    coarse_storage = std::move(cr.graph);
+    current = &coarse_storage;
+    if (k <= 1) break;
+  }
+
+  res.num_communities = compact_labels(res.communities);
+  res.modularity = modularity(g, res.communities);
+  res.total_seconds = total_timer.seconds();
+  return res;
+}
+
+}  // namespace vgp::community

@@ -1,0 +1,70 @@
+// Multilevel Louvain driver (paper §3.2) parameterized over the
+// move-phase implementation:
+//
+//   PLM   — NetworKit-faithful baseline including its per-vertex
+//           allocation churn (the behavior MPLM fixes);
+//   MPLM  — Modified PLM: same algorithm, preallocated per-thread scratch;
+//   ONPL  — One Neighbor Per Lane vector kernel (requires AVX-512F+CD at
+//           runtime; silently falls back to MPLM otherwise);
+//   OVPL  — One Vertex Per Lane: blocked layout built by a coloring-based
+//           preprocessing pass (see ovpl.hpp), then a blocked vector move;
+//   ColorSync — Grappolo-style race-free baseline: one coloring class
+//           moved at a time (deterministic given one thread per class).
+//
+// The driver alternates Move and Coarsening phases until no merge happens
+// or max_levels is reached, then reports the flattened communities and
+// their modularity. Timings separate the level-0 move phase (the paper's
+// headline measurement: "the runtime of PLM is mostly dictated by the
+// first move phase") from the rest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vgp/community/move_ctx.hpp"
+#include "vgp/community/partition.hpp"
+#include "vgp/graph/csr.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::community {
+
+enum class MovePolicy { PLM, MPLM, ONPL, OVPL, ColorSync };
+
+const char* move_policy_name(MovePolicy p);
+MovePolicy parse_move_policy(const std::string& name);
+
+struct LouvainOptions {
+  MovePolicy policy = MovePolicy::MPLM;
+  RsPolicy rs_policy = RsPolicy::Auto;
+  simd::Backend backend = simd::Backend::Auto;
+  /// PLM-style cap on move-phase sweeps per level.
+  int max_move_iterations = 25;
+  int max_levels = 20;
+  /// When false, only the level-0 move phase runs (what the paper times).
+  bool full_multilevel = true;
+  std::int64_t grain = 256;
+  /// OVPL block size; must be a multiple of 16.
+  int ovpl_block_size = 16;
+};
+
+struct LouvainResult {
+  std::vector<CommunityId> communities;  // compact labels on the input graph
+  std::int64_t num_communities = 0;
+  double modularity = 0.0;
+  int levels = 0;
+  std::vector<MoveStats> level_stats;
+  /// Level-0 move-phase wall time (the paper's reported metric).
+  double first_move_seconds = 0.0;
+  /// OVPL preprocessing wall time (0 for other policies).
+  double preprocess_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+LouvainResult louvain(const Graph& g, const LouvainOptions& opts = {});
+
+/// Runs one move phase with the chosen policy on ctx (used by the driver,
+/// benches, and tests that need a single level).
+MoveStats run_move_phase(const MoveCtx& ctx, MovePolicy policy,
+                         simd::Backend backend, int ovpl_block_size = 16);
+
+}  // namespace vgp::community

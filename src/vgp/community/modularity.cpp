@@ -1,0 +1,44 @@
+#include "vgp/community/modularity.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vgp::community {
+
+double modularity(const Graph& g, const std::vector<CommunityId>& zeta) {
+  if (zeta.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("modularity: partition size mismatch");
+  const double omega = g.total_edge_weight();
+  if (omega <= 0.0) return 0.0;
+
+  // w_in and vol per community, via hash map so labels need not be compact.
+  std::unordered_map<CommunityId, double> w_in, vol;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const CommunityId zu = zeta[static_cast<std::size_t>(u)];
+    vol[zu] += g.volume(u);
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (zeta[static_cast<std::size_t>(v)] != zu) continue;
+      if (v == u) {
+        w_in[zu] += ws[i];  // self-loop stored once, counted once
+      } else if (v > u) {
+        w_in[zu] += ws[i];  // each intra edge counted once
+      }
+    }
+  }
+
+  double q = 0.0;
+  for (const auto& [c, v] : vol) {
+    const double win = [&] {
+      const auto it = w_in.find(c);
+      return it == w_in.end() ? 0.0 : it->second;
+    }();
+    const double frac = v / (2.0 * omega);
+    q += win / omega - frac * frac;
+  }
+  return q;
+}
+
+}  // namespace vgp::community

@@ -1,0 +1,32 @@
+// Newman modularity, the objective the Louvain method optimizes:
+//
+//   Q = sum_C [ w_in(C)/omega - (vol(C)/(2*omega))^2 ]
+//
+// where w_in(C) counts each intra-community edge once (self-loops once),
+// vol(C) follows the paper's definition (self-loops doubled), and omega is
+// the total edge weight. Q lies in [-1/2, 1).
+#pragma once
+
+#include <vector>
+
+#include "vgp/community/partition.hpp"
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::community {
+
+double modularity(const Graph& g, const std::vector<CommunityId>& zeta);
+
+/// The paper's per-move gain (section 3.2):
+///   dmod(u, C->D) = (w(u,D\{u}) - w(u,C\{u})) / omega
+///                 + (vol(C\{u}) - vol(D\{u})) * vol(u) / (2*omega^2)
+/// with aff_* = weight from u to the community (u excluded), vol_current =
+/// vol(C) including u, vol_target = vol(D) excluding u.
+inline double modularity_gain(double aff_target, double aff_current,
+                              double vol_current_with_u, double vol_target,
+                              double vol_u, double omega) {
+  return (aff_target - aff_current) / omega +
+         ((vol_current_with_u - vol_u) - vol_target) * vol_u /
+             (2.0 * omega * omega);
+}
+
+}  // namespace vgp::community

@@ -1,0 +1,186 @@
+// Shared state for one Louvain move phase (paper Algorithm 4).
+//
+// All move-phase variants (PLM, MPLM, ONPL, OVPL) operate on the same
+// context: the community assignment zeta, per-vertex volumes, per-community
+// volumes (atomic — adjacent vertices may move concurrently, the benign
+// races the paper discusses), and the total edge weight omega. They differ
+// only in how the per-vertex affinity map is computed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "vgp/community/modularity.hpp"
+#include "vgp/community/partition.hpp"
+#include "vgp/graph/csr.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::community {
+
+/// Which reduce-scatter implementation the ONPL affinity kernel uses.
+/// Auto follows the paper's guidance: conflict detection while moves are
+/// frequent (many distinct neighbor communities per vector), in-vector
+/// reduction once the partition has mostly converged.
+enum class RsPolicy { Auto, Conflict, Compress };
+
+struct MoveCtx {
+  const Graph* g = nullptr;
+  std::vector<CommunityId>* zeta = nullptr;     // labels in [0, n)
+  /// Per-community volume, size n. Writers use std::atomic_ref; the vector
+  /// kernels gather the raw doubles (the benign-race reads the paper's
+  /// optimistic PLM relies on).
+  std::vector<double>* comm_volume = nullptr;
+  const std::vector<double>* vertex_volume = nullptr;  // size n
+  double omega = 0.0;
+  /// PLM stops after 25 iterations whether converged or not (paper §3.2).
+  int max_iterations = 25;
+  std::int64_t grain = 256;
+  RsPolicy rs_policy = RsPolicy::Auto;
+};
+
+struct MoveStats {
+  int iterations = 0;
+  std::int64_t total_moves = 0;
+  double seconds = 0.0;
+  /// OVPL only: layout construction time (coloring + blocking).
+  double preprocess_seconds = 0.0;
+};
+
+/// Builds the ctx-owned arrays for a fresh singleton start on g.
+struct MoveState {
+  std::vector<CommunityId> zeta;
+  std::vector<double> comm_volume;
+  std::vector<double> vertex_volume;
+  double omega = 0.0;
+};
+
+inline MoveState make_move_state(const Graph& g) {
+  MoveState s;
+  s.zeta = singleton_partition(g.num_vertices());
+  s.vertex_volume = g.volumes();
+  s.comm_volume = s.vertex_volume;  // singleton: vol(C) = vol(u)
+  s.omega = g.total_edge_weight();
+  return s;
+}
+
+inline MoveCtx make_move_ctx(const Graph& g, MoveState& s) {
+  MoveCtx ctx;
+  ctx.g = &g;
+  ctx.zeta = &s.zeta;
+  ctx.comm_volume = &s.comm_volume;
+  ctx.vertex_volume = &s.vertex_volume;
+  ctx.omega = s.omega;
+  return ctx;
+}
+
+inline CommunityId zeta_of(const MoveCtx& ctx, VertexId v) {
+  return (*ctx.zeta)[static_cast<std::size_t>(v)];
+}
+
+/// Moves u from `cur` to `best`, updating community volumes atomically.
+inline void apply_move(const MoveCtx& ctx, VertexId u, CommunityId cur,
+                       CommunityId best, double vol_u) {
+  auto& cvol = *ctx.comm_volume;
+  std::atomic_ref<double>(cvol[static_cast<std::size_t>(cur)])
+      .fetch_sub(vol_u, std::memory_order_relaxed);
+  std::atomic_ref<double>(cvol[static_cast<std::size_t>(best)])
+      .fetch_add(vol_u, std::memory_order_relaxed);
+  (*ctx.zeta)[static_cast<std::size_t>(u)] = best;
+}
+
+/// Applies the best-gain decision for u given its affinity map (touched
+/// candidate communities + their affinities). Returns true when u moved.
+/// `aff_of` must return the accumulated edge weight from u to a community.
+template <typename AffFn>
+bool decide_and_move(const MoveCtx& ctx, VertexId u,
+                     const std::vector<CommunityId>& candidates,
+                     const AffFn& aff_of) {
+  auto& zeta = *ctx.zeta;
+  auto& cvol = *ctx.comm_volume;
+  const CommunityId cur = zeta[static_cast<std::size_t>(u)];
+  const double aff_cur = aff_of(cur);
+  const double vol_u = (*ctx.vertex_volume)[static_cast<std::size_t>(u)];
+  const double vol_cur = cvol[static_cast<std::size_t>(cur)];
+
+  double best_delta = 0.0;
+  CommunityId best = cur;
+  for (const CommunityId c : candidates) {
+    if (c == cur) continue;
+    const double delta =
+        modularity_gain(aff_of(c), aff_cur, vol_cur,
+                        cvol[static_cast<std::size_t>(c)], vol_u, ctx.omega);
+    // Deterministic tie-break on label keeps single-thread runs stable.
+    if (delta > best_delta || (delta == best_delta && delta > 0.0 && c < best)) {
+      best_delta = delta;
+      best = c;
+    }
+  }
+  if (best == cur || best_delta <= 0.0) return false;
+  apply_move(ctx, u, cur, best, vol_u);
+  return true;
+}
+
+/// Dense affinity scratch with O(touched) reset — the MPLM fix. Also the
+/// backing store the ONPL vector kernel gathers from / scatters into.
+class DenseAffinity {
+ public:
+  void ensure(std::int64_t n) {
+    if (val_.size() < static_cast<std::size_t>(n)) {
+      val_.assign(static_cast<std::size_t>(n), 0.0f);
+      touched_.clear();
+    }
+    // The vector kernel appends up to 16 touched ids per chunk with a
+    // compress-store; keep headroom so it never reallocates mid-chunk.
+    touched_.reserve(64);
+  }
+
+  void add(CommunityId c, float w) {
+    if (val_[static_cast<std::size_t>(c)] == 0.0f) touched_.push_back(c);
+    val_[static_cast<std::size_t>(c)] += w;
+  }
+
+  float get(CommunityId c) const { return val_[static_cast<std::size_t>(c)]; }
+
+  void reset() {
+    for (const CommunityId c : touched_) val_[static_cast<std::size_t>(c)] = 0.0f;
+    touched_.clear();
+  }
+
+  float* data() { return val_.data(); }
+  std::vector<CommunityId>& touched() { return touched_; }
+  const std::vector<CommunityId>& touched() const { return touched_; }
+
+ private:
+  std::vector<float> val_;
+  std::vector<CommunityId> touched_;
+};
+
+/// Scalar affinity accumulation for u (self-loops excluded, per the
+/// "\{u}" in the paper's gain formula).
+inline void accumulate_affinity_scalar(const Graph& g,
+                                       const std::vector<CommunityId>& zeta,
+                                       VertexId u, DenseAffinity& aff) {
+  const auto nbrs = g.neighbors(u);
+  const auto ws = g.edge_weights(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == u) continue;
+    aff.add(zeta[static_cast<std::size_t>(nbrs[i])], ws[i]);
+  }
+}
+
+// Move-phase entry points (one translation unit each).
+MoveStats move_phase_plm(const MoveCtx& ctx);   // churn baseline
+MoveStats move_phase_mplm(const MoveCtx& ctx);  // preallocated scratch
+
+// Grappolo-style race-free baseline: colors the graph, then moves one
+// independent color class at a time (see move_colorsync.cpp).
+MoveStats move_phase_colorsync(const MoveCtx& ctx,
+                               simd::Backend backend = simd::Backend::Auto);
+
+#if defined(VGP_HAVE_AVX512)
+/// ONPL vectorized move phase; requires avx512_kernels_available().
+MoveStats move_phase_onpl_avx512(const MoveCtx& ctx);
+#endif
+
+}  // namespace vgp::community

@@ -1,0 +1,352 @@
+#include "vgp/community/ovpl.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/support/opcount.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp::community {
+
+double OvplLayout::lane_waste() const {
+  if (nbr.empty()) return 0.0;
+  double wasted = 0.0;
+  for (const VertexId v : nbr) {
+    if (v < 0) wasted += 1.0;
+  }
+  return wasted / static_cast<double>(nbr.size());
+}
+
+std::uint64_t ovpl_scratch_bytes(std::int64_t n, int block_size,
+                                 unsigned threads) {
+  return static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(block_size) *
+         sizeof(float) * threads;
+}
+
+namespace {
+
+/// MemAvailable from /proc/meminfo, 0 when unreadable (no guard then).
+std::uint64_t available_memory_bytes() {
+  std::ifstream in("/proc/meminfo");
+  std::string key;
+  std::uint64_t kb = 0;
+  while (in >> key >> kb) {
+    if (key == "MemAvailable:") return kb * 1024;
+    in.ignore(256, '\n');
+  }
+  return 0;
+}
+
+}  // namespace
+
+OvplLayout ovpl_preprocess(const Graph& g, const OvplOptions& opts) {
+  if (opts.block_size < 16 ||
+      (opts.block_size & (opts.block_size - 1)) != 0)
+    throw std::invalid_argument(
+        "ovpl: block_size must be a power of two >= 16 (affinity keys use "
+        "shift/mask addressing)");
+  const auto n = g.num_vertices();
+  if (n > 0 && static_cast<std::int64_t>(opts.block_size) * n >
+                   std::numeric_limits<std::int32_t>::max())
+    throw std::invalid_argument("ovpl: n*block_size overflows 32-bit affinity keys");
+
+  // Fail fast when the move phase's scratch cannot fit (the paper's OVPL
+  // out-of-memory case) instead of dying on a mid-kernel allocation.
+  const auto scratch = ovpl_scratch_bytes(
+      n, opts.block_size, ThreadPool::global().num_threads());
+  const auto avail = available_memory_bytes();
+  if (avail > 0 && scratch > avail) {
+    throw std::runtime_error(
+        "ovpl: move-phase affinity scratch needs " +
+        std::to_string(scratch >> 20) + " MiB but only " +
+        std::to_string(avail >> 20) +
+        " MiB are available; use fewer threads, a smaller block size, or "
+        "the ONPL/MPLM policies");
+  }
+
+  WallTimer timer;
+  OvplLayout lay;
+  lay.block_size = opts.block_size;
+
+  // 1. Color so same-block vertices are (almost always) non-adjacent.
+  coloring::Options copts;
+  copts.backend = opts.backend;
+  const auto coloring = coloring::color_graph(g, copts);
+  lay.colors_used = coloring.num_colors;
+
+  // 2. Order by (color, degree desc, id).
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const auto ca = coloring.colors[static_cast<std::size_t>(a)];
+    const auto cb = coloring.colors[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca < cb;
+    if (opts.sort_by_degree && g.degree(a) != g.degree(b))
+      return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+
+  // 3. Cut into blocks, padding the last one.
+  const int bs = lay.block_size;
+  lay.num_blocks = (n + bs - 1) / bs;
+  lay.block_vertices.assign(static_cast<std::size_t>(lay.num_blocks) * bs, -1);
+  std::copy(order.begin(), order.end(), lay.block_vertices.begin());
+
+  lay.block_maxdeg.resize(static_cast<std::size_t>(lay.num_blocks));
+  lay.block_mindeg.resize(static_cast<std::size_t>(lay.num_blocks));
+  lay.block_begin.resize(static_cast<std::size_t>(lay.num_blocks) + 1);
+
+  std::uint64_t cursor = 0;
+  for (std::int64_t b = 0; b < lay.num_blocks; ++b) {
+    std::int32_t maxd = 0;
+    std::int32_t mind = std::numeric_limits<std::int32_t>::max();
+    for (int lane = 0; lane < bs; ++lane) {
+      const VertexId v = lay.block_vertices[static_cast<std::size_t>(b) * bs + static_cast<std::size_t>(lane)];
+      const auto d = v < 0 ? 0 : static_cast<std::int32_t>(g.degree(v));
+      maxd = std::max(maxd, d);
+      mind = std::min(mind, d);
+    }
+    lay.block_maxdeg[static_cast<std::size_t>(b)] = maxd;
+    lay.block_mindeg[static_cast<std::size_t>(b)] = mind;
+    lay.block_begin[static_cast<std::size_t>(b)] = cursor;
+    cursor += static_cast<std::uint64_t>(maxd) * static_cast<std::uint64_t>(bs);
+  }
+  lay.block_begin[static_cast<std::size_t>(lay.num_blocks)] = cursor;
+
+  // 4. Interleave: neighbor j of every lane is contiguous.
+  lay.nbr.assign(cursor, -1);
+  lay.wgt.assign(cursor, 0.0f);
+  parallel_for(0, lay.num_blocks, 16, [&](std::int64_t first, std::int64_t last) {
+    for (std::int64_t b = first; b < last; ++b) {
+      const auto begin = lay.block_begin[static_cast<std::size_t>(b)];
+      for (int lane = 0; lane < bs; ++lane) {
+        const VertexId v = lay.block_vertices[static_cast<std::size_t>(b) * bs + static_cast<std::size_t>(lane)];
+        if (v < 0) continue;
+        const auto nbrs = g.neighbors(v);
+        const auto ws = g.edge_weights(v);
+        for (std::size_t j = 0; j < nbrs.size(); ++j) {
+          lay.nbr[begin + j * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)] = nbrs[j];
+          lay.wgt[begin + j * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)] = ws[j];
+        }
+      }
+    }
+  });
+
+  // 5. Flag blocks containing adjacent vertices (possible only where a
+  // color group's tail was filled from the next group).
+  lay.block_mixed.assign(static_cast<std::size_t>(lay.num_blocks), 0);
+  parallel_for(0, lay.num_blocks, 64, [&](std::int64_t first, std::int64_t last) {
+    for (std::int64_t b = first; b < last; ++b) {
+      const VertexId* verts = lay.block_vertices.data() + b * bs;
+      bool mixed = false;
+      for (int i = 0; i < bs && !mixed; ++i) {
+        const VertexId v = verts[i];
+        if (v < 0) continue;
+        for (const VertexId w : g.neighbors(v)) {
+          if (w == v) continue;
+          for (int k = 0; k < bs; ++k) {
+            if (verts[k] == w) {
+              mixed = true;
+              break;
+            }
+          }
+          if (mixed) break;
+        }
+      }
+      lay.block_mixed[static_cast<std::size_t>(b)] = mixed ? 1 : 0;
+    }
+  });
+
+  lay.preprocess_seconds = timer.seconds();
+  return lay;
+}
+
+namespace detail {
+
+std::int64_t ovpl_process_block_sequential(const MoveCtx& ctx,
+                                           const OvplLayout& lay,
+                                           std::int64_t block, float* aff,
+                                           std::vector<std::int32_t>& touched) {
+  const Graph& g = *ctx.g;
+  const int bs = lay.block_size;
+  const int log2bs = __builtin_ctz(static_cast<unsigned>(bs));
+  const VertexId* verts = lay.block_vertices.data() + block * bs;
+  std::int64_t moves = 0;
+
+  for (int lane = 0; lane < bs; ++lane) {
+    const VertexId u = verts[lane];
+    if (u < 0 || g.degree(u) == 0) continue;
+
+    const auto start = touched.size();
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == u) continue;
+      const auto key =
+          static_cast<std::size_t>(zeta_of(ctx, nbrs[i])) * static_cast<std::size_t>(bs) +
+          static_cast<std::size_t>(lane);
+      if (aff[key] == 0.0f) touched.push_back(static_cast<std::int32_t>(key));
+      aff[key] += ws[i];
+    }
+
+    const CommunityId cur = zeta_of(ctx, u);
+    const double vol_u = (*ctx.vertex_volume)[static_cast<std::size_t>(u)];
+    const double aff_cur =
+        aff[static_cast<std::size_t>(cur) * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)];
+    double best_delta = 0.0;
+    CommunityId best = cur;
+    for (std::size_t t = start; t < touched.size(); ++t) {
+      const auto c = static_cast<CommunityId>(touched[t] >> log2bs);
+      if (c == cur) continue;
+      const double delta = modularity_gain(
+          aff[static_cast<std::size_t>(touched[t])], aff_cur,
+          (*ctx.comm_volume)[static_cast<std::size_t>(cur)],
+          (*ctx.comm_volume)[static_cast<std::size_t>(c)], vol_u, ctx.omega);
+      if (delta > best_delta || (delta == best_delta && delta > 0.0 && c < best)) {
+        best_delta = delta;
+        best = c;
+      }
+    }
+    if (best != cur && best_delta > 0.0) {
+      apply_move(ctx, u, cur, best, vol_u);
+      ++moves;
+    }
+
+    for (std::size_t t = start; t < touched.size(); ++t) {
+      aff[static_cast<std::size_t>(touched[t])] = 0.0f;
+    }
+    touched.resize(start);
+  }
+  return moves;
+}
+
+}  // namespace detail
+
+MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& lay) {
+  const Graph& g = *ctx.g;
+  const auto n = g.num_vertices();
+  const int bs = lay.block_size;
+  const int log2bs = __builtin_ctz(static_cast<unsigned>(bs));
+  MoveStats stats;
+  WallTimer timer;
+
+  for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    std::atomic<std::int64_t> moves{0};
+
+    parallel_for(0, lay.num_blocks, 4, [&](std::int64_t first, std::int64_t last) {
+      // Per-thread: block_size interleaved affinity tables
+      // (aff[c*bs+lane]) plus the touched-key list used to reset them.
+      thread_local std::vector<float> aff;
+      thread_local std::vector<std::int32_t> touched;
+      const auto need = static_cast<std::size_t>(n) * static_cast<std::size_t>(bs);
+      if (aff.size() < need) aff.assign(need, 0.0f);
+
+      thread_local std::vector<double> best_delta;
+      thread_local std::vector<CommunityId> best_comm;
+      best_delta.assign(static_cast<std::size_t>(bs), 0.0);
+      best_comm.assign(static_cast<std::size_t>(bs), -1);
+
+      auto& oc = opcount::local();
+      std::int64_t local_moves = 0;
+
+      for (std::int64_t b = first; b < last; ++b) {
+        if (lay.block_mixed[static_cast<std::size_t>(b)] != 0) {
+          local_moves += detail::ovpl_process_block_sequential(
+              ctx, lay, b, aff.data(), touched);
+          continue;
+        }
+        const VertexId* verts = lay.block_vertices.data() + b * bs;
+        const VertexId* bnbr = lay.nbr.data() + lay.block_begin[static_cast<std::size_t>(b)];
+        const float* bwgt = lay.wgt.data() + lay.block_begin[static_cast<std::size_t>(b)];
+        const auto maxd = lay.block_maxdeg[static_cast<std::size_t>(b)];
+
+        // Affinity accumulation, one "neighbor row" at a time.
+        for (std::int32_t j = 0; j < maxd; ++j) {
+          const VertexId* row = bnbr + static_cast<std::size_t>(j) * static_cast<std::size_t>(bs);
+          const float* wrow = bwgt + static_cast<std::size_t>(j) * static_cast<std::size_t>(bs);
+          for (int lane = 0; lane < bs; ++lane) {
+            const VertexId v = row[lane];
+            if (v < 0 || v == verts[lane]) continue;
+            const auto key = static_cast<std::size_t>(zeta_of(ctx, v)) * static_cast<std::size_t>(bs) +
+                             static_cast<std::size_t>(lane);
+            if (aff[key] == 0.0f) touched.push_back(static_cast<std::int32_t>(key));
+            aff[key] += wrow[lane];
+          }
+        }
+        oc.scalar_ops += static_cast<std::uint64_t>(maxd) * static_cast<std::uint64_t>(bs) * 3;
+
+        // Per-lane best-gain scan over the touched keys.
+        for (int lane = 0; lane < bs; ++lane) {
+          best_delta[static_cast<std::size_t>(lane)] = 0.0;
+          best_comm[static_cast<std::size_t>(lane)] = -1;
+        }
+        for (const std::int32_t key : touched) {
+          const int lane = static_cast<int>(key & (bs - 1));
+          const auto c = static_cast<CommunityId>(key >> log2bs);
+          const VertexId u = verts[lane];
+          const CommunityId cur = zeta_of(ctx, u);
+          if (c == cur) continue;
+          const double vol_u = (*ctx.vertex_volume)[static_cast<std::size_t>(u)];
+          const double aff_cur =
+              aff[static_cast<std::size_t>(cur) * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)];
+          const double delta = modularity_gain(
+              aff[static_cast<std::size_t>(key)], aff_cur,
+              (*ctx.comm_volume)[static_cast<std::size_t>(cur)],
+              (*ctx.comm_volume)[static_cast<std::size_t>(c)], vol_u, ctx.omega);
+          auto& bd = best_delta[static_cast<std::size_t>(lane)];
+          auto& bc = best_comm[static_cast<std::size_t>(lane)];
+          if (delta > bd || (delta == bd && delta > 0.0 && bc >= 0 && c < bc)) {
+            bd = delta;
+            bc = c;
+          }
+        }
+        oc.scalar_ops += 6 * touched.size();
+
+        // Enact the block's moves.
+        for (int lane = 0; lane < bs; ++lane) {
+          const VertexId u = verts[lane];
+          if (u < 0) continue;
+          const auto bd = best_delta[static_cast<std::size_t>(lane)];
+          const auto bc = best_comm[static_cast<std::size_t>(lane)];
+          if (bc >= 0 && bd > 0.0) {
+            apply_move(ctx, u, zeta_of(ctx, u), bc,
+                       (*ctx.vertex_volume)[static_cast<std::size_t>(u)]);
+            ++local_moves;
+          }
+        }
+
+        // O(touched) reset.
+        for (const std::int32_t key : touched) aff[static_cast<std::size_t>(key)] = 0.0f;
+        touched.clear();
+      }
+      moves.fetch_add(local_moves, std::memory_order_relaxed);
+    });
+
+    ++stats.iterations;
+    stats.total_moves += moves.load();
+    if (moves.load() == 0) break;
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+MoveStats move_phase_ovpl(const MoveCtx& ctx, const OvplLayout& layout,
+                          simd::Backend backend) {
+#if defined(VGP_HAVE_AVX512)
+  if (simd::resolve(backend) == simd::Backend::Avx512) {
+    return move_phase_ovpl_avx512(ctx, layout);
+  }
+#else
+  (void)backend;
+#endif
+  return move_phase_ovpl_scalar(ctx, layout);
+}
+
+}  // namespace vgp::community

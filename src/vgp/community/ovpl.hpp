@@ -1,0 +1,108 @@
+// OVPL — One Vertex Per Lane (paper §5).
+//
+// Preprocessing reorders the graph so a whole block of vertices can be
+// moved simultaneously, one vertex per SIMD lane:
+//   1. solve a (speculative greedy) coloring — vertices sharing a block
+//      must not be adjacent or the move phase may never converge;
+//   2. group vertices by color and sort each group by non-increasing
+//      degree — minimizes wasted lanes when degrees differ in a block;
+//   3. cut the ordering into fixed-size blocks (group tails mix colors to
+//      fill the vector, accepted as a benign-race source, as in the
+//      paper's Figure 4);
+//   4. store each block's adjacency interleaved, sliced-ELLPACK style:
+//      entry j of every lane is contiguous (nbr[j*block_size + lane]),
+//      padded with -1 — vector loads are aligned and unmasked.
+//
+// The move phase keeps `block_size` dense affinity tables interleaved as
+// aff[community*block_size + lane]: a gather/add/scatter with key
+// c*block_size+lane updates all lanes at once and can never conflict
+// (keys differ modulo block_size), which is why OVPL needs scatter but not
+// reduce-scatter — and why it "was not possible ... on x86 processors
+// before scatter was introduced with AVX-512".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/community/move_ctx.hpp"
+#include "vgp/graph/csr.hpp"
+#include "vgp/simd/backend.hpp"
+#include "vgp/support/aligned.hpp"
+
+namespace vgp::community {
+
+struct OvplLayout {
+  int block_size = 16;  // multiple of 16
+  std::int64_t num_blocks = 0;
+  /// num_blocks*block_size entries; -1 pads the final block.
+  std::vector<VertexId> block_vertices;
+  std::vector<std::int32_t> block_maxdeg;
+  /// Minimum degree across the block's lanes (0 when the block has
+  /// padding lanes); iterations below it skip the existence check.
+  std::vector<std::int32_t> block_mindeg;
+  /// Start of each block's interleaved adjacency in nbr/wgt.
+  std::vector<std::uint64_t> block_begin;
+  aligned_vector<VertexId> nbr;  // -1 where absent
+  aligned_vector<float> wgt;     // 0 where absent
+  /// 1 when the block contains adjacent vertices. Only the tail block of
+  /// each color group can be mixed (it is filled from the next color, as
+  /// in the paper's Figure 4). Mixed blocks are processed lane-by-lane
+  /// sequentially: moving adjacent vertices simultaneously can oscillate
+  /// forever ("the simplest case is a graph with two vertices that swap
+  /// their community infinitely"), and sequential processing restores the
+  /// independence guarantee the coloring provides everywhere else.
+  std::vector<std::uint8_t> block_mixed;
+  std::int64_t colors_used = 0;
+  double preprocess_seconds = 0.0;
+
+  /// Padded-slot fraction: wasted lane-iterations / total lane-iterations.
+  double lane_waste() const;
+};
+
+struct OvplOptions {
+  int block_size = 16;
+  simd::Backend backend = simd::Backend::Auto;
+  /// Disable the degree sort inside color groups (ablation knob; the
+  /// paper sorts to minimize the max-min degree gap per block).
+  bool sort_by_degree = true;
+};
+
+/// Bytes of per-thread affinity scratch the move phase will allocate
+/// (block_size dense float tables). The paper reports out-of-memory
+/// failures for OVPL on its largest graphs — this is the quantity that
+/// blows up: block_size * n * 4 bytes * threads.
+std::uint64_t ovpl_scratch_bytes(std::int64_t n, int block_size,
+                                 unsigned threads);
+
+/// Builds the blocked layout. Throws std::invalid_argument when
+/// block_size is not a power of two >= 16 or when n * block_size would
+/// overflow the 32-bit affinity keys; throws std::runtime_error when the
+/// move phase's scratch would exceed the machine's available memory
+/// (the paper's "some graphs ran out of memory" case, surfaced eagerly
+/// instead of as a mid-kernel allocation failure).
+OvplLayout ovpl_preprocess(const Graph& g, const OvplOptions& opts = {});
+
+/// Blocked move phase on a prebuilt layout; dispatches scalar/AVX-512.
+MoveStats move_phase_ovpl(const MoveCtx& ctx, const OvplLayout& layout,
+                          simd::Backend backend = simd::Backend::Auto);
+
+/// Scalar reference implementation (also the non-AVX fallback).
+MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& layout);
+
+#if defined(VGP_HAVE_AVX512)
+MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& layout);
+#endif
+
+namespace detail {
+
+/// Processes one *mixed* block lane-by-lane, applying each lane's move
+/// before the next lane accumulates (plain asynchronous Louvain over the
+/// block members). `aff` is the interleaved block affinity table,
+/// `touched` its reset list; both are left clean. Returns #moves.
+std::int64_t ovpl_process_block_sequential(const MoveCtx& ctx,
+                                           const OvplLayout& layout,
+                                           std::int64_t block, float* aff,
+                                           std::vector<std::int32_t>& touched);
+
+}  // namespace detail
+}  // namespace vgp::community

@@ -1,0 +1,180 @@
+// OVPL vectorized blocked move phase (paper §5.2). Compiled with
+// -mavx512f -mavx512cd.
+//
+// Each 16-lane sub-vector of a block processes 16 *vertices*: iteration j
+// loads the j-th neighbor of every lane with ONE ALIGNED LOAD (the
+// sliced-ELLPACK interleaving puts them contiguously), gathers the
+// neighbor communities, forms the per-lane affinity key c*block_size+lane
+// and gathers/adds/scatters the interleaved affinity tables. Keys in one
+// vector differ modulo block_size, so the scatter can never drop an
+// update — OVPL needs scatter support but no reduce step.
+//
+// Below block_mindeg no existence mask is computed (the paper's
+// optimization: "OVPL does not perform that check before the minimum
+// degree of the block ... has been considered").
+#include <atomic>
+
+#include "vgp/community/ovpl.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/avx512_common.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp::community {
+namespace {
+
+using simd::charge_vector_chunk;
+using simd::kLanes;
+
+/// Appends affinity keys of first-touch lanes via compress-store.
+inline void record_first_touch_keys(std::vector<std::int32_t>& touched,
+                                    __mmask16 zero_mask, __m512i vkey) {
+  if (zero_mask == 0) return;
+  const auto old = touched.size();
+  touched.resize(old + static_cast<std::size_t>(__builtin_popcount(zero_mask)));
+  _mm512_mask_compressstoreu_epi32(touched.data() + old, zero_mask, vkey);
+}
+
+}  // namespace
+
+MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
+  const Graph& g = *ctx.g;
+  const auto n = g.num_vertices();
+  const int bs = lay.block_size;
+  const int log2bs = __builtin_ctz(static_cast<unsigned>(bs));
+  MoveStats stats;
+  WallTimer timer;
+  const bool slow = simd::emulate_slow_scatter();
+  const CommunityId* zeta = ctx.zeta->data();
+
+  for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    std::atomic<std::int64_t> moves{0};
+
+    parallel_for(0, lay.num_blocks, 4, [&](std::int64_t first, std::int64_t last) {
+      thread_local std::vector<float> aff;
+      thread_local std::vector<std::int32_t> touched;
+      const auto need = static_cast<std::size_t>(n) * static_cast<std::size_t>(bs);
+      if (aff.size() < need) aff.assign(need, 0.0f);
+      float* table = aff.data();
+
+      thread_local std::vector<double> best_delta;
+      thread_local std::vector<CommunityId> best_comm;
+      best_delta.assign(static_cast<std::size_t>(bs), 0.0);
+      best_comm.assign(static_cast<std::size_t>(bs), -1);
+
+      simd::OpTally tally;
+      std::int64_t local_moves = 0;
+
+      for (std::int64_t b = first; b < last; ++b) {
+        if (lay.block_mixed[static_cast<std::size_t>(b)] != 0) {
+          local_moves += detail::ovpl_process_block_sequential(
+              ctx, lay, b, table, touched);
+          continue;
+        }
+        const VertexId* verts = lay.block_vertices.data() + b * bs;
+        const VertexId* bnbr = lay.nbr.data() + lay.block_begin[static_cast<std::size_t>(b)];
+        const float* bwgt = lay.wgt.data() + lay.block_begin[static_cast<std::size_t>(b)];
+        const auto maxd = lay.block_maxdeg[static_cast<std::size_t>(b)];
+        const auto mind = lay.block_mindeg[static_cast<std::size_t>(b)];
+
+        // Affinity accumulation, one 16-lane sub-vector at a time.
+        for (int sv = 0; sv < bs; sv += kLanes) {
+          const __m512i vvert = _mm512_loadu_si512(
+              reinterpret_cast<const void*>(verts + sv));
+          // lane index within the block: sv+0 .. sv+15
+          const __m512i vlane = _mm512_add_epi32(
+              _mm512_set1_epi32(sv),
+              _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                14, 15));
+          const __mmask16 active =
+              _mm512_cmpgt_epi32_mask(vvert, _mm512_set1_epi32(-1));
+
+          for (std::int32_t j = 0; j < maxd; ++j) {
+            const std::size_t row =
+                static_cast<std::size_t>(j) * static_cast<std::size_t>(bs) + static_cast<std::size_t>(sv);
+            const __m512i vnbr =
+                _mm512_load_si512(reinterpret_cast<const void*>(bnbr + row));
+            // Existence check only needed past the block's min degree.
+            __mmask16 m = active;
+            if (j >= mind) {
+              m &= _mm512_cmpgt_epi32_mask(vnbr, _mm512_set1_epi32(-1));
+              if (m == 0) continue;
+            }
+            // Self-loops are excluded from the gain formula.
+            m &= _mm512_cmpneq_epi32_mask(vnbr, vvert);
+
+            const __m512 vw = _mm512_load_ps(bwgt + row);
+            const __m512i vcomm = _mm512_mask_i32gather_epi32(
+                _mm512_setzero_si512(), m, vnbr, zeta, 4);
+            // key = community * block_size + lane; block_size is a
+            // power of two, so the multiply is a shift.
+            const __m512i vkey = _mm512_add_epi32(
+                _mm512_slli_epi32(vcomm, static_cast<unsigned>(log2bs)), vlane);
+
+            const __m512 vaff = _mm512_mask_i32gather_ps(
+                _mm512_setzero_ps(), m, vkey, table, 4);
+            record_first_touch_keys(
+                touched,
+                _mm512_mask_cmp_ps_mask(m, vaff, _mm512_setzero_ps(), _CMP_EQ_OQ),
+                vkey);
+            const __m512 vsum = _mm512_add_ps(vaff, vw);
+            simd::scatter_ps(table, m, vkey, vsum, slow);
+            tally.add(8, 2 * __builtin_popcount(m), __builtin_popcount(m), 0);
+          }
+        }
+
+        // Per-lane best-gain scan over the touched keys (the list is
+        // short; the paper leaves the assignment step unoptimized).
+        for (int lane = 0; lane < bs; ++lane) {
+          best_delta[static_cast<std::size_t>(lane)] = 0.0;
+          best_comm[static_cast<std::size_t>(lane)] = -1;
+        }
+        for (const std::int32_t key : touched) {
+          const int lane = static_cast<int>(key & (bs - 1));
+          const auto c = static_cast<CommunityId>(key >> log2bs);
+          const VertexId u = verts[lane];
+          const CommunityId cur = zeta[u];
+          if (c == cur) continue;
+          const double vol_u = (*ctx.vertex_volume)[static_cast<std::size_t>(u)];
+          const double aff_cur =
+              table[static_cast<std::size_t>(cur) * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)];
+          const double delta = modularity_gain(
+              table[static_cast<std::size_t>(key)], aff_cur,
+              (*ctx.comm_volume)[static_cast<std::size_t>(cur)],
+              (*ctx.comm_volume)[static_cast<std::size_t>(c)], vol_u, ctx.omega);
+          auto& bd = best_delta[static_cast<std::size_t>(lane)];
+          auto& bc = best_comm[static_cast<std::size_t>(lane)];
+          if (delta > bd || (delta == bd && delta > 0.0 && bc >= 0 && c < bc)) {
+            bd = delta;
+            bc = c;
+          }
+        }
+
+        for (int lane = 0; lane < bs; ++lane) {
+          const VertexId u = verts[lane];
+          if (u < 0) continue;
+          const auto bd = best_delta[static_cast<std::size_t>(lane)];
+          const auto bc = best_comm[static_cast<std::size_t>(lane)];
+          if (bc >= 0 && bd > 0.0) {
+            apply_move(ctx, u, zeta[u], bc,
+                       (*ctx.vertex_volume)[static_cast<std::size_t>(u)]);
+            ++local_moves;
+          }
+        }
+
+        for (const std::int32_t key : touched) table[static_cast<std::size_t>(key)] = 0.0f;
+        touched.clear();
+      }
+      tally.flush();
+      moves.fetch_add(local_moves, std::memory_order_relaxed);
+    });
+
+    ++stats.iterations;
+    stats.total_moves += moves.load();
+    if (moves.load() == 0) break;
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace vgp::community

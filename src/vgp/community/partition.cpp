@@ -1,0 +1,69 @@
+#include "vgp/community/partition.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vgp::community {
+
+std::vector<CommunityId> singleton_partition(std::int64_t n) {
+  std::vector<CommunityId> zeta(static_cast<std::size_t>(n));
+  std::iota(zeta.begin(), zeta.end(), 0);
+  return zeta;
+}
+
+std::int64_t compact_labels(std::vector<CommunityId>& zeta) {
+  std::unordered_map<CommunityId, CommunityId> remap;
+  remap.reserve(zeta.size() / 4 + 1);
+  CommunityId next = 0;
+  for (auto& z : zeta) {
+    const auto [it, inserted] = remap.try_emplace(z, next);
+    if (inserted) ++next;
+    z = it->second;
+  }
+  return next;
+}
+
+std::int64_t count_communities(const std::vector<CommunityId>& zeta) {
+  std::unordered_map<CommunityId, bool> seen;
+  seen.reserve(zeta.size() / 4 + 1);
+  for (CommunityId z : zeta) seen.try_emplace(z, true);
+  return static_cast<std::int64_t>(seen.size());
+}
+
+std::vector<std::int64_t> community_sizes(const std::vector<CommunityId>& zeta,
+                                          std::int64_t k) {
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(k), 0);
+  for (CommunityId z : zeta) {
+    if (z < 0 || z >= k) throw std::out_of_range("community label not compact");
+    ++sizes[static_cast<std::size_t>(z)];
+  }
+  return sizes;
+}
+
+std::vector<double> community_volumes(const Graph& g,
+                                      const std::vector<CommunityId>& zeta,
+                                      std::int64_t k) {
+  std::vector<double> vol(static_cast<std::size_t>(k), 0.0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const CommunityId z = zeta[static_cast<std::size_t>(u)];
+    if (z < 0 || z >= k) throw std::out_of_range("community label not compact");
+    vol[static_cast<std::size_t>(z)] += g.volume(u);
+  }
+  return vol;
+}
+
+bool same_partition(const std::vector<CommunityId>& a,
+                    const std::vector<CommunityId>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<CommunityId, CommunityId> fwd, rev;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto [fit, finserted] = fwd.try_emplace(a[i], b[i]);
+    if (!finserted && fit->second != b[i]) return false;
+    const auto [rit, rinserted] = rev.try_emplace(b[i], a[i]);
+    if (!rinserted && rit->second != a[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace vgp::community

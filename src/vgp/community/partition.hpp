@@ -1,0 +1,40 @@
+// Community partition bookkeeping shared by the Louvain and label
+// propagation implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::community {
+
+/// Community ids live in the same 32-bit space as vertex ids: a partition
+/// of an n-vertex graph always uses labels in [0, n), which is what lets
+/// the vector kernels gather/scatter affinity with epi32 indices.
+using CommunityId = std::int32_t;
+
+/// zeta(u) = u: every vertex in its own community.
+std::vector<CommunityId> singleton_partition(std::int64_t n);
+
+/// Renumbers labels to 0..k-1 (order of first appearance); returns k.
+std::int64_t compact_labels(std::vector<CommunityId>& zeta);
+
+/// Number of distinct labels (does not modify zeta).
+std::int64_t count_communities(const std::vector<CommunityId>& zeta);
+
+/// Size of each community; labels must already be compact (0..k-1).
+std::vector<std::int64_t> community_sizes(const std::vector<CommunityId>& zeta,
+                                          std::int64_t k);
+
+/// vol(C) = sum of vol(u) over members, as defined in the paper.
+std::vector<double> community_volumes(const Graph& g,
+                                      const std::vector<CommunityId>& zeta,
+                                      std::int64_t k);
+
+/// True when both partitions group the vertices identically (labels may
+/// differ; only the equivalence classes are compared).
+bool same_partition(const std::vector<CommunityId>& a,
+                    const std::vector<CommunityId>& b);
+
+}  // namespace vgp::community

@@ -1,0 +1,174 @@
+#include "vgp/community/quality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace vgp::community {
+namespace {
+
+void check_sizes(const Graph& g, const std::vector<CommunityId>& zeta) {
+  if (zeta.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("quality metric: partition size mismatch");
+}
+
+/// n*(n-1)/2 without overflow for the counts seen here.
+double pairs(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double coverage(const Graph& g, const std::vector<CommunityId>& zeta) {
+  check_sizes(g, zeta);
+  const double omega = g.total_edge_weight();
+  if (omega <= 0.0) return 1.0;
+
+  double intra = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto zu = zeta[static_cast<std::size_t>(u)];
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (zeta[static_cast<std::size_t>(v)] != zu) continue;
+      if (v == u || v > u) intra += ws[i];
+    }
+  }
+  return intra / omega;
+}
+
+double conductance(const Graph& g, const std::vector<CommunityId>& zeta,
+                   CommunityId c) {
+  check_sizes(g, zeta);
+  double cut = 0.0, vol_in = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (zeta[static_cast<std::size_t>(u)] != c) continue;
+    vol_in += g.volume(u);
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (zeta[static_cast<std::size_t>(nbrs[i])] != c) cut += ws[i];
+    }
+  }
+  const double vol_out = 2.0 * g.total_edge_weight() - vol_in;
+  const double denom = std::min(vol_in, vol_out);
+  if (denom <= 0.0) return 0.0;
+  return cut / denom;
+}
+
+ConductanceSummary conductance_summary(const Graph& g,
+                                       const std::vector<CommunityId>& zeta,
+                                       std::int64_t k) {
+  check_sizes(g, zeta);
+  ConductanceSummary s;
+  if (k <= 0) return s;
+
+  // Single pass: cut and volume per community.
+  std::vector<double> cut(static_cast<std::size_t>(k), 0.0);
+  std::vector<double> vol(static_cast<std::size_t>(k), 0.0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto zu = zeta[static_cast<std::size_t>(u)];
+    if (zu < 0 || zu >= k) throw std::out_of_range("labels not compact");
+    vol[static_cast<std::size_t>(zu)] += g.volume(u);
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (zeta[static_cast<std::size_t>(nbrs[i])] != zu)
+        cut[static_cast<std::size_t>(zu)] += ws[i];
+    }
+  }
+
+  const double total_vol = 2.0 * g.total_edge_weight();
+  s.min = 1.0;
+  s.max = 0.0;
+  double sum = 0.0, wsum = 0.0, wtotal = 0.0;
+  for (std::int64_t c = 0; c < k; ++c) {
+    const double denom =
+        std::min(vol[static_cast<std::size_t>(c)], total_vol - vol[static_cast<std::size_t>(c)]);
+    const double phi = denom > 0.0 ? cut[static_cast<std::size_t>(c)] / denom : 0.0;
+    s.min = std::min(s.min, phi);
+    s.max = std::max(s.max, phi);
+    sum += phi;
+    wsum += phi * vol[static_cast<std::size_t>(c)];
+    wtotal += vol[static_cast<std::size_t>(c)];
+  }
+  s.mean = sum / static_cast<double>(k);
+  s.weighted_mean = wtotal > 0.0 ? wsum / wtotal : 0.0;
+  return s;
+}
+
+double adjusted_rand_index(const std::vector<CommunityId>& a,
+                           const std::vector<CommunityId>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("ARI: size mismatch");
+  const auto n = static_cast<double>(a.size());
+  if (a.empty()) return 1.0;
+
+  // Contingency table over (label_a, label_b) pairs.
+  std::unordered_map<std::uint64_t, std::int64_t> joint;
+  std::unordered_map<CommunityId, std::int64_t> ca, cb;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a[i])) << 32) |
+        static_cast<std::uint32_t>(b[i]);
+    ++joint[key];
+    ++ca[a[i]];
+    ++cb[b[i]];
+  }
+
+  double sum_joint = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [k, v] : joint) sum_joint += pairs(static_cast<double>(v));
+  for (const auto& [k, v] : ca) sum_a += pairs(static_cast<double>(v));
+  for (const auto& [k, v] : cb) sum_b += pairs(static_cast<double>(v));
+
+  const double total = pairs(n);
+  const double expected = sum_a * sum_b / total;
+  const double max_index = (sum_a + sum_b) / 2.0;
+  if (max_index == expected) return 1.0;  // both trivial partitions
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+double normalized_mutual_information(const std::vector<CommunityId>& a,
+                                     const std::vector<CommunityId>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("NMI: size mismatch");
+  if (a.empty()) return 1.0;
+  const auto n = static_cast<double>(a.size());
+
+  std::unordered_map<std::uint64_t, std::int64_t> joint;
+  std::unordered_map<CommunityId, std::int64_t> ca, cb;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a[i])) << 32) |
+        static_cast<std::uint32_t>(b[i]);
+    ++joint[key];
+    ++ca[a[i]];
+    ++cb[b[i]];
+  }
+
+  const auto entropy = [n](const auto& counts) {
+    double h = 0.0;
+    for (const auto& [k, v] : counts) {
+      const double p = static_cast<double>(v) / n;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(ca);
+  const double hb = entropy(cb);
+
+  double mi = 0.0;
+  for (const auto& [key, v] : joint) {
+    const auto la = static_cast<CommunityId>(key >> 32);
+    const auto lb = static_cast<CommunityId>(key & 0xFFFFFFFFu);
+    const double pxy = static_cast<double>(v) / n;
+    const double px = static_cast<double>(ca[la]) / n;
+    const double py = static_cast<double>(cb[lb]) / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+
+  const double norm = (ha + hb) / 2.0;
+  if (norm <= 0.0) return 1.0;  // both partitions trivial
+  return std::max(0.0, std::min(1.0, mi / norm));
+}
+
+}  // namespace vgp::community

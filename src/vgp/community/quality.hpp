@@ -1,0 +1,49 @@
+// Partition quality metrics beyond modularity.
+//
+// Used by the tests (agreement with planted ground truth), the examples
+// (community profiling), and anyone evaluating the detected communities:
+//   * coverage            — intra-community edge weight fraction;
+//   * conductance         — per-community cut quality (plus aggregates);
+//   * adjusted Rand index — chance-corrected agreement of two partitions;
+//   * normalized mutual information — information-theoretic agreement.
+#pragma once
+
+#include <vector>
+
+#include "vgp/community/partition.hpp"
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::community {
+
+/// Fraction of total edge weight that falls inside communities (self-loops
+/// count as intra). In [0, 1]; 1 for the all-in-one partition.
+double coverage(const Graph& g, const std::vector<CommunityId>& zeta);
+
+/// Conductance of one community C: cut(C, V\C) / min(vol(C), vol(V\C)).
+/// 0 = perfectly separated, 1 = all edges leave. Returns 0 for an empty
+/// or full community (no meaningful cut).
+double conductance(const Graph& g, const std::vector<CommunityId>& zeta,
+                   CommunityId c);
+
+struct ConductanceSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;          // unweighted over communities
+  double weighted_mean = 0.0; // weighted by community volume
+};
+
+/// Conductance over all communities of a compact-labeled partition.
+ConductanceSummary conductance_summary(const Graph& g,
+                                       const std::vector<CommunityId>& zeta,
+                                       std::int64_t k);
+
+/// Adjusted Rand index between two labelings of the same vertex set.
+/// 1 = identical grouping, ~0 = random agreement; can be negative.
+double adjusted_rand_index(const std::vector<CommunityId>& a,
+                           const std::vector<CommunityId>& b);
+
+/// Normalized mutual information (arithmetic normalization) in [0, 1].
+double normalized_mutual_information(const std::vector<CommunityId>& a,
+                                     const std::vector<CommunityId>& b);
+
+}  // namespace vgp::community

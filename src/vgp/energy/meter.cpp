@@ -1,0 +1,21 @@
+#include "vgp/energy/meter.hpp"
+
+namespace vgp::energy {
+
+// Defined in rapl.cpp / model.cpp.
+std::unique_ptr<EnergyMeter> make_rapl_meter();
+std::unique_ptr<EnergyMeter> make_model_meter();
+
+std::unique_ptr<EnergyMeter> make_meter(MeterKind kind) {
+  switch (kind) {
+    case MeterKind::Rapl:
+      return make_rapl_meter();
+    case MeterKind::Model:
+      return make_model_meter();
+    case MeterKind::Auto:
+      return rapl_available() ? make_rapl_meter() : make_model_meter();
+  }
+  return make_model_meter();
+}
+
+}  // namespace vgp::energy

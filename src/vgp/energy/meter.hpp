@@ -1,0 +1,52 @@
+// Energy measurement for the paper's energy-consumption figure.
+//
+// The paper reads RAPL (Running Average Power Limit) counters. When the
+// host exposes them (/sys/class/powercap/intel-rapl*), RaplMeter reports
+// real package energy. Inside containers without powercap — like this
+// reproduction environment — ModelMeter substitutes a calibrated
+// instruction-energy model driven by the kernels' operation counters
+// (vgp/support/opcount.hpp): energy = static power x wall time + per-op
+// dynamic costs. The model embodies the paper's own explanation of the
+// effect ("vector instructions ... decrease the number of instructions
+// that need to be decoded, which can translate into energy gains").
+// See DESIGN.md Substitutions.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace vgp::energy {
+
+struct EnergySample {
+  double joules = 0.0;
+  double seconds = 0.0;
+  bool valid = false;
+  std::string source;  // "rapl" or "model"
+
+  double watts() const { return seconds > 0.0 ? joules / seconds : 0.0; }
+};
+
+class EnergyMeter {
+ public:
+  virtual ~EnergyMeter() = default;
+  virtual void start() = 0;
+  virtual EnergySample stop() = 0;
+};
+
+enum class MeterKind { Auto, Rapl, Model };
+
+/// True when RAPL powercap counters are readable on this machine.
+bool rapl_available();
+
+/// Auto: Rapl when available, else Model. Never returns nullptr.
+std::unique_ptr<EnergyMeter> make_meter(MeterKind kind = MeterKind::Auto);
+
+/// Measures fn() and returns the sample (convenience wrapper).
+template <typename Fn>
+EnergySample measure(EnergyMeter& meter, Fn&& fn) {
+  meter.start();
+  fn();
+  return meter.stop();
+}
+
+}  // namespace vgp::energy

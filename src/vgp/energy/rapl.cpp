@@ -1,0 +1,92 @@
+// RAPL energy meter: sums all intel-rapl package domains via the powercap
+// sysfs interface, handling counter wraparound with max_energy_range_uj.
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vgp/energy/meter.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp::energy {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RaplDomain {
+  fs::path energy_file;
+  double max_range_uj = 0.0;
+  double start_uj = 0.0;
+};
+
+std::vector<RaplDomain> discover_domains() {
+  std::vector<RaplDomain> domains;
+  const fs::path root("/sys/class/powercap");
+  std::error_code ec;
+  if (!fs::exists(root, ec)) return domains;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const auto name = entry.path().filename().string();
+    // Package-level domains look like intel-rapl:0; subdomains like
+    // intel-rapl:0:0 would double-count, so skip them.
+    if (name.rfind("intel-rapl:", 0) != 0) continue;
+    if (name.find(':') != name.rfind(':')) continue;
+    RaplDomain d;
+    d.energy_file = entry.path() / "energy_uj";
+    std::ifstream range(entry.path() / "max_energy_range_uj");
+    if (!(range >> d.max_range_uj)) d.max_range_uj = 0.0;
+    std::ifstream probe(d.energy_file);
+    double v = 0.0;
+    if (probe >> v) domains.push_back(d);
+  }
+  return domains;
+}
+
+double read_uj(const fs::path& p) {
+  std::ifstream in(p);
+  double v = 0.0;
+  in >> v;
+  return v;
+}
+
+class RaplMeter final : public EnergyMeter {
+ public:
+  RaplMeter() : domains_(discover_domains()) {}
+
+  void start() override {
+    for (auto& d : domains_) d.start_uj = read_uj(d.energy_file);
+    timer_.reset();
+  }
+
+  EnergySample stop() override {
+    EnergySample s;
+    s.seconds = timer_.seconds();
+    s.source = "rapl";
+    if (domains_.empty()) return s;
+    double total_uj = 0.0;
+    for (const auto& d : domains_) {
+      double delta = read_uj(d.energy_file) - d.start_uj;
+      if (delta < 0.0 && d.max_range_uj > 0.0) delta += d.max_range_uj;
+      total_uj += delta;
+    }
+    s.joules = total_uj * 1e-6;
+    s.valid = true;
+    return s;
+  }
+
+ private:
+  std::vector<RaplDomain> domains_;
+  WallTimer timer_;
+};
+
+}  // namespace
+
+bool rapl_available() {
+  static const bool available = !discover_domains().empty();
+  return available;
+}
+
+std::unique_ptr<EnergyMeter> make_rapl_meter() {
+  return std::make_unique<RaplMeter>();
+}
+
+}  // namespace vgp::energy

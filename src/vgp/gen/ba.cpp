@@ -1,0 +1,53 @@
+#include "vgp/gen/ba.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::gen {
+
+Graph barabasi_albert(std::int64_t n, int m_attach, std::uint64_t seed) {
+  if (m_attach < 1) throw std::invalid_argument("barabasi_albert: m < 1");
+  if (n <= m_attach)
+    throw std::invalid_argument("barabasi_albert: n must exceed m");
+
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(m_attach));
+
+  // `targets` holds one entry per edge endpoint, so sampling a uniform
+  // element IS degree-proportional sampling (the classic trick).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * edges.capacity());
+
+  // Seed clique over the first m_attach+1 vertices.
+  for (VertexId u = 0; u <= m_attach; ++u) {
+    for (VertexId v = static_cast<VertexId>(u + 1); v <= m_attach; ++v) {
+      edges.push_back({u, v, 1.0f});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> picks;
+  for (VertexId u = static_cast<VertexId>(m_attach + 1); u < n; ++u) {
+    picks.clear();
+    while (static_cast<int>(picks.size()) < m_attach) {
+      const VertexId t =
+          endpoints[rng.bounded(static_cast<std::uint64_t>(endpoints.size()))];
+      if (t == u) continue;
+      bool dup = false;
+      for (VertexId p : picks) dup = dup || (p == t);
+      if (!dup) picks.push_back(t);
+    }
+    for (VertexId t : picks) {
+      edges.push_back({u, t, 1.0f});
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace vgp::gen

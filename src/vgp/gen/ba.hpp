@@ -1,0 +1,17 @@
+// Barabási–Albert preferential attachment: power-law degree distribution
+// with a heavy hub tail, the stand-in profile for the paper's social and
+// web graphs (Oregon-2, loc-Gowalla, in-2004, uk-2002) whose max degrees
+// reach 195k while the average stays below 30.
+#pragma once
+
+#include <cstdint>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+/// n vertices; each new vertex attaches `m_attach` edges to existing
+/// vertices chosen proportionally to their current degree.
+Graph barabasi_albert(std::int64_t n, int m_attach, std::uint64_t seed);
+
+}  // namespace vgp::gen

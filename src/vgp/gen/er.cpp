@@ -1,0 +1,41 @@
+#include "vgp/gen/er.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::gen {
+
+Graph erdos_renyi(std::int64_t n, std::int64_t m, std::uint64_t seed,
+                  float weight_lo, float weight_hi) {
+  if (n < 0) throw std::invalid_argument("erdos_renyi: negative n");
+  const std::int64_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges)
+    throw std::invalid_argument("erdos_renyi: too many edges requested");
+
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  used.reserve(static_cast<std::size_t>(m) * 2);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+
+  while (static_cast<std::int64_t>(edges.size()) < m) {
+    auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+        static_cast<std::uint32_t>(v);
+    if (!used.insert(key).second) continue;
+    const float w = weight_lo == weight_hi
+                        ? weight_lo
+                        : rng.uniform_weight(weight_lo, weight_hi);
+    edges.push_back({u, v, w});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace vgp::gen

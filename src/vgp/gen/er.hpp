@@ -1,0 +1,15 @@
+// Erdős–Rényi G(n, M): exactly M distinct undirected edges drawn uniformly
+// at random. Used by the property tests as a structureless control graph.
+#pragma once
+
+#include <cstdint>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+/// Throws std::invalid_argument when M exceeds n*(n-1)/2.
+Graph erdos_renyi(std::int64_t n, std::int64_t m, std::uint64_t seed,
+                  float weight_lo = 1.0f, float weight_hi = 1.0f);
+
+}  // namespace vgp::gen

@@ -1,0 +1,58 @@
+#include "vgp/gen/lattice.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::gen {
+
+Graph grid2d(std::int64_t rows, std::int64_t cols, float weight) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid2d: empty grid");
+  const std::int64_t n = rows * cols;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(2 * n));
+  const auto id = [cols](std::int64_t r, std::int64_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), weight});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), weight});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph road_like(const RoadLikeParams& p) {
+  if (p.rows < 2 || p.cols < 2)
+    throw std::invalid_argument("road_like: grid too small");
+  if (p.keep_prob <= 0.0 || p.keep_prob > 1.0)
+    throw std::invalid_argument("road_like: keep_prob out of (0,1]");
+
+  const std::int64_t n = p.rows * p.cols;
+  Xoshiro256 rng(p.seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(static_cast<double>(2 * n) * p.keep_prob));
+  const auto id = [&](std::int64_t r, std::int64_t c) {
+    return static_cast<VertexId>(r * p.cols + c);
+  };
+  for (std::int64_t r = 0; r < p.rows; ++r) {
+    for (std::int64_t c = 0; c < p.cols; ++c) {
+      if (c + 1 < p.cols && rng.uniform() < p.keep_prob)
+        edges.push_back({id(r, c), id(r, c + 1), 1.0f});
+      if (r + 1 < p.rows && rng.uniform() < p.keep_prob)
+        edges.push_back({id(r, c), id(r + 1, c), 1.0f});
+    }
+  }
+  const auto shortcuts =
+      static_cast<std::int64_t>(static_cast<double>(n) / 1e4 * p.shortcut_per_10k);
+  for (std::int64_t k = 0; k < shortcuts; ++k) {
+    const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    if (u != v) edges.push_back({u, v, 1.0f});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace vgp::gen

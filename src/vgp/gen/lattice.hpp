@@ -1,0 +1,31 @@
+// Lattice-family generators: plain 2-D grids and "road-network-like"
+// graphs. The paper's road graphs (asia, europe, germany, belgium,
+// netherlands, luxembourg, roadNet-PA) have average degree ~2-3, tiny
+// maximum degree, and huge diameter; a sparsified perturbed lattice has
+// the same signature.
+#pragma once
+
+#include <cstdint>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+/// rows x cols 4-neighbor grid. Degree 2..4, avg -> 4 for large grids.
+Graph grid2d(std::int64_t rows, std::int64_t cols, float weight = 1.0f);
+
+struct RoadLikeParams {
+  std::int64_t rows = 1000;
+  std::int64_t cols = 1000;
+  /// Probability of *keeping* each lattice edge; 0.55-0.65 yields the
+  /// avg degree ~2.2-2.6 of DIMACS road graphs.
+  double keep_prob = 0.6;
+  /// A few long-range shortcuts per 10k vertices, like highways.
+  double shortcut_per_10k = 3.0;
+  std::uint64_t seed = 7;
+};
+
+/// Sparsified lattice with rare shortcuts: road-network stand-in.
+Graph road_like(const RoadLikeParams& p);
+
+}  // namespace vgp::gen

@@ -1,0 +1,79 @@
+#include "vgp/gen/mesh.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::gen {
+
+Graph triangulated_mesh(const MeshParams& p) {
+  if (p.rows < 2 || p.cols < 2)
+    throw std::invalid_argument("triangulated_mesh: grid too small");
+  const std::int64_t n = p.rows * p.cols;
+  Xoshiro256 rng(p.seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(3 * n));
+  const auto id = [&](std::int64_t r, std::int64_t c) {
+    return static_cast<VertexId>(r * p.cols + c);
+  };
+  for (std::int64_t r = 0; r < p.rows; ++r) {
+    for (std::int64_t c = 0; c < p.cols; ++c) {
+      if (c + 1 < p.cols) edges.push_back({id(r, c), id(r, c + 1), 1.0f});
+      if (r + 1 < p.rows) edges.push_back({id(r, c), id(r + 1, c), 1.0f});
+      if (r + 1 < p.rows && c + 1 < p.cols) {
+        // One diagonal per cell; flip direction randomly for irregularity.
+        if (rng.uniform() < p.flip_prob) {
+          edges.push_back({id(r, c + 1), id(r + 1, c), 1.0f});
+        } else {
+          edges.push_back({id(r, c), id(r + 1, c + 1), 1.0f});
+        }
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph quasi_regular_3d(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                       int target_avg_degree, std::uint64_t seed) {
+  if (nx < 2 || ny < 2 || nz < 1)
+    throw std::invalid_argument("quasi_regular_3d: lattice too small");
+  if (target_avg_degree < 6 || target_avg_degree > 30)
+    throw std::invalid_argument("quasi_regular_3d: target degree out of 6..30");
+
+  const std::int64_t n = nx * ny * nz;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  const auto id = [&](std::int64_t x, std::int64_t y, std::int64_t z) {
+    return static_cast<VertexId>((z * ny + y) * nx + x);
+  };
+  for (std::int64_t z = 0; z < nz; ++z) {
+    for (std::int64_t y = 0; y < ny; ++y) {
+      for (std::int64_t x = 0; x < nx; ++x) {
+        if (x + 1 < nx) edges.push_back({id(x, y, z), id(x + 1, y, z), 1.0f});
+        if (y + 1 < ny) edges.push_back({id(x, y, z), id(x, y + 1, z), 1.0f});
+        if (z + 1 < nz) edges.push_back({id(x, y, z), id(x, y, z + 1), 1.0f});
+      }
+    }
+  }
+  // The 6-neighbor lattice gives avg degree ~6; add uniform-random local
+  // diagonals (within a 2-step neighborhood) until the target is reached.
+  // Locality keeps the max degree close to the average.
+  const std::int64_t want =
+      n * target_avg_degree / 2 - static_cast<std::int64_t>(edges.size());
+  for (std::int64_t k = 0; k < want; ++k) {
+    const auto x = static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(nx)));
+    const auto y = static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(ny)));
+    const auto z = static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(nz)));
+    const auto dx = static_cast<std::int64_t>(rng.bounded(5)) - 2;
+    const auto dy = static_cast<std::int64_t>(rng.bounded(5)) - 2;
+    const auto dz = nz > 1 ? static_cast<std::int64_t>(rng.bounded(3)) - 1 : 0;
+    const std::int64_t x2 = x + dx, y2 = y + dy, z2 = z + dz;
+    if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || z2 < 0 || z2 >= nz) continue;
+    if (x2 == x && y2 == y && z2 == z) continue;
+    edges.push_back({id(x, y, z), id(x2, y2, z2), 1.0f});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace vgp::gen

@@ -1,0 +1,33 @@
+// Triangulated-mesh generator. DIMACS mesh graphs (333SP, AS365, M6,
+// NACA0015, NLR, delaunay_nXX) are 2-D triangulations: avg degree ~5-6,
+// max degree bounded, degrees tightly concentrated — the regime where OVPL
+// wins. A structured grid split into triangles (with optional jitter edges
+// removed/added) reproduces exactly that degree profile.
+#pragma once
+
+#include <cstdint>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+struct MeshParams {
+  std::int64_t rows = 500;
+  std::int64_t cols = 500;
+  /// Fraction of diagonal edges randomly flipped to the other diagonal;
+  /// breaks the perfect regularity like a real Delaunay triangulation.
+  double flip_prob = 0.3;
+  std::uint64_t seed = 11;
+};
+
+/// Triangulated grid: 4-neighbor lattice plus one diagonal per cell.
+/// Interior degree is 6 (like a Delaunay mesh of random points).
+Graph triangulated_mesh(const MeshParams& p);
+
+/// Quasi-regular "sparse matrix" stand-in (kkt_power / nlpkkt200 rows):
+/// a 3-D 6-neighbor lattice with extra intra-plane diagonals to reach the
+/// requested average degree (up to ~26).
+Graph quasi_regular_3d(std::int64_t nx, std::int64_t ny, std::int64_t nz,
+                       int target_avg_degree, std::uint64_t seed);
+
+}  // namespace vgp::gen

@@ -1,0 +1,61 @@
+#include "vgp/gen/planted.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::gen {
+
+PlantedGraph planted_partition(const PlantedParams& p) {
+  if (p.communities < 1 || p.vertices_per_community < 2)
+    throw std::invalid_argument("planted_partition: degenerate sizes");
+
+  const std::int64_t n = p.communities * p.vertices_per_community;
+  const std::int64_t intra_edges = static_cast<std::int64_t>(
+      static_cast<double>(n) * p.intra_degree / 2.0);
+  const std::int64_t inter_edges = static_cast<std::int64_t>(
+      static_cast<double>(n) * p.inter_degree / 2.0);
+
+  Xoshiro256 rng(p.seed);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(intra_edges + inter_edges));
+
+  const auto try_add = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+        static_cast<std::uint32_t>(v);
+    if (!used.insert(key).second) return false;
+    edges.push_back({u, v, 1.0f});
+    return true;
+  };
+
+  const auto npc = static_cast<std::uint64_t>(p.vertices_per_community);
+  for (std::int64_t k = 0; k < intra_edges;) {
+    const auto c = rng.bounded(static_cast<std::uint64_t>(p.communities));
+    const auto base = static_cast<std::int64_t>(c) * p.vertices_per_community;
+    const auto u = static_cast<VertexId>(base + static_cast<std::int64_t>(rng.bounded(npc)));
+    const auto v = static_cast<VertexId>(base + static_cast<std::int64_t>(rng.bounded(npc)));
+    if (try_add(u, v)) ++k;
+  }
+  for (std::int64_t k = 0; k < inter_edges;) {
+    const auto u = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+    if (u / p.vertices_per_community == v / p.vertices_per_community) continue;
+    if (try_add(u, v)) ++k;
+  }
+
+  PlantedGraph out;
+  out.graph = Graph::from_edges(n, edges);
+  out.truth.resize(static_cast<std::size_t>(n));
+  for (std::int64_t u = 0; u < n; ++u) {
+    out.truth[static_cast<std::size_t>(u)] =
+        static_cast<std::int32_t>(u / p.vertices_per_community);
+  }
+  return out;
+}
+
+}  // namespace vgp::gen

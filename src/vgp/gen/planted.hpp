@@ -1,0 +1,32 @@
+// Planted-partition graphs (stochastic block model, equal-size blocks).
+// These have a known ground-truth community structure, used to verify the
+// community-detection kernels recover high-modularity solutions and that
+// scalar and vectorized variants agree on quality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+struct PlantedParams {
+  std::int64_t communities = 16;
+  std::int64_t vertices_per_community = 256;
+  /// Expected intra-community degree per vertex.
+  double intra_degree = 12.0;
+  /// Expected inter-community degree per vertex.
+  double inter_degree = 2.0;
+  std::uint64_t seed = 5;
+};
+
+struct PlantedGraph {
+  Graph graph;
+  /// Ground-truth community of each vertex.
+  std::vector<std::int32_t> truth;
+};
+
+PlantedGraph planted_partition(const PlantedParams& p);
+
+}  // namespace vgp::gen

@@ -1,0 +1,103 @@
+#include "vgp/gen/rmat.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::gen {
+
+RmatParams rmat_mix_flat(int scale, int edge_factor) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.a = 0.33;
+  p.b = 0.33;
+  p.c = 0.33;
+  p.d = 0.01;
+  return p;
+}
+
+RmatParams rmat_mix_skewed(int scale, int edge_factor) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.a = 0.40;
+  p.b = 0.30;
+  p.c = 0.20;
+  p.d = 0.10;
+  return p;
+}
+
+RmatParams rmat_mix_graph500(int scale, int edge_factor) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.a = 0.57;
+  p.b = 0.19;
+  p.c = 0.19;
+  p.d = 0.05;
+  return p;
+}
+
+Graph rmat(const RmatParams& p) {
+  if (p.scale < 1 || p.scale > 30)
+    throw std::invalid_argument("rmat: scale out of range");
+  if (p.edge_factor < 1) throw std::invalid_argument("rmat: edge_factor < 1");
+  const double psum = p.a + p.b + p.c + p.d;
+  if (psum < 0.999 || psum > 1.001)
+    throw std::invalid_argument("rmat: probabilities must sum to 1");
+
+  const std::int64_t n = 1ll << p.scale;
+  const std::int64_t m = static_cast<std::int64_t>(p.edge_factor) * n;
+
+  Xoshiro256 rng(p.seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+
+  for (std::int64_t k = 0; k < m; ++k) {
+    std::int64_t row = 0, col = 0;
+    for (int level = 0; level < p.scale; ++level) {
+      // Jitter the quadrant probabilities per level so repeated descents
+      // do not concentrate on one diagonal cell (Graph500-style noise).
+      double a = p.a, b = p.b, c = p.c, d = p.d;
+      if (p.noise > 0.0) {
+        const double na = 1.0 + p.noise * (2.0 * rng.uniform() - 1.0);
+        const double nb = 1.0 + p.noise * (2.0 * rng.uniform() - 1.0);
+        const double nc = 1.0 + p.noise * (2.0 * rng.uniform() - 1.0);
+        const double nd = 1.0 + p.noise * (2.0 * rng.uniform() - 1.0);
+        a *= na;
+        b *= nb;
+        c *= nc;
+        d *= nd;
+        const double s = a + b + c + d;
+        a /= s;
+        b /= s;
+        c /= s;
+        d /= s;
+      }
+      const double r = rng.uniform();
+      row <<= 1;
+      col <<= 1;
+      if (r < a) {
+        // top-left: nothing to add
+      } else if (r < a + b) {
+        col |= 1;
+      } else if (r < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row == col) continue;  // drop self-loops
+    const float w = p.weight_lo == p.weight_hi
+                        ? p.weight_lo
+                        : rng.uniform_weight(p.weight_lo, p.weight_hi);
+    edges.push_back({static_cast<VertexId>(row), static_cast<VertexId>(col), w});
+  }
+
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace vgp::gen

@@ -1,0 +1,43 @@
+// R-MAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos
+// 2004), parameterized exactly as the paper's Table 2:
+//   scale        -> 2^scale vertices
+//   edge_factor  -> edge_factor * 2^scale undirected edges
+//   (a, b, c, d) -> quadrant probabilities, a+b+c+d = 1
+// The paper sweeps scale in 17..24, edge-factor in 1..128 and three
+// probability mixes: (33,33,33,1), (40,30,20,10), (57,19,19,5).
+#pragma once
+
+#include <cstdint>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+struct RmatParams {
+  int scale = 16;
+  int edge_factor = 8;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Per-level probability jitter, as in the Graph500 reference generator;
+  /// 0 disables it.
+  double noise = 0.1;
+  std::uint64_t seed = 1;
+  /// Weight range for generated edges (uniform).
+  float weight_lo = 1.0f;
+  float weight_hi = 1.0f;
+};
+
+/// Table 2's three probability mixes.
+RmatParams rmat_mix_flat(int scale, int edge_factor);     // a=33,b=33,c=33,d=1
+RmatParams rmat_mix_skewed(int scale, int edge_factor);   // a=40,b=30,c=20,d=10
+RmatParams rmat_mix_graph500(int scale, int edge_factor); // a=57,b=19,c=19,d=5
+
+/// Generates the graph. Self-loops are dropped, parallel edges merged by
+/// the CSR builder, so the realized edge count is slightly below
+/// edge_factor * 2^scale (more so for dense, skewed mixes) — same as the
+/// reference R-MAT behavior.
+Graph rmat(const RmatParams& p);
+
+}  // namespace vgp::gen

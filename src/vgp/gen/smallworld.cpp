@@ -1,0 +1,38 @@
+#include "vgp/gen/smallworld.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::gen {
+
+Graph watts_strogatz(std::int64_t n, int k, double beta, std::uint64_t seed) {
+  if (n < 4) throw std::invalid_argument("watts_strogatz: n too small");
+  if (k < 1 || 2 * k >= n)
+    throw std::invalid_argument("watts_strogatz: k out of range");
+  if (beta < 0.0 || beta > 1.0)
+    throw std::invalid_argument("watts_strogatz: beta out of [0,1]");
+
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (int j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.uniform() < beta) {
+        // Rewire the far endpoint to a uniform random vertex (!= u). The
+        // CSR builder merges any duplicate this creates.
+        VertexId w;
+        do {
+          w = static_cast<VertexId>(rng.bounded(static_cast<std::uint64_t>(n)));
+        } while (w == u);
+        v = w;
+      }
+      edges.push_back({static_cast<VertexId>(u), v, 1.0f});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace vgp::gen

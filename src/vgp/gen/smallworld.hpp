@@ -1,0 +1,17 @@
+// Watts–Strogatz small-world graphs: ring lattice with rewired edges.
+// Used by tests (high clustering, known degree sum) and as an extra
+// community-structure workload.
+#pragma once
+
+#include <cstdint>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+/// n vertices on a ring, each connected to its k nearest neighbors on each
+/// side (degree 2k before rewiring); each edge is rewired to a random
+/// endpoint with probability beta.
+Graph watts_strogatz(std::int64_t n, int k, double beta, std::uint64_t seed);
+
+}  // namespace vgp::gen

@@ -1,0 +1,146 @@
+#include "vgp/gen/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "vgp/gen/ba.hpp"
+#include "vgp/gen/lattice.hpp"
+#include "vgp/gen/mesh.hpp"
+#include "vgp/gen/rmat.hpp"
+
+namespace vgp::gen {
+namespace {
+
+// Scale factor applied to the linear dimension of each stand-in. At
+// Large the vertex counts are within ~4x of the paper's originals for the
+// small graphs and capped for the gigantic ones (europe: 50.9M vertices is
+// out of scope for a single-core CI box).
+double linear_scale(SuiteScale s) {
+  switch (s) {
+    case SuiteScale::Tiny: return 0.25;
+    case SuiteScale::Small: return 1.0;
+    case SuiteScale::Medium: return 2.0;
+    case SuiteScale::Large: return 4.0;
+  }
+  return 1.0;
+}
+
+std::int64_t dim(std::int64_t base, SuiteScale s) {
+  return std::max<std::int64_t>(8, static_cast<std::int64_t>(
+                                       static_cast<double>(base) * linear_scale(s)));
+}
+
+int rmat_scale(int base, SuiteScale s) {
+  switch (s) {
+    case SuiteScale::Tiny: return base - 2;
+    case SuiteScale::Small: return base;
+    case SuiteScale::Medium: return base + 1;
+    case SuiteScale::Large: return base + 2;
+  }
+  return base;
+}
+
+Graph mesh_standin(std::int64_t base_dim, double flip, std::uint64_t seed,
+                   SuiteScale s) {
+  MeshParams p;
+  p.rows = dim(base_dim, s);
+  p.cols = dim(base_dim, s);
+  p.flip_prob = flip;
+  p.seed = seed;
+  return triangulated_mesh(p);
+}
+
+Graph road_standin(std::int64_t base_dim, double keep, std::uint64_t seed,
+                   SuiteScale s) {
+  RoadLikeParams p;
+  p.rows = dim(base_dim, s);
+  p.cols = dim(base_dim, s);
+  p.keep_prob = keep;
+  p.seed = seed;
+  return road_like(p);
+}
+
+}  // namespace
+
+SuiteScale parse_suite_scale(const std::string& name) {
+  if (name == "tiny") return SuiteScale::Tiny;
+  if (name == "small") return SuiteScale::Small;
+  if (name == "medium") return SuiteScale::Medium;
+  if (name == "large") return SuiteScale::Large;
+  throw std::invalid_argument("unknown suite scale: " + name +
+                              " (want tiny|small|medium|large)");
+}
+
+const std::vector<SuiteEntry>& table1_suite() {
+  static const std::vector<SuiteEntry> suite = [] {
+    std::vector<SuiteEntry> v;
+    // --- meshes (avg degree ~5, tight distribution) -----------------
+    v.push_back({"333SP", "mesh", true,
+                 [](SuiteScale s) { return mesh_standin(180, 0.35, 101, s); }});
+    v.push_back({"AS365", "mesh", true,
+                 [](SuiteScale s) { return mesh_standin(182, 0.30, 102, s); }});
+    v.push_back({"M6", "mesh", true,
+                 [](SuiteScale s) { return mesh_standin(175, 0.25, 103, s); }});
+    v.push_back({"NACA0015", "mesh", true,
+                 [](SuiteScale s) { return mesh_standin(96, 0.25, 104, s); }});
+    v.push_back({"NLR", "mesh", true,
+                 [](SuiteScale s) { return mesh_standin(190, 0.30, 105, s); }});
+    // --- power-law social / topology (huge max degree) --------------
+    v.push_back({"Oregon-2", "social", false, [](SuiteScale s) {
+                   return barabasi_albert(dim(11000, s), 3, 106);
+                 }});
+    v.push_back({"loc-Gowalla", "social", false, [](SuiteScale s) {
+                   return barabasi_albert(dim(50000, s), 5, 107);
+                 }});
+    // --- road networks (avg degree ~2) -------------------------------
+    v.push_back({"asia", "road", false,
+                 [](SuiteScale s) { return road_standin(320, 0.55, 108, s); }});
+    v.push_back({"belgium", "road", false,
+                 [](SuiteScale s) { return road_standin(110, 0.55, 109, s); }});
+    v.push_back({"europe", "road", false,
+                 [](SuiteScale s) { return road_standin(420, 0.55, 110, s); }});
+    v.push_back({"germany", "road", false,
+                 [](SuiteScale s) { return road_standin(310, 0.55, 111, s); }});
+    v.push_back({"luxembourg", "road", false,
+                 [](SuiteScale s) { return road_standin(48, 0.55, 112, s); }});
+    v.push_back({"netherlands", "road", false,
+                 [](SuiteScale s) { return road_standin(140, 0.55, 113, s); }});
+    v.push_back({"roadNet-PA", "road", false,
+                 [](SuiteScale s) { return road_standin(100, 0.62, 114, s); }});
+    // --- triangulations / quasi-regular matrices ----------------------
+    v.push_back({"delaunay_n24", "mesh", true,
+                 [](SuiteScale s) { return mesh_standin(260, 0.40, 115, s); }});
+    v.push_back({"kkt_power", "matrix", true, [](SuiteScale s) {
+                   return quasi_regular_3d(dim(36, s), dim(36, s), dim(24, s), 7, 116);
+                 }});
+    v.push_back({"nlpkkt200", "matrix", true, [](SuiteScale s) {
+                   return quasi_regular_3d(dim(28, s), dim(28, s), dim(20, s), 26, 117);
+                 }});
+    // --- web crawls (extreme hubs, avg degree ~20-28) -----------------
+    v.push_back({"in-2004", "web", false, [](SuiteScale s) {
+                   return rmat(rmat_mix_graph500(rmat_scale(15, s), 10));
+                 }});
+    v.push_back({"uk-2002", "web", false, [](SuiteScale s) {
+                   return rmat(rmat_mix_graph500(rmat_scale(16, s), 14));
+                 }});
+    return v;
+  }();
+  return suite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const auto& e : table1_suite()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("unknown suite graph: " + name);
+}
+
+std::vector<SuiteEntry> degree_balanced_suite() {
+  std::vector<SuiteEntry> out;
+  for (const auto& e : table1_suite()) {
+    if (e.degree_balanced) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace vgp::gen

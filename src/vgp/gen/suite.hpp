@@ -1,0 +1,42 @@
+// The benchmark suite: generated stand-ins for every graph in the paper's
+// Table 1 (SNAP/DIMACS are unavailable offline; see DESIGN.md
+// Substitutions). Each entry matches its original's *category* and degree
+// signature — road (avg deg ~2), mesh (avg deg 5, tight), power-law
+// social/web (huge max degree), quasi-regular matrix (avg deg 6-26) —
+// because those are the properties that drive the vectorization results.
+//
+// Sizes scale with SuiteScale: Small keeps the full harness fast enough
+// for CI on one core; Large approaches paper-magnitude vertex counts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::gen {
+
+enum class SuiteScale { Tiny, Small, Medium, Large };
+
+SuiteScale parse_suite_scale(const std::string& name);  // "tiny".."large"
+
+struct SuiteEntry {
+  std::string name;        // original Table 1 name
+  std::string category;    // road / mesh / social / web / matrix
+  /// True for the degree-balanced graphs the paper selects for the OVPL
+  /// figure (delaunay, nlpkkt, meshes).
+  bool degree_balanced = false;
+  std::function<Graph(SuiteScale)> make;
+};
+
+/// All 19 Table 1 stand-ins, in the paper's order.
+const std::vector<SuiteEntry>& table1_suite();
+
+/// Convenience: look up one entry by name; throws on unknown name.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// The subset used by Figure "OVPL selected graphs".
+std::vector<SuiteEntry> degree_balanced_suite();
+
+}  // namespace vgp::gen

@@ -1,0 +1,83 @@
+#include "vgp/graph/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace vgp::io {
+namespace {
+
+constexpr char kMagic[8] = {'V', 'G', 'P', 'B', 'I', 'N', '\1', '\n'};
+
+[[noreturn]] void bin_error(const std::string& what) {
+  throw std::runtime_error("binary graph: " + what);
+}
+
+template <typename T>
+void write_raw(std::ostream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_raw(std::istream& in, T* data, std::size_t count) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (static_cast<std::size_t>(in.gcount()) != count * sizeof(T))
+    bin_error("truncated file");
+}
+
+}  // namespace
+
+void write_binary(const Graph& g, std::ostream& out) {
+  write_raw(out, kMagic, sizeof(kMagic));
+  const std::int64_t n = g.num_vertices();
+  const std::uint64_t m = static_cast<std::uint64_t>(g.num_arcs());
+  write_raw(out, &n, 1);
+  write_raw(out, &m, 1);
+  write_raw(out, g.offsets_data(), static_cast<std::size_t>(n) + 1);
+  write_raw(out, g.adjacency_data(), m);
+  write_raw(out, g.weights_data(), m);
+  if (!out) bin_error("write failed");
+}
+
+Graph read_binary(std::istream& in) {
+  char magic[8];
+  read_raw(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    bin_error("bad magic (not a .vgpb file?)");
+
+  std::int64_t n = 0;
+  std::uint64_t m = 0;
+  read_raw(in, &n, 1);
+  read_raw(in, &m, 1);
+  if (n < 0 || m > (1ull << 40)) bin_error("implausible header sizes");
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1);
+  read_raw(in, offsets.data(), offsets.size());
+  if (offsets.front() != 0 || offsets.back() != m)
+    bin_error("inconsistent offsets");
+
+  std::vector<VertexId> adj(m);
+  std::vector<float> weights(m);
+  read_raw(in, adj.data(), m);
+  read_raw(in, weights.data(), m);
+
+  return Graph::from_csr(n, std::move(offsets), std::move(adj),
+                         std::move(weights));
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) bin_error("cannot open for writing: " + path);
+  write_binary(g, out);
+}
+
+Graph read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bin_error("cannot open: " + path);
+  return read_binary(in);
+}
+
+}  // namespace vgp::io

@@ -1,0 +1,29 @@
+// Fast binary graph format (.vgpb): raw little-endian dump of the CSR
+// arrays with a magic header and checksummed sizes. Loading a multi-
+// million-edge graph from text formats costs seconds of parsing; the
+// binary path is a single read per array, so the bench harness can cache
+// generated suites.
+//
+// Layout (all little-endian):
+//   8 bytes  magic "VGPBIN\1\n"
+//   i64      num_vertices
+//   u64      num_arcs (directed adjacency entries)
+//   u64[n+1] offsets
+//   i32[m]   adjacency
+//   f32[m]   weights
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::io {
+
+void write_binary(const Graph& g, std::ostream& out);
+Graph read_binary(std::istream& in);
+
+void write_binary_file(const Graph& g, const std::string& path);
+Graph read_binary_file(const std::string& path);
+
+}  // namespace vgp::io

@@ -1,0 +1,67 @@
+#include "vgp/graph/components.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vgp {
+
+Components connected_components(const Graph& g) {
+  const auto n = g.num_vertices();
+  Components res;
+  res.component.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (res.component[static_cast<std::size_t>(root)] != -1) continue;
+    const auto id = static_cast<std::int32_t>(res.count++);
+    res.sizes.push_back(0);
+    stack.push_back(root);
+    res.component[static_cast<std::size_t>(root)] = id;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      ++res.sizes[static_cast<std::size_t>(id)];
+      for (const VertexId u : g.neighbors(v)) {
+        if (res.component[static_cast<std::size_t>(u)] == -1) {
+          res.component[static_cast<std::size_t>(u)] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+
+  if (res.count > 0) {
+    res.largest = static_cast<std::int32_t>(
+        std::max_element(res.sizes.begin(), res.sizes.end()) - res.sizes.begin());
+  }
+  return res;
+}
+
+Graph extract_component(const Graph& g, const Components& comps,
+                        std::int32_t which, std::vector<VertexId>* mapping) {
+  if (which < 0 || which >= comps.count)
+    throw std::invalid_argument("extract_component: no such component");
+
+  std::vector<VertexId> map(static_cast<std::size_t>(g.num_vertices()), -1);
+  VertexId next = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (comps.component[static_cast<std::size_t>(v)] == which) map[static_cast<std::size_t>(v)] = next++;
+  }
+
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (map[static_cast<std::size_t>(u)] == -1) continue;
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= u) {
+        edges.push_back({map[static_cast<std::size_t>(u)],
+                         map[static_cast<std::size_t>(nbrs[i])], ws[i]});
+      }
+    }
+  }
+  if (mapping != nullptr) *mapping = std::move(map);
+  return Graph::from_edges(next, edges);
+}
+
+}  // namespace vgp

@@ -1,0 +1,30 @@
+// Connected components. Road-network suites (and anything sparsified) can
+// disconnect; community algorithms and BFS-based measurements want the
+// component structure exposed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp {
+
+struct Components {
+  /// component[v] in [0, count), numbered by first-seen vertex order.
+  std::vector<std::int32_t> component;
+  std::int64_t count = 0;
+  /// size of each component.
+  std::vector<std::int64_t> sizes;
+  std::int32_t largest = 0;  // id of the largest component
+};
+
+/// BFS sweep over all vertices, O(n + m).
+Components connected_components(const Graph& g);
+
+/// Induced subgraph of one component; `mapping` returns, per original
+/// vertex, its new id or -1 when outside the component.
+Graph extract_component(const Graph& g, const Components& comps,
+                        std::int32_t which, std::vector<VertexId>* mapping = nullptr);
+
+}  // namespace vgp

@@ -1,0 +1,186 @@
+#include "vgp/graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "vgp/parallel/thread_pool.hpp"
+
+namespace vgp {
+
+std::vector<double> Graph::volumes() const {
+  std::vector<double> vol(static_cast<std::size_t>(n_), 0.0);
+  parallel_for(0, n_, 4096, [&](std::int64_t first, std::int64_t last) {
+    for (std::int64_t u = first; u < last; ++u) {
+      vol[static_cast<std::size_t>(u)] = volume(static_cast<VertexId>(u));
+    }
+  });
+  return vol;
+}
+
+bool Graph::validate(std::string* why) const {
+  const auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (offsets_.size() != static_cast<std::size_t>(n_) + 1)
+    return fail("offsets size mismatch");
+  if (offsets_.front() != 0 || offsets_.back() != adj_.size())
+    return fail("offset endpoints wrong");
+  if (adj_.size() != weights_.size()) return fail("weights size mismatch");
+
+  for (std::int64_t u = 0; u < n_; ++u) {
+    const auto nbrs = neighbors(static_cast<VertexId>(u));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (v < 0 || v >= n_) return fail("neighbor id out of range");
+      if (i > 0 && nbrs[i - 1] >= v)
+        return fail("neighbor list not strictly sorted at vertex " +
+                    std::to_string(u));
+      if (v != u) {
+        // Symmetry: u must appear in v's (sorted) list with equal weight.
+        const auto back = neighbors(v);
+        const auto it = std::lower_bound(back.begin(), back.end(),
+                                         static_cast<VertexId>(u));
+        if (it == back.end() || *it != u)
+          return fail("missing reverse edge " + std::to_string(u) + "-" +
+                      std::to_string(v));
+        const auto widx = static_cast<std::size_t>(it - back.begin());
+        const float w_uv = edge_weights(static_cast<VertexId>(u))[i];
+        const float w_vu = edge_weights(v)[widx];
+        if (w_uv != w_vu) return fail("asymmetric edge weight");
+      }
+    }
+    for (float w : edge_weights(static_cast<VertexId>(u))) {
+      if (!(w > 0.0f)) return fail("non-positive edge weight");
+    }
+  }
+  return true;
+}
+
+Graph Graph::from_edges(std::int64_t n, std::span<const Edge> edges) {
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n)
+      throw std::invalid_argument("edge endpoint out of range");
+    if (!(e.w > 0.0f)) throw std::invalid_argument("edge weight must be > 0");
+  }
+
+  // Counting pass: each non-loop edge lands in both endpoint rows.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    ++counts[static_cast<std::size_t>(e.u) + 1];
+    if (e.u != e.v) ++counts[static_cast<std::size_t>(e.v) + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = counts;
+  g.adj_.resize(counts.back());
+  g.weights_.resize(counts.back());
+
+  std::vector<std::uint64_t> cursor(counts.begin(), counts.end() - 1);
+  for (const Edge& e : edges) {
+    auto put = [&](VertexId row, VertexId col, float w) {
+      const auto pos = cursor[static_cast<std::size_t>(row)]++;
+      g.adj_[pos] = col;
+      g.weights_[pos] = w;
+    };
+    put(e.u, e.v, e.w);
+    if (e.u != e.v) put(e.v, e.u, e.w);
+  }
+
+  g.finalize();
+  return g;
+}
+
+Graph Graph::from_csr(std::int64_t n, std::vector<std::uint64_t> offsets,
+                      std::vector<VertexId> adj, std::vector<float> weights) {
+  if (offsets.size() != static_cast<std::size_t>(n) + 1 ||
+      adj.size() != weights.size() || offsets.back() != adj.size()) {
+    throw std::invalid_argument("inconsistent CSR arrays");
+  }
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = std::move(offsets);
+  g.adj_.assign(adj.begin(), adj.end());
+  g.weights_.assign(weights.begin(), weights.end());
+  g.finalize();
+  return g;
+}
+
+void Graph::finalize() {
+  // Sort each row by neighbor id and merge parallel edges (summed weight).
+  // Rows shrink in place; a compaction pass rebuilds the offsets.
+  std::vector<std::uint64_t> new_len(static_cast<std::size_t>(n_), 0);
+
+  parallel_for(0, n_, 1024, [&](std::int64_t first, std::int64_t last) {
+    std::vector<std::pair<VertexId, float>> row;
+    for (std::int64_t u = first; u < last; ++u) {
+      const auto b = offsets_[static_cast<std::size_t>(u)];
+      const auto e = offsets_[static_cast<std::size_t>(u) + 1];
+      row.clear();
+      for (auto i = b; i < e; ++i) row.emplace_back(adj_[i], weights_[i]);
+      std::sort(row.begin(), row.end(),
+                [](const auto& a, const auto& c) { return a.first < c.first; });
+      std::uint64_t out = b;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (out > b && adj_[out - 1] == row[i].first) {
+          weights_[out - 1] += row[i].second;
+        } else {
+          adj_[out] = row[i].first;
+          weights_[out] = row[i].second;
+          ++out;
+        }
+      }
+      new_len[static_cast<std::size_t>(u)] = out - b;
+    }
+  });
+
+  // Compact rows toward the front (sequential: rows move left only).
+  std::vector<std::uint64_t> new_offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::int64_t u = 0; u < n_; ++u)
+    new_offsets[static_cast<std::size_t>(u) + 1] =
+        new_offsets[static_cast<std::size_t>(u)] + new_len[static_cast<std::size_t>(u)];
+  for (std::int64_t u = 0; u < n_; ++u) {
+    const auto src = offsets_[static_cast<std::size_t>(u)];
+    const auto dst = new_offsets[static_cast<std::size_t>(u)];
+    const auto len = new_len[static_cast<std::size_t>(u)];
+    if (src != dst) {
+      std::copy(adj_.begin() + static_cast<std::ptrdiff_t>(src),
+                adj_.begin() + static_cast<std::ptrdiff_t>(src + len),
+                adj_.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy(weights_.begin() + static_cast<std::ptrdiff_t>(src),
+                weights_.begin() + static_cast<std::ptrdiff_t>(src + len),
+                weights_.begin() + static_cast<std::ptrdiff_t>(dst));
+    }
+  }
+  offsets_ = std::move(new_offsets);
+  adj_.resize(offsets_.back());
+  weights_.resize(offsets_.back());
+
+  // Cached statistics.
+  self_weight_.assign(static_cast<std::size_t>(n_), 0.0f);
+  max_degree_ = 0;
+  undirected_edges_ = 0;
+  double non_loop_weight = 0.0;
+  double loop_weight = 0.0;
+  for (std::int64_t u = 0; u < n_; ++u) {
+    max_degree_ = std::max(max_degree_, degree(static_cast<VertexId>(u)));
+    const auto nbrs = neighbors(static_cast<VertexId>(u));
+    const auto ws = edge_weights(static_cast<VertexId>(u));
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == u) {
+        self_weight_[static_cast<std::size_t>(u)] = ws[i];
+        loop_weight += ws[i];
+        ++undirected_edges_;
+      } else {
+        non_loop_weight += ws[i];
+        if (nbrs[i] > u) ++undirected_edges_;
+      }
+    }
+  }
+  total_weight_ = non_loop_weight / 2.0 + loop_weight;
+}
+
+}  // namespace vgp

@@ -1,0 +1,126 @@
+// Weighted undirected graph in CSR (compressed sparse row) form.
+//
+// This is the substrate every kernel in the library runs on. Conventions
+// (chosen to match the paper's kernels):
+//   * vertex ids are 32-bit signed integers — the AVX-512 kernels process
+//     16 ids per 512-bit register (`epi32` lanes);
+//   * edge weights are 32-bit floats (`ps` lanes);
+//   * the adjacency is symmetrized: an undirected edge {u,v}, u != v, is
+//     stored in both endpoint lists; a self-loop {u,u} is stored once;
+//   * row offsets are 64-bit so graphs with >2^31 directed edges load fine.
+//
+// Louvain definitions from the paper:
+//   vol(u)  = sum_{v in N(u)} w(u,v) + 2*w(u,u)
+//   omega_E = total edge weight, each undirected edge counted once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vgp/support/aligned.hpp"
+
+namespace vgp {
+
+using VertexId = std::int32_t;
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  float w = 1.0f;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  std::int64_t num_vertices() const noexcept { return n_; }
+
+  /// Number of undirected edges (self-loops count once).
+  std::int64_t num_edges() const noexcept { return undirected_edges_; }
+
+  /// Number of directed adjacency entries (2m - #self-loops).
+  std::int64_t num_arcs() const noexcept {
+    return static_cast<std::int64_t>(adj_.size());
+  }
+
+  std::int64_t degree(VertexId u) const noexcept {
+    return static_cast<std::int64_t>(offsets_[static_cast<std::size_t>(u) + 1] -
+                                     offsets_[static_cast<std::size_t>(u)]);
+  }
+
+  std::span<const VertexId> neighbors(VertexId u) const noexcept {
+    const auto b = offsets_[static_cast<std::size_t>(u)];
+    const auto e = offsets_[static_cast<std::size_t>(u) + 1];
+    return {adj_.data() + b, adj_.data() + e};
+  }
+
+  std::span<const float> edge_weights(VertexId u) const noexcept {
+    const auto b = offsets_[static_cast<std::size_t>(u)];
+    const auto e = offsets_[static_cast<std::size_t>(u) + 1];
+    return {weights_.data() + b, weights_.data() + e};
+  }
+
+  /// Offset of u's adjacency segment inside adjacency()/weights().
+  std::uint64_t offset(VertexId u) const noexcept {
+    return offsets_[static_cast<std::size_t>(u)];
+  }
+
+  /// Raw arrays, used by the vector kernels.
+  const std::uint64_t* offsets_data() const noexcept { return offsets_.data(); }
+  const VertexId* adjacency_data() const noexcept { return adj_.data(); }
+  const float* weights_data() const noexcept { return weights_.data(); }
+
+  /// Weight of the self-loop at u (0 when none).
+  float self_loop_weight(VertexId u) const noexcept {
+    return self_weight_.empty() ? 0.0f : self_weight_[static_cast<std::size_t>(u)];
+  }
+
+  /// Total edge weight omega(E): each undirected edge once, self-loops once.
+  double total_edge_weight() const noexcept { return total_weight_; }
+
+  /// vol(u) per the paper: adjacency weights plus the self-loop counted
+  /// twice. (The self-loop appears once in the adjacency, so one extra
+  /// addition yields the factor of two.)
+  double volume(VertexId u) const noexcept {
+    double vol = 0.0;
+    for (float w : edge_weights(u)) vol += w;
+    return vol + self_loop_weight(u);
+  }
+
+  /// Volumes of all vertices (one parallel-friendly pass).
+  std::vector<double> volumes() const;
+
+  std::int64_t max_degree() const noexcept { return max_degree_; }
+
+  /// True when every neighbor list is sorted, in range, and symmetric.
+  /// Expensive; intended for tests and loaders. Fills `why` on failure.
+  bool validate(std::string* why = nullptr) const;
+
+  /// Builds a graph from an edge list. Symmetrizes (u,v) -> both lists,
+  /// sorts each neighbor list by id, and merges parallel edges by summing
+  /// their weights. Self-loops are kept (stored once). Vertices are
+  /// 0..n-1; `n` may exceed the largest endpoint to allow isolated tails.
+  static Graph from_edges(std::int64_t n, std::span<const Edge> edges);
+
+  /// Builds directly from CSR arrays (must already be symmetric; neighbor
+  /// lists need not be sorted — they will be sorted and merged).
+  static Graph from_csr(std::int64_t n, std::vector<std::uint64_t> offsets,
+                        std::vector<VertexId> adj, std::vector<float> weights);
+
+ private:
+  void finalize();  // sorts rows, merges duplicates, computes cached stats
+
+  std::int64_t n_ = 0;
+  std::int64_t undirected_edges_ = 0;
+  std::int64_t max_degree_ = 0;
+  double total_weight_ = 0.0;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  aligned_vector<VertexId> adj_;
+  aligned_vector<float> weights_;
+  std::vector<float> self_weight_;  // size n; 0 when no self-loop
+};
+
+}  // namespace vgp

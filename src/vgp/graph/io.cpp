@@ -1,0 +1,263 @@
+#include "vgp/graph/io.hpp"
+
+#include "vgp/graph/binary_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace vgp::io {
+namespace {
+
+[[noreturn]] void parse_error(const std::string& what) {
+  throw std::runtime_error("graph parse error: " + what);
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  return in;
+}
+
+bool is_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank line
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::vector<Edge> edges;
+  VertexId max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_comment(line)) continue;
+    std::istringstream ls(line);
+    long long u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) parse_error("bad edge line: " + line);
+    ls >> w;  // optional weight
+    if (u < 0 || v < 0) parse_error("negative vertex id");
+    Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v),
+           static_cast<float>(w)};
+    max_id = std::max({max_id, e.u, e.v});
+    edges.push_back(e);
+  }
+  return Graph::from_edges(static_cast<std::int64_t>(max_id) + 1, edges);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# vgp edge list: " << g.num_vertices() << " vertices, "
+      << g.num_edges() << " edges\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= u) out << u << ' ' << nbrs[i] << ' ' << ws[i] << '\n';
+    }
+  }
+}
+
+Graph read_metis(std::istream& in) {
+  std::string line;
+  // Header: skip % comments.
+  do {
+    if (!std::getline(in, line)) parse_error("missing METIS header");
+  } while (is_comment(line));
+
+  std::istringstream hs(line);
+  std::int64_t n = 0, m = 0;
+  std::string fmt;
+  if (!(hs >> n >> m)) parse_error("bad METIS header: " + line);
+  hs >> fmt;
+  const bool weighted = (fmt == "1" || fmt == "001");
+  if (!fmt.empty() && !weighted && fmt != "0" && fmt != "000")
+    parse_error("unsupported METIS fmt field: " + fmt);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  std::int64_t u = 0;
+  while (u < n && std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long v = 0;
+    while (ls >> v) {
+      if (v < 1 || v > n) parse_error("METIS neighbor out of range");
+      double w = 1.0;
+      if (weighted && !(ls >> w)) parse_error("missing METIS edge weight");
+      // Each undirected edge appears in both rows; keep u <= v copies only.
+      const auto vv = static_cast<VertexId>(v - 1);
+      if (static_cast<VertexId>(u) <= vv) {
+        edges.push_back({static_cast<VertexId>(u), vv, static_cast<float>(w)});
+      }
+    }
+    ++u;
+  }
+  if (u != n) parse_error("METIS file ended early");
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_metis_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_metis(in);
+}
+
+void write_metis(const Graph& g, std::ostream& out, bool with_weights) {
+  out << g.num_vertices() << ' ' << g.num_edges();
+  if (with_weights) out << " 1";
+  out << '\n';
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (i != 0) out << ' ';
+      out << (nbrs[i] + 1);
+      if (with_weights) out << ' ' << ws[i];
+    }
+    out << '\n';
+  }
+}
+
+Graph read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) parse_error("empty MatrixMarket file");
+  if (line.rfind("%%MatrixMarket", 0) != 0)
+    parse_error("missing MatrixMarket banner");
+  std::istringstream bs(line);
+  std::string tag, object, format, field, symmetry;
+  bs >> tag >> object >> format >> field >> symmetry;
+  if (object != "matrix" || format != "coordinate")
+    parse_error("only coordinate matrices are supported");
+  const bool pattern = (field == "pattern");
+  if (!pattern && field != "real" && field != "integer")
+    parse_error("unsupported MatrixMarket field: " + field);
+
+  do {
+    if (!std::getline(in, line)) parse_error("missing MatrixMarket size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream ss(line);
+  std::int64_t rows = 0, cols = 0, nnz = 0;
+  if (!(ss >> rows >> cols >> nnz)) parse_error("bad MatrixMarket size line");
+  if (rows != cols) parse_error("adjacency matrix must be square");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t k = 0; k < nnz; ++k) {
+    do {
+      if (!std::getline(in, line)) parse_error("MatrixMarket ended early");
+    } while (is_comment(line));
+    std::istringstream ls(line);
+    long long r = 0, c = 0;
+    double w = 1.0;
+    if (!(ls >> r >> c)) parse_error("bad MatrixMarket entry");
+    if (!pattern) ls >> w;
+    if (r < 1 || c < 1 || r > rows || c > cols)
+      parse_error("MatrixMarket entry out of range");
+    // 'general' files carry both triangles; keep one.
+    if (symmetry == "general" && r > c) continue;
+    edges.push_back({static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1),
+                     static_cast<float>(w == 0.0 ? 1.0 : std::abs(w))});
+  }
+  return Graph::from_edges(rows, edges);
+}
+
+Graph read_matrix_market_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(const Graph& g, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+      << '\n';
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      // Lower triangle (row >= col), 1-indexed.
+      if (nbrs[i] <= u) out << (u + 1) << ' ' << (nbrs[i] + 1) << ' ' << ws[i] << '\n';
+    }
+  }
+}
+
+Graph read_dimacs_gr(std::istream& in) {
+  std::string line;
+  std::int64_t n = -1, arcs = -1;
+  std::vector<Edge> edges;
+  std::unordered_set<std::uint64_t> seen;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      if (!(ls >> kind >> n >> arcs) || kind != "sp")
+        parse_error("bad DIMACS .gr problem line: " + line);
+      edges.reserve(static_cast<std::size_t>(arcs) / 2 + 1);
+      seen.reserve(static_cast<std::size_t>(arcs));
+    } else if (tag == 'a') {
+      if (n < 0) parse_error(".gr arc before problem line");
+      long long u = 0, v = 0;
+      double w = 1.0;
+      if (!(ls >> u >> v)) parse_error("bad .gr arc line: " + line);
+      ls >> w;
+      if (u < 1 || v < 1 || u > n || v > n) parse_error(".gr arc out of range");
+      auto a = static_cast<VertexId>(u - 1);
+      auto b = static_cast<VertexId>(v - 1);
+      if (a > b) std::swap(a, b);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+          static_cast<std::uint32_t>(b);
+      if (seen.insert(key).second) {
+        edges.push_back({a, b, static_cast<float>(w <= 0.0 ? 1.0 : w)});
+      }
+    } else {
+      parse_error("unknown .gr line tag: " + line);
+    }
+  }
+  if (n < 0) parse_error("missing DIMACS .gr problem line");
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_dimacs_gr_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_dimacs_gr(in);
+}
+
+void write_dimacs_gr(const Graph& g, std::ostream& out) {
+  out << "c vgp export\n";
+  out << "p sp " << g.num_vertices() << ' ' << g.num_arcs() << '\n';
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      out << "a " << (u + 1) << ' ' << (nbrs[i] + 1) << ' ' << ws[i] << '\n';
+    }
+  }
+}
+
+Graph read_auto(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+  if (ext == "txt" || ext == "el" || ext == "edges") return read_edge_list_file(path);
+  if (ext == "graph" || ext == "metis") return read_metis_file(path);
+  if (ext == "mtx") return read_matrix_market_file(path);
+  if (ext == "gr") return read_dimacs_gr_file(path);
+  if (ext == "vgpb") return read_binary_file(path);
+  throw std::runtime_error("unknown graph file extension: " + path);
+}
+
+}  // namespace vgp::io

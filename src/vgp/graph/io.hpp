@@ -1,0 +1,47 @@
+// Graph file formats.
+//
+// The paper's suite comes from SNAP (plain edge lists) and DIMACS-10 /
+// METIS (.graph adjacency format); sparse-matrix graphs ship as Matrix
+// Market. All three are implemented read+write so the generated stand-in
+// suite can be exported and re-imported byte-for-byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::io {
+
+/// SNAP-style edge list: one "u v [w]" per line, '#' or '%' comments.
+/// Vertices are as numbered in the file; n = max id + 1.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// METIS / DIMACS-10 .graph: header "n m [fmt]", then one line per vertex
+/// listing its neighbors 1-indexed; fmt=1 adds an edge weight after each
+/// neighbor. Reader accepts fmt 0 ("" or "0") and 1 ("1").
+Graph read_metis(std::istream& in);
+Graph read_metis_file(const std::string& path);
+void write_metis(const Graph& g, std::ostream& out, bool with_weights = false);
+
+/// Matrix Market coordinate format, symmetric pattern/real.
+Graph read_matrix_market(std::istream& in);
+Graph read_matrix_market_file(const std::string& path);
+void write_matrix_market(const Graph& g, std::ostream& out);
+
+/// 9th DIMACS challenge .gr (shortest paths): "p sp n m" header, one
+/// "a u v w" line per arc, 1-indexed. Arcs are treated as undirected
+/// edges; a both-direction pair collapses to one edge (first weight
+/// wins). The writer emits both arcs per edge, as road files do.
+Graph read_dimacs_gr(std::istream& in);
+Graph read_dimacs_gr_file(const std::string& path);
+void write_dimacs_gr(const Graph& g, std::ostream& out);
+
+/// Dispatch on extension: .txt/.el -> edge list, .graph/.metis -> METIS,
+/// .mtx -> Matrix Market, .vgpb -> binary (see binary_io.hpp). Throws
+/// std::runtime_error on unknown extension or parse failure.
+Graph read_auto(const std::string& path);
+
+}  // namespace vgp::io

@@ -1,0 +1,57 @@
+#include "vgp/graph/kcore.hpp"
+
+#include <algorithm>
+
+namespace vgp {
+
+CoreDecomposition core_decomposition(const Graph& g) {
+  const auto n = g.num_vertices();
+  CoreDecomposition res;
+  res.core.assign(static_cast<std::size_t>(n), 0);
+  res.peel_order.reserve(static_cast<std::size_t>(n));
+  if (n == 0) return res;
+
+  std::vector<std::int32_t> deg(static_cast<std::size_t>(n));
+  std::int32_t maxdeg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(g.degree(v));
+    maxdeg = std::max(maxdeg, deg[static_cast<std::size_t>(v)]);
+  }
+
+  // Lazy bucket queue: vertices may appear in several buckets; an entry
+  // is valid only when deg matches the bucket index.
+  std::vector<std::vector<VertexId>> bucket(static_cast<std::size_t>(maxdeg) + 1);
+  for (VertexId v = 0; v < n; ++v)
+    bucket[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])].push_back(v);
+
+  std::vector<bool> removed(static_cast<std::size_t>(n), false);
+  std::int32_t current_core = 0;
+  std::int32_t cursor = 0;
+
+  while (static_cast<std::int64_t>(res.peel_order.size()) < n) {
+    while (cursor <= maxdeg && bucket[static_cast<std::size_t>(cursor)].empty()) ++cursor;
+    auto& b = bucket[static_cast<std::size_t>(cursor)];
+    const VertexId v = b.back();
+    b.pop_back();
+    if (removed[static_cast<std::size_t>(v)] ||
+        deg[static_cast<std::size_t>(v)] != cursor) {
+      continue;  // stale entry
+    }
+    removed[static_cast<std::size_t>(v)] = true;
+    current_core = std::max(current_core, cursor);
+    res.core[static_cast<std::size_t>(v)] = current_core;
+    res.peel_order.push_back(v);
+
+    for (const VertexId u : g.neighbors(v)) {
+      if (u == v || removed[static_cast<std::size_t>(u)]) continue;
+      const auto d = --deg[static_cast<std::size_t>(u)];
+      bucket[static_cast<std::size_t>(d)].push_back(u);
+      if (d < cursor) cursor = d;
+    }
+  }
+
+  res.degeneracy = current_core;
+  return res;
+}
+
+}  // namespace vgp

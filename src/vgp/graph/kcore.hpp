@@ -1,0 +1,26 @@
+// k-core decomposition (Matula & Beck peeling). Supplies the degeneracy
+// ordering used by the smallest-last coloring heuristic and the core
+// numbers used for graph characterization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp {
+
+struct CoreDecomposition {
+  /// core[v] = largest k such that v belongs to the k-core.
+  std::vector<std::int32_t> core;
+  /// Vertices in peeling order (min-degree first). Reversed, this is the
+  /// smallest-last ordering for greedy coloring.
+  std::vector<VertexId> peel_order;
+  /// max over core[] — the graph's degeneracy.
+  std::int32_t degeneracy = 0;
+};
+
+/// O(n + m) bucket peeling.
+CoreDecomposition core_decomposition(const Graph& g);
+
+}  // namespace vgp

@@ -1,0 +1,56 @@
+#include "vgp/graph/permute.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace vgp {
+
+bool is_permutation(const std::vector<VertexId>& perm, std::int64_t n) {
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (VertexId p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+Graph apply_permutation(const Graph& g, const std::vector<VertexId>& perm) {
+  const auto n = g.num_vertices();
+  if (!is_permutation(perm, n))
+    throw std::invalid_argument("apply_permutation: not a permutation");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ws = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= u) {
+        edges.push_back({perm[static_cast<std::size_t>(u)],
+                         perm[static_cast<std::size_t>(nbrs[i])], ws[i]});
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+std::vector<VertexId> random_permutation(std::int64_t n, std::uint64_t seed) {
+  std::vector<VertexId> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Xoshiro256 rng(seed);
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::int64_t>(rng.bounded(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+std::vector<VertexId> invert_permutation(const std::vector<VertexId>& perm) {
+  std::vector<VertexId> inv(perm.size());
+  for (std::size_t u = 0; u < perm.size(); ++u)
+    inv[static_cast<std::size_t>(perm[u])] = static_cast<VertexId>(u);
+  return inv;
+}
+
+}  // namespace vgp

@@ -1,0 +1,25 @@
+// Vertex relabeling. OVPL preprocessing reorders the graph (color groups,
+// degree-sorted); tests use random permutations to check order
+// independence of the kernels.
+#pragma once
+
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace vgp {
+
+/// True when perm is a bijection 0..n-1.
+bool is_permutation(const std::vector<VertexId>& perm, std::int64_t n);
+
+/// Returns the graph relabeled so that old vertex u becomes perm[u].
+Graph apply_permutation(const Graph& g, const std::vector<VertexId>& perm);
+
+/// Uniformly random permutation of 0..n-1 (Fisher-Yates, seeded).
+std::vector<VertexId> random_permutation(std::int64_t n, std::uint64_t seed);
+
+/// Inverse permutation: inv[perm[u]] = u.
+std::vector<VertexId> invert_permutation(const std::vector<VertexId>& perm);
+
+}  // namespace vgp

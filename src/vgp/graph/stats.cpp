@@ -1,0 +1,59 @@
+#include "vgp/graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vgp {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.vertices = g.num_vertices();
+  s.edges = g.num_edges();
+  if (s.vertices == 0) return s;
+
+  s.min_degree = g.num_vertices() > 0 ? g.degree(0) : 0;
+  double sum = 0.0, sumsq = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto d = g.degree(u);
+    s.max_degree = std::max(s.max_degree, d);
+    s.min_degree = std::min(s.min_degree, d);
+    if (d == 0) ++s.isolated;
+    sum += static_cast<double>(d);
+    sumsq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  const auto n = static_cast<double>(s.vertices);
+  s.avg_degree = sum / n;
+  const double var = std::max(0.0, sumsq / n - s.avg_degree * s.avg_degree);
+  s.degree_stddev = std::sqrt(var);
+
+  std::int64_t balanced = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto d = static_cast<double>(g.degree(u));
+    if (std::abs(d - s.avg_degree) <= 0.25 * s.avg_degree) ++balanced;
+  }
+  s.degree_balance = static_cast<double>(balanced) / n;
+  return s;
+}
+
+std::vector<std::int64_t> degree_histogram(const Graph& g) {
+  std::vector<std::int64_t> h;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto d = g.degree(u);
+    const int bucket = d <= 1 ? 0 : 64 - __builtin_clzll(static_cast<unsigned long long>(d)) - 1;
+    if (static_cast<std::size_t>(bucket) >= h.size()) h.resize(static_cast<std::size_t>(bucket) + 1, 0);
+    ++h[static_cast<std::size_t>(bucket)];
+  }
+  return h;
+}
+
+std::string format_stats_row(const std::string& name, const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-16s %12lld %14lld %8lld %8.1f", name.c_str(),
+                static_cast<long long>(s.vertices),
+                static_cast<long long>(s.edges),
+                static_cast<long long>(s.max_degree), s.avg_degree);
+  return buf;
+}
+
+}  // namespace vgp

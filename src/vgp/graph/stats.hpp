@@ -1,0 +1,36 @@
+// Degree statistics, used to print Table 1 and to pick OVPL-friendly
+// graphs (the paper: OVPL shines when "many vertices have degrees close to
+// the average").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp {
+
+struct GraphStats {
+  std::int64_t vertices = 0;
+  std::int64_t edges = 0;          // undirected
+  std::int64_t max_degree = 0;     // Delta in Table 1
+  std::int64_t min_degree = 0;
+  double avg_degree = 0.0;         // delta in Table 1 (arcs / vertices)
+  double degree_stddev = 0.0;
+  std::int64_t isolated = 0;
+  /// Fraction of vertices whose degree is within 25% of the average —
+  /// the "degree balance" signal for OVPL suitability.
+  double degree_balance = 0.0;
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Histogram over log2-degree buckets: h[k] counts deg in [2^k, 2^(k+1)).
+/// Bucket 0 also holds degree-0 and degree-1 vertices.
+std::vector<std::int64_t> degree_histogram(const Graph& g);
+
+/// One formatted row "name  |V| |E| maxdeg avgdeg" matching Table 1.
+std::string format_stats_row(const std::string& name, const GraphStats& s);
+
+}  // namespace vgp

@@ -1,0 +1,65 @@
+#include "vgp/harness/experiment.hpp"
+
+#include <cstdio>
+
+namespace vgp::harness {
+
+SampleStats time_repeated(const RepeatOptions& opts,
+                          const std::function<void()>& fn) {
+  return stats_repeated(opts, [&fn] {
+    WallTimer t;
+    fn();
+    return t.seconds();
+  });
+}
+
+SampleStats stats_repeated(const RepeatOptions& opts,
+                           const std::function<double()>& fn) {
+  for (int i = 0; i < opts.warmup; ++i) (void)fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(opts.repetitions));
+  for (int i = 0; i < opts.repetitions; ++i) samples.push_back(fn());
+  return summarize(samples);
+}
+
+void print_series(const std::string& title,
+                  const std::vector<Series>& series) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (series.empty()) return;
+
+  // Aligned table: rows are x labels, one column per series.
+  std::printf("%-24s", "x");
+  for (const auto& s : series) std::printf(" %14s", s.name.c_str());
+  std::printf("\n");
+  const auto& labels = series.front().labels;
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    std::printf("%-24s", labels[r].c_str());
+    for (const auto& s : series) {
+      if (r < s.values.size()) {
+        std::printf(" %14.3f", s.values[r]);
+      } else {
+        std::printf(" %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  // CSV block for replotting.
+  std::printf("csv,x");
+  for (const auto& s : series) std::printf(",%s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    std::printf("csv,%s", labels[r].c_str());
+    for (const auto& s : series) {
+      if (r < s.values.size()) {
+        std::printf(",%.6f", s.values[r]);
+      } else {
+        std::printf(",");
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace vgp::harness

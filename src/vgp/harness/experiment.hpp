@@ -1,0 +1,47 @@
+// Experiment harness shared by all bench binaries: repeated timed runs
+// (the paper averages 25 runs and checks bootstrap 95% CIs), speedup
+// computation, and labeled series collection for figure output.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vgp/support/stats.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp::harness {
+
+struct RepeatOptions {
+  int repetitions = 5;  // paper uses 25; benches default lower for CI
+  int warmup = 1;
+};
+
+/// Runs fn `warmup + repetitions` times; returns stats over the timed
+/// repetitions of fn's wall time in seconds.
+SampleStats time_repeated(const RepeatOptions& opts,
+                          const std::function<void()>& fn);
+
+/// Runs fn repeatedly where fn itself reports the measured seconds
+/// (e.g. a kernel-internal timer that excludes setup).
+SampleStats stats_repeated(const RepeatOptions& opts,
+                           const std::function<double()>& fn);
+
+/// speedup = baseline / variant (the paper's "Scalar/Vectorized" axis:
+/// 2.5 means the variant is 2.5x faster).
+inline double speedup(double baseline_seconds, double variant_seconds) {
+  return variant_seconds > 0.0 ? baseline_seconds / variant_seconds : 0.0;
+}
+
+/// One figure series: y-values (typically speedups) indexed by x labels.
+struct Series {
+  std::string name;
+  std::vector<std::string> labels;
+  std::vector<double> values;
+};
+
+/// Prints series as an aligned text table plus a CSV block (both are easy
+/// to diff and to re-plot).
+void print_series(const std::string& title, const std::vector<Series>& series);
+
+}  // namespace vgp::harness

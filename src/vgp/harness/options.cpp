@@ -1,0 +1,63 @@
+#include "vgp/harness/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace vgp::harness {
+
+Options& Options::describe(const std::string& key, const std::string& help) {
+  described_[key] = help;
+  return *this;
+}
+
+bool Options::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--key=value ...]\n", argv[0]);
+      for (const auto& [key, help] : described_) {
+        std::printf("  --%-20s %s\n", key.c_str(), help.c_str());
+      }
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    if (described_.find(key) == described_.end()) {
+      throw std::invalid_argument("unknown option: --" + key);
+    }
+    values_[key] = value;
+  }
+  return true;
+}
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_flag(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it != values_.end() && it->second != "0" && it->second != "false";
+}
+
+}  // namespace vgp::harness

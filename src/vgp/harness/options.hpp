@@ -1,0 +1,37 @@
+// Tiny --key=value command-line parser shared by bench and example
+// binaries. Unknown keys throw so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vgp::harness {
+
+class Options {
+ public:
+  /// Parses argv of the form --key=value or --flag. Keys must be
+  /// registered (via the getters' `key` arguments) before parse() is
+  /// called — in practice: construct, call describe() for each key, then
+  /// parse.
+  Options() = default;
+
+  /// Declares a key with a help string and default rendering.
+  Options& describe(const std::string& key, const std::string& help);
+
+  /// Throws std::invalid_argument on unknown or malformed arguments;
+  /// prints help and returns false when --help was requested.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> described_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vgp::harness

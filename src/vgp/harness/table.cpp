@@ -1,0 +1,56 @@
+#include "vgp/harness/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vgp::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+
+  std::printf("csv");
+  for (const auto& h : headers_) std::printf(",%s", h.c_str());
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    std::printf("csv");
+    for (const auto& cell : row) std::printf(",%s", cell.c_str());
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace vgp::harness

@@ -1,0 +1,27 @@
+// Minimal aligned-text / CSV table emitter used by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vgp::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  /// Prints the aligned table followed by a "csv," prefixed block.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vgp::harness

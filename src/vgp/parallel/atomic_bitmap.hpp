@@ -1,0 +1,89 @@
+// Concurrent fixed-size bitmap.
+//
+// Speculative coloring and label propagation maintain vertex sets (CONF,
+// V_active) that many threads update concurrently. A word-per-64-bits
+// bitmap with fetch_or/fetch_and is race-free, compact, and iterates in
+// vertex order, which keeps the round structure deterministic enough for
+// testing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace vgp {
+
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+  explicit AtomicBitmap(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+  }
+
+  std::size_t size() const noexcept { return bits_; }
+
+  /// Atomically sets bit i; returns true when this call flipped it 0->1.
+  bool set(std::size_t i) noexcept {
+    const std::uint64_t mask = 1ull << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (old & mask) == 0;
+  }
+
+  /// Atomically clears bit i; returns true when this call flipped it 1->0.
+  bool clear(std::size_t i) noexcept {
+    const std::uint64_t mask = 1ull << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_and(~mask, std::memory_order_relaxed);
+    return (old & mask) != 0;
+  }
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1u;
+  }
+
+  void clear_all() noexcept {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  void set_all() noexcept {
+    for (auto& w : words_) w.store(~0ull, std::memory_order_relaxed);
+    trim_tail();
+  }
+
+  /// Population count (sequential; call between parallel phases).
+  std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const auto& w : words_)
+      c += static_cast<std::size_t>(__builtin_popcountll(w.load(std::memory_order_relaxed)));
+    return c;
+  }
+
+  /// Appends the indices of all set bits to `out` in increasing order.
+  void collect(std::vector<std::int32_t>& out) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi].load(std::memory_order_relaxed);
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        out.push_back(static_cast<std::int32_t>(wi * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  void trim_tail() noexcept {
+    const std::size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back().store((1ull << tail) - 1, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace vgp

@@ -1,0 +1,138 @@
+#include "vgp/parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace vgp {
+
+struct ThreadPool::Job {
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::atomic<std::int64_t> cursor{0};
+  std::atomic<unsigned> active{0};
+  std::atomic<bool> done{false};
+
+  // A worker that wakes after the range is drained exits via the cursor
+  // check without touching `fn` (whose referent lives on the caller's
+  // stack); the Job itself is kept alive by the worker's shared_ptr copy.
+  void run_chunks() {
+    for (;;) {
+      const std::int64_t first = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (first >= end) break;
+      const std::int64_t last = std::min(first + grain, end);
+      (*fn)(first, last);
+    }
+  }
+};
+
+unsigned ThreadPool::resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("VGP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  num_threads_ = resolve_threads(threads);
+  // The calling thread participates in every parallel_for, so spawn one
+  // fewer worker than the requested width.
+  const unsigned workers = num_threads_ > 0 ? num_threads_ - 1 : 0;
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen_seq); });
+      if (stop_) return;
+      job = *static_cast<std::shared_ptr<Job>*>(job_);
+      seen_seq = job_seq_;
+      job->active.fetch_add(1, std::memory_order_acq_rel);
+    }
+    job->run_chunks();
+    if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        job->cursor.load(std::memory_order_relaxed) >= job->end) {
+      job->done.store(true, std::memory_order_release);
+      job->done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+
+  // Sequential fast path: tiny ranges, no workers, or a nested call from a
+  // worker thread (which must not block on the pool it is serving).
+  static thread_local bool inside_pool_job = false;
+  if (workers_.empty() || inside_pool_job || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->end = end;
+  job->grain = grain;
+  job->fn = &fn;
+  job->cursor.store(begin, std::memory_order_relaxed);
+  // The caller counts as an active participant from the start, so `done`
+  // can only flip to true after the caller and every registered worker
+  // have drained their chunks.
+  job->active.store(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  cv_.notify_all();
+
+  inside_pool_job = true;
+  job->run_chunks();
+  inside_pool_job = false;
+
+  if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    job->done.store(true, std::memory_order_release);
+  } else {
+    job->done.wait(false, std::memory_order_acquire);
+  }
+
+  // Unpublish. Workers that grabbed a shared_ptr keep the Job alive; their
+  // cursor check keeps them away from `fn`.
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_ = nullptr;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::global().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace vgp

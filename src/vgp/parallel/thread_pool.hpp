@@ -1,0 +1,63 @@
+// Fixed-size thread pool with blocking parallel-for.
+//
+// The paper's kernels are bulk-synchronous: one parallel loop over the
+// vertex (or conflict) set per round. A simple pool with a shared atomic
+// chunk cursor covers that pattern with good load balance (dynamic
+// scheduling mirrors OpenMP `schedule(dynamic, grain)` which the reference
+// codes use for skewed-degree graphs).
+//
+// Thread count resolution order: explicit argument > VGP_THREADS env var >
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vgp {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 resolves via VGP_THREADS / hardware.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const noexcept { return num_threads_; }
+
+  /// Runs fn(begin..end) split into chunks of `grain` indices, dynamically
+  /// scheduled. fn receives (first, last) half-open index ranges. Blocks
+  /// until the whole range is processed. Reentrant calls from worker
+  /// threads are executed inline (sequentially) to avoid deadlock.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// The process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+  /// Resolves a requested thread count the same way the constructor does.
+  static unsigned resolve_threads(unsigned requested);
+
+ private:
+  struct Job;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  void* job_ = nullptr;           // shared_ptr<Job>* of current job, guarded by mutex_
+  std::uint64_t job_seq_ = 0;     // bumped per job so workers notice new work
+  bool stop_ = false;
+  unsigned num_threads_ = 1;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace vgp

@@ -1,0 +1,101 @@
+// Shared helpers for the AVX-512 translation units. Include ONLY from
+// sources compiled with -mavx512f -mavx512cd (everything here uses 512-bit
+// types unconditionally).
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "vgp/simd/backend.hpp"
+#include "vgp/support/opcount.hpp"
+
+namespace vgp::simd {
+
+inline constexpr int kLanes = 16;
+
+/// Mask covering min(remaining, 16) low lanes.
+inline __mmask16 tail_mask16(std::int64_t remaining) {
+  return remaining >= 16 ? static_cast<__mmask16>(0xFFFFu)
+                         : static_cast<__mmask16>((1u << remaining) - 1u);
+}
+
+/// Masked float scatter with optional slow-scatter emulation (models a
+/// microarchitecture whose scatter decomposes into sequential stores; see
+/// DESIGN.md Substitutions). Lanes must hold distinct indices under `m`.
+inline void scatter_ps(float* base, __mmask16 m, __m512i vidx, __m512 v,
+                       bool slow) {
+  if (!slow) {
+    _mm512_mask_i32scatter_ps(base, m, vidx, v, 4);
+    return;
+  }
+  alignas(64) std::int32_t idx[kLanes];
+  alignas(64) float val[kLanes];
+  _mm512_store_si512(reinterpret_cast<__m512i*>(idx), vidx);
+  _mm512_store_ps(val, v);
+  unsigned bits = m;
+  while (bits != 0u) {
+    const int lane = __builtin_ctz(bits);
+    base[idx[lane]] = val[lane];
+    bits &= bits - 1;
+  }
+}
+
+/// Masked int32 scatter with the same emulation hook.
+inline void scatter_epi32(std::int32_t* base, __mmask16 m, __m512i vidx,
+                          __m512i v, bool slow) {
+  if (!slow) {
+    _mm512_mask_i32scatter_epi32(base, m, vidx, v, 4);
+    return;
+  }
+  alignas(64) std::int32_t idx[kLanes];
+  alignas(64) std::int32_t val[kLanes];
+  _mm512_store_si512(reinterpret_cast<__m512i*>(idx), vidx);
+  _mm512_store_si512(reinterpret_cast<__m512i*>(val), v);
+  unsigned bits = m;
+  while (bits != 0u) {
+    const int lane = __builtin_ctz(bits);
+    base[idx[lane]] = val[lane];
+    bits &= bits - 1;
+  }
+}
+
+/// Coarse instrumentation accumulator. Kernels tally into a local
+/// OpTally and flush once per call — a per-chunk thread_local lookup
+/// costs ~15% on short kernels. The energy model (vgp/energy/model.*)
+/// converts the counts to joules.
+struct OpTally {
+  std::uint64_t vector_ops = 0;
+  std::uint64_t gather_lanes = 0;
+  std::uint64_t scatter_lanes = 0;
+  std::uint64_t scalar_ops = 0;
+
+  void add(int vops, int glanes, int slanes, int sops) noexcept {
+    vector_ops += static_cast<std::uint64_t>(vops);
+    gather_lanes += static_cast<std::uint64_t>(glanes);
+    scatter_lanes += static_cast<std::uint64_t>(slanes);
+    scalar_ops += static_cast<std::uint64_t>(sops);
+  }
+
+  void flush() noexcept {
+    auto& oc = opcount::local();
+    oc.vector_ops += vector_ops;
+    oc.gather_lanes += gather_lanes;
+    oc.scatter_lanes += scatter_lanes;
+    oc.scalar_ops += scalar_ops;
+    *this = OpTally{};
+  }
+};
+
+/// Back-compat shim for call sites that charge rarely (once per vertex or
+/// less).
+inline void charge_vector_chunk(int vector_ops, int gather_lanes,
+                                int scatter_lanes, int scalar_ops) {
+  auto& oc = opcount::local();
+  oc.vector_ops += static_cast<std::uint64_t>(vector_ops);
+  oc.gather_lanes += static_cast<std::uint64_t>(gather_lanes);
+  oc.scatter_lanes += static_cast<std::uint64_t>(scatter_lanes);
+  oc.scalar_ops += static_cast<std::uint64_t>(scalar_ops);
+}
+
+}  // namespace vgp::simd

@@ -1,0 +1,71 @@
+#include "vgp/simd/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "vgp/support/cpu.hpp"
+
+namespace vgp::simd {
+namespace {
+
+std::atomic<bool> g_slow_scatter{false};
+
+Backend env_override() {
+  static const Backend value = [] {
+    const char* env = std::getenv("VGP_BACKEND");
+    if (env == nullptr) return Backend::Auto;
+    return parse_backend(env);
+  }();
+  return value;
+}
+
+}  // namespace
+
+bool avx512_kernels_available() {
+#if defined(VGP_HAVE_AVX512)
+  return cpu_features().has_avx512_kernels();
+#else
+  return false;
+#endif
+}
+
+Backend resolve(Backend requested) {
+  if (requested == Backend::Auto) {
+    const Backend forced = env_override();
+    if (forced != Backend::Auto) requested = forced;
+  }
+  if (requested == Backend::Auto) {
+    return avx512_kernels_available() ? Backend::Avx512 : Backend::Scalar;
+  }
+  if (requested == Backend::Avx512 && !avx512_kernels_available()) {
+    return Backend::Scalar;
+  }
+  return requested;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::Auto: return "auto";
+    case Backend::Scalar: return "scalar";
+    case Backend::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "auto") return Backend::Auto;
+  if (name == "scalar") return Backend::Scalar;
+  if (name == "avx512") return Backend::Avx512;
+  throw std::invalid_argument("unknown backend: " + name);
+}
+
+void set_emulate_slow_scatter(bool on) {
+  g_slow_scatter.store(on, std::memory_order_relaxed);
+}
+
+bool emulate_slow_scatter() {
+  return g_slow_scatter.load(std::memory_order_relaxed);
+}
+
+}  // namespace vgp::simd

@@ -1,0 +1,39 @@
+// Kernel backend selection.
+//
+// Every algorithm in the library has a scalar implementation and (when the
+// translation units were compiled with AVX-512 support) a vector one. The
+// backend is picked at runtime:
+//   * Backend::Auto resolves to Avx512 when the CPU reports AVX-512F+CD
+//     and the library was built with VGP_ENABLE_AVX512, else Scalar;
+//   * the VGP_BACKEND environment variable ("scalar"/"avx512") overrides
+//     Auto resolution, which makes A/B runs trivial from the shell.
+//
+// Scatter emulation: the paper's SkylakeX-vs-CascadeLake contrast comes
+// from scatter micro-architecture quality. With a single host CPU we
+// reproduce the qualitative gap by optionally routing every vector scatter
+// through a sequential software loop (see DESIGN.md Substitutions). The
+// toggle is process-global and read once per kernel invocation.
+#pragma once
+
+#include <string>
+
+namespace vgp::simd {
+
+enum class Backend { Auto, Scalar, Avx512 };
+
+/// True when AVX-512 kernels exist in this binary AND the CPU supports
+/// them.
+bool avx512_kernels_available();
+
+/// Resolves Auto (env override included); returns Scalar for Avx512
+/// requests on machines that cannot run them.
+Backend resolve(Backend requested);
+
+const char* backend_name(Backend b);
+Backend parse_backend(const std::string& name);  // "auto"/"scalar"/"avx512"
+
+/// Emulated-slow-scatter toggle (models a weak-scatter microarchitecture).
+void set_emulate_slow_scatter(bool on);
+bool emulate_slow_scatter();
+
+}  // namespace vgp::simd

@@ -1,0 +1,49 @@
+#include "vgp/simd/reduce_scatter.hpp"
+
+namespace vgp::simd {
+
+const char* rs_method_name(RsMethod m) {
+  switch (m) {
+    case RsMethod::Scalar: return "scalar";
+    case RsMethod::Conflict: return "conflict";
+    case RsMethod::ConflictIterative: return "conflict-iter";
+    case RsMethod::Compress: return "compress";
+    case RsMethod::CompressIterative: return "compress-iter";
+  }
+  return "?";
+}
+
+void reduce_scatter_scalar(float* table, const std::int32_t* idx,
+                           const float* vals, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    table[idx[i]] += vals[i];
+  }
+}
+
+void reduce_scatter(float* table, const std::int32_t* idx, const float* vals,
+                    std::int64_t n, RsMethod method, Backend backend) {
+  if (resolve(backend) == Backend::Scalar || method == RsMethod::Scalar) {
+    reduce_scatter_scalar(table, idx, vals, n);
+    return;
+  }
+#if defined(VGP_HAVE_AVX512)
+  switch (method) {
+    case RsMethod::Conflict:
+      reduce_scatter_conflict_avx512(table, idx, vals, n, /*iterative=*/false);
+      return;
+    case RsMethod::ConflictIterative:
+      reduce_scatter_conflict_avx512(table, idx, vals, n, /*iterative=*/true);
+      return;
+    case RsMethod::Compress:
+      reduce_scatter_compress_avx512(table, idx, vals, n, /*iterative=*/false);
+      return;
+    case RsMethod::CompressIterative:
+      reduce_scatter_compress_avx512(table, idx, vals, n, /*iterative=*/true);
+      return;
+    case RsMethod::Scalar: break;  // handled above
+  }
+#endif
+  reduce_scatter_scalar(table, idx, vals, n);
+}
+
+}  // namespace vgp::simd

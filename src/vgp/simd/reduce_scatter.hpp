@@ -1,0 +1,62 @@
+// Reduce-scatter: table[idx[i]] += vals[i] with duplicate indices reduced
+// correctly — the pattern at the heart of the paper's ONPL kernels. A blind
+// vector scatter would drop all but one update when a community id appears
+// in several lanes, so the duplicates must be combined first. No single
+// AVX-512 instruction does this; the paper gives two constructions:
+//
+//   * Conflict detection (AVX-512CD): `_mm512_conflict_epi32` flags, per
+//     lane, which lower lanes hold the same index. Lanes with no earlier
+//     duplicate form a write-safe set, updated with one masked
+//     gather+add+scatter; the paper's production variant then finishes the
+//     (few) remaining lanes with scalar code, and an iterative variant
+//     keeps peeling write-safe sets entirely with vector ops.
+//
+//   * In-vector reduction ("compress"): broadcast the first lane's index,
+//     compare to find its duplicates, `_mm512_mask_reduce_add_ps` their
+//     values into one scalar update. Best once most lanes share one
+//     community (late in community-detection convergence). Again the
+//     production variant processes only the first index vectorially.
+//
+// All variants produce the same table contents as the scalar loop, up to
+// floating-point reassociation.
+#pragma once
+
+#include <cstdint>
+
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::simd {
+
+enum class RsMethod {
+  Scalar,             // plain scalar loop (the baseline)
+  Conflict,           // CD mask, one vector pass + scalar remainder
+  ConflictIterative,  // CD mask, repeated vector passes (ablation)
+  Compress,           // first index vector-reduced + scalar remainder
+  CompressIterative,  // repeated in-vector reductions (ablation)
+};
+
+const char* rs_method_name(RsMethod m);
+
+/// table[idx[i]] += vals[i] for i in [0, n). Requires 0 <= idx[i] <
+/// table_size; duplicate indices accumulate. Dispatches on `backend`
+/// (Scalar backend forces the scalar loop regardless of method).
+void reduce_scatter(float* table, const std::int32_t* idx, const float* vals,
+                    std::int64_t n, RsMethod method,
+                    Backend backend = Backend::Auto);
+
+/// The scalar reference loop, exposed for tests and ablation.
+void reduce_scatter_scalar(float* table, const std::int32_t* idx,
+                           const float* vals, std::int64_t n);
+
+#if defined(VGP_HAVE_AVX512)
+// Raw AVX-512 kernels (defined in reduce_scatter_avx512.cpp; call only
+// when avx512_kernels_available()).
+void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
+                                    const float* vals, std::int64_t n,
+                                    bool iterative);
+void reduce_scatter_compress_avx512(float* table, const std::int32_t* idx,
+                                    const float* vals, std::int64_t n,
+                                    bool iterative);
+#endif
+
+}  // namespace vgp::simd

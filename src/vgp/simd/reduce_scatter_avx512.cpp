@@ -1,0 +1,131 @@
+// AVX-512 reduce-scatter kernels (see reduce_scatter.hpp for the
+// algorithm descriptions). Compiled with -mavx512f -mavx512cd.
+#include "vgp/simd/avx512_common.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+
+namespace vgp::simd {
+namespace {
+
+/// One masked gather+add+scatter over lanes in `m` (indices distinct).
+inline void vector_accumulate(float* table, __mmask16 m, __m512i vidx,
+                              __m512 vval, bool slow) {
+  const __m512 cur =
+      _mm512_mask_i32gather_ps(_mm512_setzero_ps(), m, vidx, table, 4);
+  const __m512 sum = _mm512_add_ps(cur, vval);
+  scatter_ps(table, m, vidx, sum, slow);
+}
+
+}  // namespace
+
+void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
+                                    const float* vals, std::int64_t n,
+                                    bool iterative) {
+  const bool slow = emulate_slow_scatter();
+  OpTally tally;
+  for (std::int64_t i = 0; i < n; i += kLanes) {
+    const __mmask16 tail = tail_mask16(n - i);
+    const __m512i vidx = _mm512_maskz_loadu_epi32(tail, idx + i);
+    const __m512 vval = _mm512_maskz_loadu_ps(tail, vals + i);
+
+    // conflict_epi32: bit j of lane l is set iff idx[l] == idx[j], j < l.
+    // Inactive tail lanes sit above every active lane, so their zeroed
+    // values never pollute an active lane's conflict bits.
+    const __m512i conf = _mm512_conflict_epi32(vidx);
+    const __mmask16 first =
+        _mm512_mask_cmpeq_epi32_mask(tail, conf, _mm512_setzero_si512());
+
+    // First write-safe set: all first occurrences, handled vectorially.
+    vector_accumulate(table, first, vidx, vval, slow);
+
+    __mmask16 pending = tail & static_cast<__mmask16>(~first);
+    if (pending == 0) {
+      tally.add(4, __builtin_popcount(first), __builtin_popcount(first), 0);
+      continue;
+    }
+
+    if (!iterative) {
+      // Production variant: the duplicates (usually few) finish scalar.
+      tally.add(4, __builtin_popcount(first), __builtin_popcount(first),
+                __builtin_popcount(pending));
+      unsigned bits = pending;
+      while (bits != 0u) {
+        const int lane = __builtin_ctz(bits);
+        table[idx[i + lane]] += vals[i + lane];
+        bits &= bits - 1;
+      }
+      continue;
+    }
+
+    // Iterative variant: keep peeling write-safe sets. A lane becomes
+    // safe once every earlier lane holding the same index is done.
+    alignas(64) std::int32_t confbits[kLanes];
+    _mm512_store_si512(reinterpret_cast<__m512i*>(confbits), conf);
+    __mmask16 done = first;
+    int rounds = 1;
+    while (pending != 0) {
+      __mmask16 next = 0;
+      unsigned bits = pending;
+      while (bits != 0u) {
+        const int lane = __builtin_ctz(bits);
+        if ((static_cast<unsigned>(confbits[lane]) & static_cast<unsigned>(~done)) == 0u) {
+          next |= static_cast<__mmask16>(1u << lane);
+        }
+        bits &= bits - 1;
+      }
+      vector_accumulate(table, next, vidx, vval, slow);
+      done |= next;
+      pending &= static_cast<__mmask16>(~next);
+      ++rounds;
+    }
+    tally.add(4 * rounds, __builtin_popcount(done), __builtin_popcount(done),
+              0);
+  }
+  tally.flush();
+}
+
+void reduce_scatter_compress_avx512(float* table, const std::int32_t* idx,
+                                    const float* vals, std::int64_t n,
+                                    bool iterative) {
+  OpTally tally;
+  for (std::int64_t i = 0; i < n; i += kLanes) {
+    const __mmask16 tail = tail_mask16(n - i);
+    const __m512i vidx = _mm512_maskz_loadu_epi32(tail, idx + i);
+    const __m512 vval = _mm512_maskz_loadu_ps(tail, vals + i);
+
+    if (!iterative) {
+      // Production variant: reduce the first lane's index vectorially,
+      // finish the other communities scalar.
+      const std::int32_t c0 = idx[i];
+      const __mmask16 match = _mm512_mask_cmpeq_epi32_mask(
+          tail, vidx, _mm512_set1_epi32(c0));
+      table[c0] += _mm512_mask_reduce_add_ps(match, vval);
+
+      const __mmask16 rest = tail & static_cast<__mmask16>(~match);
+      tally.add(3, 0, 0, __builtin_popcount(rest) + 1);
+      unsigned bits = rest;
+      while (bits != 0u) {
+        const int lane = __builtin_ctz(bits);
+        table[idx[i + lane]] += vals[i + lane];
+        bits &= bits - 1;
+      }
+      continue;
+    }
+
+    // Iterative variant: one masked reduction per distinct index.
+    __mmask16 pending = tail;
+    int rounds = 0;
+    while (pending != 0) {
+      const int lane = __builtin_ctz(pending);
+      const std::int32_t c = idx[i + lane];
+      const __mmask16 match = _mm512_mask_cmpeq_epi32_mask(
+          pending, vidx, _mm512_set1_epi32(c));
+      table[c] += _mm512_mask_reduce_add_ps(match, vval);
+      pending &= static_cast<__mmask16>(~match);
+      ++rounds;
+    }
+    tally.add(3 * rounds, 0, 0, rounds);
+  }
+  tally.flush();
+}
+
+}  // namespace vgp::simd

@@ -1,0 +1,63 @@
+// Cache-line / vector-register aligned memory helpers.
+//
+// AVX-512 loads and stores are fastest on 64-byte aligned addresses, and the
+// OVPL sliced-ELLPACK layout depends on blocks starting at register-aligned
+// boundaries. `aligned_vector<T>` is a drop-in std::vector with a 64-byte
+// aligned allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace vgp {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Minimal C++17 aligned allocator; alignment must be a power of two and a
+/// multiple of sizeof(void*).
+template <typename T, std::size_t Align = kCacheLine>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Explicit rebind: the default allocator_traits mechanism cannot rebind
+  // through the non-type Align parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = std::aligned_alloc(Align, round_up(n * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Align>&) const noexcept {
+    return false;
+  }
+
+ private:
+  // std::aligned_alloc requires the size to be a multiple of the alignment.
+  static std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + Align - 1) / Align * Align;
+  }
+};
+
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace vgp

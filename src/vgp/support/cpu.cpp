@@ -1,0 +1,46 @@
+#include "vgp/support/cpu.hpp"
+
+#include <cpuid.h>
+
+namespace vgp {
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  // Leaf 7 subleaf 0 carries the AVX-512 feature flags.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx512f = (ebx >> 16) & 1u;
+    f.avx512dq = (ebx >> 17) & 1u;
+    f.avx512cd = (ebx >> 28) & 1u;
+    f.avx512bw = (ebx >> 30) & 1u;
+    f.avx512vl = (ebx >> 31) & 1u;
+  }
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  const auto add = [&s](bool have, const char* name) {
+    if (!have) return;
+    if (!s.empty()) s += ' ';
+    s += name;
+  };
+  add(f.avx512f, "avx512f");
+  add(f.avx512cd, "avx512cd");
+  add(f.avx512dq, "avx512dq");
+  add(f.avx512bw, "avx512bw");
+  add(f.avx512vl, "avx512vl");
+  if (s.empty()) s = "none";
+  return s;
+}
+
+}  // namespace vgp

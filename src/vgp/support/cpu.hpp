@@ -1,0 +1,32 @@
+// Runtime CPU feature detection (CPUID).
+//
+// The vector kernels require AVX-512F (foundation: 512-bit gather/scatter,
+// masked arithmetic) and AVX-512CD (conflict detection:
+// _mm512_conflict_epi32). The library compiles the vector translation units
+// unconditionally when the *compiler* supports them, but only dispatches to
+// them when the *CPU* reports the features, so the same binary runs on any
+// x86-64 machine.
+#pragma once
+
+#include <string>
+
+namespace vgp {
+
+struct CpuFeatures {
+  bool avx512f = false;
+  bool avx512cd = false;
+  bool avx512vl = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+
+  /// True when the ONPL/OVPL kernels (which need F + CD) can run.
+  bool has_avx512_kernels() const noexcept { return avx512f && avx512cd; }
+};
+
+/// Queries CPUID once and caches the result.
+const CpuFeatures& cpu_features();
+
+/// Human-readable feature summary, e.g. "avx512f avx512cd avx512vl".
+std::string cpu_feature_string();
+
+}  // namespace vgp

@@ -1,0 +1,45 @@
+#include "vgp/support/opcount.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace vgp::opcount {
+namespace {
+
+// Registry of every thread-local block so reset_all()/total() can reach
+// counters owned by pool threads. Blocks are never deallocated before
+// process exit (pool threads outlive all measurements).
+std::mutex g_mutex;
+std::vector<OpCounts*>& registry() {
+  static std::vector<OpCounts*> r;
+  return r;
+}
+
+struct LocalBlock {
+  OpCounts counts;
+  LocalBlock() {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    registry().push_back(&counts);
+  }
+};
+
+}  // namespace
+
+OpCounts& local() {
+  thread_local LocalBlock block;
+  return block.counts;
+}
+
+void reset_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (OpCounts* c : registry()) *c = OpCounts{};
+}
+
+OpCounts total() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  OpCounts sum;
+  for (const OpCounts* c : registry()) sum += *c;
+  return sum;
+}
+
+}  // namespace vgp::opcount

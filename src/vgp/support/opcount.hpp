@@ -1,0 +1,43 @@
+// Lightweight per-thread operation counters.
+//
+// The paper measures energy with RAPL; this container has no powercap
+// interface, so the energy substitute (vgp/energy/model.*) charges a fixed
+// energy cost per operation class. Kernels report *coarse* counts — one
+// update per neighbor chunk, not per element — so instrumentation overhead
+// stays negligible. Counters are thread-local and aggregated on demand.
+#pragma once
+
+#include <cstdint>
+
+namespace vgp {
+
+struct OpCounts {
+  std::uint64_t scalar_ops = 0;    // scalar ALU/FP ops in hot loops
+  std::uint64_t vector_ops = 0;    // 512-bit vector instructions
+  std::uint64_t gather_lanes = 0;  // lanes moved by gather instructions
+  std::uint64_t scatter_lanes = 0; // lanes moved by scatter instructions
+  std::uint64_t mem_lines = 0;     // distinct cache lines touched (estimate)
+
+  OpCounts& operator+=(const OpCounts& o) noexcept {
+    scalar_ops += o.scalar_ops;
+    vector_ops += o.vector_ops;
+    gather_lanes += o.gather_lanes;
+    scatter_lanes += o.scatter_lanes;
+    mem_lines += o.mem_lines;
+    return *this;
+  }
+};
+
+namespace opcount {
+
+/// Mutable reference to this thread's counter block.
+OpCounts& local();
+
+/// Zeroes the counters of every thread that ever touched them.
+void reset_all();
+
+/// Sum over all registered threads.
+OpCounts total();
+
+}  // namespace opcount
+}  // namespace vgp

@@ -1,0 +1,105 @@
+// Deterministic random number generation.
+//
+// Every experiment in the reproduction is seeded, so two runs of the same
+// bench binary produce the same graphs and the same traversal orders.
+// splitmix64 seeds xoshiro256**, the same construction the reference
+// implementations of xoshiro recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vgp {
+
+/// 32-bit finalizer mix (murmur3-style). Used for stateless, vectorizable
+/// "random" tie-breaking, e.g. label propagation's random tie rule.
+inline std::uint32_t mix32(std::uint32_t x) noexcept {
+  x ^= x >> 16;
+  x *= 0x7feb352du;
+  x ^= x >> 15;
+  x *= 0x846ca68bu;
+  x ^= x >> 16;
+  return x;
+}
+
+/// splitmix64: used to expand a single 64-bit seed into a full RNG state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator. Satisfies
+/// UniformRandomBitGenerator so it plugs into <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    // For the graph sizes used here a simple modulo bias would be invisible,
+    // but the rejection loop is cheap and keeps generators exactly uniform.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform float edge weight in [lo, hi).
+  float uniform_weight(float lo, float hi) noexcept {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace vgp

@@ -1,0 +1,69 @@
+#include "vgp/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  const auto mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return (sorted[mid - 1] + sorted[mid]) / 2.0;
+}
+
+ConfidenceInterval bootstrap_ci95(const std::vector<double>& xs,
+                                  int resamples, std::uint64_t seed) {
+  if (xs.empty()) return {};
+  if (xs.size() == 1) return {xs[0], xs[0]};
+  Xoshiro256 rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  const auto n = xs.size();
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += xs[rng.bounded(n)];
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(means.size() - 1));
+    return means[idx];
+  };
+  return {at(0.025), at(0.975)};
+}
+
+SampleStats summarize(const std::vector<double>& xs) {
+  SampleStats s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.median = median(xs);
+  s.stddev = stddev(xs);
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  s.ci95 = bootstrap_ci95(xs);
+  return s;
+}
+
+}  // namespace vgp

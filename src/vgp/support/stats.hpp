@@ -1,0 +1,45 @@
+// Run statistics: mean, standard deviation, and bootstrap confidence
+// intervals. The paper reports the average of 25 runs and computed 95%
+// bootstrap confidence intervals (Efron 1986) to check significance; the
+// harness does the same.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vgp {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct SampleStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;   // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  ConfidenceInterval ci95;  // bootstrap percentile interval of the mean
+  std::size_t count = 0;
+};
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 when fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Median (average of middle pair for even counts); 0 for empty input.
+double median(const std::vector<double>& xs);
+
+/// Percentile-bootstrap 95% confidence interval of the mean, deterministic
+/// for a given seed. `resamples` controls the bootstrap replication count.
+ConfidenceInterval bootstrap_ci95(const std::vector<double>& xs,
+                                  int resamples = 1000,
+                                  std::uint64_t seed = 42);
+
+/// One-stop summary used by the harness.
+SampleStats summarize(const std::vector<double>& xs);
+
+}  // namespace vgp

@@ -1,0 +1,26 @@
+// Monotonic wall-clock timer used by the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace vgp {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vgp

@@ -1,0 +1,84 @@
+// Tests for the .vgpb binary graph format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "vgp/gen/rmat.hpp"
+#include "vgp/graph/binary_io.hpp"
+#include "vgp/graph/io.hpp"
+
+namespace vgp::io {
+namespace {
+
+void expect_same(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_DOUBLE_EQ(a.total_edge_weight(), b.total_edge_weight());
+  for (VertexId u = 0; u < a.num_vertices(); ++u) {
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      ASSERT_EQ(na[i], nb[i]);
+      ASSERT_FLOAT_EQ(a.edge_weights(u)[i], b.edge_weights(u)[i]);
+    }
+  }
+}
+
+TEST(BinaryIo, RoundTripStream) {
+  const auto g = gen::rmat(gen::rmat_mix_skewed(9, 6));
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, ss);
+  expect_same(g, read_binary(ss));
+}
+
+TEST(BinaryIo, RoundTripFileAndAutoDispatch) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(8, 4));
+  const std::string path = ::testing::TempDir() + "/g.vgpb";
+  write_binary_file(g, path);
+  expect_same(g, read_binary_file(path));
+  expect_same(g, read_auto(path));
+}
+
+TEST(BinaryIo, EmptyGraphRoundTrip) {
+  const Graph g = Graph::from_edges(0, {});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, ss);
+  const Graph back = read_binary(ss);
+  EXPECT_EQ(back.num_vertices(), 0);
+}
+
+TEST(BinaryIo, IsolatedVerticesSurvive) {
+  const Edge edges[] = {{1, 3, 2.0f}};
+  const Graph g = Graph::from_edges(6, edges);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, ss);
+  const Graph back = read_binary(ss);
+  EXPECT_EQ(back.num_vertices(), 6);
+  EXPECT_EQ(back.degree(0), 0);
+  EXPECT_EQ(back.degree(5), 0);
+  EXPECT_FLOAT_EQ(back.edge_weights(1)[0], 2.0f);
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::stringstream ss("definitely not a vgpb file at all");
+  EXPECT_THROW(read_binary(ss), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, ss);
+  const std::string full = ss.str();
+  for (const std::size_t cut : {full.size() / 4, full.size() / 2, full.size() - 8}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(read_binary(truncated), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryIo, MissingFileThrows) {
+  EXPECT_THROW(read_binary_file("/nonexistent/path/g.vgpb"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vgp::io

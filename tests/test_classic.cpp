@@ -1,0 +1,149 @@
+// Tests for the classic contrast kernels: BFS and PageRank, scalar and
+// vectorized.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vgp/classic/bfs.hpp"
+#include "vgp/classic/pagerank.hpp"
+#include "vgp/gen/er.hpp"
+#include "vgp/gen/lattice.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/gen/suite.hpp"
+
+namespace vgp::classic {
+namespace {
+
+Graph path5() {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}, {3, 4, 1.0f}};
+  return Graph::from_edges(5, edges);
+}
+
+TEST(Bfs, PathDistances) {
+  const auto res = bfs(path5(), 0);
+  EXPECT_EQ(res.distance, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(res.reached, 5);
+  EXPECT_EQ(res.max_distance, 4);
+  EXPECT_TRUE(verify_bfs(path5(), 0, res.distance));
+}
+
+TEST(Bfs, MiddleSource) {
+  const auto res = bfs(path5(), 2);
+  EXPECT_EQ(res.distance, (std::vector<std::int32_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(Bfs, DisconnectedComponentsStayUnreached) {
+  const Edge edges[] = {{0, 1, 1.0f}, {2, 3, 1.0f}};
+  const Graph g = Graph::from_edges(5, edges);
+  const auto res = bfs(g, 0);
+  EXPECT_EQ(res.reached, 2);
+  EXPECT_EQ(res.distance[2], kUnreached);
+  EXPECT_EQ(res.distance[4], kUnreached);
+  EXPECT_TRUE(verify_bfs(g, 0, res.distance));
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  EXPECT_THROW(bfs(path5(), 7), std::invalid_argument);
+  EXPECT_THROW(bfs(path5(), -1), std::invalid_argument);
+}
+
+TEST(Bfs, GridDiameter) {
+  const Graph g = gen::grid2d(10, 10);
+  const auto res = bfs(g, 0);
+  EXPECT_EQ(res.reached, 100);
+  EXPECT_EQ(res.max_distance, 18);  // Manhattan distance to far corner
+}
+
+TEST(Bfs, ScalarAndVectorAgreeExactly) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  for (const char* name : {"Oregon-2", "roadNet-PA", "NACA0015"}) {
+    const Graph g = gen::suite_entry(name).make(gen::SuiteScale::Tiny);
+    BfsOptions s, v;
+    s.backend = simd::Backend::Scalar;
+    v.backend = simd::Backend::Avx512;
+    const auto rs = bfs(g, 0, s);
+    const auto rv = bfs(g, 0, v);
+    ASSERT_EQ(rs.distance, rv.distance) << name;
+    EXPECT_EQ(rs.reached, rv.reached);
+  }
+}
+
+TEST(Bfs, VerifierCatchesCorruption) {
+  const Graph g = path5();
+  auto d = bfs(g, 0).distance;
+  d[3] = 1;  // level skip
+  std::string why;
+  EXPECT_FALSE(verify_bfs(g, 0, d, &why));
+}
+
+TEST(PageRank, SumsToOne) {
+  const auto g = gen::erdos_renyi(500, 2000, 9);
+  const auto res = pagerank(g);
+  double sum = 0.0;
+  for (float r : res.rank) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+  EXPECT_GT(res.iterations, 1);
+}
+
+TEST(PageRank, UniformOnRegularGraph) {
+  // On a cycle every vertex has the same rank.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 20; ++u)
+    edges.push_back({u, static_cast<VertexId>((u + 1) % 20), 1.0f});
+  const Graph g = Graph::from_edges(20, edges);
+  const auto res = pagerank(g);
+  for (float r : res.rank) EXPECT_NEAR(r, 0.05f, 1e-4f);
+}
+
+TEST(PageRank, HubsRankHigher) {
+  // Star: the center must outrank the leaves.
+  std::vector<Edge> edges;
+  for (VertexId i = 1; i <= 10; ++i) edges.push_back({0, i, 1.0f});
+  const Graph g = Graph::from_edges(11, edges);
+  const auto res = pagerank(g);
+  for (std::size_t i = 1; i < res.rank.size(); ++i) {
+    EXPECT_GT(res.rank[0], res.rank[i]);
+  }
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // Vertex 2 is isolated (dangling); ranks must still sum to 1.
+  const Edge edges[] = {{0, 1, 1.0f}};
+  const Graph g = Graph::from_edges(3, edges);
+  const auto res = pagerank(g);
+  double sum = 0.0;
+  for (float r : res.rank) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+  EXPECT_GT(res.rank[2], 0.0f);
+}
+
+TEST(PageRank, ScalarAndVectorAgree) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  const auto g = gen::rmat(gen::rmat_mix_graph500(10, 8));
+  PageRankOptions s, v;
+  s.backend = simd::Backend::Scalar;
+  v.backend = simd::Backend::Avx512;
+  const auto rs = pagerank(g, s);
+  const auto rv = pagerank(g, v);
+  ASSERT_EQ(rs.rank.size(), rv.rank.size());
+  for (std::size_t i = 0; i < rs.rank.size(); ++i) {
+    ASSERT_NEAR(rs.rank[i], rv.rank[i], 1e-5f) << "vertex " << i;
+  }
+}
+
+TEST(PageRank, ConvergesFasterWithLooserTolerance) {
+  const auto g = gen::erdos_renyi(300, 1500, 4);
+  PageRankOptions tight, loose;
+  tight.tolerance = 1e-10;
+  loose.tolerance = 1e-3;
+  EXPECT_LE(pagerank(g, loose).iterations, pagerank(g, tight).iterations);
+}
+
+TEST(PageRank, EmptyGraph) {
+  const auto res = pagerank(Graph::from_edges(0, {}));
+  EXPECT_TRUE(res.rank.empty());
+  EXPECT_EQ(res.iterations, 0);
+}
+
+}  // namespace
+}  // namespace vgp::classic

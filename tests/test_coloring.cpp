@@ -1,0 +1,168 @@
+// Tests for speculative parallel greedy coloring: validity on every graph
+// family, scalar/vector agreement on validity and color-count bounds, and
+// conflict-detection behavior.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/gen/ba.hpp"
+#include "vgp/gen/er.hpp"
+#include "vgp/gen/lattice.hpp"
+#include "vgp/gen/mesh.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/gen/suite.hpp"
+
+namespace vgp::coloring {
+namespace {
+
+Graph path4() {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}};
+  return Graph::from_edges(4, edges);
+}
+
+TEST(Coloring, EmptyGraph) {
+  const auto res = color_graph(Graph::from_edges(0, {}));
+  EXPECT_EQ(res.num_colors, 0);
+  EXPECT_TRUE(res.colors.empty());
+}
+
+TEST(Coloring, IsolatedVerticesGetColorOne) {
+  const auto res = color_graph(Graph::from_edges(3, {}));
+  for (const auto c : res.colors) EXPECT_EQ(c, 1);
+  EXPECT_EQ(res.num_colors, 1);
+}
+
+TEST(Coloring, PathUsesTwoColors) {
+  const auto res = color_graph(path4());
+  EXPECT_TRUE(verify_coloring(path4(), res.colors));
+  EXPECT_EQ(res.num_colors, 2);
+}
+
+TEST(Coloring, CliqueNeedsAllColors) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = static_cast<VertexId>(u + 1); v < 6; ++v) {
+      edges.push_back({u, v, 1.0f});
+    }
+  }
+  const Graph g = Graph::from_edges(6, edges);
+  const auto res = color_graph(g);
+  EXPECT_TRUE(verify_coloring(g, res.colors));
+  EXPECT_EQ(res.num_colors, 6);
+}
+
+TEST(Coloring, SelfLoopsAreIgnored) {
+  const Edge edges[] = {{0, 0, 1.0f}, {0, 1, 1.0f}};
+  const Graph g = Graph::from_edges(2, edges);
+  const auto res = color_graph(g);
+  EXPECT_TRUE(verify_coloring(g, res.colors));
+  EXPECT_EQ(res.num_colors, 2);
+}
+
+TEST(Coloring, GreedyBoundRespected) {
+  const auto g = gen::erdos_renyi(500, 3000, 17);
+  const auto res = color_graph(g);
+  EXPECT_TRUE(verify_coloring(g, res.colors));
+  EXPECT_LE(res.num_colors, g.max_degree() + 1);  // greedy upper bound
+}
+
+TEST(VerifyColoring, DetectsViolations) {
+  const Graph g = path4();
+  std::string why;
+  EXPECT_FALSE(verify_coloring(g, {1, 1, 2, 1}, &why));
+  EXPECT_NE(why.find("monochromatic"), std::string::npos);
+  EXPECT_FALSE(verify_coloring(g, {0, 1, 2, 1}, &why));
+  EXPECT_NE(why.find("uncolored"), std::string::npos);
+  EXPECT_FALSE(verify_coloring(g, {1, 2}, &why));
+}
+
+// ---- scalar vs vector across graph families ----------------------------
+
+struct ColoringCase {
+  std::string name;
+  Graph graph;
+};
+
+class ColoringFamilies
+    : public ::testing::TestWithParam<std::tuple<std::string, const char*>> {
+ protected:
+  static Graph build(const std::string& family) {
+    if (family == "er") return gen::erdos_renyi(2000, 10000, 3);
+    if (family == "rmat") return gen::rmat(gen::rmat_mix_graph500(11, 8));
+    if (family == "mesh") {
+      gen::MeshParams p;
+      p.rows = 40;
+      p.cols = 40;
+      return gen::triangulated_mesh(p);
+    }
+    if (family == "road") {
+      gen::RoadLikeParams p;
+      p.rows = 50;
+      p.cols = 50;
+      return gen::road_like(p);
+    }
+    if (family == "ba") return gen::barabasi_albert(3000, 4, 5);
+    throw std::logic_error("unknown family");
+  }
+};
+
+TEST_P(ColoringFamilies, ProducesValidColoring) {
+  const auto [family, backend_name] = GetParam();
+  const Graph g = build(family);
+  Options opts;
+  opts.backend = simd::parse_backend(backend_name);
+  const auto res = color_graph(g, opts);
+  std::string why;
+  EXPECT_TRUE(verify_coloring(g, res.colors, &why)) << why;
+  EXPECT_LE(res.num_colors, g.max_degree() + 1);
+  EXPECT_GE(res.rounds, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamilyByBackend, ColoringFamilies,
+    ::testing::Combine(::testing::Values("er", "rmat", "mesh", "road", "ba"),
+                       ::testing::Values("scalar", "avx512")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+TEST(Coloring, ScalarAndVectorSameColorCountSingleThreaded) {
+  // With one effective round order the two backends implement the same
+  // greedy rule, so single-threaded they must agree exactly.
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  const auto g = gen::rmat(gen::rmat_mix_flat(10, 6));
+  Options scalar_opts, vec_opts;
+  scalar_opts.backend = simd::Backend::Scalar;
+  scalar_opts.grain = 1 << 30;  // one chunk -> sequential order
+  vec_opts.backend = simd::Backend::Avx512;
+  vec_opts.grain = 1 << 30;
+  const auto a = color_graph(g, scalar_opts);
+  const auto b = color_graph(g, vec_opts);
+  EXPECT_EQ(a.num_colors, b.num_colors);
+  EXPECT_EQ(a.colors, b.colors);
+}
+
+TEST(Coloring, SuiteGraphsAllValid) {
+  for (const auto& entry : gen::table1_suite()) {
+    const Graph g = entry.make(gen::SuiteScale::Tiny);
+    const auto res = color_graph(g);
+    std::string why;
+    ASSERT_TRUE(verify_coloring(g, res.colors, &why))
+        << entry.name << ": " << why;
+  }
+}
+
+TEST(Coloring, SlowScatterEmulationStillValid) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  const auto g = gen::erdos_renyi(1000, 5000, 7);
+  simd::set_emulate_slow_scatter(true);
+  Options opts;
+  opts.backend = simd::Backend::Avx512;
+  const auto res = color_graph(g, opts);
+  simd::set_emulate_slow_scatter(false);
+  EXPECT_TRUE(verify_coloring(g, res.colors));
+}
+
+}  // namespace
+}  // namespace vgp::coloring

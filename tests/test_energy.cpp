@@ -1,0 +1,124 @@
+// Tests for the energy meters (RAPL when present, op-count model
+// otherwise).
+#include <gtest/gtest.h>
+
+#include "vgp/energy/meter.hpp"
+#include "vgp/support/opcount.hpp"
+
+namespace vgp::energy {
+namespace {
+
+TEST(EnergyMeter, FactoryNeverReturnsNull) {
+  EXPECT_NE(make_meter(MeterKind::Auto), nullptr);
+  EXPECT_NE(make_meter(MeterKind::Rapl), nullptr);
+  EXPECT_NE(make_meter(MeterKind::Model), nullptr);
+}
+
+TEST(EnergyMeter, ModelMeterProducesValidSample) {
+  auto meter = make_meter(MeterKind::Model);
+  meter->start();
+  opcount::local().scalar_ops += 1000000;
+  const auto s = meter->stop();
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.source, "model");
+  EXPECT_GT(s.joules, 0.0);
+  EXPECT_GE(s.seconds, 0.0);
+}
+
+TEST(EnergyMeter, ModelEnergyGrowsWithWork) {
+  auto meter = make_meter(MeterKind::Model);
+
+  meter->start();
+  opcount::local().scalar_ops += 1000;
+  const auto small = meter->stop();
+
+  meter->start();
+  opcount::local().scalar_ops += 100000000;
+  const auto big = meter->stop();
+
+  EXPECT_GT(big.joules, small.joules);
+}
+
+TEST(EnergyMeter, VectorOpsCheaperPerElementThanScalar) {
+  // 16 scalar ops must cost more than 1 vector op covering 16 lanes —
+  // the instruction-decode argument behind ONPL's energy win.
+  auto meter = make_meter(MeterKind::Model);
+
+  meter->start();
+  opcount::local().scalar_ops += 16'000'000;
+  const auto scalar = meter->stop();
+
+  meter->start();
+  opcount::local().vector_ops += 1'000'000;
+  const auto vec = meter->stop();
+
+  EXPECT_GT(scalar.joules, vec.joules);
+}
+
+TEST(EnergyMeter, ScatterLanesDearerThanGatherLanes) {
+  auto meter = make_meter(MeterKind::Model);
+
+  meter->start();
+  opcount::local().gather_lanes += 100'000'000;
+  const auto g = meter->stop();
+
+  meter->start();
+  opcount::local().scatter_lanes += 100'000'000;
+  const auto s = meter->stop();
+
+  EXPECT_GT(s.joules, g.joules);
+}
+
+TEST(EnergyMeter, StartResetsCounters) {
+  auto meter = make_meter(MeterKind::Model);
+  opcount::local().scalar_ops += 500;
+  meter->start();  // resets
+  const auto s = meter->stop();
+  // Only static power over a tiny interval remains.
+  EXPECT_LT(s.joules, 1.0);
+}
+
+TEST(EnergyMeter, WattsComputedFromSample) {
+  EnergySample s;
+  s.joules = 10.0;
+  s.seconds = 2.0;
+  EXPECT_DOUBLE_EQ(s.watts(), 5.0);
+  EnergySample zero;
+  EXPECT_DOUBLE_EQ(zero.watts(), 0.0);
+}
+
+TEST(EnergyMeter, MeasureWrapperRunsFunction) {
+  auto meter = make_meter(MeterKind::Model);
+  bool ran = false;
+  const auto s = measure(*meter, [&] {
+    ran = true;
+    opcount::local().scalar_ops += 10;
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(s.valid);
+}
+
+TEST(EnergyMeter, RaplGracefulWithoutPowercap) {
+  // On machines without powercap the RAPL meter must not crash; the
+  // sample reports invalid instead.
+  auto meter = make_meter(MeterKind::Rapl);
+  meter->start();
+  const auto s = meter->stop();
+  if (!rapl_available()) {
+    EXPECT_FALSE(s.valid);
+  } else {
+    EXPECT_TRUE(s.valid);
+    EXPECT_EQ(s.source, "rapl");
+  }
+}
+
+TEST(EnergyMeter, AutoPicksWorkingMeter) {
+  auto meter = make_meter(MeterKind::Auto);
+  meter->start();
+  opcount::local().scalar_ops += 100;
+  const auto s = meter->stop();
+  EXPECT_TRUE(s.valid);
+}
+
+}  // namespace
+}  // namespace vgp::energy

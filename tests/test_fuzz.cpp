@@ -1,0 +1,146 @@
+// Randomized cross-kernel fuzz: for each seed, build a random graph from
+// a random family and push it through every kernel, checking the
+// invariants that must hold for ANY input — valid coloring, modularity
+// bounds, volume bookkeeping, BFS level structure, scalar/vector
+// agreement. Complements the targeted unit tests with breadth.
+#include <gtest/gtest.h>
+
+#include "vgp/classic/bfs.hpp"
+#include "vgp/classic/pagerank.hpp"
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/gen/ba.hpp"
+#include "vgp/gen/er.hpp"
+#include "vgp/gen/lattice.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/gen/smallworld.hpp"
+#include "vgp/graph/triangles.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace vgp {
+namespace {
+
+Graph random_graph(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 7919);
+  switch (rng.bounded(5)) {
+    case 0:
+      return gen::erdos_renyi(200 + rng.bounded(800),
+                              500 + rng.bounded(3000), seed);
+    case 1: {
+      auto p = gen::rmat_mix_skewed(8 + static_cast<int>(rng.bounded(3)),
+                                    2 + static_cast<int>(rng.bounded(6)));
+      p.seed = seed;
+      return gen::rmat(p);
+    }
+    case 2:
+      return gen::barabasi_albert(300 + rng.bounded(700),
+                                  2 + static_cast<int>(rng.bounded(4)), seed);
+    case 3:
+      return gen::watts_strogatz(200 + rng.bounded(400),
+                                 2 + static_cast<int>(rng.bounded(3)),
+                                 0.1 + 0.3 * rng.uniform(), seed);
+    default: {
+      gen::RoadLikeParams p;
+      p.rows = 15 + static_cast<std::int64_t>(rng.bounded(25));
+      p.cols = 15 + static_cast<std::int64_t>(rng.bounded(25));
+      p.seed = seed;
+      return gen::road_like(p);
+    }
+  }
+}
+
+class KernelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelFuzz, GraphIsValid) {
+  const Graph g = random_graph(GetParam());
+  std::string why;
+  ASSERT_TRUE(g.validate(&why)) << why;
+}
+
+TEST_P(KernelFuzz, ColoringValidOnBothBackends) {
+  const Graph g = random_graph(GetParam());
+  for (const auto backend : {simd::Backend::Scalar, simd::Backend::Avx512}) {
+    coloring::Options opts;
+    opts.backend = backend;
+    const auto res = coloring::color_graph(g, opts);
+    std::string why;
+    ASSERT_TRUE(coloring::verify_coloring(g, res.colors, &why))
+        << simd::backend_name(backend) << ": " << why;
+    ASSERT_LE(res.num_colors, g.max_degree() + 1);
+  }
+}
+
+TEST_P(KernelFuzz, LouvainInvariants) {
+  const Graph g = random_graph(GetParam());
+  community::LouvainOptions opts;
+  opts.policy = community::MovePolicy::ONPL;
+  const auto res = community::louvain(g, opts);
+  EXPECT_GE(res.modularity, -0.5);
+  EXPECT_LT(res.modularity, 1.0);
+  EXPECT_GE(res.num_communities, 1);
+  EXPECT_LE(res.num_communities, g.num_vertices());
+  // Communities must be compact labels.
+  for (const auto c : res.communities) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, res.num_communities);
+  }
+  // Modularity of the result can't be worse than all-singletons.
+  EXPECT_GE(res.modularity,
+            community::modularity(
+                g, community::singleton_partition(g.num_vertices())) -
+                1e-9);
+}
+
+TEST_P(KernelFuzz, LabelPropLabelsValid) {
+  const Graph g = random_graph(GetParam());
+  const auto res = community::label_propagation(g);
+  for (const auto l : res.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, g.num_vertices());
+  }
+  // An isolated vertex can never change its label.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) == 0) {
+      ASSERT_EQ(res.labels[static_cast<std::size_t>(v)], v);
+    }
+  }
+}
+
+TEST_P(KernelFuzz, BfsLevelsValid) {
+  const Graph g = random_graph(GetParam());
+  if (g.num_vertices() == 0) return;
+  const auto res = classic::bfs(g, 0);
+  std::string why;
+  ASSERT_TRUE(classic::verify_bfs(g, 0, res.distance, &why)) << why;
+}
+
+TEST_P(KernelFuzz, PageRankMassConserved) {
+  const Graph g = random_graph(GetParam());
+  const auto res = classic::pagerank(g);
+  double sum = 0.0;
+  for (float r : res.rank) {
+    ASSERT_GE(r, 0.0f);
+    sum += r;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-2);
+}
+
+TEST_P(KernelFuzz, TrianglesBackendAgreement) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  const Graph g = random_graph(GetParam());
+  TriangleOptions s, v;
+  s.backend = simd::Backend::Scalar;
+  v.backend = simd::Backend::Avx512;
+  EXPECT_EQ(count_triangles(g, s).triangles, count_triangles(g, v).triangles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace vgp

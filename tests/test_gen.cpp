@@ -1,0 +1,236 @@
+// Tests for the graph generators: determinism, size/degree contracts, and
+// the Table 1 suite registry.
+#include <gtest/gtest.h>
+
+#include "vgp/gen/ba.hpp"
+#include "vgp/gen/er.hpp"
+#include "vgp/gen/lattice.hpp"
+#include "vgp/gen/mesh.hpp"
+#include "vgp/gen/planted.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/gen/smallworld.hpp"
+#include "vgp/gen/suite.hpp"
+#include "vgp/graph/stats.hpp"
+
+namespace vgp {
+namespace {
+
+TEST(Rmat, SizeContract) {
+  const auto g = gen::rmat(gen::rmat_mix_graph500(10, 8));
+  EXPECT_EQ(g.num_vertices(), 1 << 10);
+  // Duplicates and dropped self-loops shrink the realized edge count.
+  EXPECT_GT(g.num_edges(), (1 << 10) * 8 / 2);
+  EXPECT_LE(g.num_edges(), (1 << 10) * 8);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  auto p = gen::rmat_mix_skewed(9, 4);
+  p.seed = 77;
+  const auto a = gen::rmat(p);
+  const auto b = gen::rmat(p);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId u = 0; u < a.num_vertices(); u += 37) {
+    ASSERT_EQ(a.degree(u), b.degree(u));
+  }
+}
+
+TEST(Rmat, SkewedMixYieldsSkewedDegrees) {
+  const auto flat = gen::rmat(gen::rmat_mix_flat(12, 8));
+  const auto skew = gen::rmat(gen::rmat_mix_graph500(12, 8));
+  const auto sf = compute_stats(flat);
+  const auto ss = compute_stats(skew);
+  // Graph500 mix concentrates edges on low ids -> larger hubs.
+  EXPECT_GT(ss.max_degree, sf.max_degree);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  auto p = gen::rmat_mix_flat(10, 4);
+  p.a = 0.9;  // probabilities no longer sum to 1
+  EXPECT_THROW(gen::rmat(p), std::invalid_argument);
+  auto q = gen::rmat_mix_flat(0, 4);
+  EXPECT_THROW(gen::rmat(q), std::invalid_argument);
+  auto r = gen::rmat_mix_flat(10, 0);
+  EXPECT_THROW(gen::rmat(r), std::invalid_argument);
+}
+
+TEST(Rmat, WeightsInRange) {
+  auto p = gen::rmat_mix_flat(8, 4);
+  p.weight_lo = 0.5f;
+  p.weight_hi = 2.0f;
+  const auto g = gen::rmat(p);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (float w : g.edge_weights(u)) {
+      // Merged parallel edges may sum above weight_hi.
+      ASSERT_GE(w, 0.5f);
+    }
+  }
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const auto g = gen::erdos_renyi(100, 300, 5);
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_EQ(g.num_edges(), 300);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(ErdosRenyi, RejectsOverfull) {
+  EXPECT_THROW(gen::erdos_renyi(4, 10, 1), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, DeterministicForSeed) {
+  const auto a = gen::erdos_renyi(50, 100, 9);
+  const auto b = gen::erdos_renyi(50, 100, 9);
+  for (VertexId u = 0; u < 50; ++u) ASSERT_EQ(a.degree(u), b.degree(u));
+}
+
+TEST(Grid2d, StructureAndDegrees) {
+  const auto g = gen::grid2d(10, 7);
+  EXPECT_EQ(g.num_vertices(), 70);
+  EXPECT_EQ(g.num_edges(), 10 * 6 + 9 * 7);  // horizontal + vertical
+  EXPECT_EQ(g.max_degree(), 4);
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.min_degree, 2);
+}
+
+TEST(RoadLike, MatchesRoadDegreeProfile) {
+  gen::RoadLikeParams p;
+  p.rows = 80;
+  p.cols = 80;
+  const auto g = gen::road_like(p);
+  const auto s = compute_stats(g);
+  EXPECT_GT(s.avg_degree, 1.5);
+  EXPECT_LT(s.avg_degree, 3.5);
+  EXPECT_LE(s.max_degree, 8);  // lattice + rare shortcut endpoints
+}
+
+TEST(Mesh, TriangulatedDegreeProfile) {
+  gen::MeshParams p;
+  p.rows = 60;
+  p.cols = 60;
+  const auto g = gen::triangulated_mesh(p);
+  const auto s = compute_stats(g);
+  // Interior degree 6; boundary lowers the average slightly.
+  EXPECT_GT(s.avg_degree, 4.5);
+  EXPECT_LE(s.max_degree, 8);
+  EXPECT_GT(s.degree_balance, 0.5);  // the OVPL-friendly regime
+}
+
+TEST(QuasiRegular3d, HitsTargetAverageDegree) {
+  const auto g = gen::quasi_regular_3d(12, 12, 8, 12, 3);
+  const auto s = compute_stats(g);
+  EXPECT_NEAR(s.avg_degree, 12.0, 2.5);
+  EXPECT_LT(s.max_degree, 40);
+}
+
+TEST(WattsStrogatz, DegreeSumPreservedWithoutRewiring) {
+  const auto g = gen::watts_strogatz(100, 3, 0.0, 1);
+  EXPECT_EQ(g.num_edges(), 300);
+  EXPECT_EQ(g.max_degree(), 6);
+}
+
+TEST(WattsStrogatz, RewiringKeepsEdgeBudget) {
+  const auto g = gen::watts_strogatz(200, 4, 0.3, 2);
+  // Rewiring can create duplicates that merge, losing a few edges.
+  EXPECT_LE(g.num_edges(), 800);
+  EXPECT_GT(g.num_edges(), 700);
+}
+
+TEST(WattsStrogatz, RejectsBadParameters) {
+  EXPECT_THROW(gen::watts_strogatz(10, 5, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::watts_strogatz(100, 2, 1.5, 1), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, PowerLawHubs) {
+  const auto g = gen::barabasi_albert(2000, 3, 4);
+  const auto s = compute_stats(g);
+  EXPECT_NEAR(s.avg_degree, 6.0, 1.0);
+  EXPECT_GT(s.max_degree, 40);  // hubs emerge
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  EXPECT_THROW(gen::barabasi_albert(3, 5, 1), std::invalid_argument);
+  EXPECT_THROW(gen::barabasi_albert(10, 0, 1), std::invalid_argument);
+}
+
+TEST(Planted, GroundTruthShapes) {
+  gen::PlantedParams p;
+  p.communities = 8;
+  p.vertices_per_community = 64;
+  const auto pg = gen::planted_partition(p);
+  EXPECT_EQ(pg.graph.num_vertices(), 512);
+  EXPECT_EQ(pg.truth.size(), 512u);
+  EXPECT_EQ(pg.truth[0], 0);
+  EXPECT_EQ(pg.truth[511], 7);
+  const auto s = compute_stats(pg.graph);
+  EXPECT_NEAR(s.avg_degree, p.intra_degree + p.inter_degree, 2.0);
+}
+
+// ---- Table 1 suite -----------------------------------------------------
+
+class SuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteTest, BuildsValidGraphAtTinyScale) {
+  const auto& entry = gen::suite_entry(GetParam());
+  const Graph g = entry.make(gen::SuiteScale::Tiny);
+  EXPECT_GT(g.num_vertices(), 0);
+  EXPECT_GT(g.num_edges(), 0);
+  std::string why;
+  EXPECT_TRUE(g.validate(&why)) << why;
+
+  const auto s = compute_stats(g);
+  if (entry.category == "road") {
+    EXPECT_LT(s.avg_degree, 4.0);
+  } else if (entry.category == "mesh") {
+    EXPECT_GT(s.degree_balance, 0.4);
+  } else if (entry.category == "social" || entry.category == "web") {
+    EXPECT_GT(s.max_degree, 4 * s.avg_degree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphs, SuiteTest,
+    ::testing::Values("333SP", "AS365", "M6", "NACA0015", "NLR", "Oregon-2",
+                      "asia", "belgium", "delaunay_n24", "europe", "germany",
+                      "in-2004", "kkt_power", "loc-Gowalla", "luxembourg",
+                      "netherlands", "nlpkkt200", "roadNet-PA", "uk-2002"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Suite, HasAll19Table1Graphs) {
+  EXPECT_EQ(gen::table1_suite().size(), 19u);
+}
+
+TEST(Suite, DegreeBalancedSubsetNonEmpty) {
+  const auto sel = gen::degree_balanced_suite();
+  EXPECT_GE(sel.size(), 5u);
+  for (const auto& e : sel) EXPECT_TRUE(e.degree_balanced);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(gen::suite_entry("nope"), std::invalid_argument);
+}
+
+TEST(Suite, ScaleParserRoundTrip) {
+  EXPECT_EQ(gen::parse_suite_scale("tiny"), gen::SuiteScale::Tiny);
+  EXPECT_EQ(gen::parse_suite_scale("small"), gen::SuiteScale::Small);
+  EXPECT_EQ(gen::parse_suite_scale("medium"), gen::SuiteScale::Medium);
+  EXPECT_EQ(gen::parse_suite_scale("large"), gen::SuiteScale::Large);
+  EXPECT_THROW(gen::parse_suite_scale("huge"), std::invalid_argument);
+}
+
+TEST(Suite, ScalesGrowMonotonically) {
+  const auto& e = gen::suite_entry("luxembourg");
+  const auto tiny = e.make(gen::SuiteScale::Tiny);
+  const auto small = e.make(gen::SuiteScale::Small);
+  EXPECT_LT(tiny.num_vertices(), small.num_vertices());
+}
+
+}  // namespace
+}  // namespace vgp

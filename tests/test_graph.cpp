@@ -1,0 +1,191 @@
+// Unit tests for the CSR graph: construction, symmetrization, duplicate
+// merging, self-loops, volumes, validation, permutation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vgp/graph/csr.hpp"
+#include "vgp/graph/permute.hpp"
+#include "vgp/graph/stats.hpp"
+
+namespace vgp {
+namespace {
+
+Graph triangle() {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 2.0f}, {0, 2, 3.0f}};
+  return Graph::from_edges(3, edges);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, IsolatedVertices) {
+  Graph g = Graph::from_edges(5, {});
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, TriangleBasics) {
+  Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_arcs(), 6);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 6.0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  const Edge edges[] = {{0, 3, 1.0f}, {0, 1, 1.0f}, {0, 2, 1.0f}};
+  Graph g = Graph::from_edges(4, edges);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 1);
+  EXPECT_EQ(nbrs[1], 2);
+  EXPECT_EQ(nbrs[2], 3);
+}
+
+TEST(Graph, ParallelEdgesMergeWeights) {
+  const Edge edges[] = {{0, 1, 1.5f}, {1, 0, 2.5f}, {0, 1, 1.0f}};
+  Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 5.0f);
+  EXPECT_FLOAT_EQ(g.edge_weights(1)[0], 5.0f);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 5.0);
+}
+
+TEST(Graph, SelfLoopStoredOnceAndDoubledInVolume) {
+  const Edge edges[] = {{0, 0, 2.0f}, {0, 1, 1.0f}};
+  Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 2);  // self-loop occupies one slot
+  EXPECT_FLOAT_EQ(g.self_loop_weight(0), 2.0f);
+  EXPECT_FLOAT_EQ(g.self_loop_weight(1), 0.0f);
+  // vol(0) = w(0,1) + 2*w(0,0) = 1 + 4 = 5 per the paper's definition.
+  EXPECT_DOUBLE_EQ(g.volume(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.volume(1), 1.0);
+  // omega = 1 + 2.
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, VolumesMatchHandshake) {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}, {3, 0, 1.0f}};
+  Graph g = Graph::from_edges(4, edges);
+  const auto vols = g.volumes();
+  double total = 0.0;
+  for (double v : vols) total += v;
+  EXPECT_DOUBLE_EQ(total, 2.0 * g.total_edge_weight());
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  const Edge bad[] = {{0, 5, 1.0f}};
+  EXPECT_THROW(Graph::from_edges(3, bad), std::invalid_argument);
+  const Edge neg[] = {{-1, 0, 1.0f}};
+  EXPECT_THROW(Graph::from_edges(3, neg), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNonPositiveWeights) {
+  const Edge zero[] = {{0, 1, 0.0f}};
+  EXPECT_THROW(Graph::from_edges(2, zero), std::invalid_argument);
+  const Edge negw[] = {{0, 1, -1.0f}};
+  EXPECT_THROW(Graph::from_edges(2, negw), std::invalid_argument);
+}
+
+TEST(Graph, FromCsrSortsAndMerges) {
+  // Symmetric but unsorted CSR with a duplicate entry.
+  std::vector<std::uint64_t> off{0, 3, 5};
+  std::vector<VertexId> adj{1, 1, 1, 0, 0};
+  std::vector<float> w{1.0f, 1.0f, 1.0f, 2.0f, 1.0f};
+  Graph g = Graph::from_csr(2, off, adj, w);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 3.0f);
+  EXPECT_FLOAT_EQ(g.edge_weights(1)[0], 3.0f);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Graph, FromCsrRejectsInconsistentArrays) {
+  std::vector<std::uint64_t> off{0, 1};
+  std::vector<VertexId> adj{0, 0};
+  std::vector<float> w{1.0f, 1.0f};
+  EXPECT_THROW(Graph::from_csr(1, off, adj, w), std::invalid_argument);
+}
+
+TEST(GraphStats, TriangleStats) {
+  const auto s = compute_stats(triangle());
+  EXPECT_EQ(s.vertices, 3);
+  EXPECT_EQ(s.edges, 3);
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_EQ(s.min_degree, 2);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.isolated, 0);
+  EXPECT_DOUBLE_EQ(s.degree_balance, 1.0);
+}
+
+TEST(GraphStats, HistogramBuckets) {
+  // star: center degree 8, leaves degree 1
+  std::vector<Edge> edges;
+  for (VertexId i = 1; i <= 8; ++i) edges.push_back({0, i, 1.0f});
+  Graph g = Graph::from_edges(9, edges);
+  const auto h = degree_histogram(g);
+  ASSERT_GE(h.size(), 4u);
+  EXPECT_EQ(h[0], 8);  // 8 leaves (deg 1)
+  EXPECT_EQ(h[3], 1);  // center (deg 8 -> bucket 3)
+}
+
+TEST(GraphStats, FormatRowContainsName) {
+  const auto row = format_stats_row("mygraph", compute_stats(triangle()));
+  EXPECT_NE(row.find("mygraph"), std::string::npos);
+}
+
+TEST(Permute, RoundTripPreservesStructure) {
+  Graph g = triangle();
+  const auto perm = random_permutation(3, 99);
+  const Graph p = apply_permutation(g, perm);
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+  EXPECT_DOUBLE_EQ(p.total_edge_weight(), g.total_edge_weight());
+  const auto inv = invert_permutation(perm);
+  const Graph back = apply_permutation(p, inv);
+  for (VertexId u = 0; u < 3; ++u) {
+    const auto a = g.neighbors(u);
+    const auto b = back.neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Permute, ValidationCatchesBadPermutations) {
+  EXPECT_FALSE(is_permutation({0, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 1, 3}, 3));
+  EXPECT_TRUE(is_permutation({2, 0, 1}, 3));
+  EXPECT_THROW(apply_permutation(triangle(), {0, 0, 1}), std::invalid_argument);
+}
+
+TEST(Permute, RandomPermutationIsPermutation) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    EXPECT_TRUE(is_permutation(random_permutation(1000, seed), 1000));
+  }
+}
+
+TEST(Graph, ValidateDetectsDamage) {
+  // Construct asymmetric CSR directly: edge 0->1 without 1->0.
+  std::vector<std::uint64_t> off{0, 1, 1};
+  std::vector<VertexId> adj{1};
+  std::vector<float> w{1.0f};
+  // from_csr would not fix asymmetry (it only sorts/merges rows).
+  Graph g = Graph::from_csr(2, off, adj, w);
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("reverse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vgp

@@ -1,0 +1,177 @@
+// Tests for the graph-analysis utilities: k-core decomposition, connected
+// components, triangle counting (scalar + vectorized intersection).
+#include <gtest/gtest.h>
+
+#include "vgp/gen/ba.hpp"
+#include "vgp/gen/er.hpp"
+#include "vgp/gen/lattice.hpp"
+#include "vgp/graph/components.hpp"
+#include "vgp/graph/kcore.hpp"
+#include "vgp/graph/triangles.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace vgp {
+namespace {
+
+Graph clique(int k, VertexId base = 0, std::int64_t n = -1) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < k; ++u) {
+    for (VertexId v = static_cast<VertexId>(u + 1); v < k; ++v) {
+      edges.push_back({static_cast<VertexId>(base + u),
+                       static_cast<VertexId>(base + v), 1.0f});
+    }
+  }
+  return Graph::from_edges(n < 0 ? base + k : n, edges);
+}
+
+TEST(KCore, CliqueCores) {
+  const auto cd = core_decomposition(clique(5));
+  EXPECT_EQ(cd.degeneracy, 4);
+  for (const auto c : cd.core) EXPECT_EQ(c, 4);
+  EXPECT_EQ(cd.peel_order.size(), 5u);
+}
+
+TEST(KCore, TreeIsOneDegenerate) {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {1, 3, 1.0f}, {3, 4, 1.0f}};
+  const auto cd = core_decomposition(Graph::from_edges(5, edges));
+  EXPECT_EQ(cd.degeneracy, 1);
+  for (const auto c : cd.core) EXPECT_EQ(c, 1);
+}
+
+TEST(KCore, CliqueWithTailHasLayeredCores) {
+  // K4 on 0..3 with a pendant path 3-4-5.
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 4; ++u)
+    for (VertexId v = static_cast<VertexId>(u + 1); v < 4; ++v)
+      edges.push_back({u, v, 1.0f});
+  edges.push_back({3, 4, 1.0f});
+  edges.push_back({4, 5, 1.0f});
+  const auto cd = core_decomposition(Graph::from_edges(6, edges));
+  EXPECT_EQ(cd.degeneracy, 3);
+  EXPECT_EQ(cd.core[0], 3);
+  EXPECT_EQ(cd.core[3], 3);
+  EXPECT_EQ(cd.core[4], 1);
+  EXPECT_EQ(cd.core[5], 1);
+}
+
+TEST(KCore, EmptyAndIsolated) {
+  EXPECT_EQ(core_decomposition(Graph::from_edges(0, {})).degeneracy, 0);
+  const auto cd = core_decomposition(Graph::from_edges(3, {}));
+  EXPECT_EQ(cd.degeneracy, 0);
+  EXPECT_EQ(cd.peel_order.size(), 3u);
+}
+
+TEST(KCore, PeelOrderIsPermutation) {
+  const auto g = gen::erdos_renyi(300, 1200, 5);
+  const auto cd = core_decomposition(g);
+  std::vector<bool> seen(300, false);
+  for (const VertexId v : cd.peel_order) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(Components, SingleComponent) {
+  const auto g = gen::grid2d(5, 5);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_EQ(c.sizes[0], 25);
+  EXPECT_EQ(c.largest, 0);
+}
+
+TEST(Components, MultipleComponentsAndIsolated) {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {4, 5, 1.0f}};
+  const auto g = Graph::from_edges(7, edges);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 4);  // {0,1,2}, {3}, {4,5}, {6}
+  EXPECT_EQ(c.sizes[0], 3);
+  EXPECT_EQ(c.largest, 0);
+  EXPECT_EQ(c.component[0], c.component[2]);
+  EXPECT_NE(c.component[0], c.component[3]);
+}
+
+TEST(Components, ExtractLargest) {
+  const Edge edges[] = {{0, 1, 2.0f}, {1, 2, 3.0f}, {4, 5, 1.0f}};
+  const auto g = Graph::from_edges(6, edges);
+  const auto c = connected_components(g);
+  std::vector<VertexId> mapping;
+  const Graph sub = extract_component(g, c, c.largest, &mapping);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(sub.total_edge_weight(), 5.0);
+  EXPECT_EQ(mapping[4], -1);
+  EXPECT_NE(mapping[1], -1);
+  std::string why;
+  EXPECT_TRUE(sub.validate(&why)) << why;
+}
+
+TEST(Components, ExtractRejectsBadId) {
+  const auto g = gen::grid2d(3, 3);
+  const auto c = connected_components(g);
+  EXPECT_THROW(extract_component(g, c, 7), std::invalid_argument);
+}
+
+TEST(Triangles, KnownCounts) {
+  EXPECT_EQ(count_triangles(clique(3)).triangles, 1);
+  EXPECT_EQ(count_triangles(clique(4)).triangles, 4);
+  EXPECT_EQ(count_triangles(clique(5)).triangles, 10);
+  EXPECT_EQ(count_triangles(gen::grid2d(4, 4)).triangles, 0);
+}
+
+TEST(Triangles, ClusteringCoefficient) {
+  // Triangle: every wedge closes.
+  EXPECT_DOUBLE_EQ(count_triangles(clique(3)).global_clustering, 1.0);
+  // Star: wedges but no triangles.
+  std::vector<Edge> star;
+  for (VertexId i = 1; i <= 5; ++i) star.push_back({0, i, 1.0f});
+  const auto s = count_triangles(Graph::from_edges(6, star));
+  EXPECT_EQ(s.triangles, 0);
+  EXPECT_DOUBLE_EQ(s.global_clustering, 0.0);
+}
+
+TEST(Triangles, SelfLoopsDoNotCount) {
+  const Edge edges[] = {{0, 0, 1.0f}, {0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 1.0f}};
+  const auto s = count_triangles(Graph::from_edges(3, edges));
+  EXPECT_EQ(s.triangles, 1);
+}
+
+TEST(Triangles, ScalarAndVectorAgree) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    const auto g = gen::barabasi_albert(2000, 5, seed);
+    TriangleOptions s, v;
+    s.backend = simd::Backend::Scalar;
+    v.backend = simd::Backend::Avx512;
+    EXPECT_EQ(count_triangles(g, s).triangles, count_triangles(g, v).triangles);
+  }
+}
+
+TEST(IntersectCount, ScalarBasics) {
+  const VertexId a[] = {1, 3, 5, 7};
+  const VertexId b[] = {2, 3, 4, 7, 9};
+  EXPECT_EQ(intersect_count_scalar(a, 4, b, 5), 2);
+  EXPECT_EQ(intersect_count_scalar(a, 0, b, 5), 0);
+  EXPECT_EQ(intersect_count_scalar(a, 4, a, 4), 4);
+}
+
+TEST(IntersectCount, VectorMatchesScalarOnSweep) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto na = 1 + rng.bounded(40);
+    const auto nb = 1 + rng.bounded(400);
+    std::vector<VertexId> a, b;
+    VertexId x = 0;
+    for (std::uint64_t i = 0; i < na; ++i) a.push_back(x += 1 + static_cast<VertexId>(rng.bounded(9)));
+    x = 0;
+    for (std::uint64_t i = 0; i < nb; ++i) b.push_back(x += 1 + static_cast<VertexId>(rng.bounded(5)));
+    const auto want = intersect_count_scalar(a.data(), static_cast<std::int64_t>(a.size()),
+                                             b.data(), static_cast<std::int64_t>(b.size()));
+    const auto got = intersect_count_avx512(a.data(), static_cast<std::int64_t>(a.size()),
+                                            b.data(), static_cast<std::int64_t>(b.size()));
+    ASSERT_EQ(want, got) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace vgp

@@ -1,0 +1,115 @@
+// Tests for the experiment harness: repeated timing, speedup math, table
+// and series output, option parsing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "vgp/harness/experiment.hpp"
+#include "vgp/harness/options.hpp"
+#include "vgp/harness/table.hpp"
+
+namespace vgp::harness {
+namespace {
+
+TEST(Experiment, TimeRepeatedCountsRepetitions) {
+  RepeatOptions opts;
+  opts.repetitions = 4;
+  opts.warmup = 2;
+  int calls = 0;
+  const auto stats = time_repeated(opts, [&] { ++calls; });
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(stats.count, 4u);
+  EXPECT_GE(stats.mean, 0.0);
+}
+
+TEST(Experiment, StatsRepeatedUsesReportedValues) {
+  RepeatOptions opts;
+  opts.repetitions = 3;
+  opts.warmup = 0;
+  double next = 1.0;
+  const auto stats = stats_repeated(opts, [&] { return next++; });
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+}
+
+TEST(Experiment, SpeedupDefinition) {
+  EXPECT_DOUBLE_EQ(speedup(2.0, 1.0), 2.0);   // variant 2x faster
+  EXPECT_DOUBLE_EQ(speedup(1.0, 2.0), 0.5);   // variant slower
+  EXPECT_DOUBLE_EQ(speedup(1.0, 0.0), 0.0);   // guarded division
+}
+
+TEST(Experiment, PrintSeriesSmoke) {
+  Series a{"scalar", {"g1", "g2"}, {1.0, 1.0}};
+  Series b{"onpl", {"g1", "g2"}, {2.5, 1.4}};
+  testing::internal::CaptureStdout();
+  print_series("test figure", {a, b});
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("test figure"), std::string::npos);
+  EXPECT_NE(out.find("onpl"), std::string::npos);
+  EXPECT_NE(out.find("csv,g1"), std::string::npos);
+}
+
+TEST(Table, AlignedAndCsvOutput) {
+  Table t({"graph", "speedup"});
+  t.add_row({"road", Table::num(1.25)});
+  t.add_row({"mesh", Table::num(8.0, 1)});
+  testing::internal::CaptureStdout();
+  t.print("tbl");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("graph"), std::string::npos);
+  EXPECT_NE(out.find("1.250"), std::string::npos);
+  EXPECT_NE(out.find("8.0"), std::string::npos);
+  EXPECT_NE(out.find("csv,road,1.250"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::integer(42), "42");
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  Options o;
+  o.describe("scale", "suite scale").describe("reps", "repetitions");
+  const char* argv[] = {"prog", "--scale=large", "--reps=7"};
+  EXPECT_TRUE(o.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(o.get("scale", "small"), "large");
+  EXPECT_EQ(o.get_int("reps", 1), 7);
+  EXPECT_EQ(o.get_int("missing", 5), 5);
+}
+
+TEST(Options, FlagsAndDoubles) {
+  Options o;
+  o.describe("verbose", "flag").describe("frac", "a double");
+  const char* argv[] = {"prog", "--verbose", "--frac=0.25"};
+  EXPECT_TRUE(o.parse(3, const_cast<char**>(argv)));
+  EXPECT_TRUE(o.get_flag("verbose"));
+  EXPECT_FALSE(o.get_flag("frac_unset"));
+  EXPECT_DOUBLE_EQ(o.get_double("frac", 1.0), 0.25);
+}
+
+TEST(Options, UnknownKeyThrows) {
+  Options o;
+  o.describe("known", "ok");
+  const char* argv[] = {"prog", "--unknown=1"};
+  EXPECT_THROW(o.parse(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+TEST(Options, HelpReturnsFalse) {
+  Options o;
+  o.describe("x", "thing");
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(o.parse(2, const_cast<char**>(argv)));
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--x"), std::string::npos);
+}
+
+TEST(Options, NonOptionArgumentThrows) {
+  Options o;
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(o.parse(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vgp::harness

@@ -1,0 +1,137 @@
+// Cross-module integration tests: generate -> save/load -> color ->
+// detect communities with every variant, checking the pieces compose the
+// way the bench harness uses them.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/energy/meter.hpp"
+#include "vgp/gen/planted.hpp"
+#include "vgp/gen/suite.hpp"
+#include "vgp/graph/io.hpp"
+#include "vgp/graph/permute.hpp"
+
+namespace vgp {
+namespace {
+
+TEST(Integration, SaveLoadPreservesAlgorithmResults) {
+  const auto pg = gen::planted_partition({});
+  std::stringstream ss;
+  io::write_metis(pg.graph, ss, /*with_weights=*/true);
+  const Graph loaded = io::read_metis(ss);
+
+  const auto r1 = community::louvain(pg.graph);
+  const auto r2 = community::louvain(loaded);
+  EXPECT_NEAR(r1.modularity, r2.modularity, 0.05);
+}
+
+TEST(Integration, ColoringFeedsOvplWhichFeedsLouvain) {
+  const auto& entry = gen::suite_entry("NACA0015");
+  const Graph g = entry.make(gen::SuiteScale::Tiny);
+
+  // OVPL preprocessing internally runs the coloring; the same coloring
+  // must be valid standalone.
+  const auto coloring = coloring::color_graph(g);
+  ASSERT_TRUE(coloring::verify_coloring(g, coloring.colors));
+
+  community::LouvainOptions opts;
+  opts.policy = community::MovePolicy::OVPL;
+  const auto res = community::louvain(g, opts);
+  EXPECT_GT(res.modularity, 0.3);  // meshes have strong locality
+}
+
+TEST(Integration, AllPoliciesCloseOnSuiteGraph) {
+  const auto& entry = gen::suite_entry("luxembourg");
+  const Graph g = entry.make(gen::SuiteScale::Tiny);
+
+  double q_mplm = 0.0;
+  for (const auto policy :
+       {community::MovePolicy::MPLM, community::MovePolicy::ONPL,
+        community::MovePolicy::OVPL}) {
+    community::LouvainOptions opts;
+    opts.policy = policy;
+    const auto res = community::louvain(g, opts);
+    if (policy == community::MovePolicy::MPLM) q_mplm = res.modularity;
+    EXPECT_NEAR(res.modularity, q_mplm, 0.08)
+        << community::move_policy_name(policy);
+  }
+}
+
+TEST(Integration, VertexOrderDoesNotBreakAnything) {
+  const auto pg = gen::planted_partition({});
+  const auto perm = random_permutation(pg.graph.num_vertices(), 5);
+  const Graph shuffled = apply_permutation(pg.graph, perm);
+
+  const auto r1 = community::louvain(pg.graph);
+  const auto r2 = community::louvain(shuffled);
+  EXPECT_NEAR(r1.modularity, r2.modularity, 0.05);
+
+  const auto c1 = coloring::color_graph(pg.graph);
+  const auto c2 = coloring::color_graph(shuffled);
+  EXPECT_TRUE(coloring::verify_coloring(shuffled, c2.colors));
+  // Greedy color counts may differ slightly with order, not wildly.
+  EXPECT_NEAR(static_cast<double>(c1.num_colors),
+              static_cast<double>(c2.num_colors), 4.0);
+}
+
+TEST(Integration, EnergyMeasurementAroundLouvain) {
+  const auto pg = gen::planted_partition({});
+  auto meter = energy::make_meter();
+  meter->start();
+  const auto res = community::louvain(pg.graph);
+  const auto sample = meter->stop();
+  EXPECT_TRUE(sample.valid);
+  EXPECT_GT(sample.joules, 0.0);
+  EXPECT_GT(res.modularity, 0.0);
+}
+
+TEST(Integration, LabelPropAgreesWithLouvainOnStrongStructure) {
+  gen::PlantedParams p;
+  p.communities = 6;
+  p.vertices_per_community = 100;
+  p.intra_degree = 20.0;
+  p.inter_degree = 1.0;
+  const auto pg = gen::planted_partition(p);
+
+  const auto louvain_res = community::louvain(pg.graph);
+  community::LabelPropOptions lp_opts;
+  lp_opts.theta = 0;
+  const auto lp_res = community::label_propagation(pg.graph, lp_opts);
+
+  const double q_truth = community::modularity(pg.graph, pg.truth);
+  EXPECT_GT(louvain_res.modularity, q_truth - 0.05);
+  EXPECT_GT(community::modularity(pg.graph, lp_res.labels), q_truth - 0.15);
+}
+
+TEST(Integration, BackendEnvelopeScalarVsVector) {
+  // Run the trio of kernels under both backends on one graph; everything
+  // must succeed and agree on quality, whatever CPU this runs on.
+  const auto& entry = gen::suite_entry("roadNet-PA");
+  const Graph g = entry.make(gen::SuiteScale::Tiny);
+
+  for (const auto backend : {simd::Backend::Scalar, simd::Backend::Avx512}) {
+    coloring::Options copts;
+    copts.backend = backend;
+    const auto col = coloring::color_graph(g, copts);
+    EXPECT_TRUE(coloring::verify_coloring(g, col.colors));
+
+    community::LouvainOptions lopts;
+    lopts.policy = community::MovePolicy::ONPL;
+    lopts.backend = backend;
+    EXPECT_GT(community::louvain(g, lopts).modularity, 0.5);
+
+    community::LabelPropOptions popts;
+    popts.backend = backend;
+    const auto lp = community::label_propagation(g, popts);
+    EXPECT_GT(lp.num_communities, 0);
+  }
+}
+
+}  // namespace
+}  // namespace vgp

@@ -1,0 +1,189 @@
+// Round-trip and error-handling tests for the three graph file formats.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "vgp/gen/er.hpp"
+#include "vgp/graph/io.hpp"
+
+namespace vgp {
+namespace {
+
+Graph sample() {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 2.5f}, {0, 2, 3.0f}, {2, 3, 1.0f}};
+  return Graph::from_edges(4, edges);
+}
+
+void expect_same(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_DOUBLE_EQ(a.total_edge_weight(), b.total_edge_weight());
+  for (VertexId u = 0; u < a.num_vertices(); ++u) {
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << u;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]);
+      EXPECT_FLOAT_EQ(a.edge_weights(u)[i], b.edge_weights(u)[i]);
+    }
+  }
+}
+
+TEST(IoEdgeList, RoundTrip) {
+  std::stringstream ss;
+  io::write_edge_list(sample(), ss);
+  expect_same(sample(), io::read_edge_list(ss));
+}
+
+TEST(IoEdgeList, CommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\n% another\n0 1\n1 2 2.0\n");
+  const Graph g = io::read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FLOAT_EQ(g.edge_weights(1)[1], 2.0f);
+}
+
+TEST(IoEdgeList, DefaultWeightIsOne) {
+  std::stringstream ss("0 1\n");
+  const Graph g = io::read_edge_list(ss);
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 1.0f);
+}
+
+TEST(IoEdgeList, RejectsGarbage) {
+  std::stringstream ss("hello world\n");
+  EXPECT_THROW(io::read_edge_list(ss), std::runtime_error);
+}
+
+TEST(IoMetis, RoundTripUnweighted) {
+  std::stringstream ss;
+  io::write_metis(sample(), ss, /*with_weights=*/false);
+  const Graph g = io::read_metis(ss);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  // Weights collapse to 1 in unweighted METIS.
+  EXPECT_FLOAT_EQ(g.edge_weights(1)[1], 1.0f);
+}
+
+TEST(IoMetis, RoundTripWeighted) {
+  std::stringstream ss;
+  io::write_metis(sample(), ss, /*with_weights=*/true);
+  expect_same(sample(), io::read_metis(ss));
+}
+
+TEST(IoMetis, ParsesCommentsInHeader) {
+  std::stringstream ss("% comment line\n3 2\n2\n1 3\n2\n");
+  const Graph g = io::read_metis(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(IoMetis, RejectsOutOfRangeNeighbor) {
+  std::stringstream ss("2 1\n3\n1\n");
+  EXPECT_THROW(io::read_metis(ss), std::runtime_error);
+}
+
+TEST(IoMetis, RejectsTruncatedFile) {
+  std::stringstream ss("3 2\n2\n");
+  EXPECT_THROW(io::read_metis(ss), std::runtime_error);
+}
+
+TEST(IoMatrixMarket, RoundTrip) {
+  std::stringstream ss;
+  io::write_matrix_market(sample(), ss);
+  expect_same(sample(), io::read_matrix_market(ss));
+}
+
+TEST(IoMatrixMarket, PatternDefaultsToUnitWeight) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n2 1\n3 2\n");
+  const Graph g = io::read_matrix_market(ss);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 1.0f);
+}
+
+TEST(IoMatrixMarket, GeneralKeepsOneTriangle) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n1 2 3.0\n2 1 3.0\n");
+  const Graph g = io::read_matrix_market(ss);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 3.0f);
+}
+
+TEST(IoMatrixMarket, RejectsNonSquare) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 3 1\n1 2 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(IoMatrixMarket, RejectsMissingBanner) {
+  std::stringstream ss("2 2 1\n1 2 1.0\n");
+  EXPECT_THROW(io::read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(IoDimacsGr, RoundTrip) {
+  std::stringstream ss;
+  io::write_dimacs_gr(sample(), ss);
+  expect_same(sample(), io::read_dimacs_gr(ss));
+}
+
+TEST(IoDimacsGr, ParsesCommentsAndBothArcDirections) {
+  std::stringstream ss(
+      "c a road file\n"
+      "p sp 3 4\n"
+      "a 1 2 5\n"
+      "a 2 1 5\n"  // reverse arc of the same edge: collapses
+      "a 2 3 2\n"
+      "a 3 2 2\n");
+  const Graph g = io::read_dimacs_gr(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FLOAT_EQ(g.edge_weights(0)[0], 5.0f);
+}
+
+TEST(IoDimacsGr, RejectsArcBeforeHeader) {
+  std::stringstream ss("a 1 2 1\n");
+  EXPECT_THROW(io::read_dimacs_gr(ss), std::runtime_error);
+}
+
+TEST(IoDimacsGr, RejectsOutOfRangeArc) {
+  std::stringstream ss("p sp 2 1\na 1 5 1\n");
+  EXPECT_THROW(io::read_dimacs_gr(ss), std::runtime_error);
+}
+
+TEST(IoDimacsGr, RejectsUnknownTag) {
+  std::stringstream ss("p sp 2 1\nz 1 2\n");
+  EXPECT_THROW(io::read_dimacs_gr(ss), std::runtime_error);
+}
+
+TEST(IoAuto, DispatchesOnExtension) {
+  const auto g = gen::erdos_renyi(50, 100, 3);
+  const std::string dir = ::testing::TempDir();
+
+  {
+    std::ofstream f(dir + "/g.el");
+    io::write_edge_list(g, f);
+  }
+  expect_same(g, io::read_auto(dir + "/g.el"));
+
+  {
+    std::ofstream f(dir + "/g.graph");
+    io::write_metis(g, f, true);
+  }
+  expect_same(g, io::read_auto(dir + "/g.graph"));
+
+  {
+    std::ofstream f(dir + "/g.mtx");
+    io::write_matrix_market(g, f);
+  }
+  expect_same(g, io::read_auto(dir + "/g.mtx"));
+
+  EXPECT_THROW(io::read_auto(dir + "/g.unknown"), std::runtime_error);
+  EXPECT_THROW(io::read_auto(dir + "/missing.el"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vgp

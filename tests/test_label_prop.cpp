@@ -1,0 +1,158 @@
+// Tests for label propagation (MPLP scalar and ONLP vectorized).
+#include <gtest/gtest.h>
+
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/gen/er.hpp"
+#include "vgp/gen/planted.hpp"
+#include "vgp/gen/rmat.hpp"
+
+namespace vgp::community {
+namespace {
+
+gen::PlantedGraph planted() {
+  gen::PlantedParams p;
+  p.communities = 10;
+  p.vertices_per_community = 100;
+  p.intra_degree = 16.0;
+  p.inter_degree = 1.5;
+  p.seed = 33;
+  return gen::planted_partition(p);
+}
+
+TEST(LabelProp, EmptyGraph) {
+  const auto res = label_propagation(Graph::from_edges(0, {}));
+  EXPECT_EQ(res.num_communities, 0);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(LabelProp, IsolatedVerticesKeepOwnLabels) {
+  const auto res = label_propagation(Graph::from_edges(4, {}));
+  EXPECT_EQ(res.num_communities, 4);
+}
+
+TEST(LabelProp, CliqueCollapsesToOneLabel) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = static_cast<VertexId>(u + 1); v < 8; ++v) {
+      edges.push_back({u, v, 1.0f});
+    }
+  }
+  const Graph g = Graph::from_edges(8, edges);
+  LabelPropOptions opts;
+  opts.theta = 0;
+  const auto res = label_propagation(g, opts);
+  EXPECT_EQ(res.num_communities, 1);
+}
+
+TEST(LabelProp, TwoCliquesStayApart) {
+  // Two 8-cliques joined by one bridge edge. (Small cliques can merge
+  // through the bridge under LPA's random tie rule — a known resolution
+  // artifact — so the test uses cliques big enough that each interior
+  // label majority forms before the bridge can flood.)
+  constexpr int k = 8;
+  std::vector<Edge> edges;
+  for (VertexId base : {0, k}) {
+    for (VertexId u = 0; u < k; ++u) {
+      for (VertexId v = static_cast<VertexId>(u + 1); v < k; ++v) {
+        edges.push_back({static_cast<VertexId>(base + u),
+                         static_cast<VertexId>(base + v), 1.0f});
+      }
+    }
+  }
+  edges.push_back({k - 1, k, 1.0f});  // weak bridge
+  const Graph g = Graph::from_edges(2 * k, edges);
+  LabelPropOptions opts;
+  opts.theta = 0;
+  const auto res = label_propagation(g, opts);
+  EXPECT_EQ(res.num_communities, 2);
+  std::vector<CommunityId> want(2 * k, 0);
+  for (int i = k; i < 2 * k; ++i) want[static_cast<std::size_t>(i)] = 1;
+  EXPECT_TRUE(same_partition(res.labels, want));
+}
+
+TEST(LabelProp, RecoversPlantedCommunities) {
+  const auto pg = planted();
+  LabelPropOptions opts;
+  opts.theta = 0;
+  const auto res = label_propagation(pg.graph, opts);
+  const double q = modularity(pg.graph, res.labels);
+  const double truth_q = modularity(pg.graph, pg.truth);
+  EXPECT_GT(q, truth_q - 0.15);
+  EXPECT_LE(res.num_communities, 40);
+}
+
+TEST(LabelProp, ThetaTerminatesEarly) {
+  const auto g = gen::erdos_renyi(2000, 8000, 3);
+  LabelPropOptions strict, loose;
+  strict.theta = 0;
+  loose.theta = g.num_vertices();  // any round count satisfies this
+  const auto r_loose = label_propagation(g, loose);
+  EXPECT_EQ(r_loose.iterations, 1);
+  const auto r_strict = label_propagation(g, strict);
+  EXPECT_GE(r_strict.iterations, r_loose.iterations);
+}
+
+TEST(LabelProp, IterationCapRespected) {
+  const auto g = gen::erdos_renyi(1000, 8000, 11);
+  LabelPropOptions opts;
+  opts.theta = 0;
+  opts.max_iterations = 2;
+  const auto res = label_propagation(g, opts);
+  EXPECT_LE(res.iterations, 2);
+  EXPECT_EQ(res.updates_per_iteration.size(),
+            static_cast<std::size_t>(res.iterations));
+}
+
+TEST(LabelProp, ScalarAndVectorSameQuality) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  const auto pg = planted();
+  LabelPropOptions s, v;
+  s.backend = simd::Backend::Scalar;
+  s.theta = 0;
+  v.backend = simd::Backend::Avx512;
+  v.theta = 0;
+  const auto rs = label_propagation(pg.graph, s);
+  const auto rv = label_propagation(pg.graph, v);
+  const double qs = modularity(pg.graph, rs.labels);
+  const double qv = modularity(pg.graph, rv.labels);
+  EXPECT_NEAR(qs, qv, 0.1);
+}
+
+TEST(LabelProp, RsPoliciesAgree) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  const auto pg = planted();
+  double q[3];
+  int i = 0;
+  for (const auto rs : {RsPolicy::Auto, RsPolicy::Conflict, RsPolicy::Compress}) {
+    LabelPropOptions opts;
+    opts.rs_policy = rs;
+    opts.theta = 0;
+    const auto res = label_propagation(pg.graph, opts);
+    q[i++] = modularity(pg.graph, res.labels);
+  }
+  EXPECT_NEAR(q[0], q[1], 0.1);
+  EXPECT_NEAR(q[0], q[2], 0.1);
+}
+
+TEST(LabelProp, UpdatesDecreaseOverTime) {
+  const auto pg = planted();
+  LabelPropOptions opts;
+  opts.theta = 0;
+  const auto res = label_propagation(pg.graph, opts);
+  ASSERT_GE(res.updates_per_iteration.size(), 2u);
+  EXPECT_LT(res.updates_per_iteration.back(),
+            res.updates_per_iteration.front());
+}
+
+TEST(LabelProp, LabelsAlwaysValidVertexIds) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(9, 4));
+  const auto res = label_propagation(g);
+  for (const auto l : res.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, g.num_vertices());
+  }
+}
+
+}  // namespace
+}  // namespace vgp::community

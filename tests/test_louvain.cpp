@@ -1,0 +1,201 @@
+// Tests for the Louvain move phases (PLM, MPLM, ONPL) and the multilevel
+// driver: quality parity across variants, convergence behavior, and the
+// paper's structural claims (25-iteration cap, singleton start).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/gen/er.hpp"
+#include "vgp/gen/planted.hpp"
+#include "vgp/gen/rmat.hpp"
+
+namespace vgp::community {
+namespace {
+
+gen::PlantedGraph planted() {
+  gen::PlantedParams p;
+  p.communities = 12;
+  p.vertices_per_community = 80;
+  p.intra_degree = 14.0;
+  p.inter_degree = 2.0;
+  p.seed = 21;
+  return gen::planted_partition(p);
+}
+
+Graph barbell() {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 1.0f},
+                        {3, 4, 1.0f}, {4, 5, 1.0f}, {3, 5, 1.0f},
+                        {2, 3, 1.0f}};
+  return Graph::from_edges(6, edges);
+}
+
+TEST(MovePhase, ImprovesModularityOverSingletons) {
+  const Graph g = barbell();
+  MoveState state = make_move_state(g);
+  MoveCtx ctx = make_move_ctx(g, state);
+  const double q0 = modularity(g, state.zeta);
+  const auto stats = move_phase_mplm(ctx);
+  EXPECT_GT(stats.total_moves, 0);
+  EXPECT_GT(modularity(g, state.zeta), q0);
+}
+
+TEST(MovePhase, BarbellFindsTheTwoTriangles) {
+  const Graph g = barbell();
+  MoveState state = make_move_state(g);
+  MoveCtx ctx = make_move_ctx(g, state);
+  move_phase_mplm(ctx);
+  compact_labels(state.zeta);
+  EXPECT_TRUE(same_partition(state.zeta, {0, 0, 0, 1, 1, 1}));
+}
+
+TEST(MovePhase, CommunityVolumesStayConsistent) {
+  const auto pg = planted();
+  MoveState state = make_move_state(pg.graph);
+  MoveCtx ctx = make_move_ctx(pg.graph, state);
+  move_phase_mplm(ctx);
+  // comm_volume must equal the recomputed per-community volume sums.
+  std::vector<double> expected(state.comm_volume.size(), 0.0);
+  for (VertexId u = 0; u < pg.graph.num_vertices(); ++u) {
+    expected[static_cast<std::size_t>(state.zeta[static_cast<std::size_t>(u)])] +=
+        state.vertex_volume[static_cast<std::size_t>(u)];
+  }
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    ASSERT_NEAR(state.comm_volume[c], expected[c], 1e-6) << "community " << c;
+  }
+}
+
+TEST(MovePhase, RespectsIterationCap) {
+  const auto g = gen::erdos_renyi(400, 2000, 31);
+  MoveState state = make_move_state(g);
+  MoveCtx ctx = make_move_ctx(g, state);
+  ctx.max_iterations = 3;
+  const auto stats = move_phase_plm(ctx);
+  EXPECT_LE(stats.iterations, 3);
+}
+
+TEST(MovePhase, PlmAndMplmSameQuality) {
+  const auto pg = planted();
+  MoveState s1 = make_move_state(pg.graph);
+  MoveCtx c1 = make_move_ctx(pg.graph, s1);
+  move_phase_plm(c1);
+  MoveState s2 = make_move_state(pg.graph);
+  MoveCtx c2 = make_move_ctx(pg.graph, s2);
+  move_phase_mplm(c2);
+  const double q1 = modularity(pg.graph, s1.zeta);
+  const double q2 = modularity(pg.graph, s2.zeta);
+  EXPECT_NEAR(q1, q2, 0.05);
+}
+
+// ---- full Louvain across policies ---------------------------------------
+
+class LouvainPolicies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LouvainPolicies, RecoversPlantedStructure) {
+  const auto pg = planted();
+  const double truth_q = modularity(pg.graph, pg.truth);
+
+  LouvainOptions opts;
+  opts.policy = parse_move_policy(GetParam());
+  const auto res = louvain(pg.graph, opts);
+
+  EXPECT_GT(res.num_communities, 1);
+  EXPECT_LT(res.num_communities, pg.graph.num_vertices() / 4);
+  // All variants should land within a few percent of the planted quality
+  // (the paper: "all methods achieve almost the same modularity").
+  EXPECT_GT(res.modularity, truth_q - 0.05);
+  EXPECT_GE(res.levels, 1);
+  EXPECT_GT(res.first_move_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, LouvainPolicies,
+                         ::testing::Values("plm", "mplm", "onpl", "ovpl",
+                                           "colorsync"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Louvain, ColorSyncIsDeterministicAcrossRuns) {
+  // Race-free by construction: two single-threaded runs must agree
+  // exactly (same partition, not just the same quality).
+  const auto pg = planted();
+  LouvainOptions opts;
+  opts.policy = MovePolicy::ColorSync;
+  opts.grain = 1 << 30;  // one chunk -> sequential within each class
+  const auto a = louvain(pg.graph, opts);
+  const auto b = louvain(pg.graph, opts);
+  EXPECT_EQ(a.communities, b.communities);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(Louvain, OnplRsPoliciesAgreeOnQuality) {
+  const auto pg = planted();
+  double q[3];
+  int i = 0;
+  for (const auto rs : {RsPolicy::Auto, RsPolicy::Conflict, RsPolicy::Compress}) {
+    LouvainOptions opts;
+    opts.policy = MovePolicy::ONPL;
+    opts.rs_policy = rs;
+    q[i++] = louvain(pg.graph, opts).modularity;
+  }
+  EXPECT_NEAR(q[0], q[1], 0.05);
+  EXPECT_NEAR(q[0], q[2], 0.05);
+}
+
+TEST(Louvain, ScalarBackendFallbackWorksForOnpl) {
+  const auto pg = planted();
+  LouvainOptions opts;
+  opts.policy = MovePolicy::ONPL;
+  opts.backend = simd::Backend::Scalar;  // forces the MPLM fallback
+  const auto res = louvain(pg.graph, opts);
+  EXPECT_GT(res.modularity, 0.3);
+}
+
+TEST(Louvain, EmptyAndTinyGraphs) {
+  EXPECT_EQ(louvain(Graph::from_edges(0, {})).num_communities, 0);
+  const auto res = louvain(Graph::from_edges(3, {}));
+  EXPECT_EQ(res.num_communities, 3);  // isolated vertices stay singletons
+  EXPECT_NEAR(res.modularity, 0.0, 1e-12);
+}
+
+TEST(Louvain, SingleLevelOptionStopsAfterFirstMove) {
+  const auto pg = planted();
+  LouvainOptions opts;
+  opts.full_multilevel = false;
+  const auto res = louvain(pg.graph, opts);
+  EXPECT_EQ(res.levels, 1);
+}
+
+TEST(Louvain, ModularityNeverNegativeOnCommunityGraphs) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(9, 4));
+  const auto res = louvain(g);
+  EXPECT_GE(res.modularity, 0.0);
+  EXPECT_LT(res.modularity, 1.0);
+}
+
+TEST(Louvain, CommunitiesAreCompactLabels) {
+  const auto pg = planted();
+  const auto res = louvain(pg.graph);
+  for (const auto c : res.communities) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, res.num_communities);
+  }
+}
+
+TEST(Louvain, PolicyNamesRoundTrip) {
+  for (const auto p : {MovePolicy::PLM, MovePolicy::MPLM, MovePolicy::ONPL,
+                       MovePolicy::OVPL, MovePolicy::ColorSync}) {
+    EXPECT_EQ(parse_move_policy(move_policy_name(p)), p);
+  }
+  EXPECT_THROW(parse_move_policy("grappolo"), std::invalid_argument);
+}
+
+TEST(Louvain, LevelStatsRecorded) {
+  const auto pg = planted();
+  const auto res = louvain(pg.graph);
+  ASSERT_EQ(static_cast<int>(res.level_stats.size()), res.levels);
+  EXPECT_GT(res.level_stats[0].iterations, 0);
+  EXPECT_GT(res.level_stats[0].total_moves, 0);
+}
+
+}  // namespace
+}  // namespace vgp::community

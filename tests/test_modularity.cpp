@@ -1,0 +1,142 @@
+// Tests for modularity, partition utilities, and the coarsening phase.
+#include <gtest/gtest.h>
+
+#include "vgp/community/coarsen.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/community/partition.hpp"
+#include "vgp/gen/planted.hpp"
+
+namespace vgp::community {
+namespace {
+
+/// Two triangles joined by one edge — the classic two-community graph.
+Graph barbell() {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 1.0f},
+                        {3, 4, 1.0f}, {4, 5, 1.0f}, {3, 5, 1.0f},
+                        {2, 3, 1.0f}};
+  return Graph::from_edges(6, edges);
+}
+
+TEST(Partition, SingletonAndCompact) {
+  auto z = singleton_partition(4);
+  EXPECT_EQ(z, (std::vector<CommunityId>{0, 1, 2, 3}));
+  std::vector<CommunityId> labels{7, 7, 3, 9, 3};
+  EXPECT_EQ(compact_labels(labels), 3);
+  EXPECT_EQ(labels, (std::vector<CommunityId>{0, 0, 1, 2, 1}));
+}
+
+TEST(Partition, CountAndSizes) {
+  const std::vector<CommunityId> z{0, 1, 1, 0, 2};
+  EXPECT_EQ(count_communities(z), 3);
+  EXPECT_EQ(community_sizes(z, 3), (std::vector<std::int64_t>{2, 2, 1}));
+  EXPECT_THROW(community_sizes({0, 5}, 3), std::out_of_range);
+}
+
+TEST(Partition, VolumesSumToTwiceOmega) {
+  const Graph g = barbell();
+  std::vector<CommunityId> z{0, 0, 0, 1, 1, 1};
+  const auto vols = community_volumes(g, z, 2);
+  EXPECT_DOUBLE_EQ(vols[0] + vols[1], 2.0 * g.total_edge_weight());
+}
+
+TEST(Partition, SamePartitionUpToRelabeling) {
+  EXPECT_TRUE(same_partition({0, 0, 1}, {5, 5, 2}));
+  EXPECT_FALSE(same_partition({0, 0, 1}, {5, 2, 2}));
+  EXPECT_FALSE(same_partition({0, 1}, {0, 1, 2}));
+  EXPECT_FALSE(same_partition({0, 1, 1}, {0, 0, 1}));
+}
+
+TEST(Modularity, BarbellTwoCommunitiesBeatSingletonsAndWhole) {
+  const Graph g = barbell();
+  const double two = modularity(g, {0, 0, 0, 1, 1, 1});
+  const double one = modularity(g, {0, 0, 0, 0, 0, 0});
+  const double singles = modularity(g, singleton_partition(6));
+  EXPECT_GT(two, one);
+  EXPECT_GT(two, singles);
+  // Analytic value: w_in=3 each, omega=7, vol(C)=7 each:
+  // Q = 2*(3/7 - (7/14)^2) = 6/7 - 1/2.
+  EXPECT_NEAR(two, 6.0 / 7.0 - 0.5, 1e-12);
+}
+
+TEST(Modularity, WholeGraphPartitionIsZero) {
+  const Graph g = barbell();
+  EXPECT_NEAR(modularity(g, {0, 0, 0, 0, 0, 0}), 0.0, 1e-12);
+}
+
+TEST(Modularity, BoundsRespected) {
+  const Graph g = barbell();
+  // Worst-case-ish partition still within [-0.5, 1).
+  const double q = modularity(g, {0, 1, 0, 1, 0, 1});
+  EXPECT_GE(q, -0.5);
+  EXPECT_LT(q, 1.0);
+}
+
+TEST(Modularity, SelfLoopsCounted) {
+  const Edge edges[] = {{0, 0, 2.0f}, {0, 1, 1.0f}};
+  const Graph g = Graph::from_edges(2, edges);
+  // Everything in one community: Q = 0 by definition.
+  EXPECT_NEAR(modularity(g, {0, 0}), 0.0, 1e-12);
+  // Split: w_in(c0)=2 (self-loop), vol(c0)=5, w_in(c1)=0, vol(c1)=1, w=3.
+  const double q = modularity(g, {0, 1});
+  EXPECT_NEAR(q, 2.0 / 3.0 - (5.0 / 6.0) * (5.0 / 6.0) - (1.0 / 6.0) * (1.0 / 6.0),
+              1e-12);
+}
+
+TEST(Modularity, SizeMismatchThrows) {
+  EXPECT_THROW(modularity(barbell(), {0, 1}), std::invalid_argument);
+}
+
+TEST(Modularity, PlantedTruthScoresHigh) {
+  gen::PlantedParams p;
+  p.communities = 8;
+  p.vertices_per_community = 64;
+  p.intra_degree = 12.0;
+  p.inter_degree = 2.0;
+  const auto pg = gen::planted_partition(p);
+  const double truth_q = modularity(pg.graph, pg.truth);
+  EXPECT_GT(truth_q, 0.5);
+}
+
+TEST(Coarsen, PreservesTotalWeight) {
+  const Graph g = barbell();
+  const auto cr = coarsen(g, {0, 0, 0, 1, 1, 1});
+  EXPECT_EQ(cr.num_coarse, 2);
+  EXPECT_EQ(cr.graph.num_vertices(), 2);
+  EXPECT_DOUBLE_EQ(cr.graph.total_edge_weight(), g.total_edge_weight());
+  // Intra weight 3 becomes each coarse vertex's self-loop.
+  EXPECT_FLOAT_EQ(cr.graph.self_loop_weight(0), 3.0f);
+  EXPECT_FLOAT_EQ(cr.graph.self_loop_weight(1), 3.0f);
+}
+
+TEST(Coarsen, ModularityInvariantUnderCoarsening) {
+  // Q of a partition on the fine graph equals Q of the corresponding
+  // singleton partition on the coarse graph.
+  const Graph g = barbell();
+  const std::vector<CommunityId> z{0, 0, 0, 1, 1, 1};
+  const auto cr = coarsen(g, z);
+  const double fine_q = modularity(g, z);
+  const double coarse_q =
+      modularity(cr.graph, singleton_partition(cr.graph.num_vertices()));
+  EXPECT_NEAR(fine_q, coarse_q, 1e-9);
+}
+
+TEST(Coarsen, VolumePreserved) {
+  const Graph g = barbell();
+  const std::vector<CommunityId> z{0, 0, 1, 1, 2, 2};
+  const auto cr = coarsen(g, z);
+  const auto fine_vol = community_volumes(g, z, 3);
+  for (VertexId c = 0; c < 3; ++c) {
+    EXPECT_NEAR(cr.graph.volume(c), fine_vol[static_cast<std::size_t>(c)], 1e-6);
+  }
+}
+
+TEST(Coarsen, NonCompactLabelsAccepted) {
+  const Graph g = barbell();
+  const auto cr = coarsen(g, {42, 42, 42, 7, 7, 7});
+  EXPECT_EQ(cr.num_coarse, 2);
+  EXPECT_EQ(cr.mapping[0], 0);
+  EXPECT_EQ(cr.mapping[3], 1);
+}
+
+}  // namespace
+}  // namespace vgp::community

@@ -1,0 +1,126 @@
+// Property-style sweep over every Louvain move-phase variant: for each
+// (policy, reduce-scatter policy, backend) combination the move phase
+// must (1) never worsen modularity from the singleton start, (2) keep the
+// community-volume bookkeeping exactly consistent with zeta, and (3) find
+// the obvious partition of a two-clique graph.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/gen/planted.hpp"
+#include "vgp/gen/rmat.hpp"
+
+namespace vgp::community {
+namespace {
+
+using Combo = std::tuple<const char* /*policy*/, const char* /*rs*/,
+                         const char* /*backend*/>;
+
+RsPolicy parse_rs(const std::string& s) {
+  if (s == "auto") return RsPolicy::Auto;
+  if (s == "conflict") return RsPolicy::Conflict;
+  return RsPolicy::Compress;
+}
+
+class MovePhaseSweep : public ::testing::TestWithParam<Combo> {
+ protected:
+  MoveStats run(const Graph& g, MoveState& state) {
+    const auto [policy, rs, backend] = GetParam();
+    MoveCtx ctx = make_move_ctx(g, state);
+    ctx.rs_policy = parse_rs(rs);
+    return run_move_phase(ctx, parse_move_policy(policy),
+                          simd::parse_backend(backend));
+  }
+};
+
+TEST_P(MovePhaseSweep, NeverWorsensModularity) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(9, 6));
+  MoveState state = make_move_state(g);
+  const double q0 = modularity(g, state.zeta);
+  run(g, state);
+  EXPECT_GE(modularity(g, state.zeta), q0 - 1e-9);
+}
+
+TEST_P(MovePhaseSweep, VolumeBookkeepingConsistent) {
+  gen::PlantedParams p;
+  p.communities = 6;
+  p.vertices_per_community = 48;
+  const auto pg = gen::planted_partition(p);
+  MoveState state = make_move_state(pg.graph);
+  run(pg.graph, state);
+
+  std::vector<double> expected(state.comm_volume.size(), 0.0);
+  for (VertexId u = 0; u < pg.graph.num_vertices(); ++u) {
+    expected[static_cast<std::size_t>(state.zeta[static_cast<std::size_t>(u)])] +=
+        state.vertex_volume[static_cast<std::size_t>(u)];
+  }
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    ASSERT_NEAR(state.comm_volume[c], expected[c], 1e-6) << "community " << c;
+  }
+}
+
+TEST_P(MovePhaseSweep, FindsTwoTriangles) {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 1.0f},
+                        {3, 4, 1.0f}, {4, 5, 1.0f}, {3, 5, 1.0f},
+                        {2, 3, 1.0f}};
+  const Graph g = Graph::from_edges(6, edges);
+  MoveState state = make_move_state(g);
+  run(g, state);
+  compact_labels(state.zeta);
+  EXPECT_TRUE(same_partition(state.zeta, {0, 0, 0, 1, 1, 1}));
+}
+
+TEST_P(MovePhaseSweep, ReportsWorkDone) {
+  gen::PlantedParams p;
+  p.communities = 4;
+  p.vertices_per_community = 32;
+  const auto pg = gen::planted_partition(p);
+  MoveState state = make_move_state(pg.graph);
+  const auto stats = run(pg.graph, state);
+  EXPECT_GT(stats.iterations, 0);
+  EXPECT_GT(stats.total_moves, 0);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, MovePhaseSweep,
+    ::testing::Values(
+        Combo{"plm", "auto", "scalar"}, Combo{"mplm", "auto", "scalar"},
+        Combo{"colorsync", "auto", "scalar"},
+        Combo{"colorsync", "auto", "avx512"},
+        Combo{"onpl", "auto", "scalar"},    // falls back to MPLM
+        Combo{"onpl", "auto", "avx512"},
+        Combo{"onpl", "conflict", "avx512"},
+        Combo{"onpl", "compress", "avx512"},
+        Combo{"ovpl", "auto", "scalar"}, Combo{"ovpl", "auto", "avx512"}),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param) + "_" + std::get<2>(info.param);
+    });
+
+TEST(MovePhaseSlowScatter, OnplStillCorrectUnderEmulation) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  gen::PlantedParams p;
+  p.communities = 6;
+  p.vertices_per_community = 48;
+  const auto pg = gen::planted_partition(p);
+
+  simd::set_emulate_slow_scatter(true);
+  MoveState state = make_move_state(pg.graph);
+  MoveCtx ctx = make_move_ctx(pg.graph, state);
+  run_move_phase(ctx, MovePolicy::ONPL, simd::Backend::Avx512);
+  simd::set_emulate_slow_scatter(false);
+
+  MoveState ref_state = make_move_state(pg.graph);
+  MoveCtx ref_ctx = make_move_ctx(pg.graph, ref_state);
+  run_move_phase(ref_ctx, MovePolicy::ONPL, simd::Backend::Avx512);
+
+  EXPECT_NEAR(modularity(pg.graph, state.zeta),
+              modularity(pg.graph, ref_state.zeta), 0.05);
+}
+
+}  // namespace
+}  // namespace vgp::community

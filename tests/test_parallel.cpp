@@ -1,0 +1,144 @@
+// Unit tests for the thread pool and concurrent bitmap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "vgp/parallel/atomic_bitmap.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+
+namespace vgp {
+namespace {
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, 10000, 64, [&](std::int64_t a, std::int64_t b) {
+    for (std::int64_t i = a; i < b; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::int64_t sum = 0;
+  pool.parallel_for(0, 100, 10, [&](std::int64_t a, std::int64_t b) {
+    for (std::int64_t i = a; i < b; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, ReductionMatchesSequential) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(1, 100001, 1000, [&](std::int64_t a, std::int64_t b) {
+    std::int64_t local = 0;
+    for (std::int64_t i = a; i < b; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 100000ll * 100001 / 2);
+}
+
+TEST(ThreadPool, NestedCallsRunSequentially) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    // A nested parallel_for from a worker must not deadlock.
+    pool.parallel_for(0, 10, 1, [&](std::int64_t a, std::int64_t b) {
+      total.fetch_add(static_cast<int>(b - a));
+    });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, ManySmallJobsBackToBack) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 37, 5, [&](std::int64_t a, std::int64_t b) {
+      count.fetch_add(static_cast<int>(b - a));
+    });
+    ASSERT_EQ(count.load(), 37);
+  }
+}
+
+TEST(ThreadPool, ResolveThreadsPrefersExplicit) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<int> n{0};
+  parallel_for(0, 50, 7, [&](std::int64_t a, std::int64_t b) {
+    n.fetch_add(static_cast<int>(b - a));
+  });
+  EXPECT_EQ(n.load(), 50);
+}
+
+TEST(AtomicBitmap, SetTestClear) {
+  AtomicBitmap bm(130);
+  EXPECT_FALSE(bm.test(0));
+  EXPECT_TRUE(bm.set(0));
+  EXPECT_FALSE(bm.set(0));  // already set
+  EXPECT_TRUE(bm.test(0));
+  EXPECT_TRUE(bm.set(129));
+  EXPECT_TRUE(bm.test(129));
+  EXPECT_TRUE(bm.clear(129));
+  EXPECT_FALSE(bm.clear(129));
+  EXPECT_FALSE(bm.test(129));
+}
+
+TEST(AtomicBitmap, CountAndCollect) {
+  AtomicBitmap bm(200);
+  bm.set(3);
+  bm.set(64);
+  bm.set(199);
+  EXPECT_EQ(bm.count(), 3u);
+  std::vector<std::int32_t> out;
+  bm.collect(out);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{3, 64, 199}));
+}
+
+TEST(AtomicBitmap, SetAllRespectsSize) {
+  AtomicBitmap bm(70);
+  bm.set_all();
+  EXPECT_EQ(bm.count(), 70u);
+  std::vector<std::int32_t> out;
+  bm.collect(out);
+  EXPECT_EQ(out.size(), 70u);
+  EXPECT_EQ(out.back(), 69);
+}
+
+TEST(AtomicBitmap, ClearAll) {
+  AtomicBitmap bm(100);
+  bm.set_all();
+  bm.clear_all();
+  EXPECT_EQ(bm.count(), 0u);
+}
+
+TEST(AtomicBitmap, ConcurrentSetsAreExactlyOnce) {
+  AtomicBitmap bm(10000);
+  std::atomic<std::int64_t> first_sets{0};
+  ThreadPool pool(8);
+  pool.parallel_for(0, 40000, 100, [&](std::int64_t a, std::int64_t b) {
+    std::int64_t local = 0;
+    for (std::int64_t i = a; i < b; ++i) {
+      if (bm.set(static_cast<std::size_t>(i % 10000))) ++local;
+    }
+    first_sets.fetch_add(local);
+  });
+  EXPECT_EQ(first_sets.load(), 10000);
+  EXPECT_EQ(bm.count(), 10000u);
+}
+
+}  // namespace
+}  // namespace vgp

@@ -1,0 +1,123 @@
+// Tests for the partition quality metrics (coverage, conductance, ARI,
+// NMI).
+#include <gtest/gtest.h>
+
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/quality.hpp"
+#include "vgp/gen/planted.hpp"
+
+namespace vgp::community {
+namespace {
+
+Graph barbell() {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {0, 2, 1.0f},
+                        {3, 4, 1.0f}, {4, 5, 1.0f}, {3, 5, 1.0f},
+                        {2, 3, 1.0f}};
+  return Graph::from_edges(6, edges);
+}
+
+TEST(Coverage, BoundsAndKnownValues) {
+  const Graph g = barbell();
+  EXPECT_DOUBLE_EQ(coverage(g, {0, 0, 0, 0, 0, 0}), 1.0);
+  // Two triangles: 6 of 7 edges intra.
+  EXPECT_NEAR(coverage(g, {0, 0, 0, 1, 1, 1}), 6.0 / 7.0, 1e-12);
+  // Singletons: nothing intra.
+  EXPECT_DOUBLE_EQ(coverage(g, singleton_partition(6)), 0.0);
+}
+
+TEST(Coverage, SelfLoopsAreIntra) {
+  const Edge edges[] = {{0, 0, 2.0f}, {0, 1, 1.0f}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_NEAR(coverage(g, {0, 1}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Conductance, PerfectAndLeakyCommunities) {
+  const Graph g = barbell();
+  const std::vector<CommunityId> z{0, 0, 0, 1, 1, 1};
+  // Each triangle: cut 1, vol 7 -> phi = 1/7.
+  EXPECT_NEAR(conductance(g, z, 0), 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(conductance(g, z, 1), 1.0 / 7.0, 1e-12);
+  // Whole graph: no cut.
+  EXPECT_DOUBLE_EQ(conductance(g, {0, 0, 0, 0, 0, 0}, 0), 0.0);
+}
+
+TEST(Conductance, SummaryAggregates) {
+  const Graph g = barbell();
+  const auto s = conductance_summary(g, {0, 0, 0, 1, 1, 1}, 2);
+  EXPECT_NEAR(s.min, 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.max, 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.mean, 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.weighted_mean, 1.0 / 7.0, 1e-12);
+}
+
+TEST(Conductance, SummaryRejectsNonCompactLabels) {
+  EXPECT_THROW(conductance_summary(barbell(), {0, 0, 0, 5, 5, 5}, 2),
+               std::out_of_range);
+}
+
+TEST(Ari, IdentityAndRelabeling) {
+  const std::vector<CommunityId> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+  const std::vector<CommunityId> relabeled{7, 7, 3, 3, 9, 9};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, relabeled), 1.0);
+}
+
+TEST(Ari, DisagreementLowersScore) {
+  const std::vector<CommunityId> a{0, 0, 0, 1, 1, 1};
+  const std::vector<CommunityId> one_moved{0, 0, 0, 0, 1, 1};
+  const double partial = adjusted_rand_index(a, one_moved);
+  EXPECT_LT(partial, 1.0);
+  EXPECT_GT(partial, 0.0);
+}
+
+TEST(Ari, SizeMismatchThrows) {
+  EXPECT_THROW(adjusted_rand_index({0, 1}, {0, 1, 2}), std::invalid_argument);
+}
+
+TEST(Nmi, IdentityRelabelingAndBounds) {
+  const std::vector<CommunityId> a{0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(a, {5, 5, 1, 1, 8, 8}), 1.0);
+  const std::vector<CommunityId> other{0, 1, 0, 1, 0, 1};
+  const double nmi = normalized_mutual_information(a, other);
+  EXPECT_GE(nmi, 0.0);
+  EXPECT_LT(nmi, 0.5);
+}
+
+TEST(Nmi, TrivialPartitionsScoreOne) {
+  const std::vector<CommunityId> all_same{3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(all_same, all_same), 1.0);
+}
+
+TEST(Quality, LouvainRecoversPlantedTruthByAri) {
+  gen::PlantedParams p;
+  p.communities = 8;
+  p.vertices_per_community = 80;
+  p.intra_degree = 16.0;
+  p.inter_degree = 1.0;
+  const auto pg = gen::planted_partition(p);
+
+  const auto res = louvain(pg.graph);
+  const double ari = adjusted_rand_index(res.communities, pg.truth);
+  const double nmi = normalized_mutual_information(res.communities, pg.truth);
+  EXPECT_GT(ari, 0.8);
+  EXPECT_GT(nmi, 0.85);
+  EXPECT_GT(coverage(pg.graph, res.communities), 0.7);
+}
+
+TEST(Quality, MetricsAgreeAcrossVariants) {
+  gen::PlantedParams p;
+  p.communities = 6;
+  p.vertices_per_community = 64;
+  const auto pg = gen::planted_partition(p);
+  for (const auto policy : {MovePolicy::MPLM, MovePolicy::ONPL, MovePolicy::OVPL}) {
+    LouvainOptions opts;
+    opts.policy = policy;
+    const auto res = louvain(pg.graph, opts);
+    const double ari = adjusted_rand_index(res.communities, pg.truth);
+    EXPECT_GT(ari, 0.6) << move_policy_name(policy);
+  }
+}
+
+}  // namespace
+}  // namespace vgp::community

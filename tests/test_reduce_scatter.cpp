@@ -1,0 +1,169 @@
+// Property tests for the reduce-scatter primitives: every vector method
+// must produce the same table as the scalar reference for any index
+// pattern, up to float reassociation. Parameterized sweeps cover the
+// regimes the paper discusses: all-distinct indices (conflict detection's
+// best case), all-identical (in-vector reduction's best case), and mixes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "vgp/simd/backend.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace vgp::simd {
+namespace {
+
+struct Workload {
+  std::vector<std::int32_t> idx;
+  std::vector<float> vals;
+  std::int64_t table_size;
+};
+
+/// distinct_frac = probability a position gets a fresh random index rather
+/// than repeating the previous one (controls duplicate density).
+Workload make_workload(std::int64_t n, std::int64_t table_size,
+                       double distinct_frac, std::uint64_t seed) {
+  Workload w;
+  w.table_size = table_size;
+  Xoshiro256 rng(seed);
+  std::int32_t last = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i == 0 || rng.uniform() < distinct_frac) {
+      last = static_cast<std::int32_t>(rng.bounded(static_cast<std::uint64_t>(table_size)));
+    }
+    w.idx.push_back(last);
+    w.vals.push_back(0.25f + static_cast<float>(rng.uniform()));
+  }
+  return w;
+}
+
+std::vector<float> run(const Workload& w, RsMethod method, Backend backend) {
+  std::vector<float> table(static_cast<std::size_t>(w.table_size), 0.0f);
+  reduce_scatter(table.data(), w.idx.data(), w.vals.data(),
+                 static_cast<std::int64_t>(w.idx.size()), method, backend);
+  return table;
+}
+
+void expect_tables_close(const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 1e-4f * (1.0f + std::abs(a[i]))) << "entry " << i;
+  }
+}
+
+TEST(ReduceScatter, ScalarReferenceAccumulates) {
+  std::vector<float> table(4, 0.0f);
+  const std::int32_t idx[] = {1, 1, 3, 1};
+  const float vals[] = {1.0f, 2.0f, 4.0f, 8.0f};
+  reduce_scatter_scalar(table.data(), idx, vals, 4);
+  EXPECT_FLOAT_EQ(table[0], 0.0f);
+  EXPECT_FLOAT_EQ(table[1], 11.0f);
+  EXPECT_FLOAT_EQ(table[3], 4.0f);
+}
+
+TEST(ReduceScatter, EmptyInputIsNoop) {
+  std::vector<float> table(4, 1.0f);
+  for (const auto m : {RsMethod::Scalar, RsMethod::Conflict, RsMethod::Compress}) {
+    reduce_scatter(table.data(), nullptr, nullptr, 0, m);
+    for (float v : table) EXPECT_FLOAT_EQ(v, 1.0f);
+  }
+}
+
+TEST(ReduceScatter, MethodNamesAreDistinct) {
+  EXPECT_STRNE(rs_method_name(RsMethod::Conflict),
+               rs_method_name(RsMethod::Compress));
+  EXPECT_STRNE(rs_method_name(RsMethod::Conflict),
+               rs_method_name(RsMethod::ConflictIterative));
+}
+
+TEST(ReduceScatter, ScalarBackendForcesScalarPath) {
+  const auto w = make_workload(100, 16, 0.5, 1);
+  const auto ref = run(w, RsMethod::Scalar, Backend::Scalar);
+  const auto forced = run(w, RsMethod::Conflict, Backend::Scalar);
+  expect_tables_close(ref, forced);
+}
+
+// ---- parameterized equivalence sweep -----------------------------------
+
+using SweepParam = std::tuple<int /*n*/, int /*table*/, double /*distinct*/>;
+
+class RsSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RsSweep, AllMethodsMatchScalar) {
+  if (!avx512_kernels_available()) GTEST_SKIP() << "no AVX-512 at runtime";
+  const auto [n, table_size, distinct] = GetParam();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto w = make_workload(n, table_size, distinct, seed);
+    const auto ref = run(w, RsMethod::Scalar, Backend::Scalar);
+    for (const auto m :
+         {RsMethod::Conflict, RsMethod::ConflictIterative, RsMethod::Compress,
+          RsMethod::CompressIterative}) {
+      SCOPED_TRACE(rs_method_name(m));
+      expect_tables_close(ref, run(w, m, Backend::Avx512));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, RsSweep,
+    ::testing::Values(
+        // tails shorter than one vector
+        SweepParam{1, 4, 1.0}, SweepParam{7, 8, 1.0}, SweepParam{15, 64, 0.5},
+        // exactly one vector / multiple full vectors
+        SweepParam{16, 64, 1.0}, SweepParam{64, 256, 1.0},
+        // all lanes identical (in-vector reduction's home turf)
+        SweepParam{64, 8, 0.0}, SweepParam{257, 4, 0.0},
+        // heavy duplication
+        SweepParam{128, 4, 0.3}, SweepParam{1000, 16, 0.2},
+        // mostly distinct (conflict detection's home turf)
+        SweepParam{1000, 100000, 1.0}, SweepParam{4096, 4096, 0.9},
+        // ragged tail
+        SweepParam{1023, 777, 0.6}));
+
+TEST(ReduceScatter, SlowScatterEmulationMatchesHardware) {
+  if (!avx512_kernels_available()) GTEST_SKIP() << "no AVX-512 at runtime";
+  const auto w = make_workload(500, 64, 0.7, 9);
+  const auto ref = run(w, RsMethod::Conflict, Backend::Avx512);
+  set_emulate_slow_scatter(true);
+  const auto emu = run(w, RsMethod::Conflict, Backend::Avx512);
+  set_emulate_slow_scatter(false);
+  expect_tables_close(ref, emu);
+}
+
+TEST(Backend, ResolveNeverReturnsAuto) {
+  EXPECT_NE(resolve(Backend::Auto), Backend::Auto);
+  EXPECT_EQ(resolve(Backend::Scalar), Backend::Scalar);
+}
+
+TEST(Backend, Avx512FallsBackWhenUnavailable) {
+  const auto r = resolve(Backend::Avx512);
+  if (avx512_kernels_available()) {
+    EXPECT_EQ(r, Backend::Avx512);
+  } else {
+    EXPECT_EQ(r, Backend::Scalar);
+  }
+}
+
+TEST(Backend, NamesAndParsing) {
+  EXPECT_EQ(parse_backend("scalar"), Backend::Scalar);
+  EXPECT_EQ(parse_backend("avx512"), Backend::Avx512);
+  EXPECT_EQ(parse_backend("auto"), Backend::Auto);
+  EXPECT_THROW(parse_backend("gpu"), std::invalid_argument);
+  EXPECT_STREQ(backend_name(Backend::Scalar), "scalar");
+  EXPECT_STREQ(backend_name(Backend::Avx512), "avx512");
+}
+
+TEST(Backend, SlowScatterToggle) {
+  EXPECT_FALSE(emulate_slow_scatter());
+  set_emulate_slow_scatter(true);
+  EXPECT_TRUE(emulate_slow_scatter());
+  set_emulate_slow_scatter(false);
+  EXPECT_FALSE(emulate_slow_scatter());
+}
+
+}  // namespace
+}  // namespace vgp::simd

@@ -1,0 +1,164 @@
+// Unit tests for the support substrate: RNG, statistics, aligned
+// allocation, CPU detection, op counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+
+#include "vgp/support/aligned.hpp"
+#include "vgp/support/cpu.hpp"
+#include "vgp/support/opcount.hpp"
+#include "vgp/support/rng.hpp"
+#include "vgp/support/stats.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Xoshiro256 rng(13);
+  int counts[10] = {};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.bounded(10)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, SplitMixExpandsSeeds) {
+  SplitMix64 sm(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(Stats, MedianOddEvenAndEmpty) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  // Robust to one outlier, unlike the mean.
+  EXPECT_DOUBLE_EQ(median({1.0, 1.0, 1.0, 100.0}), 1.0);
+}
+
+TEST(Stats, BootstrapCiContainsMeanForTightSamples) {
+  const std::vector<double> xs{5.0, 5.1, 4.9, 5.0, 5.05, 4.95};
+  const auto ci = bootstrap_ci95(xs);
+  EXPECT_LE(ci.lo, mean(xs));
+  EXPECT_GE(ci.hi, mean(xs));
+  EXPECT_LT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(Stats, BootstrapDeterministicForSeed) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto a = bootstrap_ci95(xs, 500, 9);
+  const auto b = bootstrap_ci95(xs, 500, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Stats, SummarizeFillsAllFields) {
+  const auto s = summarize({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_LE(s.ci95.lo, s.ci95.hi);
+}
+
+TEST(Aligned, VectorIs64ByteAligned) {
+  for (int trial = 0; trial < 16; ++trial) {
+    aligned_vector<float> v(1 + trial * 17);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLine, 0u);
+  }
+}
+
+TEST(Aligned, RebindWorksThroughVectorOfInt) {
+  aligned_vector<std::int32_t> v(100, 7);
+  EXPECT_EQ(v[99], 7);
+  v.resize(1000, 9);
+  EXPECT_EQ(v[999], 9);
+}
+
+TEST(Cpu, FeatureStringNonEmpty) {
+  EXPECT_FALSE(cpu_feature_string().empty());
+}
+
+TEST(Cpu, Avx512KernelFlagConsistent) {
+  const auto& f = cpu_features();
+  EXPECT_EQ(f.has_avx512_kernels(), f.avx512f && f.avx512cd);
+}
+
+TEST(OpCount, LocalAccumulates) {
+  opcount::reset_all();
+  opcount::local().scalar_ops += 5;
+  opcount::local().vector_ops += 2;
+  const auto t = opcount::total();
+  EXPECT_GE(t.scalar_ops, 5u);
+  EXPECT_GE(t.vector_ops, 2u);
+}
+
+TEST(OpCount, ResetClearsAllThreads) {
+  opcount::local().scalar_ops += 10;
+  std::thread([] { opcount::local().gather_lanes += 3; }).join();
+  opcount::reset_all();
+  const auto t = opcount::total();
+  EXPECT_EQ(t.scalar_ops, 0u);
+  EXPECT_EQ(t.gather_lanes, 0u);
+}
+
+TEST(OpCount, TotalSumsAcrossThreads) {
+  opcount::reset_all();
+  opcount::local().scatter_lanes += 1;
+  std::thread([] { opcount::local().scatter_lanes += 2; }).join();
+  EXPECT_GE(opcount::total().scatter_lanes, 3u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 10.0);
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, t.seconds() * 1e3 * 0.5 + 1.0);
+}
+
+}  // namespace
+}  // namespace vgp
