@@ -20,6 +20,7 @@
 #include "vgp/harness/table.hpp"
 #include "vgp/simd/backend.hpp"
 #include "vgp/support/cpu.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::bench {
 
@@ -36,12 +37,26 @@ inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
   opts.describe("scale", "suite scale: tiny|small|medium|large (default tiny)")
       .describe("reps", "timed repetitions per measurement (default 3)")
       .describe("warmup", "warmup runs per measurement (default 1)")
-      .describe("paper", "heavier sweep closer to the paper's sizes");
-  if (!opts.parse(argc, argv)) return false;
-  cfg.scale = gen::parse_suite_scale(opts.get("scale", "tiny"));
-  cfg.reps = static_cast<int>(opts.get_int("reps", 3));
-  cfg.warmup = static_cast<int>(opts.get_int("warmup", 1));
-  cfg.paper_mode = opts.get_flag("paper");
+      .describe("paper", "heavier sweep closer to the paper's sizes")
+      .describe("metrics",
+                "write kernel telemetry to this file (JSON; .csv selects "
+                "CSV). Equivalent to setting VGP_METRICS");
+  // Bad values (e.g. --reps=1O) throw std::invalid_argument naming the
+  // key; exit cleanly instead of letting it reach std::terminate.
+  try {
+    if (!opts.parse(argc, argv)) return false;
+    cfg.scale = gen::parse_suite_scale(opts.get("scale", "tiny"));
+    cfg.reps = static_cast<int>(opts.get_int("reps", 3));
+    cfg.warmup = static_cast<int>(opts.get_int("warmup", 1));
+    cfg.paper_mode = opts.get_flag("paper");
+    if (const std::string metrics = opts.get("metrics", "");
+        !metrics.empty()) {
+      telemetry::enable_file_output(metrics);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
   if (cfg.paper_mode) {
     cfg.reps = std::max(cfg.reps, 10);
     if (cfg.scale == gen::SuiteScale::Tiny) cfg.scale = gen::SuiteScale::Small;

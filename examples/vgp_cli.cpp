@@ -27,6 +27,7 @@
 #include "vgp/harness/options.hpp"
 #include "vgp/support/cpu.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace {
 
@@ -164,24 +165,39 @@ int main(int argc, char** argv) {
       .describe("ordering", "color: natural|largest-first|smallest-last|random")
       .describe("theta", "labelprop termination threshold")
       .describe("source", "bfs source vertex")
-      .describe("top", "pagerank: how many top vertices to print");
+      .describe("top", "pagerank: how many top vertices to print")
+      .describe("metrics",
+                "write kernel telemetry to this file (JSON; .csv selects "
+                "CSV). Equivalent to setting VGP_METRICS");
   try {
     if (!opts.parse(argc, argv)) return 0;
+    const std::string metrics = opts.get("metrics", "");
+    if (!metrics.empty()) telemetry::enable_file_output(metrics);
     const std::string cmd = opts.get("cmd", "stats");
     const Graph g = load(opts);
     std::printf("# vgp_cli %s — %lld vertices, %lld edges (cpu: %s)\n",
                 cmd.c_str(), static_cast<long long>(g.num_vertices()),
                 static_cast<long long>(g.num_edges()),
                 vgp::cpu_feature_string().c_str());
-    if (cmd == "stats") return cmd_stats(g);
-    if (cmd == "color") return cmd_color(g, opts);
-    if (cmd == "louvain") return cmd_louvain(g, opts);
-    if (cmd == "labelprop") return cmd_labelprop(g, opts);
-    if (cmd == "bfs") return cmd_bfs(g, opts);
-    if (cmd == "pagerank") return cmd_pagerank(g, opts);
-    if (cmd == "analyze") return cmd_analyze(g);
-    std::fprintf(stderr, "unknown --cmd=%s\n", cmd.c_str());
-    return 1;
+    int rc = 1;
+    if (cmd == "stats") rc = cmd_stats(g);
+    else if (cmd == "color") rc = cmd_color(g, opts);
+    else if (cmd == "louvain") rc = cmd_louvain(g, opts);
+    else if (cmd == "labelprop") rc = cmd_labelprop(g, opts);
+    else if (cmd == "bfs") rc = cmd_bfs(g, opts);
+    else if (cmd == "pagerank") rc = cmd_pagerank(g, opts);
+    else if (cmd == "analyze") rc = cmd_analyze(g);
+    else {
+      std::fprintf(stderr, "unknown --cmd=%s\n", cmd.c_str());
+      return 1;
+    }
+    // Explicit flush so a successful run writes the file even if the
+    // atexit hook is skipped (e.g. _exit in a harness).
+    if (!metrics.empty() && !telemetry::flush()) {
+      std::fprintf(stderr, "warning: could not write metrics file %s\n",
+                   metrics.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -6,6 +6,7 @@
 
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/support/opcount.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::coloring {
 
@@ -61,6 +62,7 @@ Result color_graph(const Graph& g, const Options& opts) {
   res.colors.assign(static_cast<std::size_t>(n), 0);
   if (n == 0) return res;
 
+  telemetry::ScopedPhase phase("coloring");
   const auto backend = simd::resolve(opts.backend);
 
   detail::AssignCtx ctx;
@@ -121,11 +123,26 @@ Result color_graph(const Graph& g, const Options& opts) {
                  });
 
     res.total_conflicts += static_cast<std::int64_t>(next_conf.size());
+    res.conflicts_per_round.push_back(
+        static_cast<std::int64_t>(next_conf.size()));
     std::sort(next_conf.begin(), next_conf.end());
     conf.swap(next_conf);
   }
 
   res.num_colors = *std::max_element(res.colors.begin(), res.colors.end());
+
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) {
+    const auto id_curve = reg.series("coloring.conflicts_per_round");
+    for (const auto c : res.conflicts_per_round) {
+      reg.append(id_curve, static_cast<double>(c));
+    }
+    reg.add(reg.counter("coloring.rounds"), static_cast<double>(res.rounds));
+    reg.add(reg.counter("coloring.conflicts"),
+            static_cast<double>(res.total_conflicts));
+    reg.set(reg.gauge("coloring.colors"),
+            static_cast<double>(res.num_colors));
+  }
   return res;
 }
 

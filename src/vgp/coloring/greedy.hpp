@@ -45,6 +45,9 @@ struct Result {
   int rounds = 0;
   /// Vertices re-queued over all conflict-detection rounds.
   std::int64_t total_conflicts = 0;
+  /// Conflicts detected after each speculative round (size == rounds);
+  /// the convergence curve of Algorithm 1.
+  std::vector<std::int64_t> conflicts_per_round;
 };
 
 /// Runs the full speculative loop. Self-loops are ignored (a vertex is

@@ -6,6 +6,7 @@
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/rng.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 
@@ -81,6 +82,19 @@ LabelPropResult label_propagation(const Graph& g,
   if (n == 0) return res;
 
   WallTimer timer;
+  telemetry::ScopedPhase phase("labelprop");
+  auto& reg = telemetry::Registry::global();
+  const bool telem = reg.enabled();
+  telemetry::MetricId id_active = 0, id_updates = 0, id_frac = 0,
+                      id_iter_conflict = 0, id_iter_compress = 0;
+  if (telem) {
+    id_active = reg.series("labelprop.active_per_iter");
+    id_updates = reg.series("labelprop.updates_per_iter");
+    id_frac = reg.gauge("labelprop.update_fraction");
+    id_iter_conflict = reg.counter("labelprop.iterations.conflict");
+    id_iter_compress = reg.counter("labelprop.iterations.compress");
+  }
+
   const auto backend = simd::resolve(opts.backend);
   const std::int64_t theta =
       opts.theta >= 0 ? opts.theta : std::max<std::int64_t>(1, n / 100000);
@@ -113,6 +127,9 @@ LabelPropResult label_propagation(const Graph& g,
     ctx.use_compress = opts.rs_policy == RsPolicy::Compress ||
                        (opts.rs_policy == RsPolicy::Auto &&
                         last_update_fraction < 0.02);
+    if (ctx.use_compress && res.compress_switch_iteration < 0) {
+      res.compress_switch_iteration = iter;
+    }
     ctx.salt = mix32(static_cast<std::uint32_t>(iter) + 0x9e3779b9u);
 
     std::atomic<std::int64_t> updated{0};
@@ -127,8 +144,16 @@ LabelPropResult label_propagation(const Graph& g,
 
     ++res.iterations;
     res.updates_per_iteration.push_back(updated.load());
+    res.active_per_iteration.push_back(
+        static_cast<std::int64_t>(worklist.size()));
     last_update_fraction =
         static_cast<double>(updated.load()) / static_cast<double>(n);
+    if (telem) {
+      reg.append(id_active, static_cast<double>(worklist.size()));
+      reg.append(id_updates, static_cast<double>(updated.load()));
+      reg.set(id_frac, last_update_fraction);
+      reg.add(ctx.use_compress ? id_iter_compress : id_iter_conflict, 1.0);
+    }
 
     std::swap(active, next_active);
     if (updated.load() <= theta) break;

@@ -44,6 +44,12 @@ struct LabelPropResult {
   std::int64_t num_communities = 0;
   int iterations = 0;
   std::vector<std::int64_t> updates_per_iteration;
+  /// Active-set size entering each round (the frontier-decay curve).
+  std::vector<std::int64_t> active_per_iteration;
+  /// First round (0-based) that ran the in-vector-reduction accumulate
+  /// under RsPolicy::Auto/Compress; -1 when every round used conflict
+  /// detection.
+  int compress_switch_iteration = -1;
   double seconds = 0.0;
 };
 

@@ -11,6 +11,7 @@
 #include "vgp/community/label_prop.hpp"
 #include "vgp/simd/avx512_common.hpp"
 #include "vgp/support/rng.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community::detail {
 namespace {
@@ -19,24 +20,34 @@ using simd::charge_vector_chunk;
 using simd::kLanes;
 using simd::tail_mask16;
 
+/// Gather-lane occupancy across one worklist range; flushed to telemetry
+/// once per lp_process_avx512 call, never from the 16-lane loops.
+struct LaneUse {
+  std::int64_t active = 0;
+  std::int64_t total = 0;
+};
+
 const __m512i kNegLanes = _mm512_setr_epi32(-1, -2, -3, -4, -5, -6, -7, -8,
                                             -9, -10, -11, -12, -13, -14, -15,
                                             -16);
 
-inline void record_first_touch(std::vector<CommunityId>& touched,
-                               __mmask16 zero_mask, __m512i vlab) {
+/// A zero gathered weight only *suggests* a first touch (a zero-weight
+/// edge leaves the sum at 0.0f); DenseAffinity::note() holds the exact
+/// membership test, so duplicates never reach the touched list.
+inline void record_first_touch(DenseAffinity& aff, __mmask16 zero_mask,
+                               __m512i vlab) {
   if (zero_mask == 0) return;
-  const auto old = touched.size();
-  touched.resize(old + static_cast<std::size_t>(__builtin_popcount(zero_mask)));
-  _mm512_mask_compressstoreu_epi32(touched.data() + old, zero_mask, vlab);
+  alignas(64) CommunityId labs[kLanes];
+  _mm512_mask_compressstoreu_epi32(labs, zero_mask, vlab);
+  const int cnt = __builtin_popcount(zero_mask);
+  for (int i = 0; i < cnt; ++i) aff.note(labs[i]);
 }
 
 /// Conflict-detection accumulate of u's neighbor label weights.
 void accumulate_conflict(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
-                         bool slow) {
+                         bool slow, LaneUse& lanes) {
   const Graph& g = *ctx.g;
   float* table = aff.data();
-  auto& touched = aff.touched();
   const auto b = g.offset(u);
   const auto deg = g.degree(u);
   const VertexId* adj = g.adjacency_data() + b;
@@ -50,6 +61,8 @@ void accumulate_conflict(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
     const __m512 vw = _mm512_maskz_loadu_ps(tail, wgt + i);
     const __m512i vlab =
         _mm512_mask_i32gather_epi32(kNegLanes, m, vnbr, ctx.labels, 4);
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes;
 
     const __m512i conf = _mm512_conflict_epi32(vlab);
     const __mmask16 first =
@@ -58,7 +71,7 @@ void accumulate_conflict(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
     const __m512 cur =
         _mm512_mask_i32gather_ps(_mm512_setzero_ps(), first, vlab, table, 4);
     record_first_touch(
-        touched,
+        aff,
         _mm512_mask_cmp_ps_mask(first, cur, _mm512_setzero_ps(), _CMP_EQ_OQ),
         vlab);
     const __m512 sum = _mm512_add_ps(cur, vw);
@@ -72,7 +85,7 @@ void accumulate_conflict(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
     while (bits != 0u) {
       const int lane = __builtin_ctz(bits);
       const CommunityId l = ctx.labels[adj[i + lane]];
-      if (table[l] == 0.0f) touched.push_back(l);
+      aff.note(l);
       table[l] += wgt[i + lane];
       bits &= bits - 1;
     }
@@ -80,10 +93,10 @@ void accumulate_conflict(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
 }
 
 /// In-vector-reduction accumulate (for mostly-converged label fields).
-void accumulate_compress(const LpCtx& ctx, VertexId u, DenseAffinity& aff) {
+void accumulate_compress(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
+                         LaneUse& lanes) {
   const Graph& g = *ctx.g;
   float* table = aff.data();
-  auto& touched = aff.touched();
   const auto b = g.offset(u);
   const auto deg = g.degree(u);
   const VertexId* adj = g.adjacency_data() + b;
@@ -98,13 +111,15 @@ void accumulate_compress(const LpCtx& ctx, VertexId u, DenseAffinity& aff) {
     const __m512 vw = _mm512_maskz_loadu_ps(tail, wgt + i);
     const __m512i vlab =
         _mm512_mask_i32gather_epi32(kNegLanes, m, vnbr, ctx.labels, 4);
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes;
 
     const int lane0 = __builtin_ctz(static_cast<unsigned>(m));
     const CommunityId l0 = ctx.labels[adj[i + lane0]];
     const __mmask16 match =
         _mm512_mask_cmpeq_epi32_mask(m, vlab, _mm512_set1_epi32(l0));
     const float s = _mm512_mask_reduce_add_ps(match, vw);
-    if (table[l0] == 0.0f) touched.push_back(l0);
+    aff.note(l0);
     table[l0] += s;
 
     const __mmask16 rest = m & static_cast<__mmask16>(~match);
@@ -114,7 +129,7 @@ void accumulate_compress(const LpCtx& ctx, VertexId u, DenseAffinity& aff) {
     while (bits != 0u) {
       const int lane = __builtin_ctz(bits);
       const CommunityId l = ctx.labels[adj[i + lane]];
-      if (table[l] == 0.0f) touched.push_back(l);
+      aff.note(l);
       table[l] += wgt[i + lane];
       bits &= bits - 1;
     }
@@ -199,6 +214,7 @@ std::int64_t lp_process_avx512(const LpCtx& ctx, const VertexId* verts,
   const Graph& g = *ctx.g;
   const bool slow = simd::emulate_slow_scatter();
   std::int64_t changed = 0;
+  LaneUse lanes;
 
   for (std::int64_t k = 0; k < count; ++k) {
     const VertexId u = verts[k];
@@ -213,9 +229,9 @@ std::int64_t lp_process_avx512(const LpCtx& ctx, const VertexId* verts,
     }
 
     if (ctx.use_compress) {
-      accumulate_compress(ctx, u, aff);
+      accumulate_compress(ctx, u, aff, lanes);
     } else {
-      accumulate_conflict(ctx, u, aff, slow);
+      accumulate_conflict(ctx, u, aff, slow, lanes);
     }
 
     const CommunityId cur = ctx.labels[u];
@@ -231,6 +247,14 @@ std::int64_t lp_process_avx512(const LpCtx& ctx, const VertexId* verts,
         if (v != u) ctx.next_active->set(static_cast<std::size_t>(v));
       }
     }
+  }
+
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled() && lanes.total > 0) {
+    reg.add(reg.counter("labelprop.gather_lanes_active"),
+            static_cast<double>(lanes.active));
+    reg.add(reg.counter("labelprop.gather_lanes_total"),
+            static_cast<double>(lanes.total));
   }
   return changed;
 }

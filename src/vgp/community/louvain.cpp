@@ -5,6 +5,7 @@
 #include "vgp/community/coarsen.hpp"
 #include "vgp/community/ovpl.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 
@@ -77,8 +78,12 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
     ctx.grain = opts.grain;
     ctx.rs_policy = opts.rs_policy;
 
-    MoveStats stats =
-        run_move_phase(ctx, opts.policy, opts.backend, opts.ovpl_block_size);
+    MoveStats stats;
+    {
+      telemetry::ScopedPhase phase("louvain.move");
+      stats =
+          run_move_phase(ctx, opts.policy, opts.backend, opts.ovpl_block_size);
+    }
     if (level == 0) {
       res.first_move_seconds = stats.seconds;
       res.preprocess_seconds = stats.preprocess_seconds;
@@ -96,6 +101,7 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
     if (!opts.full_multilevel) break;
     if (k == current->num_vertices()) break;  // no merges: converged
 
+    telemetry::ScopedPhase coarsen_phase("louvain.coarsen");
     CoarseResult cr = coarsen(*current, state.zeta);
     coarse_storage = std::move(cr.graph);
     current = &coarse_storage;

@@ -15,6 +15,7 @@
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 
@@ -23,6 +24,14 @@ MoveStats move_phase_colorsync(const MoveCtx& ctx, simd::Backend backend) {
   const auto n = g.num_vertices();
   MoveStats stats;
   WallTimer timer;
+
+  auto& reg = telemetry::Registry::global();
+  const bool telem = reg.enabled();
+  telemetry::MetricId id_moves_iter = 0, id_classes = 0;
+  if (telem) {
+    id_moves_iter = reg.series("louvain.colorsync.moves_per_iter");
+    id_classes = reg.gauge("louvain.colorsync.color_classes");
+  }
 
   // Preprocessing: group vertices by color class.
   WallTimer prep;
@@ -36,6 +45,7 @@ MoveStats move_phase_colorsync(const MoveCtx& ctx, simd::Backend backend) {
         .push_back(v);
   }
   stats.preprocess_seconds = prep.seconds();
+  if (telem) reg.set(id_classes, static_cast<double>(coloring.num_colors));
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
@@ -69,6 +79,8 @@ MoveStats move_phase_colorsync(const MoveCtx& ctx, simd::Backend backend) {
 
     ++stats.iterations;
     stats.total_moves += moves.load();
+    stats.moves_per_iteration.push_back(moves.load());
+    if (telem) reg.append(id_moves_iter, static_cast<double>(moves.load()));
     if (moves.load() == 0) break;
   }
 

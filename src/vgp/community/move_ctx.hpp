@@ -7,6 +7,7 @@
 // only in how the per-vertex affinity map is computed.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -45,6 +46,12 @@ struct MoveStats {
   double seconds = 0.0;
   /// OVPL only: layout construction time (coloring + blocking).
   double preprocess_seconds = 0.0;
+  /// Moves applied by each iteration (size == iterations) — the decay
+  /// curve the paper's per-kernel figures are built from.
+  std::vector<std::int64_t> moves_per_iteration;
+  /// ONPL RsPolicy::Auto: first iteration (0-based) that used the
+  /// in-vector-reduction reduce-scatter; -1 when it never switched.
+  int compress_switch_iteration = -1;
 };
 
 /// Builds the ctx-owned arrays for a fresh singleton start on g.
@@ -123,20 +130,36 @@ bool decide_and_move(const MoveCtx& ctx, VertexId u,
 
 /// Dense affinity scratch with O(touched) reset — the MPLM fix. Also the
 /// backing store the ONPL vector kernel gathers from / scatters into.
+///
+/// Membership in `touched_` is epoch-stamped, NOT inferred from
+/// `val_[c] == 0.0f`: a zero-weight edge (or a sum that returns to
+/// exactly 0.0f) would re-register the community and every consumer of
+/// touched() — label-prop tie-breaking, the ONPL candidate scan — would
+/// iterate duplicate candidates.
 class DenseAffinity {
  public:
   void ensure(std::int64_t n) {
     if (val_.size() < static_cast<std::size_t>(n)) {
       val_.assign(static_cast<std::size_t>(n), 0.0f);
+      mark_.assign(static_cast<std::size_t>(n), 0);
+      epoch_ = 1;
       touched_.clear();
     }
-    // The vector kernel appends up to 16 touched ids per chunk with a
-    // compress-store; keep headroom so it never reallocates mid-chunk.
     touched_.reserve(64);
   }
 
+  /// Registers c as touched at most once per reset() cycle; returns true
+  /// on the first touch. The vector kernels call this for the lanes whose
+  /// gathered affinity was zero (a superset of the genuine first touches).
+  bool note(CommunityId c) {
+    if (mark_[static_cast<std::size_t>(c)] == epoch_) return false;
+    mark_[static_cast<std::size_t>(c)] = epoch_;
+    touched_.push_back(c);
+    return true;
+  }
+
   void add(CommunityId c, float w) {
-    if (val_[static_cast<std::size_t>(c)] == 0.0f) touched_.push_back(c);
+    note(c);
     val_[static_cast<std::size_t>(c)] += w;
   }
 
@@ -145,6 +168,10 @@ class DenseAffinity {
   void reset() {
     for (const CommunityId c : touched_) val_[static_cast<std::size_t>(c)] = 0.0f;
     touched_.clear();
+    if (++epoch_ == 0) {  // wraparound: stale marks must not alias epoch 0
+      std::fill(mark_.begin(), mark_.end(), 0);
+      epoch_ = 1;
+    }
   }
 
   float* data() { return val_.data(); }
@@ -153,7 +180,9 @@ class DenseAffinity {
 
  private:
   std::vector<float> val_;
+  std::vector<std::uint32_t> mark_;
   std::vector<CommunityId> touched_;
+  std::uint32_t epoch_ = 1;
 };
 
 /// Scalar affinity accumulation for u (self-loops excluded, per the

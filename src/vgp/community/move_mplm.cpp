@@ -9,6 +9,7 @@
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 
@@ -17,6 +18,11 @@ MoveStats move_phase_mplm(const MoveCtx& ctx) {
   const auto n = g.num_vertices();
   MoveStats stats;
   WallTimer timer;
+
+  auto& reg = telemetry::Registry::global();
+  const bool telem = reg.enabled();
+  telemetry::MetricId id_moves_iter = 0;
+  if (telem) id_moves_iter = reg.series("louvain.mplm.moves_per_iter");
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
@@ -47,6 +53,8 @@ MoveStats move_phase_mplm(const MoveCtx& ctx) {
 
     ++stats.iterations;
     stats.total_moves += moves.load();
+    stats.moves_per_iteration.push_back(moves.load());
+    if (telem) reg.append(id_moves_iter, static_cast<double>(moves.load()));
     if (moves.load() == 0) break;
   }
 

@@ -25,6 +25,7 @@
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/simd/avx512_common.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 namespace {
@@ -33,6 +34,14 @@ using simd::charge_vector_chunk;
 using simd::kLanes;
 using simd::tail_mask16;
 
+/// Gather-lane occupancy for one worker chunk: `active` lanes carried a
+/// real neighbor, out of `total` issued. Accumulated locally, flushed to
+/// telemetry once per chunk — never from the 16-lane loop itself.
+struct LaneUse {
+  std::int64_t active = 0;
+  std::int64_t total = 0;
+};
+
 // Lane sentinels for inactive gather lanes: distinct negative values so
 // _mm512_conflict_epi32 never reports a false conflict against an active
 // lane (community ids are always >= 0).
@@ -40,23 +49,26 @@ const __m512i kNegLanes = _mm512_setr_epi32(-1, -2, -3, -4, -5, -6, -7, -8,
                                             -9, -10, -11, -12, -13, -14, -15,
                                             -16);
 
-/// Appends the communities of `mask` lanes whose gathered affinity was
-/// exactly zero (first touch) to the touched list via compress-store.
-inline void record_first_touch(std::vector<CommunityId>& touched,
-                               __mmask16 zero_mask, __m512i vcomm) {
+/// Registers the communities of `mask` lanes whose gathered affinity was
+/// exactly zero as touched candidates. A zero gathered value is only a
+/// *candidate* first touch — a zero-weight edge leaves the sum at 0.0f on
+/// a later revisit — so each one goes through DenseAffinity::note(),
+/// whose epoch mark rejects duplicates exactly.
+inline void record_first_touch(DenseAffinity& aff, __mmask16 zero_mask,
+                               __m512i vcomm) {
   if (zero_mask == 0) return;
-  const auto old = touched.size();
-  touched.resize(old + static_cast<std::size_t>(__builtin_popcount(zero_mask)));
-  _mm512_mask_compressstoreu_epi32(touched.data() + old, zero_mask, vcomm);
+  alignas(64) CommunityId comm[kLanes];
+  _mm512_mask_compressstoreu_epi32(comm, zero_mask, vcomm);
+  const int cnt = __builtin_popcount(zero_mask);
+  for (int i = 0; i < cnt; ++i) aff.note(comm[i]);
 }
 
 /// Affinity accumulation with the conflict-detection reduce-scatter.
 void accumulate_conflict(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
-                         bool slow, simd::OpTally& tally) {
+                         bool slow, simd::OpTally& tally, LaneUse& lanes) {
   const Graph& g = *ctx.g;
   const CommunityId* zeta = ctx.zeta->data();
   float* table = aff.data();
-  auto& touched = aff.touched();
 
   const auto b = g.offset(u);
   const auto deg = g.degree(u);
@@ -73,6 +85,9 @@ void accumulate_conflict(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
     const __m512i vcomm =
         _mm512_mask_i32gather_epi32(kNegLanes, m, vnbr, zeta, 4);
 
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes;
+
     const __m512i conf = _mm512_conflict_epi32(vcomm);
     const __mmask16 first =
         _mm512_mask_cmpeq_epi32_mask(m, conf, _mm512_setzero_si512());
@@ -81,7 +96,7 @@ void accumulate_conflict(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
     const __m512 cur =
         _mm512_mask_i32gather_ps(_mm512_setzero_ps(), first, vcomm, table, 4);
     record_first_touch(
-        touched, _mm512_mask_cmp_ps_mask(first, cur, _mm512_setzero_ps(), _CMP_EQ_OQ),
+        aff, _mm512_mask_cmp_ps_mask(first, cur, _mm512_setzero_ps(), _CMP_EQ_OQ),
         vcomm);
     const __m512 sum = _mm512_add_ps(cur, vw);
     simd::scatter_ps(table, first, vcomm, sum, slow);
@@ -94,7 +109,7 @@ void accumulate_conflict(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
     while (bits != 0u) {
       const int lane = __builtin_ctz(bits);
       const CommunityId c = zeta[adj[i + lane]];
-      if (table[c] == 0.0f) touched.push_back(c);
+      aff.note(c);
       table[c] += wgt[i + lane];
       bits &= bits - 1;
     }
@@ -103,11 +118,10 @@ void accumulate_conflict(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
 
 /// Affinity accumulation with the in-vector-reduction reduce-scatter.
 void accumulate_compress(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
-                         simd::OpTally& tally) {
+                         simd::OpTally& tally, LaneUse& lanes) {
   const Graph& g = *ctx.g;
   const CommunityId* zeta = ctx.zeta->data();
   float* table = aff.data();
-  auto& touched = aff.touched();
 
   const auto b = g.offset(u);
   const auto deg = g.degree(u);
@@ -123,6 +137,8 @@ void accumulate_compress(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
     const __m512 vw = _mm512_maskz_loadu_ps(tail, wgt + i);
     const __m512i vcomm =
         _mm512_mask_i32gather_epi32(kNegLanes, m, vnbr, zeta, 4);
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes;
 
     // Reduce the first active lane's community in-vector; the rest of
     // the lanes (other communities) finish scalar — the paper's
@@ -132,7 +148,7 @@ void accumulate_compress(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
     const __mmask16 match =
         _mm512_mask_cmpeq_epi32_mask(m, vcomm, _mm512_set1_epi32(c0));
     const float s = _mm512_mask_reduce_add_ps(match, vw);
-    if (table[c0] == 0.0f) touched.push_back(c0);
+    aff.note(c0);
     table[c0] += s;
 
     const __mmask16 rest = m & static_cast<__mmask16>(~match);
@@ -141,7 +157,7 @@ void accumulate_compress(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
     while (bits != 0u) {
       const int lane = __builtin_ctz(bits);
       const CommunityId c = zeta[adj[i + lane]];
-      if (table[c] == 0.0f) touched.push_back(c);
+      aff.note(c);
       table[c] += wgt[i + lane];
       bits &= bits - 1;
     }
@@ -258,11 +274,30 @@ MoveStats move_phase_onpl_avx512(const MoveCtx& ctx) {
   WallTimer timer;
   const bool slow = simd::emulate_slow_scatter();
 
+  auto& reg = telemetry::Registry::global();
+  const bool telem = reg.enabled();
+  telemetry::MetricId id_moves_iter = 0, id_iter_conflict = 0,
+                      id_iter_compress = 0, id_vert_scalar = 0,
+                      id_vert_vector = 0, id_lanes_active = 0,
+                      id_lanes_total = 0;
+  if (telem) {
+    id_moves_iter = reg.series("louvain.onpl.moves_per_iter");
+    id_iter_conflict = reg.counter("louvain.onpl.iterations.conflict");
+    id_iter_compress = reg.counter("louvain.onpl.iterations.compress");
+    id_vert_scalar = reg.counter("louvain.onpl.vertices.scalar");
+    id_vert_vector = reg.counter("louvain.onpl.vertices.vector");
+    id_lanes_active = reg.counter("louvain.onpl.gather_lanes_active");
+    id_lanes_total = reg.counter("louvain.onpl.gather_lanes_total");
+  }
+
   double last_move_fraction = 1.0;
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     const bool use_compress =
         ctx.rs_policy == RsPolicy::Compress ||
         (ctx.rs_policy == RsPolicy::Auto && last_move_fraction < 0.02);
+    if (use_compress && stats.compress_switch_iteration < 0) {
+      stats.compress_switch_iteration = iter;
+    }
     std::atomic<std::int64_t> moves{0};
 
     parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
@@ -270,7 +305,9 @@ MoveStats move_phase_onpl_avx512(const MoveCtx& ctx) {
       DenseAffinity& aff = aff_storage;
       aff.ensure(n);
       simd::OpTally tally;
+      LaneUse lanes;
       std::int64_t local_moves = 0;
+      std::int64_t scalar_verts = 0, vector_verts = 0;
       for (std::int64_t vi = first; vi < last; ++vi) {
         const auto u = static_cast<VertexId>(vi);
         const auto deg = g.degree(u);
@@ -280,6 +317,7 @@ MoveStats move_phase_onpl_avx512(const MoveCtx& ctx) {
         // only loses against the scalar loop there (this is also why the
         // paper's gains concentrate on high-average-degree graphs).
         if (deg < kLanes) {
+          ++scalar_verts;
           accumulate_affinity_scalar(g, *ctx.zeta, u, aff);
           tally.add(0, 0, 0, 2 * static_cast<int>(deg));
           const auto aff_of = [&aff](CommunityId c) {
@@ -289,20 +327,32 @@ MoveStats move_phase_onpl_avx512(const MoveCtx& ctx) {
           aff.reset();
           continue;
         }
+        ++vector_verts;
         if (use_compress) {
-          accumulate_compress(ctx, u, aff, tally);
+          accumulate_compress(ctx, u, aff, tally, lanes);
         } else {
-          accumulate_conflict(ctx, u, aff, slow, tally);
+          accumulate_conflict(ctx, u, aff, slow, tally, lanes);
         }
         if (choose_and_move(ctx, u, aff, tally)) ++local_moves;
         aff.reset();
       }
       tally.flush();
+      if (telem) {
+        reg.add(id_vert_scalar, static_cast<double>(scalar_verts));
+        reg.add(id_vert_vector, static_cast<double>(vector_verts));
+        reg.add(id_lanes_active, static_cast<double>(lanes.active));
+        reg.add(id_lanes_total, static_cast<double>(lanes.total));
+      }
       moves.fetch_add(local_moves, std::memory_order_relaxed);
     });
 
     ++stats.iterations;
     stats.total_moves += moves.load();
+    stats.moves_per_iteration.push_back(moves.load());
+    if (telem) {
+      reg.append(id_moves_iter, static_cast<double>(moves.load()));
+      reg.add(use_compress ? id_iter_compress : id_iter_conflict, 1.0);
+    }
     last_move_fraction =
         static_cast<double>(moves.load()) / static_cast<double>(n);
     if (moves.load() == 0) break;

@@ -55,6 +55,7 @@ MoveStats move_phase_plm(const MoveCtx& ctx) {
 
     ++stats.iterations;
     stats.total_moves += moves.load();
+    stats.moves_per_iteration.push_back(moves.load());
     if (moves.load() == 0) break;
   }
 

@@ -11,6 +11,7 @@
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 
@@ -164,6 +165,18 @@ OvplLayout ovpl_preprocess(const Graph& g, const OvplOptions& opts) {
   });
 
   lay.preprocess_seconds = timer.seconds();
+
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) {
+    reg.set(reg.gauge("louvain.ovpl.lane_waste"), lay.lane_waste());
+    reg.set(reg.gauge("louvain.ovpl.colors_used"),
+            static_cast<double>(lay.colors_used));
+    double mixed = 0.0;
+    for (const auto f : lay.block_mixed) mixed += f != 0 ? 1.0 : 0.0;
+    reg.set(reg.gauge("louvain.ovpl.mixed_blocks"), mixed);
+    reg.set(reg.gauge("louvain.ovpl.blocks"),
+            static_cast<double>(lay.num_blocks));
+  }
   return lay;
 }
 
@@ -235,6 +248,11 @@ MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& lay) {
   const int log2bs = __builtin_ctz(static_cast<unsigned>(bs));
   MoveStats stats;
   WallTimer timer;
+
+  auto& reg = telemetry::Registry::global();
+  const bool telem = reg.enabled();
+  telemetry::MetricId id_moves_iter = 0;
+  if (telem) id_moves_iter = reg.series("louvain.ovpl.moves_per_iter");
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
@@ -330,6 +348,8 @@ MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& lay) {
 
     ++stats.iterations;
     stats.total_moves += moves.load();
+    stats.moves_per_iteration.push_back(moves.load());
+    if (telem) reg.append(id_moves_iter, static_cast<double>(moves.load()));
     if (moves.load() == 0) break;
   }
 

@@ -18,6 +18,7 @@
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/simd/avx512_common.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 namespace {
@@ -46,6 +47,16 @@ MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
   const bool slow = simd::emulate_slow_scatter();
   const CommunityId* zeta = ctx.zeta->data();
 
+  auto& reg = telemetry::Registry::global();
+  const bool telem = reg.enabled();
+  telemetry::MetricId id_moves_iter = 0, id_lanes_active = 0,
+                      id_lanes_total = 0;
+  if (telem) {
+    id_moves_iter = reg.series("louvain.ovpl.moves_per_iter");
+    id_lanes_active = reg.counter("louvain.ovpl.gather_lanes_active");
+    id_lanes_total = reg.counter("louvain.ovpl.gather_lanes_total");
+  }
+
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
 
@@ -63,6 +74,7 @@ MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
 
       simd::OpTally tally;
       std::int64_t local_moves = 0;
+      std::int64_t lanes_active = 0, lanes_total = 0;
 
       for (std::int64_t b = first; b < last; ++b) {
         if (lay.block_mixed[static_cast<std::size_t>(b)] != 0) {
@@ -119,6 +131,8 @@ MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
             const __m512 vsum = _mm512_add_ps(vaff, vw);
             simd::scatter_ps(table, m, vkey, vsum, slow);
             tally.add(8, 2 * __builtin_popcount(m), __builtin_popcount(m), 0);
+            lanes_active += __builtin_popcount(m);
+            lanes_total += kLanes;
           }
         }
 
@@ -165,11 +179,17 @@ MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
         touched.clear();
       }
       tally.flush();
+      if (telem) {
+        reg.add(id_lanes_active, static_cast<double>(lanes_active));
+        reg.add(id_lanes_total, static_cast<double>(lanes_total));
+      }
       moves.fetch_add(local_moves, std::memory_order_relaxed);
     });
 
     ++stats.iterations;
     stats.total_moves += moves.load();
+    stats.moves_per_iteration.push_back(moves.load());
+    if (telem) reg.append(id_moves_iter, static_cast<double>(moves.load()));
     if (moves.load() == 0) break;
   }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace vgp::io {
@@ -52,17 +53,49 @@ Graph read_binary(std::istream& in) {
   std::uint64_t m = 0;
   read_raw(in, &n, 1);
   read_raw(in, &m, 1);
-  if (n < 0 || m > (1ull << 40)) bin_error("implausible header sizes");
+  if (n < 0 || n > (1ll << 40) || m > (1ull << 40))
+    bin_error("implausible header sizes");
+
+  // Bound the header counts against the stream length when the stream is
+  // seekable (files, stringstreams): a corrupt count would otherwise
+  // zero-fill gigabytes of vector before the truncation check could
+  // fire. The caps above keep the byte arithmetic overflow-free.
+  if (const auto pos = in.tellg(); pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1)) {
+      const std::streamoff avail = end - pos;
+      const std::uint64_t remaining =
+          avail > 0 ? static_cast<std::uint64_t>(avail) : 0u;
+      const std::uint64_t need =
+          (static_cast<std::uint64_t>(n) + 1) * 8 + m * (4 + 4);
+      if (need > remaining) bin_error("truncated file");
+    }
+  }
 
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1);
   read_raw(in, offsets.data(), offsets.size());
   if (offsets.front() != 0 || offsets.back() != m)
     bin_error("inconsistent offsets");
+  // Every downstream consumer indexes adjacency with offsets[v]..offsets[v+1]
+  // unchecked; a non-monotonic row would read out of bounds.
+  for (std::size_t v = 1; v < offsets.size(); ++v) {
+    if (offsets[v] < offsets[v - 1])
+      bin_error("non-monotonic offsets at vertex " + std::to_string(v - 1));
+  }
 
   std::vector<VertexId> adj(m);
   std::vector<float> weights(m);
   read_raw(in, adj.data(), m);
   read_raw(in, weights.data(), m);
+  // Same contract for endpoints: kernels gather zeta[adj[e]] unchecked.
+  for (std::size_t e = 0; e < adj.size(); ++e) {
+    if (adj[e] < 0 || adj[e] >= n)
+      bin_error("adjacency entry " + std::to_string(e) + " (" +
+                std::to_string(adj[e]) + ") out of range [0, " +
+                std::to_string(n) + ")");
+  }
 
   return Graph::from_csr(n, std::move(offsets), std::move(adj),
                          std::move(weights));

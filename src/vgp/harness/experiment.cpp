@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "vgp/telemetry/registry.hpp"
+
 namespace vgp::harness {
 
 SampleStats time_repeated(const RepeatOptions& opts,
@@ -26,6 +28,17 @@ void print_series(const std::string& title,
                   const std::vector<Series>& series) {
   std::printf("\n== %s ==\n", title.c_str());
   if (series.empty()) return;
+
+  // Mirror every printed figure series into the telemetry snapshot so a
+  // --metrics= run carries the plotted numbers alongside the kernel
+  // counters (one machine-readable file per run).
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) {
+    for (const auto& s : series) {
+      const auto id = reg.series("series." + title + "." + s.name);
+      for (const double v : s.values) reg.append(id, v);
+    }
+  }
 
   // Aligned table: rows are x labels, one column per series.
   std::printf("%-24s", "x");

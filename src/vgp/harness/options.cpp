@@ -1,10 +1,59 @@
 #include "vgp/harness/options.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace vgp::harness {
+namespace {
+
+/// strtoll/strtod silently return 0 on garbage and stop at the first bad
+/// character; a typo like --reps=1O or --scale= then runs the wrong
+/// experiment without a word. Parse strictly: the whole string must
+/// convert, and range errors are reported, all naming the offending key.
+std::int64_t parse_int_strict(const std::string& key, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  // strtoll skips leading whitespace; "the whole string" means no
+  // whitespace either (a quoting slip like --reps=' 4').
+  if (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    throw std::invalid_argument("option --" + key + ": '" + s +
+                                "' is not an integer");
+  }
+  if (end == s.c_str() || *end != '\0') {
+    throw std::invalid_argument("option --" + key + ": '" + s +
+                                "' is not an integer");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("option --" + key + ": '" + s +
+                                "' is out of range");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_double_strict(const std::string& key, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    throw std::invalid_argument("option --" + key + ": '" + s +
+                                "' is not a number");
+  }
+  if (end == s.c_str() || *end != '\0') {
+    throw std::invalid_argument("option --" + key + ": '" + s +
+                                "' is not a number");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("option --" + key + ": '" + s +
+                                "' is out of range");
+  }
+  return v;
+}
+
+}  // namespace
 
 Options& Options::describe(const std::string& key, const std::string& help) {
   described_[key] = help;
@@ -46,13 +95,13 @@ std::int64_t Options::get_int(const std::string& key,
                               std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_int_strict(key, it->second);
 }
 
 double Options::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_double_strict(key, it->second);
 }
 
 bool Options::get_flag(const std::string& key) const {

@@ -102,6 +102,11 @@ void ThreadPool::parallel_for(
   // have drained their chunks.
   job->active.store(1, std::memory_order_relaxed);
 
+  // One published job at a time: without this, two outside threads calling
+  // parallel_for concurrently would overwrite each other's job_/job_seq_
+  // and a caller could wait forever on a job no worker ever saw.
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;

@@ -50,6 +50,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  /// Serializes top-level parallel_for calls: there is a single published
+  /// job slot, so a second submitter must wait for the first job to be
+  /// fully drained and unpublished before installing its own. Held from
+  /// publish through wait to unpublish; nested (worker) calls run inline
+  /// and never take it.
+  std::mutex submit_mutex_;
   void* job_ = nullptr;           // shared_ptr<Job>* of current job, guarded by mutex_
   std::uint64_t job_seq_ = 0;     // bumped per job so workers notice new work
   bool stop_ = false;

@@ -1,7 +1,10 @@
 // AVX-512 reduce-scatter kernels (see reduce_scatter.hpp for the
 // algorithm descriptions). Compiled with -mavx512f -mavx512cd.
+#include <string>
+
 #include "vgp/simd/avx512_common.hpp"
 #include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::simd {
 namespace {
@@ -15,6 +18,29 @@ inline void vector_accumulate(float* table, __mmask16 m, __m512i vidx,
   scatter_ps(table, m, vidx, sum, slow);
 }
 
+/// Per-call lane accounting, flushed once per kernel invocation (never
+/// from the chunk loop): how many of the issued lanes went through the
+/// vector path vs. the scalar duplicate cleanup.
+struct RsLaneTally {
+  std::int64_t chunks = 0;
+  std::int64_t lanes_total = 0;
+  std::int64_t lanes_vector = 0;
+  std::int64_t lanes_scalar = 0;
+
+  void flush(const char* method) {
+    auto& reg = telemetry::Registry::global();
+    if (!reg.enabled() || chunks == 0) return;
+    const std::string prefix = std::string("simd.rs.") + method;
+    reg.add(reg.counter(prefix + ".chunks"), static_cast<double>(chunks));
+    reg.add(reg.counter(prefix + ".lanes_total"),
+            static_cast<double>(lanes_total));
+    reg.add(reg.counter(prefix + ".lanes_vector"),
+            static_cast<double>(lanes_vector));
+    reg.add(reg.counter(prefix + ".lanes_scalar"),
+            static_cast<double>(lanes_scalar));
+  }
+};
+
 }  // namespace
 
 void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
@@ -22,6 +48,7 @@ void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
                                     bool iterative) {
   const bool slow = emulate_slow_scatter();
   OpTally tally;
+  RsLaneTally lanes;
   for (std::int64_t i = 0; i < n; i += kLanes) {
     const __mmask16 tail = tail_mask16(n - i);
     const __m512i vidx = _mm512_maskz_loadu_epi32(tail, idx + i);
@@ -37,9 +64,13 @@ void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
     // First write-safe set: all first occurrences, handled vectorially.
     vector_accumulate(table, first, vidx, vval, slow);
 
+    ++lanes.chunks;
+    lanes.lanes_total += kLanes;
+
     __mmask16 pending = tail & static_cast<__mmask16>(~first);
     if (pending == 0) {
       tally.add(4, __builtin_popcount(first), __builtin_popcount(first), 0);
+      lanes.lanes_vector += __builtin_popcount(first);
       continue;
     }
 
@@ -47,6 +78,8 @@ void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
       // Production variant: the duplicates (usually few) finish scalar.
       tally.add(4, __builtin_popcount(first), __builtin_popcount(first),
                 __builtin_popcount(pending));
+      lanes.lanes_vector += __builtin_popcount(first);
+      lanes.lanes_scalar += __builtin_popcount(pending);
       unsigned bits = pending;
       while (bits != 0u) {
         const int lane = __builtin_ctz(bits);
@@ -79,18 +112,24 @@ void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
     }
     tally.add(4 * rounds, __builtin_popcount(done), __builtin_popcount(done),
               0);
+    lanes.lanes_vector += __builtin_popcount(done);
   }
   tally.flush();
+  lanes.flush("conflict");
 }
 
 void reduce_scatter_compress_avx512(float* table, const std::int32_t* idx,
                                     const float* vals, std::int64_t n,
                                     bool iterative) {
   OpTally tally;
+  RsLaneTally lanes;
   for (std::int64_t i = 0; i < n; i += kLanes) {
     const __mmask16 tail = tail_mask16(n - i);
     const __m512i vidx = _mm512_maskz_loadu_epi32(tail, idx + i);
     const __m512 vval = _mm512_maskz_loadu_ps(tail, vals + i);
+
+    ++lanes.chunks;
+    lanes.lanes_total += kLanes;
 
     if (!iterative) {
       // Production variant: reduce the first lane's index vectorially,
@@ -102,6 +141,8 @@ void reduce_scatter_compress_avx512(float* table, const std::int32_t* idx,
 
       const __mmask16 rest = tail & static_cast<__mmask16>(~match);
       tally.add(3, 0, 0, __builtin_popcount(rest) + 1);
+      lanes.lanes_vector += __builtin_popcount(match);
+      lanes.lanes_scalar += __builtin_popcount(rest);
       unsigned bits = rest;
       while (bits != 0u) {
         const int lane = __builtin_ctz(bits);
@@ -120,12 +161,14 @@ void reduce_scatter_compress_avx512(float* table, const std::int32_t* idx,
       const __mmask16 match = _mm512_mask_cmpeq_epi32_mask(
           pending, vidx, _mm512_set1_epi32(c));
       table[c] += _mm512_mask_reduce_add_ps(match, vval);
+      lanes.lanes_vector += __builtin_popcount(match);
       pending &= static_cast<__mmask16>(~match);
       ++rounds;
     }
     tally.add(3 * rounds, 0, 0, rounds);
   }
   tally.flush();
+  lanes.flush("compress");
 }
 
 }  // namespace vgp::simd

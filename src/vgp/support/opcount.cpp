@@ -7,12 +7,18 @@ namespace vgp::opcount {
 namespace {
 
 // Registry of every thread-local block so reset_all()/total() can reach
-// counters owned by pool threads. Blocks are never deallocated before
-// process exit (pool threads outlive all measurements).
+// counters owned by pool threads. The vector is leaked (never destroyed):
+// total() can legally run from an atexit handler registered before the
+// vector's first use, which would otherwise observe it already destroyed.
+// Blocks deregister on thread exit — a pool thread's TLS block is freed
+// when the thread dies, so a registered pointer must not outlive it; the
+// exiting thread's counts are folded into g_residual instead.
 std::mutex g_mutex;
+OpCounts g_residual;  // counts inherited from exited threads
+
 std::vector<OpCounts*>& registry() {
-  static std::vector<OpCounts*> r;
-  return r;
+  static auto* r = new std::vector<OpCounts*>();
+  return *r;
 }
 
 struct LocalBlock {
@@ -20,6 +26,11 @@ struct LocalBlock {
   LocalBlock() {
     std::lock_guard<std::mutex> lock(g_mutex);
     registry().push_back(&counts);
+  }
+  ~LocalBlock() {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_residual += counts;
+    std::erase(registry(), &counts);
   }
 };
 
@@ -32,12 +43,13 @@ OpCounts& local() {
 
 void reset_all() {
   std::lock_guard<std::mutex> lock(g_mutex);
+  g_residual = OpCounts{};
   for (OpCounts* c : registry()) *c = OpCounts{};
 }
 
 OpCounts total() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  OpCounts sum;
+  OpCounts sum = g_residual;
   for (const OpCounts* c : registry()) sum += *c;
   return sum;
 }

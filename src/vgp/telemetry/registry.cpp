@@ -1,0 +1,256 @@
+#include "vgp/telemetry/registry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "vgp/support/opcount.hpp"
+#include "vgp/support/timer.hpp"
+#include "vgp/telemetry/sink.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+struct Metric {
+  std::string name;
+  Kind kind = Kind::Counter;
+  double value = 0.0;          // merged counters, gauges
+  std::vector<double> samples; // series
+  HistogramData hist;
+};
+
+const char* kind_word(Kind k) {
+  switch (k) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Series: return "series";
+    case Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::vector<Metric> metrics;
+  std::map<std::string, MetricId, std::less<>> index;
+  /// Per-thread counter shards; entries are removed (after a final merge)
+  /// by each shard's thread-exit destructor, so no dangling pointers
+  /// survive a pool teardown.
+  std::vector<std::vector<double>*> shards;
+  std::atomic<bool> enabled{false};
+  std::string path;
+
+  MetricId register_metric(std::string_view name, Kind kind) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = index.find(name);
+    if (it != index.end()) {
+      const Metric& m = metrics[static_cast<std::size_t>(it->second)];
+      if (m.kind != kind) {
+        throw std::invalid_argument("telemetry: metric '" + m.name +
+                                    "' already registered as " +
+                                    kind_word(m.kind));
+      }
+      return it->second;
+    }
+    const auto id = static_cast<MetricId>(metrics.size());
+    metrics.push_back(Metric{std::string(name), kind, 0.0, {}, {}});
+    index.emplace(std::string(name), id);
+    return id;
+  }
+
+  void merge_locked() {
+    for (std::vector<double>* shard : shards) {
+      const std::size_t limit = std::min(shard->size(), metrics.size());
+      for (std::size_t id = 0; id < limit; ++id) {
+        metrics[id].value += (*shard)[id];
+        (*shard)[id] = 0.0;
+      }
+    }
+  }
+};
+
+namespace {
+
+Registry::Impl* g_impl = nullptr;
+
+/// Thread-local counter shard. Construction registers with the global
+/// impl; destruction merges any residue and deregisters, so short-lived
+/// pool threads neither lose counts nor leave dangling pointers.
+struct ThreadShard {
+  std::vector<double> counts;
+
+  ThreadShard() {
+    std::lock_guard<std::mutex> lock(g_impl->mu);
+    g_impl->shards.push_back(&counts);
+  }
+
+  ~ThreadShard() {
+    std::lock_guard<std::mutex> lock(g_impl->mu);
+    const std::size_t limit =
+        std::min(counts.size(), g_impl->metrics.size());
+    for (std::size_t id = 0; id < limit; ++id) {
+      g_impl->metrics[id].value += counts[id];
+    }
+    std::erase(g_impl->shards, &counts);
+  }
+};
+
+}  // namespace
+
+Registry::Registry() : impl_(new Impl) {
+  g_impl = impl_;
+  if (const char* env = std::getenv("VGP_METRICS")) {
+    if (env[0] != '\0') {
+      impl_->path = env;
+      impl_->enabled.store(true, std::memory_order_relaxed);
+      std::atexit([] { (void)telemetry::flush(); });
+    }
+  }
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: outlives pool threads
+  return *r;
+}
+
+MetricId Registry::counter(std::string_view name) {
+  return impl_->register_metric(name, Kind::Counter);
+}
+
+MetricId Registry::gauge(std::string_view name) {
+  return impl_->register_metric(name, Kind::Gauge);
+}
+
+MetricId Registry::series(std::string_view name) {
+  return impl_->register_metric(name, Kind::Series);
+}
+
+MetricId Registry::histogram(std::string_view name) {
+  return impl_->register_metric(name, Kind::Histogram);
+}
+
+bool Registry::enabled() const noexcept {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Registry::set_enabled(bool on) noexcept {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+void Registry::add(MetricId id, double v) {
+  if (!enabled()) return;
+  thread_local ThreadShard shard;
+  auto& c = shard.counts;
+  if (c.size() <= static_cast<std::size_t>(id)) {
+    c.resize(static_cast<std::size_t>(id) + 1, 0.0);
+  }
+  c[static_cast<std::size_t>(id)] += v;
+}
+
+void Registry::set(MetricId id, double v) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics[static_cast<std::size_t>(id)].value = v;
+}
+
+void Registry::append(MetricId id, double v) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics[static_cast<std::size_t>(id)].samples.push_back(v);
+}
+
+void Registry::observe(MetricId id, double v) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto& h = impl_->metrics[static_cast<std::size_t>(id)].hist;
+  if (h.count == 0 || v < h.min) h.min = v;
+  if (h.count == 0 || v > h.max) h.max = v;
+  h.sum += v;
+  ++h.count;
+}
+
+void Registry::merge() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->merge_locked();
+}
+
+std::vector<MetricValue> Registry::collect() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->merge_locked();
+  std::vector<MetricValue> out;
+  out.reserve(impl_->metrics.size() + 5);
+  for (const Metric& m : impl_->metrics) {
+    out.push_back(MetricValue{m.name, m.kind, m.value, m.samples, m.hist});
+  }
+  // Fold the legacy operation-class counters into the snapshot so one
+  // metrics file carries both views.
+  const OpCounts ops = opcount::total();
+  const auto fold = [&out](const char* name, std::uint64_t v) {
+    out.push_back(MetricValue{name, Kind::Counter,
+                              static_cast<double>(v), {}, {}});
+  };
+  fold("ops.scalar_ops", ops.scalar_ops);
+  fold("ops.vector_ops", ops.vector_ops);
+  fold("ops.gather_lanes", ops.gather_lanes);
+  fold("ops.scatter_lanes", ops.scatter_lanes);
+  fold("ops.mem_lines", ops.mem_lines);
+  return out;
+}
+
+void Registry::reset() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (Metric& m : impl_->metrics) {
+      m.value = 0.0;
+      m.samples.clear();
+      m.hist = HistogramData{};
+    }
+    for (std::vector<double>* shard : impl_->shards) {
+      std::fill(shard->begin(), shard->end(), 0.0);
+    }
+  }
+  opcount::reset_all();
+}
+
+void Registry::set_output_path(std::string path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->path = std::move(path);
+}
+
+std::string Registry::output_path() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->path;
+}
+
+void enable_file_output(const std::string& path) {
+  auto& reg = Registry::global();
+  reg.set_output_path(path);
+  reg.set_enabled(true);
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit([] { (void)telemetry::flush(); }); });
+}
+
+bool flush() {
+  auto& reg = Registry::global();
+  const std::string path = reg.output_path();
+  if (path.empty()) return false;
+  return write_metrics_file(path, reg.collect());
+}
+
+ScopedPhase::ScopedPhase(const char* name) : name_(name) {}
+
+ScopedPhase::~ScopedPhase() {
+  auto& reg = Registry::global();
+  if (!reg.enabled()) return;
+  const double elapsed = timer_.seconds();
+  const MetricId id =
+      reg.histogram(std::string("phase.") + name_ + ".seconds");
+  reg.observe(id, elapsed);
+}
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,140 @@
+// Structured kernel telemetry (counters / gauges / series / histograms).
+//
+// The paper's figures are about *where* time goes inside the kernels —
+// reduce-scatter method mix, conflict rounds, active-set decay, lane
+// utilization — not just end-to-end seconds. This registry is the
+// machine-readable instrument for that: kernels record named metrics,
+// drivers flush one JSON/CSV file per run (`VGP_METRICS=<path>` or the
+// binaries' `--metrics=` flag), and perf PRs diff the files.
+//
+// Cost contract:
+//   * Disabled (the default): every record call is one relaxed bool load
+//     and a branch. Kernels never call the registry from their inner
+//     loops anyway — they accumulate into plain locals (the existing
+//     OpTally discipline) and record once per iteration / per call.
+//   * Enabled: counter adds go to a thread-local shard (plain uint64
+//     adds, no atomics, no locks); shards are merged into the global
+//     table at phase boundaries (collect()/merge(), called when the
+//     thread pool is quiescent — the same model support/opcount uses).
+//     Gauges, series, and histograms are recorded by the coordinating
+//     thread at iteration granularity and take a mutex.
+//
+// The legacy support/opcount counters are folded into every snapshot as
+// `ops.*` counters, so one metrics file carries both the structural
+// per-kernel metrics and the coarse operation-class totals the energy
+// model charges against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vgp/support/timer.hpp"
+
+namespace vgp::telemetry {
+
+enum class Kind { Counter, Gauge, Series, Histogram };
+
+/// Dense index into the registry's metric table; stable for the process
+/// lifetime (reset() zeroes values but never unregisters).
+using MetricId = std::int32_t;
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// One metric in a snapshot. `value` holds counters and gauges;
+/// `samples` holds series; `hist` holds histograms.
+struct MetricValue {
+  std::string name;
+  Kind kind = Kind::Counter;
+  double value = 0.0;
+  std::vector<double> samples;
+  HistogramData hist;
+};
+
+/// Process-wide metric registry (singleton, like the thread pool).
+/// Registration is idempotent by name and thread-safe; the returned ids
+/// index a per-thread shard so the record path needs no hashing.
+class Registry {
+ public:
+  static Registry& global();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or looks up) a metric; throws std::invalid_argument when
+  /// the name is already registered with a different kind.
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId series(std::string_view name);
+  MetricId histogram(std::string_view name);
+
+  bool enabled() const noexcept;
+  void set_enabled(bool on) noexcept;
+
+  /// Counter increment into the calling thread's shard. No-op when
+  /// disabled. Safe from any thread; never takes a lock after the
+  /// thread's shard exists.
+  void add(MetricId id, double v = 1.0);
+  /// Gauge write (last value wins). No-op when disabled.
+  void set(MetricId id, double v);
+  /// Appends one sample to a series (e.g. per-iteration move counts).
+  /// No-op when disabled.
+  void append(MetricId id, double v);
+  /// Histogram observation. No-op when disabled.
+  void observe(MetricId id, double v);
+
+  /// Folds every thread shard into the global table. Call only when no
+  /// kernel is concurrently recording (phase boundary / pool idle).
+  void merge();
+
+  /// merge() + snapshot of every registered metric, plus the opcount
+  /// totals folded in as `ops.*` counters.
+  std::vector<MetricValue> collect();
+
+  /// Zeroes every metric and shard (registrations survive) and resets
+  /// the opcount blocks.
+  void reset();
+
+  /// Path flush() writes to; set from VGP_METRICS or --metrics=.
+  void set_output_path(std::string path);
+  std::string output_path() const;
+
+  struct Impl;  // public so the thread-shard TU-locals can name it
+
+ private:
+  Registry();
+  Impl* impl_;  // never freed: worker threads may outlive main
+};
+
+/// Enables telemetry, directs flush() at `path`, and registers a
+/// process-exit flush (idempotent). A path ending in ".csv" selects the
+/// CSV sink; anything else gets JSON.
+void enable_file_output(const std::string& path);
+
+/// Writes the current snapshot to the configured output path. Returns
+/// false (and writes nothing) when no path is configured.
+bool flush();
+
+/// RAII wall-clock phase timer: observes the scope's duration into
+/// histogram "phase.<name>.seconds". Near-free when telemetry is
+/// disabled (two clock reads, no registry traffic).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  const char* name_;
+  WallTimer timer_;
+};
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,162 @@
+#include "vgp/telemetry/sink.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace vgp::telemetry {
+namespace {
+
+/// Shortest round-trip decimal form; non-finite values (which JSON cannot
+/// carry) degrade to 0.
+void put_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << '0';
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.write(buf, res.ptr - buf);
+}
+
+void put_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void put_json_group(std::ostream& out, const char* label, Kind kind,
+                    const std::vector<MetricValue>& metrics, bool last) {
+  out << "  ";
+  put_json_string(out, label);
+  out << ": {";
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (m.kind != kind) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "\n    ";
+    put_json_string(out, m.name);
+    out << ": ";
+    switch (kind) {
+      case Kind::Counter:
+      case Kind::Gauge:
+        put_number(out, m.value);
+        break;
+      case Kind::Series: {
+        out << '[';
+        for (std::size_t i = 0; i < m.samples.size(); ++i) {
+          if (i != 0) out << ',';
+          put_number(out, m.samples[i]);
+        }
+        out << ']';
+        break;
+      }
+      case Kind::Histogram: {
+        out << "{\"count\": " << m.hist.count << ", \"sum\": ";
+        put_number(out, m.hist.sum);
+        out << ", \"min\": ";
+        put_number(out, m.hist.min);
+        out << ", \"max\": ";
+        put_number(out, m.hist.max);
+        out << ", \"mean\": ";
+        put_number(out, m.hist.mean());
+        out << '}';
+        break;
+      }
+    }
+  }
+  out << (first ? "}" : "\n  }") << (last ? "\n" : ",\n");
+}
+
+/// CSV fields are metric names (dotted identifiers in practice); quote
+/// defensively anyway so arbitrary names cannot break the row structure.
+void put_csv_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"') out << "\"\"";
+    else out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const std::vector<MetricValue>& metrics) {
+  out << "{\n  \"schema\": \"vgp.telemetry.v1\",\n";
+  put_json_group(out, "counters", Kind::Counter, metrics, false);
+  put_json_group(out, "gauges", Kind::Gauge, metrics, false);
+  put_json_group(out, "series", Kind::Series, metrics, false);
+  put_json_group(out, "histograms", Kind::Histogram, metrics, true);
+  out << "}\n";
+}
+
+void write_csv(std::ostream& out, const std::vector<MetricValue>& metrics) {
+  out << "# vgp.telemetry.v1\n";
+  for (const MetricValue& m : metrics) {
+    switch (m.kind) {
+      case Kind::Counter:
+      case Kind::Gauge:
+        out << (m.kind == Kind::Counter ? "counter," : "gauge,");
+        put_csv_string(out, m.name);
+        out << ',';
+        put_number(out, m.value);
+        out << '\n';
+        break;
+      case Kind::Series:
+        for (std::size_t i = 0; i < m.samples.size(); ++i) {
+          out << "series,";
+          put_csv_string(out, m.name);
+          out << ',' << i << ',';
+          put_number(out, m.samples[i]);
+          out << '\n';
+        }
+        break;
+      case Kind::Histogram:
+        out << "histogram,";
+        put_csv_string(out, m.name);
+        out << ',' << m.hist.count << ',';
+        put_number(out, m.hist.sum);
+        out << ',';
+        put_number(out, m.hist.min);
+        out << ',';
+        put_number(out, m.hist.max);
+        out << '\n';
+        break;
+    }
+  }
+}
+
+bool write_metrics_file(const std::string& path,
+                        const std::vector<MetricValue>& metrics) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_csv(out, metrics);
+  } else {
+    write_json(out, metrics);
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,38 @@
+// JSON / CSV sinks for telemetry snapshots.
+//
+// JSON shape (one object per run; see docs/architecture.md for the
+// metric-name contract):
+//
+//   {
+//     "schema": "vgp.telemetry.v1",
+//     "counters":   { "<name>": <number>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "series":     { "<name>": [<number>, ...], ... },
+//     "histograms": { "<name>": {"count":n,"sum":s,"min":a,"max":b,
+//                                "mean":m}, ... }
+//   }
+//
+// CSV shape (line-oriented, greppable):
+//   counter,<name>,<value>
+//   gauge,<name>,<value>
+//   series,<name>,<index>,<value>
+//   histogram,<name>,<count>,<sum>,<min>,<max>
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::telemetry {
+
+void write_json(std::ostream& out, const std::vector<MetricValue>& metrics);
+void write_csv(std::ostream& out, const std::vector<MetricValue>& metrics);
+
+/// Writes to `path`, choosing CSV when the path ends in ".csv" and JSON
+/// otherwise. Returns false when the file cannot be opened or written.
+bool write_metrics_file(const std::string& path,
+                        const std::vector<MetricValue>& metrics);
+
+}  // namespace vgp::telemetry

@@ -80,5 +80,58 @@ TEST(BinaryIo, MissingFileThrows) {
   EXPECT_THROW(read_binary_file("/nonexistent/path/g.vgpb"), std::runtime_error);
 }
 
+// Byte layout: magic(8) | n(8) | m(8) | offsets((n+1)*8) | adj(m*4) | ...
+constexpr std::size_t kHeaderBytes = 8 + 8 + 8;
+
+std::string serialized(const Graph& g) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(g, ss);
+  return ss.str();
+}
+
+void expect_rejected(std::string bytes, const char* what) {
+  std::stringstream ss(std::move(bytes));
+  try {
+    read_binary(ss);
+    FAIL() << "corrupt file accepted: " << what;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("binary graph:"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(BinaryIo, RejectsNonMonotonicOffsets) {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}};
+  std::string bytes = serialized(Graph::from_edges(4, edges));
+  // Swap offsets[1] and offsets[2]: front/back stay valid, the row
+  // boundaries between them go backwards.
+  const std::size_t off = kHeaderBytes;
+  std::string o1 = bytes.substr(off + 8, 8);
+  std::string o2 = bytes.substr(off + 16, 8);
+  bytes.replace(off + 8, 8, o2);
+  bytes.replace(off + 16, 8, o1);
+  expect_rejected(std::move(bytes), "non-monotonic offsets");
+}
+
+TEST(BinaryIo, RejectsOutOfRangeAdjacency) {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}};
+  const Graph g = Graph::from_edges(3, edges);
+  const std::size_t adj_off =
+      kHeaderBytes + (static_cast<std::size_t>(g.num_vertices()) + 1) * 8;
+
+  {
+    std::string bytes = serialized(g);
+    const std::int32_t huge = 1 << 20;  // >= n
+    bytes.replace(adj_off, 4, reinterpret_cast<const char*>(&huge), 4);
+    expect_rejected(std::move(bytes), "endpoint >= n");
+  }
+  {
+    std::string bytes = serialized(g);
+    const std::int32_t neg = -7;
+    bytes.replace(adj_off, 4, reinterpret_cast<const char*>(&neg), 4);
+    expect_rejected(std::move(bytes), "negative endpoint");
+  }
+}
+
 }  // namespace
 }  // namespace vgp::io

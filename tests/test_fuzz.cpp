@@ -5,6 +5,9 @@
 // agreement. Complements the targeted unit tests with breadth.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "vgp/classic/bfs.hpp"
 #include "vgp/classic/pagerank.hpp"
 #include "vgp/coloring/greedy.hpp"
@@ -16,6 +19,7 @@
 #include "vgp/gen/lattice.hpp"
 #include "vgp/gen/rmat.hpp"
 #include "vgp/gen/smallworld.hpp"
+#include "vgp/graph/binary_io.hpp"
 #include "vgp/graph/triangles.hpp"
 #include "vgp/support/rng.hpp"
 
@@ -134,6 +138,45 @@ TEST_P(KernelFuzz, TrianglesBackendAgreement) {
   s.backend = simd::Backend::Scalar;
   v.backend = simd::Backend::Avx512;
   EXPECT_EQ(count_triangles(g, s).triangles, count_triangles(g, v).triangles);
+}
+
+// Byte-level robustness of the .vgpb reader: random corruption of a
+// valid file must either throw or yield a graph that still validates —
+// never crash, hang, or hand kernels out-of-range indices.
+TEST_P(KernelFuzz, CorruptBinaryNeverEscapesValidation) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_graph(seed);
+  std::stringstream orig(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(g, orig);
+  const std::string clean = orig.str();
+
+  Xoshiro256 rng(seed * 104729 + 1);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string bytes = clean;
+    // 1–4 random byte flips anywhere in the file (header, offsets,
+    // adjacency, weights).
+    const int flips = 1 + static_cast<int>(rng.bounded(4));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(rng.bounded(bytes.size()));
+      bytes[pos] = static_cast<char>(bytes[pos] ^
+                                     static_cast<char>(1 + rng.bounded(255)));
+    }
+    std::stringstream ss(bytes);
+    try {
+      const Graph back = io::read_binary(ss);
+      // Corruption that survives the reader (e.g. an in-range endpoint
+      // flip) can break semantic invariants like symmetry, but the
+      // structural ones kernels index by must hold unconditionally.
+      for (VertexId u = 0; u < back.num_vertices(); ++u) {
+        for (const VertexId v : back.neighbors(u)) {
+          ASSERT_GE(v, 0) << "trial " << trial;
+          ASSERT_LT(v, back.num_vertices()) << "trial " << trial;
+        }
+      }
+    } catch (const std::runtime_error&) {
+      // Rejecting corruption is the expected outcome.
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzz,

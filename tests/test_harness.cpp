@@ -111,5 +111,63 @@ TEST(Options, NonOptionArgumentThrows) {
   EXPECT_THROW(o.parse(2, const_cast<char**>(argv)), std::invalid_argument);
 }
 
+// Regression: get_int/get_double used to silently accept garbage
+// ("--reps=1O" parsed as 1). They must now reject anything that is not
+// entirely a number, naming the offending key.
+TEST(Options, GetIntRejectsGarbage) {
+  Options o;
+  o.describe("reps", "repetitions");
+  for (const char* bad : {"--reps=1O", "--reps=", "--reps=seven",
+                          "--reps=3.5", "--reps=4x", "--reps= 4"}) {
+    Options each;
+    each.describe("reps", "repetitions");
+    const char* argv[] = {"prog", bad};
+    ASSERT_TRUE(each.parse(2, const_cast<char**>(argv))) << bad;
+    try {
+      each.get_int("reps", 1);
+      FAIL() << "accepted " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("reps"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST(Options, GetDoubleRejectsGarbage) {
+  for (const char* bad : {"--frac=0.2O", "--frac=", "--frac=half",
+                          "--frac=1.0e", "--frac=0.5pt"}) {
+    Options each;
+    each.describe("frac", "a double");
+    const char* argv[] = {"prog", bad};
+    ASSERT_TRUE(each.parse(2, const_cast<char**>(argv))) << bad;
+    try {
+      each.get_double("frac", 1.0);
+      FAIL() << "accepted " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("frac"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST(Options, StrictParsersStillAcceptValidNumbers) {
+  Options o;
+  o.describe("reps", "int").describe("neg", "int").describe("frac", "double")
+      .describe("sci", "double");
+  const char* argv[] = {"prog", "--reps=12", "--neg=-3", "--frac=0.125",
+                        "--sci=1e-3"};
+  ASSERT_TRUE(o.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(o.get_int("reps", 0), 12);
+  EXPECT_EQ(o.get_int("neg", 0), -3);
+  EXPECT_DOUBLE_EQ(o.get_double("frac", 0.0), 0.125);
+  EXPECT_DOUBLE_EQ(o.get_double("sci", 0.0), 1e-3);
+}
+
+TEST(Options, GetIntRejectsOutOfRange) {
+  Options o;
+  o.describe("reps", "int");
+  const char* argv[] = {"prog", "--reps=99999999999999999999999999"};
+  ASSERT_TRUE(o.parse(2, const_cast<char**>(argv)));
+  EXPECT_THROW(o.get_int("reps", 1), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vgp::harness

@@ -73,6 +73,44 @@ TEST_P(MovePhaseSweep, FindsTwoTriangles) {
   EXPECT_TRUE(same_partition(state.zeta, {0, 0, 0, 1, 1, 1}));
 }
 
+// Regression: touched-list membership used to be inferred from
+// `val_[c] == 0.0f`, so a zero-weight edge (or a sum that returns to
+// exactly zero) re-registered the community and consumers iterated
+// duplicates. Any graph with zero-weight edges must still satisfy every
+// invariant on every (policy, rs, backend) combination.
+TEST_P(MovePhaseSweep, ZeroWeightEdgesDoNotBreakInvariants) {
+  // Two triangles plus zero-weight cross edges. from_edges rejects
+  // non-positive weights, but from_csr (the .vgpb reader's entry point)
+  // does not — this is exactly how a zero-weight edge reaches the move
+  // kernels in practice.
+  //   0-1, 1-2, 0-2 and 3-4, 4-5, 3-5 at weight 1;
+  //   2-3, 0-4, 1-5 at weight 0.
+  std::vector<std::uint64_t> offsets{0, 3, 6, 9, 12, 15, 18};
+  std::vector<VertexId> adj{1, 2, 4,  0, 2, 5,  0, 1, 3,
+                            2, 4, 5,  0, 3, 5,  1, 3, 4};
+  std::vector<float> weights{1, 1, 0,  1, 1, 0,  1, 1, 0,
+                             0, 1, 1,  0, 1, 1,  0, 1, 1};
+  const Graph g = Graph::from_csr(6, std::move(offsets), std::move(adj),
+                                  std::move(weights));
+  MoveState state = make_move_state(g);
+  const double q0 = modularity(g, state.zeta);
+  run(g, state);
+  EXPECT_GE(modularity(g, state.zeta), q0 - 1e-9);
+
+  std::vector<double> expected(state.comm_volume.size(), 0.0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    expected[static_cast<std::size_t>(state.zeta[static_cast<std::size_t>(u)])] +=
+        state.vertex_volume[static_cast<std::size_t>(u)];
+  }
+  for (std::size_t c = 0; c < expected.size(); ++c) {
+    ASSERT_NEAR(state.comm_volume[c], expected[c], 1e-6) << "community " << c;
+  }
+  // The zero-weight bridge carries no modularity mass: the two triangles
+  // must still separate.
+  compact_labels(state.zeta);
+  EXPECT_TRUE(same_partition(state.zeta, {0, 0, 0, 1, 1, 1}));
+}
+
 TEST_P(MovePhaseSweep, ReportsWorkDone) {
   gen::PlantedParams p;
   p.communities = 4;
@@ -100,6 +138,53 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(std::get<0>(info.param)) + "_" +
              std::get<1>(info.param) + "_" + std::get<2>(info.param);
     });
+
+// Direct regression tests for the epoch-stamped touched list.
+TEST(DenseAffinity, ZeroWeightAddDoesNotDuplicateTouched) {
+  DenseAffinity aff;
+  aff.ensure(8);
+  aff.add(3, 0.0f);  // zero-weight edge: val_[3] stays 0.0f
+  aff.add(3, 2.0f);  // must not re-register 3
+  aff.add(5, 0.0f);
+  ASSERT_EQ(aff.touched(), (std::vector<CommunityId>{3, 5}));
+  EXPECT_FLOAT_EQ(aff.get(3), 2.0f);
+}
+
+TEST(DenseAffinity, SumReturningToZeroDoesNotDuplicateTouched) {
+  DenseAffinity aff;
+  aff.ensure(8);
+  aff.add(2, 1.5f);
+  aff.add(2, -1.5f);  // val_[2] is exactly 0.0f again
+  aff.add(2, 4.0f);   // still only one entry for community 2
+  ASSERT_EQ(aff.touched(), (std::vector<CommunityId>{2}));
+  EXPECT_FLOAT_EQ(aff.get(2), 4.0f);
+}
+
+TEST(DenseAffinity, NoteReportsFirstTouchPerResetCycle) {
+  DenseAffinity aff;
+  aff.ensure(4);
+  EXPECT_TRUE(aff.note(1));
+  EXPECT_FALSE(aff.note(1));
+  aff.reset();
+  EXPECT_TRUE(aff.touched().empty());
+  EXPECT_FLOAT_EQ(aff.get(1), 0.0f);
+  EXPECT_TRUE(aff.note(1));  // fresh cycle, first touch again
+}
+
+TEST(DenseAffinity, ManyResetCyclesStayExact) {
+  // Exercises the epoch counter across many cycles: stale marks from
+  // earlier cycles must never suppress a genuine first touch.
+  DenseAffinity aff;
+  aff.ensure(16);
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    const CommunityId c = cycle % 16;
+    aff.add(c, 0.0f);
+    aff.add(c, 1.0f);
+    ASSERT_EQ(aff.touched().size(), 1u) << "cycle " << cycle;
+    ASSERT_FLOAT_EQ(aff.get(c), 1.0f) << "cycle " << cycle;
+    aff.reset();
+  }
+}
 
 TEST(MovePhaseSlowScatter, OnplStillCorrectUnderEmulation) {
   if (!simd::avx512_kernels_available()) GTEST_SKIP();

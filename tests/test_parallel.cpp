@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "vgp/parallel/atomic_bitmap.hpp"
@@ -68,6 +69,41 @@ TEST(ThreadPool, ManySmallJobsBackToBack) {
       count.fetch_add(static_cast<int>(b - a));
     });
     ASSERT_EQ(count.load(), 37);
+  }
+}
+
+// Regression: the pool has a single published job slot. Before top-level
+// submissions were serialized, two outside threads calling parallel_for
+// concurrently could overwrite each other's job_/job_seq_ — lost ranges
+// or a caller waiting forever on a job no worker ever saw.
+TEST(ThreadPool, ConcurrentSubmittersFromOutsideThreads) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 100;
+  constexpr std::int64_t kRange = 500;
+
+  std::vector<std::atomic<std::int64_t>> totals(kSubmitters);
+  for (auto& t : totals) t.store(0);
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &totals, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.parallel_for(0, kRange, 16,
+                          [&totals, s](std::int64_t a, std::int64_t b) {
+                            totals[static_cast<std::size_t>(s)].fetch_add(
+                                b - a, std::memory_order_relaxed);
+                          });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  // Every submitter's every range must be covered exactly once.
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(totals[static_cast<std::size_t>(s)].load(), kRounds * kRange)
+        << "submitter " << s;
   }
 }
 

@@ -1,0 +1,213 @@
+// Tests for the kernel telemetry registry and its JSON/CSV sinks.
+//
+// The registry is a process-wide singleton, so every test goes through
+// a fixture that enables it, resets all values, and restores the
+// disabled default afterwards (registrations intentionally survive —
+// ids are stable for the process lifetime).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/sink.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& reg = Registry::global();
+    reg.set_enabled(true);
+    reg.reset();
+  }
+  void TearDown() override {
+    auto& reg = Registry::global();
+    reg.reset();
+    reg.set_enabled(false);
+  }
+};
+
+const MetricValue* find(const std::vector<MetricValue>& ms,
+                        const std::string& name) {
+  for (const auto& m : ms) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+TEST_F(TelemetryTest, RegistrationIsIdempotentByName) {
+  auto& reg = Registry::global();
+  const MetricId a = reg.counter("test.idempotent");
+  const MetricId b = reg.counter("test.idempotent");
+  EXPECT_EQ(a, b);
+  // Same name, different kind, must be rejected.
+  EXPECT_THROW(reg.gauge("test.idempotent"), std::invalid_argument);
+}
+
+TEST_F(TelemetryTest, CounterAddsMergeAcrossThreads) {
+  auto& reg = Registry::global();
+  const MetricId id = reg.counter("test.merge");
+
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, id] {
+      for (int i = 0; i < kAddsPerThread; ++i) reg.add(id, 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto metrics = reg.collect();
+  const MetricValue* m = find(metrics, "test.merge");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, Kind::Counter);
+  EXPECT_DOUBLE_EQ(m->value, kThreads * static_cast<double>(kAddsPerThread));
+}
+
+TEST_F(TelemetryTest, CollectSurvivesThreadExit) {
+  // A thread's shard residue must be merged when the thread dies, not
+  // lost — kernels run on pool workers that may outlive or predate any
+  // collect() call.
+  auto& reg = Registry::global();
+  const MetricId id = reg.counter("test.thread_exit");
+  std::thread([&reg, id] { reg.add(id, 7.0); }).join();
+  const auto metrics = reg.collect();
+  const MetricValue* m = find(metrics, "test.thread_exit");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 7.0);
+}
+
+TEST_F(TelemetryTest, DisabledRecordsNothing) {
+  auto& reg = Registry::global();
+  const MetricId c = reg.counter("test.disabled.counter");
+  const MetricId s = reg.series("test.disabled.series");
+  reg.set_enabled(false);
+  reg.add(c, 5.0);
+  reg.append(s, 1.0);
+  reg.set_enabled(true);
+  const auto metrics = reg.collect();
+  EXPECT_DOUBLE_EQ(find(metrics, "test.disabled.counter")->value, 0.0);
+  EXPECT_TRUE(find(metrics, "test.disabled.series")->samples.empty());
+}
+
+TEST_F(TelemetryTest, GaugeSeriesHistogramSemantics) {
+  auto& reg = Registry::global();
+  const MetricId g = reg.gauge("test.gauge");
+  const MetricId s = reg.series("test.series");
+  const MetricId h = reg.histogram("test.hist");
+
+  reg.set(g, 1.0);
+  reg.set(g, 42.0);  // last write wins
+  reg.append(s, 3.0);
+  reg.append(s, 1.0);
+  reg.append(s, 2.0);  // order preserved
+  reg.observe(h, 2.0);
+  reg.observe(h, 8.0);
+
+  const auto metrics = reg.collect();
+  EXPECT_DOUBLE_EQ(find(metrics, "test.gauge")->value, 42.0);
+  EXPECT_EQ(find(metrics, "test.series")->samples,
+            (std::vector<double>{3.0, 1.0, 2.0}));
+  const auto& hist = find(metrics, "test.hist")->hist;
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_DOUBLE_EQ(hist.sum, 10.0);
+  EXPECT_DOUBLE_EQ(hist.min, 2.0);
+  EXPECT_DOUBLE_EQ(hist.max, 8.0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 5.0);
+}
+
+TEST_F(TelemetryTest, ResetZeroesValuesButKeepsRegistrations) {
+  auto& reg = Registry::global();
+  const MetricId c = reg.counter("test.reset");
+  reg.add(c, 3.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("test.reset"), c);
+  reg.add(c, 2.0);
+  EXPECT_DOUBLE_EQ(find(reg.collect(), "test.reset")->value, 2.0);
+}
+
+TEST_F(TelemetryTest, CollectFoldsOpcountTotals) {
+  // The legacy opcount totals ride along in every snapshot.
+  const auto metrics = Registry::global().collect();
+  EXPECT_NE(find(metrics, "ops.scalar_ops"), nullptr);
+  EXPECT_NE(find(metrics, "ops.vector_ops"), nullptr);
+}
+
+TEST_F(TelemetryTest, JsonShape) {
+  auto& reg = Registry::global();
+  reg.add(reg.counter("test.json.counter"), 4.0);
+  reg.set(reg.gauge("test.json.gauge"), 0.5);
+  reg.append(reg.series("test.json.series"), 1.0);
+  reg.append(reg.series("test.json.series"), 2.0);
+  reg.observe(reg.histogram("test.json.hist"), 9.0);
+
+  std::stringstream ss;
+  write_json(ss, reg.collect());
+  const std::string out = ss.str();
+
+  EXPECT_NE(out.find("\"schema\": \"vgp.telemetry.v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(out.find("\"series\""), std::string::npos);
+  EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(out.find("\"test.json.counter\": 4"), std::string::npos);
+  EXPECT_NE(out.find("\"test.json.gauge\": 0.5"), std::string::npos);
+  EXPECT_NE(out.find("\"test.json.series\": [1,2]"), std::string::npos);
+  EXPECT_NE(out.find("\"count\": 1"), std::string::npos);
+
+  // Structural sanity without a JSON parser: balanced braces/brackets,
+  // no trailing comma before a closer.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+  EXPECT_EQ(out.find(",}"), std::string::npos);
+  EXPECT_EQ(out.find(",]"), std::string::npos);
+  EXPECT_EQ(out.find(", }"), std::string::npos);
+  EXPECT_EQ(out.find(", ]"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, CsvShape) {
+  auto& reg = Registry::global();
+  reg.add(reg.counter("test.csv.counter"), 2.0);
+  reg.append(reg.series("test.csv.series"), 5.0);
+
+  std::stringstream ss;
+  write_csv(ss, reg.collect());
+  const std::string out = ss.str();
+  // Names are quoted defensively by the sink.
+  EXPECT_NE(out.find("counter,\"test.csv.counter\",2"), std::string::npos);
+  EXPECT_NE(out.find("series,\"test.csv.series\",0,5"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, WriteMetricsFilePicksSinkBySuffix) {
+  auto& reg = Registry::global();
+  reg.add(reg.counter("test.file.counter"), 1.0);
+  const auto metrics = reg.collect();
+
+  const std::string json_path = ::testing::TempDir() + "/telemetry.json";
+  const std::string csv_path = ::testing::TempDir() + "/telemetry.csv";
+  ASSERT_TRUE(write_metrics_file(json_path, metrics));
+  ASSERT_TRUE(write_metrics_file(csv_path, metrics));
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  EXPECT_NE(slurp(json_path).find("\"schema\""), std::string::npos);
+  EXPECT_NE(slurp(csv_path).find("counter,\"test.file.counter\""),
+            std::string::npos);
+  EXPECT_FALSE(write_metrics_file("/nonexistent/dir/telemetry.json", metrics));
+}
+
+}  // namespace
+}  // namespace vgp::telemetry
