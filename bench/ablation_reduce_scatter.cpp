@@ -39,29 +39,61 @@ struct Workload {
   }
 };
 
-void run_method(benchmark::State& state, vgp::simd::RsMethod method) {
-  if (method != vgp::simd::RsMethod::Scalar &&
+void run_method(benchmark::State& state, vgp::simd::RsMethod method,
+                vgp::simd::Backend backend) {
+  if (backend == vgp::simd::Backend::Avx512 &&
       !vgp::simd::avx512_kernels_available()) {
     state.SkipWithError("no AVX-512 at runtime");
+    return;
+  }
+  if (backend == vgp::simd::Backend::Avx2 &&
+      !vgp::simd::avx2_kernels_available()) {
+    state.SkipWithError("no AVX2 at runtime");
     return;
   }
   Workload w(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     vgp::simd::reduce_scatter(w.table.data(), w.idx.data(), w.vals.data(), kN,
-                              method);
+                              method, backend);
     benchmark::DoNotOptimize(w.table.data());
   }
   state.SetItemsProcessed(state.iterations() * kN);
 }
 
-void BM_Scalar(benchmark::State& s) { run_method(s, vgp::simd::RsMethod::Scalar); }
-void BM_Conflict(benchmark::State& s) { run_method(s, vgp::simd::RsMethod::Conflict); }
-void BM_ConflictIter(benchmark::State& s) {
-  run_method(s, vgp::simd::RsMethod::ConflictIterative);
+// Backend axis: each vector method is timed on every vector tier, so one
+// run shows both the method tradeoff (conflict vs compress, production vs
+// iterative) and the lane-width tradeoff (16-lane AVX-512 vs 8-lane AVX2
+// with emulated conflict detection and scatters).
+void BM_Scalar(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::Scalar, vgp::simd::Backend::Scalar);
 }
-void BM_Compress(benchmark::State& s) { run_method(s, vgp::simd::RsMethod::Compress); }
+void BM_Conflict(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::Conflict, vgp::simd::Backend::Avx512);
+}
+void BM_ConflictIter(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::ConflictIterative,
+             vgp::simd::Backend::Avx512);
+}
+void BM_Compress(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::Compress, vgp::simd::Backend::Avx512);
+}
 void BM_CompressIter(benchmark::State& s) {
-  run_method(s, vgp::simd::RsMethod::CompressIterative);
+  run_method(s, vgp::simd::RsMethod::CompressIterative,
+             vgp::simd::Backend::Avx512);
+}
+void BM_ConflictAvx2(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::Conflict, vgp::simd::Backend::Avx2);
+}
+void BM_ConflictIterAvx2(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::ConflictIterative,
+             vgp::simd::Backend::Avx2);
+}
+void BM_CompressAvx2(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::Compress, vgp::simd::Backend::Avx2);
+}
+void BM_CompressIterAvx2(benchmark::State& s) {
+  run_method(s, vgp::simd::RsMethod::CompressIterative,
+             vgp::simd::Backend::Avx2);
 }
 
 // Sweep distinct-index density: 0%, 5%, 25%, 50%, 100%.
@@ -71,6 +103,10 @@ BENCHMARK(BM_Conflict)->RS_ARGS;
 BENCHMARK(BM_ConflictIter)->RS_ARGS;
 BENCHMARK(BM_Compress)->RS_ARGS;
 BENCHMARK(BM_CompressIter)->RS_ARGS;
+BENCHMARK(BM_ConflictAvx2)->RS_ARGS;
+BENCHMARK(BM_ConflictIterAvx2)->RS_ARGS;
+BENCHMARK(BM_CompressAvx2)->RS_ARGS;
+BENCHMARK(BM_CompressIterAvx2)->RS_ARGS;
 
 }  // namespace
 

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "vgp/community/louvain.hpp"
 #include "vgp/community/modularity.hpp"
@@ -72,9 +73,21 @@ inline harness::RepeatOptions repeat_options(const BenchConfig& cfg) {
 }
 
 inline void print_banner(const char* figure) {
-  std::printf("# %s\n# cpu features: %s | avx512 kernels: %s\n", figure,
-              cpu_feature_string().c_str(),
-              simd::avx512_kernels_available() ? "yes" : "no");
+  std::printf("# %s\n# cpu features: %s | avx512 kernels: %s | avx2 kernels: %s\n",
+              figure, cpu_feature_string().c_str(),
+              simd::avx512_kernels_available() ? "yes" : "no",
+              simd::avx2_kernels_available() ? "yes" : "no");
+}
+
+/// The backend sweep axis most figure binaries iterate over: scalar plus
+/// every vector tier whose kernels can run here. Keeps series labels in
+/// sync with what actually executed (a requested-but-unavailable tier
+/// would silently measure its fallback).
+inline std::vector<simd::Backend> backend_axis() {
+  std::vector<simd::Backend> axis{simd::Backend::Scalar};
+  if (simd::avx2_kernels_available()) axis.push_back(simd::Backend::Avx2);
+  if (simd::avx512_kernels_available()) axis.push_back(simd::Backend::Avx512);
+  return axis;
 }
 
 /// Mean wall time of one level-0 Louvain move-phase *iteration* under

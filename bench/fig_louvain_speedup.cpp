@@ -36,8 +36,10 @@ int main(int argc, char** argv) {
 
   harness::Series onpl_fast{"onpl/host-avx512", {}, {}};
   harness::Series onpl_slow{"onpl/slow-scatter", {}, {}};
+  harness::Series onpl_avx2{"onpl/avx2", {}, {}};
   harness::Series ovpl_fast{"ovpl/host-avx512", {}, {}};
   harness::Series ovpl_slow{"ovpl/slow-scatter", {}, {}};
+  const bool have_avx2 = simd::avx2_kernels_available();
 
   for (const auto& entry : gen::table1_suite()) {
     const Graph g = entry.make(cfg.scale);
@@ -62,8 +64,20 @@ int main(int argc, char** argv) {
     onpl_slow.values.push_back(harness::speedup(mplm, onpl_s));
     ovpl_fast.values.push_back(harness::speedup(mplm, ovpl));
     ovpl_slow.values.push_back(harness::speedup(mplm, ovpl_s));
+
+    // Backend axis: the 8-lane ONPL tier (OVPL has no AVX2 variant — its
+    // layout depends on hardware scatters — so only ONPL gets a series).
+    if (have_avx2) {
+      const double onpl_8 = bench::time_move_phase(
+          g, community::MovePolicy::ONPL, cfg, community::RsPolicy::Auto,
+          simd::Backend::Avx2);
+      onpl_avx2.labels.push_back(entry.name);
+      onpl_avx2.values.push_back(harness::speedup(mplm, onpl_8));
+    }
   }
-  harness::print_series("move-phase speedup over MPLM",
-                        {onpl_fast, onpl_slow, ovpl_fast, ovpl_slow});
+  auto series =
+      std::vector<harness::Series>{onpl_fast, onpl_slow, ovpl_fast, ovpl_slow};
+  if (have_avx2) series.push_back(onpl_avx2);
+  harness::print_series("move-phase speedup over MPLM", series);
   return 0;
 }

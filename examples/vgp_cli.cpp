@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
       .describe("in", "input graph file (.el .graph .mtx .gr .vgpb)")
       .describe("gen", "generate a Table 1 stand-in by name instead of --in")
       .describe("scale", "generator scale tiny|small|medium|large")
-      .describe("backend", "auto|scalar|avx512")
+      .describe("backend", "auto|scalar|avx2|avx512")
       .describe("policy", "louvain: plm|mplm|onpl|ovpl|colorsync")
       .describe("rs", "louvain onpl: auto|conflict|compress")
       .describe("ordering", "color: natural|largest-first|smallest-last|random")

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
 
 namespace vgp::classic {
@@ -42,12 +43,7 @@ BfsResult bfs(const Graph& g, VertexId source, const BfsOptions& opts) {
   res.distance[static_cast<std::size_t>(source)] = 0;
   res.reached = 1;
 
-  auto expand = detail::bfs_expand_scalar;
-#if defined(VGP_HAVE_AVX512)
-  if (simd::resolve(opts.backend) == simd::Backend::Avx512) {
-    expand = detail::bfs_expand_avx512;
-  }
-#endif
+  const auto expand = simd::select<detail::BfsExpandKernel>(opts.backend).fn;
 
   detail::BfsCtx ctx;
   ctx.offsets = g.offsets_data();

@@ -53,10 +53,17 @@ struct BfsCtx {
 void bfs_expand_scalar(const BfsCtx& ctx, const VertexId* frontier,
                        std::int64_t count, std::vector<VertexId>& next);
 
-#if defined(VGP_HAVE_AVX512)
+// 16-lane frontier expansion. Declared unconditionally; defined only in
+// AVX-512 builds — dispatch through simd::select<BfsExpandKernel>.
 void bfs_expand_avx512(const BfsCtx& ctx, const VertexId* frontier,
                        std::int64_t count, std::vector<VertexId>& next);
-#endif
+
+/// Registry tag for the BFS frontier-expansion family.
+struct BfsExpandKernel {
+  static constexpr const char* name = "bfs.expand";
+  using Fn = void (*)(const BfsCtx&, const VertexId*, std::int64_t,
+                      std::vector<VertexId>&);
+};
 
 }  // namespace detail
 }  // namespace vgp::classic

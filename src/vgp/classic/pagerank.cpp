@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
 
 namespace vgp::classic {
@@ -29,12 +30,7 @@ PageRankResult pagerank(const Graph& g, const PageRankOptions& opts) {
   PageRankResult res;
   if (n == 0) return res;
 
-  auto pull = detail::pr_pull_scalar;
-#if defined(VGP_HAVE_AVX512)
-  if (simd::resolve(opts.backend) == simd::Backend::Avx512) {
-    pull = detail::pr_pull_avx512;
-  }
-#endif
+  const auto pull = simd::select<detail::PrPullKernel>(opts.backend).fn;
 
   const float inv_n = 1.0f / static_cast<float>(n);
   std::vector<float> rank(static_cast<std::size_t>(n), inv_n);

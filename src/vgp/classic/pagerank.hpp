@@ -44,9 +44,15 @@ struct PrCtx {
 };
 
 void pr_pull_scalar(const PrCtx& ctx, std::int64_t first, std::int64_t last);
-#if defined(VGP_HAVE_AVX512)
+// 16-lane pull iteration. Declared unconditionally; defined only in
+// AVX-512 builds — dispatch through simd::select<PrPullKernel>.
 void pr_pull_avx512(const PrCtx& ctx, std::int64_t first, std::int64_t last);
-#endif
+
+/// Registry tag for the PageRank pull family.
+struct PrPullKernel {
+  static constexpr const char* name = "pagerank.pull";
+  using Fn = void (*)(const PrCtx&, std::int64_t, std::int64_t);
+};
 
 }  // namespace detail
 }  // namespace vgp::classic

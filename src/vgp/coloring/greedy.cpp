@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/telemetry/registry.hpp"
 
@@ -63,7 +64,6 @@ Result color_graph(const Graph& g, const Options& opts) {
   if (n == 0) return res;
 
   telemetry::ScopedPhase phase("coloring");
-  const auto backend = simd::resolve(opts.backend);
 
   detail::AssignCtx ctx;
   ctx.offsets = g.offsets_data();
@@ -71,16 +71,13 @@ Result color_graph(const Graph& g, const Options& opts) {
   ctx.colors = res.colors.data();
   ctx.max_color = g.max_degree() + 1;
 
-  auto assign_fn = detail::assign_range_scalar;
-  auto detect_fn = detail::detect_range_scalar;
-#if defined(VGP_HAVE_AVX512)
-  if (backend == simd::Backend::Avx512) {
-    assign_fn = detail::assign_range_avx512;
-    detect_fn = detail::detect_range_avx512;
-  }
-#else
-  (void)backend;
-#endif
+  // One dispatch decision covers the pair: assign and detect always come
+  // from the same tier.
+  const auto sel = simd::select<detail::ColoringKernel>(opts.backend);
+  const auto assign_fn = sel.fn.assign;
+  const auto detect_fn = sel.fn.detect;
+  res.backend = sel.backend;
+  res.fallback_reason = sel.fallback_reason;
 
   // Initial CONF = V, visited in the requested order.
   std::vector<VertexId> conf = order_vertices(g, opts.ordering, opts.seed);

@@ -48,6 +48,10 @@ struct Result {
   /// Conflicts detected after each speculative round (size == rounds);
   /// the convergence curve of Algorithm 1.
   std::vector<std::int64_t> conflicts_per_round;
+  /// Backend tier the assign/detect kernels actually ran on, plus the
+  /// dispatch degradation reason (nullptr when none).
+  simd::Backend backend = simd::Backend::Scalar;
+  const char* fallback_reason = nullptr;
 };
 
 /// Runs the full speculative loop. Self-loops are ignored (a vertex is
@@ -83,14 +87,27 @@ void detect_range_scalar(const AssignCtx& ctx, const VertexId* verts,
                          std::int64_t count,
                          std::vector<VertexId>& out_conflicts);
 
-#if defined(VGP_HAVE_AVX512)
+// 16-lane AssignColors/DetectConflicts. Declared unconditionally; defined
+// only in AVX-512 builds — dispatch through simd::select<ColoringKernel>.
 void assign_range_avx512(const AssignCtx& ctx, const VertexId* verts,
                          std::int64_t count, std::int32_t* forbidden,
                          std::int32_t* epoch);
 void detect_range_avx512(const AssignCtx& ctx, const VertexId* verts,
                          std::int64_t count,
                          std::vector<VertexId>& out_conflicts);
-#endif
+
+/// Registry tag for the speculative-coloring family. One variant is a
+/// *pair* of functions — assign and detect always come from the same tier.
+struct ColoringKernel {
+  static constexpr const char* name = "coloring.speculative";
+  struct Fns {
+    void (*assign)(const AssignCtx&, const VertexId*, std::int64_t,
+                   std::int32_t*, std::int32_t*) = nullptr;
+    void (*detect)(const AssignCtx&, const VertexId*, std::int64_t,
+                   std::vector<VertexId>&) = nullptr;
+  };
+  using Fn = Fns;
+};
 
 }  // namespace detail
 }  // namespace vgp::coloring

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/rng.hpp"
 #include "vgp/support/timer.hpp"
@@ -95,16 +96,13 @@ LabelPropResult label_propagation(const Graph& g,
     id_iter_compress = reg.counter("labelprop.iterations.compress");
   }
 
-  const auto backend = simd::resolve(opts.backend);
   const std::int64_t theta =
       opts.theta >= 0 ? opts.theta : std::max<std::int64_t>(1, n / 100000);
 
-  auto process = detail::lp_process_scalar;
-#if defined(VGP_HAVE_AVX512)
-  if (backend == simd::Backend::Avx512) process = detail::lp_process_avx512;
-#else
-  (void)backend;
-#endif
+  const auto sel = simd::select<detail::LpProcessKernel>(opts.backend);
+  const auto process = sel.fn;
+  res.backend = sel.backend;
+  res.fallback_reason = sel.fallback_reason;
 
   AtomicBitmap active(static_cast<std::size_t>(n));
   AtomicBitmap next_active(static_cast<std::size_t>(n));

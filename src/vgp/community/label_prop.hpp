@@ -51,6 +51,10 @@ struct LabelPropResult {
   /// detection.
   int compress_switch_iteration = -1;
   double seconds = 0.0;
+  /// Backend tier the process kernel actually ran on, plus the dispatch
+  /// degradation reason (nullptr when none) — see simd::Selected.
+  simd::Backend backend = simd::Backend::Scalar;
+  const char* fallback_reason = nullptr;
 };
 
 LabelPropResult label_propagation(const Graph& g,
@@ -79,10 +83,20 @@ std::int64_t lp_process_scalar(const LpCtx& ctx, const VertexId* verts,
 /// vector kernel's low-degree fast path). Returns true when u changed.
 bool lp_update_one_scalar(const LpCtx& ctx, VertexId u, DenseAffinity& aff);
 
-#if defined(VGP_HAVE_AVX512)
+// Vector process kernels (16-lane / 8-lane). Declared unconditionally;
+// defined only when the matching ISA TU is in the build — dispatch through
+// simd::select<LpProcessKernel>.
 std::int64_t lp_process_avx512(const LpCtx& ctx, const VertexId* verts,
                                std::int64_t count, DenseAffinity& aff);
-#endif
+std::int64_t lp_process_avx2(const LpCtx& ctx, const VertexId* verts,
+                             std::int64_t count, DenseAffinity& aff);
+
+/// Registry tag for the label-propagation process family.
+struct LpProcessKernel {
+  static constexpr const char* name = "labelprop.process";
+  using Fn = std::int64_t (*)(const LpCtx&, const VertexId*, std::int64_t,
+                              DenseAffinity&);
+};
 
 }  // namespace detail
 }  // namespace vgp::community

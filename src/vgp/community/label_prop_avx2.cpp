@@ -1,0 +1,283 @@
+// ONLP — One Neighbor Per Lane Label Propagation, AVX2 (8-lane) tier.
+// Compiled with -mavx2.
+//
+// Mirrors label_prop_avx512.cpp at half width: 8 neighbor labels are
+// gathered per step, their edge weights reduce-scattered into the
+// per-thread label-weight table via the emulated conflict detection or
+// the in-vector reduction, and the heaviest label is found with 8-lane
+// max scans. Tie rules are bit-identical to lp_update_one_scalar.
+#include "vgp/community/label_prop.hpp"
+#include "vgp/simd/avx2_common.hpp"
+#include "vgp/support/rng.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::community::detail {
+namespace {
+
+using simd::bits_from_mask8;
+using simd::charge_vector_chunk;
+using simd::kLanes8;
+using simd::mask_from_bits8;
+using simd::tail_bits8;
+
+/// Gather-lane occupancy across one worklist range; flushed once per
+/// lp_process_avx2 call.
+struct LaneUse {
+  std::int64_t active = 0;
+  std::int64_t total = 0;
+};
+
+inline __m256i neg_lanes8() {
+  return _mm256_setr_epi32(-1, -2, -3, -4, -5, -6, -7, -8);
+}
+
+/// A zero gathered weight only *suggests* a first touch;
+/// DenseAffinity::note() holds the exact membership test.
+inline void record_first_touch(DenseAffinity& aff, unsigned zero_bits,
+                               __m256i vlab) {
+  if (zero_bits == 0u) return;
+  alignas(32) CommunityId labs[kLanes8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(labs), vlab);
+  while (zero_bits != 0u) {
+    const int lane = __builtin_ctz(zero_bits);
+    aff.note(labs[lane]);
+    zero_bits &= zero_bits - 1;
+  }
+}
+
+/// Emulated conflict-detection accumulate of u's neighbor label weights.
+void accumulate_conflict(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
+                         LaneUse& lanes) {
+  const Graph& g = *ctx.g;
+  float* table = aff.data();
+  const auto b = g.offset(u);
+  const auto deg = g.degree(u);
+  const VertexId* adj = g.adjacency_data() + b;
+  const float* wgt = g.weights_data() + b;
+  const __m256i vu = _mm256_set1_epi32(u);
+
+  for (std::int64_t i = 0; i < deg; i += kLanes8) {
+    const unsigned tail = tail_bits8(deg - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vnbr = simd::maskload_epi32_avx2(adj + i, tailm);
+    const unsigned m =
+        tail & ~bits_from_mask8(_mm256_cmpeq_epi32(vnbr, vu));
+    const __m256i vm = mask_from_bits8(m);
+    const __m256 vw = simd::maskload_ps_avx2(wgt + i, tailm);
+    const __m256i vlab =
+        _mm256_mask_i32gather_epi32(neg_lanes8(), ctx.labels, vnbr, vm, 4);
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes8;
+
+    const __m256i conf = simd::conflict_epi32_avx2(vlab);
+    const unsigned first = simd::conflict_free_bits8(conf, m);
+    const __m256i vfirst = mask_from_bits8(first);
+
+    const __m256 cur = _mm256_mask_i32gather_ps(
+        _mm256_setzero_ps(), table, vlab, _mm256_castsi256_ps(vfirst), 4);
+    record_first_touch(
+        aff,
+        first & static_cast<unsigned>(_mm256_movemask_ps(
+                    _mm256_cmp_ps(cur, _mm256_setzero_ps(), _CMP_EQ_OQ))),
+        vlab);
+    const __m256 sum = _mm256_add_ps(cur, vw);
+    simd::scatter_ps_avx2(table, first, vlab, sum);
+
+    const unsigned pending = m & ~first;
+    charge_vector_chunk(6, 2 * __builtin_popcount(first),
+                        __builtin_popcount(first),
+                        3 * __builtin_popcount(pending));
+    unsigned bits = pending;
+    while (bits != 0u) {
+      const int lane = __builtin_ctz(bits);
+      const CommunityId l = ctx.labels[adj[i + lane]];
+      aff.note(l);
+      table[l] += wgt[i + lane];
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// In-vector-reduction accumulate (for mostly-converged label fields).
+void accumulate_compress(const LpCtx& ctx, VertexId u, DenseAffinity& aff,
+                         LaneUse& lanes) {
+  const Graph& g = *ctx.g;
+  float* table = aff.data();
+  const auto b = g.offset(u);
+  const auto deg = g.degree(u);
+  const VertexId* adj = g.adjacency_data() + b;
+  const float* wgt = g.weights_data() + b;
+  const __m256i vu = _mm256_set1_epi32(u);
+
+  for (std::int64_t i = 0; i < deg; i += kLanes8) {
+    const unsigned tail = tail_bits8(deg - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vnbr = simd::maskload_epi32_avx2(adj + i, tailm);
+    const unsigned m =
+        tail & ~bits_from_mask8(_mm256_cmpeq_epi32(vnbr, vu));
+    if (m == 0u) continue;
+    const __m256i vm = mask_from_bits8(m);
+    const __m256 vw = simd::maskload_ps_avx2(wgt + i, tailm);
+    const __m256i vlab =
+        _mm256_mask_i32gather_epi32(neg_lanes8(), ctx.labels, vnbr, vm, 4);
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes8;
+
+    const int lane0 = __builtin_ctz(m);
+    const CommunityId l0 = ctx.labels[adj[i + lane0]];
+    const unsigned match =
+        m & bits_from_mask8(_mm256_cmpeq_epi32(vlab, _mm256_set1_epi32(l0)));
+    const float s = simd::reduce_add_masked_ps8(vw, mask_from_bits8(match));
+    aff.note(l0);
+    table[l0] += s;
+
+    const unsigned rest = m & ~match;
+    charge_vector_chunk(5, __builtin_popcount(m), 0,
+                        3 * __builtin_popcount(rest) + 1);
+    unsigned bits = rest;
+    while (bits != 0u) {
+      const int lane = __builtin_ctz(bits);
+      const CommunityId l = ctx.labels[adj[i + lane]];
+      aff.note(l);
+      table[l] += wgt[i + lane];
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// Vectorized mix32 (see support/rng.hpp) for the random tie rule.
+inline __m256i vmix32_8(__m256i x) {
+  x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+  x = _mm256_mullo_epi32(x, _mm256_set1_epi32(0x7feb352d));
+  x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 15));
+  x = _mm256_mullo_epi32(x, _mm256_set1_epi32(static_cast<int>(0x846ca68bu)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi32(x, 16));
+  return x;
+}
+
+/// Unsigned per-lane "a < b" for 32-bit lanes (AVX2 only has signed
+/// compares): flip the sign bit of both operands first.
+inline __m256i cmplt_epu32_avx2(__m256i a, __m256i b) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm256_cmpgt_epi32(_mm256_xor_si256(b, bias),
+                            _mm256_xor_si256(a, bias));
+}
+
+/// 8-lane heaviest-label scan with the scalar tie rules: prefer the
+/// current label; otherwise rank tied labels by mix32(label ^ vsalt) and
+/// take the largest rank (matches lp_update_one_scalar exactly).
+CommunityId choose_best_label(DenseAffinity& aff, CommunityId cur,
+                              std::uint32_t vsalt) {
+  const auto& touched = aff.touched();
+  const float* tab = aff.data();
+
+  // Pass 1: global max weight.
+  __m256 vmax = _mm256_setzero_ps();
+  const auto count = static_cast<std::int64_t>(touched.size());
+  for (std::int64_t i = 0; i < count; i += kLanes8) {
+    const unsigned tail = tail_bits8(count - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vl = simd::maskload_epi32_avx2(touched.data() + i, tailm);
+    const __m256 vw = _mm256_mask_i32gather_ps(
+        _mm256_setzero_ps(), tab, vl, _mm256_castsi256_ps(tailm), 4);
+    vmax = _mm256_max_ps(vmax, vw);
+  }
+  // Horizontal max (weights are >= 0, so the zero seed is neutral).
+  __m128 mx = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                         _mm256_extractf128_ps(vmax, 1));
+  mx = _mm_max_ps(mx, _mm_movehl_ps(mx, mx));
+  mx = _mm_max_ss(mx, _mm_shuffle_ps(mx, mx, 1));
+  const float maxw = _mm_cvtss_f32(mx);
+  if (maxw <= 0.0f) return cur;
+  if (aff.get(cur) == maxw) return cur;
+
+  // Pass 2: among labels attaining maxw, take the largest salted rank.
+  const __m256 vmaxw = _mm256_set1_ps(maxw);
+  const __m256i vsaltv = _mm256_set1_epi32(static_cast<int>(vsalt));
+  __m256i vbest_rank = _mm256_setzero_si256();
+  __m256i vbest_lab = _mm256_set1_epi32(cur);
+  for (std::int64_t i = 0; i < count; i += kLanes8) {
+    const unsigned tail = tail_bits8(count - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vl = simd::maskload_epi32_avx2(touched.data() + i, tailm);
+    const __m256 vw = _mm256_mask_i32gather_ps(
+        _mm256_setzero_ps(), tab, vl, _mm256_castsi256_ps(tailm), 4);
+    const __m256i at_max = _mm256_and_si256(
+        tailm, _mm256_castps_si256(_mm256_cmp_ps(vw, vmaxw, _CMP_EQ_OQ)));
+    const __m256i vrank = vmix32_8(_mm256_xor_si256(vl, vsaltv));
+    const __m256i better =
+        _mm256_and_si256(at_max, cmplt_epu32_avx2(vbest_rank, vrank));
+    vbest_rank = _mm256_blendv_epi8(vbest_rank, vrank, better);
+    vbest_lab = _mm256_blendv_epi8(vbest_lab, vl, better);
+  }
+  charge_vector_chunk(
+      8 * static_cast<int>((count + kLanes8 - 1) / kLanes8), 0, 0, 0);
+
+  // Horizontal: lane with the largest rank wins.
+  alignas(32) std::uint32_t ranks[kLanes8];
+  alignas(32) std::int32_t labs[kLanes8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(ranks), vbest_rank);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(labs), vbest_lab);
+  std::uint32_t best_rank = 0;
+  CommunityId best = cur;
+  for (int l = 0; l < kLanes8; ++l) {
+    if (ranks[l] > best_rank) {
+      best_rank = ranks[l];
+      best = labs[l];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int64_t lp_process_avx2(const LpCtx& ctx, const VertexId* verts,
+                             std::int64_t count, DenseAffinity& aff) {
+  const Graph& g = *ctx.g;
+  std::int64_t changed = 0;
+  LaneUse lanes;
+
+  for (std::int64_t k = 0; k < count; ++k) {
+    const VertexId u = verts[k];
+    const auto nbrs = g.neighbors(u);
+    if (nbrs.empty()) continue;
+
+    // Below one vector of neighbors the gathers cannot pay for
+    // themselves; use the shared scalar path.
+    if (static_cast<std::int64_t>(nbrs.size()) < kLanes8) {
+      if (lp_update_one_scalar(ctx, u, aff)) ++changed;
+      continue;
+    }
+
+    if (ctx.use_compress) {
+      accumulate_compress(ctx, u, aff, lanes);
+    } else {
+      accumulate_conflict(ctx, u, aff, lanes);
+    }
+
+    const CommunityId cur = ctx.labels[u];
+    const std::uint32_t vsalt = mix32(ctx.salt ^ static_cast<std::uint32_t>(u));
+    const CommunityId best = choose_best_label(aff, cur, vsalt);
+    aff.reset();
+
+    if (best != cur) {
+      ctx.labels[u] = best;
+      ++changed;
+      ctx.next_active->set(static_cast<std::size_t>(u));
+      for (const VertexId v : nbrs) {
+        if (v != u) ctx.next_active->set(static_cast<std::size_t>(v));
+      }
+    }
+  }
+
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled() && lanes.total > 0) {
+    reg.add(reg.counter("labelprop.gather_lanes_active"),
+            static_cast<double>(lanes.active));
+    reg.add(reg.counter("labelprop.gather_lanes_total"),
+            static_cast<double>(lanes.total));
+  }
+  return changed;
+}
+
+}  // namespace vgp::community::detail

@@ -4,6 +4,7 @@
 
 #include "vgp/community/coarsen.hpp"
 #include "vgp/community/ovpl.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/timer.hpp"
 #include "vgp/telemetry/registry.hpp"
 
@@ -36,14 +37,17 @@ MoveStats run_move_phase(const MoveCtx& ctx, MovePolicy policy,
       return move_phase_plm(ctx);
     case MovePolicy::MPLM:
       return move_phase_mplm(ctx);
-    case MovePolicy::ONPL:
-#if defined(VGP_HAVE_AVX512)
-      if (simd::resolve(backend) == simd::Backend::Avx512) {
-        return move_phase_onpl_avx512(ctx);
-      }
-#endif
-      // No AVX-512 at runtime: ONPL degenerates to the scalar MPLM loop.
-      return move_phase_mplm(ctx);
+    case MovePolicy::ONPL: {
+      // The registry picks the widest available tier (the scalar slot is
+      // the MPLM loop ONPL degenerates to) and reports what it did: a
+      // degraded dispatch shows up in MoveStats and in the
+      // dispatch.fallback.* counters, never silently.
+      const auto sel = simd::select<OnplMoveKernel>(backend);
+      auto stats = sel.fn(ctx);
+      stats.backend = sel.backend;
+      stats.fallback_reason = sel.fallback_reason;
+      return stats;
+    }
     case MovePolicy::ColorSync:
       return move_phase_colorsync(ctx, backend);
     case MovePolicy::OVPL: {

@@ -52,6 +52,15 @@ struct MoveStats {
   /// ONPL RsPolicy::Auto: first iteration (0-based) that used the
   /// in-vector-reduction reduce-scatter; -1 when it never switched.
   int compress_switch_iteration = -1;
+  /// Backend tier that actually executed the phase (ONPL/OVPL: filled by
+  /// run_move_phase / move_phase_ovpl from the dispatch registry; the
+  /// scalar policies report Scalar).
+  simd::Backend backend = simd::Backend::Scalar;
+  /// Non-null (static string) when the dispatch degraded below the
+  /// requested/resolved tier — e.g. "avx512-not-supported-by-cpu" when an
+  /// ONPL request ran the scalar MPLM loop instead. Mirrors the
+  /// `dispatch.fallback.*` telemetry counters.
+  const char* fallback_reason = nullptr;
 };
 
 /// Builds the ctx-owned arrays for a fresh singleton start on g.
@@ -207,9 +216,20 @@ MoveStats move_phase_mplm(const MoveCtx& ctx);  // preallocated scratch
 MoveStats move_phase_colorsync(const MoveCtx& ctx,
                                simd::Backend backend = simd::Backend::Auto);
 
-#if defined(VGP_HAVE_AVX512)
-/// ONPL vectorized move phase; requires avx512_kernels_available().
+// ONPL vectorized move phases (16-lane / 8-lane). Declared
+// unconditionally; defined only when the matching ISA TU is in the build.
+// Dispatch through simd::select<OnplMoveKernel> — never name these
+// directly outside the simd registration units.
 MoveStats move_phase_onpl_avx512(const MoveCtx& ctx);
-#endif
+MoveStats move_phase_onpl_avx2(const MoveCtx& ctx);
+
+/// Registry tag for the ONPL move family. The scalar slot is
+/// move_phase_mplm — the algorithm ONPL degenerates to without vector
+/// lanes — so a fallback is visible in MoveStats::backend/fallback_reason
+/// rather than silently changing behavior.
+struct OnplMoveKernel {
+  static constexpr const char* name = "louvain.onpl";
+  using Fn = MoveStats (*)(const MoveCtx&);
+};
 
 }  // namespace vgp::community

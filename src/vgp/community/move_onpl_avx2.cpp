@@ -1,0 +1,264 @@
+// ONPL (One Neighbor Per Lane) Louvain move phase, AVX2 (8-lane) tier.
+// Compiled with -mavx2.
+//
+// Mirrors move_onpl_avx512.cpp at half width with the three emulations
+// from simd/avx2_common.hpp: conflict detection via the 7-step
+// permute-compare construction, in-vector reduction via a horizontal add,
+// and scatters as sequential store loops (AVX2 has no scatter — the
+// instruction-level reason the paper calls OVPL impossible before
+// AVX-512; ONPL survives because its scatters are small and its gathers
+// are real).
+//
+// The modularity-gain scan stays scalar at this tier: with only 4 double
+// lanes per 256-bit register, the cross-width shuffles the 16-lane
+// version uses to pair float affinities with double volumes cost more
+// than the scan itself on typical candidate lists.
+#include <atomic>
+
+#include "vgp/community/move_ctx.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/avx2_common.hpp"
+#include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::community {
+namespace {
+
+using simd::bits_from_mask8;
+using simd::kLanes8;
+using simd::mask_from_bits8;
+using simd::tail_bits8;
+
+/// Gather-lane occupancy for one worker chunk (flushed once per chunk).
+struct LaneUse {
+  std::int64_t active = 0;
+  std::int64_t total = 0;
+};
+
+/// Distinct negative sentinels for inactive gather lanes, so the conflict
+/// emulation never reports a false duplicate against an active lane
+/// (community ids are always >= 0).
+inline __m256i neg_lanes8() {
+  return _mm256_setr_epi32(-1, -2, -3, -4, -5, -6, -7, -8);
+}
+
+/// Registers candidate first-touch communities (gathered affinity exactly
+/// zero) through DenseAffinity::note(), which holds the exact membership
+/// test. No compress-store in AVX2: store + bit loop.
+inline void record_first_touch(DenseAffinity& aff, unsigned zero_bits,
+                               __m256i vcomm) {
+  if (zero_bits == 0u) return;
+  alignas(32) CommunityId comm[kLanes8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(comm), vcomm);
+  while (zero_bits != 0u) {
+    const int lane = __builtin_ctz(zero_bits);
+    aff.note(comm[lane]);
+    zero_bits &= zero_bits - 1;
+  }
+}
+
+/// Affinity accumulation with the emulated conflict-detection
+/// reduce-scatter.
+void accumulate_conflict(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
+                         simd::OpTally& tally, LaneUse& lanes) {
+  const Graph& g = *ctx.g;
+  const CommunityId* zeta = ctx.zeta->data();
+  float* table = aff.data();
+
+  const auto b = g.offset(u);
+  const auto deg = g.degree(u);
+  const VertexId* adj = g.adjacency_data() + b;
+  const float* wgt = g.weights_data() + b;
+  const __m256i vu = _mm256_set1_epi32(u);
+
+  for (std::int64_t i = 0; i < deg; i += kLanes8) {
+    const unsigned tail = tail_bits8(deg - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vnbr = simd::maskload_epi32_avx2(adj + i, tailm);
+    // Self-loop exclusion: the gain formula is over N(u) \ {u}.
+    const unsigned m =
+        tail & ~bits_from_mask8(_mm256_cmpeq_epi32(vnbr, vu));
+    const __m256i vm = mask_from_bits8(m);
+    const __m256 vw = simd::maskload_ps_avx2(wgt + i, tailm);
+    const __m256i vcomm =
+        _mm256_mask_i32gather_epi32(neg_lanes8(), zeta, vnbr, vm, 4);
+
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes8;
+
+    const __m256i conf = simd::conflict_epi32_avx2(vcomm);
+    const unsigned first = simd::conflict_free_bits8(conf, m);
+    const __m256i vfirst = mask_from_bits8(first);
+
+    // Vector pass over the write-safe set.
+    const __m256 cur = _mm256_mask_i32gather_ps(
+        _mm256_setzero_ps(), table, vcomm, _mm256_castsi256_ps(vfirst), 4);
+    record_first_touch(
+        aff,
+        first & static_cast<unsigned>(_mm256_movemask_ps(
+                    _mm256_cmp_ps(cur, _mm256_setzero_ps(), _CMP_EQ_OQ))),
+        vcomm);
+    const __m256 sum = _mm256_add_ps(cur, vw);
+    simd::scatter_ps_avx2(table, first, vcomm, sum);
+
+    // Remaining lanes (duplicate communities) finish scalar.
+    const unsigned pending = m & ~first;
+    tally.add(6, 2 * __builtin_popcount(first), __builtin_popcount(first),
+              3 * __builtin_popcount(pending));
+    unsigned bits = pending;
+    while (bits != 0u) {
+      const int lane = __builtin_ctz(bits);
+      const CommunityId c = zeta[adj[i + lane]];
+      aff.note(c);
+      table[c] += wgt[i + lane];
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// Affinity accumulation with the in-vector-reduction reduce-scatter.
+void accumulate_compress(const MoveCtx& ctx, VertexId u, DenseAffinity& aff,
+                         simd::OpTally& tally, LaneUse& lanes) {
+  const Graph& g = *ctx.g;
+  const CommunityId* zeta = ctx.zeta->data();
+  float* table = aff.data();
+
+  const auto b = g.offset(u);
+  const auto deg = g.degree(u);
+  const VertexId* adj = g.adjacency_data() + b;
+  const float* wgt = g.weights_data() + b;
+  const __m256i vu = _mm256_set1_epi32(u);
+
+  for (std::int64_t i = 0; i < deg; i += kLanes8) {
+    const unsigned tail = tail_bits8(deg - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vnbr = simd::maskload_epi32_avx2(adj + i, tailm);
+    const unsigned m =
+        tail & ~bits_from_mask8(_mm256_cmpeq_epi32(vnbr, vu));
+    if (m == 0u) continue;
+    const __m256i vm = mask_from_bits8(m);
+    const __m256 vw = simd::maskload_ps_avx2(wgt + i, tailm);
+    const __m256i vcomm =
+        _mm256_mask_i32gather_epi32(neg_lanes8(), zeta, vnbr, vm, 4);
+    lanes.active += __builtin_popcount(m);
+    lanes.total += kLanes8;
+
+    // Reduce the first active lane's community in-vector; the rest of
+    // the lanes (other communities) finish scalar.
+    const int lane0 = __builtin_ctz(m);
+    const CommunityId c0 = zeta[adj[i + lane0]];
+    const unsigned match =
+        m & bits_from_mask8(_mm256_cmpeq_epi32(vcomm, _mm256_set1_epi32(c0)));
+    const float s = simd::reduce_add_masked_ps8(vw, mask_from_bits8(match));
+    aff.note(c0);
+    table[c0] += s;
+
+    const unsigned rest = m & ~match;
+    tally.add(5, __builtin_popcount(m), 0, 3 * __builtin_popcount(rest) + 1);
+    unsigned bits = rest;
+    while (bits != 0u) {
+      const int lane = __builtin_ctz(bits);
+      const CommunityId c = zeta[adj[i + lane]];
+      aff.note(c);
+      table[c] += wgt[i + lane];
+      bits &= bits - 1;
+    }
+  }
+}
+
+}  // namespace
+
+MoveStats move_phase_onpl_avx2(const MoveCtx& ctx) {
+  const Graph& g = *ctx.g;
+  const auto n = g.num_vertices();
+  MoveStats stats;
+  WallTimer timer;
+
+  auto& reg = telemetry::Registry::global();
+  const bool telem = reg.enabled();
+  telemetry::MetricId id_moves_iter = 0, id_iter_conflict = 0,
+                      id_iter_compress = 0, id_vert_scalar = 0,
+                      id_vert_vector = 0, id_lanes_active = 0,
+                      id_lanes_total = 0;
+  if (telem) {
+    id_moves_iter = reg.series("louvain.onpl.moves_per_iter");
+    id_iter_conflict = reg.counter("louvain.onpl.iterations.conflict");
+    id_iter_compress = reg.counter("louvain.onpl.iterations.compress");
+    id_vert_scalar = reg.counter("louvain.onpl.vertices.scalar");
+    id_vert_vector = reg.counter("louvain.onpl.vertices.vector");
+    id_lanes_active = reg.counter("louvain.onpl.gather_lanes_active");
+    id_lanes_total = reg.counter("louvain.onpl.gather_lanes_total");
+  }
+
+  double last_move_fraction = 1.0;
+  for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    const bool use_compress =
+        ctx.rs_policy == RsPolicy::Compress ||
+        (ctx.rs_policy == RsPolicy::Auto && last_move_fraction < 0.02);
+    if (use_compress && stats.compress_switch_iteration < 0) {
+      stats.compress_switch_iteration = iter;
+    }
+    std::atomic<std::int64_t> moves{0};
+
+    parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
+      thread_local DenseAffinity aff_storage;
+      DenseAffinity& aff = aff_storage;
+      aff.ensure(n);
+      simd::OpTally tally;
+      LaneUse lanes;
+      std::int64_t local_moves = 0;
+      std::int64_t scalar_verts = 0, vector_verts = 0;
+      const auto aff_of = [&aff](CommunityId c) {
+        return static_cast<double>(aff.get(c));
+      };
+      for (std::int64_t vi = first; vi < last; ++vi) {
+        const auto u = static_cast<VertexId>(vi);
+        const auto deg = g.degree(u);
+        if (deg == 0) continue;
+        // Hybrid dispatch: below one 8-lane vector of neighbors the
+        // gathers cannot pay for themselves.
+        if (deg < kLanes8) {
+          ++scalar_verts;
+          accumulate_affinity_scalar(g, *ctx.zeta, u, aff);
+          tally.add(0, 0, 0, 2 * static_cast<int>(deg));
+          if (decide_and_move(ctx, u, aff.touched(), aff_of)) ++local_moves;
+          aff.reset();
+          continue;
+        }
+        ++vector_verts;
+        if (use_compress) {
+          accumulate_compress(ctx, u, aff, tally, lanes);
+        } else {
+          accumulate_conflict(ctx, u, aff, tally, lanes);
+        }
+        tally.add(0, 0, 0, 3 * static_cast<int>(aff.touched().size()));
+        if (decide_and_move(ctx, u, aff.touched(), aff_of)) ++local_moves;
+        aff.reset();
+      }
+      tally.flush();
+      if (telem) {
+        reg.add(id_vert_scalar, static_cast<double>(scalar_verts));
+        reg.add(id_vert_vector, static_cast<double>(vector_verts));
+        reg.add(id_lanes_active, static_cast<double>(lanes.active));
+        reg.add(id_lanes_total, static_cast<double>(lanes.total));
+      }
+      moves.fetch_add(local_moves, std::memory_order_relaxed);
+    });
+
+    ++stats.iterations;
+    stats.total_moves += moves.load();
+    stats.moves_per_iteration.push_back(moves.load());
+    if (telem) {
+      reg.append(id_moves_iter, static_cast<double>(moves.load()));
+      reg.add(use_compress ? id_iter_compress : id_iter_conflict, 1.0);
+    }
+    last_move_fraction =
+        static_cast<double>(moves.load()) / static_cast<double>(n);
+    if (moves.load() == 0) break;
+  }
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace vgp::community

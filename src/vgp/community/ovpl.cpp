@@ -9,6 +9,7 @@
 
 #include "vgp/coloring/greedy.hpp"
 #include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/timer.hpp"
 #include "vgp/telemetry/registry.hpp"
@@ -359,14 +360,11 @@ MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& lay) {
 
 MoveStats move_phase_ovpl(const MoveCtx& ctx, const OvplLayout& layout,
                           simd::Backend backend) {
-#if defined(VGP_HAVE_AVX512)
-  if (simd::resolve(backend) == simd::Backend::Avx512) {
-    return move_phase_ovpl_avx512(ctx, layout);
-  }
-#else
-  (void)backend;
-#endif
-  return move_phase_ovpl_scalar(ctx, layout);
+  const auto sel = simd::select<OvplMoveKernel>(backend);
+  auto stats = sel.fn(ctx, layout);
+  stats.backend = sel.backend;
+  stats.fallback_reason = sel.fallback_reason;
+  return stats;
 }
 
 }  // namespace vgp::community

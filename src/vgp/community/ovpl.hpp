@@ -89,9 +89,18 @@ MoveStats move_phase_ovpl(const MoveCtx& ctx, const OvplLayout& layout,
 /// Scalar reference implementation (also the non-AVX fallback).
 MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& layout);
 
-#if defined(VGP_HAVE_AVX512)
+/// 16-lane blocked move. Declared unconditionally; defined only in AVX-512
+/// builds — dispatch through simd::select<OvplMoveKernel>.
 MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& layout);
-#endif
+
+/// Registry tag for the OVPL blocked move. Deliberately has no AVX2
+/// variant (the paper's point: OVPL needs real scatters, which AVX2
+/// lacks), so an avx2-resolved dispatch records a "no-avx2-variant"
+/// fallback and runs the scalar block loop.
+struct OvplMoveKernel {
+  static constexpr const char* name = "louvain.ovpl";
+  using Fn = MoveStats (*)(const MoveCtx&, const OvplLayout&);
+};
 
 namespace detail {
 

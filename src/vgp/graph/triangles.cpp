@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
 
 namespace vgp {
@@ -29,12 +30,7 @@ TriangleStats count_triangles(const Graph& g, const TriangleOptions& opts) {
   TriangleStats res;
   if (n == 0) return res;
 
-  auto intersect = intersect_count_scalar;
-#if defined(VGP_HAVE_AVX512)
-  if (simd::resolve(opts.backend) == simd::Backend::Avx512) {
-    intersect = intersect_count_avx512;
-  }
-#endif
+  const auto intersect = simd::select<TriangleIntersectKernel>(opts.backend).fn;
 
   // Forward orientation: each triangle {u < v < w} is counted exactly
   // once, at its smallest vertex, by intersecting the higher-id suffixes

@@ -30,9 +30,17 @@ TriangleStats count_triangles(const Graph& g, const TriangleOptions& opts = {});
 /// |a ∩ b| for two strictly sorted id lists (exposed for tests/ablation).
 std::int64_t intersect_count_scalar(const VertexId* a, std::int64_t na,
                                     const VertexId* b, std::int64_t nb);
-#if defined(VGP_HAVE_AVX512)
+// 16-lane block-compare intersection. Declared unconditionally; defined
+// only in AVX-512 builds — dispatch through
+// simd::select<TriangleIntersectKernel>.
 std::int64_t intersect_count_avx512(const VertexId* a, std::int64_t na,
                                     const VertexId* b, std::int64_t nb);
-#endif
+
+/// Registry tag for the sorted-set-intersection family.
+struct TriangleIntersectKernel {
+  static constexpr const char* name = "triangles.intersect";
+  using Fn = std::int64_t (*)(const VertexId*, std::int64_t, const VertexId*,
+                              std::int64_t);
+};
 
 }  // namespace vgp

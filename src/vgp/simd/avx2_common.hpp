@@ -1,0 +1,132 @@
+// Shared helpers for the AVX2 (8-lane) translation units. Include ONLY
+// from sources compiled with -mavx2 (everything here uses 256-bit types
+// unconditionally).
+//
+// AVX2 lacks three things the 16-lane kernels lean on, each emulated
+// here:
+//   * mask registers — masks are all-ones/all-zeros 32-bit lanes,
+//     converted to/from 8-bit integers via movemask;
+//   * scatter — stores decompose into a sequential lane loop (which is
+//     also why the slow-scatter toggle is moot at this tier: the
+//     emulation IS the only path);
+//   * conflict detection — _mm512_conflict_epi32 is rebuilt from 7
+//     rotate+compare steps (the permute-compare construction).
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "vgp/simd/backend.hpp"
+#include "vgp/simd/op_tally.hpp"
+
+namespace vgp::simd {
+
+inline constexpr int kLanes8 = 8;
+
+/// Bitmask (low 8 bits) covering min(remaining, 8) low lanes.
+inline unsigned tail_bits8(std::int64_t remaining) {
+  return remaining >= 8 ? 0xFFu : ((1u << remaining) - 1u);
+}
+
+/// Per-lane bit value: lane l holds 1 << l.
+inline __m256i lane_bit8() {
+  return _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+}
+
+/// Expands an 8-bit lane mask into an all-ones/all-zeros vector mask.
+inline __m256i mask_from_bits8(unsigned bits) {
+  const __m256i lb = lane_bit8();
+  const __m256i hit =
+      _mm256_and_si256(_mm256_set1_epi32(static_cast<int>(bits)), lb);
+  return _mm256_cmpeq_epi32(hit, lb);
+}
+
+/// Collapses an all-ones/all-zeros vector mask to its 8-bit lane mask.
+inline unsigned bits_from_mask8(__m256i m) {
+  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
+}
+
+/// Masked loads; inactive lanes read as 0 (like the AVX-512 maskz loads).
+inline __m256i maskload_epi32_avx2(const std::int32_t* p, __m256i m) {
+  return _mm256_maskload_epi32(reinterpret_cast<const int*>(p), m);
+}
+inline __m256 maskload_ps_avx2(const float* p, __m256i m) {
+  return _mm256_maskload_ps(p, m);
+}
+
+/// Masked float scatter. AVX2 has no scatter instruction, so this is
+/// always the sequential-store loop. Lanes in `bits` must hold distinct
+/// indices.
+inline void scatter_ps_avx2(float* base, unsigned bits, __m256i vidx,
+                            __m256 v) {
+  alignas(32) std::int32_t idx[kLanes8];
+  alignas(32) float val[kLanes8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(idx), vidx);
+  _mm256_store_ps(val, v);
+  while (bits != 0u) {
+    const int lane = __builtin_ctz(bits);
+    base[idx[lane]] = val[lane];
+    bits &= bits - 1;
+  }
+}
+
+/// Masked int32 scatter (same emulation).
+inline void scatter_epi32_avx2(std::int32_t* base, unsigned bits,
+                               __m256i vidx, __m256i v) {
+  alignas(32) std::int32_t idx[kLanes8];
+  alignas(32) std::int32_t val[kLanes8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(idx), vidx);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(val), v);
+  while (bits != 0u) {
+    const int lane = __builtin_ctz(bits);
+    base[idx[lane]] = val[lane];
+    bits &= bits - 1;
+  }
+}
+
+/// Emulates _mm512_conflict_epi32 at 8 lanes: lane l of the result holds
+/// a bitmask of the earlier lanes j < l with v[j] == v[l]. Built from 7
+/// rotations: step k compares every lane l against lane l-k and, on a
+/// match, contributes bit (l-k) = (1 << l) >> k — the shift naturally
+/// zeroes the wrapped lanes l < k, so no extra validity mask is needed.
+inline __m256i conflict_epi32_avx2(__m256i v) {
+  alignas(32) static const std::int32_t kRot[7][kLanes8] = {
+      {7, 0, 1, 2, 3, 4, 5, 6},  // lane l reads lane (l-1) & 7
+      {6, 7, 0, 1, 2, 3, 4, 5},
+      {5, 6, 7, 0, 1, 2, 3, 4},
+      {4, 5, 6, 7, 0, 1, 2, 3},
+      {3, 4, 5, 6, 7, 0, 1, 2},
+      {2, 3, 4, 5, 6, 7, 0, 1},
+      {1, 2, 3, 4, 5, 6, 7, 0},
+  };
+  const __m256i lb = lane_bit8();
+  __m256i conf = _mm256_setzero_si256();
+  for (int k = 1; k <= 7; ++k) {
+    const __m256i rot = _mm256_permutevar8x32_epi32(
+        v, _mm256_load_si256(reinterpret_cast<const __m256i*>(kRot[k - 1])));
+    const __m256i eq = _mm256_cmpeq_epi32(v, rot);
+    conf = _mm256_or_si256(conf, _mm256_and_si256(eq, _mm256_srli_epi32(lb, k)));
+  }
+  return conf;
+}
+
+/// Lanes (within `bits`) that have NO earlier duplicate — the write-safe
+/// set of a conflict-emulation round.
+inline unsigned conflict_free_bits8(__m256i conf, unsigned bits) {
+  return bits & bits_from_mask8(
+                    _mm256_cmpeq_epi32(conf, _mm256_setzero_si256()));
+}
+
+/// Sum of the lanes selected by the vector mask `m` (replaces
+/// _mm512_mask_reduce_add_ps).
+inline float reduce_add_masked_ps8(__m256 v, __m256i m) {
+  const __m256 z = _mm256_and_ps(v, _mm256_castsi256_ps(m));
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(z),
+                        _mm256_extractf128_ps(z, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+}  // namespace vgp::simd

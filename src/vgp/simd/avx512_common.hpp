@@ -8,7 +8,7 @@
 #include <cstdint>
 
 #include "vgp/simd/backend.hpp"
-#include "vgp/support/opcount.hpp"
+#include "vgp/simd/op_tally.hpp"
 
 namespace vgp::simd {
 
@@ -58,44 +58,6 @@ inline void scatter_epi32(std::int32_t* base, __mmask16 m, __m512i vidx,
     base[idx[lane]] = val[lane];
     bits &= bits - 1;
   }
-}
-
-/// Coarse instrumentation accumulator. Kernels tally into a local
-/// OpTally and flush once per call — a per-chunk thread_local lookup
-/// costs ~15% on short kernels. The energy model (vgp/energy/model.*)
-/// converts the counts to joules.
-struct OpTally {
-  std::uint64_t vector_ops = 0;
-  std::uint64_t gather_lanes = 0;
-  std::uint64_t scatter_lanes = 0;
-  std::uint64_t scalar_ops = 0;
-
-  void add(int vops, int glanes, int slanes, int sops) noexcept {
-    vector_ops += static_cast<std::uint64_t>(vops);
-    gather_lanes += static_cast<std::uint64_t>(glanes);
-    scatter_lanes += static_cast<std::uint64_t>(slanes);
-    scalar_ops += static_cast<std::uint64_t>(sops);
-  }
-
-  void flush() noexcept {
-    auto& oc = opcount::local();
-    oc.vector_ops += vector_ops;
-    oc.gather_lanes += gather_lanes;
-    oc.scatter_lanes += scatter_lanes;
-    oc.scalar_ops += scalar_ops;
-    *this = OpTally{};
-  }
-};
-
-/// Back-compat shim for call sites that charge rarely (once per vertex or
-/// less).
-inline void charge_vector_chunk(int vector_ops, int gather_lanes,
-                                int scatter_lanes, int scalar_ops) {
-  auto& oc = opcount::local();
-  oc.vector_ops += static_cast<std::uint64_t>(vector_ops);
-  oc.gather_lanes += static_cast<std::uint64_t>(gather_lanes);
-  oc.scatter_lanes += static_cast<std::uint64_t>(scatter_lanes);
-  oc.scalar_ops += static_cast<std::uint64_t>(scalar_ops);
 }
 
 }  // namespace vgp::simd

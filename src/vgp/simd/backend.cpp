@@ -1,6 +1,7 @@
 #include "vgp/simd/backend.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -11,11 +12,20 @@ namespace {
 
 std::atomic<bool> g_slow_scatter{false};
 
+// The env override is parsed exactly once per process: the first resolve()
+// pays the getenv + parse, every later call reads the cached value. A bad
+// value must not abort whatever kernel happened to resolve first, so it
+// degrades to Auto after one stderr warning.
 Backend env_override() {
   static const Backend value = [] {
     const char* env = std::getenv("VGP_BACKEND");
     if (env == nullptr) return Backend::Auto;
-    return parse_backend(env);
+    try {
+      return parse_backend(env);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "vgp: ignoring VGP_BACKEND: %s\n", e.what());
+      return Backend::Auto;
+    }
   }();
   return value;
 }
@@ -30,16 +40,30 @@ bool avx512_kernels_available() {
 #endif
 }
 
+bool avx2_kernels_available() {
+#if defined(VGP_HAVE_AVX2)
+  return cpu_features().has_avx2_kernels();
+#else
+  return false;
+#endif
+}
+
 Backend resolve(Backend requested) {
   if (requested == Backend::Auto) {
     const Backend forced = env_override();
     if (forced != Backend::Auto) requested = forced;
   }
   if (requested == Backend::Auto) {
-    return avx512_kernels_available() ? Backend::Avx512 : Backend::Scalar;
-  }
-  if (requested == Backend::Avx512 && !avx512_kernels_available()) {
+    if (avx512_kernels_available()) return Backend::Avx512;
+    if (avx2_kernels_available()) return Backend::Avx2;
     return Backend::Scalar;
+  }
+  // Explicit requests degrade down the chain, one tier at a time.
+  if (requested == Backend::Avx512 && !avx512_kernels_available()) {
+    requested = Backend::Avx2;
+  }
+  if (requested == Backend::Avx2 && !avx2_kernels_available()) {
+    requested = Backend::Scalar;
   }
   return requested;
 }
@@ -48,6 +72,7 @@ const char* backend_name(Backend b) {
   switch (b) {
     case Backend::Auto: return "auto";
     case Backend::Scalar: return "scalar";
+    case Backend::Avx2: return "avx2";
     case Backend::Avx512: return "avx512";
   }
   return "?";
@@ -56,8 +81,10 @@ const char* backend_name(Backend b) {
 Backend parse_backend(const std::string& name) {
   if (name == "auto") return Backend::Auto;
   if (name == "scalar") return Backend::Scalar;
+  if (name == "avx2") return Backend::Avx2;
   if (name == "avx512") return Backend::Avx512;
-  throw std::invalid_argument("unknown backend: " + name);
+  throw std::invalid_argument("unknown backend: \"" + name +
+                              "\" (expected auto, scalar, avx2, or avx512)");
 }
 
 void set_emulate_slow_scatter(bool on) {

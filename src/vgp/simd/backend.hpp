@@ -1,12 +1,22 @@
 // Kernel backend selection.
 //
-// Every algorithm in the library has a scalar implementation and (when the
-// translation units were compiled with AVX-512 support) a vector one. The
-// backend is picked at runtime:
-//   * Backend::Auto resolves to Avx512 when the CPU reports AVX-512F+CD
-//     and the library was built with VGP_ENABLE_AVX512, else Scalar;
-//   * the VGP_BACKEND environment variable ("scalar"/"avx512") overrides
-//     Auto resolution, which makes A/B runs trivial from the shell.
+// Every algorithm in the library has a scalar implementation and, when the
+// matching translation units were compiled in, mid-width AVX2 (8-lane) and
+// AVX-512 (16-lane) variants. The backend is picked at runtime:
+//   * Backend::Auto resolves to the widest tier whose kernels are both
+//     compiled in AND reported by CPUID (AVX-512F+CD for Avx512, AVX2 for
+//     Avx2), else Scalar;
+//   * an explicit request degrades down the tier chain
+//     avx512 -> avx2 -> scalar when the requested tier cannot run;
+//   * the VGP_BACKEND environment variable
+//     ("scalar"/"avx2"/"avx512") overrides Auto resolution, which makes
+//     A/B runs trivial from the shell. It is read and parsed exactly once
+//     per process (first resolve), never per kernel invocation.
+//
+// Which function actually runs for a given kernel family is decided by the
+// dispatch registry (registry.hpp): resolve() picks the hardware tier,
+// select<Kernel>() then drops further down the chain when a family has no
+// variant registered at that tier, recording every decision in telemetry.
 //
 // Scatter emulation: the paper's SkylakeX-vs-CascadeLake contrast comes
 // from scatter micro-architecture quality. With a single host CPU we
@@ -19,18 +29,26 @@
 
 namespace vgp::simd {
 
-enum class Backend { Auto, Scalar, Avx512 };
+enum class Backend { Auto, Scalar, Avx2, Avx512 };
 
 /// True when AVX-512 kernels exist in this binary AND the CPU supports
 /// them.
 bool avx512_kernels_available();
 
-/// Resolves Auto (env override included); returns Scalar for Avx512
-/// requests on machines that cannot run them.
+/// True when the AVX2 kernel translation units exist in this binary AND
+/// the CPU reports AVX2.
+bool avx2_kernels_available();
+
+/// Resolves Auto (env override included) to the widest available tier and
+/// degrades explicit requests down the avx512 -> avx2 -> scalar chain
+/// when the requested tier cannot run on this build/CPU. Never returns
+/// Auto. The VGP_BACKEND lookup behind Auto is cached per process.
 Backend resolve(Backend requested);
 
 const char* backend_name(Backend b);
-Backend parse_backend(const std::string& name);  // "auto"/"scalar"/"avx512"
+/// Parses "auto"/"scalar"/"avx2"/"avx512"; throws std::invalid_argument
+/// naming the offending string (and the accepted values) otherwise.
+Backend parse_backend(const std::string& name);
 
 /// Emulated-slow-scatter toggle (models a weak-scatter microarchitecture).
 void set_emulate_slow_scatter(bool on);

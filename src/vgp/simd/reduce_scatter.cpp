@@ -1,5 +1,7 @@
 #include "vgp/simd/reduce_scatter.hpp"
 
+#include "vgp/simd/registry.hpp"
+
 namespace vgp::simd {
 
 const char* rs_method_name(RsMethod m) {
@@ -22,28 +24,17 @@ void reduce_scatter_scalar(float* table, const std::int32_t* idx,
 
 void reduce_scatter(float* table, const std::int32_t* idx, const float* vals,
                     std::int64_t n, RsMethod method, Backend backend) {
-  if (resolve(backend) == Backend::Scalar || method == RsMethod::Scalar) {
+  if (method == RsMethod::Scalar) {
     reduce_scatter_scalar(table, idx, vals, n);
     return;
   }
-#if defined(VGP_HAVE_AVX512)
-  switch (method) {
-    case RsMethod::Conflict:
-      reduce_scatter_conflict_avx512(table, idx, vals, n, /*iterative=*/false);
-      return;
-    case RsMethod::ConflictIterative:
-      reduce_scatter_conflict_avx512(table, idx, vals, n, /*iterative=*/true);
-      return;
-    case RsMethod::Compress:
-      reduce_scatter_compress_avx512(table, idx, vals, n, /*iterative=*/false);
-      return;
-    case RsMethod::CompressIterative:
-      reduce_scatter_compress_avx512(table, idx, vals, n, /*iterative=*/true);
-      return;
-    case RsMethod::Scalar: break;  // handled above
+  const bool iterative = method == RsMethod::ConflictIterative ||
+                         method == RsMethod::CompressIterative;
+  if (method == RsMethod::Conflict || method == RsMethod::ConflictIterative) {
+    select<RsConflictKernel>(backend).fn(table, idx, vals, n, iterative);
+  } else {
+    select<RsCompressKernel>(backend).fn(table, idx, vals, n, iterative);
   }
-#endif
-  reduce_scatter_scalar(table, idx, vals, n);
 }
 
 }  // namespace vgp::simd

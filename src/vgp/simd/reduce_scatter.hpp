@@ -48,15 +48,34 @@ void reduce_scatter(float* table, const std::int32_t* idx, const float* vals,
 void reduce_scatter_scalar(float* table, const std::int32_t* idx,
                            const float* vals, std::int64_t n);
 
-#if defined(VGP_HAVE_AVX512)
-// Raw AVX-512 kernels (defined in reduce_scatter_avx512.cpp; call only
-// when avx512_kernels_available()).
+// Raw vector kernels. Declarations are unconditional (harmless when the
+// matching TU is not in the build); definitions exist only when the
+// register_<tier>.cpp unit that installs them was compiled in, so go
+// through the registry (simd::select) instead of naming these directly.
 void reduce_scatter_conflict_avx512(float* table, const std::int32_t* idx,
                                     const float* vals, std::int64_t n,
                                     bool iterative);
 void reduce_scatter_compress_avx512(float* table, const std::int32_t* idx,
                                     const float* vals, std::int64_t n,
                                     bool iterative);
-#endif
+void reduce_scatter_conflict_avx2(float* table, const std::int32_t* idx,
+                                  const float* vals, std::int64_t n,
+                                  bool iterative);
+void reduce_scatter_compress_avx2(float* table, const std::int32_t* idx,
+                                  const float* vals, std::int64_t n,
+                                  bool iterative);
+
+/// Registry tags for the two vectorizable reduce-scatter constructions.
+/// The scalar slot ignores `iterative` (the scalar loop has no peeling).
+struct RsConflictKernel {
+  static constexpr const char* name = "simd.rs.conflict";
+  using Fn = void (*)(float*, const std::int32_t*, const float*, std::int64_t,
+                      bool);
+};
+struct RsCompressKernel {
+  static constexpr const char* name = "simd.rs.compress";
+  using Fn = void (*)(float*, const std::int32_t*, const float*, std::int64_t,
+                      bool);
+};
 
 }  // namespace vgp::simd

@@ -1,0 +1,183 @@
+// AVX2 (8-lane) reduce-scatter kernels — the mid-width tier of the
+// constructions described in reduce_scatter.hpp. Compiled with -mavx2.
+//
+// Differences from the 16-lane versions: conflict detection is emulated
+// with the 7-step permute-compare construction (conflict_epi32_avx2), the
+// masked reduction is a two-level horizontal add, and every scatter is a
+// sequential store loop (AVX2 has none). Lane accounting flushes into the
+// same simd.rs.<method>.* counters; the dispatch.* counters carry the
+// backend split.
+#include <string>
+
+#include "vgp/simd/avx2_common.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::simd {
+namespace {
+
+/// One masked gather+add+sequential-store over lanes in `bits` (indices
+/// distinct).
+inline void vector_accumulate8(float* table, unsigned bits, __m256i vidx,
+                               __m256 vval) {
+  const __m256i m = mask_from_bits8(bits);
+  const __m256 cur = _mm256_mask_i32gather_ps(
+      _mm256_setzero_ps(), table, vidx, _mm256_castsi256_ps(m), 4);
+  const __m256 sum = _mm256_add_ps(cur, vval);
+  scatter_ps_avx2(table, bits, vidx, sum);
+}
+
+/// Same per-call lane accounting as the 16-lane kernels (see
+/// reduce_scatter_avx512.cpp).
+struct RsLaneTally {
+  std::int64_t chunks = 0;
+  std::int64_t lanes_total = 0;
+  std::int64_t lanes_vector = 0;
+  std::int64_t lanes_scalar = 0;
+
+  void flush(const char* method) {
+    auto& reg = telemetry::Registry::global();
+    if (!reg.enabled() || chunks == 0) return;
+    const std::string prefix = std::string("simd.rs.") + method;
+    reg.add(reg.counter(prefix + ".chunks"), static_cast<double>(chunks));
+    reg.add(reg.counter(prefix + ".lanes_total"),
+            static_cast<double>(lanes_total));
+    reg.add(reg.counter(prefix + ".lanes_vector"),
+            static_cast<double>(lanes_vector));
+    reg.add(reg.counter(prefix + ".lanes_scalar"),
+            static_cast<double>(lanes_scalar));
+  }
+};
+
+}  // namespace
+
+void reduce_scatter_conflict_avx2(float* table, const std::int32_t* idx,
+                                  const float* vals, std::int64_t n,
+                                  bool iterative) {
+  OpTally tally;
+  RsLaneTally lanes;
+  for (std::int64_t i = 0; i < n; i += kLanes8) {
+    const unsigned tail = tail_bits8(n - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vidx = maskload_epi32_avx2(idx + i, tailm);
+    const __m256 vval = maskload_ps_avx2(vals + i, tailm);
+
+    // Inactive tail lanes load as index 0 and could alias an active lane
+    // holding 0 — harmless: they sit ABOVE every active lane, so they can
+    // only acquire conflict bits themselves, and tail-masking drops them.
+    const __m256i conf = conflict_epi32_avx2(vidx);
+    const unsigned first = conflict_free_bits8(conf, tail);
+
+    vector_accumulate8(table, first, vidx, vval);
+
+    ++lanes.chunks;
+    lanes.lanes_total += kLanes8;
+
+    unsigned pending = tail & ~first;
+    if (pending == 0u) {
+      tally.add(4, __builtin_popcount(first), __builtin_popcount(first), 0);
+      lanes.lanes_vector += __builtin_popcount(first);
+      continue;
+    }
+
+    if (!iterative) {
+      // Production variant: the duplicates (usually few) finish scalar.
+      tally.add(4, __builtin_popcount(first), __builtin_popcount(first),
+                __builtin_popcount(pending));
+      lanes.lanes_vector += __builtin_popcount(first);
+      lanes.lanes_scalar += __builtin_popcount(pending);
+      unsigned bits = pending;
+      while (bits != 0u) {
+        const int lane = __builtin_ctz(bits);
+        table[idx[i + lane]] += vals[i + lane];
+        bits &= bits - 1;
+      }
+      continue;
+    }
+
+    // Iterative variant: keep peeling write-safe sets. A lane becomes
+    // safe once every earlier lane holding the same index is done.
+    alignas(32) std::int32_t confbits[kLanes8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(confbits), conf);
+    unsigned done = first;
+    int rounds = 1;
+    while (pending != 0u) {
+      unsigned next = 0;
+      unsigned bits = pending;
+      while (bits != 0u) {
+        const int lane = __builtin_ctz(bits);
+        if ((static_cast<unsigned>(confbits[lane]) & ~done) == 0u) {
+          next |= 1u << lane;
+        }
+        bits &= bits - 1;
+      }
+      vector_accumulate8(table, next, vidx, vval);
+      done |= next;
+      pending &= ~next;
+      ++rounds;
+    }
+    tally.add(4 * rounds, __builtin_popcount(done), __builtin_popcount(done),
+              0);
+    lanes.lanes_vector += __builtin_popcount(done);
+  }
+  tally.flush();
+  lanes.flush("conflict");
+}
+
+void reduce_scatter_compress_avx2(float* table, const std::int32_t* idx,
+                                  const float* vals, std::int64_t n,
+                                  bool iterative) {
+  OpTally tally;
+  RsLaneTally lanes;
+  for (std::int64_t i = 0; i < n; i += kLanes8) {
+    const unsigned tail = tail_bits8(n - i);
+    const __m256i tailm = mask_from_bits8(tail);
+    const __m256i vidx = maskload_epi32_avx2(idx + i, tailm);
+    const __m256 vval = maskload_ps_avx2(vals + i, tailm);
+
+    ++lanes.chunks;
+    lanes.lanes_total += kLanes8;
+
+    if (!iterative) {
+      // Production variant: reduce the first lane's index vectorially,
+      // finish the other communities scalar.
+      const std::int32_t c0 = idx[i];
+      const unsigned match =
+          tail & bits_from_mask8(
+                     _mm256_cmpeq_epi32(vidx, _mm256_set1_epi32(c0)));
+      table[c0] += reduce_add_masked_ps8(vval, mask_from_bits8(match));
+
+      const unsigned rest = tail & ~match;
+      tally.add(3, 0, 0, __builtin_popcount(rest) + 1);
+      lanes.lanes_vector += __builtin_popcount(match);
+      lanes.lanes_scalar += __builtin_popcount(rest);
+      unsigned bits = rest;
+      while (bits != 0u) {
+        const int lane = __builtin_ctz(bits);
+        table[idx[i + lane]] += vals[i + lane];
+        bits &= bits - 1;
+      }
+      continue;
+    }
+
+    // Iterative variant: one masked reduction per distinct index.
+    unsigned pending = tail;
+    int rounds = 0;
+    while (pending != 0u) {
+      const int lane = __builtin_ctz(pending);
+      const std::int32_t c = idx[i + lane];
+      const unsigned match =
+          pending & bits_from_mask8(
+                        _mm256_cmpeq_epi32(vidx, _mm256_set1_epi32(c)));
+      table[c] += reduce_add_masked_ps8(vval, mask_from_bits8(match));
+      lanes.lanes_vector += __builtin_popcount(match);
+      pending &= ~match;
+      ++rounds;
+    }
+    tally.add(3 * rounds, 0, 0, rounds);
+  }
+  tally.flush();
+  lanes.flush("compress");
+}
+
+}  // namespace vgp::simd

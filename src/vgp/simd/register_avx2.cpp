@@ -1,0 +1,39 @@
+// AVX2-tier registration. Compiled (and linked) only when VGP_ENABLE_AVX2
+// put the 8-lane translation units in the build; referencing the kernel
+// symbols here is what pulls those TUs out of the static library.
+//
+// The AVX2 tier covers the paper's *hot* kernels — reduce-scatter, the
+// ONPL move phase, and label propagation. Families without an 8-lane
+// variant (OVPL needs real scatters; coloring/BFS/PageRank/triangles are
+// contrast kernels) fall through to their scalar slot with a recorded
+// "no-avx2-variant" reason.
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/move_ctx.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/simd/registry.hpp"
+
+namespace vgp::simd::detail {
+
+void register_avx2_kernels() {
+  const Backend tier = Backend::Avx2;
+
+  constexpr auto rs_conflict = +[](float* table, const std::int32_t* idx,
+                                   const float* vals, std::int64_t n,
+                                   bool iterative) {
+    reduce_scatter_conflict_avx2(table, idx, vals, n, iterative);
+  };
+  constexpr auto rs_compress = +[](float* table, const std::int32_t* idx,
+                                   const float* vals, std::int64_t n,
+                                   bool iterative) {
+    reduce_scatter_compress_avx2(table, idx, vals, n, iterative);
+  };
+  KernelTable<RsConflictKernel>::instance().set(tier, rs_conflict);
+  KernelTable<RsCompressKernel>::instance().set(tier, rs_compress);
+
+  KernelTable<community::OnplMoveKernel>::instance().set(
+      tier, &community::move_phase_onpl_avx2);
+  KernelTable<community::detail::LpProcessKernel>::instance().set(
+      tier, &community::detail::lp_process_avx2);
+}
+
+}  // namespace vgp::simd::detail

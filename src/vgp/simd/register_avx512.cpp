@@ -1,0 +1,54 @@
+// AVX-512-tier registration. Compiled (and linked) only when
+// VGP_ENABLE_AVX512 put the 16-lane translation units in the build;
+// referencing the kernel symbols here is what pulls those TUs out of the
+// static library.
+#include "vgp/classic/bfs.hpp"
+#include "vgp/classic/pagerank.hpp"
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/move_ctx.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/graph/triangles.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/simd/registry.hpp"
+
+namespace vgp::simd::detail {
+
+void register_avx512_kernels() {
+  const Backend tier = Backend::Avx512;
+
+  constexpr auto rs_conflict = +[](float* table, const std::int32_t* idx,
+                                   const float* vals, std::int64_t n,
+                                   bool iterative) {
+    reduce_scatter_conflict_avx512(table, idx, vals, n, iterative);
+  };
+  constexpr auto rs_compress = +[](float* table, const std::int32_t* idx,
+                                   const float* vals, std::int64_t n,
+                                   bool iterative) {
+    reduce_scatter_compress_avx512(table, idx, vals, n, iterative);
+  };
+  KernelTable<RsConflictKernel>::instance().set(tier, rs_conflict);
+  KernelTable<RsCompressKernel>::instance().set(tier, rs_compress);
+
+  KernelTable<community::OnplMoveKernel>::instance().set(
+      tier, &community::move_phase_onpl_avx512);
+  KernelTable<community::OvplMoveKernel>::instance().set(
+      tier, &community::move_phase_ovpl_avx512);
+  KernelTable<community::detail::LpProcessKernel>::instance().set(
+      tier, &community::detail::lp_process_avx512);
+
+  coloring::detail::ColoringKernel::Fns coloring_fns;
+  coloring_fns.assign = &coloring::detail::assign_range_avx512;
+  coloring_fns.detect = &coloring::detail::detect_range_avx512;
+  KernelTable<coloring::detail::ColoringKernel>::instance().set(tier,
+                                                               coloring_fns);
+
+  KernelTable<classic::detail::BfsExpandKernel>::instance().set(
+      tier, &classic::detail::bfs_expand_avx512);
+  KernelTable<classic::detail::PrPullKernel>::instance().set(
+      tier, &classic::detail::pr_pull_avx512);
+  KernelTable<TriangleIntersectKernel>::instance().set(
+      tier, &intersect_count_avx512);
+}
+
+}  // namespace vgp::simd::detail

@@ -1,0 +1,54 @@
+// Scalar-tier registration: installs the baseline variant of every kernel
+// family into the dispatch registry. This unit is always in the build —
+// the scalar slot is what the select() tier walk ultimately lands on — so
+// it is also where the full list of kernel families is easiest to read.
+#include "vgp/classic/bfs.hpp"
+#include "vgp/classic/pagerank.hpp"
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/move_ctx.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/graph/triangles.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/simd/registry.hpp"
+
+namespace vgp::simd::detail {
+
+void register_scalar_kernels() {
+  const Backend tier = Backend::Scalar;
+
+  // The scalar reduce-scatter loop has no peeling, so the iterative flag
+  // is meaningless and dropped.
+  constexpr auto rs_scalar = +[](float* table, const std::int32_t* idx,
+                                 const float* vals, std::int64_t n,
+                                 bool /*iterative*/) {
+    reduce_scatter_scalar(table, idx, vals, n);
+  };
+  KernelTable<RsConflictKernel>::instance().set(tier, rs_scalar);
+  KernelTable<RsCompressKernel>::instance().set(tier, rs_scalar);
+
+  // ONPL without vector lanes degenerates to the scalar MPLM sweep; the
+  // registry makes that substitution explicit (Selected::fallback_reason)
+  // instead of a silent branch in run_move_phase.
+  KernelTable<community::OnplMoveKernel>::instance().set(
+      tier, &community::move_phase_mplm);
+  KernelTable<community::OvplMoveKernel>::instance().set(
+      tier, &community::move_phase_ovpl_scalar);
+  KernelTable<community::detail::LpProcessKernel>::instance().set(
+      tier, &community::detail::lp_process_scalar);
+
+  coloring::detail::ColoringKernel::Fns coloring_fns;
+  coloring_fns.assign = &coloring::detail::assign_range_scalar;
+  coloring_fns.detect = &coloring::detail::detect_range_scalar;
+  KernelTable<coloring::detail::ColoringKernel>::instance().set(tier,
+                                                               coloring_fns);
+
+  KernelTable<classic::detail::BfsExpandKernel>::instance().set(
+      tier, &classic::detail::bfs_expand_scalar);
+  KernelTable<classic::detail::PrPullKernel>::instance().set(
+      tier, &classic::detail::pr_pull_scalar);
+  KernelTable<TriangleIntersectKernel>::instance().set(
+      tier, &intersect_count_scalar);
+}
+
+}  // namespace vgp::simd::detail

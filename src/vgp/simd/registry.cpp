@@ -1,0 +1,76 @@
+#include "vgp/simd/registry.hpp"
+
+#include <mutex>
+#include <string>
+
+#include "vgp/support/cpu.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::simd::detail {
+
+void ensure_kernels_registered() {
+  // std::once keeps registration race-free when the first select() calls
+  // arrive from several pool threads at once. Referencing the per-tier
+  // registration functions here — from the TU every select() depends on —
+  // is what drags the registration objects (and through them the kernel
+  // TUs) out of the static library; pure self-registration via global
+  // constructors would be dead-stripped.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_scalar_kernels();
+#if defined(VGP_HAVE_AVX2)
+    register_avx2_kernels();
+#endif
+#if defined(VGP_HAVE_AVX512)
+    register_avx512_kernels();
+#endif
+  });
+}
+
+const char* resolve_gap_reason(Backend requested) {
+  if (requested == Backend::Avx512) {
+#if defined(VGP_HAVE_AVX512)
+    if (!cpu_features().has_avx512_kernels()) {
+      return "avx512-not-supported-by-cpu";
+    }
+#else
+    return "avx512-not-compiled";
+#endif
+  }
+  if (requested == Backend::Avx2) {
+#if defined(VGP_HAVE_AVX2)
+    if (!cpu_features().has_avx2_kernels()) {
+      return "avx2-not-supported-by-cpu";
+    }
+#else
+    return "avx2-not-compiled";
+#endif
+  }
+  return "unavailable";  // unreachable with a consistent resolve()
+}
+
+const char* family_gap_reason(Backend resolved) {
+  switch (resolved) {
+    case Backend::Avx512: return "no-avx512-variant";
+    case Backend::Avx2: return "no-avx2-variant";
+    default: return "no-variant";  // unreachable: scalar slots always exist
+  }
+}
+
+void record_dispatch(const char* kernel, Backend requested, Backend actual,
+                     const char* reason) {
+  (void)requested;
+  auto& reg = telemetry::Registry::global();
+  if (!reg.enabled()) return;
+  reg.add(reg.counter(std::string("dispatch.") + kernel + "." +
+                      backend_name(actual)),
+          1.0);
+  if (reason != nullptr) {
+    reg.add(reg.counter("dispatch.fallback"), 1.0);
+    reg.add(reg.counter(std::string("dispatch.fallback.") + kernel + "." +
+                        reason),
+            1.0);
+  }
+}
+
+}  // namespace vgp::simd::detail

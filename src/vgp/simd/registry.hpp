@@ -1,0 +1,155 @@
+// Centralized kernel-dispatch registry.
+//
+// Every kernel family (reduce-scatter, ONPL move, OVPL block move,
+// label-prop process, speculative coloring, BFS/PageRank/triangle inner
+// loops) is identified by a *kernel tag*: a small struct declared next to
+// the family's types that names the family and fixes the function-pointer
+// signature all its variants share, e.g.
+//
+//   struct OnplMoveKernel {
+//     static constexpr const char* name = "louvain.onpl";
+//     using Fn = MoveStats (*)(const MoveCtx&);
+//   };
+//
+// The registration units (register_scalar.cpp / register_avx2.cpp /
+// register_avx512.cpp, all in this directory) install each compiled-in
+// variant into KernelTable<Tag> under its backend tier. Call sites then do
+//
+//   const auto sel = simd::select<OnplMoveKernel>(backend);
+//   auto stats = sel.fn(ctx);            // runs the chosen variant
+//   stats.backend = sel.backend;         // what actually ran
+//   stats.fallback_reason = sel.fallback_reason;  // nullptr if no degrade
+//
+// and contain no preprocessor conditionals: select() resolves the
+// requested backend against build flags + CPUID (backend.hpp), then walks
+// down the tier chain avx512 -> avx2 -> scalar to the widest tier the
+// family actually registered. Every decision (requested backend, actual
+// backend, fallback reason) is recorded through the telemetry registry as
+// `dispatch.<kernel>.<backend>` / `dispatch.fallback[.<kernel>.<reason>]`
+// counters.
+//
+// Which TUs register which tiers is decided here in the simd layer — the
+// only place allowed to test VGP_HAVE_AVX2 / VGP_HAVE_AVX512 — so a
+// scalar-only build simply never installs (or links) the vector variants
+// and every family degrades to its scalar slot.
+#pragma once
+
+#include <array>
+
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::simd {
+
+/// Backend tiers orderable by width: Scalar=0 < Avx2=1 < Avx512=2.
+inline constexpr int kNumBackendTiers = 3;
+
+constexpr int tier_index(Backend b) {
+  switch (b) {
+    case Backend::Avx512: return 2;
+    case Backend::Avx2: return 1;
+    default: return 0;  // Scalar (Auto never reaches a table lookup)
+  }
+}
+
+constexpr Backend tier_backend(int tier) {
+  return tier == 2 ? Backend::Avx512
+                   : (tier == 1 ? Backend::Avx2 : Backend::Scalar);
+}
+
+namespace detail {
+
+/// Installs every compiled-in variant exactly once per process (thread
+/// safe; first select() pays it). Defined in registry.cpp, which is the
+/// root of the link-dependency chain that keeps the self-registering
+/// kernel TUs from being dead-stripped out of the static library.
+void ensure_kernels_registered();
+
+/// Telemetry hook: counts the dispatch under `dispatch.<kernel>.<actual>`
+/// and, when `reason` is non-null, bumps `dispatch.fallback` and
+/// `dispatch.fallback.<kernel>.<reason>`. No-op while telemetry is off.
+void record_dispatch(const char* kernel, Backend requested, Backend actual,
+                     const char* reason);
+
+/// Why resolve() degraded an explicit request for `requested` (static
+/// string, e.g. "avx512-not-supported-by-cpu").
+const char* resolve_gap_reason(Backend requested);
+
+/// Why the table walk skipped the resolved tier (static string,
+/// "no-avx512-variant" / "no-avx2-variant").
+const char* family_gap_reason(Backend resolved);
+
+// Per-tier registration entry points, defined in register_<tier>.cpp.
+// The avx2/avx512 units exist only when the matching VGP_ENABLE_* option
+// compiled them in; ensure_kernels_registered() calls them conditionally.
+void register_scalar_kernels();
+void register_avx2_kernels();
+void register_avx512_kernels();
+
+}  // namespace detail
+
+/// One dispatch table per kernel family. Fn may be a plain function
+/// pointer or a struct of pointers (e.g. the coloring family's
+/// assign+detect pair), so presence is tracked explicitly instead of by
+/// null-comparing slots.
+template <typename Kernel>
+class KernelTable {
+ public:
+  static KernelTable& instance() {
+    static KernelTable table;
+    return table;
+  }
+
+  void set(Backend b, typename Kernel::Fn fn) {
+    slots_[tier_index(b)] = fn;
+    present_[tier_index(b)] = true;
+  }
+
+  bool has(Backend b) const { return present_[tier_index(b)]; }
+  typename Kernel::Fn get(Backend b) const { return slots_[tier_index(b)]; }
+
+ private:
+  std::array<typename Kernel::Fn, kNumBackendTiers> slots_{};
+  std::array<bool, kNumBackendTiers> present_{};
+};
+
+/// The outcome of one dispatch decision.
+template <typename Kernel>
+struct Selected {
+  typename Kernel::Fn fn;
+  Backend requested = Backend::Auto;  // caller's request, verbatim
+  Backend backend = Backend::Scalar;  // tier that actually runs
+  /// nullptr when the resolved tier ran as requested; otherwise a static
+  /// string naming the FIRST degradation step (hardware/build gap before
+  /// family gap). Safe to store indefinitely.
+  const char* fallback_reason = nullptr;
+};
+
+/// Picks the variant of `Kernel` that runs for `requested`: resolve the
+/// backend against build flags + CPUID + VGP_BACKEND, then walk down the
+/// avx512 -> avx2 -> scalar chain to the widest tier this family
+/// registered. Every family registers a scalar variant, so the walk always
+/// lands. Records the decision in telemetry.
+template <typename Kernel>
+Selected<Kernel> select(Backend requested) {
+  detail::ensure_kernels_registered();
+  const auto& table = KernelTable<Kernel>::instance();
+
+  const Backend resolved = resolve(requested);
+  int tier = tier_index(resolved);
+  while (tier > 0 && !table.has(tier_backend(tier))) --tier;
+
+  Selected<Kernel> sel;
+  sel.fn = table.get(tier_backend(tier));
+  sel.requested = requested;
+  sel.backend = tier_backend(tier);
+  if (requested != Backend::Auto && resolved != requested) {
+    sel.fallback_reason = detail::resolve_gap_reason(requested);
+  } else if (sel.backend != resolved) {
+    sel.fallback_reason = detail::family_gap_reason(resolved);
+  }
+  detail::record_dispatch(Kernel::name, requested, sel.backend,
+                          sel.fallback_reason);
+  return sel;
+}
+
+}  // namespace vgp::simd

@@ -8,8 +8,9 @@ namespace {
 CpuFeatures detect() {
   CpuFeatures f;
   unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
-  // Leaf 7 subleaf 0 carries the AVX-512 feature flags.
+  // Leaf 7 subleaf 0 carries the AVX2 and AVX-512 feature flags.
   if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx >> 5) & 1u;
     f.avx512f = (ebx >> 16) & 1u;
     f.avx512dq = (ebx >> 17) & 1u;
     f.avx512cd = (ebx >> 28) & 1u;
@@ -34,6 +35,7 @@ std::string cpu_feature_string() {
     if (!s.empty()) s += ' ';
     s += name;
   };
+  add(f.avx2, "avx2");
   add(f.avx512f, "avx512f");
   add(f.avx512cd, "avx512cd");
   add(f.avx512dq, "avx512dq");

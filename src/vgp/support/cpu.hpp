@@ -13,6 +13,7 @@
 namespace vgp {
 
 struct CpuFeatures {
+  bool avx2 = false;
   bool avx512f = false;
   bool avx512cd = false;
   bool avx512vl = false;
@@ -21,6 +22,9 @@ struct CpuFeatures {
 
   /// True when the ONPL/OVPL kernels (which need F + CD) can run.
   bool has_avx512_kernels() const noexcept { return avx512f && avx512cd; }
+
+  /// True when the 8-lane mid-width kernels can run.
+  bool has_avx2_kernels() const noexcept { return avx2; }
 };
 
 /// Queries CPUID once and caches the result.

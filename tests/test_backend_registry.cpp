@@ -1,0 +1,382 @@
+// Tests for the centralized kernel-dispatch registry: tier ordering,
+// the avx512 -> avx2 -> scalar fallback walk (both resolve-level and
+// family-level gaps), dispatch telemetry, and backend parity of every
+// registered kernel family across every backend available at runtime.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vgp/classic/bfs.hpp"
+#include "vgp/classic/pagerank.hpp"
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/gen/planted.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/graph/triangles.hpp"
+#include "vgp/simd/reduce_scatter.hpp"
+#include "vgp/simd/registry.hpp"
+#include "vgp/support/rng.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::simd {
+namespace {
+
+// The backends whose kernels can actually run in this build on this CPU.
+// Scalar is always present; the vector tiers depend on compile flags and
+// CPUID, exactly like the registry itself.
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out{Backend::Scalar};
+  if (avx2_kernels_available()) out.push_back(Backend::Avx2);
+  if (avx512_kernels_available()) out.push_back(Backend::Avx512);
+  return out;
+}
+
+TEST(RegistryTiers, IndexAndBackendRoundTrip) {
+  EXPECT_EQ(tier_index(Backend::Scalar), 0);
+  EXPECT_EQ(tier_index(Backend::Avx2), 1);
+  EXPECT_EQ(tier_index(Backend::Avx512), 2);
+  for (int t = 0; t < kNumBackendTiers; ++t) {
+    EXPECT_EQ(tier_index(tier_backend(t)), t);
+  }
+}
+
+// Synthetic kernel tags exercise the fallback walk without depending on
+// which real families register which tiers. Each variant just reports the
+// tier it was installed under.
+struct TagAllTiers {
+  static constexpr const char* name = "test.all_tiers";
+  using Fn = int (*)();
+};
+struct TagNoAvx2 {
+  static constexpr const char* name = "test.no_avx2";
+  using Fn = int (*)();
+};
+struct TagScalarOnly {
+  static constexpr const char* name = "test.scalar_only";
+  using Fn = int (*)();
+};
+
+int tier0() { return 0; }
+int tier1() { return 1; }
+int tier2() { return 2; }
+
+void install_synthetic_tags() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  auto& all = KernelTable<TagAllTiers>::instance();
+  all.set(Backend::Scalar, &tier0);
+  all.set(Backend::Avx2, &tier1);
+  all.set(Backend::Avx512, &tier2);
+  auto& no2 = KernelTable<TagNoAvx2>::instance();
+  no2.set(Backend::Scalar, &tier0);
+  no2.set(Backend::Avx512, &tier2);
+  auto& sc = KernelTable<TagScalarOnly>::instance();
+  sc.set(Backend::Scalar, &tier0);
+}
+
+TEST(RegistryFallback, FullFamilyRunsTheResolvedTier) {
+  install_synthetic_tags();
+  // A family with every tier registered always runs exactly what
+  // resolve() picked; the only possible degradation is resolve-level.
+  for (const Backend req :
+       {Backend::Auto, Backend::Scalar, Backend::Avx2, Backend::Avx512}) {
+    const auto sel = select<TagAllTiers>(req);
+    EXPECT_EQ(sel.backend, resolve(req));
+    EXPECT_EQ(sel.fn(), tier_index(sel.backend));
+    EXPECT_EQ(sel.requested, req);
+  }
+}
+
+TEST(RegistryFallback, ExplicitRequestHonoredWhenAvailable) {
+  install_synthetic_tags();
+  for (const Backend req : available_backends()) {
+    const auto sel = select<TagAllTiers>(req);
+    EXPECT_EQ(sel.backend, req);
+    EXPECT_EQ(sel.fallback_reason, nullptr)
+        << "unexpected fallback: " << sel.fallback_reason;
+  }
+}
+
+TEST(RegistryFallback, FamilyGapSkipsToNextRegisteredTier) {
+  install_synthetic_tags();
+  if (!avx2_kernels_available()) GTEST_SKIP() << "no AVX2 tier in this build";
+  // The avx2 tier resolves fine, but this family never registered one:
+  // the walk continues to scalar and names the family gap.
+  const auto sel = select<TagNoAvx2>(Backend::Avx2);
+  EXPECT_EQ(sel.backend, Backend::Scalar);
+  ASSERT_NE(sel.fallback_reason, nullptr);
+  EXPECT_STREQ(sel.fallback_reason, "no-avx2-variant");
+}
+
+TEST(RegistryFallback, WalkPassesThroughEveryTier) {
+  install_synthetic_tags();
+  if (!avx512_kernels_available()) GTEST_SKIP() << "no AVX-512 at runtime";
+  // avx512 resolves, family has neither vector tier: the walk must step
+  // avx512 -> avx2 -> scalar and report the widest missing tier.
+  const auto sel = select<TagScalarOnly>(Backend::Avx512);
+  EXPECT_EQ(sel.backend, Backend::Scalar);
+  ASSERT_NE(sel.fallback_reason, nullptr);
+  EXPECT_STREQ(sel.fallback_reason, "no-avx512-variant");
+}
+
+TEST(RegistryFallback, ResolveGapReportedBeforeFamilyGap) {
+  install_synthetic_tags();
+  if (avx512_kernels_available()) {
+    GTEST_SKIP() << "needs a host where avx512 cannot run";
+  }
+  // The request degrades at resolve() before the table walk even starts,
+  // so the reason names the hardware/build gap, not the family gap.
+  const auto sel = select<TagScalarOnly>(Backend::Avx512);
+  EXPECT_EQ(sel.backend, Backend::Scalar);
+  ASSERT_NE(sel.fallback_reason, nullptr);
+  EXPECT_TRUE(std::strcmp(sel.fallback_reason, "avx512-not-compiled") == 0 ||
+              std::strcmp(sel.fallback_reason, "avx512-not-supported-by-cpu") ==
+                  0)
+      << sel.fallback_reason;
+}
+
+TEST(RegistryFallback, AutoReportsFamilyGapsButNotResolveGaps) {
+  install_synthetic_tags();
+  // Auto cannot suffer a resolve-level gap (nothing specific was asked
+  // for), but a family gap is still a real substitution — this is what
+  // makes e.g. ONPL degrading to its scalar MPLM slot visible even when
+  // the caller just said "auto".
+  const auto sel = select<TagScalarOnly>(Backend::Auto);
+  EXPECT_EQ(sel.backend, Backend::Scalar);
+  const Backend resolved = resolve(Backend::Auto);
+  if (resolved == Backend::Scalar) {
+    EXPECT_EQ(sel.fallback_reason, nullptr);  // scalar slot ran as resolved
+  } else {
+    ASSERT_NE(sel.fallback_reason, nullptr);
+    EXPECT_STREQ(sel.fallback_reason, resolved == Backend::Avx512
+                                          ? "no-avx512-variant"
+                                          : "no-avx2-variant");
+  }
+}
+
+const telemetry::MetricValue* find_metric(
+    const std::vector<telemetry::MetricValue>& ms, const std::string& name) {
+  for (const auto& m : ms) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+TEST(RegistryTelemetry, DispatchAndFallbackCountersRecorded) {
+  install_synthetic_tags();
+  auto& reg = telemetry::Registry::global();
+  reg.set_enabled(true);
+  reg.reset();
+
+  (void)select<TagAllTiers>(Backend::Scalar);
+  (void)select<TagAllTiers>(Backend::Scalar);
+  const auto metrics = reg.collect();
+  const auto* hits = find_metric(metrics, "dispatch.test.all_tiers.scalar");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_DOUBLE_EQ(hits->value, 2.0);
+
+  if (avx2_kernels_available()) {
+    reg.reset();
+    (void)select<TagNoAvx2>(Backend::Avx2);
+    const auto after = reg.collect();
+    EXPECT_DOUBLE_EQ(find_metric(after, "dispatch.fallback")->value, 1.0);
+    const auto* why =
+        find_metric(after, "dispatch.fallback.test.no_avx2.no-avx2-variant");
+    ASSERT_NE(why, nullptr);
+    EXPECT_DOUBLE_EQ(why->value, 1.0);
+    EXPECT_DOUBLE_EQ(
+        find_metric(after, "dispatch.test.no_avx2.scalar")->value, 1.0);
+  }
+
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+// ---- backend parity across every registered family ---------------------
+
+TEST(BackendParity, ReduceScatterKernels) {
+  Xoshiro256 rng(42);
+  const std::int64_t n = 777;
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(n));
+  std::vector<float> vals(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<std::int32_t>(rng.bounded(97));
+    vals[i] = static_cast<float>(rng.bounded(1000)) * 0.01f;
+  }
+  std::vector<float> ref(97, 0.0f);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    ref[static_cast<std::size_t>(idx[i])] += vals[i];
+  }
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    for (const bool iterative : {false, true}) {
+      const auto conflict = select<RsConflictKernel>(b);
+      EXPECT_EQ(conflict.backend, b);
+      std::vector<float> t1(97, 0.0f);
+      conflict.fn(t1.data(), idx.data(), vals.data(), n, iterative);
+      const auto compress = select<RsCompressKernel>(b);
+      EXPECT_EQ(compress.backend, b);
+      std::vector<float> t2(97, 0.0f);
+      compress.fn(t2.data(), idx.data(), vals.data(), n, iterative);
+      for (std::size_t c = 0; c < ref.size(); ++c) {
+        EXPECT_NEAR(t1[c], ref[c], 1e-2f) << "conflict table slot " << c;
+        EXPECT_NEAR(t2[c], ref[c], 1e-2f) << "compress table slot " << c;
+      }
+    }
+  }
+}
+
+gen::PlantedGraph parity_graph() {
+  gen::PlantedParams p;
+  p.communities = 8;
+  p.vertices_per_community = 48;
+  return gen::planted_partition(p);
+}
+
+TEST(BackendParity, OnplMovePhase) {
+  const auto pg = parity_graph();
+  double q_scalar = 0.0;
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    community::MoveState state = community::make_move_state(pg.graph);
+    community::MoveCtx ctx = community::make_move_ctx(pg.graph, state);
+    const auto stats =
+        community::run_move_phase(ctx, community::MovePolicy::ONPL, b);
+    // The substitution (or lack of one) is surfaced, never silent: the
+    // stats carry the tier that actually ran.
+    EXPECT_EQ(stats.backend, b);
+    EXPECT_EQ(stats.fallback_reason, nullptr);
+    EXPECT_GT(stats.total_moves, 0);
+    const double q = community::modularity(pg.graph, state.zeta);
+    if (b == Backend::Scalar) {
+      q_scalar = q;
+    } else {
+      EXPECT_NEAR(q, q_scalar, 0.05);
+    }
+  }
+}
+
+TEST(BackendParity, OvplMovePhase) {
+  const auto pg = parity_graph();
+  double q_scalar = 0.0;
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    community::MoveState state = community::make_move_state(pg.graph);
+    community::MoveCtx ctx = community::make_move_ctx(pg.graph, state);
+    const auto stats =
+        community::run_move_phase(ctx, community::MovePolicy::OVPL, b);
+    if (b == Backend::Avx2) {
+      // OVPL deliberately has no 8-lane variant (it leans on hardware
+      // scatters): the family gap degrades it to scalar, visibly.
+      EXPECT_EQ(stats.backend, Backend::Scalar);
+      ASSERT_NE(stats.fallback_reason, nullptr);
+      EXPECT_STREQ(stats.fallback_reason, "no-avx2-variant");
+    } else {
+      EXPECT_EQ(stats.backend, b);
+      EXPECT_EQ(stats.fallback_reason, nullptr);
+    }
+    const double q = community::modularity(pg.graph, state.zeta);
+    if (b == Backend::Scalar) {
+      q_scalar = q;
+    } else {
+      EXPECT_NEAR(q, q_scalar, 0.05);
+    }
+  }
+}
+
+TEST(BackendParity, LabelPropagation) {
+  const auto pg = parity_graph();
+  double q_scalar = 0.0;
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    community::LabelPropOptions opts;
+    opts.backend = b;
+    opts.theta = 0;
+    const auto res = community::label_propagation(pg.graph, opts);
+    EXPECT_EQ(res.backend, b);
+    EXPECT_EQ(res.fallback_reason, nullptr);
+    const double q = community::modularity(pg.graph, res.labels);
+    if (b == Backend::Scalar) {
+      q_scalar = q;
+    } else {
+      EXPECT_NEAR(q, q_scalar, 0.1);
+    }
+  }
+}
+
+TEST(BackendParity, SpeculativeColoring) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(9, 6));
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    coloring::Options opts;
+    opts.backend = b;
+    const auto res = coloring::color_graph(g, opts);
+    if (b == Backend::Avx2) {
+      // Speculative coloring registers scalar + avx512 only.
+      EXPECT_EQ(res.backend, Backend::Scalar);
+      ASSERT_NE(res.fallback_reason, nullptr);
+      EXPECT_STREQ(res.fallback_reason, "no-avx2-variant");
+    } else {
+      EXPECT_EQ(res.backend, b);
+      EXPECT_EQ(res.fallback_reason, nullptr);
+    }
+    std::string why;
+    EXPECT_TRUE(coloring::verify_coloring(g, res.colors, &why)) << why;
+  }
+}
+
+TEST(BackendParity, BfsDistancesExact) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(9, 6));
+  classic::BfsOptions scalar_opts;
+  scalar_opts.backend = Backend::Scalar;
+  const auto ref = classic::bfs(g, 0, scalar_opts);
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    classic::BfsOptions opts;
+    opts.backend = b;
+    const auto res = classic::bfs(g, 0, opts);
+    // Distances are integers: every backend must agree exactly.
+    EXPECT_EQ(res.distance, ref.distance);
+    EXPECT_EQ(res.reached, ref.reached);
+  }
+}
+
+TEST(BackendParity, PageRankClose) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(9, 6));
+  classic::PageRankOptions scalar_opts;
+  scalar_opts.backend = Backend::Scalar;
+  const auto ref = classic::pagerank(g, scalar_opts);
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    classic::PageRankOptions opts;
+    opts.backend = b;
+    const auto res = classic::pagerank(g, opts);
+    ASSERT_EQ(res.rank.size(), ref.rank.size());
+    for (std::size_t v = 0; v < ref.rank.size(); ++v) {
+      EXPECT_NEAR(res.rank[v], ref.rank[v], 1e-4f) << "vertex " << v;
+    }
+  }
+}
+
+TEST(BackendParity, TriangleCountsExact) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(9, 6));
+  TriangleOptions scalar_opts;
+  scalar_opts.backend = Backend::Scalar;
+  const auto ref = count_triangles(g, scalar_opts);
+  for (const Backend b : available_backends()) {
+    SCOPED_TRACE(backend_name(b));
+    TriangleOptions opts;
+    opts.backend = b;
+    const auto res = count_triangles(g, opts);
+    EXPECT_EQ(res.triangles, ref.triangles);
+  }
+}
+
+}  // namespace
+}  // namespace vgp::simd

@@ -8,6 +8,7 @@
 #include "vgp/graph/components.hpp"
 #include "vgp/graph/kcore.hpp"
 #include "vgp/graph/triangles.hpp"
+#include "vgp/simd/registry.hpp"
 #include "vgp/support/rng.hpp"
 
 namespace vgp {
@@ -167,8 +168,10 @@ TEST(IntersectCount, VectorMatchesScalarOnSweep) {
     for (std::uint64_t i = 0; i < nb; ++i) b.push_back(x += 1 + static_cast<VertexId>(rng.bounded(5)));
     const auto want = intersect_count_scalar(a.data(), static_cast<std::int64_t>(a.size()),
                                              b.data(), static_cast<std::int64_t>(b.size()));
-    const auto got = intersect_count_avx512(a.data(), static_cast<std::int64_t>(a.size()),
-                                            b.data(), static_cast<std::int64_t>(b.size()));
+    const auto sel = simd::select<TriangleIntersectKernel>(simd::Backend::Avx512);
+    ASSERT_EQ(sel.backend, simd::Backend::Avx512);
+    const auto got = sel.fn(a.data(), static_cast<std::int64_t>(a.size()),
+                            b.data(), static_cast<std::int64_t>(b.size()));
     ASSERT_EQ(want, got) << "trial " << trial;
   }
 }

@@ -130,10 +130,15 @@ INSTANTIATE_TEST_SUITE_P(
         Combo{"colorsync", "auto", "scalar"},
         Combo{"colorsync", "auto", "avx512"},
         Combo{"onpl", "auto", "scalar"},    // falls back to MPLM
+        Combo{"onpl", "auto", "avx2"},
+        Combo{"onpl", "conflict", "avx2"},
+        Combo{"onpl", "compress", "avx2"},
         Combo{"onpl", "auto", "avx512"},
         Combo{"onpl", "conflict", "avx512"},
         Combo{"onpl", "compress", "avx512"},
-        Combo{"ovpl", "auto", "scalar"}, Combo{"ovpl", "auto", "avx512"}),
+        Combo{"ovpl", "auto", "scalar"},
+        Combo{"ovpl", "auto", "avx2"},  // no AVX2 variant: family fallback
+        Combo{"ovpl", "auto", "avx512"}),
     [](const auto& info) {
       return std::string(std::get<0>(info.param)) + "_" +
              std::get<1>(info.param) + "_" + std::get<2>(info.param);

@@ -11,6 +11,7 @@
 #include "vgp/gen/mesh.hpp"
 #include "vgp/gen/planted.hpp"
 #include "vgp/gen/rmat.hpp"
+#include "vgp/simd/registry.hpp"
 
 namespace vgp::community {
 namespace {
@@ -162,7 +163,9 @@ TEST(OvplMove, ScalarAndVectorSameQuality) {
 
   MoveState s2 = make_move_state(pg.graph);
   MoveCtx c2 = make_move_ctx(pg.graph, s2);
-  move_phase_ovpl_avx512(c2, lay);
+  const auto sel = simd::select<OvplMoveKernel>(simd::Backend::Avx512);
+  ASSERT_EQ(sel.backend, simd::Backend::Avx512);
+  sel.fn(c2, lay);
 
   EXPECT_NEAR(modularity(pg.graph, s1.zeta), modularity(pg.graph, s2.zeta),
               0.05);

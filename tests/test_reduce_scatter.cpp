@@ -108,6 +108,21 @@ TEST_P(RsSweep, AllMethodsMatchScalar) {
   }
 }
 
+TEST_P(RsSweep, AllMethodsMatchScalarOnAvx2) {
+  if (!avx2_kernels_available()) GTEST_SKIP() << "no AVX2 at runtime";
+  const auto [n, table_size, distinct] = GetParam();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto w = make_workload(n, table_size, distinct, seed);
+    const auto ref = run(w, RsMethod::Scalar, Backend::Scalar);
+    for (const auto m :
+         {RsMethod::Conflict, RsMethod::ConflictIterative, RsMethod::Compress,
+          RsMethod::CompressIterative}) {
+      SCOPED_TRACE(rs_method_name(m));
+      expect_tables_close(ref, run(w, m, Backend::Avx2));
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Regimes, RsSweep,
     ::testing::Values(
@@ -139,10 +154,21 @@ TEST(Backend, ResolveNeverReturnsAuto) {
   EXPECT_EQ(resolve(Backend::Scalar), Backend::Scalar);
 }
 
-TEST(Backend, Avx512FallsBackWhenUnavailable) {
+TEST(Backend, Avx512FallsBackOneTierAtATime) {
   const auto r = resolve(Backend::Avx512);
   if (avx512_kernels_available()) {
     EXPECT_EQ(r, Backend::Avx512);
+  } else if (avx2_kernels_available()) {
+    EXPECT_EQ(r, Backend::Avx2);
+  } else {
+    EXPECT_EQ(r, Backend::Scalar);
+  }
+}
+
+TEST(Backend, Avx2FallsBackToScalarWhenUnavailable) {
+  const auto r = resolve(Backend::Avx2);
+  if (avx2_kernels_available()) {
+    EXPECT_EQ(r, Backend::Avx2);
   } else {
     EXPECT_EQ(r, Backend::Scalar);
   }
@@ -150,10 +176,19 @@ TEST(Backend, Avx512FallsBackWhenUnavailable) {
 
 TEST(Backend, NamesAndParsing) {
   EXPECT_EQ(parse_backend("scalar"), Backend::Scalar);
+  EXPECT_EQ(parse_backend("avx2"), Backend::Avx2);
   EXPECT_EQ(parse_backend("avx512"), Backend::Avx512);
   EXPECT_EQ(parse_backend("auto"), Backend::Auto);
   EXPECT_THROW(parse_backend("gpu"), std::invalid_argument);
+  // The rejection names the offending string.
+  try {
+    parse_backend("sse9");
+    FAIL() << "parse_backend accepted an unknown name";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sse9"), std::string::npos);
+  }
   EXPECT_STREQ(backend_name(Backend::Scalar), "scalar");
+  EXPECT_STREQ(backend_name(Backend::Avx2), "avx2");
   EXPECT_STREQ(backend_name(Backend::Avx512), "avx512");
 }
 

@@ -126,6 +126,13 @@ TEST(Cpu, Avx512KernelFlagConsistent) {
   EXPECT_EQ(f.has_avx512_kernels(), f.avx512f && f.avx512cd);
 }
 
+TEST(Cpu, Avx2KernelFlagConsistent) {
+  const auto& f = cpu_features();
+  EXPECT_EQ(f.has_avx2_kernels(), f.avx2);
+  // AVX-512 machines are a superset: avx512f implies avx2 in practice.
+  if (f.avx512f) EXPECT_TRUE(f.avx2);
+}
+
 TEST(OpCount, LocalAccumulates) {
   opcount::reset_all();
   opcount::local().scalar_ops += 5;
