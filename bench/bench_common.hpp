@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,14 +23,17 @@
 #include "vgp/simd/backend.hpp"
 #include "vgp/support/cpu.hpp"
 #include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/sink.hpp"
 
 namespace vgp::bench {
 
 struct BenchConfig {
   gen::SuiteScale scale = gen::SuiteScale::Tiny;
+  std::string scale_name = "tiny";
   int reps = 3;
   int warmup = 1;
-  bool paper_mode = false;  // larger sweeps, more reps
+  bool paper_mode = false;   // larger sweeps, more reps
+  std::string bench_json;    // --bench-json= machine-readable summary path
 };
 
 /// Parses the standard knobs; returns false when --help was printed.
@@ -41,18 +45,29 @@ inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
       .describe("paper", "heavier sweep closer to the paper's sizes")
       .describe("metrics",
                 "write kernel telemetry to this file (JSON; .csv selects "
-                "CSV). Equivalent to setting VGP_METRICS");
+                "CSV). Equivalent to setting VGP_METRICS")
+      .describe("trace",
+                "write a Chrome-trace-event timeline to this file "
+                "(Perfetto-loadable). Equivalent to setting VGP_TRACE")
+      .describe("bench-json",
+                "write a machine-readable vgp.bench.v1 summary of every "
+                "reported series to this file");
   // Bad values (e.g. --reps=1O) throw std::invalid_argument naming the
   // key; exit cleanly instead of letting it reach std::terminate.
   try {
     if (!opts.parse(argc, argv)) return false;
-    cfg.scale = gen::parse_suite_scale(opts.get("scale", "tiny"));
+    cfg.scale_name = opts.get("scale", "tiny");
+    cfg.scale = gen::parse_suite_scale(cfg.scale_name);
     cfg.reps = static_cast<int>(opts.get_int("reps", 3));
     cfg.warmup = static_cast<int>(opts.get_int("warmup", 1));
     cfg.paper_mode = opts.get_flag("paper");
+    cfg.bench_json = opts.get("bench-json", "");
     if (const std::string metrics = opts.get("metrics", "");
         !metrics.empty()) {
       telemetry::enable_file_output(metrics);
+    }
+    if (const std::string trace = opts.get("trace", ""); !trace.empty()) {
+      telemetry::enable_trace_output(trace);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -60,9 +75,71 @@ inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
   }
   if (cfg.paper_mode) {
     cfg.reps = std::max(cfg.reps, 10);
-    if (cfg.scale == gen::SuiteScale::Tiny) cfg.scale = gen::SuiteScale::Small;
+    if (cfg.scale == gen::SuiteScale::Tiny) {
+      cfg.scale = gen::SuiteScale::Small;
+      cfg.scale_name = "small";
+    }
   }
   return true;
+}
+
+/// Prints the series (aligned table + CSV block, as always) and, when
+/// --bench-json= was given, accumulates them into one vgp.bench.v1 file:
+///
+///   { "schema": "vgp.bench.v1", "scale": ..., "reps": ..., "warmup": ...,
+///     "figures": [ { "title": ...,
+///                    "series": [ {"name": ..., "labels": [...],
+///                                 "values": [...]}, ... ] }, ... ] }
+///
+/// The file is rewritten after every report, so a crashed sweep still
+/// leaves the figures completed so far on disk.
+inline void report_series(const BenchConfig& cfg, const std::string& title,
+                          const std::vector<harness::Series>& series) {
+  harness::print_series(title, series);
+  if (cfg.bench_json.empty()) return;
+
+  struct Figure {
+    std::string title;
+    std::vector<harness::Series> series;
+  };
+  static std::vector<Figure> figures;  // one accumulator per process
+  figures.push_back(Figure{title, series});
+
+  std::ofstream out(cfg.bench_json, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n",
+                 cfg.bench_json.c_str());
+    return;
+  }
+  out << "{\n  \"schema\": \"vgp.bench.v1\",\n  \"scale\": ";
+  telemetry::write_json_string(out, cfg.scale_name);
+  out << ",\n  \"reps\": " << cfg.reps << ",\n  \"warmup\": " << cfg.warmup
+      << ",\n  \"figures\": [";
+  for (std::size_t f = 0; f < figures.size(); ++f) {
+    out << (f == 0 ? "\n" : ",\n") << "    {\"title\": ";
+    telemetry::write_json_string(out, figures[f].title);
+    out << ", \"series\": [";
+    const auto& ss = figures[f].series;
+    for (std::size_t s = 0; s < ss.size(); ++s) {
+      out << (s == 0 ? "\n" : ",\n") << "      {\"name\": ";
+      telemetry::write_json_string(out, ss[s].name);
+      out << ", \"labels\": [";
+      for (std::size_t i = 0; i < ss[s].labels.size(); ++i) {
+        if (i != 0) out << ", ";
+        telemetry::write_json_string(out, ss[s].labels[i]);
+      }
+      out << "], \"values\": [";
+      for (std::size_t i = 0; i < ss[s].values.size(); ++i) {
+        if (i != 0) out << ", ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", ss[s].values[i]);
+        out << buf;
+      }
+      out << "]}";
+    }
+    out << "\n    ]}";
+  }
+  out << "\n  ]\n}\n";
 }
 
 inline harness::RepeatOptions repeat_options(const BenchConfig& cfg) {

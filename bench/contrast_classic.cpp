@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
     pr_speed.values.push_back(harness::speedup(
         time_pr(simd::Backend::Scalar), time_pr(simd::Backend::Avx512)));
   }
-  harness::print_series("classic kernel vector speedup", {bfs_speed, pr_speed});
+  bench::report_series(cfg, "classic kernel vector speedup",
+                        {bfs_speed, pr_speed});
   return 0;
 }

@@ -40,6 +40,6 @@ int main(int argc, char** argv) {
     slow.labels.push_back(entry.name);
     slow.values.push_back(harness::speedup(scalar, vec_slow));
   }
-  harness::print_series("coloring speedup over scalar", {fast, slow});
+  bench::report_series(cfg, "coloring speedup over scalar", {fast, slow});
   return 0;
 }

@@ -86,9 +86,9 @@ int main(int argc, char** argv) {
     ovpl_instr.values.push_back(
         m_ovpl.instructions > 0 ? m_mplm.instructions / m_ovpl.instructions : 0.0);
   }
-  harness::print_series("energy ratio vs MPLM (>1 = saves energy)",
-                        {onpl, ovpl});
-  harness::print_series("instructions-decoded ratio vs MPLM (>1 = fewer)",
-                        {onpl_instr, ovpl_instr});
+  bench::report_series(cfg, "energy ratio vs MPLM (>1 = saves energy)",
+                       {onpl, ovpl});
+  bench::report_series(cfg, "instructions-decoded ratio vs MPLM (>1 = fewer)",
+                       {onpl_instr, ovpl_instr});
   return 0;
 }

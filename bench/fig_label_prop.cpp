@@ -59,6 +59,6 @@ int main(int argc, char** argv) {
   }
   auto series = std::vector<harness::Series>{fast, slow};
   if (have_avx2) series.push_back(eight);
-  harness::print_series("label propagation speedup over MPLP", series);
+  bench::report_series(cfg, "label propagation speedup over MPLP", series);
   return 0;
 }

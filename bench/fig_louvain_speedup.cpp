@@ -78,6 +78,6 @@ int main(int argc, char** argv) {
   auto series =
       std::vector<harness::Series>{onpl_fast, onpl_slow, ovpl_fast, ovpl_slow};
   if (have_avx2) series.push_back(onpl_avx2);
-  harness::print_series("move-phase speedup over MPLM", series);
+  bench::report_series(cfg, "move-phase speedup over MPLM", series);
   return 0;
 }

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     lopts.policy = community::MovePolicy::OVPL;
     ovpl.values.push_back(community::louvain(g, lopts).modularity);
   }
-  harness::print_series("final modularity per variant", {mplm, onpl, ovpl});
+  bench::report_series(cfg, "final modularity per variant",
+                        {mplm, onpl, ovpl});
   return 0;
 }

@@ -19,6 +19,6 @@ int main(int argc, char** argv) {
     speedup.labels.push_back(entry.name);
     speedup.values.push_back(harness::speedup(plm, mplm));
   }
-  harness::print_series("MPLM speedup over PLM", {speedup});
+  bench::report_series(cfg, "MPLM speedup over PLM", {speedup});
   return 0;
 }

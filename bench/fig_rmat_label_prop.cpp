@@ -73,9 +73,10 @@ int main(int argc, char** argv) {
       }
       series.push_back(std::move(s));
     }
-    harness::print_series("ONLP gain vs edge-factor (scale=" +
-                              std::to_string(base_scale) + ")",
-                          series);
+    bench::report_series(cfg,
+                         "ONLP gain vs edge-factor (scale=" +
+                             std::to_string(base_scale) + ")",
+                         series);
   }
 
   // Sweep 2: gain vs number of vertices at fixed edge-factor.
@@ -90,9 +91,10 @@ int main(int argc, char** argv) {
       }
       series.push_back(std::move(s));
     }
-    harness::print_series("ONLP gain vs vertices (edge-factor=" +
-                              std::to_string(fixed_ef) + ")",
-                          series);
+    bench::report_series(cfg,
+                         "ONLP gain vs vertices (edge-factor=" +
+                             std::to_string(fixed_ef) + ")",
+                         series);
   }
   return 0;
 }

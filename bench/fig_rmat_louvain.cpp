@@ -60,9 +60,10 @@ int main(int argc, char** argv) {
       }
       series.push_back(std::move(s));
     }
-    harness::print_series("ONPL Louvain gain vs edge-factor (scale=" +
-                              std::to_string(base_scale) + ")",
-                          series);
+    bench::report_series(cfg,
+                         "ONPL Louvain gain vs edge-factor (scale=" +
+                             std::to_string(base_scale) + ")",
+                         series);
   }
 
   {
@@ -76,9 +77,10 @@ int main(int argc, char** argv) {
       }
       series.push_back(std::move(s));
     }
-    harness::print_series("ONPL Louvain gain vs vertices (edge-factor=" +
-                              std::to_string(fixed_ef) + ")",
-                          series);
+    bench::report_series(cfg,
+                         "ONPL Louvain gain vs vertices (edge-factor=" +
+                             std::to_string(fixed_ef) + ")",
+                         series);
   }
   return 0;
 }

@@ -168,11 +168,16 @@ int main(int argc, char** argv) {
       .describe("top", "pagerank: how many top vertices to print")
       .describe("metrics",
                 "write kernel telemetry to this file (JSON; .csv selects "
-                "CSV). Equivalent to setting VGP_METRICS");
+                "CSV). Equivalent to setting VGP_METRICS")
+      .describe("trace",
+                "write a Chrome-trace-event timeline to this file "
+                "(Perfetto-loadable). Equivalent to setting VGP_TRACE");
   try {
     if (!opts.parse(argc, argv)) return 0;
     const std::string metrics = opts.get("metrics", "");
     if (!metrics.empty()) telemetry::enable_file_output(metrics);
+    const std::string trace = opts.get("trace", "");
+    if (!trace.empty()) telemetry::enable_trace_output(trace);
     const std::string cmd = opts.get("cmd", "stats");
     const Graph g = load(opts);
     std::printf("# vgp_cli %s — %lld vertices, %lld edges (cpu: %s)\n",
@@ -196,6 +201,10 @@ int main(int argc, char** argv) {
     if (!metrics.empty() && !telemetry::flush()) {
       std::fprintf(stderr, "warning: could not write metrics file %s\n",
                    metrics.c_str());
+    }
+    if (!trace.empty() && !telemetry::flush_trace()) {
+      std::fprintf(stderr, "warning: could not write trace file %s\n",
+                   trace.c_str());
     }
     return rc;
   } catch (const std::exception& e) {

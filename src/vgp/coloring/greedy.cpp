@@ -87,6 +87,10 @@ Result color_graph(const Graph& g, const Options& opts) {
 
   while (!conf.empty() && res.rounds < opts.max_rounds) {
     ++res.rounds;
+    telemetry::TraceSpan round_span("coloring.round");
+    round_span.arg("round", res.rounds);
+    round_span.arg("conf", static_cast<std::int64_t>(conf.size()));
+    round_span.arg_str("backend", simd::backend_name(sel.backend));
 
     // AssignColors over the conflict set. FORBIDDEN is per-thread and
     // epoch-stamped; it persists across chunks via thread_local storage.
@@ -119,6 +123,7 @@ Result color_graph(const Graph& g, const Options& opts) {
                    }
                  });
 
+    round_span.arg("conflicts", static_cast<std::int64_t>(next_conf.size()));
     res.total_conflicts += static_cast<std::int64_t>(next_conf.size());
     res.conflicts_per_round.push_back(
         static_cast<std::int64_t>(next_conf.size()));

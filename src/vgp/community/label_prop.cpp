@@ -118,6 +118,11 @@ LabelPropResult label_propagation(const Graph& g,
     if (worklist.empty()) break;
     next_active.clear_all();
 
+    telemetry::TraceSpan iter_span("labelprop.iter");
+    iter_span.arg("iter", iter);
+    iter_span.arg("active", static_cast<std::int64_t>(worklist.size()));
+    iter_span.arg_str("backend", simd::backend_name(sel.backend));
+
     detail::LpCtx ctx;
     ctx.g = &g;
     ctx.labels = res.labels.data();
@@ -140,6 +145,8 @@ LabelPropResult label_propagation(const Graph& g,
                    updated.fetch_add(c, std::memory_order_relaxed);
                  });
 
+    iter_span.arg("updates", updated.load());
+    iter_span.arg_str("rs", ctx.use_compress ? "compress" : "conflict");
     ++res.iterations;
     res.updates_per_iteration.push_back(updated.load());
     res.active_per_iteration.push_back(

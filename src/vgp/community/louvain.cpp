@@ -76,6 +76,11 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
   const Graph* current = &g;
 
   for (int level = 0; level < opts.max_levels; ++level) {
+    telemetry::TraceSpan level_span("louvain.level");
+    level_span.arg("level", level);
+    level_span.arg("vertices", current->num_vertices());
+    level_span.arg_str("policy", move_policy_name(opts.policy));
+
     MoveState state = make_move_state(*current);
     MoveCtx ctx = make_move_ctx(*current, state);
     ctx.max_iterations = opts.max_move_iterations;
@@ -87,7 +92,14 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
       telemetry::ScopedPhase phase("louvain.move");
       stats =
           run_move_phase(ctx, opts.policy, opts.backend, opts.ovpl_block_size);
+      phase.span().arg("iterations", stats.iterations);
+      phase.span().arg("moves", stats.total_moves);
+      phase.span().arg_str("backend", simd::backend_name(stats.backend));
+      if (stats.fallback_reason != nullptr) {
+        phase.span().arg_str("fallback", stats.fallback_reason);
+      }
     }
+    level_span.arg("moves", stats.total_moves);
     if (level == 0) {
       res.first_move_seconds = stats.seconds;
       res.preprocess_seconds = stats.preprocess_seconds;

@@ -35,20 +35,30 @@ MoveStats move_phase_colorsync(const MoveCtx& ctx, simd::Backend backend) {
 
   // Preprocessing: group vertices by color class.
   WallTimer prep;
-  coloring::Options copts;
-  copts.backend = backend;
-  const auto coloring = coloring::color_graph(g, copts);
-  std::vector<std::vector<VertexId>> classes(
-      static_cast<std::size_t>(coloring.num_colors));
-  for (VertexId v = 0; v < n; ++v) {
-    classes[static_cast<std::size_t>(coloring.colors[static_cast<std::size_t>(v)] - 1)]
-        .push_back(v);
+  std::vector<std::vector<VertexId>> classes;
+  std::int64_t num_colors = 0;
+  {
+    telemetry::TraceSpan prep_span("colorsync.coloring");
+    coloring::Options copts;
+    copts.backend = backend;
+    const auto coloring = coloring::color_graph(g, copts);
+    num_colors = coloring.num_colors;
+    classes.resize(static_cast<std::size_t>(coloring.num_colors));
+    for (VertexId v = 0; v < n; ++v) {
+      classes[static_cast<std::size_t>(
+                  coloring.colors[static_cast<std::size_t>(v)] - 1)]
+          .push_back(v);
+    }
+    prep_span.arg("colors", num_colors);
   }
   stats.preprocess_seconds = prep.seconds();
-  if (telem) reg.set(id_classes, static_cast<double>(coloring.num_colors));
+  if (telem) reg.set(id_classes, static_cast<double>(num_colors));
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
+    telemetry::TraceSpan iter_span("colorsync.iter");
+    iter_span.arg("iter", iter);
+    iter_span.arg("classes", num_colors);
 
     for (const auto& cls : classes) {
       // Barrier between classes: all moves inside one class touch
@@ -77,6 +87,7 @@ MoveStats move_phase_colorsync(const MoveCtx& ctx, simd::Backend backend) {
                    });
     }
 
+    iter_span.arg("moves", moves.load());
     ++stats.iterations;
     stats.total_moves += moves.load();
     stats.moves_per_iteration.push_back(moves.load());

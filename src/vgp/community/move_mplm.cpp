@@ -26,6 +26,8 @@ MoveStats move_phase_mplm(const MoveCtx& ctx) {
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
+    telemetry::TraceSpan iter_span("mplm.iter");
+    iter_span.arg("iter", iter);
 
     parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
       thread_local DenseAffinity aff_storage;
@@ -51,6 +53,7 @@ MoveStats move_phase_mplm(const MoveCtx& ctx) {
       moves.fetch_add(local_moves, std::memory_order_relaxed);
     });
 
+    iter_span.arg("moves", moves.load());
     ++stats.iterations;
     stats.total_moves += moves.load();
     stats.moves_per_iteration.push_back(moves.load());

@@ -200,6 +200,13 @@ MoveStats move_phase_onpl_avx2(const MoveCtx& ctx) {
     }
     std::atomic<std::int64_t> moves{0};
 
+    // One span per sweep: the reduce-scatter method is fixed for the
+    // whole iteration, so the span name carries it.
+    telemetry::TraceSpan rs_span(use_compress ? "onpl.rs.compress"
+                                              : "onpl.rs.conflict");
+    rs_span.arg("iter", iter);
+    rs_span.arg_str("backend", "avx2");
+
     parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
       thread_local DenseAffinity aff_storage;
       DenseAffinity& aff = aff_storage;
@@ -244,6 +251,8 @@ MoveStats move_phase_onpl_avx2(const MoveCtx& ctx) {
       }
       moves.fetch_add(local_moves, std::memory_order_relaxed);
     });
+
+    rs_span.arg("moves", moves.load());
 
     ++stats.iterations;
     stats.total_moves += moves.load();

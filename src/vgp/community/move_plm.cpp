@@ -10,6 +10,7 @@
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
 
 namespace vgp::community {
 
@@ -21,6 +22,8 @@ MoveStats move_phase_plm(const MoveCtx& ctx) {
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
+    telemetry::TraceSpan iter_span("plm.iter");
+    iter_span.arg("iter", iter);
 
     parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
       auto& oc = opcount::local();
@@ -53,6 +56,7 @@ MoveStats move_phase_plm(const MoveCtx& ctx) {
       moves.fetch_add(local_moves, std::memory_order_relaxed);
     });
 
+    iter_span.arg("moves", moves.load());
     ++stats.iterations;
     stats.total_moves += moves.load();
     stats.moves_per_iteration.push_back(moves.load());

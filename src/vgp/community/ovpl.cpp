@@ -75,97 +75,118 @@ OvplLayout ovpl_preprocess(const Graph& g, const OvplOptions& opts) {
   WallTimer timer;
   OvplLayout lay;
   lay.block_size = opts.block_size;
+  telemetry::TraceSpan prep_span("ovpl.preprocess");
 
   // 1. Color so same-block vertices are (almost always) non-adjacent.
-  coloring::Options copts;
-  copts.backend = opts.backend;
-  const auto coloring = coloring::color_graph(g, copts);
+  const auto coloring = [&] {
+    telemetry::TraceSpan span("ovpl.color");
+    coloring::Options copts;
+    copts.backend = opts.backend;
+    return coloring::color_graph(g, copts);
+  }();
   lay.colors_used = coloring.num_colors;
 
   // 2. Order by (color, degree desc, id).
-  std::vector<VertexId> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    const auto ca = coloring.colors[static_cast<std::size_t>(a)];
-    const auto cb = coloring.colors[static_cast<std::size_t>(b)];
-    if (ca != cb) return ca < cb;
-    if (opts.sort_by_degree && g.degree(a) != g.degree(b))
-      return g.degree(a) > g.degree(b);
-    return a < b;
-  });
+  const std::vector<VertexId> order = [&] {
+    telemetry::TraceSpan span("ovpl.sort");
+    std::vector<VertexId> ord(static_cast<std::size_t>(n));
+    std::iota(ord.begin(), ord.end(), 0);
+    std::sort(ord.begin(), ord.end(), [&](VertexId a, VertexId b) {
+      const auto ca = coloring.colors[static_cast<std::size_t>(a)];
+      const auto cb = coloring.colors[static_cast<std::size_t>(b)];
+      if (ca != cb) return ca < cb;
+      if (opts.sort_by_degree && g.degree(a) != g.degree(b))
+        return g.degree(a) > g.degree(b);
+      return a < b;
+    });
+    return ord;
+  }();
 
   // 3. Cut into blocks, padding the last one.
   const int bs = lay.block_size;
-  lay.num_blocks = (n + bs - 1) / bs;
-  lay.block_vertices.assign(static_cast<std::size_t>(lay.num_blocks) * bs, -1);
-  std::copy(order.begin(), order.end(), lay.block_vertices.begin());
-
-  lay.block_maxdeg.resize(static_cast<std::size_t>(lay.num_blocks));
-  lay.block_mindeg.resize(static_cast<std::size_t>(lay.num_blocks));
-  lay.block_begin.resize(static_cast<std::size_t>(lay.num_blocks) + 1);
-
   std::uint64_t cursor = 0;
-  for (std::int64_t b = 0; b < lay.num_blocks; ++b) {
-    std::int32_t maxd = 0;
-    std::int32_t mind = std::numeric_limits<std::int32_t>::max();
-    for (int lane = 0; lane < bs; ++lane) {
-      const VertexId v = lay.block_vertices[static_cast<std::size_t>(b) * bs + static_cast<std::size_t>(lane)];
-      const auto d = v < 0 ? 0 : static_cast<std::int32_t>(g.degree(v));
-      maxd = std::max(maxd, d);
-      mind = std::min(mind, d);
-    }
-    lay.block_maxdeg[static_cast<std::size_t>(b)] = maxd;
-    lay.block_mindeg[static_cast<std::size_t>(b)] = mind;
-    lay.block_begin[static_cast<std::size_t>(b)] = cursor;
-    cursor += static_cast<std::uint64_t>(maxd) * static_cast<std::uint64_t>(bs);
-  }
-  lay.block_begin[static_cast<std::size_t>(lay.num_blocks)] = cursor;
+  {
+    telemetry::TraceSpan span("ovpl.block");
+    lay.num_blocks = (n + bs - 1) / bs;
+    lay.block_vertices.assign(static_cast<std::size_t>(lay.num_blocks) * bs, -1);
+    std::copy(order.begin(), order.end(), lay.block_vertices.begin());
 
-  // 4. Interleave: neighbor j of every lane is contiguous.
-  lay.nbr.assign(cursor, -1);
-  lay.wgt.assign(cursor, 0.0f);
-  parallel_for(0, lay.num_blocks, 16, [&](std::int64_t first, std::int64_t last) {
-    for (std::int64_t b = first; b < last; ++b) {
-      const auto begin = lay.block_begin[static_cast<std::size_t>(b)];
+    lay.block_maxdeg.resize(static_cast<std::size_t>(lay.num_blocks));
+    lay.block_mindeg.resize(static_cast<std::size_t>(lay.num_blocks));
+    lay.block_begin.resize(static_cast<std::size_t>(lay.num_blocks) + 1);
+
+    for (std::int64_t b = 0; b < lay.num_blocks; ++b) {
+      std::int32_t maxd = 0;
+      std::int32_t mind = std::numeric_limits<std::int32_t>::max();
       for (int lane = 0; lane < bs; ++lane) {
         const VertexId v = lay.block_vertices[static_cast<std::size_t>(b) * bs + static_cast<std::size_t>(lane)];
-        if (v < 0) continue;
-        const auto nbrs = g.neighbors(v);
-        const auto ws = g.edge_weights(v);
-        for (std::size_t j = 0; j < nbrs.size(); ++j) {
-          lay.nbr[begin + j * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)] = nbrs[j];
-          lay.wgt[begin + j * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)] = ws[j];
+        const auto d = v < 0 ? 0 : static_cast<std::int32_t>(g.degree(v));
+        maxd = std::max(maxd, d);
+        mind = std::min(mind, d);
+      }
+      lay.block_maxdeg[static_cast<std::size_t>(b)] = maxd;
+      lay.block_mindeg[static_cast<std::size_t>(b)] = mind;
+      lay.block_begin[static_cast<std::size_t>(b)] = cursor;
+      cursor += static_cast<std::uint64_t>(maxd) * static_cast<std::uint64_t>(bs);
+    }
+    lay.block_begin[static_cast<std::size_t>(lay.num_blocks)] = cursor;
+    span.arg("blocks", lay.num_blocks);
+  }
+
+  // 4. Interleave: neighbor j of every lane is contiguous.
+  {
+    telemetry::TraceSpan span("ovpl.layout");
+    lay.nbr.assign(cursor, -1);
+    lay.wgt.assign(cursor, 0.0f);
+    parallel_for(0, lay.num_blocks, 16, [&](std::int64_t first, std::int64_t last) {
+      for (std::int64_t b = first; b < last; ++b) {
+        const auto begin = lay.block_begin[static_cast<std::size_t>(b)];
+        for (int lane = 0; lane < bs; ++lane) {
+          const VertexId v = lay.block_vertices[static_cast<std::size_t>(b) * bs + static_cast<std::size_t>(lane)];
+          if (v < 0) continue;
+          const auto nbrs = g.neighbors(v);
+          const auto ws = g.edge_weights(v);
+          for (std::size_t j = 0; j < nbrs.size(); ++j) {
+            lay.nbr[begin + j * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)] = nbrs[j];
+            lay.wgt[begin + j * static_cast<std::size_t>(bs) + static_cast<std::size_t>(lane)] = ws[j];
+          }
         }
       }
-    }
-  });
+    });
+  }
 
   // 5. Flag blocks containing adjacent vertices (possible only where a
   // color group's tail was filled from the next group).
-  lay.block_mixed.assign(static_cast<std::size_t>(lay.num_blocks), 0);
-  parallel_for(0, lay.num_blocks, 64, [&](std::int64_t first, std::int64_t last) {
-    for (std::int64_t b = first; b < last; ++b) {
-      const VertexId* verts = lay.block_vertices.data() + b * bs;
-      bool mixed = false;
-      for (int i = 0; i < bs && !mixed; ++i) {
-        const VertexId v = verts[i];
-        if (v < 0) continue;
-        for (const VertexId w : g.neighbors(v)) {
-          if (w == v) continue;
-          for (int k = 0; k < bs; ++k) {
-            if (verts[k] == w) {
-              mixed = true;
-              break;
+  {
+    telemetry::TraceSpan span("ovpl.mixed");
+    lay.block_mixed.assign(static_cast<std::size_t>(lay.num_blocks), 0);
+    parallel_for(0, lay.num_blocks, 64, [&](std::int64_t first, std::int64_t last) {
+      for (std::int64_t b = first; b < last; ++b) {
+        const VertexId* verts = lay.block_vertices.data() + b * bs;
+        bool mixed = false;
+        for (int i = 0; i < bs && !mixed; ++i) {
+          const VertexId v = verts[i];
+          if (v < 0) continue;
+          for (const VertexId w : g.neighbors(v)) {
+            if (w == v) continue;
+            for (int k = 0; k < bs; ++k) {
+              if (verts[k] == w) {
+                mixed = true;
+                break;
+              }
             }
+            if (mixed) break;
           }
-          if (mixed) break;
         }
+        lay.block_mixed[static_cast<std::size_t>(b)] = mixed ? 1 : 0;
       }
-      lay.block_mixed[static_cast<std::size_t>(b)] = mixed ? 1 : 0;
-    }
-  });
+    });
+  }
 
   lay.preprocess_seconds = timer.seconds();
+  prep_span.arg("blocks", lay.num_blocks);
+  prep_span.arg("colors", lay.colors_used);
+  prep_span.arg("lane_waste", lay.lane_waste());
 
   auto& reg = telemetry::Registry::global();
   if (reg.enabled()) {
@@ -257,6 +278,9 @@ MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& lay) {
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
+    telemetry::TraceSpan sweep_span("ovpl.sweep");
+    sweep_span.arg("iter", iter);
+    sweep_span.arg_str("backend", "scalar");
 
     parallel_for(0, lay.num_blocks, 4, [&](std::int64_t first, std::int64_t last) {
       // Per-thread: block_size interleaved affinity tables
@@ -347,6 +371,7 @@ MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& lay) {
       moves.fetch_add(local_moves, std::memory_order_relaxed);
     });
 
+    sweep_span.arg("moves", moves.load());
     ++stats.iterations;
     stats.total_moves += moves.load();
     stats.moves_per_iteration.push_back(moves.load());

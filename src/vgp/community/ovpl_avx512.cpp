@@ -59,6 +59,9 @@ MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
     std::atomic<std::int64_t> moves{0};
+    telemetry::TraceSpan sweep_span("ovpl.sweep");
+    sweep_span.arg("iter", iter);
+    sweep_span.arg_str("backend", "avx512");
 
     parallel_for(0, lay.num_blocks, 4, [&](std::int64_t first, std::int64_t last) {
       thread_local std::vector<float> aff;
@@ -186,6 +189,7 @@ MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
       moves.fetch_add(local_moves, std::memory_order_relaxed);
     });
 
+    sweep_span.arg("moves", moves.load());
     ++stats.iterations;
     stats.total_moves += moves.load();
     stats.moves_per_iteration.push_back(moves.load());

@@ -1,10 +1,22 @@
 #include "vgp/energy/meter.hpp"
 
+#include "vgp/telemetry/registry.hpp"
+
 namespace vgp::energy {
 
 // Defined in rapl.cpp / model.cpp.
 std::unique_ptr<EnergyMeter> make_rapl_meter();
 std::unique_ptr<EnergyMeter> make_model_meter();
+
+void record_energy_sample(const EnergySample& sample) {
+  if (!sample.valid) return;
+  auto& reg = telemetry::Registry::global();
+  if (!reg.enabled()) return;
+  reg.set(reg.gauge("energy.joules"), sample.joules);
+  reg.set(reg.gauge("energy.watts"), sample.watts());
+  reg.set(reg.gauge("energy.seconds"), sample.seconds);
+  reg.set(reg.gauge("energy.source"), sample.source == "rapl" ? 1.0 : 0.0);
+}
 
 std::unique_ptr<EnergyMeter> make_meter(MeterKind kind) {
   switch (kind) {

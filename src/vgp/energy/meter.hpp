@@ -38,6 +38,13 @@ enum class MeterKind { Auto, Rapl, Model };
 /// True when RAPL powercap counters are readable on this machine.
 bool rapl_available();
 
+/// Folds a valid sample into the telemetry registry as gauges:
+/// `energy.joules`, `energy.watts`, `energy.seconds`, and
+/// `energy.source` (1 = rapl hardware counters, 0 = op-count model).
+/// Meters call this from stop(); no-op when telemetry is disabled or the
+/// sample is invalid.
+void record_energy_sample(const EnergySample& sample);
+
 /// Auto: Rapl when available, else Model. Never returns nullptr.
 std::unique_ptr<EnergyMeter> make_meter(MeterKind kind = MeterKind::Auto);
 

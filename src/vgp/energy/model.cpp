@@ -45,6 +45,7 @@ class ModelMeter final : public EnergyMeter {
                kScatterLaneJ * static_cast<double>(oc.scatter_lanes) +
                kMemLineJ * static_cast<double>(oc.mem_lines);
     s.valid = true;
+    record_energy_sample(s);
     return s;
   }
 

@@ -70,6 +70,7 @@ class RaplMeter final : public EnergyMeter {
     }
     s.joules = total_uj * 1e-6;
     s.valid = true;
+    record_energy_sample(s);
     return s;
   }
 

@@ -1,6 +1,7 @@
 #include "vgp/simd/reduce_scatter.hpp"
 
 #include "vgp/simd/registry.hpp"
+#include "vgp/telemetry/trace.hpp"
 
 namespace vgp::simd {
 
@@ -24,16 +25,24 @@ void reduce_scatter_scalar(float* table, const std::int32_t* idx,
 
 void reduce_scatter(float* table, const std::int32_t* idx, const float* vals,
                     std::int64_t n, RsMethod method, Backend backend) {
+  telemetry::TraceSpan span("simd.reduce_scatter");
+  span.arg("n", n);
+  span.arg_str("method", rs_method_name(method));
   if (method == RsMethod::Scalar) {
+    span.arg_str("backend", "scalar");
     reduce_scatter_scalar(table, idx, vals, n);
     return;
   }
   const bool iterative = method == RsMethod::ConflictIterative ||
                          method == RsMethod::CompressIterative;
   if (method == RsMethod::Conflict || method == RsMethod::ConflictIterative) {
-    select<RsConflictKernel>(backend).fn(table, idx, vals, n, iterative);
+    const auto sel = select<RsConflictKernel>(backend);
+    span.arg_str("backend", backend_name(sel.backend));
+    sel.fn(table, idx, vals, n, iterative);
   } else {
-    select<RsCompressKernel>(backend).fn(table, idx, vals, n, iterative);
+    const auto sel = select<RsCompressKernel>(backend);
+    span.arg_str("backend", backend_name(sel.backend));
+    sel.fn(table, idx, vals, n, iterative);
   }
 }
 

@@ -1,0 +1,178 @@
+#include "vgp/telemetry/json_reader.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace vgp::telemetry {
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  const char* begin;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    std::ostringstream os;
+    os << msg << " at offset " << (p - begin);
+    error = os.str();
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (static_cast<std::size_t>(end - p) < len ||
+        std::char_traits<char>::compare(p, word, len) != 0) {
+      return fail(std::string("expected '") + word + "'");
+    }
+    p += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out.clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("unterminated escape");
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return fail("truncated \\u escape");
+            char hex[5] = {p[1], p[2], p[3], p[4], '\0'};
+            char* stop = nullptr;
+            const long code = std::strtol(hex, &stop, 16);
+            if (stop != hex + 4) return fail("bad \\u escape");
+            // ASCII round-trips exactly (the sinks only \u-escape
+            // control characters); anything wider degrades to '?'.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            p += 4;
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': {
+        ++p;
+        out.type = JsonValue::Type::Object;
+        skip_ws();
+        if (p < end && *p == '}') { ++p; return true; }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (p >= end || *p != ':') return fail("expected ':'");
+          ++p;
+          JsonValue& slot = out.obj[key];
+          if (!parse_value(slot, depth + 1)) return false;
+          skip_ws();
+          if (p < end && *p == ',') { ++p; continue; }
+          if (p < end && *p == '}') { ++p; return true; }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p;
+        out.type = JsonValue::Type::Array;
+        skip_ws();
+        if (p < end && *p == ']') { ++p; return true; }
+        while (true) {
+          out.arr.emplace_back();
+          if (!parse_value(out.arr.back(), depth + 1)) return false;
+          skip_ws();
+          if (p < end && *p == ',') { ++p; continue; }
+          if (p < end && *p == ']') { ++p; return true; }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out.type = JsonValue::Type::String;
+        return parse_string(out.str);
+      case 't':
+        out.type = JsonValue::Type::Bool;
+        out.bval = true;
+        return literal("true", 4);
+      case 'f':
+        out.type = JsonValue::Type::Bool;
+        out.bval = false;
+        return literal("false", 5);
+      case 'n':
+        out.type = JsonValue::Type::Null;
+        return literal("null", 4);
+      default: {
+        const auto res = std::from_chars(p, end, out.num);
+        if (res.ec != std::errc{} || res.ptr == p) {
+          return fail("expected value");
+        }
+        out.type = JsonValue::Type::Number;
+        p = res.ptr;
+        return true;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), text.data(), {}};
+  out = JsonValue{};
+  const bool ok = parser.parse_value(out, 0);
+  if (ok) {
+    parser.skip_ws();
+    if (parser.p != parser.end) {
+      parser.fail("trailing garbage after value");
+      if (error != nullptr) *error = parser.error;
+      return false;
+    }
+    return true;
+  }
+  if (error != nullptr) *error = parser.error;
+  return false;
+}
+
+bool parse_json_file(const std::string& path, JsonValue& out,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_json(ss.str(), out, error);
+}
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,56 @@
+// Minimal JSON reader for the repo's own machine-readable outputs
+// (vgp.telemetry.v1 metrics, vgp.trace.v1 Chrome traces, vgp.bench.v1
+// summaries). Supports the full JSON value grammar — objects, arrays,
+// strings with escapes, numbers, booleans, null — with no external
+// dependency; it exists so `vgp-report` and the round-trip tests can
+// consume what the sinks emit, not as a general-purpose parser (no
+// surrogate-pair decoding: \uXXXX escapes outside ASCII degrade to '?').
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vgp::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool bval = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  // Ordered map: deterministic iteration makes report output stable.
+  std::map<std::string, JsonValue> obj;
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const {
+    if (type != Type::Object) return nullptr;
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+
+  double number_or(double fallback) const {
+    return type == Type::Number ? num : fallback;
+  }
+};
+
+/// Parses `text`; returns false and fills `error` (with offset context)
+/// on malformed input. Trailing garbage after the top-level value is an
+/// error.
+bool parse_json(const std::string& text, JsonValue& out, std::string* error);
+
+/// Reads and parses a whole file. `error` distinguishes I/O failures
+/// from parse failures.
+bool parse_json_file(const std::string& path, JsonValue& out,
+                     std::string* error);
+
+}  // namespace vgp::telemetry

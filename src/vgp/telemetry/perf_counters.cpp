@@ -1,0 +1,165 @@
+#include "vgp/telemetry/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::telemetry {
+
+#if defined(__linux__)
+
+namespace {
+
+/// {cycles, instructions, llc_misses, branch_misses} configs, in the
+/// order read_raw() reports them. The leader is index 0.
+constexpr std::uint64_t kConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+
+int open_counter(std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+/// One probe per process. Opens and immediately closes a cycles counter;
+/// the outcome (and errno on failure) is the availability verdict.
+struct Probe {
+  bool available = false;
+  const char* reason = nullptr;
+  int saved_errno = 0;
+
+  Probe() {
+    errno = 0;
+    const int fd = open_counter(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd >= 0) {
+      available = true;
+      close(fd);
+    } else {
+      saved_errno = errno;
+      reason = saved_errno == EACCES || saved_errno == EPERM
+                   ? "perf-event-open-denied"
+               : saved_errno == ENOSYS ? "perf-event-open-unsupported"
+               : saved_errno == ENOENT ? "perf-hw-counters-absent"
+                                       : "perf-event-open-failed";
+    }
+    // The verdict is telemetry: a metrics file from a CI container says
+    // *why* its spans carry no IPC.
+    auto& reg = Registry::global();
+    if (reg.enabled()) {
+      reg.set(reg.gauge("perf.available"), available ? 1.0 : 0.0);
+      if (!available) {
+        reg.set(reg.gauge("perf.open_errno"),
+                static_cast<double>(saved_errno));
+      }
+    }
+  }
+};
+
+const Probe& probe() {
+  static const Probe p;
+  return p;
+}
+
+}  // namespace
+
+PerfGroup::PerfGroup() {
+  if (!probe().available) return;
+  fd_leader_ = open_counter(kConfigs[0], -1);
+  if (fd_leader_ < 0) return;
+  slot_of_[0] = 0;
+  n_counters_ = 1;
+  for (int i = 1; i < 4; ++i) {
+    // Sibling failures (LLC misses in VMs, PMU slot pressure) are
+    // tolerated: the slot map leaves the counter at -1 and its delta
+    // reads as zero.
+    const int fd = open_counter(kConfigs[i], fd_leader_);
+    if (fd >= 0) {
+      fd_sibling_[i - 1] = fd;
+      slot_of_[i] = n_counters_++;
+    }
+  }
+  ioctl(fd_leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfGroup::~PerfGroup() {
+  for (int i = 0; i < 3; ++i) {
+    if (fd_sibling_[i] >= 0) close(fd_sibling_[i]);
+  }
+  if (fd_leader_ >= 0) close(fd_leader_);
+}
+
+void PerfGroup::read_raw(std::uint64_t out[4]) const {
+  out[0] = out[1] = out[2] = out[3] = 0;
+  if (fd_leader_ < 0) return;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+  std::uint64_t buf[3 + 4];
+  const ssize_t want =
+      static_cast<ssize_t>((3 + static_cast<std::size_t>(n_counters_)) *
+                           sizeof(std::uint64_t));
+  if (read(fd_leader_, buf, static_cast<std::size_t>(want)) != want) return;
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  // Multiplexing scale: values are extrapolated to the full enabled
+  // window when the PMU time-sliced this group.
+  const double scale =
+      running > 0 && running < enabled
+          ? static_cast<double>(enabled) / static_cast<double>(running)
+          : 1.0;
+  for (int i = 0; i < 4; ++i) {
+    if (slot_of_[i] < 0) continue;
+    const std::uint64_t raw = buf[3 + slot_of_[i]];
+    out[i] = scale == 1.0 ? raw
+                          : static_cast<std::uint64_t>(
+                                static_cast<double>(raw) * scale);
+  }
+}
+
+bool PerfGroup::counters_available() { return probe().available; }
+
+const char* PerfGroup::unavailable_reason() { return probe().reason; }
+
+#else  // !__linux__
+
+PerfGroup::PerfGroup() = default;
+PerfGroup::~PerfGroup() = default;
+
+void PerfGroup::read_raw(std::uint64_t out[4]) const {
+  out[0] = out[1] = out[2] = out[3] = 0;
+}
+
+bool PerfGroup::counters_available() { return false; }
+
+const char* PerfGroup::unavailable_reason() { return "perf-not-linux"; }
+
+#endif
+
+PerfGroup& PerfGroup::thread_local_group() {
+  // A real object, not a leaked pointer: unlike the trace ring buffers
+  // (which the exporter reads after their thread dies) nothing touches
+  // a group from outside its thread, and the destructor must run so
+  // long-lived apps spawning many threads do not leak perf fds. Spans
+  // are stack-scoped, so they unwind before TLS destruction.
+  thread_local PerfGroup group;
+  return group;
+}
+
+}  // namespace vgp::telemetry

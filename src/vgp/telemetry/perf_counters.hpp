@@ -1,0 +1,62 @@
+// Hardware performance counters via perf_event_open, attachable to trace
+// spans (trace.hpp).
+//
+// One PerfGroup owns a counter group on the calling thread: cycles (the
+// group leader), instructions, LLC misses, and branch misses, all
+// userspace-only. A group read is one read(2) returning every counter
+// atomically, so a span's deltas are mutually consistent; with
+// PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING the values are scaled for
+// multiplexing when the PMU is oversubscribed.
+//
+// Containers and CI runners routinely deny the syscall
+// (perf_event_paranoid, seccomp, missing PMU). The first open attempt
+// decides a process-wide verdict: available, or degraded-to-disabled
+// with a static reason string. The verdict is recorded in telemetry as
+// the `perf.available` gauge (and `perf.open_errno` when it failed) —
+// degradation is data, never a failure. Sibling counters that cannot be
+// opened (e.g. LLC misses inside a VM) are tolerated individually: their
+// deltas read as zero.
+#pragma once
+
+#include <cstdint>
+
+namespace vgp::telemetry {
+
+/// One perf_event counter group bound to the thread that constructed it.
+/// Construction is cheap when the process-wide probe already failed.
+class PerfGroup {
+ public:
+  PerfGroup();
+  ~PerfGroup();
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  /// True when the group leader opened and reads will return data.
+  bool ok() const noexcept { return fd_leader_ >= 0; }
+
+  /// Reads all four counters into out[4] as {cycles, instructions,
+  /// llc_misses, branch_misses}, scaled for multiplexing. Zeroes `out`
+  /// when the group is not ok().
+  void read_raw(std::uint64_t out[4]) const;
+
+  /// The calling thread's lazily-constructed group (the tracer's hook).
+  static PerfGroup& thread_local_group();
+
+  /// Process-wide probe verdict: true when perf_event_open works here.
+  /// First call performs the probe and records the verdict in telemetry.
+  static bool counters_available();
+
+  /// Static string naming why the probe failed ("perf-event-open-denied",
+  /// ...), or nullptr when counters are available.
+  static const char* unavailable_reason();
+
+ private:
+  int fd_leader_ = -1;
+  int fd_sibling_[3] = {-1, -1, -1};
+  int n_counters_ = 0;  // leader + opened siblings
+  // Maps read-buffer slots back to {cycles, instr, llc, branch} order
+  // when some siblings failed to open.
+  int slot_of_[4] = {-1, -1, -1, -1};
+};
+
+}  // namespace vgp::telemetry

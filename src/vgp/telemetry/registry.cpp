@@ -199,6 +199,30 @@ std::vector<MetricValue> Registry::collect() {
   fold("ops.gather_lanes", ops.gather_lanes);
   fold("ops.scatter_lanes", ops.scatter_lanes);
   fold("ops.mem_lines", ops.mem_lines);
+  // Fold the tracer's per-span aggregates in as `span.*` gauges so a
+  // metrics file alone (no timeline) is enough for vgp-report to diff.
+  const auto& tracer = Tracer::global();
+  const std::vector<SpanSummary> spans = tracer.summaries();
+  const auto gauge_out = [&out](std::string name, double v) {
+    out.push_back(MetricValue{std::move(name), Kind::Gauge, v, {}, {}});
+  };
+  for (const SpanSummary& s : spans) {
+    gauge_out("span." + s.name + ".count", static_cast<double>(s.count));
+    gauge_out("span." + s.name + ".total_ms", s.total_ms);
+    gauge_out("span." + s.name + ".mean_ms",
+              s.count == 0 ? 0.0 : s.total_ms / static_cast<double>(s.count));
+    if (s.cycles > 0) {
+      gauge_out("span." + s.name + ".ipc",
+                static_cast<double>(s.instructions) /
+                    static_cast<double>(s.cycles));
+    }
+  }
+  if (!spans.empty() || tracer.enabled()) {
+    out.push_back(MetricValue{"trace.dropped", Kind::Counter,
+                              static_cast<double>(tracer.dropped_count()),
+                              {},
+                              {}});
+  }
   return out;
 }
 
@@ -242,7 +266,7 @@ bool flush() {
   return write_metrics_file(path, reg.collect());
 }
 
-ScopedPhase::ScopedPhase(const char* name) : name_(name) {}
+ScopedPhase::ScopedPhase(const char* name) : name_(name), span_(name) {}
 
 ScopedPhase::~ScopedPhase() {
   auto& reg = Registry::global();

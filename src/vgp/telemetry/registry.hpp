@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/trace.hpp"
 
 namespace vgp::telemetry {
 
@@ -123,8 +124,10 @@ void enable_file_output(const std::string& path);
 bool flush();
 
 /// RAII wall-clock phase timer: observes the scope's duration into
-/// histogram "phase.<name>.seconds". Near-free when telemetry is
-/// disabled (two clock reads, no registry traffic).
+/// histogram "phase.<name>.seconds" and — when the tracer is enabled —
+/// emits a trace span of the same name, so every existing phase shows
+/// up on the timeline for free. Near-free when both are disabled (two
+/// clock reads, one relaxed load, no registry traffic).
 class ScopedPhase {
  public:
   explicit ScopedPhase(const char* name);
@@ -132,8 +135,13 @@ class ScopedPhase {
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
+  /// The phase's trace span; call sites attach args (iterations, backend
+  /// names) as the phase learns them. No-op when tracing is disabled.
+  TraceSpan& span() { return span_; }
+
  private:
   const char* name_;
+  TraceSpan span_;
   WallTimer timer_;
 };
 

@@ -1,0 +1,214 @@
+#include "vgp/telemetry/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "vgp/telemetry/json_reader.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+/// True when `name` is `span.<stem>.<suffix>`; extracts the stem.
+bool split_span_gauge(const std::string& name, const char* suffix,
+                      std::string& stem) {
+  const std::string prefix = "span.";
+  const std::string tail = std::string(".") + suffix;
+  if (name.size() <= prefix.size() + tail.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+    return false;
+  }
+  stem = name.substr(prefix.size(), name.size() - prefix.size() - tail.size());
+  return true;
+}
+
+void load_from_metrics(const JsonValue& root, Report& out) {
+  static const char* kSuffixes[] = {"count", "total_ms", "mean_ms", "ipc"};
+  for (const char* group : {"gauges", "counters"}) {
+    const JsonValue* vals = root.get(group);
+    if (vals == nullptr || !vals->is_object()) continue;
+    for (const auto& [name, v] : vals->obj) {
+      if (!v.is_number()) continue;
+      if (name == "trace.dropped") out.dropped = v.num;
+      if (name == "perf.available") out.perf_available = v.num;
+      std::string stem;
+      for (const char* suffix : kSuffixes) {
+        if (!split_span_gauge(name, suffix, stem)) continue;
+        ReportRow& row = out.spans[stem];
+        row.name = stem;
+        if (suffix == kSuffixes[0]) row.count = v.num;
+        else if (suffix == kSuffixes[1]) row.total_ms = v.num;
+        else if (suffix == kSuffixes[2]) row.mean_ms = v.num;
+        else row.ipc = v.num;
+        break;
+      }
+    }
+  }
+}
+
+void load_from_trace(const JsonValue& root, Report& out) {
+  if (const JsonValue* other = root.get("otherData")) {
+    if (const JsonValue* dropped = other->get("dropped")) {
+      out.dropped = dropped->number_or(0.0);
+    }
+    if (const JsonValue* perf = other->get("perf")) {
+      out.perf_available = perf->type == JsonValue::Type::Bool
+                               ? (perf->bval ? 1.0 : 0.0)
+                               : perf->number_or(-1.0);
+    }
+  }
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || !events->is_array()) return;
+  // Per-span cycle/instruction sums for aggregate IPC.
+  std::map<std::string, std::pair<double, double>> perf_sums;
+  for (const JsonValue& ev : events->arr) {
+    const JsonValue* name = ev.get("name");
+    const JsonValue* dur = ev.get("dur");
+    if (name == nullptr || !name->is_string()) continue;
+    ReportRow& row = out.spans[name->str];
+    row.name = name->str;
+    row.count += 1.0;
+    if (dur != nullptr) row.total_ms += dur->number_or(0.0) * 1e-3;
+    if (const JsonValue* args = ev.get("args")) {
+      const JsonValue* cycles = args->get("cycles");
+      const JsonValue* instr = args->get("instructions");
+      if (cycles != nullptr && instr != nullptr) {
+        auto& sums = perf_sums[name->str];
+        sums.first += cycles->number_or(0.0);
+        sums.second += instr->number_or(0.0);
+      }
+    }
+  }
+  for (auto& [name, row] : out.spans) {
+    if (row.count > 0.0) row.mean_ms = row.total_ms / row.count;
+    const auto it = perf_sums.find(name);
+    if (it != perf_sums.end() && it->second.first > 0.0) {
+      row.ipc = it->second.second / it->second.first;
+    }
+  }
+}
+
+}  // namespace
+
+bool load_report(const std::string& path, Report& out, std::string* error) {
+  out = Report{};
+  out.path = path;
+  JsonValue root;
+  if (!parse_json_file(path, root, error)) return false;
+  // Sniff the schema: metrics files carry it at the top level, trace
+  // files inside otherData.
+  if (const JsonValue* schema = root.get("schema")) {
+    out.schema = schema->str;
+  } else if (const JsonValue* other = root.get("otherData")) {
+    if (const JsonValue* schema2 = other->get("schema")) {
+      out.schema = schema2->str;
+    }
+  }
+  if (out.schema == "vgp.telemetry.v1") {
+    load_from_metrics(root, out);
+    return true;
+  }
+  if (out.schema == "vgp.trace.v1") {
+    load_from_trace(root, out);
+    return true;
+  }
+  if (error != nullptr) {
+    *error = path + ": unrecognised schema '" + out.schema +
+             "' (expected vgp.telemetry.v1 or vgp.trace.v1)";
+  }
+  return false;
+}
+
+DiffResult diff_reports(const Report& base, const Report& cur,
+                        double threshold, double min_ms) {
+  DiffResult out;
+  for (const auto& [name, brow] : base.spans) {
+    DiffRow row;
+    row.name = name;
+    row.base_ms = brow.mean_ms;
+    const auto it = cur.spans.find(name);
+    if (it == cur.spans.end()) {
+      row.only_in_base = true;
+    } else {
+      row.cur_ms = it->second.mean_ms;
+      if (row.base_ms > min_ms) {
+        row.ratio = row.cur_ms / row.base_ms;
+        row.regression = row.ratio > 1.0 + threshold;
+        if (row.regression) ++out.regressions;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, crow] : cur.spans) {
+    if (base.spans.count(name) != 0) continue;
+    DiffRow row;
+    row.name = name;
+    row.cur_ms = crow.mean_ms;
+    row.only_in_cur = true;
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+void print_report(std::ostream& out, const Report& rep) {
+  out << "# " << rep.path << " (" << rep.schema << ")\n";
+  if (rep.dropped > 0.0) {
+    out << "# warning: " << rep.dropped << " events dropped (buffer full)\n";
+  }
+  if (rep.perf_available == 0.0) {
+    out << "# perf counters unavailable in this run; IPC column is 0\n";
+  }
+  out << std::left << std::setw(36) << "span" << std::right << std::setw(10)
+      << "count" << std::setw(12) << "total_ms" << std::setw(12) << "mean_ms"
+      << std::setw(8) << "ipc" << "\n";
+  // Heaviest spans first: the table answers "where did the time go".
+  std::vector<const ReportRow*> rows;
+  rows.reserve(rep.spans.size());
+  for (const auto& [name, row] : rep.spans) rows.push_back(&row);
+  std::sort(rows.begin(), rows.end(), [](const ReportRow* a,
+                                         const ReportRow* b) {
+    if (a->total_ms != b->total_ms) return a->total_ms > b->total_ms;
+    return a->name < b->name;
+  });
+  out << std::fixed;
+  for (const ReportRow* row : rows) {
+    out << std::left << std::setw(36) << row->name << std::right
+        << std::setprecision(0) << std::setw(10) << row->count
+        << std::setprecision(3) << std::setw(12) << row->total_ms
+        << std::setw(12) << row->mean_ms << std::setw(8)
+        << std::setprecision(2) << row->ipc << "\n";
+  }
+  out.unsetf(std::ios::fixed);
+}
+
+void print_diff(std::ostream& out, const DiffResult& diff, double threshold) {
+  out << "# perf diff (mean ms per call, threshold +"
+      << static_cast<int>(threshold * 100.0 + 0.5) << "%)\n";
+  out << std::left << std::setw(36) << "span" << std::right << std::setw(12)
+      << "base_ms" << std::setw(12) << "cur_ms" << std::setw(10) << "ratio"
+      << "\n";
+  out << std::fixed;
+  for (const DiffRow& row : diff.rows) {
+    out << std::left << std::setw(36) << row.name << std::right
+        << std::setprecision(3) << std::setw(12) << row.base_ms
+        << std::setw(12) << row.cur_ms;
+    if (row.only_in_base) {
+      out << std::setw(10) << "-" << "  only-in-baseline";
+    } else if (row.only_in_cur) {
+      out << std::setw(10) << "-" << "  only-in-current";
+    } else {
+      out << std::setprecision(2) << std::setw(9) << row.ratio << "x";
+      if (row.regression) out << "  REGRESSION";
+    }
+    out << "\n";
+  }
+  out.unsetf(std::ios::fixed);
+  if (diff.regressions > 0) {
+    out << "# " << diff.regressions << " regression(s) over threshold\n";
+  } else {
+    out << "# no regressions over threshold\n";
+  }
+}
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,79 @@
+// Report model behind the `vgp-report` CLI: loads the repo's own
+// machine-readable outputs and answers two questions —
+//
+//   * single file:  where did the time go? (per-span count / total /
+//     mean breakdown, with IPC when perf counters were attached)
+//   * two files:    did anything get slower? (baseline-vs-current diff
+//     with a relative threshold, for CI perf gating)
+//
+// Accepted inputs, sniffed by schema:
+//   * vgp.telemetry.v1 metrics JSON (registry snapshot): spans come from
+//     the folded `span.<name>.{count,total_ms,mean_ms,ipc}` gauges.
+//   * vgp.trace.v1 Chrome-trace JSON (tracer export): spans are
+//     aggregated from the raw traceEvents timeline.
+//
+// The logic lives in the library (not the tool's main) so the round-trip
+// tests exercise exactly what CI runs.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vgp::telemetry {
+
+/// One span name's aggregate within a loaded report.
+struct ReportRow {
+  std::string name;
+  double count = 0.0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double ipc = 0.0;  // 0 when perf counters were unavailable
+};
+
+/// A loaded metrics or trace file, reduced to per-span aggregates.
+struct Report {
+  std::string path;
+  std::string schema;  // "vgp.telemetry.v1" or "vgp.trace.v1"
+  // Keyed by span name; ordered so printed tables are deterministic.
+  std::map<std::string, ReportRow> spans;
+  double dropped = 0.0;       // events the tracer had to drop
+  double perf_available = -1; // 1/0 from the file; -1 when unrecorded
+};
+
+/// Loads `path`, sniffing the schema. Returns false and fills `error`
+/// on I/O failure, malformed JSON, or an unrecognised schema.
+bool load_report(const std::string& path, Report& out, std::string* error);
+
+/// One span's baseline-vs-current comparison.
+struct DiffRow {
+  std::string name;
+  double base_ms = 0.0;  // mean per call in the baseline
+  double cur_ms = 0.0;
+  double ratio = 1.0;    // cur / base; 1 when base is zero
+  bool regression = false;
+  bool only_in_base = false;
+  bool only_in_cur = false;
+};
+
+struct DiffResult {
+  std::vector<DiffRow> rows;  // every span seen in either file
+  int regressions = 0;        // rows over threshold
+};
+
+/// Compares per-call mean times span by span. A span regresses when it
+/// exists in both reports with a baseline mean above `min_ms` and
+/// `cur/base > 1 + threshold`. Spans present on only one side are
+/// reported but never gate (new instrumentation must not fail CI).
+DiffResult diff_reports(const Report& base, const Report& cur,
+                        double threshold, double min_ms = 1e-4);
+
+/// Per-span breakdown table for one report, widest total first.
+void print_report(std::ostream& out, const Report& rep);
+
+/// Diff table; regressed rows are marked. `threshold` is echoed in the
+/// header so CI logs are self-describing.
+void print_diff(std::ostream& out, const DiffResult& diff, double threshold);
+
+}  // namespace vgp::telemetry

@@ -20,32 +20,10 @@ void put_number(std::ostream& out, double v) {
   out.write(buf, res.ptr - buf);
 }
 
-void put_json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\r': out << "\\r"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
-
 void put_json_group(std::ostream& out, const char* label, Kind kind,
                     const std::vector<MetricValue>& metrics, bool last) {
   out << "  ";
-  put_json_string(out, label);
+  write_json_string(out, label);
   out << ": {";
   bool first = true;
   for (const MetricValue& m : metrics) {
@@ -53,7 +31,7 @@ void put_json_group(std::ostream& out, const char* label, Kind kind,
     if (!first) out << ',';
     first = false;
     out << "\n    ";
-    put_json_string(out, m.name);
+    write_json_string(out, m.name);
     out << ": ";
     switch (kind) {
       case Kind::Counter:
@@ -88,16 +66,55 @@ void put_json_group(std::ostream& out, const char* label, Kind kind,
 
 /// CSV fields are metric names (dotted identifiers in practice); quote
 /// defensively anyway so arbitrary names cannot break the row structure.
+/// The format's contract is "line-oriented, greppable", so embedded
+/// newlines and other control characters are escaped (\n, \r, \t, \xNN)
+/// rather than carried raw inside the quotes — a hostile name must never
+/// fabricate extra rows.
 void put_csv_string(std::ostream& out, const std::string& s) {
   out << '"';
   for (const char c : s) {
-    if (c == '"') out << "\"\"";
-    else out << c;
+    switch (c) {
+      case '"': out << "\"\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
   }
   out << '"';
 }
 
 }  // namespace
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
 
 void write_json(std::ostream& out, const std::vector<MetricValue>& metrics) {
   out << "{\n  \"schema\": \"vgp.telemetry.v1\",\n";

@@ -30,6 +30,11 @@ namespace vgp::telemetry {
 void write_json(std::ostream& out, const std::vector<MetricValue>& metrics);
 void write_csv(std::ostream& out, const std::vector<MetricValue>& metrics);
 
+/// Writes `s` as a JSON string literal with full escaping (quotes,
+/// backslashes, control characters). Shared with the trace exporter so
+/// span names and args get the same treatment as metric names.
+void write_json_string(std::ostream& out, const std::string& s);
+
 /// Writes to `path`, choosing CSV when the path ends in ".csv" and JSON
 /// otherwise. Returns false when the file cannot be opened or written.
 bool write_metrics_file(const std::string& path,

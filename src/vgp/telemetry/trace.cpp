@@ -1,0 +1,334 @@
+#include "vgp/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "vgp/telemetry/perf_counters.hpp"
+#include "vgp/telemetry/sink.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread event buffer. Single producer (the owning thread); readers
+/// see the committed prefix [0, size) via the release/acquire pair on
+/// `size`. Never wraps: a full buffer drops and counts instead of
+/// overwriting events a concurrent exporter may be reading.
+struct ThreadBuffer {
+  std::vector<SpanEvent> events;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::int32_t tid = 0;
+
+  bool push(const SpanEvent& ev) {
+    const std::size_t n = size.load(std::memory_order_relaxed);
+    if (n >= events.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    events[n] = ev;
+    size.store(n + 1, std::memory_order_release);
+    return true;
+  }
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  /// Buffers are owned here (never freed) so the exporter can read a
+  /// thread's events after the thread exits.
+  std::vector<ThreadBuffer*> buffers;
+  std::atomic<bool> enabled{false};
+  std::atomic<bool> perf{true};
+  std::atomic<std::uint64_t> buffers_allocated{0};
+  std::uint64_t epoch_ns = 0;
+  std::string path;
+  std::int32_t next_tid = 0;
+
+  ThreadBuffer* make_buffer(std::size_t capacity) {
+    auto* buf = new ThreadBuffer;  // leaked: outlives its thread
+    buf->events.resize(capacity);
+    std::lock_guard<std::mutex> lock(mu);
+    buf->tid = next_tid++;
+    buffers.push_back(buf);
+    buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+    return buf;
+  }
+};
+
+namespace {
+
+Tracer::Impl* g_impl = nullptr;
+
+std::size_t buffer_capacity() {
+  static const std::size_t cap = [] {
+    if (const char* env = std::getenv("VGP_TRACE_BUFFER")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(1) << 16;  // 65536 events / thread
+  }();
+  return cap;
+}
+
+/// The calling thread's buffer, allocated on first traced span.
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buf = g_impl->make_buffer(buffer_capacity());
+  return *buf;
+}
+
+/// Span nesting depth of the calling thread (tracks only traced spans).
+thread_local std::int32_t t_depth = 0;
+
+}  // namespace
+
+Tracer::Tracer() : impl_(new Impl) {
+  g_impl = impl_;
+  impl_->epoch_ns = steady_now_ns();
+  if (const char* env = std::getenv("VGP_TRACE_PERF")) {
+    if (env[0] == '0' && env[1] == '\0') {
+      impl_->perf.store(false, std::memory_order_relaxed);
+    }
+  }
+  if (const char* env = std::getenv("VGP_TRACE")) {
+    if (env[0] != '\0') {
+      impl_->path = env;
+      impl_->enabled.store(true, std::memory_order_relaxed);
+      std::atexit([] { (void)telemetry::flush_trace(); });
+    }
+  }
+}
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer;  // leaked: outlives pool threads
+  return *t;
+}
+
+bool Tracer::enabled() const noexcept {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_enabled(bool on) noexcept {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::set_perf_enabled(bool on) noexcept {
+  impl_->perf.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::perf_enabled() const noexcept {
+  return impl_->perf.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_output_path(std::string path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->path = std::move(path);
+}
+
+std::string Tracer::output_path() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->path;
+}
+
+std::uint64_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t n = 0;
+  for (const ThreadBuffer* b : impl_->buffers) {
+    n += b->size.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::uint64_t n = 0;
+  for (const ThreadBuffer* b : impl_->buffers) {
+    n += b->dropped.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+std::uint64_t Tracer::buffers_allocated() const {
+  return impl_->buffers_allocated.load(std::memory_order_relaxed);
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (ThreadBuffer* b : impl_->buffers) {
+    b->size.store(0, std::memory_order_release);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanSummary> Tracer::summaries() const {
+  std::map<std::string, SpanSummary> agg;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const ThreadBuffer* b : impl_->buffers) {
+      const std::size_t n = b->size.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i) {
+        const SpanEvent& ev = b->events[i];
+        SpanSummary& s = agg[ev.name];
+        if (s.name.empty()) s.name = ev.name;
+        ++s.count;
+        s.total_ms += static_cast<double>(ev.dur_ns) * 1e-6;
+        if (ev.has_perf) {
+          s.cycles += ev.cycles;
+          s.instructions += ev.instructions;
+        }
+      }
+    }
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(agg.size());
+  for (auto& [name, s] : agg) out.push_back(std::move(s));
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\n\"otherData\": {\"schema\": \"vgp.trace.v1\", \"perf\": ";
+  out << (PerfGroup::counters_available() ? "true" : "false");
+  out << ", \"dropped\": " << dropped_count();
+  out << "},\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+
+  const auto put_num = [&out](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    out << buf;
+  };
+
+  bool first = true;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const ThreadBuffer* b : impl_->buffers) {
+    const std::size_t n = b->size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SpanEvent& ev = b->events[i];
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "{\"name\": ";
+      write_json_string(out, ev.name);
+      out << ", \"cat\": \"vgp\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
+          << ev.tid << ", \"ts\": ";
+      put_num(static_cast<double>(ev.start_ns) * 1e-3);  // microseconds
+      out << ", \"dur\": ";
+      put_num(static_cast<double>(ev.dur_ns) * 1e-3);
+      out << ", \"args\": {";
+      bool afirst = true;
+      for (std::int32_t a = 0; a < ev.nargs; ++a) {
+        if (!afirst) out << ", ";
+        afirst = false;
+        write_json_string(out, ev.args[a].key);
+        out << ": ";
+        if (ev.args[a].sval != nullptr) {
+          write_json_string(out, ev.args[a].sval);
+        } else {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%g", ev.args[a].dval);
+          out << buf;
+        }
+      }
+      if (ev.has_perf) {
+        if (!afirst) out << ", ";
+        const double ipc =
+            ev.cycles > 0 ? static_cast<double>(ev.instructions) /
+                                static_cast<double>(ev.cycles)
+                          : 0.0;
+        out << "\"cycles\": " << ev.cycles
+            << ", \"instructions\": " << ev.instructions
+            << ", \"llc_misses\": " << ev.llc_misses
+            << ", \"branch_misses\": " << ev.branch_misses << ", \"ipc\": ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", ipc);
+        out << buf;
+      }
+      out << "}}";
+    }
+  }
+  out << "\n]\n}\n";
+}
+
+void enable_trace_output(const std::string& path) {
+  auto& tr = Tracer::global();
+  tr.set_output_path(path);
+  tr.set_enabled(true);
+  static std::once_flag once;
+  std::call_once(once,
+                 [] { std::atexit([] { (void)telemetry::flush_trace(); }); });
+}
+
+bool flush_trace() {
+  auto& tr = Tracer::global();
+  const std::string path = tr.output_path();
+  if (path.empty()) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  tr.write_chrome_trace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  auto& tr = Tracer::global();
+  if (!tr.enabled()) return;  // one relaxed load + this branch
+  active_ = true;
+  ++t_depth;
+  if (tr.perf_enabled()) {
+    PerfGroup& pg = PerfGroup::thread_local_group();
+    if (pg.ok()) {
+      perf_ = true;
+      pg.read_raw(perf_start_);
+    }
+  }
+  start_ns_ = steady_now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = steady_now_ns();
+  SpanEvent ev;
+  ev.name = name_;
+  ev.start_ns = start_ns_ - g_impl->epoch_ns;
+  ev.dur_ns = end_ns - start_ns_;
+  ev.depth = --t_depth;
+  ev.nargs = nargs_;
+  std::copy(args_, args_ + nargs_, ev.args);
+  if (perf_) {
+    std::uint64_t end_raw[4];
+    PerfGroup::thread_local_group().read_raw(end_raw);
+    ev.has_perf = true;
+    ev.cycles = end_raw[0] - perf_start_[0];
+    ev.instructions = end_raw[1] - perf_start_[1];
+    ev.llc_misses = end_raw[2] - perf_start_[2];
+    ev.branch_misses = end_raw[3] - perf_start_[3];
+  }
+  ThreadBuffer& buf = local_buffer();
+  ev.tid = buf.tid;
+  buf.push(ev);
+}
+
+void TraceSpan::arg(const char* key, double v) {
+  if (!active_ || nargs_ >= kMaxSpanArgs) return;
+  args_[nargs_++] = SpanArg{key, nullptr, v};
+}
+
+void TraceSpan::arg_str(const char* key, const char* v) {
+  if (!active_ || nargs_ >= kMaxSpanArgs) return;
+  args_[nargs_++] = SpanArg{key, v, 0.0};
+}
+
+}  // namespace vgp::telemetry

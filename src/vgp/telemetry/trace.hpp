@@ -1,0 +1,171 @@
+// Phase-span tracing: a timeline complement to the metrics registry.
+//
+// The registry (registry.hpp) answers *how much* — counts, totals,
+// distributions. Spans answer *when* and *inside what*: every traced
+// scope becomes one interval on a per-thread track, nested by the call
+// structure (Louvain level -> move phase -> reduce-scatter sweep), with
+// key/value args (iteration, backend, moves applied) attached as the
+// scope learns them. A run with `VGP_TRACE=<path>` (or the binaries'
+// `--trace=` flag) writes a Chrome-trace-event JSON loadable in Perfetto
+// / chrome://tracing, and every metrics snapshot additionally carries a
+// compact per-span summary (`span.<name>.{count,total_ms,mean_ms}`) so
+// `vgp-report` can diff runs without the full timeline.
+//
+// Cost contract (same as the registry):
+//   * Disabled (the default): constructing a TraceSpan is one relaxed
+//     bool load and a branch; arg() calls are a branch on the cached
+//     decision. No allocation, no clock read, no buffer registration.
+//   * Enabled: span begin/end are two steady_clock reads plus one append
+//     into a per-thread ring buffer — single-producer, no atomics beyond
+//     one release store of the committed size, no locks on the record
+//     path (the buffer registers itself once per thread under a mutex,
+//     exactly like the registry's counter shards). Buffers never wrap:
+//     when one fills, further events on that thread are dropped and
+//     counted (`trace.dropped` in the snapshot) rather than tearing the
+//     timeline.
+//   * Span granularity is phases and iterations, never 16-lane inner
+//     loops — the same discipline kernels already follow for metrics.
+//
+// Hardware perf counters (perf_counters.hpp) attach to spans: when the
+// tracer is enabled and the perf_event_open group could be opened, each
+// span carries cycles / instructions / LLC-miss / branch-miss deltas and
+// the exporter emits per-span IPC. Unavailability (typical in containers
+// and CI) degrades to spans without counter args, with the verdict
+// recorded as the `perf.available` gauge — never a failure.
+//
+// Span names must be string literals (or otherwise outlive the process):
+// events store the pointer, not a copy. String arg values have the same
+// contract (backend names, policy names — all static in this codebase).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vgp::telemetry {
+
+/// One key/value pair attached to a span. `sval` non-null means a string
+/// arg (static storage); otherwise `dval` holds a number.
+struct SpanArg {
+  const char* key = nullptr;
+  const char* sval = nullptr;
+  double dval = 0.0;
+};
+
+inline constexpr int kMaxSpanArgs = 6;
+
+/// A completed span as stored in the per-thread ring buffer.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  // since tracer epoch
+  std::uint64_t dur_ns = 0;
+  std::int32_t tid = 0;   // dense per-thread track id
+  std::int32_t depth = 0; // nesting depth at begin (0 = top level)
+  std::int32_t nargs = 0;
+  SpanArg args[kMaxSpanArgs];
+  // Perf-counter deltas over the span; valid only when has_perf is set.
+  bool has_perf = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+/// Aggregate view of one span name, folded into metrics snapshots and
+/// consumed by vgp-report.
+struct SpanSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+};
+
+/// Process-wide tracer singleton (mirrors telemetry::Registry).
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const noexcept;
+  void set_enabled(bool on) noexcept;
+
+  /// Attach perf-counter deltas to spans (effective only where the
+  /// perf_event_open probe succeeded). Defaults to on; VGP_TRACE_PERF=0
+  /// opts out.
+  void set_perf_enabled(bool on) noexcept;
+  bool perf_enabled() const noexcept;
+
+  /// Path flush_trace() writes to; set from VGP_TRACE or --trace=.
+  void set_output_path(std::string path);
+  std::string output_path() const;
+
+  /// Events currently committed across all thread buffers (snapshot;
+  /// racy against live writers by design — call at phase boundaries).
+  std::uint64_t event_count() const;
+  /// Events dropped because a thread buffer filled.
+  std::uint64_t dropped_count() const;
+  /// Thread buffers ever allocated — the disabled-mode overhead test
+  /// asserts this stays zero.
+  std::uint64_t buffers_allocated() const;
+
+  /// Discards every committed event and zeroes the drop counter.
+  /// Call only when no span is open (tests, between benchmark reps).
+  void reset();
+
+  /// Per-span aggregates over all committed events, sorted by name.
+  std::vector<SpanSummary> summaries() const;
+
+  /// Writes the Chrome-trace JSON to `out` (see docs/architecture.md for
+  /// the event shape).
+  void write_chrome_trace(std::ostream& out) const;
+
+  struct Impl;  // named by the thread-local buffer destructor
+
+ private:
+  Tracer();
+  Impl* impl_;  // leaked: worker threads may outlive main
+};
+
+/// Enables tracing and directs the process-exit flush at `path`
+/// (idempotent), mirroring telemetry::enable_file_output.
+void enable_trace_output(const std::string& path);
+
+/// Writes the Chrome trace to the configured path. Returns false (and
+/// writes nothing) when no path is configured or the file cannot be
+/// written.
+bool flush_trace();
+
+/// RAII scoped span. Construct with a string literal; attach args as the
+/// scope learns them. All methods are no-ops when the tracer was
+/// disabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Numeric arg (iteration, moves applied, conflict rounds, ...).
+  void arg(const char* key, double v);
+  void arg(const char* key, std::int64_t v) { arg(key, static_cast<double>(v)); }
+  void arg(const char* key, int v) { arg(key, static_cast<double>(v)); }
+  /// String arg; `v` must have static storage (backend / policy names).
+  void arg_str(const char* key, const char* v);
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::int32_t nargs_ = 0;
+  SpanArg args_[kMaxSpanArgs];
+  bool active_ = false;
+  bool perf_ = false;
+  std::uint64_t perf_start_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,221 @@
+// Tests for the JSON reader and the vgp-report model: schema sniffing
+// over both accepted inputs, the regression-diff rules (threshold,
+// min_ms floor, one-sided spans never gate), and the printers. These
+// exercise exactly the code path the vgp-report CLI runs in CI.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vgp/telemetry/json_reader.hpp"
+#include "vgp/telemetry/report.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+  return path;
+}
+
+TEST(JsonReader, ParsesTheFullValueGrammar) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json(
+      R"({"a": 1.5, "b": [true, false, null, "x\n\"y\""], "c": {"d": -2e3}})",
+      v, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(v.get("a")->num, 1.5);
+  const JsonValue* b = v.get("b");
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->arr.size(), 4u);
+  EXPECT_TRUE(b->arr[0].bval);
+  EXPECT_EQ(b->arr[2].type, JsonValue::Type::Null);
+  EXPECT_EQ(b->arr[3].str, "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(v.get("c")->get("d")->num, -2000.0);
+}
+
+TEST(JsonReader, RejectsMalformedInputWithContext) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"a\": }", v, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json("[1, 2] trailing", v, &error));
+  EXPECT_FALSE(parse_json("", v, &error));
+  EXPECT_FALSE(parse_json("{\"a\": 1", v, &error));
+}
+
+TEST(JsonReader, FileErrorsAreDistinguished) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parse_json_file("/nonexistent/nope.json", v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+std::string metrics_json(double sweep_mean, double level_mean) {
+  std::ostringstream ss;
+  ss << R"({"schema": "vgp.telemetry.v1", "counters": {"trace.dropped": 0},)"
+     << R"( "gauges": {)"
+     << R"("span.onpl.rs.conflict.count": 10,)"
+     << R"("span.onpl.rs.conflict.total_ms": )" << sweep_mean * 10 << ","
+     << R"("span.onpl.rs.conflict.mean_ms": )" << sweep_mean << ","
+     << R"("span.louvain.level.count": 2,)"
+     << R"("span.louvain.level.total_ms": )" << level_mean * 2 << ","
+     << R"("span.louvain.level.mean_ms": )" << level_mean << ","
+     << R"("span.louvain.level.ipc": 1.8,)"
+     << R"("perf.available": 0)"
+     << "}}";
+  return ss.str();
+}
+
+TEST(Report, LoadsMetricsSchemaSpans) {
+  const std::string path =
+      write_temp("report_metrics.json", metrics_json(0.5, 4.0));
+  Report rep;
+  std::string error;
+  ASSERT_TRUE(load_report(path, rep, &error)) << error;
+  EXPECT_EQ(rep.schema, "vgp.telemetry.v1");
+  ASSERT_EQ(rep.spans.size(), 2u);
+  const ReportRow& sweep = rep.spans.at("onpl.rs.conflict");
+  EXPECT_DOUBLE_EQ(sweep.count, 10.0);
+  EXPECT_DOUBLE_EQ(sweep.mean_ms, 0.5);
+  EXPECT_DOUBLE_EQ(rep.spans.at("louvain.level").ipc, 1.8);
+  EXPECT_DOUBLE_EQ(rep.dropped, 0.0);
+  EXPECT_DOUBLE_EQ(rep.perf_available, 0.0);
+}
+
+TEST(Report, LoadsTraceSchemaAndAggregates) {
+  const std::string path = write_temp("report_trace.json", R"({
+    "otherData": {"schema": "vgp.trace.v1", "perf": true, "dropped": 3},
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+      {"name": "sweep", "ph": "X", "ts": 0, "dur": 2000,
+       "args": {"cycles": 1000, "instructions": 2500}},
+      {"name": "sweep", "ph": "X", "ts": 3000, "dur": 4000,
+       "args": {"cycles": 1000, "instructions": 1500}},
+      {"name": "level", "ph": "X", "ts": 0, "dur": 8000, "args": {}}
+    ]})");
+  Report rep;
+  std::string error;
+  ASSERT_TRUE(load_report(path, rep, &error)) << error;
+  EXPECT_EQ(rep.schema, "vgp.trace.v1");
+  EXPECT_DOUBLE_EQ(rep.dropped, 3.0);
+  EXPECT_DOUBLE_EQ(rep.perf_available, 1.0);
+  const ReportRow& sweep = rep.spans.at("sweep");
+  EXPECT_DOUBLE_EQ(sweep.count, 2.0);
+  EXPECT_DOUBLE_EQ(sweep.total_ms, 6.0);  // dur is microseconds
+  EXPECT_DOUBLE_EQ(sweep.mean_ms, 3.0);
+  EXPECT_DOUBLE_EQ(sweep.ipc, 2.0);       // 4000 instr / 2000 cycles
+  EXPECT_DOUBLE_EQ(rep.spans.at("level").ipc, 0.0);
+}
+
+TEST(Report, RejectsUnrecognisedSchema) {
+  const std::string path =
+      write_temp("report_bad.json", R"({"schema": "somebody.else.v9"})");
+  Report rep;
+  std::string error;
+  EXPECT_FALSE(load_report(path, rep, &error));
+  EXPECT_NE(error.find("unrecognised schema"), std::string::npos);
+  EXPECT_FALSE(load_report("/nonexistent/nope.json", rep, &error));
+}
+
+TEST(Report, IdenticalReportsProduceNoRegressions) {
+  const std::string path =
+      write_temp("report_same.json", metrics_json(0.5, 4.0));
+  Report a, b;
+  ASSERT_TRUE(load_report(path, a, nullptr));
+  ASSERT_TRUE(load_report(path, b, nullptr));
+  const DiffResult diff = diff_reports(a, b, 0.10);
+  EXPECT_EQ(diff.regressions, 0);
+  ASSERT_EQ(diff.rows.size(), 2u);
+  for (const auto& row : diff.rows) {
+    EXPECT_DOUBLE_EQ(row.ratio, 1.0);
+    EXPECT_FALSE(row.regression);
+  }
+}
+
+TEST(Report, SlowdownOverThresholdIsFlagged) {
+  Report base, cur;
+  ASSERT_TRUE(load_report(write_temp("diff_base.json", metrics_json(0.5, 4.0)),
+                          base, nullptr));
+  // Sweep 40% slower (gates at +10%); level 5% slower (does not).
+  ASSERT_TRUE(load_report(write_temp("diff_cur.json", metrics_json(0.7, 4.2)),
+                          cur, nullptr));
+  const DiffResult diff = diff_reports(base, cur, 0.10);
+  EXPECT_EQ(diff.regressions, 1);
+  for (const auto& row : diff.rows) {
+    if (row.name == "onpl.rs.conflict") {
+      EXPECT_TRUE(row.regression);
+      EXPECT_NEAR(row.ratio, 1.4, 1e-9);
+    } else {
+      EXPECT_FALSE(row.regression);
+    }
+  }
+  // The same pair passes under a looser threshold.
+  EXPECT_EQ(diff_reports(base, cur, 0.50).regressions, 0);
+}
+
+TEST(Report, TinyBaselinesNeverGate) {
+  // Spans whose baseline mean is under min_ms are noise — a 10x ratio
+  // on a 1ns span must not fail CI.
+  Report base, cur;
+  base.spans["tiny"] = ReportRow{"tiny", 100, 0.00001, 0.0000001, 0};
+  cur.spans["tiny"] = ReportRow{"tiny", 100, 0.0001, 0.000001, 0};
+  const DiffResult diff = diff_reports(base, cur, 0.10, 1e-4);
+  EXPECT_EQ(diff.regressions, 0);
+  ASSERT_EQ(diff.rows.size(), 1u);
+  EXPECT_FALSE(diff.rows[0].regression);
+}
+
+TEST(Report, OneSidedSpansAreReportedButNeverGate) {
+  Report base, cur;
+  base.spans["gone"] = ReportRow{"gone", 1, 100.0, 100.0, 0};
+  cur.spans["new"] = ReportRow{"new", 1, 100.0, 100.0, 0};
+  const DiffResult diff = diff_reports(base, cur, 0.10);
+  EXPECT_EQ(diff.regressions, 0);
+  ASSERT_EQ(diff.rows.size(), 2u);
+  bool saw_gone = false, saw_new = false;
+  for (const auto& row : diff.rows) {
+    if (row.name == "gone") {
+      saw_gone = true;
+      EXPECT_TRUE(row.only_in_base);
+    }
+    if (row.name == "new") {
+      saw_new = true;
+      EXPECT_TRUE(row.only_in_cur);
+    }
+  }
+  EXPECT_TRUE(saw_gone);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST(Report, PrintersProduceMarkedTables) {
+  Report rep;
+  rep.path = "x.json";
+  rep.schema = "vgp.telemetry.v1";
+  rep.spans["slow"] = ReportRow{"slow", 2, 10.0, 5.0, 1.5};
+  rep.spans["fast"] = ReportRow{"fast", 4, 1.0, 0.25, 0.0};
+  rep.dropped = 7;
+  rep.perf_available = 0.0;
+  std::stringstream ss;
+  print_report(ss, rep);
+  const std::string out = ss.str();
+  // Heaviest first, drop warning and perf verdict surfaced.
+  EXPECT_LT(out.find("slow"), out.find("fast"));
+  EXPECT_NE(out.find("7 events dropped"), std::string::npos);
+  EXPECT_NE(out.find("perf counters unavailable"), std::string::npos);
+
+  Report base = rep, cur = rep;
+  cur.spans["slow"].mean_ms = 10.0;
+  const DiffResult diff = diff_reports(base, cur, 0.10);
+  std::stringstream ds;
+  print_diff(ds, diff, 0.10);
+  EXPECT_NE(ds.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(ds.str().find("+10%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vgp::telemetry

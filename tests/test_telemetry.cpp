@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "vgp/telemetry/json_reader.hpp"
 #include "vgp/telemetry/registry.hpp"
 #include "vgp/telemetry/sink.hpp"
 
@@ -185,6 +186,59 @@ TEST_F(TelemetryTest, CsvShape) {
   // Names are quoted defensively by the sink.
   EXPECT_NE(out.find("counter,\"test.csv.counter\",2"), std::string::npos);
   EXPECT_NE(out.find("series,\"test.csv.series\",0,5"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, HostileMetricNamesStayValidJson) {
+  // Nothing registers names like these today, but the sinks must not be
+  // one bad name away from emitting an unparseable file.
+  auto& reg = Registry::global();
+  reg.add(reg.counter("quote\"name"), 1.0);
+  reg.add(reg.counter("back\\slash"), 2.0);
+  reg.add(reg.counter("new\nline\ttab\rret"), 3.0);
+  reg.add(reg.counter(std::string("ctrl\x01\x1f") + "bell\x07"), 4.0);
+
+  std::stringstream ss;
+  write_json(ss, reg.collect());
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(parse_json(ss.str(), root, &error)) << error;
+  const JsonValue* counters = root.get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->get("quote\"name"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->get("quote\"name")->num, 1.0);
+  EXPECT_DOUBLE_EQ(counters->get("back\\slash")->num, 2.0);
+  EXPECT_DOUBLE_EQ(counters->get("new\nline\ttab\rret")->num, 3.0);
+  EXPECT_DOUBLE_EQ(
+      counters->get(std::string("ctrl\x01\x1f") + "bell\x07")->num, 4.0);
+}
+
+TEST_F(TelemetryTest, HostileMetricNamesStayLineOrientedCsv) {
+  // The CSV contract is "one record per line, greppable": embedded
+  // newlines and control characters must be escaped, backslash doubled
+  // so the escaping is reversible.
+  auto& reg = Registry::global();
+  reg.add(reg.counter("evil\nname"), 1.0);
+  reg.add(reg.counter("quote\"and\\slash"), 2.0);
+  reg.add(reg.counter("tab\there\x02"), 3.0);
+
+  std::stringstream ss;
+  write_csv(ss, reg.collect());
+  const std::string out = ss.str();
+
+  // Every record is exactly one physical line.
+  std::istringstream lines(out);
+  std::string line;
+  int records = 0;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++records;
+    EXPECT_EQ(line.find('\t'), std::string::npos);
+  }
+  EXPECT_NE(out.find("counter,\"evil\\nname\",1"), std::string::npos);
+  EXPECT_NE(out.find("counter,\"quote\"\"and\\\\slash\",2"),
+            std::string::npos);
+  EXPECT_NE(out.find("counter,\"tab\\there\\x02\",3"), std::string::npos);
+  EXPECT_GE(records, 3);
 }
 
 TEST_F(TelemetryTest, WriteMetricsFilePicksSinkBySuffix) {

@@ -1,0 +1,280 @@
+// Tests for the phase-span tracer: the cost contract (disabled mode
+// records and allocates nothing), multi-threaded span balance, the
+// Chrome-trace exporter round-trip through the repo's own JSON reader,
+// the metrics-snapshot fold, and graceful perf-counter degradation.
+//
+// The tracer is a process-wide singleton like the registry; every test
+// goes through a fixture that enables it, resets committed events, and
+// restores the disabled default afterwards.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vgp/telemetry/json_reader.hpp"
+#include "vgp/telemetry/perf_counters.hpp"
+#include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/report.hpp"
+#include "vgp/telemetry/trace.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& tr = Tracer::global();
+    tr.reset();
+    tr.set_enabled(true);
+  }
+  void TearDown() override {
+    auto& tr = Tracer::global();
+    tr.set_enabled(false);
+    tr.reset();
+  }
+};
+
+const SpanSummary* find_span(const std::vector<SpanSummary>& ss,
+                             const std::string& name) {
+  for (const auto& s : ss) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, SpansBalanceAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        TraceSpan outer("test.outer");
+        outer.arg("iter", i);
+        TraceSpan inner("test.inner");
+        inner.arg_str("backend", "scalar");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every begin has a matching end: exactly one committed event per
+  // constructed span, nothing leaked, nothing double-counted.
+  const auto summaries = Tracer::global().summaries();
+  const SpanSummary* outer = find_span(summaries, "test.outer");
+  const SpanSummary* inner = find_span(summaries, "test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count,
+            static_cast<std::uint64_t>(kThreads * kItersPerThread));
+  EXPECT_EQ(inner->count,
+            static_cast<std::uint64_t>(kThreads * kItersPerThread));
+  EXPECT_GE(outer->total_ms, inner->total_ms);  // inner nests inside outer
+  EXPECT_EQ(Tracer::global().dropped_count(), 0u);
+}
+
+TEST_F(TraceTest, DisabledModeRecordsNothingAndAllocatesNoBuffers) {
+  auto& tr = Tracer::global();
+  tr.set_enabled(false);
+  const std::uint64_t buffers_before = tr.buffers_allocated();
+  const std::uint64_t events_before = tr.event_count();
+
+  // A fresh thread would allocate its ring buffer on first *recorded*
+  // span; while disabled it must not — the ctor is one relaxed load
+  // and a branch, and the dtor returns before touching the buffer.
+  std::thread([] {
+    for (int i = 0; i < 1000; ++i) {
+      TraceSpan span("test.disabled");
+      span.arg("i", i);
+      span.arg_str("s", "x");
+      EXPECT_FALSE(span.active());
+    }
+  }).join();
+
+  EXPECT_EQ(tr.buffers_allocated(), buffers_before);
+  EXPECT_EQ(tr.event_count(), events_before);
+  tr.set_enabled(true);
+}
+
+TEST_F(TraceTest, FullBufferDropsInsteadOfWrapping) {
+  // Default capacity is 65536 events per thread (VGP_TRACE_BUFFER);
+  // overrunning it on a fresh thread must count drops, not wrap.
+  constexpr int kOver = 65536 + 32;
+  std::thread([] {
+    for (int i = 0; i < kOver; ++i) TraceSpan span("test.flood");
+  }).join();
+  auto& tr = Tracer::global();
+  EXPECT_GE(tr.dropped_count(), 32u);
+  const auto summaries = tr.summaries();
+  const SpanSummary* s = find_span(summaries, "test.flood");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 65536u);
+}
+
+TEST_F(TraceTest, ChromeTraceParsesAndCarriesArgs) {
+  {
+    TraceSpan level("test.level");
+    level.arg("level", 0);
+    level.arg_str("policy", "onpl");
+    {
+      TraceSpan sweep("test.sweep");
+      sweep.arg("iter", 3);
+      sweep.arg("moves", 42);
+      sweep.arg_str("backend", "avx512");
+      // Args beyond kMaxSpanArgs are dropped silently, never overflow.
+      for (int i = 0; i < kMaxSpanArgs + 4; ++i) sweep.arg("extra", i);
+    }
+  }
+  std::stringstream ss;
+  Tracer::global().write_chrome_trace(ss);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(parse_json(ss.str(), root, &error)) << error;
+  const JsonValue* other = root.get("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->get("schema"), nullptr);
+  EXPECT_EQ(other->get("schema")->str, "vgp.trace.v1");
+  const JsonValue* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  const JsonValue* sweep_ev = nullptr;
+  const JsonValue* level_ev = nullptr;
+  for (const JsonValue& ev : events->arr) {
+    if (ev.get("name") == nullptr) continue;
+    if (ev.get("name")->str == "test.sweep") sweep_ev = &ev;
+    if (ev.get("name")->str == "test.level") level_ev = &ev;
+  }
+  ASSERT_NE(sweep_ev, nullptr);
+  ASSERT_NE(level_ev, nullptr);
+
+  const JsonValue* args = sweep_ev->get("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->get("iter")->number_or(-1), 3.0);
+  EXPECT_DOUBLE_EQ(args->get("moves")->number_or(-1), 42.0);
+  ASSERT_NE(args->get("backend"), nullptr);
+  EXPECT_EQ(args->get("backend")->str, "avx512");
+  EXPECT_EQ(level_ev->get("args")->get("policy")->str, "onpl");
+
+  // Chrome "X" events: the nested sweep lies inside the level interval.
+  EXPECT_EQ(sweep_ev->get("ph")->str, "X");
+  const double lts = level_ev->get("ts")->number_or(-1);
+  const double ldur = level_ev->get("dur")->number_or(-1);
+  const double sts = sweep_ev->get("ts")->number_or(-1);
+  const double sdur = sweep_ev->get("dur")->number_or(-1);
+  EXPECT_GE(sts, lts);
+  EXPECT_LE(sts + sdur, lts + ldur + 1e-3);  // put_num rounds to 1ns
+}
+
+TEST_F(TraceTest, FlushedTraceRoundTripsThroughReportLoader) {
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("test.roundtrip");
+    span.arg("iter", i);
+  }
+  auto& tr = Tracer::global();
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.json";
+  tr.set_output_path(path);
+  ASSERT_TRUE(flush_trace());
+  tr.set_output_path("");
+
+  Report rep;
+  std::string error;
+  ASSERT_TRUE(load_report(path, rep, &error)) << error;
+  EXPECT_EQ(rep.schema, "vgp.trace.v1");
+  ASSERT_NE(rep.spans.count("test.roundtrip"), 0u);
+  const ReportRow& row = rep.spans.at("test.roundtrip");
+  EXPECT_DOUBLE_EQ(row.count, 5.0);
+  EXPECT_GE(row.total_ms, 0.0);
+  EXPECT_DOUBLE_EQ(row.mean_ms, row.total_ms / 5.0);
+}
+
+TEST_F(TraceTest, RegistrySnapshotFoldsSpanSummaries) {
+  auto& reg = Registry::global();
+  reg.set_enabled(true);
+  reg.reset();
+  {
+    TraceSpan span("test.folded");
+    (void)span;
+  }
+  {
+    TraceSpan span("test.folded");
+    (void)span;
+  }
+  const auto metrics = reg.collect();
+  const auto find = [&metrics](const std::string& name) -> const MetricValue* {
+    for (const auto& m : metrics) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+  const MetricValue* count = find("span.test.folded.count");
+  const MetricValue* total = find("span.test.folded.total_ms");
+  const MetricValue* mean = find("span.test.folded.mean_ms");
+  const MetricValue* dropped = find("trace.dropped");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(total, nullptr);
+  ASSERT_NE(mean, nullptr);
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 2.0);
+  EXPECT_DOUBLE_EQ(mean->value, total->value / 2.0);
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST_F(TraceTest, ScopedPhaseOpensASpan) {
+  auto& reg = Registry::global();
+  reg.set_enabled(true);
+  {
+    ScopedPhase phase("test.phase_span");
+    phase.span().arg("iterations", 7);
+  }
+  const auto summaries = Tracer::global().summaries();
+  const SpanSummary* s = find_span(summaries, "test.phase_span");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1u);
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST_F(TraceTest, PerfProbeDegradesGracefully) {
+  // Whatever this host allows, the probe must return a consistent
+  // verdict and reads must never crash. In containers/CI the expected
+  // outcome is unavailable + a static reason string.
+  const bool available = PerfGroup::counters_available();
+  const char* reason = PerfGroup::unavailable_reason();
+  EXPECT_EQ(available, reason == nullptr);
+  PerfGroup& pg = PerfGroup::thread_local_group();
+  std::uint64_t raw[4] = {1, 1, 1, 1};
+  pg.read_raw(raw);
+  if (!pg.ok()) {
+    for (const std::uint64_t v : raw) EXPECT_EQ(v, 0u);
+  }
+  // Spans still record without perf args.
+  {
+    TraceSpan span("test.perf_degrade");
+    (void)span;
+  }
+  EXPECT_NE(find_span(Tracer::global().summaries(), "test.perf_degrade"),
+            nullptr);
+}
+
+TEST_F(TraceTest, ResetDiscardsEventsAndDrops) {
+  {
+    TraceSpan span("test.reset");
+    (void)span;
+  }
+  auto& tr = Tracer::global();
+  EXPECT_GE(tr.event_count(), 1u);
+  tr.reset();
+  EXPECT_EQ(tr.event_count(), 0u);
+  EXPECT_EQ(tr.dropped_count(), 0u);
+  EXPECT_TRUE(tr.summaries().empty());
+}
+
+}  // namespace
+}  // namespace vgp::telemetry

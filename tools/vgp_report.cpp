@@ -1,0 +1,93 @@
+// vgp-report: per-kernel time/IPC breakdown and baseline-vs-current
+// perf diff over the repo's machine-readable outputs.
+//
+//   vgp-report run.json                      breakdown table
+//   vgp-report base.json current.json        regression diff
+//   vgp-report base.json current.json --threshold=0.25
+//
+// Accepts vgp.telemetry.v1 metrics files (--metrics= / VGP_METRICS) and
+// vgp.trace.v1 Chrome traces (--trace= / VGP_TRACE); the two kinds can
+// be mixed in a diff since both reduce to per-span mean times.
+//
+// Exit codes, for CI gating:
+//   0  no regression over threshold (or single-file mode)
+//   1  at least one span regressed by more than the threshold
+//   2  usage or load error
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "vgp/telemetry/report.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: vgp-report <file> [<baseline-relative-file>] [options]\n"
+         "\n"
+         "  one file:  per-span time/IPC breakdown\n"
+         "  two files: diff (first = baseline, second = current);\n"
+         "             exits 1 when any span's mean time regresses by\n"
+         "             more than the threshold\n"
+         "\n"
+         "options:\n"
+         "  --threshold=<frac>  relative slowdown that counts as a\n"
+         "                      regression (default 0.10 = +10%)\n"
+         "  --min-ms=<ms>       ignore spans with baseline mean below\n"
+         "                      this (default 0.0001)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  double threshold = 0.10;
+  double min_ms = 1e-4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+      if (threshold <= 0.0) {
+        std::cerr << "vgp-report: bad --threshold '" << arg << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--min-ms=", 0) == 0) {
+      min_ms = std::atof(arg.c_str() + 9);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "vgp-report: unknown option '" << arg << "'\n";
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() || files.size() > 2) {
+    usage();
+    return 2;
+  }
+
+  using vgp::telemetry::Report;
+  std::vector<Report> reports(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::string error;
+    if (!vgp::telemetry::load_report(files[i], reports[i], &error)) {
+      std::cerr << "vgp-report: " << error << "\n";
+      return 2;
+    }
+  }
+
+  if (reports.size() == 1) {
+    vgp::telemetry::print_report(std::cout, reports[0]);
+    return 0;
+  }
+
+  const auto diff =
+      vgp::telemetry::diff_reports(reports[0], reports[1], threshold, min_ms);
+  vgp::telemetry::print_diff(std::cout, diff, threshold);
+  return diff.regressions > 0 ? 1 : 0;
+}
