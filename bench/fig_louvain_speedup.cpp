@@ -7,6 +7,7 @@
 // preprocessing excluded from the move-phase timing (reported separately
 // by fig_ovpl_selected).
 #include "bench_common.hpp"
+#include "vgp/community/coarsen.hpp"
 #include "vgp/community/ovpl.hpp"
 
 using namespace vgp;
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
   harness::Series onpl_avx2{"onpl/avx2", {}, {}};
   harness::Series ovpl_fast{"ovpl/host-avx512", {}, {}};
   harness::Series ovpl_slow{"ovpl/slow-scatter", {}, {}};
+  harness::Series mplm_ms{"mplm/level0-iter-ms", {}, {}};
+  harness::Series coarsen_ms{"coarsen/level0-ms", {}, {}};
   const bool have_avx2 = simd::avx2_kernels_available();
 
   for (const auto& entry : gen::table1_suite()) {
@@ -65,6 +68,24 @@ int main(int argc, char** argv) {
     ovpl_fast.values.push_back(harness::speedup(mplm, ovpl));
     ovpl_slow.values.push_back(harness::speedup(mplm, ovpl_s));
 
+    // Time context for the speedups: the level-0 move-phase iteration
+    // the variants are normalized against, and the coarsening step that
+    // follows it (the pipeline this repo's construction PR parallelized).
+    {
+      community::MoveState state = community::make_move_state(g);
+      community::MoveCtx ctx = community::make_move_ctx(g, state);
+      community::run_move_phase(ctx, community::MovePolicy::MPLM,
+                                simd::Backend::Auto);
+      const double coarsen_s =
+          harness::time_repeated(bench::repeat_options(cfg), [&] {
+            (void)community::coarsen(g, state.zeta);
+          }).median;
+      mplm_ms.labels.push_back(entry.name);
+      mplm_ms.values.push_back(mplm * 1e3);
+      coarsen_ms.labels.push_back(entry.name);
+      coarsen_ms.values.push_back(coarsen_s * 1e3);
+    }
+
     // Backend axis: the 8-lane ONPL tier (OVPL has no AVX2 variant — its
     // layout depends on hardware scatters — so only ONPL gets a series).
     if (have_avx2) {
@@ -78,6 +99,8 @@ int main(int argc, char** argv) {
   auto series =
       std::vector<harness::Series>{onpl_fast, onpl_slow, ovpl_fast, ovpl_slow};
   if (have_avx2) series.push_back(onpl_avx2);
+  series.push_back(mplm_ms);
+  series.push_back(coarsen_ms);
   bench::report_series(cfg, "move-phase speedup over MPLM", series);
   return 0;
 }

@@ -1,0 +1,159 @@
+// Microbench: coarsening & graph-construction pipeline vs the scalar
+// unordered_map aggregator it replaced.
+//
+// Two stand-ins bound the workload space: a Graph500-mix R-MAT (skewed
+// degrees, poor locality — the hash aggregator's best case for chaos,
+// worst for cache) and a triangulated mesh (tight degrees, high
+// locality). Partitions come from one real level-0 Louvain move phase so
+// the community structure matches what coarsen sees inside the solver.
+//
+// Reported series:
+//   coarsen-map-ms / coarsen-pipeline-ms   median per-call times
+//   coarsen-speedup                        map / pipeline (higher better)
+//   coarsen-ratio                          pipeline / map (lower better —
+//                                          the series CI gates with
+//                                          vgp-report --threshold)
+//   from-edges-ms                          parallel builder absolute time
+//
+// Every rep also asserts the pipeline's coarse CSR is bit-identical to
+// the reference aggregator's, so the perf numbers can't silently drift
+// away from correctness.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "vgp/community/coarsen.hpp"
+#include "vgp/gen/mesh.hpp"
+#include "vgp/gen/rmat.hpp"
+
+using namespace vgp;
+
+namespace {
+
+struct Workload {
+  std::string name;
+  Graph graph;
+  std::vector<community::CommunityId> zeta;
+};
+
+Graph make_rmat(gen::SuiteScale scale) {
+  int s = 13;
+  switch (scale) {
+    case gen::SuiteScale::Tiny: s = 13; break;
+    case gen::SuiteScale::Small: s = 15; break;
+    case gen::SuiteScale::Medium: s = 17; break;
+    case gen::SuiteScale::Large: s = 19; break;
+  }
+  return gen::rmat(gen::rmat_mix_graph500(s, 8));
+}
+
+Graph make_mesh(gen::SuiteScale scale) {
+  std::int64_t side = 100;
+  switch (scale) {
+    case gen::SuiteScale::Tiny: side = 100; break;
+    case gen::SuiteScale::Small: side = 220; break;
+    case gen::SuiteScale::Medium: side = 450; break;
+    case gen::SuiteScale::Large: side = 900; break;
+  }
+  gen::MeshParams p;
+  p.rows = side;
+  p.cols = side;
+  return gen::triangulated_mesh(p);
+}
+
+/// One level-0 move phase; its labels are the coarsening input.
+std::vector<community::CommunityId> level0_partition(const Graph& g) {
+  community::MoveState state = community::make_move_state(g);
+  community::MoveCtx ctx = community::make_move_ctx(g, state);
+  community::run_move_phase(ctx, community::MovePolicy::MPLM,
+                            simd::Backend::Auto);
+  return state.zeta;
+}
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices() || a.num_arcs() != b.num_arcs()) {
+    return false;
+  }
+  const auto n = static_cast<std::size_t>(a.num_vertices());
+  const auto arcs = static_cast<std::size_t>(a.num_arcs());
+  return std::memcmp(a.offsets_data(), b.offsets_data(),
+                     (n + 1) * sizeof(std::uint64_t)) == 0 &&
+         std::memcmp(a.adjacency_data(), b.adjacency_data(),
+                     arcs * sizeof(VertexId)) == 0 &&
+         std::memcmp(a.weights_data(), b.weights_data(),
+                     arcs * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("ubench: coarsen pipeline vs scalar map aggregator");
+
+  std::vector<Workload> workloads;
+  {
+    Graph rmat = make_rmat(cfg.scale);
+    auto zeta = level0_partition(rmat);
+    workloads.push_back({"rmat-g500", std::move(rmat), std::move(zeta)});
+    Graph mesh = make_mesh(cfg.scale);
+    auto zeta2 = level0_partition(mesh);
+    workloads.push_back({"mesh", std::move(mesh), std::move(zeta2)});
+  }
+
+  harness::Series map_ms{"coarsen-map-ms", {}, {}};
+  harness::Series pipe_ms{"coarsen-pipeline-ms", {}, {}};
+  harness::Series speedup{"coarsen-speedup", {}, {}};
+  harness::Series ratio{"coarsen-ratio", {}, {}};
+  harness::Series build_ms{"from-edges-ms", {}, {}};
+
+  const auto repeat = bench::repeat_options(cfg);
+  for (const Workload& w : workloads) {
+    const auto ref = community::coarsen_reference(w.graph, w.zeta);
+    const auto pipe = community::coarsen(w.graph, w.zeta);
+    if (!same_graph(ref.graph, pipe.graph) || ref.mapping != pipe.mapping) {
+      std::fprintf(stderr,
+                   "ubench_coarsen: pipeline output differs from reference "
+                   "on %s\n",
+                   w.name.c_str());
+      return 1;
+    }
+
+    const double t_map = harness::time_repeated(repeat, [&] {
+                           (void)community::coarsen_reference(w.graph, w.zeta);
+                         }).median;
+    const double t_pipe = harness::time_repeated(repeat, [&] {
+                            (void)community::coarsen(w.graph, w.zeta);
+                          }).median;
+
+    // from_edges on the fine graph's undirected edge list: tracks the
+    // parallel builder on input whose size dwarfs the coarse graph's.
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(w.graph.num_edges()));
+    for (VertexId u = 0; u < w.graph.num_vertices(); ++u) {
+      const auto nbrs = w.graph.neighbors(u);
+      const auto ws = w.graph.edge_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] >= u) edges.push_back({u, nbrs[i], ws[i]});
+      }
+    }
+    const double t_build = harness::time_repeated(repeat, [&] {
+                             (void)Graph::from_edges(w.graph.num_vertices(),
+                                                     edges);
+                           }).median;
+
+    for (auto* s : {&map_ms, &pipe_ms, &speedup, &ratio, &build_ms}) {
+      s->labels.push_back(w.name);
+    }
+    map_ms.values.push_back(t_map * 1e3);
+    pipe_ms.values.push_back(t_pipe * 1e3);
+    speedup.values.push_back(harness::speedup(t_map, t_pipe));
+    ratio.values.push_back(t_map > 0.0 ? t_pipe / t_map : 1.0);
+    build_ms.values.push_back(t_build * 1e3);
+  }
+
+  bench::report_series(cfg, "coarsen pipeline vs map aggregator",
+                       {map_ms, pipe_ms, speedup, ratio, build_ms});
+  return 0;
+}

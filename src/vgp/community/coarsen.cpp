@@ -1,19 +1,771 @@
 #include "vgp/community/coarsen.hpp"
 
-#include <unordered_map>
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>  // reference baseline only — not on the hot path
+#include <utility>
+
+#include "vgp/parallel/counting_sort.hpp"
+#include "vgp/parallel/scan.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/registry.hpp"
+#include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/trace.hpp"
 
 namespace vgp::community {
+namespace {
+
+/// One canonical coarse-edge contribution: a <= b, w is the fine weight.
+struct CoarseTuple {
+  VertexId a = 0;
+  VertexId b = 0;
+  float w = 0.0f;
+};
+
+/// Grouped form used by the direct path: once tuples are distributed to
+/// their coarse row, the a endpoint is implied by the row and dropping it
+/// shrinks the element to 8 aligned bytes — a third less traffic on the
+/// scattered distribution writes and the fold reads.
+struct CoarseBW {
+  VertexId b;
+  float w;
+};
+
+/// Fine (and coarse) vertices per counting chunk. Fixed (never derived
+/// from the pool width) so the chunk decomposition — and with it every
+/// scatter rank — is identical across VGP_THREADS settings.
+constexpr std::int64_t kRowGrain = 4096;
+
+/// Direct-distribution path limits: the exact-row cursor matrix holds
+/// nc * nchunks uint32 cells, so cap both the coarse vertex count and the
+/// total cell count (8M cells = 32 MB). Both bounds depend only on
+/// problem size, never on the pool width, so the path choice — and the
+/// output — is the same at any thread count.
+constexpr std::int64_t kDirectMaxCoarse = std::int64_t{1} << 16;
+constexpr std::int64_t kDirectMaxCells = std::int64_t{1} << 23;
+
+/// Coarse rows are cut into at most 256 contiguous power-of-two blocks
+/// (bucketed fallback path). The block count is a function of the coarse
+/// vertex count alone: the per-bucket stable sort fixes the order
+/// duplicate weights are folded in, so bucket boundaries must not move
+/// with the thread count either.
+int bucket_shift(std::int64_t num_coarse) {
+  int shift = 0;
+  while ((((num_coarse - 1) >> shift) + 1) > 256) ++shift;
+  return shift;
+}
+
+void check_weight_preserved(double fine_total, double coarse_total) {
+  // The pipeline accumulates per-edge weights in double, so the coarse
+  // total can only drift by float-rounding of the per-edge sums —
+  // orders of magnitude inside this bound. A violation means a lost or
+  // double-counted edge, not noise; fail loudly. (The old unordered_map
+  // aggregator could silently rehash mid-build; this contract check is
+  // what replaces trusting it.)
+  const double tol = 1e-6 * std::max(1.0, std::abs(fine_total));
+  if (std::abs(fine_total - coarse_total) > tol) {
+    throw std::runtime_error(
+        "coarsen: total edge weight not preserved (fine " +
+        std::to_string(fine_total) + ", coarse " + std::to_string(coarse_total) +
+        ")");
+  }
+}
+
+/// Per-worker scratch for the duplicate fold, reused across rows, buckets
+/// and calls. The epoch counter only ever grows, so stale stamps from
+/// earlier rows (or earlier coarsen calls) can never alias a live one.
+/// Accumulator and its validity stamp share a 16-byte slot so the fold's
+/// random probe per tuple touches one cache line, not two.
+struct FoldSlot {
+  double acc;
+  std::uint64_t stamp;
+};
+
+struct FoldScratch {
+  std::vector<CoarseTuple> grouped;
+  std::vector<std::uint64_t> row_cursor;
+  std::vector<FoldSlot> slot;
+  std::uint64_t epoch = 0;
+  void ensure(std::int64_t num_coarse) {
+    if (slot.size() < static_cast<std::size_t>(num_coarse)) {
+      slot.assign(static_cast<std::size_t>(num_coarse), FoldSlot{0.0, 0});
+      // Old stamps died with the old size; epoch stays monotonic.
+    }
+  }
+};
+thread_local FoldScratch fold_scratch;
+
+/// Grow-only buffers for the direct path, owned by the calling thread and
+/// reused across coarsen calls (Louvain coarsens once per level). Fresh
+/// multi-MB allocations each call cost more in page faults than the
+/// kernels they feed; warm pages make the staging writes pure L2/L3
+/// traffic. Raw new[] because every byte is overwritten before it is
+/// read — vector's zero-fill would be a wasted memset per call.
+struct DirectScratch {
+  std::unique_ptr<VertexId[]> sa;
+  std::unique_ptr<VertexId[]> sb;
+  std::unique_ptr<float[]> sw;
+  std::size_t staging_cap = 0;
+  std::unique_ptr<CoarseBW[]> tuples;
+  std::size_t tuples_cap = 0;
+  std::vector<std::uint32_t> cells;   // re-zeroed each call (histogram)
+  std::vector<std::uint32_t> bcells;  // re-zeroed each call (histogram)
+  void ensure_staging(std::size_t n) {
+    if (staging_cap < n) {
+      sa.reset(new VertexId[n]);
+      sb.reset(new VertexId[n]);
+      sw.reset(new float[n]);
+      staging_cap = n;
+    }
+  }
+  void ensure_tuples(std::size_t n) {
+    if (tuples_cap < n) {
+      tuples.reset(new CoarseBW[n]);
+      tuples_cap = n;
+    }
+  }
+};
+thread_local DirectScratch direct_scratch;
+
+/// Exclusive scan of a cursor matrix stored COLUMN-major (cells[c*rows+r])
+/// in logical row-major (r, then c) order — the order that groups tuples
+/// by coarse row with chunk-stable rank. The transposed layout keeps the
+/// histogram and cursor probes inside one rows-sized slice (L1-resident
+/// for the direct path's bounds) while the scan itself stays contiguous:
+/// per tile of rows, column passes accumulate row totals and then rewrite
+/// each cell to its exclusive rank, all unit-stride and autovectorizable.
+/// Single-threaded and a pure function of the counts, so the resulting
+/// ranks are identical at any pool width.
+std::uint32_t scan_cells_colmajor(std::uint32_t* cells, std::int64_t rows,
+                                  std::int64_t cols) {
+  constexpr std::int64_t kTile = 1024;
+  std::uint32_t rowtot[kTile];
+  std::uint32_t run = 0;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::int64_t rn = std::min(kTile, rows - r0);
+    for (std::int64_t r = 0; r < rn; ++r) rowtot[r] = 0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::uint32_t* p = cells + c * rows + r0;
+      for (std::int64_t r = 0; r < rn; ++r) rowtot[r] += p[r];
+    }
+    // rowtot becomes the running exclusive base of each tile row.
+    for (std::int64_t r = 0; r < rn; ++r) {
+      const std::uint32_t t = rowtot[r];
+      rowtot[r] = run;
+      run += t;
+    }
+    for (std::int64_t c = 0; c < cols; ++c) {
+      std::uint32_t* p = cells + c * rows + r0;
+      for (std::int64_t r = 0; r < rn; ++r) {
+        const std::uint32_t t = p[r];
+        p[r] = rowtot[r];
+        rowtot[r] += t;
+      }
+    }
+  }
+  return run;
+}
+
+/// Sorts a row's unique tuples by mirror endpoint. Coarse rows average a
+/// handful of neighbors, where std::sort's dispatch overhead dominates;
+/// insertion sort handles the common case, std::sort the hub rows.
+template <typename Tuple>
+void sort_tuples_by_b(Tuple* t, std::int64_t count) {
+  if (count <= 1) return;
+  if (count > 48) {
+    std::sort(t, t + count,
+              [](const Tuple& x, const Tuple& y) { return x.b < y.b; });
+    return;
+  }
+  for (std::int64_t i = 1; i < count; ++i) {
+    const Tuple x = t[i];
+    std::int64_t j = i;
+    for (; j > 0 && t[j - 1].b > x.b; --j) t[j] = t[j - 1];
+    t[j] = x;
+  }
+}
+
+/// Direct-distribution path (nc bounded): one lookup pass emits canonical
+/// tuples into CSR-offset staging, an exact-row counting sort groups them
+/// per coarse row, the stamped fold merges duplicates, and both CSR
+/// halves are written pre-sorted so the builder's row sort is a no-op
+/// scan. No hash map, no comparison sort on the tuple bulk, no atomics on
+/// the adjacency slots.
+void coarsen_direct(const Graph& g, const CommunityId* map, std::int64_t nc,
+                    CoarseResult& res, std::uint64_t& tuples_out,
+                    std::uint64_t& coarse_edges_out) {
+  const std::int64_t n = g.num_vertices();
+  const std::int64_t num_chunks = (n + kRowGrain - 1) / kRowGrain;
+  const std::int64_t arcs_total = g.num_arcs();
+  const std::uint64_t* offs = g.offsets_data();
+  const VertexId* fine_adj = g.adjacency_data();
+  const float* fine_w = g.weights_data();
+
+  DirectScratch& ds = direct_scratch;
+  ds.ensure_staging(
+      static_cast<std::size_t>(std::max<std::int64_t>(arcs_total, 1)));
+  ds.cells.assign(static_cast<std::size_t>(nc * num_chunks), 0);
+  std::vector<std::uint32_t>& cells = ds.cells;
+  CoarseBW* tuples = nullptr;
+  std::uint64_t total_tuples = 0;
+  {
+    telemetry::TraceSpan scatter_span("coarsen.bucket_scatter");
+    // Stage 1: one community-lookup pass. Each fine-row chunk emits its
+    // canonical tuples (SoA, compress-packed) into the staging slice
+    // [offsets[r0], offsets[r1)) — a chunk's arc range bounds its tuple
+    // count, so no counting pre-pass is needed to size the segments.
+    VertexId* const sa = ds.sa.get();
+    VertexId* const sb = ds.sb.get();
+    float* const sw = ds.sw.get();
+    std::vector<std::int64_t> emitted(static_cast<std::size_t>(num_chunks), 0);
+    const auto emit =
+        simd::select<detail::CoarsenEmitKernel>(simd::Backend::Auto);
+    // Stage 2 histogram is fused into the emission loop: the chunk's
+    // freshly written coarse rows are still cache-hot when they are
+    // counted into the cursor matrix. The matrix is chunk-major
+    // (cells[c*nc + r]) so each chunk's random probes stay inside one
+    // nc-sized slice — L1-resident under the direct-path bounds. The
+    // transposed scan then ranks the counts in logical (row, chunk)
+    // order — that order IS the stable grouping order — and every tuple
+    // moves to its precomputed slot. After the move, cells[c*nc + r] is
+    // the end offset of (row r, chunk c), so row ends need no extra
+    // array.
+    {
+      telemetry::TraceSpan emit_span("coarsen.emit");
+      parallel_for(0, num_chunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+        for (std::int64_t c = cf; c < cl; ++c) {
+          const std::int64_t r0 = c * kRowGrain;
+          const std::int64_t r1 = std::min(n, r0 + kRowGrain);
+          const auto base = static_cast<std::size_t>(offs[r0]);
+          const auto cnt = static_cast<std::size_t>(
+              emit.fn(offs, fine_adj, fine_w, r0, r1, map, sa + base,
+                      sb + base, sw + base));
+          emitted[static_cast<std::size_t>(c)] =
+              static_cast<std::int64_t>(cnt);
+          std::uint32_t* const col =
+              cells.data() +
+              static_cast<std::size_t>(c) * static_cast<std::size_t>(nc);
+          const std::size_t hi = base + cnt;
+          for (std::size_t j = base; j < hi; ++j) {
+            ++col[static_cast<std::size_t>(sa[j])];
+          }
+        }
+      });
+    }
+    const std::uint32_t total =
+        scan_cells_colmajor(cells.data(), nc, num_chunks);
+    total_tuples = total;
+    ds.ensure_tuples(std::max<std::uint32_t>(total, 1));
+    tuples = ds.tuples.get();
+    {
+      telemetry::TraceSpan move_span("coarsen.distribute");
+      parallel_for(0, num_chunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+        for (std::int64_t c = cf; c < cl; ++c) {
+          const auto base = static_cast<std::size_t>(offs[c * kRowGrain]);
+          const auto cnt =
+              static_cast<std::size_t>(emitted[static_cast<std::size_t>(c)]);
+          std::uint32_t* const col =
+              cells.data() +
+              static_cast<std::size_t>(c) * static_cast<std::size_t>(nc);
+          const std::size_t hi = base + cnt;
+          for (std::size_t j = base; j < hi; ++j) {
+            // The scattered store misses L2's write-allocate path; peeking
+            // at a later arc's cursor (cheap — the cursor column is hot)
+            // prefetches the destination line for ownership ahead of time.
+            const std::size_t jp = j + 16 < hi ? j + 16 : j;
+            __builtin_prefetch(
+                &tuples[col[static_cast<std::size_t>(sa[jp])]], 1);
+            const auto dst = col[static_cast<std::size_t>(sa[j])]++;
+            tuples[dst] = CoarseBW{sb[j], sw[j]};
+          }
+        }
+      });
+    }
+    scatter_span.arg("tuples", static_cast<std::int64_t>(total));
+    scatter_span.arg("buckets", nc);
+  }
+  tuples_out = total_tuples;
+
+  const auto row_end = [&](std::int64_t r) {
+    return static_cast<std::uint64_t>(
+        cells[static_cast<std::size_t>(num_chunks - 1) *
+                  static_cast<std::size_t>(nc) +
+              static_cast<std::size_t>(r)]);
+  };
+  const auto row_begin = [&](std::int64_t r) {
+    return r == 0 ? std::uint64_t{0} : row_end(r - 1);
+  };
+
+  // Stage 3: stamped fold per coarse row (rows are grouped, duplicates in
+  // fine traversal order, so the double accumulation rounds exactly like
+  // the scalar reference). Each row's unique tuples are compacted to the
+  // row start and insertion-sorted by mirror endpoint while still cache
+  // hot — that is what lets stage 4 emit fully sorted CSR rows.
+  const std::int64_t num_blocks = (nc + kRowGrain - 1) / kRowGrain;
+  std::vector<std::uint64_t> deg(static_cast<std::size_t>(nc), 0);
+  std::vector<std::uint32_t> uniq(static_cast<std::size_t>(nc), 0);
+  std::vector<double> block_weight(static_cast<std::size_t>(num_blocks), 0.0);
+  std::vector<std::uint64_t> block_unique(static_cast<std::size_t>(num_blocks),
+                                          0);
+  // Mirror-rank histogram (stage 4) — filled inside the fold while each
+  // row's uniques are cache-hot.
+  ds.bcells.assign(static_cast<std::size_t>(nc * num_blocks), 0);
+  std::vector<std::uint32_t>& bcells = ds.bcells;
+  {
+    telemetry::TraceSpan fold_span("coarsen.sort_merge");
+    parallel_for(0, num_blocks, 1, [&](std::int64_t bf, std::int64_t bl) {
+      FoldScratch& s = fold_scratch;
+      s.ensure(nc);
+      for (std::int64_t blk = bf; blk < bl; ++blk) {
+        double wsum = 0.0;
+        std::uint64_t ucount = 0;
+        const std::int64_t r0 = blk * kRowGrain;
+        const std::int64_t r1 = std::min(nc, r0 + kRowGrain);
+        // This block's column of the (block-major) mirror histogram; an
+        // nc-sized slice keeps the random ++ probes L1-resident.
+        std::uint32_t* const bcol =
+            bcells.data() +
+            static_cast<std::size_t>(blk) * static_cast<std::size_t>(nc);
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::uint64_t lo = row_begin(r);
+          const std::uint64_t hi = row_end(r);
+          if (lo == hi) continue;
+          ++s.epoch;
+          std::uint64_t out = lo;
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            // The slot probe is a random access into an L2-sized table and
+            // the loop body is otherwise a handful of cycles, so the probe
+            // latency dominates; the upcoming keys are sitting in the
+            // sequential tuple stream, which makes them free to prefetch.
+            const std::uint64_t ip = i + 12 < hi ? i + 12 : i;
+            __builtin_prefetch(&s.slot[static_cast<std::size_t>(tuples[ip].b)]);
+            const CoarseBW t = tuples[i];
+            FoldSlot& slot = s.slot[static_cast<std::size_t>(t.b)];
+            if (slot.stamp == s.epoch) {
+              slot.acc += t.w;
+            } else {
+              slot.stamp = s.epoch;
+              slot.acc = t.w;
+              tuples[out++] = t;
+            }
+          }
+          const auto un = static_cast<std::uint32_t>(out - lo);
+          uniq[static_cast<std::size_t>(r)] = un;
+          ucount += un;
+          sort_tuples_by_b(tuples + lo, static_cast<std::int64_t>(un));
+          // One pass over the sorted uniques: patch the folded weight
+          // back in and histogram mirror ranks. The per-row acc lookups
+          // are order-independent, so doing this after the sort changes
+          // nothing but the wsum addition order — which is still fixed
+          // by the (deterministic) sorted order. Coarse degrees are NOT
+          // tallied here: deg[b] would need an atomic per mirror, and
+          // the same information already lands in bcells — stage 4
+          // recovers deg[r] as uniq[r] plus the bcells row sum, atomic
+          // free.
+          for (std::uint64_t j = lo; j < out; ++j) {
+            const VertexId b = tuples[j].b;
+            const double a = s.slot[static_cast<std::size_t>(b)].acc;
+            tuples[j].w = static_cast<float>(a);
+            wsum += a;
+            if (b != r) {
+              ++bcol[static_cast<std::size_t>(b)];
+            }
+          }
+        }
+        block_weight[static_cast<std::size_t>(blk)] = wsum;
+        block_unique[static_cast<std::size_t>(blk)] = ucount;
+      }
+    });
+  }
+
+  // Weight-preservation contract: fold the per-block double sums in block
+  // order (deterministic) and compare against the fine total.
+  double coarse_total = 0.0;
+  std::uint64_t coarse_edges = 0;
+  for (std::int64_t blk = 0; blk < num_blocks; ++blk) {
+    coarse_total += block_weight[static_cast<std::size_t>(blk)];
+    coarse_edges += block_unique[static_cast<std::size_t>(blk)];
+  }
+  check_weight_preserved(g.total_edge_weight(), coarse_total);
+  coarse_edges_out = coarse_edges;
+
+  // Stage 4: sorted emission. Row r's arcs are [mirror entries a < r, in
+  // ascending a][own uniques (r, b), b ascending, self-loop first] — a
+  // strictly ascending row, so Graph::from_csr's finalize verifies
+  // instead of re-sorting. Mirror ranks come from a per-(row, block)
+  // histogram + flattened scan, mirroring the tuple distribution above;
+  // every adjacency slot is written exactly once, no atomics.
+  //
+  // Per-row degrees first, without fold-time atomics: own uniques plus
+  // the row's mirror count, accumulated column by column over the
+  // block-major histogram so every pass is unit-stride.
+  parallel_for(0, nc, kRowGrain, [&](std::int64_t rf, std::int64_t rl) {
+    for (std::int64_t r = rf; r < rl; ++r) {
+      deg[static_cast<std::size_t>(r)] = uniq[static_cast<std::size_t>(r)];
+    }
+    for (std::int64_t blk = 0; blk < num_blocks; ++blk) {
+      const std::uint32_t* const bcol =
+          bcells.data() +
+          static_cast<std::size_t>(blk) * static_cast<std::size_t>(nc);
+      for (std::int64_t r = rf; r < rl; ++r) {
+        deg[static_cast<std::size_t>(r)] += bcol[static_cast<std::size_t>(r)];
+      }
+    }
+  });
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(nc) + 1, 0);
+  std::copy(deg.begin(), deg.end(), offsets.begin());
+  const std::uint64_t arcs = parallel_prefix_sum(
+      std::span<std::uint64_t>(offsets.data(), static_cast<std::size_t>(nc)));
+  offsets[static_cast<std::size_t>(nc)] = arcs;
+
+  std::vector<VertexId> adj(arcs);
+  std::vector<float> wts(arcs);
+  {
+    telemetry::TraceSpan expand_span("coarsen.expand");
+    expand_span.arg("arcs", static_cast<std::int64_t>(arcs));
+    scan_cells_colmajor(bcells.data(), nc, num_blocks);
+    // The scan ranks mirrors across ALL rows; offsetting by the row's
+    // first cell (block 0 — the first column) turns that into a rank
+    // inside the row's mirror region, which starts at offsets[b].
+    std::vector<std::int64_t> badj(static_cast<std::size_t>(nc));
+    parallel_for(0, nc, kRowGrain, [&](std::int64_t rf, std::int64_t rl) {
+      for (std::int64_t r = rf; r < rl; ++r) {
+        badj[static_cast<std::size_t>(r)] =
+            static_cast<std::int64_t>(offsets[static_cast<std::size_t>(r)]) -
+            static_cast<std::int64_t>(bcells[static_cast<std::size_t>(r)]);
+      }
+    });
+    parallel_for(0, num_blocks, 1, [&](std::int64_t bf, std::int64_t bl) {
+      for (std::int64_t blk = bf; blk < bl; ++blk) {
+        const std::int64_t r0 = blk * kRowGrain;
+        const std::int64_t r1 = std::min(nc, r0 + kRowGrain);
+        std::uint32_t* const bcol =
+            bcells.data() +
+            static_cast<std::size_t>(blk) * static_cast<std::size_t>(nc);
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::uint64_t lo = row_begin(r);
+          const std::uint32_t un = uniq[static_cast<std::size_t>(r)];
+          const std::uint64_t base =
+              offsets[static_cast<std::size_t>(r)] +
+              (deg[static_cast<std::size_t>(r)] - un);
+          for (std::uint32_t k = 0; k < un; ++k) {
+            adj[base + k] = tuples[lo + k].b;
+            wts[base + k] = tuples[lo + k].w;
+          }
+          for (std::uint64_t j = lo; j < lo + un; ++j) {
+            const VertexId b = tuples[j].b;
+            if (b == r) continue;
+            const auto dst = static_cast<std::uint64_t>(
+                badj[static_cast<std::size_t>(b)] +
+                bcol[static_cast<std::size_t>(b)]++);
+            adj[dst] = static_cast<VertexId>(r);
+            wts[dst] = tuples[j].w;
+          }
+        }
+      }
+    });
+  }
+
+  {
+    telemetry::TraceSpan build_span("coarsen.build");
+    res.graph =
+        Graph::from_csr(nc, std::move(offsets), std::move(adj), std::move(wts));
+  }
+}
+
+/// Bucketed fallback (nc beyond the direct-path bounds): row-block
+/// bucket scatter, per-bucket counting sort + stamped fold, atomic-cursor
+/// symmetric expansion, builder row sort. Memory stays O(tuples + 256
+/// buckets) regardless of the coarse vertex count.
+void coarsen_bucketed(const Graph& g, const CommunityId* map, std::int64_t nc,
+                      CoarseResult& res, std::uint64_t& tuples_out,
+                      std::uint64_t& coarse_edges_out) {
+  const std::int64_t n = g.num_vertices();
+  const int shift = bucket_shift(nc);
+  const std::int64_t num_buckets = ((nc - 1) >> shift) + 1;
+
+  // Stage 1: count + rank-partitioned scatter of one canonical tuple
+  // (min(cu,cv), max(cu,cv), w) per fine undirected edge, bucketed by
+  // coarse row block. Both passes walk the CSR the same way, so every
+  // tuple lands in a precomputed slot — no hash map, no atomics.
+  std::vector<std::uint64_t> bucket_begin;
+  std::vector<CoarseTuple> tuples;
+  {
+    telemetry::TraceSpan scatter_span("coarsen.bucket_scatter");
+    tuples = bucket_partition<CoarseTuple>(
+        n, num_buckets, kRowGrain,
+        [&](std::int64_t first, std::int64_t last, auto add) {
+          for (std::int64_t u = first; u < last; ++u) {
+            const CommunityId cu = map[u];
+            for (const VertexId v : g.neighbors(static_cast<VertexId>(u))) {
+              if (v < u) continue;
+              add(std::min(cu, map[v]) >> shift);
+            }
+          }
+        },
+        [&](std::int64_t first, std::int64_t last, auto put) {
+          for (std::int64_t u = first; u < last; ++u) {
+            const CommunityId cu = map[u];
+            const auto nbrs = g.neighbors(static_cast<VertexId>(u));
+            const auto ws = g.edge_weights(static_cast<VertexId>(u));
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+              const VertexId v = nbrs[i];
+              if (v < u) continue;
+              CommunityId a = cu;
+              CommunityId b = map[v];
+              if (a > b) std::swap(a, b);
+              put(a >> shift, CoarseTuple{a, b, ws[i]});
+            }
+          }
+        },
+        bucket_begin);
+    scatter_span.arg("tuples", static_cast<std::int64_t>(tuples.size()));
+    scatter_span.arg("buckets", num_buckets);
+  }
+  tuples_out = tuples.size();
+
+  // Stage 2: per-bucket counting-sort by row, then a stamped dense
+  // accumulator folds each row's duplicates (the FlashMob discipline —
+  // contiguous grouped runs instead of hash scatter — with the
+  // comparison sort replaced by two O(T) distribution passes). Both
+  // passes are stable, so duplicate (a, b) contributions reach the double
+  // accumulator in fine (u, i) traversal order: the rounding is
+  // independent of pool width and bucket count, and bit-identical to the
+  // scalar reference. Unique edges are written back in first-appearance
+  // order — any per-row order works because the CSR builder re-sorts
+  // rows.
+  std::vector<std::uint64_t> deg(static_cast<std::size_t>(nc), 0);
+  std::vector<std::uint64_t> unique_count(
+      static_cast<std::size_t>(num_buckets), 0);
+  std::vector<double> bucket_weight(static_cast<std::size_t>(num_buckets), 0.0);
+  {
+    telemetry::TraceSpan sort_span("coarsen.sort_merge");
+    parallel_for(0, num_buckets, 1, [&](std::int64_t bf, std::int64_t bl) {
+      FoldScratch& s = fold_scratch;
+      s.ensure(nc);
+      for (std::int64_t bkt = bf; bkt < bl; ++bkt) {
+        CoarseTuple* t = tuples.data();
+        const std::uint64_t lo = bucket_begin[static_cast<std::size_t>(bkt)];
+        const std::uint64_t hi = bucket_begin[static_cast<std::size_t>(bkt) + 1];
+        const VertexId base = static_cast<VertexId>(bkt << shift);
+        const std::int64_t span =
+            std::min<std::int64_t>(std::int64_t{1} << shift, nc - base);
+
+        // Counting sort by local row: stable, O(T), no comparisons.
+        s.row_cursor.assign(static_cast<std::size_t>(span) + 1, 0);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          ++s.row_cursor[static_cast<std::size_t>(t[i].a - base) + 1];
+        }
+        for (std::int64_t r = 0; r < span; ++r) {
+          s.row_cursor[static_cast<std::size_t>(r) + 1] +=
+              s.row_cursor[static_cast<std::size_t>(r)];
+        }
+        s.grouped.resize(hi - lo);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          s.grouped[s.row_cursor[static_cast<std::size_t>(t[i].a - base)]++] =
+              t[i];
+        }
+
+        // Fold each row's duplicates through the stamped accumulator,
+        // writing unique edges back over the bucket's tuple range.
+        std::uint64_t out = lo;
+        double wsum = 0.0;
+        std::uint64_t i = 0;
+        const std::uint64_t count = hi - lo;
+        while (i < count) {
+          const VertexId row = s.grouped[i].a;
+          ++s.epoch;
+          const std::uint64_t row_out = out;
+          for (; i < count && s.grouped[i].a == row; ++i) {
+            const CoarseTuple& g = s.grouped[i];
+            FoldSlot& slot = s.slot[static_cast<std::size_t>(g.b)];
+            if (slot.stamp == s.epoch) {
+              slot.acc += g.w;
+            } else {
+              slot.stamp = s.epoch;
+              slot.acc = g.w;
+              t[out++] = g;  // placeholder weight; patched below
+            }
+          }
+          for (std::uint64_t j = row_out; j < out; ++j) {
+            const double a = s.slot[static_cast<std::size_t>(t[j].b)].acc;
+            t[j].w = static_cast<float>(a);
+            wsum += a;
+          }
+        }
+        unique_count[static_cast<std::size_t>(bkt)] = out - lo;
+        bucket_weight[static_cast<std::size_t>(bkt)] = wsum;
+        // Coarse degrees: the mirror endpoint b can live in any other
+        // block, so both increments go through atomics (order-free).
+        for (std::uint64_t j = lo; j < out; ++j) {
+          std::atomic_ref<std::uint64_t>(deg[static_cast<std::size_t>(t[j].a)])
+              .fetch_add(1, std::memory_order_relaxed);
+          if (t[j].b != t[j].a) {
+            std::atomic_ref<std::uint64_t>(
+                deg[static_cast<std::size_t>(t[j].b)])
+                .fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Weight-preservation contract: fold the per-bucket double sums in
+  // bucket order (deterministic) and compare against the fine total.
+  double coarse_total = 0.0;
+  std::uint64_t coarse_edges = 0;
+  for (std::int64_t bkt = 0; bkt < num_buckets; ++bkt) {
+    coarse_total += bucket_weight[static_cast<std::size_t>(bkt)];
+    coarse_edges += unique_count[static_cast<std::size_t>(bkt)];
+  }
+  check_weight_preserved(g.total_edge_weight(), coarse_total);
+  coarse_edges_out = coarse_edges;
+
+  // Stage 3: coarse offsets by parallel scan, then symmetric expansion
+  // of the unique upper-triangle edges into both rows. Slot order within
+  // a row is scheduling-dependent, but every (row, col) pair is unique
+  // after the reduce, so the builder's row sort restores one canonical
+  // layout — and both directions carry the same accumulated float, which
+  // keeps the coarse graph exactly symmetric.
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(nc) + 1, 0);
+  std::copy(deg.begin(), deg.end(), offsets.begin());
+  const std::uint64_t arcs = parallel_prefix_sum(
+      std::span<std::uint64_t>(offsets.data(), static_cast<std::size_t>(nc)));
+  offsets[static_cast<std::size_t>(nc)] = arcs;
+
+  std::vector<VertexId> adj(arcs);
+  std::vector<float> wts(arcs);
+  {
+    telemetry::TraceSpan expand_span("coarsen.expand");
+    expand_span.arg("arcs", static_cast<std::int64_t>(arcs));
+    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    parallel_for(0, num_buckets, 1, [&](std::int64_t bf, std::int64_t bl) {
+      for (std::int64_t bkt = bf; bkt < bl; ++bkt) {
+        const std::uint64_t lo = bucket_begin[static_cast<std::size_t>(bkt)];
+        const std::uint64_t hi = lo + unique_count[static_cast<std::size_t>(bkt)];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const CoarseTuple& t = tuples[i];
+          const std::uint64_t pa =
+              std::atomic_ref<std::uint64_t>(
+                  cursor[static_cast<std::size_t>(t.a)])
+                  .fetch_add(1, std::memory_order_relaxed);
+          adj[pa] = t.b;
+          wts[pa] = t.w;
+          if (t.b != t.a) {
+            const std::uint64_t pb =
+                std::atomic_ref<std::uint64_t>(
+                    cursor[static_cast<std::size_t>(t.b)])
+                    .fetch_add(1, std::memory_order_relaxed);
+            adj[pb] = t.a;
+            wts[pb] = t.w;
+          }
+        }
+      }
+    });
+  }
+
+  {
+    telemetry::TraceSpan build_span("coarsen.build");
+    res.graph =
+        Graph::from_csr(nc, std::move(offsets), std::move(adj), std::move(wts));
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t coarsen_emit_scalar(const std::uint64_t* offsets,
+                                 const VertexId* adj, const float* weights,
+                                 std::int64_t first_row, std::int64_t last_row,
+                                 const CommunityId* map, VertexId* out_a,
+                                 VertexId* out_b, float* out_w) {
+  std::int64_t pos = 0;
+  for (std::int64_t u = first_row; u < last_row; ++u) {
+    const CommunityId cu = map[u];
+    const auto b = static_cast<std::int64_t>(offsets[u]);
+    const auto e = static_cast<std::int64_t>(offsets[u + 1]);
+    // Rows are strictly ascending (finalized graphs), so the canonical
+    // half v >= u is a contiguous suffix — hop straight to it instead of
+    // filtering arc by arc.
+    const std::int64_t s =
+        std::lower_bound(adj + b, adj + e, static_cast<VertexId>(u)) - adj;
+    for (std::int64_t i = s; i < e; ++i) {
+      const CommunityId cv = map[adj[i]];
+      out_a[pos] = std::min(cu, cv);
+      out_b[pos] = std::max(cu, cv);
+      out_w[pos] = weights[i];
+      ++pos;
+    }
+  }
+  return pos;
+}
+
+}  // namespace detail
 
 CoarseResult coarsen(const Graph& g, const std::vector<CommunityId>& zeta) {
+  telemetry::TraceSpan span("coarsen.pipeline");
+  CoarseResult res;
+  {
+    telemetry::TraceSpan relabel_span("coarsen.relabel");
+    res.mapping = zeta;
+    res.num_coarse = compact_labels(res.mapping);
+  }
+
+  const std::int64_t n = g.num_vertices();
+  const std::int64_t nc = res.num_coarse;
+  span.arg("vertices", n);
+  span.arg("coarse_vertices", nc);
+  if (n == 0 || nc == 0) {
+    res.graph = Graph::from_csr(
+        nc, std::vector<std::uint64_t>(static_cast<std::size_t>(nc) + 1, 0),
+        {}, {});
+    return res;
+  }
+
+  const CommunityId* map = res.mapping.data();
+  const std::int64_t num_chunks = (n + kRowGrain - 1) / kRowGrain;
+  const bool direct =
+      nc <= kDirectMaxCoarse && nc * num_chunks <= kDirectMaxCells &&
+      g.num_arcs() < static_cast<std::int64_t>(
+                         std::numeric_limits<std::uint32_t>::max());
+
+  std::uint64_t num_tuples = 0;
+  std::uint64_t coarse_edges = 0;
+  if (direct) {
+    coarsen_direct(g, map, nc, res, num_tuples, coarse_edges);
+  } else {
+    coarsen_bucketed(g, map, nc, res, num_tuples, coarse_edges);
+  }
+  span.arg("coarse_edges", static_cast<std::int64_t>(coarse_edges));
+
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) {
+    reg.append(reg.series("coarsen.tuples"), static_cast<double>(num_tuples));
+    reg.append(reg.series("coarsen.coarse_vertices"), static_cast<double>(nc));
+    reg.append(reg.series("coarsen.coarse_edges"),
+               static_cast<double>(coarse_edges));
+  }
+  return res;
+}
+
+CoarseResult coarsen_reference(const Graph& g,
+                               const std::vector<CommunityId>& zeta) {
   CoarseResult res;
   res.mapping = zeta;
   res.num_coarse = compact_labels(res.mapping);
 
-  // Aggregate fine edges into coarse (cu, cv) buckets. Each undirected
-  // fine edge is visited once (u <= v); float accumulation happens in
-  // double to keep heavy communities exact.
+  // Aggregate fine edges into coarse (cu, cv) buckets through a single
+  // hash map. Each undirected fine edge is visited once (u <= v); float
+  // accumulation happens in double to keep heavy communities exact.
   std::unordered_map<std::uint64_t, double> agg;
-  agg.reserve(static_cast<std::size_t>(g.num_edges()) / 4 + 16);
+  agg.reserve(static_cast<std::size_t>(g.num_edges()) + 16);
   for (VertexId u = 0; u < g.num_vertices(); ++u) {
     const auto cu = res.mapping[static_cast<std::size_t>(u)];
     const auto nbrs = g.neighbors(u);

@@ -19,6 +19,50 @@ struct CoarseResult {
   std::int64_t num_coarse = 0;
 };
 
+/// Builds the coarse graph with the deterministic parallel pipeline:
+/// bucketed tuple scatter, per-bucket sort-then-reduce, symmetric CSR
+/// expansion. Output is bit-identical at any thread count and matches
+/// coarsen_reference exactly. Throws std::runtime_error if total edge
+/// weight is not preserved to 1e-6 relative.
 CoarseResult coarsen(const Graph& g, const std::vector<CommunityId>& zeta);
+
+/// Scalar baseline: sequential unordered_map aggregation into an edge
+/// list, then Graph::from_edges. Kept as the correctness oracle for the
+/// pipeline (tests) and the comparison point for bench/ubench_coarsen.
+CoarseResult coarsen_reference(const Graph& g,
+                               const std::vector<CommunityId>& zeta);
+
+namespace detail {
+
+/// Canonical-tuple emission kernel: walks rows [first_row, last_row) of
+/// the fine CSR, keeps arcs with v >= u (one per undirected edge), and
+/// appends (min(map[u],map[v]), max(map[u],map[v]), w) triples to the SoA
+/// output arrays. Returns the number of tuples written. Every variant
+/// must emit the exact same sequence: the pipeline's bit-determinism
+/// rests on emission order, never on which tier ran.
+std::int64_t coarsen_emit_scalar(const std::uint64_t* offsets,
+                                 const VertexId* adj, const float* weights,
+                                 std::int64_t first_row, std::int64_t last_row,
+                                 const CommunityId* map, VertexId* out_a,
+                                 VertexId* out_b, float* out_w);
+/// 16-lane variant: compare v >= u, masked community-map gather, min/max
+/// canonicalization, compress-store of the surviving lanes — the
+/// branchless form of the scalar skip loop.
+std::int64_t coarsen_emit_avx512(const std::uint64_t* offsets,
+                                 const VertexId* adj, const float* weights,
+                                 std::int64_t first_row, std::int64_t last_row,
+                                 const CommunityId* map, VertexId* out_a,
+                                 VertexId* out_b, float* out_w);
+
+/// Registry tag for the coarse-tuple emission family.
+struct CoarsenEmitKernel {
+  static constexpr const char* name = "coarsen.emit";
+  using Fn = std::int64_t (*)(const std::uint64_t*, const VertexId*,
+                              const float*, std::int64_t, std::int64_t,
+                              const CommunityId*, VertexId*, VertexId*,
+                              float*);
+};
+
+}  // namespace detail
 
 }  // namespace vgp::community

@@ -1,8 +1,10 @@
 #include "vgp/community/partition.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 namespace vgp::community {
 
@@ -13,15 +15,64 @@ std::vector<CommunityId> singleton_partition(std::int64_t n) {
 }
 
 std::int64_t compact_labels(std::vector<CommunityId>& zeta) {
-  std::unordered_map<CommunityId, CommunityId> remap;
-  remap.reserve(zeta.size() / 4 + 1);
-  CommunityId next = 0;
-  for (auto& z : zeta) {
-    const auto [it, inserted] = remap.try_emplace(z, next);
-    if (inserted) ++next;
-    z = it->second;
+  if (zeta.empty()) return 0;
+  CommunityId min_label = zeta[0];
+  CommunityId max_label = zeta[0];
+  for (CommunityId z : zeta) {
+    min_label = std::min(min_label, z);
+    max_label = std::max(max_label, z);
   }
-  return next;
+
+  // Dense remap table. Louvain labels are always vertex ids, so the label
+  // space is bounded by the vertex count and the table is small; coarsen()
+  // runs this on its hot path, where the hash map this replaces cost more
+  // than the whole tuple scatter.
+  const std::int64_t span = static_cast<std::int64_t>(max_label) + 1;
+  const std::int64_t cap =
+      std::max<std::int64_t>(4 * static_cast<std::int64_t>(zeta.size()), 1024);
+  if (min_label >= 0 && span <= cap) {
+    std::vector<CommunityId> remap(static_cast<std::size_t>(span), -1);
+    CommunityId next = 0;
+    for (auto& z : zeta) {
+      CommunityId& slot = remap[static_cast<std::size_t>(z)];
+      if (slot < 0) slot = next++;
+      z = slot;
+    }
+    return next;
+  }
+
+  // Sparse or negative label space: order-preserving compaction through a
+  // sorted (label, first index) table instead of a hash map.
+  std::vector<std::pair<CommunityId, std::int64_t>> first;
+  first.reserve(zeta.size());
+  for (std::size_t i = 0; i < zeta.size(); ++i) {
+    first.emplace_back(zeta[i], static_cast<std::int64_t>(i));
+  }
+  std::sort(first.begin(), first.end());
+  first.erase(std::unique(first.begin(), first.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              first.end());
+  // `first` is label-sorted with each label's earliest position; rank the
+  // labels by first appearance to keep the historical id order.
+  std::vector<std::int64_t> order(first.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return first[static_cast<std::size_t>(a)].second <
+           first[static_cast<std::size_t>(b)].second;
+  });
+  std::vector<CommunityId> rank(first.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<std::size_t>(order[i])] = static_cast<CommunityId>(i);
+  }
+  for (auto& z : zeta) {
+    const auto it = std::lower_bound(
+        first.begin(), first.end(), z,
+        [](const auto& a, CommunityId v) { return a.first < v; });
+    z = rank[static_cast<std::size_t>(it - first.begin())];
+  }
+  return static_cast<std::int64_t>(first.size());
 }
 
 std::int64_t count_communities(const std::vector<CommunityId>& zeta) {

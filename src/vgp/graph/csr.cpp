@@ -1,12 +1,45 @@
 #include "vgp/graph/csr.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <atomic>
+#include <limits>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "vgp/parallel/counting_sort.hpp"
+#include "vgp/parallel/scan.hpp"
 #include "vgp/parallel/thread_pool.hpp"
+#include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/trace.hpp"
 
 namespace vgp {
+namespace {
+
+/// One directed half of an input edge, headed for row `row`.
+struct RowHalf {
+  VertexId row = 0;
+  VertexId col = 0;
+  float w = 0.0f;
+};
+
+/// Edges per counting chunk and vertices per stats/validate chunk. Fixed
+/// sizes (never derived from the pool width) keep every chunk
+/// decomposition — and everything computed per chunk — identical across
+/// VGP_THREADS settings.
+constexpr std::int64_t kEdgeGrain = 1 << 14;
+constexpr std::int64_t kRowGrain = 4096;
+
+/// Rows are grouped into at most 256 contiguous power-of-two blocks; each
+/// block is one scatter bucket, so every row is owned by exactly one
+/// bucket and the per-row degree counts and cursors need no atomics.
+int row_bucket_shift(std::int64_t n) {
+  int shift = 0;
+  while ((((n - 1) >> shift) + 1) > 256) ++shift;
+  return shift;
+}
+
+}  // namespace
 
 std::vector<double> Graph::volumes() const {
   std::vector<double> vol(static_cast<std::size_t>(n_), 0.0);
@@ -29,66 +62,172 @@ bool Graph::validate(std::string* why) const {
     return fail("offset endpoints wrong");
   if (adj_.size() != weights_.size()) return fail("weights size mismatch");
 
-  for (std::int64_t u = 0; u < n_; ++u) {
+  // Returns the first defect of row u in the same check order the old
+  // sequential validator used, so the parallel scan below can still
+  // report the exact failure a sequential walk would have found first.
+  const auto check_row = [&](std::int64_t u) -> std::optional<std::string> {
     const auto nbrs = neighbors(static_cast<VertexId>(u));
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const VertexId v = nbrs[i];
-      if (v < 0 || v >= n_) return fail("neighbor id out of range");
+      if (v < 0 || v >= n_) return "neighbor id out of range";
       if (i > 0 && nbrs[i - 1] >= v)
-        return fail("neighbor list not strictly sorted at vertex " +
-                    std::to_string(u));
+        return "neighbor list not strictly sorted at vertex " +
+               std::to_string(u);
       if (v != u) {
         // Symmetry: u must appear in v's (sorted) list with equal weight.
         const auto back = neighbors(v);
         const auto it = std::lower_bound(back.begin(), back.end(),
                                          static_cast<VertexId>(u));
         if (it == back.end() || *it != u)
-          return fail("missing reverse edge " + std::to_string(u) + "-" +
-                      std::to_string(v));
+          return "missing reverse edge " + std::to_string(u) + "-" +
+                 std::to_string(v);
         const auto widx = static_cast<std::size_t>(it - back.begin());
         const float w_uv = edge_weights(static_cast<VertexId>(u))[i];
         const float w_vu = edge_weights(v)[widx];
-        if (w_uv != w_vu) return fail("asymmetric edge weight");
+        if (w_uv != w_vu) return "asymmetric edge weight";
       }
     }
     for (float w : edge_weights(static_cast<VertexId>(u))) {
-      if (!(w > 0.0f)) return fail("non-positive edge weight");
+      if (!(w > 0.0f)) return "non-positive edge weight";
+    }
+    return std::nullopt;
+  };
+
+  // Each fixed chunk records its own first failing row; folding the
+  // per-chunk results in chunk order afterwards recovers the globally
+  // first failure deterministically. The shared bound only prunes work:
+  // chunks past an already-known failure can stop early without
+  // affecting which failure wins.
+  const std::int64_t nchunks = n_ > 0 ? (n_ + kRowGrain - 1) / kRowGrain : 0;
+  std::vector<std::int64_t> bad_row(static_cast<std::size_t>(nchunks), n_);
+  std::vector<std::string> bad_msg(static_cast<std::size_t>(nchunks));
+  std::atomic<std::int64_t> bound{n_};
+  parallel_for(0, nchunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+    for (std::int64_t c = cf; c < cl; ++c) {
+      const std::int64_t lo = c * kRowGrain;
+      const std::int64_t hi = std::min(n_, lo + kRowGrain);
+      if (lo > bound.load(std::memory_order_relaxed)) continue;
+      for (std::int64_t u = lo; u < hi; ++u) {
+        if (auto msg = check_row(u)) {
+          bad_row[static_cast<std::size_t>(c)] = u;
+          bad_msg[static_cast<std::size_t>(c)] = std::move(*msg);
+          std::int64_t cur = bound.load(std::memory_order_relaxed);
+          while (u < cur &&
+                 !bound.compare_exchange_weak(cur, u,
+                                              std::memory_order_relaxed)) {
+          }
+          break;
+        }
+      }
+    }
+  });
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    if (bad_row[static_cast<std::size_t>(c)] < n_) {
+      return fail(bad_msg[static_cast<std::size_t>(c)]);
     }
   }
   return true;
 }
 
 Graph Graph::from_edges(std::int64_t n, std::span<const Edge> edges) {
-  for (const Edge& e : edges) {
-    if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n)
-      throw std::invalid_argument("edge endpoint out of range");
-    if (!(e.w > 0.0f)) throw std::invalid_argument("edge weight must be > 0");
-  }
+  telemetry::TraceSpan span("graph.build.from_edges");
+  span.arg("vertices", n);
+  span.arg("edges", static_cast<std::int64_t>(edges.size()));
 
-  // Counting pass: each non-loop edge lands in both endpoint rows.
-  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n) + 1, 0);
-  for (const Edge& e : edges) {
-    ++counts[static_cast<std::size_t>(e.u) + 1];
-    if (e.u != e.v) ++counts[static_cast<std::size_t>(e.v) + 1];
+  const auto m = static_cast<std::int64_t>(edges.size());
+  {
+    // Parallel validation with a deterministic verdict: track the lowest
+    // offending edge index, then re-inspect that one edge so the thrown
+    // message is exactly what the old sequential loop would have raised.
+    std::atomic<std::int64_t> first_bad{m};
+    parallel_for(0, m, kEdgeGrain, [&](std::int64_t first, std::int64_t last) {
+      for (std::int64_t i = first; i < last; ++i) {
+        const Edge& e = edges[static_cast<std::size_t>(i)];
+        if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n || !(e.w > 0.0f)) {
+          std::int64_t cur = first_bad.load(std::memory_order_relaxed);
+          while (i < cur && !first_bad.compare_exchange_weak(
+                                cur, i, std::memory_order_relaxed)) {
+          }
+          return;
+        }
+      }
+    });
+    const std::int64_t bad = first_bad.load(std::memory_order_relaxed);
+    if (bad < m) {
+      const Edge& e = edges[static_cast<std::size_t>(bad)];
+      if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n)
+        throw std::invalid_argument("edge endpoint out of range");
+      throw std::invalid_argument("edge weight must be > 0");
+    }
   }
-  std::partial_sum(counts.begin(), counts.end(), counts.begin());
 
   Graph g;
   g.n_ = n;
-  g.offsets_ = counts;
-  g.adj_.resize(counts.back());
-  g.weights_.resize(counts.back());
-
-  std::vector<std::uint64_t> cursor(counts.begin(), counts.end() - 1);
-  for (const Edge& e : edges) {
-    auto put = [&](VertexId row, VertexId col, float w) {
-      const auto pos = cursor[static_cast<std::size_t>(row)]++;
-      g.adj_[pos] = col;
-      g.weights_[pos] = w;
-    };
-    put(e.u, e.v, e.w);
-    if (e.u != e.v) put(e.v, e.u, e.w);
+  if (n == 0 || m == 0) {
+    g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    g.finalize();
+    return g;
   }
+
+  // Stage 1: scatter both directed halves of every edge into row-block
+  // buckets. Within a bucket the halves stay in producer order — global
+  // edge order, u-half before v-half — which is exactly the order the
+  // old sequential cursor scatter emitted, so the final per-row layout
+  // (and finalize's weight-merge order) is unchanged.
+  const int shift = row_bucket_shift(n);
+  const std::int64_t num_buckets = ((n - 1) >> shift) + 1;
+  std::vector<std::uint64_t> bucket_begin;
+  std::vector<RowHalf> halves = bucket_partition<RowHalf>(
+      m, num_buckets, kEdgeGrain,
+      [&](std::int64_t first, std::int64_t last, auto add) {
+        for (std::int64_t i = first; i < last; ++i) {
+          const Edge& e = edges[static_cast<std::size_t>(i)];
+          add(e.u >> shift);
+          if (e.u != e.v) add(e.v >> shift);
+        }
+      },
+      [&](std::int64_t first, std::int64_t last, auto put) {
+        for (std::int64_t i = first; i < last; ++i) {
+          const Edge& e = edges[static_cast<std::size_t>(i)];
+          put(e.u >> shift, RowHalf{e.u, e.v, e.w});
+          if (e.u != e.v) put(e.v >> shift, RowHalf{e.v, e.u, e.w});
+        }
+      },
+      bucket_begin);
+
+  // Stage 2: per-row degrees. Every row belongs to exactly one bucket,
+  // so each bucket counts its own row range without atomics.
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  parallel_for(0, num_buckets, 1, [&](std::int64_t bf, std::int64_t bl) {
+    for (std::int64_t bkt = bf; bkt < bl; ++bkt) {
+      const std::uint64_t lo = bucket_begin[static_cast<std::size_t>(bkt)];
+      const std::uint64_t hi = bucket_begin[static_cast<std::size_t>(bkt) + 1];
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        ++offsets[static_cast<std::size_t>(halves[i].row)];
+      }
+    }
+  });
+  const std::uint64_t arcs = parallel_prefix_sum(
+      std::span<std::uint64_t>(offsets.data(), static_cast<std::size_t>(n)));
+  offsets[static_cast<std::size_t>(n)] = arcs;
+
+  // Stage 3: rank-partitioned scatter into the CSR arrays, again with
+  // per-bucket row cursor exclusivity instead of atomics.
+  g.offsets_ = offsets;
+  g.adj_.resize(arcs);
+  g.weights_.resize(arcs);
+  parallel_for(0, num_buckets, 1, [&](std::int64_t bf, std::int64_t bl) {
+    for (std::int64_t bkt = bf; bkt < bl; ++bkt) {
+      const std::uint64_t lo = bucket_begin[static_cast<std::size_t>(bkt)];
+      const std::uint64_t hi = bucket_begin[static_cast<std::size_t>(bkt) + 1];
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        const RowHalf& h = halves[i];
+        const std::uint64_t pos = offsets[static_cast<std::size_t>(h.row)]++;
+        g.adj_[pos] = h.col;
+        g.weights_[pos] = h.w;
+      }
+    }
+  });
 
   g.finalize();
   return g;
@@ -110,6 +249,7 @@ Graph Graph::from_csr(std::int64_t n, std::vector<std::uint64_t> offsets,
 }
 
 void Graph::finalize() {
+  telemetry::TraceSpan span("graph.build.finalize");
   // Sort each row by neighbor id and merge parallel edges (summed weight).
   // Rows shrink in place; a compaction pass rebuilds the offsets.
   std::vector<std::uint64_t> new_len(static_cast<std::size_t>(n_), 0);
@@ -119,6 +259,18 @@ void Graph::finalize() {
     for (std::int64_t u = first; u < last; ++u) {
       const auto b = offsets_[static_cast<std::size_t>(u)];
       const auto e = offsets_[static_cast<std::size_t>(u) + 1];
+      // A strictly ascending row is already sorted and parallel-edge-free;
+      // skip the copy/sort/merge. Builders that emit canonical rows (the
+      // coarsening pipeline) make this the common case, and on unsorted
+      // input the scan bails at the first inversion.
+      bool sorted = true;
+      for (auto i = b + 1; i < e && sorted; ++i) {
+        sorted = adj_[i - 1] < adj_[i];
+      }
+      if (sorted) {
+        new_len[static_cast<std::size_t>(u)] = e - b;
+        continue;
+      }
       row.clear();
       for (auto i = b; i < e; ++i) row.emplace_back(adj_[i], weights_[i]);
       std::sort(row.begin(), row.end(),
@@ -137,50 +289,90 @@ void Graph::finalize() {
     }
   });
 
-  // Compact rows toward the front (sequential: rows move left only).
+  // Compact rows toward the front. Out of place: compacting in place in
+  // parallel would let row u's destination overlap a lower row's
+  // still-unread source (e.g. only row 0 shrinks — every later row then
+  // copies into the region its left neighbour is reading).
   std::vector<std::uint64_t> new_offsets(static_cast<std::size_t>(n_) + 1, 0);
-  for (std::int64_t u = 0; u < n_; ++u)
-    new_offsets[static_cast<std::size_t>(u) + 1] =
-        new_offsets[static_cast<std::size_t>(u)] + new_len[static_cast<std::size_t>(u)];
-  for (std::int64_t u = 0; u < n_; ++u) {
-    const auto src = offsets_[static_cast<std::size_t>(u)];
-    const auto dst = new_offsets[static_cast<std::size_t>(u)];
-    const auto len = new_len[static_cast<std::size_t>(u)];
-    if (src != dst) {
-      std::copy(adj_.begin() + static_cast<std::ptrdiff_t>(src),
-                adj_.begin() + static_cast<std::ptrdiff_t>(src + len),
-                adj_.begin() + static_cast<std::ptrdiff_t>(dst));
-      std::copy(weights_.begin() + static_cast<std::ptrdiff_t>(src),
-                weights_.begin() + static_cast<std::ptrdiff_t>(src + len),
-                weights_.begin() + static_cast<std::ptrdiff_t>(dst));
-    }
+  std::copy(new_len.begin(), new_len.end(), new_offsets.begin());
+  const std::uint64_t compact_arcs = parallel_prefix_sum(
+      std::span<std::uint64_t>(new_offsets.data(), static_cast<std::size_t>(n_)));
+  new_offsets[static_cast<std::size_t>(n_)] = compact_arcs;
+
+  if (compact_arcs != adj_.size()) {
+    aligned_vector<VertexId> new_adj(compact_arcs);
+    aligned_vector<float> new_weights(compact_arcs);
+    parallel_for(0, n_, 1024, [&](std::int64_t first, std::int64_t last) {
+      for (std::int64_t u = first; u < last; ++u) {
+        const auto src = offsets_[static_cast<std::size_t>(u)];
+        const auto dst = new_offsets[static_cast<std::size_t>(u)];
+        const auto len = new_len[static_cast<std::size_t>(u)];
+        std::copy(adj_.begin() + static_cast<std::ptrdiff_t>(src),
+                  adj_.begin() + static_cast<std::ptrdiff_t>(src + len),
+                  new_adj.begin() + static_cast<std::ptrdiff_t>(dst));
+        std::copy(weights_.begin() + static_cast<std::ptrdiff_t>(src),
+                  weights_.begin() + static_cast<std::ptrdiff_t>(src + len),
+                  new_weights.begin() + static_cast<std::ptrdiff_t>(dst));
+      }
+    });
+    adj_ = std::move(new_adj);
+    weights_ = std::move(new_weights);
   }
   offsets_ = std::move(new_offsets);
-  adj_.resize(offsets_.back());
-  weights_.resize(offsets_.back());
 
-  // Cached statistics.
+  // Cached statistics: per-chunk partials folded in chunk order, so the
+  // double sums round identically at any thread count.
   self_weight_.assign(static_cast<std::size_t>(n_), 0.0f);
+  struct StatsPartial {
+    std::int64_t max_degree = 0;
+    std::int64_t undirected_edges = 0;
+    double non_loop_weight = 0.0;
+    double loop_weight = 0.0;
+  };
+  const std::int64_t nchunks = n_ > 0 ? (n_ + kRowGrain - 1) / kRowGrain : 0;
+  std::vector<StatsPartial> partials(static_cast<std::size_t>(nchunks));
+  parallel_for(0, nchunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+    for (std::int64_t c = cf; c < cl; ++c) {
+      StatsPartial& p = partials[static_cast<std::size_t>(c)];
+      const std::int64_t lo = c * kRowGrain;
+      const std::int64_t hi = std::min(n_, lo + kRowGrain);
+      for (std::int64_t u = lo; u < hi; ++u) {
+        p.max_degree = std::max(p.max_degree, degree(static_cast<VertexId>(u)));
+        const auto nbrs = neighbors(static_cast<VertexId>(u));
+        const auto ws = edge_weights(static_cast<VertexId>(u));
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (nbrs[i] == u) {
+            self_weight_[static_cast<std::size_t>(u)] = ws[i];
+            p.loop_weight += ws[i];
+            ++p.undirected_edges;
+          } else {
+            p.non_loop_weight += ws[i];
+            if (nbrs[i] > u) ++p.undirected_edges;
+          }
+        }
+      }
+    }
+  });
   max_degree_ = 0;
   undirected_edges_ = 0;
   double non_loop_weight = 0.0;
   double loop_weight = 0.0;
-  for (std::int64_t u = 0; u < n_; ++u) {
-    max_degree_ = std::max(max_degree_, degree(static_cast<VertexId>(u)));
-    const auto nbrs = neighbors(static_cast<VertexId>(u));
-    const auto ws = edge_weights(static_cast<VertexId>(u));
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (nbrs[i] == u) {
-        self_weight_[static_cast<std::size_t>(u)] = ws[i];
-        loop_weight += ws[i];
-        ++undirected_edges_;
-      } else {
-        non_loop_weight += ws[i];
-        if (nbrs[i] > u) ++undirected_edges_;
-      }
-    }
+  for (const StatsPartial& p : partials) {
+    max_degree_ = std::max(max_degree_, p.max_degree);
+    undirected_edges_ += p.undirected_edges;
+    non_loop_weight += p.non_loop_weight;
+    loop_weight += p.loop_weight;
   }
   total_weight_ = non_loop_weight / 2.0 + loop_weight;
+
+  span.arg("vertices", n_);
+  span.arg("arcs", static_cast<std::int64_t>(adj_.size()));
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) {
+    reg.append(reg.series("graph.build.vertices"), static_cast<double>(n_));
+    reg.append(reg.series("graph.build.arcs"),
+               static_cast<double>(adj_.size()));
+  }
 }
 
 }  // namespace vgp

@@ -1,0 +1,105 @@
+// Deterministic parallel counting sort / bucket partitioner.
+//
+// The textbook parallel counting sort keeps one histogram per *thread*,
+// which makes the output depend on which thread ran which slice. These
+// helpers keep one histogram per fixed-size *chunk* instead — chunk
+// boundaries depend only on the domain size — so after one
+// parallel_prefix_sum over the bucket-major (bucket, chunk) counts
+// matrix every chunk owns an exclusive, precomputed destination range
+// per bucket. The scatter needs no atomics, and every output byte is
+// identical for any pool width. This is the distribution engine behind
+// Graph::from_edges and community::coarsen (FlashMob-style
+// sort-then-merge instead of hash-scatter aggregation).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vgp/parallel/scan.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+
+namespace vgp {
+
+/// Distributes the products of a chunked producer into bucket-grouped
+/// order. The input domain [0, domain) is cut into fixed chunks of
+/// `grain` indices; `count(first, last, add)` and `emit(first, last,
+/// put)` each iterate one chunk and must produce identical bucket
+/// sequences — `add(bucket)` reserves a slot, `put(bucket, item)` fills
+/// it. Items within a bucket keep producer order (stable), and the
+/// output is independent of the thread count. On return,
+/// `bucket_begin[b] .. bucket_begin[b+1]` spans bucket b.
+template <typename T, typename CountFn, typename EmitFn>
+std::vector<T> bucket_partition(std::int64_t domain, std::int64_t num_buckets,
+                                std::int64_t grain, CountFn count, EmitFn emit,
+                                std::vector<std::uint64_t>& bucket_begin) {
+  if (grain < 1) grain = 1;
+  const std::int64_t nchunks = domain > 0 ? (domain + grain - 1) / grain : 0;
+  bucket_begin.assign(static_cast<std::size_t>(num_buckets) + 1, 0);
+  if (nchunks == 0) return {};
+
+  // Bucket-major counts matrix: cell (b, c) counts chunk c's items for
+  // bucket b, so one exclusive scan turns it into scatter ranks.
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(num_buckets * nchunks), 0);
+  parallel_for(0, nchunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+    for (std::int64_t c = cf; c < cl; ++c) {
+      std::uint64_t* cell = counts.data() + c;  // stride nchunks per bucket
+      count(c * grain, std::min(domain, (c + 1) * grain),
+            [&](std::int64_t bucket) { ++cell[bucket * nchunks]; });
+    }
+  });
+
+  const std::uint64_t total =
+      parallel_prefix_sum(std::span<std::uint64_t>(counts));
+  for (std::int64_t b = 0; b < num_buckets; ++b) {
+    bucket_begin[static_cast<std::size_t>(b)] =
+        counts[static_cast<std::size_t>(b * nchunks)];
+  }
+  bucket_begin[static_cast<std::size_t>(num_buckets)] = total;
+
+  std::vector<T> out(static_cast<std::size_t>(total));
+  parallel_for(0, nchunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+    for (std::int64_t c = cf; c < cl; ++c) {
+      // Each (bucket, chunk) cell is owned by exactly this chunk, so the
+      // scanned counts double as scatter cursors in place.
+      std::uint64_t* cursor = counts.data() + c;
+      emit(c * grain, std::min(domain, (c + 1) * grain),
+           [&](std::int64_t bucket, const T& item) {
+             out[cursor[bucket * nchunks]++] = item;
+           });
+    }
+  });
+  return out;
+}
+
+/// Counting sort of `in` into `out` (same length) grouped by
+/// key(item) ∈ [0, num_buckets), stable within each bucket and
+/// deterministic across thread counts. Optionally reports bucket
+/// boundaries (size num_buckets + 1).
+template <typename T, typename KeyFn>
+void parallel_counting_sort(std::span<const T> in, std::span<T> out,
+                            std::int64_t num_buckets, KeyFn key,
+                            std::vector<std::uint64_t>* bucket_begin_out = nullptr,
+                            std::int64_t grain = 1 << 14) {
+  std::vector<std::uint64_t> bucket_begin;
+  std::vector<T> grouped = bucket_partition<T>(
+      static_cast<std::int64_t>(in.size()), num_buckets, grain,
+      [&](std::int64_t first, std::int64_t last, auto add) {
+        for (std::int64_t i = first; i < last; ++i) {
+          add(key(in[static_cast<std::size_t>(i)]));
+        }
+      },
+      [&](std::int64_t first, std::int64_t last, auto put) {
+        for (std::int64_t i = first; i < last; ++i) {
+          const T& item = in[static_cast<std::size_t>(i)];
+          put(key(item), item);
+        }
+      },
+      bucket_begin);
+  std::copy(grouped.begin(), grouped.end(), out.begin());
+  if (bucket_begin_out != nullptr) *bucket_begin_out = std::move(bucket_begin);
+}
+
+}  // namespace vgp

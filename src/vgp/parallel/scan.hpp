@@ -1,0 +1,66 @@
+// Blocked parallel prefix sum (scan).
+//
+// Three-phase scan: per-block sums in parallel, a short sequential scan
+// over the block sums, then a parallel rewrite pass. Deterministic by
+// construction: block boundaries depend only on the input length, never
+// on the pool width, so any VGP_THREADS setting produces identical
+// output — the property the graph-construction pipeline's
+// rank-partitioned scatter relies on (coarse graphs must be
+// bit-identical across thread counts).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vgp/parallel/thread_pool.hpp"
+
+namespace vgp {
+
+/// In-place exclusive prefix sum over `data`; returns the grand total
+/// (what an element one past the end would hold). `block` is the scan
+/// block length — a tuning knob, not a correctness one.
+template <typename T>
+T parallel_prefix_sum(std::span<T> data, std::int64_t block = 1 << 15) {
+  const auto n = static_cast<std::int64_t>(data.size());
+  if (n == 0) return T{0};
+  if (block < 1) block = 1;
+  const std::int64_t nblocks = (n + block - 1) / block;
+
+  std::vector<T> block_sum(static_cast<std::size_t>(nblocks));
+  parallel_for(0, nblocks, 1, [&](std::int64_t first, std::int64_t last) {
+    for (std::int64_t b = first; b < last; ++b) {
+      const std::int64_t lo = b * block;
+      const std::int64_t hi = std::min(n, lo + block);
+      T sum{0};
+      for (std::int64_t i = lo; i < hi; ++i) {
+        sum += data[static_cast<std::size_t>(i)];
+      }
+      block_sum[static_cast<std::size_t>(b)] = sum;
+    }
+  });
+
+  T total{0};
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    const T s = block_sum[static_cast<std::size_t>(b)];
+    block_sum[static_cast<std::size_t>(b)] = total;
+    total += s;
+  }
+
+  parallel_for(0, nblocks, 1, [&](std::int64_t first, std::int64_t last) {
+    for (std::int64_t b = first; b < last; ++b) {
+      const std::int64_t lo = b * block;
+      const std::int64_t hi = std::min(n, lo + block);
+      T running = block_sum[static_cast<std::size_t>(b)];
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const T v = data[static_cast<std::size_t>(i)];
+        data[static_cast<std::size_t>(i)] = running;
+        running += v;
+      }
+    }
+  });
+  return total;
+}
+
+}  // namespace vgp

@@ -135,9 +135,22 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+namespace {
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+}  // namespace
+
+ScopedPool::ScopedPool(ThreadPool& pool)
+    : prev_(g_pool_override.exchange(&pool, std::memory_order_acq_rel)) {}
+
+ScopedPool::~ScopedPool() {
+  g_pool_override.store(prev_, std::memory_order_release);
+}
+
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  ThreadPool::global().parallel_for(begin, end, grain, fn);
+  ThreadPool* pool = g_pool_override.load(std::memory_order_acquire);
+  (pool != nullptr ? *pool : ThreadPool::global())
+      .parallel_for(begin, end, grain, fn);
 }
 
 }  // namespace vgp

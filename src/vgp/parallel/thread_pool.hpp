@@ -62,8 +62,27 @@ class ThreadPool {
   unsigned num_threads_ = 1;
 };
 
-/// Convenience wrapper over ThreadPool::global().
+/// Convenience wrapper over ThreadPool::global() (or the ScopedPool
+/// override, when one is active).
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Temporarily reroutes the free vgp::parallel_for() through `pool`
+/// instead of ThreadPool::global(); the previous routing is restored on
+/// destruction. The deterministic construction/coarsening pipelines
+/// produce identical output at any width, and this is how tests and
+/// benches prove it within one process (the global pool's width is fixed
+/// at first use). Process-wide: do not open scopes concurrently from
+/// different threads.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool& pool);
+  ~ScopedPool();
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
 
 }  // namespace vgp

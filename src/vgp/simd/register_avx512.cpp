@@ -5,6 +5,7 @@
 #include "vgp/classic/bfs.hpp"
 #include "vgp/classic/pagerank.hpp"
 #include "vgp/coloring/greedy.hpp"
+#include "vgp/community/coarsen.hpp"
 #include "vgp/community/label_prop.hpp"
 #include "vgp/community/move_ctx.hpp"
 #include "vgp/community/ovpl.hpp"
@@ -36,6 +37,8 @@ void register_avx512_kernels() {
       tier, &community::move_phase_ovpl_avx512);
   KernelTable<community::detail::LpProcessKernel>::instance().set(
       tier, &community::detail::lp_process_avx512);
+  KernelTable<community::detail::CoarsenEmitKernel>::instance().set(
+      tier, &community::detail::coarsen_emit_avx512);
 
   coloring::detail::ColoringKernel::Fns coloring_fns;
   coloring_fns.assign = &coloring::detail::assign_range_avx512;

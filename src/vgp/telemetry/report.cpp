@@ -89,6 +89,42 @@ void load_from_trace(const JsonValue& root, Report& out) {
   }
 }
 
+void load_from_bench(const JsonValue& root, Report& out) {
+  // Each (series, label) sample becomes one row named
+  // `bench.<series>/<label>` with total == mean == the reported value.
+  // Bench values are whatever unit the figure reports (ms, speedup,
+  // ratio); the diff machinery only needs lower-is-better, which the
+  // CI-gated series are built to satisfy.
+  const JsonValue* figures = root.get("figures");
+  if (figures == nullptr || !figures->is_array()) return;
+  for (const JsonValue& fig : figures->arr) {
+    const JsonValue* series = fig.get("series");
+    if (series == nullptr || !series->is_array()) continue;
+    for (const JsonValue& s : series->arr) {
+      const JsonValue* name = s.get("name");
+      const JsonValue* labels = s.get("labels");
+      const JsonValue* values = s.get("values");
+      if (name == nullptr || !name->is_string() || labels == nullptr ||
+          !labels->is_array() || values == nullptr || !values->is_array()) {
+        continue;
+      }
+      const std::size_t count = std::min(labels->arr.size(), values->arr.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!labels->arr[i].is_string() || !values->arr[i].is_number()) {
+          continue;
+        }
+        const std::string key =
+            "bench." + name->str + "/" + labels->arr[i].str;
+        ReportRow& row = out.spans[key];
+        row.name = key;
+        row.count = 1.0;
+        row.total_ms = values->arr[i].num;
+        row.mean_ms = values->arr[i].num;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool load_report(const std::string& path, Report& out, std::string* error) {
@@ -113,9 +149,13 @@ bool load_report(const std::string& path, Report& out, std::string* error) {
     load_from_trace(root, out);
     return true;
   }
+  if (out.schema == "vgp.bench.v1") {
+    load_from_bench(root, out);
+    return true;
+  }
   if (error != nullptr) {
     *error = path + ": unrecognised schema '" + out.schema +
-             "' (expected vgp.telemetry.v1 or vgp.trace.v1)";
+             "' (expected vgp.telemetry.v1, vgp.trace.v1 or vgp.bench.v1)";
   }
   return false;
 }

@@ -11,6 +11,11 @@
 //     the folded `span.<name>.{count,total_ms,mean_ms,ipc}` gauges.
 //   * vgp.trace.v1 Chrome-trace JSON (tracer export): spans are
 //     aggregated from the raw traceEvents timeline.
+//   * vgp.bench.v1 figure summaries (bench binaries' --bench-json=):
+//     every (series, label) sample becomes a `bench.<series>/<label>`
+//     row whose total and mean both hold the reported value, so the
+//     same diff/threshold machinery gates benchmark output (the gated
+//     series must be lower-is-better, e.g. time or a cost ratio).
 //
 // The logic lives in the library (not the tool's main) so the round-trip
 // tests exercise exactly what CI runs.
@@ -35,7 +40,7 @@ struct ReportRow {
 /// A loaded metrics or trace file, reduced to per-span aggregates.
 struct Report {
   std::string path;
-  std::string schema;  // "vgp.telemetry.v1" or "vgp.trace.v1"
+  std::string schema;  // "vgp.telemetry.v1", "vgp.trace.v1" or "vgp.bench.v1"
   // Keyed by span name; ordered so printed tables are deterministic.
   std::map<std::string, ReportRow> spans;
   double dropped = 0.0;       // events the tracer had to drop

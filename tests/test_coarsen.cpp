@@ -1,0 +1,201 @@
+// Tests for the parallel coarsening pipeline: exact parity with the
+// scalar map aggregator, bit-identical output across thread-pool widths,
+// and the structural invariants coarsening must preserve (total weight,
+// self-loop folding, degenerate partitions).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "vgp/community/coarsen.hpp"
+#include "vgp/gen/mesh.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/support/cpu.hpp"
+
+namespace vgp::community {
+namespace {
+
+/// Bitwise CSR equality — offsets, adjacency, and float weights compared
+/// as raw bytes, the determinism bar the pipeline promises.
+void expect_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  const auto n = static_cast<std::size_t>(a.num_vertices());
+  const auto arcs = static_cast<std::size_t>(a.num_arcs());
+  EXPECT_EQ(0, std::memcmp(a.offsets_data(), b.offsets_data(),
+                           (n + 1) * sizeof(std::uint64_t)));
+  EXPECT_EQ(0, std::memcmp(a.adjacency_data(), b.adjacency_data(),
+                           arcs * sizeof(VertexId)));
+  EXPECT_EQ(0, std::memcmp(a.weights_data(), b.weights_data(),
+                           arcs * sizeof(float)));
+}
+
+/// A noisy partition over an R-MAT graph: clustered enough to be
+/// realistic, scrambled enough to exercise every bucket path.
+std::vector<CommunityId> noisy_partition(const Graph& g, int communities,
+                                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<CommunityId> pick(
+      0, static_cast<CommunityId>(communities - 1));
+  std::vector<CommunityId> zeta(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& c : zeta) c = pick(rng);
+  return zeta;
+}
+
+Graph rmat_graph() { return gen::rmat(gen::rmat_mix_graph500(10, 8)); }
+
+TEST(Coarsen, MatchesReferenceExactly) {
+  const Graph g = rmat_graph();
+  for (const int communities : {1, 7, 100, 900}) {
+    const auto zeta = noisy_partition(g, communities, 17);
+    const auto ref = coarsen_reference(g, zeta);
+    const auto pipe = coarsen(g, zeta);
+    EXPECT_EQ(ref.num_coarse, pipe.num_coarse);
+    EXPECT_EQ(ref.mapping, pipe.mapping);
+    expect_identical(ref.graph, pipe.graph);
+  }
+}
+
+TEST(Coarsen, MatchesReferenceOnMesh) {
+  gen::MeshParams p;
+  p.rows = 60;
+  p.cols = 60;
+  const Graph g = gen::triangulated_mesh(p);
+  const auto zeta = noisy_partition(g, 150, 3);
+  const auto ref = coarsen_reference(g, zeta);
+  const auto pipe = coarsen(g, zeta);
+  expect_identical(ref.graph, pipe.graph);
+}
+
+TEST(Coarsen, BitIdenticalAcrossPoolWidths) {
+  const Graph g = rmat_graph();
+  const auto zeta = noisy_partition(g, 230, 99);
+  const auto baseline = coarsen(g, zeta);
+  for (const unsigned width : {1u, 3u, 8u}) {
+    ThreadPool pool(width);
+    ScopedPool scope(pool);
+    const auto got = coarsen(g, zeta);
+    EXPECT_EQ(baseline.mapping, got.mapping) << "width " << width;
+    expect_identical(baseline.graph, got.graph);
+  }
+}
+
+TEST(Coarsen, PreservesTotalEdgeWeight) {
+  const Graph g = rmat_graph();
+  const auto zeta = noisy_partition(g, 64, 5);
+  const auto res = coarsen(g, zeta);
+  EXPECT_NEAR(res.graph.total_edge_weight(), g.total_edge_weight(),
+              1e-6 * g.total_edge_weight());
+  std::string why;
+  EXPECT_TRUE(res.graph.validate(&why)) << why;
+}
+
+TEST(Coarsen, FoldsIntraCommunityWeightIntoSelfLoop) {
+  // Two triangles joined by one bridge; each triangle is one community.
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 2.0f}, {0, 2, 3.0f},
+                        {3, 4, 1.5f}, {4, 5, 2.5f}, {3, 5, 0.5f},
+                        {2, 3, 4.0f}};
+  const Graph g = Graph::from_edges(6, edges);
+  const std::vector<CommunityId> zeta{0, 0, 0, 1, 1, 1};
+  const auto res = coarsen(g, zeta);
+  ASSERT_EQ(res.num_coarse, 2);
+  EXPECT_FLOAT_EQ(res.graph.self_loop_weight(0), 6.0f);   // 1+2+3
+  EXPECT_FLOAT_EQ(res.graph.self_loop_weight(1), 4.5f);   // 1.5+2.5+0.5
+  ASSERT_EQ(res.graph.num_edges(), 3);                    // 2 loops + bridge
+  EXPECT_FLOAT_EQ(res.graph.edge_weights(0)[1], 4.0f);    // the bridge
+  EXPECT_DOUBLE_EQ(res.graph.total_edge_weight(), g.total_edge_weight());
+}
+
+TEST(Coarsen, SingleCommunityCollapsesToOneLoop) {
+  const Graph g = rmat_graph();
+  const std::vector<CommunityId> zeta(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+  const auto res = coarsen(g, zeta);
+  EXPECT_EQ(res.num_coarse, 1);
+  EXPECT_EQ(res.graph.num_vertices(), 1);
+  EXPECT_EQ(res.graph.num_edges(), 1);
+  EXPECT_NEAR(res.graph.self_loop_weight(0), g.total_edge_weight(),
+              1e-6 * g.total_edge_weight());
+}
+
+TEST(Coarsen, AllSingletonsReproducesTheGraph) {
+  const Graph g = rmat_graph();
+  std::vector<CommunityId> zeta(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t u = 0; u < zeta.size(); ++u) {
+    zeta[u] = static_cast<CommunityId>(u);
+  }
+  const auto res = coarsen(g, zeta);
+  EXPECT_EQ(res.num_coarse, g.num_vertices());
+  expect_identical(g, res.graph);
+}
+
+TEST(Coarsen, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  const auto res = coarsen(g, {});
+  EXPECT_EQ(res.num_coarse, 0);
+  EXPECT_EQ(res.graph.num_vertices(), 0);
+  EXPECT_EQ(res.graph.num_edges(), 0);
+}
+
+TEST(Coarsen, BucketedFallbackMatchesReferenceAcrossWidths) {
+  // Enough surviving communities to overflow the direct path's
+  // cursor-matrix gate (65536 coarse vertices), forcing the two-level
+  // bucketed fallback that the other tests never reach.
+  gen::MeshParams p;
+  p.rows = 330;
+  p.cols = 400;
+  const Graph g = gen::triangulated_mesh(p);
+  const auto zeta = noisy_partition(g, 100000, 11);
+  const auto ref = coarsen_reference(g, zeta);
+  const auto pipe = coarsen(g, zeta);
+  ASSERT_GT(pipe.num_coarse, 65536) << "partition too coarse to reach the "
+                                       "bucketed path; raise the label count";
+  EXPECT_EQ(ref.num_coarse, pipe.num_coarse);
+  expect_identical(ref.graph, pipe.graph);
+  for (const unsigned width : {2u, 5u}) {
+    ThreadPool pool(width);
+    ScopedPool scope(pool);
+    const auto got = coarsen(g, zeta);
+    expect_identical(pipe.graph, got.graph);
+  }
+}
+
+#if VGP_HAVE_AVX512
+TEST(Coarsen, EmitKernelTiersAgreeLaneForLane) {
+  if (!vgp::cpu_features().has_avx512_kernels()) {
+    GTEST_SKIP() << "no AVX-512 on this host";
+  }
+  const Graph g = rmat_graph();
+  const auto zeta = noisy_partition(g, 300, 23);
+  const auto arcs = static_cast<std::size_t>(g.num_arcs());
+  std::vector<VertexId> sa(arcs), sb(arcs), ra(arcs), rb(arcs);
+  std::vector<float> sw(arcs), rw(arcs);
+  const auto ns = detail::coarsen_emit_scalar(
+      g.offsets_data(), g.adjacency_data(), g.weights_data(), 0,
+      g.num_vertices(), zeta.data(), sa.data(), sb.data(), sw.data());
+  const auto nv = detail::coarsen_emit_avx512(
+      g.offsets_data(), g.adjacency_data(), g.weights_data(), 0,
+      g.num_vertices(), zeta.data(), ra.data(), rb.data(), rw.data());
+  ASSERT_EQ(ns, nv);
+  const auto bytes_i = static_cast<std::size_t>(ns) * sizeof(VertexId);
+  EXPECT_EQ(0, std::memcmp(sa.data(), ra.data(), bytes_i));
+  EXPECT_EQ(0, std::memcmp(sb.data(), rb.data(), bytes_i));
+  EXPECT_EQ(0, std::memcmp(sw.data(), rw.data(),
+                           static_cast<std::size_t>(ns) * sizeof(float)));
+}
+#endif
+
+TEST(Coarsen, MappingIsCompactedInFirstAppearanceOrder) {
+  const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 3, 1.0f}};
+  const Graph g = Graph::from_edges(4, edges);
+  // Labels 7 and 3: 7 appears first so it compacts to 0.
+  const auto res = coarsen(g, {7, 3, 7, 3});
+  EXPECT_EQ(res.num_coarse, 2);
+  EXPECT_EQ(res.mapping, (std::vector<CommunityId>{0, 1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace vgp::community

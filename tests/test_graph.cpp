@@ -2,11 +2,16 @@
 // merging, self-loops, volumes, validation, permutation.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <map>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "vgp/graph/csr.hpp"
 #include "vgp/graph/permute.hpp"
 #include "vgp/graph/stats.hpp"
+#include "vgp/parallel/thread_pool.hpp"
 
 namespace vgp {
 namespace {
@@ -173,6 +178,155 @@ TEST(Permute, RandomPermutationIsPermutation) {
   for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
     EXPECT_TRUE(is_permutation(random_permutation(1000, seed), 1000));
   }
+}
+
+/// Fuzzed edge list: duplicates, self-loops, isolated tail vertices.
+/// Dyadic weights (k/8) make every accumulation order exact in float, so
+/// the map-based oracle can be compared with FLOAT_EQ.
+std::vector<Edge> fuzz_edges(std::int64_t n, std::size_t m,
+                             std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(rng() % static_cast<std::uint64_t>(n));
+    // Bias toward low ids so duplicates and parallel edges are common.
+    const auto v = static_cast<VertexId>(rng() % (static_cast<std::uint64_t>(u) + 3) %
+                                         static_cast<std::uint64_t>(n));
+    const float w = static_cast<float>(1 + rng() % 32) / 8.0f;
+    edges.push_back({u, v, w});
+  }
+  return edges;
+}
+
+TEST(Graph, FromEdgesMatchesMapOracle) {
+  const std::int64_t n = 500;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto edges = fuzz_edges(n, 3000, seed);
+    const Graph g = Graph::from_edges(n, edges);
+    std::string why;
+    ASSERT_TRUE(g.validate(&why)) << why;
+
+    // Order-insensitive oracle: per-row sorted map with double sums.
+    std::vector<std::map<VertexId, double>> rows(static_cast<std::size_t>(n));
+    for (const Edge& e : edges) {
+      rows[static_cast<std::size_t>(e.u)][e.v] += e.w;
+      if (e.u != e.v) rows[static_cast<std::size_t>(e.v)][e.u] += e.w;
+    }
+    for (VertexId u = 0; u < n; ++u) {
+      const auto& expect = rows[static_cast<std::size_t>(u)];
+      const auto nbrs = g.neighbors(u);
+      const auto ws = g.edge_weights(u);
+      ASSERT_EQ(nbrs.size(), expect.size()) << "vertex " << u;
+      std::size_t i = 0;
+      for (const auto& [v, w] : expect) {
+        EXPECT_EQ(nbrs[i], v);
+        EXPECT_FLOAT_EQ(ws[i], static_cast<float>(w));
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(Graph, FromEdgesBitIdenticalAcrossPoolWidths) {
+  const std::int64_t n = 2000;
+  const auto edges = fuzz_edges(n, 20000, 42);
+  const Graph baseline = Graph::from_edges(n, edges);
+  for (const unsigned width : {1u, 3u, 8u}) {
+    ThreadPool pool(width);
+    ScopedPool scope(pool);
+    const Graph got = Graph::from_edges(n, edges);
+    ASSERT_EQ(got.num_arcs(), baseline.num_arcs()) << "width " << width;
+    EXPECT_EQ(0, std::memcmp(got.offsets_data(), baseline.offsets_data(),
+                             (static_cast<std::size_t>(n) + 1) *
+                                 sizeof(std::uint64_t)));
+    EXPECT_EQ(0, std::memcmp(got.adjacency_data(), baseline.adjacency_data(),
+                             static_cast<std::size_t>(got.num_arcs()) *
+                                 sizeof(VertexId)));
+    EXPECT_EQ(0, std::memcmp(got.weights_data(), baseline.weights_data(),
+                             static_cast<std::size_t>(got.num_arcs()) *
+                                 sizeof(float)));
+  }
+}
+
+TEST(Graph, FromEdgesReportsFirstBadEdge) {
+  // The parallel validator must still throw for the *first* offending
+  // edge in input order, whatever thread saw which chunk.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i + 1 < 100; ++i) edges.push_back({i, i + 1, 1.0f});
+  auto bad_endpoint = edges;
+  bad_endpoint[5].v = 100;     // out of range at index 5 ...
+  bad_endpoint[10].w = -1.0f;  // ... and a bad weight later
+  try {
+    Graph::from_edges(100, bad_endpoint);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "edge endpoint out of range");
+  }
+  auto bad_weight = edges;
+  bad_weight[5].w = 0.0f;      // bad weight first this time
+  bad_weight[10].u = -2;
+  try {
+    Graph::from_edges(100, bad_weight);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "edge weight must be > 0");
+  }
+}
+
+/// Symmetric path graph CSR arrays for hand-corrupting: vertex i links
+/// to i-1 and i+1, all weights 1.
+struct PathCsr {
+  std::vector<std::uint64_t> off;
+  std::vector<VertexId> adj;
+  std::vector<float> w;
+};
+
+PathCsr path_csr(std::int64_t n) {
+  PathCsr p;
+  p.off.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t u = 0; u < n; ++u) {
+    const std::uint64_t deg = (u > 0 ? 1 : 0) + (u + 1 < n ? 1 : 0);
+    p.off[static_cast<std::size_t>(u) + 1] =
+        p.off[static_cast<std::size_t>(u)] + deg;
+  }
+  p.adj.resize(p.off.back());
+  p.w.assign(p.off.back(), 1.0f);
+  for (std::int64_t u = 0; u < n; ++u) {
+    std::uint64_t pos = p.off[static_cast<std::size_t>(u)];
+    if (u > 0) p.adj[pos++] = static_cast<VertexId>(u - 1);
+    if (u + 1 < n) p.adj[pos] = static_cast<VertexId>(u + 1);
+  }
+  return p;
+}
+
+TEST(Graph, ValidateReportsDeterministicFirstFailure) {
+  // Two defects in rows owned by different validation chunks (the chunk
+  // grain is 4096): the lower row's message must win at any pool width.
+  const std::int64_t n = 10000;
+  PathCsr p = path_csr(n);
+  // Row 2000: weight of (2000 -> 2001) no longer matches the reverse.
+  p.w[p.off[2000] + 1] = 7.0f;
+  // Row 7000: neighbor id beyond n.
+  p.adj[p.off[7000] + 1] = static_cast<VertexId>(n + 5);
+  const Graph g = Graph::from_csr(n, p.off, p.adj, p.w);
+  for (const unsigned width : {1u, 3u, 8u}) {
+    ThreadPool pool(width);
+    ScopedPool scope(pool);
+    std::string why;
+    EXPECT_FALSE(g.validate(&why));
+    EXPECT_EQ(why, "asymmetric edge weight") << "width " << width;
+  }
+}
+
+TEST(Graph, ValidateFindsLateDefect) {
+  const std::int64_t n = 10000;
+  PathCsr p = path_csr(n);
+  p.adj[p.off[7000] + 1] = static_cast<VertexId>(n + 5);
+  const Graph g = Graph::from_csr(n, p.off, p.adj, p.w);
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_EQ(why, "neighbor id out of range");
 }
 
 TEST(Graph, ValidateDetectsDamage) {

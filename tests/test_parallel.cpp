@@ -1,12 +1,18 @@
-// Unit tests for the thread pool and concurrent bitmap.
+// Unit tests for the thread pool, concurrent bitmap, and the
+// deterministic scan / counting-sort primitives behind the graph
+// construction pipeline.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
+#include <random>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "vgp/parallel/atomic_bitmap.hpp"
+#include "vgp/parallel/counting_sort.hpp"
+#include "vgp/parallel/scan.hpp"
 #include "vgp/parallel/thread_pool.hpp"
 
 namespace vgp {
@@ -118,6 +124,142 @@ TEST(ThreadPool, GlobalPoolWorks) {
     n.fetch_add(static_cast<int>(b - a));
   });
   EXPECT_EQ(n.load(), 50);
+}
+
+TEST(ScopedPool, ReroutesFreeParallelFor) {
+  ThreadPool narrow(1);
+  std::atomic<int> n{0};
+  {
+    ScopedPool scope(narrow);
+    parallel_for(0, 64, 4, [&](std::int64_t a, std::int64_t b) {
+      n.fetch_add(static_cast<int>(b - a));
+    });
+  }
+  EXPECT_EQ(n.load(), 64);
+  // After the scope, the free function is back on the global pool.
+  n.store(0);
+  parallel_for(0, 32, 4, [&](std::int64_t a, std::int64_t b) {
+    n.fetch_add(static_cast<int>(b - a));
+  });
+  EXPECT_EQ(n.load(), 32);
+}
+
+TEST(PrefixSum, MatchesSequentialExclusiveScan) {
+  std::mt19937_64 rng(7);
+  for (const std::int64_t n : {0ll, 1ll, 5ll, 1000ll, 100000ll}) {
+    std::vector<std::uint64_t> data(static_cast<std::size_t>(n));
+    for (auto& v : data) v = rng() % 97;
+    std::vector<std::uint64_t> expected(data.size());
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      expected[i] = run;
+      run += data[i];
+    }
+    std::vector<std::uint64_t> got = data;
+    const std::uint64_t total =
+        parallel_prefix_sum(std::span<std::uint64_t>(got), 64);
+    EXPECT_EQ(total, run) << "n=" << n;
+    EXPECT_EQ(got, expected) << "n=" << n;
+  }
+}
+
+TEST(PrefixSum, IdenticalAcrossPoolWidths) {
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> data(50000);
+  for (auto& v : data) v = rng() % 1000;
+  std::vector<std::uint64_t> baseline = data;
+  const auto base_total =
+      parallel_prefix_sum(std::span<std::uint64_t>(baseline));
+  for (const unsigned width : {1u, 3u, 8u}) {
+    ThreadPool pool(width);
+    ScopedPool scope(pool);
+    std::vector<std::uint64_t> got = data;
+    EXPECT_EQ(parallel_prefix_sum(std::span<std::uint64_t>(got)), base_total);
+    EXPECT_EQ(got, baseline) << "width " << width;
+  }
+}
+
+TEST(CountingSort, GroupsStablyByKey) {
+  // Value encodes (key, sequence): stability means ascending sequence
+  // within each key group.
+  std::mt19937_64 rng(3);
+  std::vector<std::uint32_t> in(20000);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint32_t>((rng() % 16) << 20 | i);
+  }
+  std::vector<std::uint32_t> out(in.size());
+  std::vector<std::uint64_t> bucket_begin;
+  parallel_counting_sort<std::uint32_t>(
+      in, out, 16, [](std::uint32_t v) { return v >> 20; }, &bucket_begin,
+      /*grain=*/512);
+
+  ASSERT_EQ(bucket_begin.size(), 17u);
+  EXPECT_EQ(bucket_begin.front(), 0u);
+  EXPECT_EQ(bucket_begin.back(), in.size());
+  for (std::size_t b = 0; b < 16; ++b) {
+    for (std::uint64_t i = bucket_begin[b]; i < bucket_begin[b + 1]; ++i) {
+      EXPECT_EQ(out[i] >> 20, b);
+      if (i > bucket_begin[b]) {
+        EXPECT_LT(out[i - 1] & 0xFFFFF, out[i] & 0xFFFFF) << "stability";
+      }
+    }
+  }
+}
+
+TEST(CountingSort, IdenticalAcrossPoolWidths) {
+  std::mt19937_64 rng(5);
+  std::vector<std::uint32_t> in(30000);
+  for (auto& v : in) v = static_cast<std::uint32_t>(rng());
+  const auto key = [](std::uint32_t v) { return v % 31; };
+  std::vector<std::uint32_t> baseline(in.size());
+  parallel_counting_sort<std::uint32_t>(in, baseline, 31, key);
+  for (const unsigned width : {1u, 3u, 8u}) {
+    ThreadPool pool(width);
+    ScopedPool scope(pool);
+    std::vector<std::uint32_t> got(in.size());
+    parallel_counting_sort<std::uint32_t>(in, got, 31, key);
+    EXPECT_EQ(got, baseline) << "width " << width;
+  }
+}
+
+TEST(BucketPartition, ProducerMayExpandItems) {
+  // Each domain index i emits i items (bucket i % 4): checks that the
+  // count and emit passes may produce more items than domain indices.
+  std::vector<std::uint64_t> bucket_begin;
+  const auto out = bucket_partition<std::int64_t>(
+      10, 4, 3,
+      [](std::int64_t first, std::int64_t last, auto add) {
+        for (std::int64_t i = first; i < last; ++i) {
+          for (std::int64_t k = 0; k < i; ++k) add(i % 4);
+        }
+      },
+      [](std::int64_t first, std::int64_t last, auto put) {
+        for (std::int64_t i = first; i < last; ++i) {
+          for (std::int64_t k = 0; k < i; ++k) put(i % 4, i);
+        }
+      },
+      bucket_begin);
+  EXPECT_EQ(out.size(), 45u);  // 0+1+...+9
+  ASSERT_EQ(bucket_begin.size(), 5u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    for (std::uint64_t i = bucket_begin[b]; i < bucket_begin[b + 1]; ++i) {
+      EXPECT_EQ(static_cast<std::size_t>(out[i] % 4), b);
+      // Stability: items in a bucket keep ascending producer order.
+      if (i > bucket_begin[b]) {
+        EXPECT_LE(out[i - 1], out[i]);
+      }
+    }
+  }
+}
+
+TEST(BucketPartition, EmptyDomain) {
+  std::vector<std::uint64_t> bucket_begin;
+  const auto out = bucket_partition<int>(
+      0, 8, 16, [](std::int64_t, std::int64_t, auto) {},
+      [](std::int64_t, std::int64_t, auto) {}, bucket_begin);
+  EXPECT_TRUE(out.empty());
+  ASSERT_EQ(bucket_begin.size(), 9u);
+  for (const auto b : bucket_begin) EXPECT_EQ(b, 0u);
 }
 
 TEST(AtomicBitmap, SetTestClear) {

@@ -1,5 +1,5 @@
 // Tests for the JSON reader and the vgp-report model: schema sniffing
-// over both accepted inputs, the regression-diff rules (threshold,
+// over all accepted inputs, the regression-diff rules (threshold,
 // min_ms floor, one-sided spans never gate), and the printers. These
 // exercise exactly the code path the vgp-report CLI runs in CI.
 #include <gtest/gtest.h>
@@ -110,6 +110,50 @@ TEST(Report, LoadsTraceSchemaAndAggregates) {
   EXPECT_DOUBLE_EQ(sweep.mean_ms, 3.0);
   EXPECT_DOUBLE_EQ(sweep.ipc, 2.0);       // 4000 instr / 2000 cycles
   EXPECT_DOUBLE_EQ(rep.spans.at("level").ipc, 0.0);
+}
+
+std::string bench_json(double rmat_ratio, double mesh_ratio) {
+  std::ostringstream ss;
+  ss << R"({"schema": "vgp.bench.v1", "scale": "small", "reps": 5,)"
+     << R"( "warmup": 1, "figures": [)"
+     << R"({"title": "coarsen pipeline vs map aggregator", "series": [)"
+     << R"({"name": "coarsen-ratio", "labels": ["rmat-g500", "mesh"],)"
+     << R"( "values": [)" << rmat_ratio << ", " << mesh_ratio << "]},"
+     << R"({"name": "coarsen-map-ms", "labels": ["rmat-g500"],)"
+     << R"( "values": [12.5]}]}]})";
+  return ss.str();
+}
+
+TEST(Report, LoadsBenchSchemaSeries) {
+  const std::string path =
+      write_temp("report_bench.json", bench_json(0.4, 0.5));
+  Report rep;
+  std::string error;
+  ASSERT_TRUE(load_report(path, rep, &error)) << error;
+  EXPECT_EQ(rep.schema, "vgp.bench.v1");
+  ASSERT_EQ(rep.spans.size(), 3u);
+  const ReportRow& rmat = rep.spans.at("bench.coarsen-ratio/rmat-g500");
+  EXPECT_DOUBLE_EQ(rmat.count, 1.0);
+  EXPECT_DOUBLE_EQ(rmat.mean_ms, 0.4);
+  EXPECT_DOUBLE_EQ(rmat.total_ms, 0.4);
+  EXPECT_DOUBLE_EQ(rep.spans.at("bench.coarsen-ratio/mesh").mean_ms, 0.5);
+  EXPECT_DOUBLE_EQ(rep.spans.at("bench.coarsen-map-ms/rmat-g500").mean_ms,
+                   12.5);
+}
+
+TEST(Report, BenchFilesDiffAndGateLikeAnyOther) {
+  Report base, cur;
+  ASSERT_TRUE(load_report(
+      write_temp("bench_base.json", bench_json(0.4, 0.5)), base, nullptr));
+  // rmat ratio doubles (gates at +50%); mesh barely moves.
+  ASSERT_TRUE(load_report(
+      write_temp("bench_cur.json", bench_json(0.8, 0.52)), cur, nullptr));
+  const DiffResult diff = diff_reports(base, cur, 0.50);
+  EXPECT_EQ(diff.regressions, 1);
+  for (const auto& row : diff.rows) {
+    EXPECT_EQ(row.regression, row.name == "bench.coarsen-ratio/rmat-g500")
+        << row.name;
+  }
 }
 
 TEST(Report, RejectsUnrecognisedSchema) {

@@ -5,9 +5,10 @@
 //   vgp-report base.json current.json        regression diff
 //   vgp-report base.json current.json --threshold=0.25
 //
-// Accepts vgp.telemetry.v1 metrics files (--metrics= / VGP_METRICS) and
-// vgp.trace.v1 Chrome traces (--trace= / VGP_TRACE); the two kinds can
-// be mixed in a diff since both reduce to per-span mean times.
+// Accepts vgp.telemetry.v1 metrics files (--metrics= / VGP_METRICS),
+// vgp.trace.v1 Chrome traces (--trace= / VGP_TRACE), and vgp.bench.v1
+// figure summaries (--bench-json=); the kinds can be mixed in a diff
+// since all reduce to per-row mean values.
 //
 // Exit codes, for CI gating:
 //   0  no regression over threshold (or single-file mode)
