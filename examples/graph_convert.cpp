@@ -43,25 +43,29 @@ int main(int argc, char** argv) {
 
     const std::string out = opts.get("out", "");
     if (!out.empty()) {
-      std::ofstream f(out);
-      if (!f) {
-        std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
-        return 1;
-      }
       const auto dot = out.find_last_of('.');
       const std::string ext = dot == std::string::npos ? "" : out.substr(dot + 1);
-      if (ext == "el" || ext == "txt" || ext == "edges") {
-        io::write_edge_list(g, f);
-      } else if (ext == "graph" || ext == "metis") {
-        io::write_metis(g, f, /*with_weights=*/true);
-      } else if (ext == "mtx") {
-        io::write_matrix_market(g, f);
-      } else if (ext == "vgpb") {
-        f.close();
+      if (ext == "vgpb") {
+        // The binary writer owns the file: temp + fsync + atomic rename.
+        // Pre-opening the destination here would truncate it before the
+        // crash-safe path gets a chance to run.
         io::write_binary_file(g, out);
       } else {
-        std::fprintf(stderr, "unknown output extension: %s\n", ext.c_str());
-        return 1;
+        std::ofstream f(out);
+        if (!f) {
+          std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+          return 1;
+        }
+        if (ext == "el" || ext == "txt" || ext == "edges") {
+          io::write_edge_list(g, f);
+        } else if (ext == "graph" || ext == "metis") {
+          io::write_metis(g, f, /*with_weights=*/true);
+        } else if (ext == "mtx") {
+          io::write_matrix_market(g, f);
+        } else {
+          std::fprintf(stderr, "unknown output extension: %s\n", ext.c_str());
+          return 1;
+        }
       }
       std::printf("wrote %s\n", out.c_str());
     }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "vgp/fault/error.hpp"
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
@@ -36,7 +37,12 @@ void bfs_expand_scalar(const BfsCtx& ctx, const VertexId* frontier,
 
 BfsResult bfs(const Graph& g, VertexId source, const BfsOptions& opts) {
   if (source < 0 || source >= g.num_vertices())
-    throw std::invalid_argument("bfs: source out of range");
+    throw ValidationError(
+        ErrorCode::OutOfRange,
+        "bfs: source vertex " + std::to_string(source) +
+            " out of range (graph has " + std::to_string(g.num_vertices()) +
+            " vertices)",
+        {.hint = "source must be in [0, n)"});
 
   BfsResult res;
   res.distance.assign(static_cast<std::size_t>(g.num_vertices()), kUnreached);

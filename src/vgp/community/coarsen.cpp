@@ -11,6 +11,8 @@
 #include <unordered_map>  // reference baseline only — not on the hot path
 #include <utility>
 
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
 #include "vgp/parallel/counting_sort.hpp"
 #include "vgp/parallel/scan.hpp"
 #include "vgp/parallel/thread_pool.hpp"
@@ -69,11 +71,15 @@ void check_weight_preserved(double fine_total, double coarse_total) {
   // aggregator could silently rehash mid-build; this contract check is
   // what replaces trusting it.)
   const double tol = 1e-6 * std::max(1.0, std::abs(fine_total));
-  if (std::abs(fine_total - coarse_total) > tol) {
-    throw std::runtime_error(
+  const bool forced = VGP_FAILPOINT_SOFT("coarsen.drift");
+  if (forced || std::abs(fine_total - coarse_total) > tol) {
+    throw InternalError(
+        ErrorCode::ContractViolation,
         "coarsen: total edge weight not preserved (fine " +
-        std::to_string(fine_total) + ", coarse " + std::to_string(coarse_total) +
-        ")");
+            std::to_string(fine_total) + ", coarse " +
+            std::to_string(coarse_total) + ")",
+        {.hint = "a coarse edge was lost or double-counted; report this "
+                 "with the input graph and thread count"});
   }
 }
 
@@ -208,6 +214,7 @@ void coarsen_direct(const Graph& g, const CommunityId* map, std::int64_t nc,
   const float* fine_w = g.weights_data();
 
   DirectScratch& ds = direct_scratch;
+  VGP_FAILPOINT("coarsen.scratch");
   ds.ensure_staging(
       static_cast<std::size_t>(std::max<std::int64_t>(arcs_total, 1)));
   ds.cells.assign(static_cast<std::size_t>(nc * num_chunks), 0);

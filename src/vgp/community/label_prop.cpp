@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/fault/guard.hpp"
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
@@ -111,8 +113,23 @@ LabelPropResult label_propagation(const Graph& g,
   std::vector<VertexId> worklist;
   worklist.reserve(static_cast<std::size_t>(n));
 
+  const fault::Deadline deadline =
+      fault::Deadline::after_seconds(opts.deadline_seconds);
+
   double last_update_fraction = 1.0;
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    VGP_FAILPOINT("labelprop.iter");
+    if (deadline.expired()) {
+      // Degrade, don't overrun: the labels from completed rounds are a
+      // valid (if unconverged) community assignment.
+      res.degraded = true;
+      phase.span().arg_str("degraded", "deadline");
+      if (telem) {
+        reg.add(reg.counter("fault.degraded"));
+        reg.add(reg.counter("fault.degraded.labelprop.deadline"));
+      }
+      break;
+    }
     worklist.clear();
     active.collect(worklist);
     if (worklist.empty()) break;

@@ -37,6 +37,9 @@ struct LabelPropOptions {
   /// ONLP reduce-scatter flavor (Auto = conflict detection, switching to
   /// in-vector reduction as the labels converge).
   RsPolicy rs_policy = RsPolicy::Auto;
+  /// Wall-clock budget; <= 0 disables. Expiry stops after the current
+  /// round and flags the result degraded (labels stay valid).
+  double deadline_seconds = 0.0;
 };
 
 struct LabelPropResult {
@@ -55,6 +58,9 @@ struct LabelPropResult {
   /// degradation reason (nullptr when none) — see simd::Selected.
   simd::Backend backend = simd::Backend::Scalar;
   const char* fallback_reason = nullptr;
+  /// True when deadline_seconds stopped the run before convergence /
+  /// max_iterations. Mirrored as fault.degraded.labelprop telemetry.
+  bool degraded = false;
 };
 
 LabelPropResult label_propagation(const Graph& g,

@@ -1,9 +1,12 @@
 #include "vgp/community/louvain.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "vgp/community/coarsen.hpp"
 #include "vgp/community/ovpl.hpp"
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
 #include "vgp/simd/registry.hpp"
 #include "vgp/support/timer.hpp"
 #include "vgp/telemetry/registry.hpp"
@@ -27,7 +30,10 @@ MovePolicy parse_move_policy(const std::string& name) {
   if (name == "onpl") return MovePolicy::ONPL;
   if (name == "ovpl") return MovePolicy::OVPL;
   if (name == "colorsync") return MovePolicy::ColorSync;
-  throw std::invalid_argument("unknown move policy: " + name);
+  throw ValidationError(ErrorCode::InvalidArgument,
+                        "unknown move policy: " + name,
+                        {.hint = "known policies: plm, mplm, onpl, ovpl, "
+                                 "colorsync"});
 }
 
 MoveStats run_move_phase(const MoveCtx& ctx, MovePolicy policy,
@@ -60,7 +66,7 @@ MoveStats run_move_phase(const MoveCtx& ctx, MovePolicy policy,
       return stats;
     }
   }
-  throw std::logic_error("unreachable move policy");
+  throw InternalError(ErrorCode::ContractViolation, "unreachable move policy");
 }
 
 LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
@@ -75,7 +81,12 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
   Graph coarse_storage;
   const Graph* current = &g;
 
+  const fault::Deadline deadline =
+      fault::Deadline::after_seconds(opts.deadline_seconds);
+  std::int64_t sweeps_used = 0;
+
   for (int level = 0; level < opts.max_levels; ++level) {
+    VGP_FAILPOINT("louvain.level");
     telemetry::TraceSpan level_span("louvain.level");
     level_span.arg("level", level);
     level_span.arg("vertices", current->num_vertices());
@@ -86,6 +97,13 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
     ctx.max_iterations = opts.max_move_iterations;
     ctx.grain = opts.grain;
     ctx.rs_policy = opts.rs_policy;
+    ctx.deadline = deadline;
+    if (opts.iteration_budget > 0) {
+      // The degraded-break below guarantees at least one sweep remains.
+      const std::int64_t remaining = opts.iteration_budget - sweeps_used;
+      ctx.max_iterations = static_cast<int>(std::min<std::int64_t>(
+          ctx.max_iterations, remaining));
+    }
 
     MoveStats stats;
     {
@@ -106,6 +124,7 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
     }
     res.level_stats.push_back(stats);
     ++res.levels;
+    sweeps_used += stats.iterations;
 
     const std::int64_t k = compact_labels(state.zeta);
 
@@ -114,8 +133,28 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
       c = state.zeta[static_cast<std::size_t>(c)];
     }
 
+    // Graceful degradation: the flatten above already folded this
+    // level's progress in, so stopping here returns the best partition
+    // found so far rather than an unbounded run.
+    const bool budget_out = opts.iteration_budget > 0 &&
+                            sweeps_used >= opts.iteration_budget;
+    if (stats.hit_deadline || deadline.expired() || budget_out) {
+      res.degraded = true;
+      res.degraded_reason = (stats.hit_deadline || deadline.expired())
+                                ? "deadline"
+                                : "iteration-budget";
+      level_span.arg_str("degraded", res.degraded_reason);
+      auto& reg = telemetry::Registry::global();
+      if (reg.enabled()) {
+        reg.add(reg.counter("fault.degraded"));
+        reg.add(reg.counter(std::string("fault.degraded.louvain.") +
+                            res.degraded_reason));
+      }
+    }
+
     if (!opts.full_multilevel) break;
     if (k == current->num_vertices()) break;  // no merges: converged
+    if (res.degraded) break;
 
     telemetry::ScopedPhase coarsen_phase("louvain.coarsen");
     CoarseResult cr = coarsen(*current, state.zeta);

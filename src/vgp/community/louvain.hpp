@@ -45,6 +45,13 @@ struct LouvainOptions {
   std::int64_t grain = 256;
   /// OVPL block size; must be a multiple of 16.
   int ovpl_block_size = 16;
+  /// Wall-clock budget for the whole run; <= 0 disables. When it
+  /// expires the driver stops after the current sweep, flattens the
+  /// partition found so far, and flags the result degraded.
+  double deadline_seconds = 0.0;
+  /// Cumulative move-sweep budget across all levels; <= 0 disables.
+  /// Exhaustion degrades the same way the deadline does.
+  std::int64_t iteration_budget = 0;
 };
 
 struct LouvainResult {
@@ -58,6 +65,14 @@ struct LouvainResult {
   /// OVPL preprocessing wall time (0 for other policies).
   double preprocess_seconds = 0.0;
   double total_seconds = 0.0;
+  /// True when a deadline or iteration budget stopped the run early.
+  /// `communities` is still a valid (flattened, compacted) partition —
+  /// just not as refined as an unbounded run. Mirrored in telemetry as
+  /// fault.degraded.louvain.<reason>.
+  bool degraded = false;
+  /// "deadline" or "iteration-budget" (static string; nullptr when not
+  /// degraded).
+  const char* degraded_reason = nullptr;
 };
 
 LouvainResult louvain(const Graph& g, const LouvainOptions& opts = {});

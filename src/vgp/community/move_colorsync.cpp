@@ -55,6 +55,10 @@ MoveStats move_phase_colorsync(const MoveCtx& ctx, simd::Backend backend) {
   if (telem) reg.set(id_classes, static_cast<double>(num_colors));
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    if (ctx.deadline.expired()) {
+      stats.hit_deadline = true;
+      break;
+    }
     std::atomic<std::int64_t> moves{0};
     telemetry::TraceSpan iter_span("colorsync.iter");
     iter_span.arg("iter", iter);

@@ -14,6 +14,7 @@
 
 #include "vgp/community/modularity.hpp"
 #include "vgp/community/partition.hpp"
+#include "vgp/fault/guard.hpp"
 #include "vgp/graph/csr.hpp"
 #include "vgp/simd/backend.hpp"
 
@@ -38,6 +39,10 @@ struct MoveCtx {
   int max_iterations = 25;
   std::int64_t grain = 256;
   RsPolicy rs_policy = RsPolicy::Auto;
+  /// Optional wall-clock guard: every move-phase variant polls it once
+  /// per sweep and stops early (MoveStats::hit_deadline) when it
+  /// expires, leaving zeta at the best partition found so far.
+  fault::Deadline deadline;
 };
 
 struct MoveStats {
@@ -61,6 +66,9 @@ struct MoveStats {
   /// ONPL request ran the scalar MPLM loop instead. Mirrors the
   /// `dispatch.fallback.*` telemetry counters.
   const char* fallback_reason = nullptr;
+  /// True when MoveCtx::deadline expired and the phase stopped before
+  /// max_iterations / convergence. zeta is still a valid partition.
+  bool hit_deadline = false;
 };
 
 /// Builds the ctx-owned arrays for a fresh singleton start on g.

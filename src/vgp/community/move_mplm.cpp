@@ -25,6 +25,10 @@ MoveStats move_phase_mplm(const MoveCtx& ctx) {
   if (telem) id_moves_iter = reg.series("louvain.mplm.moves_per_iter");
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    if (ctx.deadline.expired()) {
+      stats.hit_deadline = true;
+      break;
+    }
     std::atomic<std::int64_t> moves{0};
     telemetry::TraceSpan iter_span("mplm.iter");
     iter_span.arg("iter", iter);

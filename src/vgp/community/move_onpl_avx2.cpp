@@ -192,6 +192,10 @@ MoveStats move_phase_onpl_avx2(const MoveCtx& ctx) {
 
   double last_move_fraction = 1.0;
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    if (ctx.deadline.expired()) {
+      stats.hit_deadline = true;
+      break;
+    }
     const bool use_compress =
         ctx.rs_policy == RsPolicy::Compress ||
         (ctx.rs_policy == RsPolicy::Auto && last_move_fraction < 0.02);

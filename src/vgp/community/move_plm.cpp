@@ -21,6 +21,10 @@ MoveStats move_phase_plm(const MoveCtx& ctx) {
   WallTimer timer;
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    if (ctx.deadline.expired()) {
+      stats.hit_deadline = true;
+      break;
+    }
     std::atomic<std::int64_t> moves{0};
     telemetry::TraceSpan iter_span("plm.iter");
     iter_span.arg("iter", iter);

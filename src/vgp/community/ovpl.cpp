@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "vgp/coloring/greedy.hpp"
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
 #include "vgp/parallel/thread_pool.hpp"
 #include "vgp/simd/registry.hpp"
 #include "vgp/support/opcount.hpp"
@@ -50,26 +52,33 @@ std::uint64_t available_memory_bytes() {
 OvplLayout ovpl_preprocess(const Graph& g, const OvplOptions& opts) {
   if (opts.block_size < 16 ||
       (opts.block_size & (opts.block_size - 1)) != 0)
-    throw std::invalid_argument(
+    throw ValidationError(
+        ErrorCode::InvalidArgument,
         "ovpl: block_size must be a power of two >= 16 (affinity keys use "
-        "shift/mask addressing)");
+        "shift/mask addressing)",
+        {.hint = "pass --ovpl-block-size=16|32|64"});
   const auto n = g.num_vertices();
   if (n > 0 && static_cast<std::int64_t>(opts.block_size) * n >
                    std::numeric_limits<std::int32_t>::max())
-    throw std::invalid_argument("ovpl: n*block_size overflows 32-bit affinity keys");
+    throw ValidationError(
+        ErrorCode::OutOfRange,
+        "ovpl: n*block_size overflows 32-bit affinity keys",
+        {.hint = "use a smaller block size or the ONPL/MPLM policies"});
 
   // Fail fast when the move phase's scratch cannot fit (the paper's OVPL
   // out-of-memory case) instead of dying on a mid-kernel allocation.
+  VGP_FAILPOINT("ovpl.preprocess.scratch");
   const auto scratch = ovpl_scratch_bytes(
       n, opts.block_size, ThreadPool::global().num_threads());
   const auto avail = available_memory_bytes();
   if (avail > 0 && scratch > avail) {
-    throw std::runtime_error(
+    throw ResourceError(
+        ErrorCode::OutOfMemory,
         "ovpl: move-phase affinity scratch needs " +
-        std::to_string(scratch >> 20) + " MiB but only " +
-        std::to_string(avail >> 20) +
-        " MiB are available; use fewer threads, a smaller block size, or "
-        "the ONPL/MPLM policies");
+            std::to_string(scratch >> 20) + " MiB but only " +
+            std::to_string(avail >> 20) + " MiB are available",
+        {.hint = "use fewer threads, a smaller block size, or the "
+                 "ONPL/MPLM policies"});
   }
 
   WallTimer timer;
@@ -277,6 +286,10 @@ MoveStats move_phase_ovpl_scalar(const MoveCtx& ctx, const OvplLayout& lay) {
   if (telem) id_moves_iter = reg.series("louvain.ovpl.moves_per_iter");
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    if (ctx.deadline.expired()) {
+      stats.hit_deadline = true;
+      break;
+    }
     std::atomic<std::int64_t> moves{0};
     telemetry::TraceSpan sweep_span("ovpl.sweep");
     sweep_span.arg("iter", iter);

@@ -58,6 +58,10 @@ MoveStats move_phase_ovpl_avx512(const MoveCtx& ctx, const OvplLayout& lay) {
   }
 
   for (int iter = 0; iter < ctx.max_iterations; ++iter) {
+    if (ctx.deadline.expired()) {
+      stats.hit_deadline = true;
+      break;
+    }
     std::atomic<std::int64_t> moves{0};
     telemetry::TraceSpan sweep_span("ovpl.sweep");
     sweep_span.arg("iter", iter);

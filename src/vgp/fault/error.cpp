@@ -1,0 +1,68 @@
+#include "vgp/fault/error.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace vgp {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::FileOpenFailed: return "file-open-failed";
+    case ErrorCode::ReadFailed: return "read-failed";
+    case ErrorCode::WriteFailed: return "write-failed";
+    case ErrorCode::SyncFailed: return "sync-failed";
+    case ErrorCode::RenameFailed: return "rename-failed";
+    case ErrorCode::Truncated: return "truncated";
+    case ErrorCode::BadMagic: return "bad-magic";
+    case ErrorCode::BadHeader: return "bad-header";
+    case ErrorCode::BadRecord: return "bad-record";
+    case ErrorCode::UnknownFormat: return "unknown-format";
+    case ErrorCode::ChecksumMismatch: return "checksum-mismatch";
+    case ErrorCode::CorruptStructure: return "corrupt-structure";
+    case ErrorCode::InvalidArgument: return "invalid-argument";
+    case ErrorCode::OutOfRange: return "out-of-range";
+    case ErrorCode::OutOfMemory: return "out-of-memory";
+    case ErrorCode::BudgetExhausted: return "budget-exhausted";
+    case ErrorCode::ContractViolation: return "contract-violation";
+    case ErrorCode::FaultInjected: return "fault-injected";
+  }
+  return "unknown";
+}
+
+Error::Error(const char* category, ErrorCode code, std::string message,
+             ErrorContext ctx)
+    : std::runtime_error(message),
+      category_(category),
+      code_(code),
+      message_(std::move(message)),
+      ctx_(std::move(ctx)) {
+  compose();
+}
+
+void Error::set_path(const std::string& path) {
+  if (!ctx_.path.empty() || path.empty()) return;
+  ctx_.path = path;
+  compose();
+}
+
+void Error::compose() {
+  std::ostringstream os;
+  os << category_ << ": " << message_;
+  if (!ctx_.path.empty()) {
+    os << " [" << ctx_.path;
+    if (ctx_.line >= 0) os << ':' << ctx_.line;
+    os << ']';
+  } else if (ctx_.line >= 0) {
+    os << " [line " << ctx_.line << ']';
+  }
+  if (ctx_.offset >= 0) os << " [byte offset " << ctx_.offset << ']';
+  if (ctx_.sys_errno != 0) {
+    os << " [errno " << ctx_.sys_errno << ": "
+       << std::strerror(ctx_.sys_errno) << ']';
+  }
+  os << " [code=" << error_code_name(code_) << ']';
+  if (!ctx_.hint.empty()) os << " (hint: " << ctx_.hint << ')';
+  what_ = os.str();
+}
+
+}  // namespace vgp

@@ -1,0 +1,128 @@
+// Structured error taxonomy.
+//
+// Every failure the library reports flows through one of five
+// categories so callers can route on *kind* without parsing strings:
+//
+//   IoError         the OS said no (open/read/write/fsync/rename)
+//   ParseError      the bytes are not a well-formed instance of the
+//                   format they claim to be
+//   ValidationError well-formed input that violates a semantic
+//                   contract (checksums, ranges, option values)
+//   ResourceError   a budget ran out (memory, scratch, handles)
+//   InternalError   an invariant the library itself maintains broke
+//                   (or a failpoint deliberately injected a failure)
+//
+// Each error carries a machine-routable `ErrorCode`, the saved errno
+// where one applies, file/line/byte-offset context, and a remediation
+// hint; `what()` composes all of it into a single operator-readable
+// line. Everything derives from `std::runtime_error`, so existing
+// `catch (const std::exception&)` / `catch (const std::runtime_error&)`
+// sites keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace vgp {
+
+enum class ErrorCode : int {
+  // io
+  FileOpenFailed,
+  ReadFailed,
+  WriteFailed,
+  SyncFailed,
+  RenameFailed,
+  Truncated,
+  // parse
+  BadMagic,
+  BadHeader,
+  BadRecord,
+  UnknownFormat,
+  // validation
+  ChecksumMismatch,
+  CorruptStructure,
+  InvalidArgument,
+  OutOfRange,
+  // resource
+  OutOfMemory,
+  BudgetExhausted,
+  // internal
+  ContractViolation,
+  FaultInjected,
+};
+
+/// Stable kebab-case name for an ErrorCode ("checksum-mismatch").
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Optional context attached to an Error. Fields left at their
+/// defaults are omitted from the composed what() string.
+struct ErrorContext {
+  std::string path;         ///< file the error refers to
+  std::int64_t line = -1;   ///< 1-based line for text formats
+  std::int64_t offset = -1; ///< byte offset for binary formats
+  int sys_errno = 0;        ///< saved errno, 0 when not applicable
+  std::string hint;         ///< one-line remediation suggestion
+};
+
+class Error : public std::runtime_error {
+ public:
+  ErrorCode code() const noexcept { return code_; }
+  /// Category label ("io error", "parse error", ...).
+  const char* category() const noexcept { return category_; }
+  /// The raw message without the composed context decorations.
+  const std::string& message() const noexcept { return message_; }
+  const ErrorContext& context() const noexcept { return ctx_; }
+
+  const char* what() const noexcept override { return what_.c_str(); }
+
+  /// Attaches a path after the fact (used by file-level wrappers that
+  /// catch stream-level errors) and recomposes what(). Keeps any path
+  /// already present.
+  void set_path(const std::string& path);
+
+ protected:
+  Error(const char* category, ErrorCode code, std::string message,
+        ErrorContext ctx);
+
+ private:
+  void compose();
+
+  const char* category_;
+  ErrorCode code_;
+  std::string message_;
+  ErrorContext ctx_;
+  std::string what_;
+};
+
+class IoError : public Error {
+ public:
+  IoError(ErrorCode code, std::string message, ErrorContext ctx = {})
+      : Error("io error", code, std::move(message), std::move(ctx)) {}
+};
+
+class ParseError : public Error {
+ public:
+  ParseError(ErrorCode code, std::string message, ErrorContext ctx = {})
+      : Error("parse error", code, std::move(message), std::move(ctx)) {}
+};
+
+class ValidationError : public Error {
+ public:
+  ValidationError(ErrorCode code, std::string message, ErrorContext ctx = {})
+      : Error("validation error", code, std::move(message), std::move(ctx)) {}
+};
+
+class ResourceError : public Error {
+ public:
+  ResourceError(ErrorCode code, std::string message, ErrorContext ctx = {})
+      : Error("resource error", code, std::move(message), std::move(ctx)) {}
+};
+
+class InternalError : public Error {
+ public:
+  InternalError(ErrorCode code, std::string message, ErrorContext ctx = {})
+      : Error("internal error", code, std::move(message), std::move(ctx)) {}
+};
+
+}  // namespace vgp

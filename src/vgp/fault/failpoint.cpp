@@ -1,0 +1,282 @@
+#include "vgp/fault/failpoint.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "vgp/fault/error.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::fault {
+namespace {
+
+struct Site {
+  Mode mode = Mode::Off;
+  long long arg = 0;
+  long long skip = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t triggers = 0;
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Site> armed;
+  std::string spec;
+};
+
+// Function-local static so the env-var initializer below cannot race
+// static-initialization order with the map/mutex.
+State& state() {
+  static State s;
+  return s;
+}
+
+bool parse_mode(const std::string& s, Mode& out) {
+  if (s == "error") out = Mode::Error;
+  else if (s == "errno") out = Mode::Errno;
+  else if (s == "oom") out = Mode::Oom;
+  else if (s == "delay") out = Mode::Delay;
+  else if (s == "partial") out = Mode::Partial;
+  else return false;
+  return true;
+}
+
+long long default_arg(Mode m) {
+  switch (m) {
+    case Mode::Errno: return EIO;
+    case Mode::Delay: return 10;  // ms
+    default: return 0;
+  }
+}
+
+bool parse_ll(const std::string& s, long long& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+void record_trigger(const std::string& name) {
+  auto& reg = telemetry::Registry::global();
+  if (!reg.enabled()) return;
+  reg.add(reg.counter("fault.injected"));
+  reg.add(reg.counter("fault.hit." + name));
+}
+
+/// Returns the site's mode/arg if this hit should trigger, Mode::Off
+/// otherwise. Counters are updated under the state lock; the injected
+/// effect (throw/sleep) happens outside it.
+Site fire(const char* name) {
+  std::string key(name);
+  Site fired;  // Mode::Off = pass through
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.armed.find(key);
+    if (it == s.armed.end()) return fired;
+    Site& site = it->second;
+    ++site.hits;
+    if (site.hits <= static_cast<std::uint64_t>(site.skip)) return fired;
+    ++site.triggers;
+    fired = site;
+  }
+  record_trigger(key);
+  return fired;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+void apply_fired(const Site& site, const char* name) {
+  switch (site.mode) {
+    case Mode::Off:
+    case Mode::Partial:  // partial only applies to byte-count sites
+      return;
+    case Mode::Error:
+      throw InternalError(
+          ErrorCode::FaultInjected,
+          std::string("failpoint '") + name + "' triggered",
+          {.hint = "injected via VGP_FAILPOINTS; not a real failure"});
+    case Mode::Errno:
+      throw IoError(
+          ErrorCode::FaultInjected,
+          std::string("failpoint '") + name + "' injected I/O failure",
+          {.sys_errno = static_cast<int>(site.arg),
+           .hint = "injected via VGP_FAILPOINTS; not a real failure"});
+    case Mode::Oom:
+      throw ResourceError(
+          ErrorCode::OutOfMemory,
+          std::string("failpoint '") + name + "' injected allocation failure",
+          {.hint = "injected via VGP_FAILPOINTS; not a real failure"});
+    case Mode::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(site.arg));
+      return;
+  }
+}
+
+void evaluate(const char* name) { apply_fired(fire(name), name); }
+
+bool evaluate_soft(const char* name) noexcept {
+  Site site;
+  try {
+    site = fire(name);
+  } catch (...) {
+    return false;  // telemetry registration failed; do not inject
+  }
+  switch (site.mode) {
+    case Mode::Error:
+    case Mode::Errno:
+    case Mode::Oom:
+      return true;
+    case Mode::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(site.arg));
+      return false;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t evaluate_partial(const char* name, std::uint64_t requested) {
+  const Site site = fire(name);
+  if (site.mode == Mode::Partial) {
+    const std::uint64_t cap =
+        site.arg < 0 ? 0 : static_cast<std::uint64_t>(site.arg);
+    return requested < cap ? requested : cap;
+  }
+  apply_fired(site, name);  // non-partial modes still apply (one fire)
+  return requested;
+}
+
+}  // namespace detail
+
+bool set_spec(const std::string& spec, std::string* error) {
+  std::map<std::string, Site> parsed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    std::vector<std::string> parts;
+    std::size_t p = 0;
+    while (true) {
+      const std::size_t c = entry.find(':', p);
+      if (c == std::string::npos) {
+        parts.push_back(entry.substr(p));
+        break;
+      }
+      parts.push_back(entry.substr(p, c - p));
+      p = c + 1;
+    }
+    if (parts.size() < 2 || parts.size() > 4 || parts[0].empty()) {
+      if (error) *error = "bad failpoint entry '" + entry +
+                          "' (want name:mode[:arg[:skip]])";
+      return false;
+    }
+    Site site;
+    if (!parse_mode(parts[1], site.mode)) {
+      if (error) *error = "bad failpoint mode '" + parts[1] +
+                          "' (want error|errno|oom|delay|partial)";
+      return false;
+    }
+    site.arg = default_arg(site.mode);
+    if (parts.size() >= 3 && !parts[2].empty() &&
+        !parse_ll(parts[2], site.arg)) {
+      if (error) *error = "bad failpoint arg '" + parts[2] + "'";
+      return false;
+    }
+    if (parts.size() == 4 && !parse_ll(parts[3], site.skip)) {
+      if (error) *error = "bad failpoint skip '" + parts[3] + "'";
+      return false;
+    }
+    parsed[parts[0]] = site;
+  }
+
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed = std::move(parsed);
+  s.spec = spec;
+  detail::g_armed.store(!s.armed.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void clear() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed.clear();
+  s.spec.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::string active_spec() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.spec;
+}
+
+std::uint64_t hit_count(const std::string& name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.armed.find(name);
+  return it == s.armed.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t trigger_count(const std::string& name) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.armed.find(name);
+  return it == s.armed.end() ? 0 : it->second.triggers;
+}
+
+std::vector<SiteInfo> sites() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<SiteInfo> out;
+  out.reserve(s.armed.size());
+  for (const auto& [name, site] : s.armed) {
+    out.push_back({name, site.mode, site.arg, site.skip, site.hits,
+                   site.triggers});
+  }
+  return out;
+}
+
+void configure_from_env() {
+  const char* env = std::getenv("VGP_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string error;
+  if (!set_spec(env, &error)) {
+    std::fprintf(stderr, "vgp: ignoring VGP_FAILPOINTS: %s\n", error.c_str());
+  }
+}
+
+const char* mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::Off: return "off";
+    case Mode::Error: return "error";
+    case Mode::Errno: return "errno";
+    case Mode::Oom: return "oom";
+    case Mode::Delay: return "delay";
+    case Mode::Partial: return "partial";
+  }
+  return "?";
+}
+
+namespace {
+struct EnvInit {
+  EnvInit() { configure_from_env(); }
+} g_env_init;
+}  // namespace
+
+}  // namespace vgp::fault

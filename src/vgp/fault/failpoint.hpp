@@ -1,0 +1,115 @@
+// Failpoint fault-injection framework.
+//
+// Named injection sites compiled into (mostly error-path-adjacent)
+// library code; armed at runtime through the `VGP_FAILPOINTS`
+// environment variable or `fault::set_spec()`. Spec grammar:
+//
+//   spec    := entry ("," entry)*
+//   entry   := name ":" mode [":" arg [":" skip]]
+//   mode    := "error" | "errno" | "oom" | "delay" | "partial"
+//   arg     := integer (meaning depends on mode, see below)
+//   skip    := integer, number of hits to let pass before triggering
+//              (default 0 = trigger on the first hit)
+//
+//   error           throw vgp::InternalError (code fault-injected)
+//   errno:<e>       throw vgp::IoError carrying errno <e> (default EIO)
+//   oom             throw vgp::ResourceError (code out-of-memory)
+//   delay:<ms>      sleep <ms> milliseconds (default 10), then continue
+//   partial:<n>     clamp the site's I/O byte count to <n> (default 0);
+//                   only meaningful at VGP_FAILPOINT_PARTIAL sites
+//
+// Example: VGP_FAILPOINTS=io.write_binary.fsync:errno:5,louvain.level:delay:50
+//
+// Cost contract: when no failpoint is armed (the normal case) every
+// site is one relaxed atomic bool load and a predictable branch — the
+// same discipline as the telemetry registry. When armed, evaluation
+// takes a mutex; fault injection is a test/debug mode, not a hot path.
+//
+// Sites that cannot throw (bool-returning sinks, validators) use
+// VGP_FAILPOINT_SOFT, which reports "inject a failure here" as a bool
+// and lets the site produce its own native failure result.
+//
+// Every trigger is counted per site and, when telemetry is enabled,
+// surfaces as `fault.injected` / `fault.hit.<site>` counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vgp::fault {
+
+enum class Mode { Off, Error, Errno, Oom, Delay, Partial };
+
+/// Stable lowercase name for a Mode ("errno", "partial", ...).
+const char* mode_name(Mode m) noexcept;
+
+/// Snapshot of one armed site's configuration and counters.
+struct SiteInfo {
+  std::string name;
+  Mode mode = Mode::Off;
+  long long arg = 0;
+  long long skip = 0;
+  std::uint64_t hits = 0;      ///< times the site was evaluated while armed
+  std::uint64_t triggers = 0;  ///< times the configured fault actually fired
+};
+
+/// Replaces the active failpoint configuration. Returns false (and
+/// fills *error, when given) on a malformed spec, leaving the previous
+/// configuration in place. An empty spec disarms everything.
+bool set_spec(const std::string& spec, std::string* error = nullptr);
+
+/// Disarms all failpoints and clears their counters.
+void clear();
+
+/// The spec string currently in force ("" when disarmed).
+std::string active_spec();
+
+/// Per-site counters; zero for sites that are not armed.
+std::uint64_t hit_count(const std::string& name);
+std::uint64_t trigger_count(const std::string& name);
+
+/// Snapshot of every armed site.
+std::vector<SiteInfo> sites();
+
+/// Applies VGP_FAILPOINTS from the environment (called automatically
+/// during static initialization; a malformed value is reported to
+/// stderr and ignored rather than aborting startup).
+void configure_from_env();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void evaluate(const char* name);                 // may throw or sleep
+bool evaluate_soft(const char* name) noexcept;   // true = inject failure
+std::uint64_t evaluate_partial(const char* name, std::uint64_t requested);
+}  // namespace detail
+
+/// Expression form for I/O sites: returns the byte count the site
+/// should actually transfer (clamped when a `partial` failpoint is
+/// armed for `name`, untouched otherwise).
+inline std::uint64_t clamp_io(const char* name, std::uint64_t requested) {
+  return detail::g_armed.load(std::memory_order_relaxed)
+             ? detail::evaluate_partial(name, requested)
+             : requested;
+}
+
+}  // namespace vgp::fault
+
+/// Statement-form injection site. Disabled cost: one relaxed load.
+#define VGP_FAILPOINT(name)                                              \
+  do {                                                                   \
+    if (::vgp::fault::detail::g_armed.load(std::memory_order_relaxed)) { \
+      ::vgp::fault::detail::evaluate(name);                              \
+    }                                                                    \
+  } while (0)
+
+/// Expression-form site for code that reports failure without throwing
+/// (returns true when an armed failpoint asks this site to fail).
+#define VGP_FAILPOINT_SOFT(name)                                   \
+  (::vgp::fault::detail::g_armed.load(std::memory_order_relaxed) && \
+   ::vgp::fault::detail::evaluate_soft(name))
+
+/// Expression-form site clamping an I/O byte count (mode `partial`).
+#define VGP_FAILPOINT_PARTIAL(name, requested) \
+  ::vgp::fault::clamp_io(name, (requested))

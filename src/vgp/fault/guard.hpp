@@ -1,0 +1,43 @@
+// Deadline guard for graceful degradation.
+//
+// Long-running algorithms (Louvain, OVPL, label propagation) accept an
+// optional wall-clock deadline. The move-phase loops poll it once per
+// sweep — a steady_clock read per sweep, nothing per edge — and bail
+// out with the best partition found so far; callers see a `degraded`
+// flag plus `fault.degraded.*` telemetry instead of an unbounded run.
+#pragma once
+
+#include <chrono>
+
+namespace vgp::fault {
+
+class Deadline {
+ public:
+  /// Inactive deadline: expired() is always false.
+  Deadline() = default;
+
+  /// Deadline `seconds` of wall-clock time from now. Non-positive
+  /// values produce an inactive deadline.
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    if (seconds > 0.0) {
+      d.active_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  bool active() const noexcept { return active_; }
+
+  bool expired() const noexcept {
+    return active_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool active_ = false;
+};
+
+}  // namespace vgp::fault

@@ -1,60 +1,156 @@
 #include "vgp/graph/binary_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/simd/checksum.hpp"
 
 namespace vgp::io {
 namespace {
 
-constexpr char kMagic[8] = {'V', 'G', 'P', 'B', 'I', 'N', '\1', '\n'};
+constexpr char kMagicV1[8] = {'V', 'G', 'P', 'B', 'I', 'N', '\1', '\n'};
+constexpr char kMagicV2[8] = {'V', 'G', 'P', 'B', 'I', 'N', '\2', '\n'};
 
-[[noreturn]] void bin_error(const std::string& what) {
-  throw std::runtime_error("binary graph: " + what);
+// Header field offsets within the 44-byte v2 header.
+constexpr std::size_t kOffN = 8;
+constexpr std::size_t kOffM = 16;
+constexpr std::size_t kOffFlags = 24;
+constexpr std::size_t kOffCrcOffsets = 28;
+constexpr std::size_t kOffCrcAdjacency = 32;
+constexpr std::size_t kOffCrcWeights = 36;
+constexpr std::size_t kOffHeaderCrc = 40;
+static_assert(kBinaryHeaderBytes == kOffHeaderCrc + 4);
+
+void write_bytes(std::ostream& out, const void* data, std::uint64_t bytes,
+                 std::uint64_t& off) {
+  const std::uint64_t eff = VGP_FAILPOINT_PARTIAL("io.write_binary.partial",
+                                                  bytes);
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(eff));
+  if (!out || eff != bytes) {
+    throw IoError(ErrorCode::WriteFailed,
+                  "binary graph: short write",
+                  {.offset = static_cast<std::int64_t>(off + eff),
+                   .sys_errno = errno,
+                   .hint = "check free space on the target filesystem"});
+  }
+  off += bytes;
 }
 
 template <typename T>
-void write_raw(std::ostream& out, const T* data, std::size_t count) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(count * sizeof(T)));
+void read_raw(std::istream& in, T* data, std::size_t count,
+              std::uint64_t& off) {
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(count) * sizeof(T);
+  const std::uint64_t eff = VGP_FAILPOINT_PARTIAL("io.read_binary.short_read",
+                                                  want);
+  in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(eff));
+  const std::uint64_t got = static_cast<std::uint64_t>(in.gcount());
+  if (eff != want || got != eff) {
+    throw IoError(
+        ErrorCode::Truncated, "binary graph: truncated file",
+        {.offset = static_cast<std::int64_t>(off + got),
+         .hint = "the file ends mid-section; regenerate it or restore "
+                 "from the original source"});
+  }
+  off += want;
 }
 
-template <typename T>
-void read_raw(std::istream& in, T* data, std::size_t count) {
-  in.read(reinterpret_cast<char*>(data),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  if (static_cast<std::size_t>(in.gcount()) != count * sizeof(T))
-    bin_error("truncated file");
+void verify_section(const char* what, const void* data, std::uint64_t bytes,
+                    std::uint32_t stored, std::uint64_t section_off) {
+  std::uint32_t computed = simd::crc32c(data, bytes);
+  if (VGP_FAILPOINT_SOFT("io.read_binary.checksum")) computed ^= 1u;
+  if (computed != stored) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "binary graph: section '%s' checksum mismatch "
+                  "(stored %08x, computed %08x)",
+                  what, stored, computed);
+    throw ValidationError(
+        ErrorCode::ChecksumMismatch, buf,
+        {.offset = static_cast<std::int64_t>(section_off),
+         .hint = "the file is corrupt; regenerate it or restore from "
+                 "the original source"});
+  }
+}
+
+[[noreturn]] void structural_error(ErrorCode code, const std::string& what) {
+  throw ValidationError(code, "binary graph: " + what,
+                        {.hint = "the file is corrupt; regenerate it or "
+                                 "restore from the original source"});
 }
 
 }  // namespace
 
 void write_binary(const Graph& g, std::ostream& out) {
-  write_raw(out, kMagic, sizeof(kMagic));
   const std::int64_t n = g.num_vertices();
   const std::uint64_t m = static_cast<std::uint64_t>(g.num_arcs());
-  write_raw(out, &n, 1);
-  write_raw(out, &m, 1);
-  write_raw(out, g.offsets_data(), static_cast<std::size_t>(n) + 1);
-  write_raw(out, g.adjacency_data(), m);
-  write_raw(out, g.weights_data(), m);
-  if (!out) bin_error("write failed");
+  const std::uint64_t offsets_bytes = (static_cast<std::uint64_t>(n) + 1) * 8;
+  const std::uint32_t flags = 0;
+  const std::uint32_t crc_offsets = simd::crc32c(g.offsets_data(),
+                                                 offsets_bytes);
+  const std::uint32_t crc_adjacency = simd::crc32c(g.adjacency_data(), m * 4);
+  const std::uint32_t crc_weights = simd::crc32c(g.weights_data(), m * 4);
+
+  unsigned char header[kBinaryHeaderBytes];
+  std::memcpy(header, kMagicV2, 8);
+  std::memcpy(header + kOffN, &n, 8);
+  std::memcpy(header + kOffM, &m, 8);
+  std::memcpy(header + kOffFlags, &flags, 4);
+  std::memcpy(header + kOffCrcOffsets, &crc_offsets, 4);
+  std::memcpy(header + kOffCrcAdjacency, &crc_adjacency, 4);
+  std::memcpy(header + kOffCrcWeights, &crc_weights, 4);
+  const std::uint32_t header_crc = simd::crc32c(header, kOffHeaderCrc);
+  std::memcpy(header + kOffHeaderCrc, &header_crc, 4);
+
+  std::uint64_t off = 0;
+  write_bytes(out, header, sizeof(header), off);
+  write_bytes(out, g.offsets_data(), offsets_bytes, off);
+  write_bytes(out, g.adjacency_data(), m * 4, off);
+  write_bytes(out, g.weights_data(), m * 4, off);
 }
 
 Graph read_binary(std::istream& in) {
-  char magic[8];
-  read_raw(in, magic, sizeof(magic));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-    bin_error("bad magic (not a .vgpb file?)");
+  std::uint64_t off = 0;
+  unsigned char header[kBinaryHeaderBytes];
+  read_raw(in, header, 8, off);
+  const bool v1 = std::memcmp(header, kMagicV1, 8) == 0;
+  if (!v1 && std::memcmp(header, kMagicV2, 8) != 0) {
+    throw ParseError(ErrorCode::BadMagic,
+                     "binary graph: bad magic (not a .vgpb file?)",
+                     {.offset = 0,
+                      .hint = "the extension says .vgpb but the content "
+                              "is something else"});
+  }
 
   std::int64_t n = 0;
   std::uint64_t m = 0;
-  read_raw(in, &n, 1);
-  read_raw(in, &m, 1);
+  std::uint32_t crc_offsets = 0, crc_adjacency = 0, crc_weights = 0;
+  if (v1) {
+    read_raw(in, &n, 1, off);
+    read_raw(in, &m, 1, off);
+  } else {
+    read_raw(in, header + 8, kBinaryHeaderBytes - 8, off);
+    std::uint32_t stored_header_crc = 0;
+    std::memcpy(&stored_header_crc, header + kOffHeaderCrc, 4);
+    verify_section("header", header, kOffHeaderCrc, stored_header_crc, 0);
+    std::memcpy(&n, header + kOffN, 8);
+    std::memcpy(&m, header + kOffM, 8);
+    std::memcpy(&crc_offsets, header + kOffCrcOffsets, 4);
+    std::memcpy(&crc_adjacency, header + kOffCrcAdjacency, 4);
+    std::memcpy(&crc_weights, header + kOffCrcWeights, 4);
+  }
   if (n < 0 || n > (1ll << 40) || m > (1ull << 40))
-    bin_error("implausible header sizes");
+    structural_error(ErrorCode::BadHeader, "implausible header sizes");
 
   // Bound the header counts against the stream length when the stream is
   // seekable (files, stringstreams): a corrupt count would otherwise
@@ -70,31 +166,47 @@ Graph read_binary(std::istream& in) {
           avail > 0 ? static_cast<std::uint64_t>(avail) : 0u;
       const std::uint64_t need =
           (static_cast<std::uint64_t>(n) + 1) * 8 + m * (4 + 4);
-      if (need > remaining) bin_error("truncated file");
+      if (need > remaining)
+        structural_error(ErrorCode::Truncated,
+                         "file too short for its header counts");
     }
   }
 
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1);
-  read_raw(in, offsets.data(), offsets.size());
+  const std::uint64_t offsets_off = off;
+  read_raw(in, offsets.data(), offsets.size(), off);
+  if (!v1) {
+    verify_section("offsets", offsets.data(), offsets.size() * 8,
+                   crc_offsets, offsets_off);
+  }
   if (offsets.front() != 0 || offsets.back() != m)
-    bin_error("inconsistent offsets");
+    structural_error(ErrorCode::CorruptStructure, "inconsistent offsets");
   // Every downstream consumer indexes adjacency with offsets[v]..offsets[v+1]
   // unchecked; a non-monotonic row would read out of bounds.
   for (std::size_t v = 1; v < offsets.size(); ++v) {
     if (offsets[v] < offsets[v - 1])
-      bin_error("non-monotonic offsets at vertex " + std::to_string(v - 1));
+      structural_error(ErrorCode::CorruptStructure,
+                       "non-monotonic offsets at vertex " +
+                           std::to_string(v - 1));
   }
 
   std::vector<VertexId> adj(m);
   std::vector<float> weights(m);
-  read_raw(in, adj.data(), m);
-  read_raw(in, weights.data(), m);
+  const std::uint64_t adj_off = off;
+  read_raw(in, adj.data(), m, off);
+  if (!v1) verify_section("adjacency", adj.data(), m * 4, crc_adjacency,
+                          adj_off);
+  const std::uint64_t weights_off = off;
+  read_raw(in, weights.data(), m, off);
+  if (!v1) verify_section("weights", weights.data(), m * 4, crc_weights,
+                          weights_off);
   // Same contract for endpoints: kernels gather zeta[adj[e]] unchecked.
   for (std::size_t e = 0; e < adj.size(); ++e) {
     if (adj[e] < 0 || adj[e] >= n)
-      bin_error("adjacency entry " + std::to_string(e) + " (" +
-                std::to_string(adj[e]) + ") out of range [0, " +
-                std::to_string(n) + ")");
+      structural_error(ErrorCode::OutOfRange,
+                       "adjacency entry " + std::to_string(e) + " (" +
+                           std::to_string(adj[e]) + ") out of range [0, " +
+                           std::to_string(n) + ")");
   }
 
   return Graph::from_csr(n, std::move(offsets), std::move(adj),
@@ -102,15 +214,85 @@ Graph read_binary(std::istream& in) {
 }
 
 void write_binary_file(const Graph& g, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) bin_error("cannot open for writing: " + path);
-  write_binary(g, out);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  bool tmp_exists = false;
+  try {
+    VGP_FAILPOINT("io.write_binary.open");
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw IoError(ErrorCode::FileOpenFailed,
+                      "cannot create temporary file for .vgpb write",
+                      {.path = tmp,
+                       .sys_errno = errno,
+                       .hint = "check directory permissions and free space"});
+      }
+      tmp_exists = true;
+      write_binary(g, out);
+      out.flush();
+      if (!out) {
+        throw IoError(ErrorCode::WriteFailed,
+                      "flush of .vgpb temporary file failed",
+                      {.path = tmp, .sys_errno = errno,
+                       .hint = "check free space on the target filesystem"});
+      }
+    }
+
+    // Durability: the data must be on disk before the rename publishes
+    // it, or a crash could publish a hole.
+    VGP_FAILPOINT("io.write_binary.fsync");
+    const int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 || ::fsync(fd) != 0) {
+      const int saved = errno;
+      if (fd >= 0) ::close(fd);
+      throw IoError(ErrorCode::SyncFailed, "fsync of .vgpb write failed",
+                    {.path = tmp, .sys_errno = saved});
+    }
+    ::close(fd);
+
+    VGP_FAILPOINT("io.write_binary.rename");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError(ErrorCode::RenameFailed,
+                    "cannot move completed .vgpb into place",
+                    {.path = path, .sys_errno = errno,
+                     .hint = "check permissions on the target directory"});
+    }
+    tmp_exists = false;
+
+    // Best-effort: make the rename itself durable.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  } catch (Error& e) {
+    if (tmp_exists) ::unlink(tmp.c_str());
+    e.set_path(path);  // no-op when the error already names a file
+    throw;
+  } catch (...) {
+    if (tmp_exists) ::unlink(tmp.c_str());
+    throw;
+  }
 }
 
 Graph read_binary_file(const std::string& path) {
+  VGP_FAILPOINT("io.read_binary.open");
   std::ifstream in(path, std::ios::binary);
-  if (!in) bin_error("cannot open: " + path);
-  return read_binary(in);
+  if (!in) {
+    throw IoError(ErrorCode::FileOpenFailed, "cannot open .vgpb file",
+                  {.path = path, .sys_errno = errno,
+                   .hint = "check that the path exists and is readable"});
+  }
+  try {
+    return read_binary(in);
+  } catch (Error& e) {
+    e.set_path(path);
+    throw;
+  }
 }
 
 }  // namespace vgp::io

@@ -1,24 +1,46 @@
 // Fast binary graph format (.vgpb): raw little-endian dump of the CSR
-// arrays with a magic header and checksummed sizes. Loading a multi-
-// million-edge graph from text formats costs seconds of parsing; the
-// binary path is a single read per array, so the bench harness can cache
-// generated suites.
+// arrays behind a checksummed header. Loading a multi-million-edge
+// graph from text formats costs seconds of parsing; the binary path is
+// a single read per array, so the bench harness can cache generated
+// suites.
 //
-// Layout (all little-endian):
-//   8 bytes  magic "VGPBIN\1\n"
+// Version 2 layout (all little-endian):
+//   8 bytes  magic "VGPBIN\2\n"
 //   i64      num_vertices
 //   u64      num_arcs (directed adjacency entries)
+//   u32      flags (reserved, 0)
+//   u32      crc32c(offsets section)
+//   u32      crc32c(adjacency section)
+//   u32      crc32c(weights section)
+//   u32      crc32c(header bytes 0..39)
 //   u64[n+1] offsets
 //   i32[m]   adjacency
 //   f32[m]   weights
+//
+// The reader validates the header checksum before trusting the counts,
+// each section checksum before structural validation, and the
+// structural invariants (monotonic offsets, in-range endpoints) before
+// handing the arrays to kernels. Version 1 files (magic "VGPBIN\1\n",
+// no checksum fields) are still read. Failures are typed vgp::Error
+// subclasses carrying byte offsets.
+//
+// write_binary_file is crash-safe: it writes to a temporary in the
+// same directory, fsyncs, and atomically renames into place, so a
+// crash or injected fault mid-write never leaves a partial .vgpb at
+// the destination path.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "vgp/graph/csr.hpp"
 
 namespace vgp::io {
+
+/// Size of the v2 header (magic through header CRC). Exposed for the
+/// corruption tests, which patch sections at computed offsets.
+inline constexpr std::size_t kBinaryHeaderBytes = 44;
 
 void write_binary(const Graph& g, std::ostream& out);
 Graph read_binary(std::istream& in);

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
 #include "vgp/parallel/counting_sort.hpp"
 #include "vgp/parallel/scan.hpp"
 #include "vgp/parallel/thread_pool.hpp"
@@ -56,6 +58,8 @@ bool Graph::validate(std::string* why) const {
     if (why != nullptr) *why = msg;
     return false;
   };
+  if (VGP_FAILPOINT_SOFT("graph.validate.fail"))
+    return fail("fault injection: graph.validate.fail");
   if (offsets_.size() != static_cast<std::size_t>(n_) + 1)
     return fail("offsets size mismatch");
   if (offsets_.front() != 0 || offsets_.back() != adj_.size())
@@ -130,6 +134,7 @@ bool Graph::validate(std::string* why) const {
 }
 
 Graph Graph::from_edges(std::int64_t n, std::span<const Edge> edges) {
+  VGP_FAILPOINT("graph.from_edges.build");
   telemetry::TraceSpan span("graph.build.from_edges");
   span.arg("vertices", n);
   span.arg("edges", static_cast<std::int64_t>(edges.size()));
@@ -156,8 +161,18 @@ Graph Graph::from_edges(std::int64_t n, std::span<const Edge> edges) {
     if (bad < m) {
       const Edge& e = edges[static_cast<std::size_t>(bad)];
       if (e.u < 0 || e.v < 0 || e.u >= n || e.v >= n)
-        throw std::invalid_argument("edge endpoint out of range");
-      throw std::invalid_argument("edge weight must be > 0");
+        throw ValidationError(
+            ErrorCode::OutOfRange,
+            "edge endpoint out of range at edge " + std::to_string(bad) +
+                " (" + std::to_string(e.u) + "-" + std::to_string(e.v) +
+                ", n=" + std::to_string(n) + ")",
+            {.hint = "vertex ids must be in [0, n)"});
+      throw ValidationError(
+          ErrorCode::InvalidArgument,
+          "edge weight must be > 0 at edge " + std::to_string(bad) + " (" +
+              std::to_string(e.u) + "-" + std::to_string(e.v) + ", w=" +
+              std::to_string(e.w) + ")",
+          {.hint = "drop zero/negative-weight edges before building"});
     }
   }
 
@@ -237,7 +252,11 @@ Graph Graph::from_csr(std::int64_t n, std::vector<std::uint64_t> offsets,
                       std::vector<VertexId> adj, std::vector<float> weights) {
   if (offsets.size() != static_cast<std::size_t>(n) + 1 ||
       adj.size() != weights.size() || offsets.back() != adj.size()) {
-    throw std::invalid_argument("inconsistent CSR arrays");
+    throw ValidationError(ErrorCode::CorruptStructure,
+                          "inconsistent CSR arrays",
+                          {.hint = "offsets must have n+1 entries ending at "
+                                   "adj.size(), and |adj| must equal "
+                                   "|weights|"});
   }
   Graph g;
   g.n_ = n;

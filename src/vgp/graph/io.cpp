@@ -1,24 +1,68 @@
 #include "vgp/graph/io.hpp"
 
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
 #include "vgp/graph/binary_io.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_set>
 
 namespace vgp::io {
 namespace {
 
-[[noreturn]] void parse_error(const std::string& what) {
-  throw std::runtime_error("graph parse error: " + what);
+/// Wraps a text stream with 1-based line numbers and the byte offset of
+/// each line's start (when the stream is seekable), so every parse
+/// error can say exactly where it happened.
+struct LineCursor {
+  explicit LineCursor(std::istream& s) : in(s) {}
+
+  bool next(std::string& line) {
+    const auto pos = in.tellg();
+    line_off = pos == std::istream::pos_type(-1)
+                   ? -1
+                   : static_cast<std::int64_t>(pos);
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  }
+
+  std::istream& in;
+  std::int64_t line_no = 0;
+  std::int64_t line_off = -1;
+};
+
+[[noreturn]] void parse_error(const std::string& what, const LineCursor& at,
+                              ErrorCode code = ErrorCode::BadRecord) {
+  throw ParseError(code, "graph parse error: " + what,
+                   {.line = at.line_no, .offset = at.line_off,
+                    .hint = "fix the offending line or re-export the file"});
 }
 
 std::ifstream open_or_throw(const std::string& path) {
+  VGP_FAILPOINT("io.open_read");
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open graph file: " + path);
+  if (!in) {
+    throw IoError(ErrorCode::FileOpenFailed, "cannot open graph file",
+                  {.path = path, .sys_errno = errno,
+                   .hint = "check that the path exists and is readable"});
+  }
   return in;
+}
+
+/// Runs a stream-level reader for `path`, attaching the path to any
+/// typed error that bubbles out without one.
+template <typename Fn>
+Graph read_file_with(const std::string& path, Fn&& fn) {
+  auto in = open_or_throw(path);
+  try {
+    return fn(in);
+  } catch (Error& e) {
+    e.set_path(path);
+    throw;
+  }
 }
 
 bool is_comment(const std::string& line) {
@@ -35,14 +79,15 @@ Graph read_edge_list(std::istream& in) {
   std::vector<Edge> edges;
   VertexId max_id = -1;
   std::string line;
-  while (std::getline(in, line)) {
+  LineCursor lc(in);
+  while (lc.next(line)) {
     if (is_comment(line)) continue;
     std::istringstream ls(line);
     long long u = 0, v = 0;
     double w = 1.0;
-    if (!(ls >> u >> v)) parse_error("bad edge line: " + line);
+    if (!(ls >> u >> v)) parse_error("bad edge line: " + line, lc);
     ls >> w;  // optional weight
-    if (u < 0 || v < 0) parse_error("negative vertex id");
+    if (u < 0 || v < 0) parse_error("negative vertex id", lc);
     Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v),
            static_cast<float>(w)};
     max_id = std::max({max_id, e.u, e.v});
@@ -52,8 +97,7 @@ Graph read_edge_list(std::istream& in) {
 }
 
 Graph read_edge_list_file(const std::string& path) {
-  auto in = open_or_throw(path);
-  return read_edge_list(in);
+  return read_file_with(path, [](std::istream& in) { return read_edge_list(in); });
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
@@ -70,31 +114,35 @@ void write_edge_list(const Graph& g, std::ostream& out) {
 
 Graph read_metis(std::istream& in) {
   std::string line;
+  LineCursor lc(in);
   // Header: skip % comments.
   do {
-    if (!std::getline(in, line)) parse_error("missing METIS header");
+    if (!lc.next(line))
+      parse_error("missing METIS header", lc, ErrorCode::BadHeader);
   } while (is_comment(line));
 
   std::istringstream hs(line);
   std::int64_t n = 0, m = 0;
   std::string fmt;
-  if (!(hs >> n >> m)) parse_error("bad METIS header: " + line);
+  if (!(hs >> n >> m))
+    parse_error("bad METIS header: " + line, lc, ErrorCode::BadHeader);
   hs >> fmt;
   const bool weighted = (fmt == "1" || fmt == "001");
   if (!fmt.empty() && !weighted && fmt != "0" && fmt != "000")
-    parse_error("unsupported METIS fmt field: " + fmt);
+    parse_error("unsupported METIS fmt field: " + fmt, lc,
+                ErrorCode::BadHeader);
 
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(m));
   std::int64_t u = 0;
-  while (u < n && std::getline(in, line)) {
+  while (u < n && lc.next(line)) {
     if (!line.empty() && line[0] == '%') continue;
     std::istringstream ls(line);
     long long v = 0;
     while (ls >> v) {
-      if (v < 1 || v > n) parse_error("METIS neighbor out of range");
+      if (v < 1 || v > n) parse_error("METIS neighbor out of range", lc);
       double w = 1.0;
-      if (weighted && !(ls >> w)) parse_error("missing METIS edge weight");
+      if (weighted && !(ls >> w)) parse_error("missing METIS edge weight", lc);
       // Each undirected edge appears in both rows; keep u <= v copies only.
       const auto vv = static_cast<VertexId>(v - 1);
       if (static_cast<VertexId>(u) <= vv) {
@@ -103,13 +151,15 @@ Graph read_metis(std::istream& in) {
     }
     ++u;
   }
-  if (u != n) parse_error("METIS file ended early");
+  if (u != n)
+    parse_error("METIS file ended early (" + std::to_string(u) + " of " +
+                    std::to_string(n) + " vertex rows)",
+                lc, ErrorCode::Truncated);
   return Graph::from_edges(n, edges);
 }
 
 Graph read_metis_file(const std::string& path) {
-  auto in = open_or_throw(path);
-  return read_metis(in);
+  return read_file_with(path, [](std::istream& in) { return read_metis(in); });
 }
 
 void write_metis(const Graph& g, std::ostream& out, bool with_weights) {
@@ -130,40 +180,50 @@ void write_metis(const Graph& g, std::ostream& out, bool with_weights) {
 
 Graph read_matrix_market(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line)) parse_error("empty MatrixMarket file");
+  LineCursor lc(in);
+  if (!lc.next(line))
+    parse_error("empty MatrixMarket file", lc, ErrorCode::BadHeader);
   if (line.rfind("%%MatrixMarket", 0) != 0)
-    parse_error("missing MatrixMarket banner");
+    parse_error("missing MatrixMarket banner", lc, ErrorCode::BadMagic);
   std::istringstream bs(line);
   std::string tag, object, format, field, symmetry;
   bs >> tag >> object >> format >> field >> symmetry;
   if (object != "matrix" || format != "coordinate")
-    parse_error("only coordinate matrices are supported");
+    parse_error("only coordinate matrices are supported", lc,
+                ErrorCode::BadHeader);
   const bool pattern = (field == "pattern");
   if (!pattern && field != "real" && field != "integer")
-    parse_error("unsupported MatrixMarket field: " + field);
+    parse_error("unsupported MatrixMarket field: " + field, lc,
+                ErrorCode::BadHeader);
 
   do {
-    if (!std::getline(in, line)) parse_error("missing MatrixMarket size line");
+    if (!lc.next(line))
+      parse_error("missing MatrixMarket size line", lc, ErrorCode::BadHeader);
   } while (!line.empty() && line[0] == '%');
 
   std::istringstream ss(line);
   std::int64_t rows = 0, cols = 0, nnz = 0;
-  if (!(ss >> rows >> cols >> nnz)) parse_error("bad MatrixMarket size line");
-  if (rows != cols) parse_error("adjacency matrix must be square");
+  if (!(ss >> rows >> cols >> nnz))
+    parse_error("bad MatrixMarket size line", lc, ErrorCode::BadHeader);
+  if (rows != cols)
+    parse_error("adjacency matrix must be square", lc, ErrorCode::BadHeader);
 
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(nnz));
   for (std::int64_t k = 0; k < nnz; ++k) {
     do {
-      if (!std::getline(in, line)) parse_error("MatrixMarket ended early");
+      if (!lc.next(line))
+        parse_error("MatrixMarket ended early (" + std::to_string(k) +
+                        " of " + std::to_string(nnz) + " entries)",
+                    lc, ErrorCode::Truncated);
     } while (is_comment(line));
     std::istringstream ls(line);
     long long r = 0, c = 0;
     double w = 1.0;
-    if (!(ls >> r >> c)) parse_error("bad MatrixMarket entry");
+    if (!(ls >> r >> c)) parse_error("bad MatrixMarket entry", lc);
     if (!pattern) ls >> w;
     if (r < 1 || c < 1 || r > rows || c > cols)
-      parse_error("MatrixMarket entry out of range");
+      parse_error("MatrixMarket entry out of range", lc);
     // 'general' files carry both triangles; keep one.
     if (symmetry == "general" && r > c) continue;
     edges.push_back({static_cast<VertexId>(r - 1), static_cast<VertexId>(c - 1),
@@ -173,8 +233,8 @@ Graph read_matrix_market(std::istream& in) {
 }
 
 Graph read_matrix_market_file(const std::string& path) {
-  auto in = open_or_throw(path);
-  return read_matrix_market(in);
+  return read_file_with(path,
+                        [](std::istream& in) { return read_matrix_market(in); });
 }
 
 void write_matrix_market(const Graph& g, std::ostream& out) {
@@ -196,8 +256,9 @@ Graph read_dimacs_gr(std::istream& in) {
   std::int64_t n = -1, arcs = -1;
   std::vector<Edge> edges;
   std::unordered_set<std::uint64_t> seen;
+  LineCursor lc(in);
 
-  while (std::getline(in, line)) {
+  while (lc.next(line)) {
     if (line.empty() || line[0] == 'c') continue;
     std::istringstream ls(line);
     char tag = 0;
@@ -205,16 +266,19 @@ Graph read_dimacs_gr(std::istream& in) {
     if (tag == 'p') {
       std::string kind;
       if (!(ls >> kind >> n >> arcs) || kind != "sp")
-        parse_error("bad DIMACS .gr problem line: " + line);
+        parse_error("bad DIMACS .gr problem line: " + line, lc,
+                    ErrorCode::BadHeader);
       edges.reserve(static_cast<std::size_t>(arcs) / 2 + 1);
       seen.reserve(static_cast<std::size_t>(arcs));
     } else if (tag == 'a') {
-      if (n < 0) parse_error(".gr arc before problem line");
+      if (n < 0)
+        parse_error(".gr arc before problem line", lc, ErrorCode::BadHeader);
       long long u = 0, v = 0;
       double w = 1.0;
-      if (!(ls >> u >> v)) parse_error("bad .gr arc line: " + line);
+      if (!(ls >> u >> v)) parse_error("bad .gr arc line: " + line, lc);
       ls >> w;
-      if (u < 1 || v < 1 || u > n || v > n) parse_error(".gr arc out of range");
+      if (u < 1 || v < 1 || u > n || v > n)
+        parse_error(".gr arc out of range", lc);
       auto a = static_cast<VertexId>(u - 1);
       auto b = static_cast<VertexId>(v - 1);
       if (a > b) std::swap(a, b);
@@ -225,16 +289,17 @@ Graph read_dimacs_gr(std::istream& in) {
         edges.push_back({a, b, static_cast<float>(w <= 0.0 ? 1.0 : w)});
       }
     } else {
-      parse_error("unknown .gr line tag: " + line);
+      parse_error("unknown .gr line tag: " + line, lc);
     }
   }
-  if (n < 0) parse_error("missing DIMACS .gr problem line");
+  if (n < 0)
+    parse_error("missing DIMACS .gr problem line", lc, ErrorCode::BadHeader);
   return Graph::from_edges(n, edges);
 }
 
 Graph read_dimacs_gr_file(const std::string& path) {
-  auto in = open_or_throw(path);
-  return read_dimacs_gr(in);
+  return read_file_with(path,
+                        [](std::istream& in) { return read_dimacs_gr(in); });
 }
 
 void write_dimacs_gr(const Graph& g, std::ostream& out) {
@@ -257,7 +322,12 @@ Graph read_auto(const std::string& path) {
   if (ext == "mtx") return read_matrix_market_file(path);
   if (ext == "gr") return read_dimacs_gr_file(path);
   if (ext == "vgpb") return read_binary_file(path);
-  throw std::runtime_error("unknown graph file extension: " + path);
+  throw ValidationError(
+      ErrorCode::UnknownFormat, "unknown graph file extension",
+      {.path = path,
+       .hint = "known extensions: .el/.txt/.edges (edge list), "
+               ".graph/.metis (METIS), .mtx (MatrixMarket), .gr (DIMACS), "
+               ".vgpb (binary)"});
 }
 
 }  // namespace vgp::io

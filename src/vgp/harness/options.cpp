@@ -1,5 +1,7 @@
 #include "vgp/harness/options.hpp"
 
+#include "vgp/fault/error.hpp"
+
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -20,15 +22,18 @@ std::int64_t parse_int_strict(const std::string& key, const std::string& s) {
   // strtoll skips leading whitespace; "the whole string" means no
   // whitespace either (a quoting slip like --reps=' 4').
   if (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    throw std::invalid_argument("option --" + key + ": '" + s +
+    throw ValidationError(ErrorCode::InvalidArgument,
+                          "option --" + key + ": '" + s +
                                 "' is not an integer");
   }
   if (end == s.c_str() || *end != '\0') {
-    throw std::invalid_argument("option --" + key + ": '" + s +
+    throw ValidationError(ErrorCode::InvalidArgument,
+                          "option --" + key + ": '" + s +
                                 "' is not an integer");
   }
   if (errno == ERANGE) {
-    throw std::invalid_argument("option --" + key + ": '" + s +
+    throw ValidationError(ErrorCode::InvalidArgument,
+                          "option --" + key + ": '" + s +
                                 "' is out of range");
   }
   return static_cast<std::int64_t>(v);
@@ -39,15 +44,18 @@ double parse_double_strict(const std::string& key, const std::string& s) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    throw std::invalid_argument("option --" + key + ": '" + s +
+    throw ValidationError(ErrorCode::InvalidArgument,
+                          "option --" + key + ": '" + s +
                                 "' is not a number");
   }
   if (end == s.c_str() || *end != '\0') {
-    throw std::invalid_argument("option --" + key + ": '" + s +
+    throw ValidationError(ErrorCode::InvalidArgument,
+                          "option --" + key + ": '" + s +
                                 "' is not a number");
   }
   if (errno == ERANGE) {
-    throw std::invalid_argument("option --" + key + ": '" + s +
+    throw ValidationError(ErrorCode::InvalidArgument,
+                          "option --" + key + ": '" + s +
                                 "' is out of range");
   }
   return v;
@@ -71,14 +79,16 @@ bool Options::parse(int argc, char** argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
-      throw std::invalid_argument("unexpected argument: " + arg);
+      throw ValidationError(ErrorCode::InvalidArgument,
+                          "unexpected argument: " + arg);
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     const std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
     const std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
     if (described_.find(key) == described_.end()) {
-      throw std::invalid_argument("unknown option: --" + key);
+      throw ValidationError(ErrorCode::InvalidArgument,
+                          "unknown option: --" + key);
     }
     values_[key] = value;
   }

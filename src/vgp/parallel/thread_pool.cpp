@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <memory>
+
+#include "vgp/fault/failpoint.hpp"
 
 namespace vgp {
 
@@ -13,6 +16,12 @@ struct ThreadPool::Job {
   std::atomic<std::int64_t> cursor{0};
   std::atomic<unsigned> active{0};
   std::atomic<bool> done{false};
+  // First exception thrown by any participant; later ones are dropped.
+  // Without this a worker exception would escape worker_loop and
+  // std::terminate the process. Only the `failed` CAS winner writes
+  // `error`; the caller reads it after the done-flag acquire.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
 
   // A worker that wakes after the range is drained exits via the cursor
   // check without touching `fn` (whose referent lives on the caller's
@@ -22,7 +31,20 @@ struct ThreadPool::Job {
       const std::int64_t first = cursor.fetch_add(grain, std::memory_order_relaxed);
       if (first >= end) break;
       const std::int64_t last = std::min(first + grain, end);
-      (*fn)(first, last);
+      try {
+        VGP_FAILPOINT("pool.worker.task");
+        (*fn)(first, last);
+      } catch (...) {
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+          error = std::current_exception();
+        }
+        // Drain the remaining chunks so every participant (and the done
+        // flag's cursor check) winds down promptly.
+        cursor.store(end, std::memory_order_relaxed);
+        break;
+      }
     }
   }
 };
@@ -88,6 +110,7 @@ void ThreadPool::parallel_for(
   // worker thread (which must not block on the pool it is serving).
   static thread_local bool inside_pool_job = false;
   if (workers_.empty() || inside_pool_job || end - begin <= grain) {
+    VGP_FAILPOINT("pool.worker.task");
     fn(begin, end);
     return;
   }
@@ -126,8 +149,17 @@ void ThreadPool::parallel_for(
 
   // Unpublish. Workers that grabbed a shared_ptr keep the Job alive; their
   // cursor check keeps them away from `fn`.
-  std::lock_guard<std::mutex> lock(mutex_);
-  job_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = nullptr;
+  }
+
+  // Containment: the first exception any participant threw surfaces
+  // here, at the join point, instead of std::terminate-ing the process
+  // from a worker thread. The pool stays usable afterwards.
+  if (job->failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(job->error);
+  }
 }
 
 ThreadPool& ThreadPool::global() {

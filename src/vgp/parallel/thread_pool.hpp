@@ -34,6 +34,11 @@ class ThreadPool {
   /// scheduled. fn receives (first, last) half-open index ranges. Blocks
   /// until the whole range is processed. Reentrant calls from worker
   /// threads are executed inline (sequentially) to avoid deadlock.
+  ///
+  /// If fn throws, the remaining chunks are abandoned, every participant
+  /// winds down, and the FIRST exception is rethrown here on the calling
+  /// thread (instead of std::terminate from a worker). The pool remains
+  /// usable afterwards; which chunks completed is unspecified.
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 

@@ -1,0 +1,96 @@
+#include "vgp/simd/checksum.hpp"
+
+#include <array>
+
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/simd/registry.hpp"
+
+namespace vgp::simd {
+namespace {
+
+// Reflected CRC32C polynomial (Castagnoli).
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+// GF(2) matrix-vector product over 32-bit column vectors; `mat` is 32
+// columns. Same construction as zlib's crc32_combine, with the
+// Castagnoli polynomial.
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square, const std::uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
+}  // namespace
+
+std::uint32_t crc32c_scalar(const void* data, std::size_t len,
+                            std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+std::uint32_t crc32c_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                             std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+
+  // odd = the operator advancing a CRC by one zero bit; square it up to
+  // get one-byte, two-byte, ... operators and apply the ones selected
+  // by the binary expansion of len_b (zlib's crc32_combine scheme).
+  std::uint32_t odd[32];
+  std::uint32_t even[32];
+  odd[0] = kPoly;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // two-bit operator
+  gf2_matrix_square(odd, even);  // four-bit operator
+
+  std::uint32_t crc = crc_a;
+  std::uint64_t len = len_b;
+  do {
+    gf2_matrix_square(even, odd);  // even = odd^2: next power-of-two shift
+    if (len & 1u) crc = gf2_matrix_times(even, crc);
+    len >>= 1;
+    if (len == 0) break;
+    gf2_matrix_square(odd, even);
+    if (len & 1u) crc = gf2_matrix_times(odd, crc);
+    len >>= 1;
+  } while (len != 0);
+
+  return crc ^ crc_b;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t crc,
+                     Backend backend) {
+  VGP_FAILPOINT("checksum.compute");
+  const auto sel = select<ChecksumKernel>(backend);
+  return sel.fn(data, len, crc);
+}
+
+}  // namespace vgp::simd

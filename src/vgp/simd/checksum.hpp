@@ -1,0 +1,58 @@
+// CRC32C (Castagnoli) checksum kernel family.
+//
+// The hardened .vgpb format checksums its header and each section; this
+// is the kernel behind it, registered in the SIMD dispatch registry as
+// the `checksum.crc32c` family:
+//
+//   scalar tier   byte-at-a-time table CRC (always present)
+//   avx2 tier     hardware _mm_crc32_u64, one stream (SSE4.2 — implied
+//                 by the AVX2 compile tier and by every AVX2 CPU)
+//   avx512 tier   three interleaved _mm_crc32_u64 streams merged with a
+//                 GF(2) carryless shift, saturating the 3-cycle
+//                 recurrence the single-stream version is bound by
+//
+// Convention: `crc` is the running checksum in its final (xor-ed out)
+// form; pass 0 to start a fresh sum and chain calls freely:
+// crc32c(b, n) == crc32c(b + k, n - k, crc32c(b, k)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::simd {
+
+struct ChecksumKernel {
+  static constexpr const char* name = "checksum.crc32c";
+  using Fn = std::uint32_t (*)(const void* data, std::size_t len,
+                               std::uint32_t crc);
+};
+
+/// CRC32C of `len` bytes starting at `data`, chained from `crc`.
+/// Dispatches through the kernel registry (telemetry-visible like every
+/// other family); `backend` defaults to the process-wide resolution.
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t crc = 0,
+                     Backend backend = Backend::Auto);
+
+/// Scalar reference implementation (table-driven), always available.
+std::uint32_t crc32c_scalar(const void* data, std::size_t len,
+                            std::uint32_t crc);
+
+/// Combines two independently-computed CRC32Cs: the checksum of the
+/// concatenation A||B given crc(A), crc(B), and len(B). Used by the
+/// multi-stream kernel; exposed for tests.
+std::uint32_t crc32c_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                             std::uint64_t len_b);
+
+#if defined(VGP_HAVE_AVX2)
+/// Single-stream hardware CRC (SSE4.2 _mm_crc32_u64).
+std::uint32_t crc32c_hw(const void* data, std::size_t len, std::uint32_t crc);
+#endif
+
+#if defined(VGP_HAVE_AVX512)
+/// Three-stream interleaved hardware CRC with GF(2) recombination.
+std::uint32_t crc32c_hw3(const void* data, std::size_t len, std::uint32_t crc);
+#endif
+
+}  // namespace vgp::simd

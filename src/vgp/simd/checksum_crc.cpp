@@ -1,0 +1,31 @@
+// Single-stream hardware CRC32C (SSE4.2 _mm_crc32_u64). Lives in the
+// AVX2 source list so it inherits the -mavx2 codegen flags (which imply
+// SSE4.2) and is only linked when the AVX2 tier is compiled in; every
+// CPU that passes the AVX2 runtime gate has SSE4.2.
+#include <nmmintrin.h>
+
+#include <cstring>
+
+#include "vgp/simd/checksum.hpp"
+
+namespace vgp::simd {
+
+std::uint32_t crc32c_hw(const void* data, std::size_t len, std::uint32_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t c = ~crc;
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p);
+    ++p;
+    --len;
+  }
+  return ~static_cast<std::uint32_t>(c);
+}
+
+}  // namespace vgp::simd

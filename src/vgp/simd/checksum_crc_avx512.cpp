@@ -1,0 +1,76 @@
+// Three-stream interleaved hardware CRC32C for the AVX-512 tier.
+//
+// _mm_crc32_u64 has a 3-cycle latency / 1-cycle throughput recurrence,
+// so a single dependent stream runs at ~1/3 of the unit's capacity.
+// Splitting the buffer into three chunks and round-robining the three
+// independent CRC registers through one loop fills the pipeline; the
+// per-chunk CRCs are then merged with the GF(2) zero-extension
+// operator (crc32c_combine). The CRC unit itself is SSE4.2 — the
+// AVX-512 tier is just where the extra ILP is worth the recombination
+// cost, matching how this registry treats tiers as width/ILP levels.
+//
+// Self-contained: does not call the AVX2-tier crc32c_hw so an
+// AVX512-only build (VGP_ENABLE_AVX2=OFF) still links.
+#include <nmmintrin.h>
+
+#include <cstring>
+
+#include "vgp/simd/checksum.hpp"
+
+namespace vgp::simd {
+namespace {
+
+inline std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t word;
+  std::memcpy(&word, p, 8);
+  return word;
+}
+
+std::uint32_t hw_single(const unsigned char* p, std::size_t len,
+                        std::uint32_t crc) {
+  std::uint64_t c = ~crc;
+  while (len >= 8) {
+    c = _mm_crc32_u64(c, load_u64(p));
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p);
+    ++p;
+    --len;
+  }
+  return ~static_cast<std::uint32_t>(c);
+}
+
+}  // namespace
+
+std::uint32_t crc32c_hw3(const void* data, std::size_t len,
+                         std::uint32_t crc) {
+  const auto* a = static_cast<const unsigned char*>(data);
+
+  // Below ~3 cache lines per stream the recombination dominates.
+  constexpr std::size_t kMinChunk = 64;
+  const std::size_t chunk = (len / 3) & ~std::size_t{7};
+  if (chunk < kMinChunk) return hw_single(a, len, crc);
+
+  const unsigned char* b = a + chunk;
+  const unsigned char* c = b + chunk;
+
+  std::uint64_t sa = ~crc;  // stream A chains the incoming crc
+  std::uint64_t sb = 0xffffffffu;
+  std::uint64_t sc = 0xffffffffu;
+  for (std::size_t i = 0; i < chunk; i += 8) {
+    sa = _mm_crc32_u64(sa, load_u64(a + i));
+    sb = _mm_crc32_u64(sb, load_u64(b + i));
+    sc = _mm_crc32_u64(sc, load_u64(c + i));
+  }
+
+  std::uint32_t merged = crc32c_combine(~static_cast<std::uint32_t>(sa),
+                                        ~static_cast<std::uint32_t>(sb),
+                                        chunk);
+  merged = crc32c_combine(merged, ~static_cast<std::uint32_t>(sc), chunk);
+
+  return hw_single(c + chunk, len - 3 * chunk, merged);
+}
+
+}  // namespace vgp::simd

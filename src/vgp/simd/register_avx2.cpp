@@ -9,6 +9,7 @@
 // "no-avx2-variant" reason.
 #include "vgp/community/label_prop.hpp"
 #include "vgp/community/move_ctx.hpp"
+#include "vgp/simd/checksum.hpp"
 #include "vgp/simd/reduce_scatter.hpp"
 #include "vgp/simd/registry.hpp"
 
@@ -34,6 +35,7 @@ void register_avx2_kernels() {
       tier, &community::move_phase_onpl_avx2);
   KernelTable<community::detail::LpProcessKernel>::instance().set(
       tier, &community::detail::lp_process_avx2);
+  KernelTable<ChecksumKernel>::instance().set(tier, &crc32c_hw);
 }
 
 }  // namespace vgp::simd::detail

@@ -10,6 +10,7 @@
 #include "vgp/community/move_ctx.hpp"
 #include "vgp/community/ovpl.hpp"
 #include "vgp/graph/triangles.hpp"
+#include "vgp/simd/checksum.hpp"
 #include "vgp/simd/reduce_scatter.hpp"
 #include "vgp/simd/registry.hpp"
 
@@ -52,6 +53,7 @@ void register_avx512_kernels() {
       tier, &classic::detail::pr_pull_avx512);
   KernelTable<TriangleIntersectKernel>::instance().set(
       tier, &intersect_count_avx512);
+  KernelTable<ChecksumKernel>::instance().set(tier, &crc32c_hw3);
 }
 
 }  // namespace vgp::simd::detail

@@ -10,6 +10,7 @@
 #include "vgp/community/move_ctx.hpp"
 #include "vgp/community/ovpl.hpp"
 #include "vgp/graph/triangles.hpp"
+#include "vgp/simd/checksum.hpp"
 #include "vgp/simd/reduce_scatter.hpp"
 #include "vgp/simd/registry.hpp"
 
@@ -52,6 +53,7 @@ void register_scalar_kernels() {
       tier, &classic::detail::pr_pull_scalar);
   KernelTable<TriangleIntersectKernel>::instance().set(
       tier, &intersect_count_scalar);
+  KernelTable<ChecksumKernel>::instance().set(tier, &crc32c_scalar);
 }
 
 }  // namespace vgp::simd::detail

@@ -1,5 +1,7 @@
 #include "vgp/telemetry/json_reader.hpp"
 
+#include "vgp/fault/failpoint.hpp"
+
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
@@ -129,8 +131,11 @@ struct Parser {
         out.bval = false;
         return literal("false", 5);
       case 'n':
-        out.type = JsonValue::Type::Null;
-        return literal("null", 4);
+        if (end - p >= 2 && p[1] == 'u') {
+          out.type = JsonValue::Type::Null;
+          return literal("null", 4);
+        }
+        [[fallthrough]];  // "nan" — handled by from_chars below
       default: {
         const auto res = std::from_chars(p, end, out.num);
         if (res.ec != std::errc{} || res.ptr == p) {
@@ -165,6 +170,10 @@ bool parse_json(const std::string& text, JsonValue& out, std::string* error) {
 
 bool parse_json_file(const std::string& path, JsonValue& out,
                      std::string* error) {
+  if (VGP_FAILPOINT_SOFT("report.parse")) {
+    if (error != nullptr) *error = "fault injection: report.parse";
+    return false;
+  }
   std::ifstream in(path);
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;

@@ -1,6 +1,7 @@
 #include "vgp/telemetry/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 
@@ -29,7 +30,9 @@ void load_from_metrics(const JsonValue& root, Report& out) {
     const JsonValue* vals = root.get(group);
     if (vals == nullptr || !vals->is_object()) continue;
     for (const auto& [name, v] : vals->obj) {
-      if (!v.is_number()) continue;
+      // A non-finite gauge (NaN from a 0/0 ratio upstream) is treated as
+      // missing rather than poisoning every diff it participates in.
+      if (!v.is_number() || !std::isfinite(v.num)) continue;
       if (name == "trace.dropped") out.dropped = v.num;
       if (name == "perf.available") out.perf_available = v.num;
       std::string stem;
@@ -69,14 +72,21 @@ void load_from_trace(const JsonValue& root, Report& out) {
     ReportRow& row = out.spans[name->str];
     row.name = name->str;
     row.count += 1.0;
-    if (dur != nullptr) row.total_ms += dur->number_or(0.0) * 1e-3;
+    if (dur != nullptr) {
+      const double d = dur->number_or(0.0);
+      if (std::isfinite(d)) row.total_ms += d * 1e-3;
+    }
     if (const JsonValue* args = ev.get("args")) {
       const JsonValue* cycles = args->get("cycles");
       const JsonValue* instr = args->get("instructions");
       if (cycles != nullptr && instr != nullptr) {
-        auto& sums = perf_sums[name->str];
-        sums.first += cycles->number_or(0.0);
-        sums.second += instr->number_or(0.0);
+        const double c = cycles->number_or(0.0);
+        const double in = instr->number_or(0.0);
+        if (std::isfinite(c) && std::isfinite(in)) {
+          auto& sums = perf_sums[name->str];
+          sums.first += c;
+          sums.second += in;
+        }
       }
     }
   }
@@ -110,7 +120,8 @@ void load_from_bench(const JsonValue& root, Report& out) {
       }
       const std::size_t count = std::min(labels->arr.size(), values->arr.size());
       for (std::size_t i = 0; i < count; ++i) {
-        if (!labels->arr[i].is_string() || !values->arr[i].is_number()) {
+        if (!labels->arr[i].is_string() || !values->arr[i].is_number() ||
+            !std::isfinite(values->arr[i].num)) {
           continue;
         }
         const std::string key =
@@ -161,9 +172,17 @@ bool load_report(const std::string& path, Report& out, std::string* error) {
 }
 
 DiffResult diff_reports(const Report& base, const Report& cur,
-                        double threshold, double min_ms) {
+                        const DiffOptions& opts) {
+  const auto selected = [&](const std::string& name) {
+    if (opts.only.empty()) return true;
+    for (const std::string& pat : opts.only) {
+      if (name.find(pat) != std::string::npos) return true;
+    }
+    return false;
+  };
   DiffResult out;
   for (const auto& [name, brow] : base.spans) {
+    if (!selected(name)) continue;
     DiffRow row;
     row.name = name;
     row.base_ms = brow.mean_ms;
@@ -172,16 +191,19 @@ DiffResult diff_reports(const Report& base, const Report& cur,
       row.only_in_base = true;
     } else {
       row.cur_ms = it->second.mean_ms;
-      if (row.base_ms > min_ms) {
+      if (row.base_ms > opts.min_ms && std::isfinite(row.base_ms) &&
+          std::isfinite(row.cur_ms)) {
         row.ratio = row.cur_ms / row.base_ms;
-        row.regression = row.ratio > 1.0 + threshold;
+        row.regression = opts.higher_is_better
+                             ? row.ratio < 1.0 - opts.threshold
+                             : row.ratio > 1.0 + opts.threshold;
         if (row.regression) ++out.regressions;
       }
     }
     out.rows.push_back(std::move(row));
   }
   for (const auto& [name, crow] : cur.spans) {
-    if (base.spans.count(name) != 0) continue;
+    if (base.spans.count(name) != 0 || !selected(name)) continue;
     DiffRow row;
     row.name = name;
     row.cur_ms = crow.mean_ms;
@@ -189,6 +211,14 @@ DiffResult diff_reports(const Report& base, const Report& cur,
     out.rows.push_back(std::move(row));
   }
   return out;
+}
+
+DiffResult diff_reports(const Report& base, const Report& cur,
+                        double threshold, double min_ms) {
+  DiffOptions opts;
+  opts.threshold = threshold;
+  opts.min_ms = min_ms;
+  return diff_reports(base, cur, opts);
 }
 
 void print_report(std::ostream& out, const Report& rep) {

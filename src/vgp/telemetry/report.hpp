@@ -67,10 +67,31 @@ struct DiffResult {
   int regressions = 0;        // rows over threshold
 };
 
-/// Compares per-call mean times span by span. A span regresses when it
-/// exists in both reports with a baseline mean above `min_ms` and
-/// `cur/base > 1 + threshold`. Spans present on only one side are
-/// reported but never gate (new instrumentation must not fail CI).
+/// Knobs for diff_reports. Defaults reproduce the classic
+/// lower-is-better time gate.
+struct DiffOptions {
+  /// Relative change that counts as a regression (0.10 = 10%).
+  double threshold = 0.10;
+  /// Ignore spans whose baseline mean is at or below this.
+  double min_ms = 1e-4;
+  /// When true the gated values are speedups/throughputs: a regression
+  /// is `cur/base < 1 - threshold` instead of `> 1 + threshold`.
+  bool higher_is_better = false;
+  /// Substring filters; a span participates when any matches (empty =
+  /// all spans participate).
+  std::vector<std::string> only;
+};
+
+/// Compares per-call mean values span by span under `opts`. Spans
+/// present on only one side are reported but never gate (new
+/// instrumentation must not fail CI); non-finite means (a NaN that
+/// leaked into a report) never gate either.
+DiffResult diff_reports(const Report& base, const Report& cur,
+                        const DiffOptions& opts);
+
+/// Classic lower-is-better time gate: a span regresses when it exists
+/// in both reports with a baseline mean above `min_ms` and
+/// `cur/base > 1 + threshold`.
 DiffResult diff_reports(const Report& base, const Report& cur,
                         double threshold, double min_ms = 1e-4);
 

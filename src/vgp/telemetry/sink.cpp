@@ -1,5 +1,7 @@
 #include "vgp/telemetry/sink.hpp"
 
+#include "vgp/fault/failpoint.hpp"
+
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -163,6 +165,8 @@ void write_csv(std::ostream& out, const std::vector<MetricValue>& metrics) {
 
 bool write_metrics_file(const std::string& path,
                         const std::vector<MetricValue>& metrics) {
+  // Telemetry is best-effort: a failed flush reports false, never throws.
+  if (VGP_FAILPOINT_SOFT("telemetry.flush.open")) return false;
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   const bool csv =

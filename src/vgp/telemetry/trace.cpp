@@ -1,5 +1,7 @@
 #include "vgp/telemetry/trace.hpp"
 
+#include "vgp/fault/failpoint.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -275,6 +277,7 @@ bool flush_trace() {
   auto& tr = Tracer::global();
   const std::string path = tr.output_path();
   if (path.empty()) return false;
+  if (VGP_FAILPOINT_SOFT("trace.export.open")) return false;
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   tr.write_chrome_trace(out);

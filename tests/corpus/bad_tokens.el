@@ -1,0 +1,2 @@
+0 1 1.0
+not numbers at all

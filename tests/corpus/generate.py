@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Regenerates the corrupted-input corpus checked in next to this script.
+
+Every file is derived from one tiny well-formed graph (the symmetric
+path 0-1-2-3) so the corruption is the only thing under test. The
+binary files target the v2 .vgpb layout:
+
+    magic(8) "VGPBIN\\2\\n" | n(8) | m(8) | flags(4) |
+    crc_offsets(4) | crc_adjacency(4) | crc_weights(4) | header_crc(4) |
+    offsets((n+1)*8) | adj(m*4) | weights(m*4)
+
+All CRCs are CRC32C (Castagnoli), matching src/vgp/simd/checksum.cpp.
+Run from anywhere: `python3 tests/corpus/generate.py`.
+"""
+
+import os
+import struct
+
+OUT = os.path.dirname(os.path.abspath(__file__))
+
+# ---------------------------------------------------------------- crc32c
+
+_POLY = 0x82F63B78
+_TABLE = []
+for i in range(256):
+    c = i
+    for _ in range(8):
+        c = (c >> 1) ^ _POLY if c & 1 else c >> 1
+    _TABLE.append(c)
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    c = crc ^ 0xFFFFFFFF
+    for b in data:
+        c = _TABLE[(c ^ b) & 0xFF] ^ (c >> 8)
+    return c ^ 0xFFFFFFFF
+
+
+# ------------------------------------------------------------ base graph
+
+N = 4
+OFFSETS = [0, 1, 3, 5, 6]
+ADJ = [1, 0, 2, 1, 3, 2]
+WEIGHTS = [1.0] * 6
+M = len(ADJ)
+
+
+def sections() -> tuple[bytes, bytes, bytes]:
+    off = b"".join(struct.pack("<Q", o) for o in OFFSETS)
+    adj = b"".join(struct.pack("<i", a) for a in ADJ)
+    w = b"".join(struct.pack("<f", x) for x in WEIGHTS)
+    return off, adj, w
+
+
+def v2_bytes(n=N, m=M, off=None, adj=None, w=None, fix_header_crc=True,
+             crc_off=None, crc_adj=None, crc_w=None) -> bytes:
+    soff, sadj, sw = sections()
+    off = soff if off is None else off
+    adj = sadj if adj is None else adj
+    w = sw if w is None else w
+    header = b"VGPBIN\2\n"
+    header += struct.pack("<q", n)
+    header += struct.pack("<Q", m)
+    header += struct.pack("<I", 0)  # flags
+    header += struct.pack("<I", crc32c(off) if crc_off is None else crc_off)
+    header += struct.pack("<I", crc32c(adj) if crc_adj is None else crc_adj)
+    header += struct.pack("<I", crc32c(w) if crc_w is None else crc_w)
+    hcrc = crc32c(header) if fix_header_crc else 0xDEADBEEF
+    header += struct.pack("<I", hcrc)
+    return header + off + adj + w
+
+
+def v1_bytes(offsets=OFFSETS, adj=ADJ, weights=WEIGHTS) -> bytes:
+    out = b"VGPBIN\1\n"
+    out += struct.pack("<q", N)
+    out += struct.pack("<Q", len(adj))
+    out += b"".join(struct.pack("<Q", o) for o in offsets)
+    out += b"".join(struct.pack("<i", a) for a in adj)
+    out += b"".join(struct.pack("<f", x) for x in weights)
+    return out
+
+
+def write(name: str, data: bytes):
+    with open(os.path.join(OUT, name), "wb") as f:
+        f.write(data)
+    print(f"{name}: {len(data)} bytes")
+
+
+def flip(data: bytes, index: int, mask: int = 0x01) -> bytes:
+    b = bytearray(data)
+    b[index] ^= mask
+    return bytes(b)
+
+
+def main():
+    good = v2_bytes()
+
+    # Truncations at every structural boundary.
+    write("truncated_header.vgpb", good[:20])
+    write("truncated_offsets.vgpb", good[: 44 + 16])
+    write("truncated_adjacency.vgpb", good[: 44 + (N + 1) * 8 + 7])
+    write("truncated_weights.vgpb", good[: len(good) - 5])
+    write("empty.vgpb", b"")
+
+    # Header corruption: a flipped bit in n must trip the header CRC.
+    write("bitflip_header.vgpb", flip(good, 9, 0x04))
+
+    # Section corruption with a stale section CRC.
+    write("bitflip_adjacency.vgpb", flip(good, 44 + (N + 1) * 8 + 2, 0x10))
+    write("bitflip_weights.vgpb",
+          flip(good, 44 + (N + 1) * 8 + M * 4 + 1, 0x80))
+
+    # Overlong counts with a *valid* header CRC: the stream-length bound
+    # must reject before any allocation.
+    write("overlong_counts.vgpb", v2_bytes(m=1 << 38))
+    write("negative_n.vgpb", v2_bytes(n=-3))
+
+    # Structurally bad but checksum-consistent: CRCs are honest about
+    # corrupt content.
+    soff, sadj, sw = sections()
+    bad_off = bytearray(soff)
+    bad_off[8:16] = struct.pack("<Q", 5)   # offsets[1] jumps past offsets[2]
+    write("nonmonotonic_offsets.vgpb", v2_bytes(off=bytes(bad_off)))
+    bad_adj = bytearray(sadj)
+    bad_adj[0:4] = struct.pack("<i", 99)   # endpoint >= n
+    write("out_of_range_adjacency.vgpb", v2_bytes(adj=bytes(bad_adj)))
+
+    write("bad_magic.vgpb", b"GIF89a not a graph" + b"\0" * 26)
+
+    # Legacy v1 files (no checksums): structural checks still apply.
+    write("v1_truncated.vgpb", v1_bytes()[:30])
+    write("v1_nonmonotonic.vgpb", v1_bytes(offsets=[0, 5, 3, 5, 6]))
+
+    # Malformed text formats.
+    with open(os.path.join(OUT, "bad_tokens.el"), "w") as f:
+        f.write("0 1 1.0\nnot numbers at all\n")
+    with open(os.path.join(OUT, "negative_weight.el"), "w") as f:
+        f.write("0 1 -2.5\n")
+    with open(os.path.join(OUT, "bad_header.graph"), "w") as f:
+        f.write("% comment\nfour two\n")
+    with open(os.path.join(OUT, "truncated.graph"), "w") as f:
+        f.write("4 3\n2\n1 3\n")  # promises 4 vertex lines, has 3
+    with open(os.path.join(OUT, "bad_banner.mtx"), "w") as f:
+        f.write("%%NotMatrixMarket whatever\n2 2 1\n1 2 1.0\n")
+    with open(os.path.join(OUT, "bad_entry.mtx"), "w") as f:
+        f.write("%%MatrixMarket matrix coordinate real symmetric\n"
+                "3 3 2\n1 2 1.0\n9 9 1.0\n")
+    with open(os.path.join(OUT, "bad_arc.gr"), "w") as f:
+        f.write("c dimacs\np sp 3 2\na 1 2 1\na 7 1 1\n")
+
+
+if __name__ == "__main__":
+    main()

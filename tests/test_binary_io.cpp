@@ -1,9 +1,12 @@
 // Tests for the .vgpb binary graph format.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
+#include "vgp/fault/error.hpp"
 #include "vgp/gen/rmat.hpp"
+#include "vgp/simd/checksum.hpp"
 #include "vgp/graph/binary_io.hpp"
 #include "vgp/graph/io.hpp"
 
@@ -80,13 +83,39 @@ TEST(BinaryIo, MissingFileThrows) {
   EXPECT_THROW(read_binary_file("/nonexistent/path/g.vgpb"), std::runtime_error);
 }
 
-// Byte layout: magic(8) | n(8) | m(8) | offsets((n+1)*8) | adj(m*4) | ...
-constexpr std::size_t kHeaderBytes = 8 + 8 + 8;
+// v2 byte layout: 44-byte header (magic | n | m | flags | section CRCs |
+// header CRC) then offsets((n+1)*8) | adj(m*4) | weights(m*4).
+constexpr std::size_t kHeaderBytes = kBinaryHeaderBytes;
 
 std::string serialized(const Graph& g) {
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
   write_binary(g, ss);
   return ss.str();
+}
+
+constexpr std::size_t kOffN_test() { return 9; }  // inside the n field
+
+/// Recomputes every checksum over the (possibly hand-corrupted) bytes so
+/// structural validation is what rejects the file, not the CRCs.
+void refresh_checksums(std::string& bytes) {
+  std::int64_t n = 0;
+  std::uint64_t m = 0;
+  std::memcpy(&n, bytes.data() + 8, 8);
+  std::memcpy(&m, bytes.data() + 16, 8);
+  const std::size_t off_off = kHeaderBytes;
+  const std::size_t adj_off =
+      off_off + (static_cast<std::size_t>(n) + 1) * 8;
+  const std::size_t w_off = adj_off + static_cast<std::size_t>(m) * 4;
+  const auto put = [&](std::size_t at, std::uint32_t v) {
+    std::memcpy(&bytes[at], &v, 4);
+  };
+  put(28, simd::crc32c(bytes.data() + off_off,
+                       (static_cast<std::size_t>(n) + 1) * 8));
+  put(32, simd::crc32c(bytes.data() + adj_off,
+                       static_cast<std::size_t>(m) * 4));
+  put(36, simd::crc32c(bytes.data() + w_off,
+                       static_cast<std::size_t>(m) * 4));
+  put(40, simd::crc32c(bytes.data(), 40));
 }
 
 void expect_rejected(std::string bytes, const char* what) {
@@ -110,6 +139,7 @@ TEST(BinaryIo, RejectsNonMonotonicOffsets) {
   std::string o2 = bytes.substr(off + 16, 8);
   bytes.replace(off + 8, 8, o2);
   bytes.replace(off + 16, 8, o1);
+  refresh_checksums(bytes);
   expect_rejected(std::move(bytes), "non-monotonic offsets");
 }
 
@@ -123,13 +153,75 @@ TEST(BinaryIo, RejectsOutOfRangeAdjacency) {
     std::string bytes = serialized(g);
     const std::int32_t huge = 1 << 20;  // >= n
     bytes.replace(adj_off, 4, reinterpret_cast<const char*>(&huge), 4);
+    refresh_checksums(bytes);
     expect_rejected(std::move(bytes), "endpoint >= n");
   }
   {
     std::string bytes = serialized(g);
     const std::int32_t neg = -7;
     bytes.replace(adj_off, 4, reinterpret_cast<const char*>(&neg), 4);
+    refresh_checksums(bytes);
     expect_rejected(std::move(bytes), "negative endpoint");
+  }
+}
+
+TEST(BinaryIo, DetectsBitFlipViaChecksum) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(7, 4));
+  std::string bytes = serialized(g);
+  const std::size_t adj_off =
+      kHeaderBytes + (static_cast<std::size_t>(g.num_vertices()) + 1) * 8;
+  bytes[adj_off + 5] = static_cast<char>(bytes[adj_off + 5] ^ 0x10);
+  std::stringstream ss(std::move(bytes));
+  try {
+    read_binary(ss);
+    FAIL() << "bit flip accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ChecksumMismatch);
+    EXPECT_NE(std::string(e.what()).find("adjacency"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, DetectsHeaderCorruption) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  std::string bytes = serialized(g);
+  bytes[kOffN_test()] = static_cast<char>(bytes[kOffN_test()] ^ 0x01);
+  std::stringstream ss(std::move(bytes));
+  try {
+    read_binary(ss);
+    FAIL() << "header corruption accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ChecksumMismatch);
+    EXPECT_NE(std::string(e.what()).find("header"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, RejectsOverlongCountsBeforeAllocating) {
+  // A huge m with a fixed-up header CRC must be caught by the
+  // stream-length bound, not by a multi-GiB allocation.
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  std::string bytes = serialized(g);
+  const std::uint64_t huge_m = 1ull << 38;
+  std::memcpy(&bytes[16], &huge_m, 8);
+  const std::uint32_t hcrc = simd::crc32c(bytes.data(), 40);
+  std::memcpy(&bytes[40], &hcrc, 4);
+  std::stringstream ss(std::move(bytes));
+  try {
+    read_binary(ss);
+    FAIL() << "overlong counts accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Truncated);
+  }
+}
+
+TEST(BinaryIo, ErrorsCarryPathContext) {
+  try {
+    read_binary_file("/nonexistent/path/g.vgpb");
+    FAIL() << "missing file accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::FileOpenFailed);
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/path/g.vgpb"),
+              std::string::npos);
+    EXPECT_NE(e.context().sys_errno, 0);
   }
 }
 

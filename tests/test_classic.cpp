@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "vgp/classic/bfs.hpp"
+#include "vgp/fault/error.hpp"
 #include "vgp/classic/pagerank.hpp"
 #include "vgp/gen/er.hpp"
 #include "vgp/gen/lattice.hpp"
@@ -43,8 +44,8 @@ TEST(Bfs, DisconnectedComponentsStayUnreached) {
 }
 
 TEST(Bfs, SourceOutOfRangeThrows) {
-  EXPECT_THROW(bfs(path5(), 7), std::invalid_argument);
-  EXPECT_THROW(bfs(path5(), -1), std::invalid_argument);
+  EXPECT_THROW(bfs(path5(), 7), vgp::ValidationError);
+  EXPECT_THROW(bfs(path5(), -1), vgp::ValidationError);
 }
 
 TEST(Bfs, GridDiameter) {

@@ -1,0 +1,468 @@
+// Fault-injection framework, error taxonomy, and graceful-degradation
+// tests. Every failpoint site in the library is driven here; the
+// contract under test is ISSUE-wide: a triggered fault produces either
+// a typed vgp::Error or a telemetry-flagged degraded-but-valid result —
+// never a crash, a hang, or a silent partial file.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include <vector>
+
+#include "vgp/community/coarsen.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/ovpl.hpp"
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/fault/guard.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/graph/binary_io.hpp"
+#include "vgp/graph/io.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/simd/checksum.hpp"
+#include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/sink.hpp"
+
+namespace vgp {
+namespace {
+
+/// RAII: arms a spec for one test, disarms (and clears counters) after.
+struct ScopedFailpoints {
+  explicit ScopedFailpoints(const std::string& spec) {
+    std::string error;
+    armed = fault::set_spec(spec, &error);
+    EXPECT_TRUE(armed) << error;
+  }
+  ~ScopedFailpoints() { fault::clear(); }
+  bool armed = false;
+};
+
+Graph small_graph() {
+  return gen::rmat(gen::rmat_mix_flat(7, 4));
+}
+
+// ---------------------------------------------------------------- spec
+
+TEST(FailpointSpec, ParsesAndReports) {
+  ScopedFailpoints fp("a.b:error,c.d:errno:5:2,e.f:delay:20");
+  EXPECT_EQ(fault::active_spec(), "a.b:error,c.d:errno:5:2,e.f:delay:20");
+  const auto sites = fault::sites();
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_EQ(sites[0].name, "a.b");
+  EXPECT_EQ(sites[0].mode, fault::Mode::Error);
+  EXPECT_EQ(sites[1].arg, 5);
+  EXPECT_EQ(sites[1].skip, 2);
+  EXPECT_STREQ(fault::mode_name(sites[2].mode), "delay");
+}
+
+TEST(FailpointSpec, RejectsMalformedSpecKeepingPrevious) {
+  ScopedFailpoints fp("a.b:error");
+  std::string error;
+  EXPECT_FALSE(fault::set_spec("a.b", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fault::set_spec("a.b:frobnicate", &error));
+  EXPECT_FALSE(fault::set_spec("a.b:errno:notanint", &error));
+  EXPECT_FALSE(fault::set_spec(":error", &error));
+  // The malformed attempts must not have clobbered the good config.
+  EXPECT_EQ(fault::active_spec(), "a.b:error");
+}
+
+TEST(FailpointSpec, EmptySpecDisarms) {
+  fault::set_spec("a.b:error");
+  fault::set_spec("");
+  EXPECT_EQ(fault::active_spec(), "");
+  EXPECT_TRUE(fault::sites().empty());
+}
+
+TEST(FailpointSpec, SkipCountsHitsBeforeTriggering) {
+  ScopedFailpoints fp("louvain.level:error::2");
+  const Graph g = small_graph();
+  community::LouvainOptions opts;
+  // Levels 0 and 1 pass, level 2 throws (if the run even gets there —
+  // a 2-level convergence is fine too, hence the try).
+  try {
+    community::louvain(g, opts);
+    EXPECT_LE(fault::trigger_count("louvain.level"), 0u);
+  } catch (const InternalError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::FaultInjected);
+    EXPECT_EQ(fault::hit_count("louvain.level"), 3u);
+    EXPECT_EQ(fault::trigger_count("louvain.level"), 1u);
+  }
+}
+
+// --------------------------------------------------------------- modes
+
+TEST(FailpointModes, ErrorThrowsTypedInternalError) {
+  ScopedFailpoints fp("graph.from_edges.build:error");
+  try {
+    Graph::from_edges(2, {});
+    FAIL() << "failpoint did not fire";
+  } catch (const InternalError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::FaultInjected);
+    EXPECT_NE(std::string(e.what()).find("graph.from_edges.build"),
+              std::string::npos);
+  }
+}
+
+TEST(FailpointModes, ErrnoThrowsIoErrorWithErrno) {
+  ScopedFailpoints fp("io.open_read:errno:13");  // EACCES
+  try {
+    io::read_auto("/tmp/definitely-irrelevant.el");
+    FAIL() << "failpoint did not fire";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.context().sys_errno, 13);
+  }
+}
+
+TEST(FailpointModes, OomThrowsResourceError) {
+  ScopedFailpoints fp("coarsen.scratch:oom");
+  const Graph g = small_graph();
+  std::vector<community::CommunityId> zeta(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < zeta.size(); ++i) {
+    zeta[i] = static_cast<community::CommunityId>(i / 2);
+  }
+  try {
+    community::coarsen(g, zeta);
+    FAIL() << "failpoint did not fire";
+  } catch (const ResourceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::OutOfMemory);
+  }
+}
+
+TEST(FailpointModes, DelayDoesNotFail) {
+  ScopedFailpoints fp("labelprop.iter:delay:1");
+  const Graph g = small_graph();
+  const auto res = community::label_propagation(g);
+  EXPECT_FALSE(res.degraded);
+  EXPECT_GE(fault::trigger_count("labelprop.iter"), 1u);
+}
+
+TEST(FailpointModes, PartialClampsWriteAndLeavesNoFile) {
+  const std::string path = ::testing::TempDir() + "/partial.vgpb";
+  std::remove(path.c_str());
+  ScopedFailpoints fp("io.write_binary.partial:partial:10");
+  const Graph g = small_graph();
+  try {
+    io::write_binary_file(g, path);
+    FAIL() << "short write accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::WriteFailed);
+  }
+  // Crash-safety: the destination must not exist (no torn file), and the
+  // temp file must have been unlinked.
+  std::ifstream check(path);
+  EXPECT_FALSE(check.good()) << "torn destination file left behind";
+}
+
+// ----------------------------------------------------------- telemetry
+
+TEST(FailpointTelemetry, TriggersAreCounted) {
+  auto& reg = telemetry::Registry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  reg.reset();
+  {
+    ScopedFailpoints fp("graph.validate.fail:error");
+    const Graph g = small_graph();
+    std::string why;
+    EXPECT_FALSE(g.validate(&why));
+    EXPECT_NE(why.find("fault injection"), std::string::npos);
+  }
+  double injected = 0.0, hit = 0.0;
+  for (const auto& m : reg.collect()) {
+    if (m.name == "fault.injected") injected = m.value;
+    if (m.name == "fault.hit.graph.validate.fail") hit = m.value;
+  }
+  EXPECT_GE(injected, 1.0);
+  EXPECT_GE(hit, 1.0);
+  reg.reset();
+  reg.set_enabled(was_enabled);
+}
+
+// ------------------------------------------------- thread-pool containment
+
+TEST(FaultPool, WorkerExceptionRethrownAtJoin) {
+  ThreadPool pool(4);
+  ScopedPool scope(pool);
+  ScopedFailpoints fp("pool.worker.task:error");
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(0, 1 << 16, 16, [&](std::int64_t, std::int64_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "worker exception was swallowed";
+  } catch (const InternalError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::FaultInjected);
+  }
+  // The pool must remain usable after containment.
+  fault::clear();
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 1000, 10, [&](std::int64_t first, std::int64_t last) {
+    for (std::int64_t i = first; i < last; ++i)
+      sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(FaultPool, SequentialFastPathAlsoContained) {
+  ScopedFailpoints fp("pool.worker.task:error");
+  EXPECT_THROW(parallel_for(0, 8, 1024, [](std::int64_t, std::int64_t) {}),
+               InternalError);
+}
+
+// ------------------------------------------------------- degradation
+
+TEST(FaultDegrade, LouvainDeadlineReturnsValidPartition) {
+  const Graph g = gen::rmat(gen::rmat_mix_skewed(10, 8));
+  community::LouvainOptions opts;
+  opts.deadline_seconds = 1e-9;  // expires immediately
+  const auto res = community::louvain(g, opts);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_STREQ(res.degraded_reason, "deadline");
+  // The partition is still well-formed: every vertex labeled, labels
+  // compact in [0, num_communities).
+  ASSERT_EQ(static_cast<std::int64_t>(res.communities.size()),
+            g.num_vertices());
+  for (const auto c : res.communities) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, res.num_communities);
+  }
+}
+
+TEST(FaultDegrade, LouvainIterationBudgetDegrades) {
+  const Graph g = gen::rmat(gen::rmat_mix_skewed(9, 8));
+  community::LouvainOptions opts;
+  opts.iteration_budget = 1;
+  const auto res = community::louvain(g, opts);
+  EXPECT_TRUE(res.degraded);
+  EXPECT_STREQ(res.degraded_reason, "iteration-budget");
+  std::int64_t sweeps = 0;
+  for (const auto& ls : res.level_stats) sweeps += ls.iterations;
+  EXPECT_LE(sweeps, 1);
+}
+
+TEST(FaultDegrade, LouvainUnboundedRunNotDegraded) {
+  const Graph g = small_graph();
+  const auto res = community::louvain(g, {});
+  EXPECT_FALSE(res.degraded);
+  EXPECT_EQ(res.degraded_reason, nullptr);
+}
+
+TEST(FaultDegrade, LabelPropDeadlineDegrades) {
+  const Graph g = gen::rmat(gen::rmat_mix_skewed(10, 8));
+  community::LabelPropOptions opts;
+  opts.deadline_seconds = 1e-9;
+  const auto res = community::label_propagation(g, opts);
+  EXPECT_TRUE(res.degraded);
+  // Labels must still form a valid assignment.
+  ASSERT_EQ(static_cast<std::int64_t>(res.labels.size()), g.num_vertices());
+}
+
+TEST(FaultDegrade, DeadlineInactiveWhenNonPositive) {
+  EXPECT_FALSE(fault::Deadline::after_seconds(0.0).active());
+  EXPECT_FALSE(fault::Deadline::after_seconds(-1.0).active());
+  EXPECT_FALSE(fault::Deadline::after_seconds(0.0).expired());
+  EXPECT_TRUE(fault::Deadline::after_seconds(1e-12).active());
+}
+
+// ------------------------------------------------------ hardened write
+
+TEST(FaultIo, FsyncFailureLeavesDestinationAbsent) {
+  const std::string path = ::testing::TempDir() + "/fsync.vgpb";
+  std::remove(path.c_str());
+  ScopedFailpoints fp("io.write_binary.fsync:errno:5");
+  EXPECT_THROW(io::write_binary_file(small_graph(), path), IoError);
+  std::ifstream check(path);
+  EXPECT_FALSE(check.good());
+}
+
+TEST(FaultIo, RenameFailureKeepsPreviousFileIntact) {
+  const std::string path = ::testing::TempDir() + "/rename.vgpb";
+  const Graph old_g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  io::write_binary_file(old_g, path);  // a good previous version
+  {
+    ScopedFailpoints fp("io.write_binary.rename:errno:13");
+    EXPECT_THROW(io::write_binary_file(small_graph(), path), IoError);
+  }
+  // The previous version must be untouched and still readable.
+  const Graph back = io::read_binary_file(path);
+  EXPECT_EQ(back.num_vertices(), old_g.num_vertices());
+  EXPECT_EQ(back.num_edges(), old_g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(FaultIo, NoStrayTempFilesAfterFailures) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/stray.vgpb";
+  for (const char* spec :
+       {"io.write_binary.partial:partial:4", "io.write_binary.fsync:errno:5",
+        "io.write_binary.rename:errno:13"}) {
+    ScopedFailpoints fp(spec);
+    try {
+      io::write_binary_file(small_graph(), path);
+    } catch (const Error&) {
+    }
+  }
+  fault::clear();
+  // The writer names temps `<path>.tmp.<pid>`; after cleanup none may
+  // survive.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::ifstream check(tmp);
+  EXPECT_FALSE(check.good()) << "stray temp file: " << tmp;
+  std::remove(path.c_str());
+}
+
+TEST(FaultIo, ShortReadSurfacesTruncatedWithOffset) {
+  ScopedFailpoints fp("io.read_binary.short_read:partial:4");
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(small_graph(), ss);
+  try {
+    io::read_binary(ss);
+    FAIL() << "short read accepted";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Truncated);
+    EXPECT_GE(e.context().offset, 0);
+  }
+}
+
+TEST(FaultIo, ForcedChecksumMismatchIsTyped) {
+  ScopedFailpoints fp("io.read_binary.checksum:error");
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_binary(small_graph(), ss);
+  try {
+    io::read_binary(ss);
+    FAIL() << "forced checksum mismatch accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ChecksumMismatch);
+  }
+}
+
+// -------------------------------------------------------- other sites
+
+TEST(FaultSites, OvplScratchSiteFires) {
+  ScopedFailpoints fp("ovpl.preprocess.scratch:oom");
+  const Graph g = small_graph();
+  community::OvplOptions opts;
+  EXPECT_THROW(community::ovpl_preprocess(g, opts), ResourceError);
+}
+
+TEST(FaultSites, CoarsenDriftRaisesContractViolation) {
+  ScopedFailpoints fp("coarsen.drift:error");
+  const Graph g = small_graph();
+  std::vector<community::CommunityId> zeta(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < zeta.size(); ++i) {
+    zeta[i] = static_cast<community::CommunityId>(i / 2);
+  }
+  try {
+    community::coarsen(g, zeta);
+    FAIL() << "drift failpoint did not fire";
+  } catch (const InternalError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ContractViolation);
+    EXPECT_NE(std::string(e.what()).find("not preserved"), std::string::npos);
+  }
+}
+
+TEST(FaultSites, TelemetrySinkFailureIsGraceful) {
+  ScopedFailpoints fp("telemetry.flush.open:error");
+  auto& reg = telemetry::Registry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  EXPECT_FALSE(telemetry::write_metrics_file(
+      ::testing::TempDir() + "/m.json", reg.collect()));
+  reg.set_enabled(was_enabled);
+}
+
+TEST(FaultSites, ChecksumComputeSiteFires) {
+  ScopedFailpoints fp("checksum.compute:error");
+  const char data[] = "abc";
+  EXPECT_THROW(simd::crc32c(data, 3), InternalError);
+}
+
+// ------------------------------------------------------------- crc32c
+
+TEST(Crc32c, KnownVectorAndDispatchParity) {
+  // RFC 3720 test vector: crc32c of 32 zero bytes.
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(simd::crc32c_scalar(zeros, sizeof(zeros), 0u), 0x8a9136aau);
+  // "123456789" — the classic check value.
+  EXPECT_EQ(simd::crc32c_scalar("123456789", 9, 0u), 0xe3069283u);
+  // Dispatched (possibly hardware) implementation must agree with the
+  // scalar table on varied sizes and alignments.
+  std::vector<unsigned char> buf(4096);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 131 + 7);
+  }
+  for (const std::size_t len : {0u, 1u, 7u, 8u, 63u, 64u, 191u, 4093u}) {
+    for (const std::size_t shift : {0u, 1u, 3u}) {
+      ASSERT_EQ(simd::crc32c(buf.data() + shift, len),
+                simd::crc32c_scalar(buf.data() + shift, len, 0u))
+          << "len=" << len << " shift=" << shift;
+    }
+  }
+}
+
+TEST(Crc32c, ChainingAndCombine) {
+  std::vector<unsigned char> buf(1000);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(255 - (i % 251));
+  }
+  const std::uint32_t whole = simd::crc32c(buf.data(), buf.size());
+  for (const std::size_t split : {1u, 8u, 333u, 999u}) {
+    const std::uint32_t a = simd::crc32c(buf.data(), split);
+    // Chaining: feed the first part's crc as the seed of the second.
+    EXPECT_EQ(simd::crc32c(buf.data() + split, buf.size() - split, a), whole);
+    // Combination: merge two independently computed CRCs.
+    const std::uint32_t b = simd::crc32c(buf.data() + split,
+                                         buf.size() - split);
+    EXPECT_EQ(simd::crc32c_combine(a, b, buf.size() - split), whole);
+  }
+}
+
+// ------------------------------------------------------------ taxonomy
+
+TEST(ErrorTaxonomy, WhatComposesAllContext) {
+  const IoError e(ErrorCode::ReadFailed, "boom",
+                  {.path = "/x/y.bin", .offset = 128, .sys_errno = 5,
+                   .hint = "try harder"});
+  const std::string w = e.what();
+  EXPECT_NE(w.find("io error"), std::string::npos);
+  EXPECT_NE(w.find("boom"), std::string::npos);
+  EXPECT_NE(w.find("/x/y.bin"), std::string::npos);
+  EXPECT_NE(w.find("128"), std::string::npos);
+  EXPECT_NE(w.find("errno 5"), std::string::npos);
+  EXPECT_NE(w.find("read-failed"), std::string::npos);
+  EXPECT_NE(w.find("try harder"), std::string::npos);
+}
+
+TEST(ErrorTaxonomy, SetPathKeepsExistingPath) {
+  IoError e(ErrorCode::WriteFailed, "x", {.path = "/already/here"});
+  e.set_path("/new/path");
+  EXPECT_EQ(e.context().path, "/already/here");
+  IoError f(ErrorCode::WriteFailed, "x");
+  f.set_path("/new/path");
+  EXPECT_EQ(f.context().path, "/new/path");
+  EXPECT_NE(std::string(f.what()).find("/new/path"), std::string::npos);
+}
+
+TEST(ErrorTaxonomy, CatchableAsRuntimeError) {
+  try {
+    throw ParseError(ErrorCode::BadRecord, "bad line", {.line = 3});
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad line"), std::string::npos);
+  }
+}
+
+TEST(ErrorTaxonomy, CodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::ChecksumMismatch),
+               "checksum-mismatch");
+  EXPECT_STREQ(error_code_name(ErrorCode::FaultInjected), "fault-injected");
+}
+
+}  // namespace
+}  // namespace vgp

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "vgp/fault/error.hpp"
 #include "vgp/graph/csr.hpp"
 #include "vgp/graph/permute.hpp"
 #include "vgp/graph/stats.hpp"
@@ -92,16 +93,16 @@ TEST(Graph, VolumesMatchHandshake) {
 
 TEST(Graph, RejectsOutOfRangeEndpoints) {
   const Edge bad[] = {{0, 5, 1.0f}};
-  EXPECT_THROW(Graph::from_edges(3, bad), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, bad), vgp::ValidationError);
   const Edge neg[] = {{-1, 0, 1.0f}};
-  EXPECT_THROW(Graph::from_edges(3, neg), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, neg), vgp::ValidationError);
 }
 
 TEST(Graph, RejectsNonPositiveWeights) {
   const Edge zero[] = {{0, 1, 0.0f}};
-  EXPECT_THROW(Graph::from_edges(2, zero), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(2, zero), vgp::ValidationError);
   const Edge negw[] = {{0, 1, -1.0f}};
-  EXPECT_THROW(Graph::from_edges(2, negw), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(2, negw), vgp::ValidationError);
 }
 
 TEST(Graph, FromCsrSortsAndMerges) {
@@ -120,7 +121,7 @@ TEST(Graph, FromCsrRejectsInconsistentArrays) {
   std::vector<std::uint64_t> off{0, 1};
   std::vector<VertexId> adj{0, 0};
   std::vector<float> w{1.0f, 1.0f};
-  EXPECT_THROW(Graph::from_csr(1, off, adj, w), std::invalid_argument);
+  EXPECT_THROW(Graph::from_csr(1, off, adj, w), vgp::ValidationError);
 }
 
 TEST(GraphStats, TriangleStats) {
@@ -259,18 +260,23 @@ TEST(Graph, FromEdgesReportsFirstBadEdge) {
   bad_endpoint[10].w = -1.0f;  // ... and a bad weight later
   try {
     Graph::from_edges(100, bad_endpoint);
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
-    EXPECT_STREQ(e.what(), "edge endpoint out of range");
+    FAIL() << "expected vgp::ValidationError";
+  } catch (const vgp::ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("edge endpoint out of range"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("edge 5"), std::string::npos);
+    EXPECT_EQ(e.code(), vgp::ErrorCode::OutOfRange);
   }
   auto bad_weight = edges;
   bad_weight[5].w = 0.0f;      // bad weight first this time
   bad_weight[10].u = -2;
   try {
     Graph::from_edges(100, bad_weight);
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
-    EXPECT_STREQ(e.what(), "edge weight must be > 0");
+    FAIL() << "expected vgp::ValidationError";
+  } catch (const vgp::ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("edge weight must be > 0"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("edge 5"), std::string::npos);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "vgp/harness/experiment.hpp"
+#include "vgp/fault/error.hpp"
 #include "vgp/harness/options.hpp"
 #include "vgp/harness/table.hpp"
 
@@ -92,7 +93,7 @@ TEST(Options, UnknownKeyThrows) {
   Options o;
   o.describe("known", "ok");
   const char* argv[] = {"prog", "--unknown=1"};
-  EXPECT_THROW(o.parse(2, const_cast<char**>(argv)), std::invalid_argument);
+  EXPECT_THROW(o.parse(2, const_cast<char**>(argv)), vgp::ValidationError);
 }
 
 TEST(Options, HelpReturnsFalse) {
@@ -108,7 +109,7 @@ TEST(Options, HelpReturnsFalse) {
 TEST(Options, NonOptionArgumentThrows) {
   Options o;
   const char* argv[] = {"prog", "positional"};
-  EXPECT_THROW(o.parse(2, const_cast<char**>(argv)), std::invalid_argument);
+  EXPECT_THROW(o.parse(2, const_cast<char**>(argv)), vgp::ValidationError);
 }
 
 // Regression: get_int/get_double used to silently accept garbage
@@ -126,7 +127,7 @@ TEST(Options, GetIntRejectsGarbage) {
     try {
       each.get_int("reps", 1);
       FAIL() << "accepted " << bad;
-    } catch (const std::invalid_argument& e) {
+    } catch (const vgp::ValidationError& e) {
       EXPECT_NE(std::string(e.what()).find("reps"), std::string::npos) << bad;
     }
   }
@@ -142,7 +143,7 @@ TEST(Options, GetDoubleRejectsGarbage) {
     try {
       each.get_double("frac", 1.0);
       FAIL() << "accepted " << bad;
-    } catch (const std::invalid_argument& e) {
+    } catch (const vgp::ValidationError& e) {
       EXPECT_NE(std::string(e.what()).find("frac"), std::string::npos) << bad;
     }
   }
@@ -166,7 +167,7 @@ TEST(Options, GetIntRejectsOutOfRange) {
   o.describe("reps", "int");
   const char* argv[] = {"prog", "--reps=99999999999999999999999999"};
   ASSERT_TRUE(o.parse(2, const_cast<char**>(argv)));
-  EXPECT_THROW(o.get_int("reps", 1), std::invalid_argument);
+  EXPECT_THROW(o.get_int("reps", 1), vgp::ValidationError);
 }
 
 }  // namespace

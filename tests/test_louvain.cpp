@@ -6,6 +6,7 @@
 #include <string>
 
 #include "vgp/community/louvain.hpp"
+#include "vgp/fault/error.hpp"
 #include "vgp/community/modularity.hpp"
 #include "vgp/gen/er.hpp"
 #include "vgp/gen/planted.hpp"
@@ -186,7 +187,7 @@ TEST(Louvain, PolicyNamesRoundTrip) {
                        MovePolicy::OVPL, MovePolicy::ColorSync}) {
     EXPECT_EQ(parse_move_policy(move_policy_name(p)), p);
   }
-  EXPECT_THROW(parse_move_policy("grappolo"), std::invalid_argument);
+  EXPECT_THROW(parse_move_policy("grappolo"), vgp::ValidationError);
 }
 
 TEST(Louvain, LevelStatsRecorded) {

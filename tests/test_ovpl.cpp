@@ -8,6 +8,7 @@
 #include "vgp/community/louvain.hpp"
 #include "vgp/community/modularity.hpp"
 #include "vgp/community/ovpl.hpp"
+#include "vgp/fault/error.hpp"
 #include "vgp/gen/mesh.hpp"
 #include "vgp/gen/planted.hpp"
 #include "vgp/gen/rmat.hpp"
@@ -120,9 +121,9 @@ TEST(OvplLayout, RejectsBadBlockSize) {
   const Graph g = mesh_graph();
   OvplOptions opts;
   opts.block_size = 8;
-  EXPECT_THROW(ovpl_preprocess(g, opts), std::invalid_argument);
+  EXPECT_THROW(ovpl_preprocess(g, opts), vgp::ValidationError);
   opts.block_size = 20;
-  EXPECT_THROW(ovpl_preprocess(g, opts), std::invalid_argument);
+  EXPECT_THROW(ovpl_preprocess(g, opts), vgp::ValidationError);
 }
 
 TEST(OvplLayout, BlockSize32Works) {

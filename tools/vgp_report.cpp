@@ -37,25 +37,47 @@ void usage() {
          "  --threshold=<frac>  relative slowdown that counts as a\n"
          "                      regression (default 0.10 = +10%)\n"
          "  --min-ms=<ms>       ignore spans with baseline mean below\n"
-         "                      this (default 0.0001)\n";
+         "                      this (default 0.0001)\n"
+         "  --only=<substr>     gate only spans whose name contains the\n"
+         "                      substring (repeatable; also accepts a\n"
+         "                      comma-separated list)\n"
+         "  --higher-is-better  gated values are speedups/throughputs:\n"
+         "                      regress when cur/base < 1 - threshold\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
-  double threshold = 0.10;
-  double min_ms = 1e-4;
+  vgp::telemetry::DiffOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threshold=", 0) == 0) {
-      threshold = std::atof(arg.c_str() + 12);
-      if (threshold <= 0.0) {
+      opts.threshold = std::atof(arg.c_str() + 12);
+      if (opts.threshold <= 0.0) {
         std::cerr << "vgp-report: bad --threshold '" << arg << "'\n";
         return 2;
       }
     } else if (arg.rfind("--min-ms=", 0) == 0) {
-      min_ms = std::atof(arg.c_str() + 9);
+      opts.min_ms = std::atof(arg.c_str() + 9);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      std::string list = arg.substr(7);
+      if (list.empty()) {
+        std::cerr << "vgp-report: empty --only filter\n";
+        return 2;
+      }
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string pat =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!pat.empty()) opts.only.push_back(pat);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--higher-is-better") {
+      opts.higher_is_better = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -87,8 +109,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto diff =
-      vgp::telemetry::diff_reports(reports[0], reports[1], threshold, min_ms);
-  vgp::telemetry::print_diff(std::cout, diff, threshold);
+  const auto diff = vgp::telemetry::diff_reports(reports[0], reports[1], opts);
+  vgp::telemetry::print_diff(std::cout, diff, opts.threshold);
   return diff.regressions > 0 ? 1 : 0;
 }
