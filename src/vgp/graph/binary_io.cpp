@@ -13,6 +13,7 @@
 #include "vgp/fault/error.hpp"
 #include "vgp/fault/failpoint.hpp"
 #include "vgp/simd/checksum.hpp"
+#include "vgp/support/posix_io.hpp"
 
 namespace vgp::io {
 namespace {
@@ -241,14 +242,14 @@ void write_binary_file(const Graph& g, const std::string& path) {
     // Durability: the data must be on disk before the rename publishes
     // it, or a crash could publish a hole.
     VGP_FAILPOINT("io.write_binary.fsync");
-    const int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0 || ::fsync(fd) != 0) {
+    const int fd = support::retry_open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0 || support::retry_fsync(fd) != 0) {
       const int saved = errno;
-      if (fd >= 0) ::close(fd);
+      if (fd >= 0) support::checked_close(fd);
       throw IoError(ErrorCode::SyncFailed, "fsync of .vgpb write failed",
                     {.path = tmp, .sys_errno = saved});
     }
-    ::close(fd);
+    support::checked_close(fd);
 
     VGP_FAILPOINT("io.write_binary.rename");
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -264,10 +265,11 @@ void write_binary_file(const Graph& g, const std::string& path) {
     const std::string dir = slash == std::string::npos
                                 ? std::string(".")
                                 : path.substr(0, slash + 1);
-    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    const int dfd =
+        support::retry_open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
     if (dfd >= 0) {
-      ::fsync(dfd);
-      ::close(dfd);
+      support::retry_fsync(dfd);
+      support::checked_close(dfd);
     }
   } catch (Error& e) {
     if (tmp_exists) ::unlink(tmp.c_str());

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "vgp/fault/failpoint.hpp"
+#include "vgp/support/env.hpp"
 
 namespace vgp {
 
@@ -51,10 +52,13 @@ struct ThreadPool::Job {
 
 unsigned ThreadPool::resolve_threads(unsigned requested) {
   if (requested != 0) return requested;
-  if (const char* env = std::getenv("VGP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
+  // ThreadPool::global() fixes its width at first use, so a malformed
+  // VGP_THREADS silently pinning the pool to the hardware default would
+  // be invisible for the rest of the process. env_int rejects garbage
+  // ("1O", "-3", "8 threads") with a one-time warning naming the
+  // offending string, matching the VGP_BACKEND precedent.
+  const std::int64_t v = support::env_int("VGP_THREADS", 0, 1, 1 << 16);
+  if (v > 0) return static_cast<unsigned>(v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }

@@ -1,0 +1,33 @@
+#include "vgp/serve/batch.hpp"
+
+namespace vgp::serve {
+
+namespace detail {
+
+void gather_i32_scalar(const std::int32_t* table, const std::int32_t* idx,
+                       std::int64_t* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::int64_t>(table[idx[i]]);
+  }
+}
+
+void gather_degree_scalar(const std::uint64_t* offsets,
+                          const std::int32_t* idx, std::int64_t* out,
+                          std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::size_t>(idx[i]);
+    out[i] = static_cast<std::int64_t>(offsets[v + 1] - offsets[v]);
+  }
+}
+
+}  // namespace detail
+
+std::int64_t find_out_of_range(const std::int32_t* idx, std::int64_t n,
+                               std::int64_t num_vertices) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (idx[i] < 0 || idx[i] >= num_vertices) return i;
+  }
+  return -1;
+}
+
+}  // namespace vgp::serve

@@ -1,0 +1,60 @@
+// Batched point-lookup kernels for the serving layer.
+//
+// The protocol's Lookup op carries whole vertex-id arrays, and the
+// server additionally coalesces adjacent single-vertex requests into
+// one sweep — so the hot query path is exactly the irregular access
+// pattern the paper vectorizes everywhere else: gather table[idx[i]]
+// for a batch of indices. The `serve.gather` kernel family runs that
+// sweep 16 ids per register on AVX-512 (8 on AVX2), dispatched through
+// the normal SIMD registry with full telemetry.
+//
+// Contract shared by every tier: ids are already validated to lie in
+// [0, n) — the server rejects out-of-range ids per-request before any
+// kernel runs — so the gathers are unchecked, like every other kernel
+// in the library.
+#pragma once
+
+#include <cstdint>
+
+namespace vgp::serve {
+namespace detail {
+
+/// values[i] = table[idx[i]] widened to i64 (membership / color).
+void gather_i32_scalar(const std::int32_t* table, const std::int32_t* idx,
+                       std::int64_t* out, std::int64_t n);
+void gather_i32_avx2(const std::int32_t* table, const std::int32_t* idx,
+                     std::int64_t* out, std::int64_t n);
+void gather_i32_avx512(const std::int32_t* table, const std::int32_t* idx,
+                       std::int64_t* out, std::int64_t n);
+
+/// values[i] = offsets[idx[i] + 1] - offsets[idx[i]] (degree straight
+/// from the CSR row pointers; no degree array is materialized).
+void gather_degree_scalar(const std::uint64_t* offsets,
+                          const std::int32_t* idx, std::int64_t* out,
+                          std::int64_t n);
+void gather_degree_avx512(const std::uint64_t* offsets,
+                          const std::int32_t* idx, std::int64_t* out,
+                          std::int64_t n);
+
+/// Registry tag for the serve gather family. Two entry points per tier
+/// (i32 attribute tables and u64 CSR offsets), like the coloring
+/// family's assign/detect pair.
+struct GatherKernel {
+  static constexpr const char* name = "serve.gather";
+  struct Fns {
+    void (*i32)(const std::int32_t*, const std::int32_t*, std::int64_t*,
+                std::int64_t) = nullptr;
+    void (*degree)(const std::uint64_t*, const std::int32_t*, std::int64_t*,
+                   std::int64_t) = nullptr;
+  };
+  using Fn = Fns;
+};
+
+}  // namespace detail
+
+/// Validates idx[0..n) against [0, num_vertices); returns the first
+/// offending position or -1 when all ids are in range.
+std::int64_t find_out_of_range(const std::int32_t* idx, std::int64_t n,
+                               std::int64_t num_vertices);
+
+}  // namespace vgp::serve

@@ -1,0 +1,86 @@
+// Minimal synchronous vgp.serve.v1 client.
+//
+// One Client owns one connected stream fd and issues one request at a
+// time (request_id checking included). Used by bench/loadgen, the
+// protocol tests, and anything else that wants to talk to vgp-serve
+// without hand-rolling frames. Not thread-safe: loadgen opens one
+// Client per connection thread, which is also how a real client library
+// would pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vgp/serve/protocol.hpp"
+
+namespace vgp::serve {
+
+/// A decoded response frame. `status != Ok` means `error_code` /
+/// `error_message` are filled from the error body; otherwise `body`
+/// holds the op-specific payload.
+struct Reply {
+  Status status = Status::Ok;
+  std::uint32_t request_id = 0;
+  std::uint16_t aux = 0;
+  std::string body;
+  std::string error_code;
+  std::string error_message;
+  bool transport_ok = true;  ///< false: socket died before a full reply
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a Unix socket path. Returns false with errno set.
+  bool connect_unix(const std::string& path);
+  /// Connects to 127.0.0.1:port.
+  bool connect_tcp(int port);
+  /// Wraps an already-connected fd (socketpair tests). Takes ownership.
+  void adopt(int fd);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one frame and reads the matching reply. Returns false only on
+  /// transport failure (reply.transport_ok mirrors it); protocol errors
+  /// come back as reply.status.
+  bool call(Op op, std::uint16_t aux, const std::string& body, Reply& reply);
+
+  /// Raw frame injection for fuzz tests: sends exactly these bytes.
+  bool send_raw(const void* data, std::size_t size);
+  /// Reads one reply frame without having sent anything via call().
+  bool read_reply(Reply& reply);
+
+  // Typed helpers --------------------------------------------------------
+  bool ping();
+  /// values[i] = attr(ids[i]); returns the reply status.
+  Status lookup(const std::string& graph, Attr attr,
+                const std::vector<std::int32_t>& ids,
+                std::vector<std::int64_t>& values);
+  struct VertexInfo {
+    std::int64_t degree = 0;
+    std::int32_t membership = 0;
+    std::int32_t color = 0;
+    double volume = 0.0;
+  };
+  Status vertex_info(const std::string& graph, std::int32_t v, VertexInfo& out);
+  /// JSON summary lands in `summary` on Ok.
+  Status run(const std::string& graph, const std::string& algorithm,
+             const std::string& options, std::string& summary);
+  Status reload(const std::string& name, const std::string& path,
+                std::string& summary);
+  Status status(std::string& json);
+
+ private:
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace vgp::serve

@@ -1,0 +1,36 @@
+// 8-lane gather kernel for the serving layer's batched lookups.
+// Compiled with -mavx2 (see src/CMakeLists.txt).
+//
+// Only the i32 attribute gather has an AVX2 variant; the degree path
+// needs 64-bit gathers against the CSR offsets, which at 4 lanes per
+// register is not worth the shuffle overhead — the AVX2 tier registers
+// the scalar degree entry point alongside this gather (see
+// register_avx2.cpp).
+#include "vgp/serve/batch.hpp"
+#include "vgp/simd/avx2_common.hpp"
+
+namespace vgp::serve::detail {
+
+void gather_i32_avx2(const std::int32_t* table, const std::int32_t* idx,
+                     std::int64_t* out, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m256i vals = _mm256_i32gather_epi32(table, vidx, 4);
+    // Widen the 8 i32 lanes to two runs of 4 i64 lanes for the wire
+    // format's fixed 8-byte values.
+    const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(vals));
+    const __m256i hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(vals, 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), hi);
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<std::int64_t>(table[idx[i]]);
+  }
+  simd::charge_vector_chunk(static_cast<int>(n / 8 * 3),
+                            static_cast<int>(n / 8 * 8), 0,
+                            static_cast<int>(n % 8));
+}
+
+}  // namespace vgp::serve::detail

@@ -1,0 +1,66 @@
+// 16-lane gather kernels for the serving layer's batched lookups.
+// Compiled with -mavx512f -mavx512cd (see src/CMakeLists.txt).
+#include "vgp/serve/batch.hpp"
+#include "vgp/simd/avx512_common.hpp"
+
+namespace vgp::serve::detail {
+
+void gather_i32_avx512(const std::int32_t* table, const std::int32_t* idx,
+                       std::int64_t* out, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const __m512i vidx =
+        _mm512_loadu_si512(reinterpret_cast<const __m512i*>(idx + i));
+    const __m512i vals = _mm512_i32gather_epi32(vidx, table, 4);
+    // Widen the 16 i32 lanes to two runs of 8 i64 lanes for the wire
+    // format's fixed 8-byte values.
+    const __m512i lo = _mm512_cvtepi32_epi64(_mm512_castsi512_si256(vals));
+    const __m512i hi =
+        _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(vals, 1));
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(out + i), lo);
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(out + i + 8), hi);
+  }
+  if (i < n) {
+    const __mmask16 m = simd::tail_mask16(n - i);
+    const __m512i vidx =
+        _mm512_maskz_loadu_epi32(m, reinterpret_cast<const __m512i*>(idx + i));
+    const __m512i vals =
+        _mm512_mask_i32gather_epi32(_mm512_setzero_si512(), m, vidx, table, 4);
+    alignas(64) std::int32_t tmp[simd::kLanes];
+    _mm512_store_si512(reinterpret_cast<__m512i*>(tmp), vals);
+    for (std::int64_t k = 0; k < n - i; ++k) {
+      out[i + k] = static_cast<std::int64_t>(tmp[k]);
+    }
+  }
+  simd::charge_vector_chunk(static_cast<int>((n + 15) / 16 * 3),
+                            static_cast<int>(n), 0, 0);
+}
+
+void gather_degree_avx512(const std::uint64_t* offsets,
+                          const std::int32_t* idx, std::int64_t* out,
+                          std::int64_t n) {
+  // 8 ids per iteration: two 64-bit gathers (row start and row end)
+  // against the CSR offsets array, one subtract.
+  std::int64_t i = 0;
+  const __m256i ones = _mm256_set1_epi32(1);
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vidx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    const __m512i lo = _mm512_i32gather_epi64(
+        vidx, reinterpret_cast<const long long*>(offsets), 8);
+    const __m512i hi = _mm512_i32gather_epi64(
+        _mm256_add_epi32(vidx, ones),
+        reinterpret_cast<const long long*>(offsets), 8);
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(out + i),
+                        _mm512_sub_epi64(hi, lo));
+  }
+  for (; i < n; ++i) {
+    const auto v = static_cast<std::size_t>(idx[i]);
+    out[i] = static_cast<std::int64_t>(offsets[v + 1] - offsets[v]);
+  }
+  simd::charge_vector_chunk(static_cast<int>((n + 7) / 8 * 3),
+                            static_cast<int>(2 * n), 0,
+                            static_cast<int>(n % 8));
+}
+
+}  // namespace vgp::serve::detail

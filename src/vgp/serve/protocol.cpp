@@ -1,0 +1,61 @@
+#include "vgp/serve/protocol.hpp"
+
+namespace vgp::serve {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::Ping: return "ping";
+    case Op::Lookup: return "lookup";
+    case Op::VertexInfo: return "vertex-info";
+    case Op::Run: return "run";
+    case Op::Reload: return "reload";
+    case Op::Status: return "status";
+  }
+  return "?";
+}
+
+const char* attr_name(Attr a) noexcept {
+  switch (a) {
+    case Attr::Membership: return "membership";
+    case Attr::Color: return "color";
+    case Attr::Degree: return "degree";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::BadFrame: return "bad-frame";
+    case Status::UnknownOp: return "unknown-op";
+    case Status::UnknownGraph: return "unknown-graph";
+    case Status::UnknownAttr: return "unknown-attr";
+    case Status::BadRequest: return "bad-request";
+    case Status::OutOfRange: return "out-of-range";
+    case Status::IoFailed: return "io-failed";
+    case Status::ParseFailed: return "parse-failed";
+    case Status::Invalid: return "invalid";
+    case Status::Resource: return "resource";
+    case Status::Internal: return "internal";
+    case Status::ShuttingDown: return "shutting-down";
+  }
+  return "?";
+}
+
+void encode_header(const FrameHeader& h, unsigned char* out) noexcept {
+  std::memcpy(out + 0, &h.body_len, 4);
+  std::memcpy(out + 4, &h.request_id, 4);
+  std::memcpy(out + 8, &h.op, 2);
+  std::memcpy(out + 10, &h.aux, 2);
+}
+
+FrameHeader decode_header(const unsigned char* in) noexcept {
+  FrameHeader h;
+  std::memcpy(&h.body_len, in + 0, 4);
+  std::memcpy(&h.request_id, in + 4, 4);
+  std::memcpy(&h.op, in + 8, 2);
+  std::memcpy(&h.aux, in + 10, 2);
+  return h;
+}
+
+}  // namespace vgp::serve

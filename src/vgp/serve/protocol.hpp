@@ -1,0 +1,180 @@
+// vgp-serve wire protocol (vgp.serve.v1).
+//
+// Length-prefixed binary frames over a stream socket (Unix or TCP).
+// Every frame — request or response — starts with a fixed 12-byte
+// little-endian header:
+//
+//   offset  size  field
+//        0     4  body_len     bytes following the header
+//        4     4  request_id   echoed verbatim in the response
+//        8     2  op (request) / status (response)
+//       10     2  aux          op-specific (Lookup: the Attr)
+//
+// Body encoding is little-endian throughout; strings are a u32 byte
+// count followed by raw UTF-8 bytes (no terminator). Multi-vertex
+// lookups are first-class: a Lookup body carries a whole id array and
+// the reply carries the value array, which is what lets the server run
+// point queries through the vectorized gather kernels instead of one
+// branchy map lookup per request.
+//
+// Requests:
+//   Ping        empty body; empty reply.
+//   Lookup      aux=Attr; body: string graph, u32 count, count*i32 ids.
+//               Reply: u32 count, count*i64 values.
+//   VertexInfo  body: string graph, i32 v.
+//               Reply: i64 degree, i32 membership, i32 color, f64 volume.
+//   Run         body: string graph, string algorithm
+//               ("louvain"|"labelprop"|"color"), string options
+//               (comma-separated key=value). Recomputes the derived
+//               arrays and publishes a fresh snapshot.
+//               Reply: string JSON summary.
+//   Reload      body: string name, string path. Loads the graph file and
+//               atomically swaps the named snapshot.
+//               Reply: string JSON summary.
+//   Status      empty body. Reply: string JSON server status (graphs,
+//               counters, latency percentiles).
+//
+// Error replies carry status != Ok and body: string code, string
+// message. A malformed or oversized frame gets a BadFrame reply (when
+// the stream is still framed) or a unilateral close (when it is not);
+// the daemon itself never dies on client input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace vgp::serve {
+
+inline constexpr std::uint32_t kHeaderBytes = 12;
+/// Hard ceiling on body_len; anything larger is a hostile or corrupt
+/// frame and is rejected before any allocation happens.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;  // 16 MiB
+
+enum class Op : std::uint16_t {
+  Ping = 0,
+  Lookup = 1,
+  VertexInfo = 2,
+  Run = 3,
+  Reload = 4,
+  Status = 5,
+};
+
+/// Which per-vertex attribute a Lookup gathers.
+enum class Attr : std::uint16_t {
+  Membership = 0,
+  Color = 1,
+  Degree = 2,
+};
+
+enum class Status : std::uint16_t {
+  Ok = 0,
+  BadFrame = 1,      // header or body failed to decode
+  UnknownOp = 2,
+  UnknownGraph = 3,
+  UnknownAttr = 4,
+  BadRequest = 5,    // well-formed frame, invalid contents
+  OutOfRange = 6,    // vertex id outside [0, n)
+  IoFailed = 7,      // vgp::IoError during Run/Reload
+  ParseFailed = 8,   // vgp::ParseError during Reload
+  Invalid = 9,       // vgp::ValidationError
+  Resource = 10,     // vgp::ResourceError
+  Internal = 11,     // anything else; the daemon survives
+  ShuttingDown = 12, // request arrived during drain
+};
+
+const char* op_name(Op op) noexcept;
+const char* attr_name(Attr a) noexcept;
+const char* status_name(Status s) noexcept;
+
+struct FrameHeader {
+  std::uint32_t body_len = 0;
+  std::uint32_t request_id = 0;
+  std::uint16_t op = 0;  // Op in requests, Status in responses
+  std::uint16_t aux = 0;
+};
+
+/// Serializes `h` into exactly kHeaderBytes at `out`.
+void encode_header(const FrameHeader& h, unsigned char* out) noexcept;
+/// Deserializes kHeaderBytes at `in` (always succeeds; validation of
+/// body_len against kMaxFrameBytes is the caller's job).
+FrameHeader decode_header(const unsigned char* in) noexcept;
+
+/// Little-endian append-only body builder. Cheap, allocation-amortized;
+/// both sides of the protocol use it so the byte order is defined in
+/// exactly one place.
+class WireWriter {
+ public:
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  void bytes(const void* p, std::size_t n) { raw(p, n); }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    // Little-endian hosts only (x86-64, the paper's target): the byte
+    // image of the integral types IS the wire format.
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked body reader. Every getter returns false once the body
+/// is exhausted or a string length overruns it; `ok()` stays false from
+/// then on, so a parse can run unchecked and test once at the end.
+class WireReader {
+ public:
+  WireReader(const char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+  explicit WireReader(const std::string& body)
+      : WireReader(body.data(), body.size()) {}
+
+  bool u16(std::uint16_t& v) { return raw(&v, 2); }
+  bool u32(std::uint32_t& v) { return raw(&v, 4); }
+  bool i32(std::int32_t& v) { return raw(&v, 4); }
+  bool i64(std::int64_t& v) { return raw(&v, 8); }
+  bool f64(double& v) { return raw(&v, 8); }
+  bool str(std::string& s) {
+    std::uint32_t n = 0;
+    if (!u32(n)) return false;
+    if (static_cast<std::size_t>(end_ - p_) < n) return ok_ = false;
+    s.assign(p_, n);
+    p_ += n;
+    return true;
+  }
+  /// Borrow `count` items of `size` bytes without copying; the pointer
+  /// aliases the request body (valid for the request's lifetime).
+  bool span(const void*& out, std::size_t count, std::size_t size) {
+    const std::size_t want = count * size;
+    if (count != 0 && want / count != size) return ok_ = false;
+    if (static_cast<std::size_t>(end_ - p_) < want) return ok_ = false;
+    out = p_;
+    p_ += want;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return ok_ && p_ == end_; }
+
+ private:
+  bool raw(void* out, std::size_t n) {
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < n) return ok_ = false;
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return true;
+  }
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace vgp::serve

@@ -1,0 +1,806 @@
+#include "vgp/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/gen/suite.hpp"
+#include "vgp/graph/io.hpp"
+#include "vgp/serve/batch.hpp"
+#include "vgp/simd/registry.hpp"
+#include "vgp/support/posix_io.hpp"
+#include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/sink.hpp"
+
+namespace vgp::serve {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// serve.* metric ids, registered once. Counter adds are thread-sharded
+/// and free when telemetry is off, so the request path records
+/// unconditionally.
+struct ServeMetrics {
+  telemetry::MetricId requests;
+  telemetry::MetricId errors;
+  telemetry::MetricId bad_frames;
+  telemetry::MetricId coalesced;
+  telemetry::MetricId batched_ids;
+  telemetry::MetricId connections;
+  telemetry::MetricId disconnects;
+  telemetry::MetricId queue_depth;
+  telemetry::MetricId request_seconds;
+
+  static const ServeMetrics& get() {
+    static const ServeMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      ServeMetrics v;
+      v.requests = reg.counter("serve.requests");
+      v.errors = reg.counter("serve.errors");
+      v.bad_frames = reg.counter("serve.bad_frames");
+      v.coalesced = reg.counter("serve.coalesced");
+      v.batched_ids = reg.counter("serve.batched_ids");
+      v.connections = reg.counter("serve.connections");
+      v.disconnects = reg.counter("serve.disconnects");
+      v.queue_depth = reg.gauge("serve.queue.depth");
+      v.request_seconds = reg.histogram("serve.request.seconds");
+      return v;
+    }();
+    return m;
+  }
+};
+
+/// Maps a thrown vgp::Error onto the protocol status space.
+Status status_for(const Error& e) {
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return Status::IoFailed;
+  if (dynamic_cast<const ParseError*>(&e) != nullptr) return Status::ParseFailed;
+  if (dynamic_cast<const ValidationError*>(&e) != nullptr)
+    return Status::Invalid;
+  if (dynamic_cast<const ResourceError*>(&e) != nullptr)
+    return Status::Resource;
+  return Status::Internal;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+void LatencyHistogram::observe_us(double us) noexcept {
+  int b = 0;
+  if (us >= 1.0) {
+    b = static_cast<int>(std::log2(us)) + 1;
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::percentile_us(double p) const noexcept {
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= rank) {
+      // Upper bound of bucket i: 2^(i-1)..2^i us (bucket 0 = sub-us).
+      return i == 0 ? 1.0 : std::pow(2.0, i);
+    }
+  }
+  return std::pow(2.0, kBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i)
+    total += buckets_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Connection
+
+struct Server::Connection {
+  int fd = -1;
+  std::thread reader;
+  std::mutex write_mu;           ///< replies from any worker serialize here
+  std::atomic<bool> closed{false};
+
+  /// Shuts the receive side so the reader unblocks with EOF; the fd
+  /// itself is closed once the reader has exited (shutdown()).
+  void shut_read() {
+    if (fd >= 0) ::shutdown(fd, SHUT_RD);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Server::Server(ServeOptions opts) : opts_(std::move(opts)) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.queue_capacity < 1) opts_.queue_capacity = 1;
+  support::ignore_sigpipe();
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::load_file(const std::string& name, const std::string& path) {
+  auto g = std::make_shared<Graph>(io::read_auto(path));
+  snapshots_.publish(make_snapshot(name, path, std::move(g)));
+}
+
+void Server::load_generated(const std::string& name, const std::string& entry,
+                            const std::string& scale) {
+  const gen::SuiteScale s = gen::parse_suite_scale(scale);
+  auto g = std::make_shared<Graph>(gen::suite_entry(entry).make(s));
+  snapshots_.publish(
+      make_snapshot(name, "gen:" + entry + "@" + scale, std::move(g)));
+}
+
+bool Server::listen(std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    return false;
+  };
+
+  if (!opts_.unix_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(unix)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.unix_path.size() >= sizeof(addr.sun_path)) {
+      support::checked_close(fd);
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opts_.unix_path.c_str());  // stale socket from a prior run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      support::checked_close(fd);
+      return fail("bind(unix)");
+    }
+    if (::listen(fd, 64) < 0) {
+      support::checked_close(fd);
+      return fail("listen(unix)");
+    }
+    listen_fds_.push_back(fd);
+    unix_path_bound_ = opts_.unix_path;
+  }
+
+  if (opts_.tcp_port > 0 || opts_.tcp_port == -1) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(opts_.tcp_port > 0 ? static_cast<std::uint16_t>(opts_.tcp_port)
+                                 : 0);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      support::checked_close(fd);
+      return fail("bind(tcp)");
+    }
+    if (::listen(fd, 64) < 0) {
+      support::checked_close(fd);
+      return fail("listen(tcp)");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+    listen_fds_.push_back(fd);
+  }
+  if (listen_fds_.empty()) {
+    if (error != nullptr) {
+      *error = "no listener configured (set unix_path or tcp_port)";
+    }
+    return false;
+  }
+  return true;
+}
+
+void Server::start() {
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  for (const int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+}
+
+void Server::adopt(int fd) {
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections;
+  }
+  telemetry::Registry::global().add(ServeMetrics::get().connections);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+  }
+  conn->reader = std::thread([this, conn] { reader_loop(conn); });
+}
+
+void Server::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Second caller: the first one is (or was) draining; just wait for
+    // the threads it owns to be joined by it. Destructor-safe because
+    // shutdown() runs to completion before returning either way.
+  }
+  // Wake readers blocked on a full queue and workers blocked on empty.
+  queue_cv_.notify_all();
+  queue_space_cv_.notify_all();
+
+  // Stop accepting: closing the listen fds unblocks poll/accept.
+  for (const int fd : listen_fds_) support::checked_close(fd);
+  listen_fds_.clear();
+  for (auto& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  accept_threads_.clear();
+
+  // Shut every connection's receive side; readers drain to EOF and exit.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  for (auto& c : conns) c->shut_read();
+  for (auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+  }
+
+  // Workers finish whatever is queued (pop_request returns false only
+  // when stopping AND empty), then exit.
+  queue_cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& c : conns_) {
+      if (c->fd >= 0) {
+        support::checked_close(c->fd);
+        c->fd = -1;
+      }
+    }
+    conns_.clear();
+  }
+  if (!unix_path_bound_.empty()) {
+    ::unlink(unix_path_bound_.c_str());
+    unix_path_bound_.clear();
+  }
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Accept / read
+
+void Server::accept_loop(int listen_fd) {
+  while (!stopping()) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (stopping()) break;
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener died; shutdown() owns cleanup
+    }
+    if (pr == 0) continue;
+    const int fd = support::retry_accept(listen_fd);
+    if (fd < 0) {
+      if (errno == EBADF || errno == EINVAL) break;  // closed under us
+      continue;  // transient (ECONNABORTED, EMFILE, ...)
+    }
+    if (VGP_FAILPOINT_SOFT("serve.accept")) {
+      support::checked_close(fd);
+      continue;  // injected accept failure: drop, keep serving
+    }
+    // Request/reply frames are written header-then-body; without
+    // TCP_NODELAY, Nagle + delayed ACK turns that into ~40 ms stalls
+    // per round trip. No-op (EOPNOTSUPP) on unix-domain sockets.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    adopt(fd);
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  unsigned char hdr_buf[kHeaderBytes];
+  while (!conn->closed.load(std::memory_order_relaxed)) {
+    bool eof = false;
+    const std::size_t got =
+        support::read_full(conn->fd, hdr_buf, kHeaderBytes, &eof);
+    if (VGP_FAILPOINT_SOFT("serve.read")) break;  // injected read failure
+    if (got != kHeaderBytes) break;  // EOF or error: client is gone
+    const FrameHeader hdr = decode_header(hdr_buf);
+
+    if (hdr.body_len > kMaxFrameBytes) {
+      // Oversized length: reply BadFrame, then close — the stream
+      // cannot be re-framed without trusting the hostile length.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_frames;
+      }
+      telemetry::Registry::global().add(ServeMetrics::get().bad_frames);
+      FrameHeader reply = hdr;
+      reply.op = static_cast<std::uint16_t>(Status::BadFrame);
+      send_reply(*conn, reply,
+                 error_body(Status::BadFrame, "bad-frame",
+                            "body_len exceeds 16 MiB frame limit"));
+      break;
+    }
+
+    Request r;
+    r.conn = conn;
+    r.header = hdr;
+    r.arrival_ns = steady_ns();
+    if (hdr.body_len > 0) {
+      r.body.resize(hdr.body_len);
+      const std::size_t body_got =
+          support::read_full(conn->fd, r.body.data(), hdr.body_len, &eof);
+      if (body_got != hdr.body_len) break;  // truncated frame: client gone
+    }
+    if (!push_request(std::move(r))) {
+      // Stopping: tell the client instead of silently dropping.
+      FrameHeader reply = hdr;
+      reply.op = static_cast<std::uint16_t>(Status::ShuttingDown);
+      send_reply(*conn, reply,
+                 error_body(Status::ShuttingDown, "shutting-down",
+                            "server is draining"));
+      break;
+    }
+  }
+  conn->closed.store(true, std::memory_order_relaxed);
+  if (!stopping()) {
+    // The stream is dead or unframeable: shut the send side as well so
+    // the peer sees EOF instead of blocking on a reply that will never
+    // come (the protocol promises close-after-BadFrame). During drain
+    // the readers exit via shut_read() instead, and the send side must
+    // stay open until the workers have flushed the queued replies.
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.disconnects;
+  }
+  telemetry::Registry::global().add(ServeMetrics::get().disconnects);
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+
+bool Server::push_request(Request&& r) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_space_cv_.wait(lock, [this] {
+    return queue_.size() < opts_.queue_capacity || stopping();
+  });
+  if (stopping()) return false;
+  queue_.push_back(std::move(r));
+  telemetry::Registry::global().set(ServeMetrics::get().queue_depth,
+                                    static_cast<double>(queue_.size()));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return true;
+}
+
+bool Server::pop_request(Request& out) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] { return !queue_.empty() || stopping(); });
+  if (queue_.empty()) return false;  // stopping and drained
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  queue_space_cv_.notify_one();
+  return true;
+}
+
+void Server::pop_matching_lookups(const Request& head,
+                                  std::vector<Request>& out,
+                                  std::size_t max_extra) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  while (out.size() < max_extra && !queue_.empty()) {
+    const Request& front = queue_.front();
+    if (front.header.op != static_cast<std::uint16_t>(Op::Lookup) ||
+        front.header.aux != head.header.aux) {
+      break;
+    }
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  if (!out.empty()) queue_space_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+
+void Server::worker_loop() {
+  std::vector<Request> batch;
+  while (true) {
+    Request head;
+    if (!pop_request(head)) return;
+    batch.clear();
+    batch.push_back(std::move(head));
+    if (batch[0].header.op == static_cast<std::uint16_t>(Op::Lookup)) {
+      // Opportunistic coalescing: fold queued Lookups with the same
+      // attribute into this worker's sweep so their gathers share one
+      // kernel invocation per snapshot.
+      pop_matching_lookups(batch[0], batch, 15);
+      if (batch.size() > 1) {
+        const auto extra = static_cast<double>(batch.size() - 1);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          stats_.coalesced += batch.size() - 1;
+        }
+        telemetry::Registry::global().add(ServeMetrics::get().coalesced,
+                                          extra);
+      }
+    }
+    handle_batch(batch);
+  }
+}
+
+void Server::handle_batch(std::vector<Request>& batch) {
+  for (Request& r : batch) {
+    telemetry::TraceSpan span("serve.request");
+    span.arg_str("op", op_name(static_cast<Op>(r.header.op)));
+    const std::uint64_t t0 = steady_ns();
+
+    FrameHeader reply = r.header;
+    std::string body = handle_request(r, reply);
+
+    const double us = static_cast<double>(steady_ns() - r.arrival_ns) / 1e3;
+    latency_.observe_us(us);
+    telemetry::Registry::global().observe(
+        ServeMetrics::get().request_seconds,
+        static_cast<double>(steady_ns() - t0) / 1e9);
+    span.arg("us", us);
+    span.arg_str("status",
+                 status_name(static_cast<Status>(reply.op)));
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+      if (reply.op != static_cast<std::uint16_t>(Status::Ok)) ++stats_.errors;
+    }
+    telemetry::Registry::global().add(ServeMetrics::get().requests);
+    if (reply.op != static_cast<std::uint16_t>(Status::Ok)) {
+      telemetry::Registry::global().add(ServeMetrics::get().errors);
+    }
+    send_reply(*r.conn, reply, body);
+  }
+}
+
+std::string Server::handle_request(const Request& r, FrameHeader& reply) {
+  reply.op = static_cast<std::uint16_t>(Status::Ok);
+  try {
+    switch (static_cast<Op>(r.header.op)) {
+      case Op::Ping:
+        return std::string();
+      case Op::Lookup:
+        return do_lookup(r, reply);
+      case Op::VertexInfo:
+        return do_vertex_info(r, reply);
+      case Op::Run:
+        return do_run(r, reply);
+      case Op::Reload:
+        return do_reload(r, reply);
+      case Op::Status:
+        return status_json();
+    }
+    reply.op = static_cast<std::uint16_t>(Status::UnknownOp);
+    return error_body(Status::UnknownOp, "unknown-op",
+                      "op " + std::to_string(r.header.op));
+  } catch (const Error& e) {
+    const Status s = status_for(e);
+    reply.op = static_cast<std::uint16_t>(s);
+    return error_body(s, error_code_name(e.code()), e.what());
+  } catch (const std::exception& e) {
+    reply.op = static_cast<std::uint16_t>(Status::Internal);
+    return error_body(Status::Internal, "internal", e.what());
+  }
+}
+
+std::string Server::do_lookup(const Request& r, FrameHeader& reply) {
+  WireReader rd(r.body);
+  std::string graph;
+  std::uint32_t count = 0;
+  const void* ids_raw = nullptr;
+  if (!rd.str(graph) || !rd.u32(count) ||
+      !rd.span(ids_raw, count, sizeof(std::int32_t)) || !rd.at_end()) {
+    reply.op = static_cast<std::uint16_t>(Status::BadFrame);
+    return error_body(Status::BadFrame, "bad-frame", "malformed Lookup body");
+  }
+  if (count > opts_.max_batch_ids) {
+    reply.op = static_cast<std::uint16_t>(Status::BadRequest);
+    return error_body(Status::BadRequest, "batch-too-large",
+                      std::to_string(count) + " ids exceeds cap");
+  }
+  const Attr attr = static_cast<Attr>(r.header.aux);
+  if (attr != Attr::Membership && attr != Attr::Color &&
+      attr != Attr::Degree) {
+    reply.op = static_cast<std::uint16_t>(Status::UnknownAttr);
+    return error_body(Status::UnknownAttr, "unknown-attr",
+                      "attr " + std::to_string(r.header.aux));
+  }
+  const auto snap = snapshots_.get(graph);
+  if (snap == nullptr) {
+    reply.op = static_cast<std::uint16_t>(Status::UnknownGraph);
+    return error_body(Status::UnknownGraph, "unknown-graph", graph);
+  }
+
+  const auto* ids = static_cast<const std::int32_t*>(ids_raw);
+  const auto n = static_cast<std::int64_t>(count);
+  const std::int64_t bad =
+      find_out_of_range(ids, n, snap->graph->num_vertices());
+  if (bad >= 0) {
+    reply.op = static_cast<std::uint16_t>(Status::OutOfRange);
+    return error_body(Status::OutOfRange, "out-of-range",
+                      "id " + std::to_string(ids[bad]) + " at position " +
+                          std::to_string(bad));
+  }
+
+  std::vector<std::int64_t> values(static_cast<std::size_t>(n));
+  const auto sel = simd::select<detail::GatherKernel>(opts_.backend);
+  switch (attr) {
+    case Attr::Membership:
+      sel.fn.i32(snap->membership.data(), ids, values.data(), n);
+      break;
+    case Attr::Color:
+      sel.fn.i32(snap->colors.data(), ids, values.data(), n);
+      break;
+    case Attr::Degree:
+      sel.fn.degree(snap->graph->offsets_data(), ids, values.data(), n);
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.batched_ids += static_cast<std::uint64_t>(n);
+  }
+  telemetry::Registry::global().add(ServeMetrics::get().batched_ids,
+                                    static_cast<double>(n));
+
+  WireWriter w;
+  w.u32(count);
+  w.bytes(values.data(), values.size() * sizeof(std::int64_t));
+  reply.aux = r.header.aux;
+  return w.take();
+}
+
+std::string Server::do_vertex_info(const Request& r, FrameHeader& reply) {
+  WireReader rd(r.body);
+  std::string graph;
+  std::int32_t v = 0;
+  if (!rd.str(graph) || !rd.i32(v) || !rd.at_end()) {
+    reply.op = static_cast<std::uint16_t>(Status::BadFrame);
+    return error_body(Status::BadFrame, "bad-frame",
+                      "malformed VertexInfo body");
+  }
+  const auto snap = snapshots_.get(graph);
+  if (snap == nullptr) {
+    reply.op = static_cast<std::uint16_t>(Status::UnknownGraph);
+    return error_body(Status::UnknownGraph, "unknown-graph", graph);
+  }
+  if (v < 0 || v >= snap->graph->num_vertices()) {
+    reply.op = static_cast<std::uint16_t>(Status::OutOfRange);
+    return error_body(Status::OutOfRange, "out-of-range",
+                      "vertex " + std::to_string(v));
+  }
+  WireWriter w;
+  w.i64(snap->graph->degree(v));
+  w.i32(snap->membership[static_cast<std::size_t>(v)]);
+  w.i32(snap->colors[static_cast<std::size_t>(v)]);
+  w.f64(snap->graph->volume(v));
+  return w.take();
+}
+
+std::string Server::do_run(const Request& r, FrameHeader& reply) {
+  WireReader rd(r.body);
+  std::string graph, algorithm, options;
+  if (!rd.str(graph) || !rd.str(algorithm) || !rd.str(options) ||
+      !rd.at_end()) {
+    reply.op = static_cast<std::uint16_t>(Status::BadFrame);
+    return error_body(Status::BadFrame, "bad-frame", "malformed Run body");
+  }
+  const auto snap = snapshots_.get(graph);
+  if (snap == nullptr) {
+    reply.op = static_cast<std::uint16_t>(Status::UnknownGraph);
+    return error_body(Status::UnknownGraph, "unknown-graph", graph);
+  }
+
+  telemetry::TraceSpan span("serve.run");
+  span.arg_str("algorithm",
+               algorithm == "louvain"
+                   ? "louvain"
+                   : (algorithm == "labelprop" ? "labelprop" : "color"));
+  WallTimer timer;
+
+  // The new snapshot shares the immutable Graph; only the derived
+  // arrays are rebuilt, then the table pointer swaps.
+  auto next = std::make_shared<Snapshot>(*snap);
+  if (algorithm == "louvain") {
+    community::LouvainOptions lo;
+    lo.backend = opts_.backend;
+    const community::LouvainResult res = community::louvain(*snap->graph, lo);
+    next->membership = res.communities;
+    next->num_communities = res.num_communities;
+    next->modularity = res.modularity;
+    next->membership_algorithm = "louvain";
+  } else if (algorithm == "labelprop") {
+    community::LabelPropOptions lo;
+    lo.backend = opts_.backend;
+    const community::LabelPropResult res =
+        community::label_propagation(*snap->graph, lo);
+    next->membership = res.labels;
+    next->num_communities = res.num_communities;
+    next->modularity = community::modularity(*snap->graph, next->membership);
+    next->membership_algorithm = "labelprop";
+  } else if (algorithm == "color") {
+    coloring::Options co;
+    co.backend = opts_.backend;
+    const coloring::Result res = coloring::color_graph(*snap->graph, co);
+    next->colors = res.colors;
+    next->num_colors = res.num_colors;
+  } else {
+    reply.op = static_cast<std::uint16_t>(Status::BadRequest);
+    return error_body(Status::BadRequest, "unknown-algorithm", algorithm);
+  }
+  (void)options;  // reserved: per-run option overrides
+  next->build_seconds = timer.seconds();
+  snapshots_.publish(next);
+
+  std::ostringstream out;
+  out << "{\"graph\": ";
+  telemetry::write_json_string(out, graph);
+  out << ", \"algorithm\": ";
+  telemetry::write_json_string(out, algorithm);
+  out << ", \"version\": " << next->version
+      << ", \"communities\": " << next->num_communities
+      << ", \"colors\": " << next->num_colors
+      << ", \"modularity\": " << next->modularity
+      << ", \"seconds\": " << next->build_seconds << "}";
+  WireWriter w;
+  w.str(out.str());
+  return w.take();
+}
+
+std::string Server::do_reload(const Request& r, FrameHeader& reply) {
+  WireReader rd(r.body);
+  std::string name, path;
+  if (!rd.str(name) || !rd.str(path) || !rd.at_end()) {
+    reply.op = static_cast<std::uint16_t>(Status::BadFrame);
+    return error_body(Status::BadFrame, "bad-frame", "malformed Reload body");
+  }
+  VGP_FAILPOINT("serve.reload");
+  telemetry::TraceSpan span("serve.reload");
+  load_file(name, path);  // throws typed errors -> handle_request maps them
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reloads;
+  }
+  const auto snap = snapshots_.get(name);
+  std::ostringstream out;
+  out << "{\"graph\": ";
+  telemetry::write_json_string(out, name);
+  out << ", \"version\": " << snap->version << ", \"vertices\": "
+      << snap->graph->num_vertices()
+      << ", \"edges\": " << snap->graph->num_edges()
+      << ", \"seconds\": " << snap->build_seconds << "}";
+  WireWriter w;
+  w.str(out.str());
+  return w.take();
+}
+
+std::string Server::status_json() const {
+  const ServeStats s = stats();
+  std::ostringstream out;
+  out << "{\"graphs\": [";
+  bool first = true;
+  for (const auto& snap : snapshots_.all()) {
+    out << (first ? "" : ", ") << "{\"name\": ";
+    telemetry::write_json_string(out, snap->name);
+    out << ", \"source\": ";
+    telemetry::write_json_string(out, snap->source);
+    out << ", \"version\": " << snap->version
+        << ", \"vertices\": " << snap->graph->num_vertices()
+        << ", \"edges\": " << snap->graph->num_edges()
+        << ", \"communities\": " << snap->num_communities
+        << ", \"colors\": " << snap->num_colors
+        << ", \"modularity\": " << snap->modularity << ", \"algorithm\": ";
+    telemetry::write_json_string(out, snap->membership_algorithm);
+    out << "}";
+    first = false;
+  }
+  out << "], \"stats\": {\"connections\": " << s.connections
+      << ", \"disconnects\": " << s.disconnects
+      << ", \"requests\": " << s.requests << ", \"errors\": " << s.errors
+      << ", \"bad_frames\": " << s.bad_frames
+      << ", \"coalesced\": " << s.coalesced
+      << ", \"batched_ids\": " << s.batched_ids
+      << ", \"reloads\": " << s.reloads
+      << ", \"queue_depth\": " << queue_depth()
+      << ", \"latency_p50_us\": " << latency_.percentile_us(50.0)
+      << ", \"latency_p99_us\": " << latency_.percentile_us(99.0) << "}}";
+  WireWriter w;
+  w.str(out.str());
+  return w.take();
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+
+void Server::send_reply(Connection& conn, const FrameHeader& hdr,
+                        const std::string& body) {
+  if (conn.closed.load(std::memory_order_relaxed)) return;
+  FrameHeader h = hdr;
+  h.body_len = static_cast<std::uint32_t>(body.size());
+  unsigned char hdr_buf[kHeaderBytes];
+  encode_header(h, hdr_buf);
+
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (VGP_FAILPOINT_SOFT("serve.write") ||
+      !support::write_full(conn.fd, hdr_buf, kHeaderBytes) ||
+      (!body.empty() &&
+       !support::write_full(conn.fd, body.data(), body.size()))) {
+    // Peer vanished mid-reply (EPIPE/ECONNRESET) or an injected write
+    // fault: mark the connection dead; its reader exits on next read.
+    conn.closed.store(true, std::memory_order_relaxed);
+    ::shutdown(conn.fd, SHUT_RDWR);
+  }
+}
+
+std::string Server::error_body(Status s, const std::string& code,
+                               const std::string& message) {
+  (void)s;
+  WireWriter w;
+  w.str(code);
+  w.str(message);
+  return w.take();
+}
+
+}  // namespace vgp::serve

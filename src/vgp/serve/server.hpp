@@ -1,0 +1,188 @@
+// The vgp-serve daemon core.
+//
+// One process loads graphs into immutable snapshots (snapshot.hpp) and
+// answers vgp.serve.v1 frames (protocol.hpp) over any number of stream
+// sockets. The shape is a production request path in miniature:
+//
+//   accept thread ──▶ per-connection reader threads
+//                        │  (frame parse, backpressure on push)
+//                        ▼
+//                  bounded request queue
+//                        │  (workers pop; adjacent Lookups with the
+//                        │   same attribute coalesce into one batch)
+//                        ▼
+//                  worker threads ──▶ gather kernels ──▶ reply writes
+//
+// Point lookups therefore run through the same vectorized gather sweeps
+// as the batch binaries (batch.hpp / serve.gather family), and every
+// request carries a TraceSpan plus serve.* telemetry. All failures —
+// malformed frames, unknown graphs, vgp::Error from Run/Reload, injected
+// faults — become protocol error replies; nothing a client sends or an
+// algorithm throws kills the daemon. Shutdown drains: stop accepting,
+// shut the readers' receive sides, finish every queued request, then
+// join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vgp/serve/protocol.hpp"
+#include "vgp/serve/snapshot.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::serve {
+
+struct ServeOptions {
+  /// Unix-domain listener path; empty disables.
+  std::string unix_path;
+  /// TCP listener (loopback only): >0 binds that port, -1 binds an
+  /// ephemeral port (read it back via bound_tcp_port()), 0 disables.
+  int tcp_port = 0;
+  int workers = 2;
+  /// Bounded queue depth; a full queue blocks readers (backpressure)
+  /// instead of growing without limit.
+  std::size_t queue_capacity = 1024;
+  /// Backend request forwarded to the gather kernels (Auto = widest).
+  simd::Backend backend = simd::Backend::Auto;
+  /// Cap on ids in one Lookup request (well below what kMaxFrameBytes
+  /// admits; keeps one hostile request from monopolizing a worker).
+  std::uint32_t max_batch_ids = 1u << 20;
+};
+
+/// Monotonic counters mirrored into the telemetry registry; readable
+/// without enabling telemetry (tests, the Status op).
+struct ServeStats {
+  std::uint64_t connections = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;      ///< replies with status != Ok
+  std::uint64_t bad_frames = 0;
+  std::uint64_t coalesced = 0;   ///< Lookups folded into another's sweep
+  std::uint64_t batched_ids = 0; ///< total ids run through gathers
+  std::uint64_t reloads = 0;
+};
+
+/// Lock-free-enough log2 latency histogram (one atomic counter per
+/// power-of-two microsecond bucket). The registry's histograms track
+/// count/sum/min/max only, so p50/p99 need real buckets.
+class LatencyHistogram {
+ public:
+  void observe_us(double us) noexcept;
+  /// Percentile in microseconds from the bucket upper bounds (0 when
+  /// empty). `p` in [0, 100].
+  double percentile_us(double p) const noexcept;
+  std::uint64_t count() const noexcept;
+
+ private:
+  static constexpr int kBuckets = 40;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads a graph file (io::read_auto) and publishes it under `name`.
+  /// Throws vgp::Error subclasses on failure.
+  void load_file(const std::string& name, const std::string& path);
+  /// Generates a suite graph ("gen:<entry>@<scale>") and publishes it.
+  void load_generated(const std::string& name, const std::string& entry,
+                      const std::string& scale);
+
+  SnapshotTable& snapshots() { return snapshots_; }
+  const ServeOptions& options() const { return opts_; }
+
+  /// Creates the configured listeners. Returns false with *error set on
+  /// bind/listen failure (path in use, privileged port, ...).
+  bool listen(std::string* error);
+  /// Spawns the accept loop and worker threads. listen() first (unless
+  /// every connection arrives via adopt()).
+  void start();
+  /// Hands the server an already-connected stream fd (socketpair tests,
+  /// inherited sockets). The server owns and closes it.
+  void adopt(int fd);
+
+  /// Graceful drain: stop accepting, shut client receive sides, finish
+  /// queued requests, join every thread. Idempotent.
+  void shutdown();
+  bool stopping() const noexcept {
+    return stopping_.load(std::memory_order_relaxed);
+  }
+
+  ServeStats stats() const;
+  /// Queue depth right now (gauge; racy by nature).
+  std::size_t queue_depth() const;
+  const LatencyHistogram& latency() const { return latency_; }
+  /// The Status op's reply payload (also handy for tools/tests).
+  std::string status_json() const;
+
+  /// Bound TCP port (after listen(); for tcp_port=0 ephemeral binds).
+  int bound_tcp_port() const { return bound_tcp_port_; }
+
+ private:
+  struct Connection;
+  /// One parsed frame in flight between a reader and a worker. The body
+  /// buffer is owned here; Lookup id arrays are WireReader spans into it.
+  struct Request {
+    std::shared_ptr<Connection> conn;
+    FrameHeader header;
+    std::string body;
+    std::uint64_t arrival_ns = 0;  ///< steady_clock, for queue latency
+  };
+
+  void accept_loop(int listen_fd);
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void worker_loop();
+
+  bool push_request(Request&& r);         // false once stopping
+  bool pop_request(Request& out);         // false once drained + stopping
+  /// Pops further queued Lookups with the same attr (no blocking).
+  void pop_matching_lookups(const Request& head, std::vector<Request>& out,
+                            std::size_t max_extra);
+
+  void handle_batch(std::vector<Request>& batch);
+  std::string handle_request(const Request& r, FrameHeader& reply_hdr);
+  std::string do_lookup(const Request& r, FrameHeader& reply_hdr);
+  std::string do_vertex_info(const Request& r, FrameHeader& reply_hdr);
+  std::string do_run(const Request& r, FrameHeader& reply_hdr);
+  std::string do_reload(const Request& r, FrameHeader& reply_hdr);
+  void send_reply(Connection& conn, const FrameHeader& hdr,
+                  const std::string& body);
+  static std::string error_body(Status s, const std::string& code,
+                                const std::string& message);
+
+  ServeOptions opts_;
+  SnapshotTable snapshots_;
+
+  std::vector<int> listen_fds_;
+  int bound_tcp_port_ = 0;
+  std::string unix_path_bound_;
+
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;       // waiters: workers
+  std::condition_variable queue_space_cv_; // waiters: readers (backpressure)
+  std::deque<Request> queue_;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace vgp::serve

@@ -1,0 +1,66 @@
+#include "vgp/serve/snapshot.hpp"
+
+#include "vgp/coloring/greedy.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/modularity.hpp"
+#include "vgp/support/timer.hpp"
+
+namespace vgp::serve {
+
+std::shared_ptr<Snapshot> make_snapshot(std::string name, std::string source,
+                                        std::shared_ptr<const Graph> g) {
+  WallTimer timer;
+  auto snap = std::make_shared<Snapshot>();
+  snap->name = std::move(name);
+  snap->source = std::move(source);
+  snap->graph = std::move(g);
+
+  // Label propagation gives a usable membership array in a few sweeps;
+  // a client that wants Louvain-quality communities issues a Run
+  // request, which republished the snapshot with the refined result.
+  community::LabelPropResult lp =
+      community::label_propagation(*snap->graph, {});
+  snap->membership = std::move(lp.labels);
+  snap->num_communities = lp.num_communities;
+  snap->modularity = community::modularity(*snap->graph, snap->membership);
+  snap->membership_algorithm = "labelprop";
+
+  coloring::Result col = coloring::color_graph(*snap->graph, {});
+  snap->colors = std::move(col.colors);
+  snap->num_colors = col.num_colors;
+
+  snap->build_seconds = timer.seconds();
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> SnapshotTable::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = table_.find(name);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+void SnapshotTable::publish(std::shared_ptr<Snapshot> snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = table_[snap->name];
+  // Versions are per-name and monotone so a client (or test) can tell
+  // which snapshot generation served its reply.
+  const std::uint64_t prev = slot == nullptr ? 0 : slot->version;
+  if (snap->version <= prev) snap->version = prev + 1;
+  slot = std::move(snap);
+}
+
+std::vector<std::shared_ptr<const Snapshot>> SnapshotTable::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const Snapshot>> out;
+  out.reserve(table_.size());
+  for (const auto& [_, snap] : table_) out.push_back(snap);
+  return out;
+}
+
+std::size_t SnapshotTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace vgp::serve

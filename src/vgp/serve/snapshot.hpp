@@ -1,0 +1,73 @@
+// Immutable graph snapshots for the serving layer.
+//
+// A Snapshot bundles one loaded graph with the derived per-vertex
+// arrays the protocol can query (community membership, greedy coloring)
+// plus provenance. Snapshots are strictly immutable after construction:
+// Run and Reload build a NEW snapshot and atomically swap the
+// shared_ptr in the table, so queries racing a swap see either the old
+// or the new version in full — never a half-updated one. In-flight
+// requests keep the old snapshot alive through their shared_ptr copies
+// until the last reply is written.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "vgp/community/partition.hpp"
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::serve {
+
+struct Snapshot {
+  std::string name;
+  std::string source;  ///< file path or "gen:<suite-name>"
+  std::uint64_t version = 0;
+
+  /// The graph is shared between snapshot versions: Run republished
+  /// with new membership keeps the same Graph alive rather than
+  /// copying the CSR arrays.
+  std::shared_ptr<const Graph> graph;
+
+  std::vector<community::CommunityId> membership;  ///< size n
+  std::vector<std::int32_t> colors;                ///< size n
+  std::int64_t num_communities = 0;
+  std::int32_t num_colors = 0;
+  double modularity = 0.0;
+  /// Algorithm that produced `membership` ("labelprop" at load time,
+  /// "louvain" after a Run that asked for it).
+  std::string membership_algorithm;
+  double build_seconds = 0.0;
+};
+
+/// Builds a fresh snapshot: runs label propagation for the membership
+/// array and greedy coloring for the color array (both through the
+/// normal SIMD dispatch, so the serving layer exercises the same
+/// kernels the batch binaries do). Returned mutable so the caller can
+/// refine fields before publishing; the table stores it as const.
+std::shared_ptr<Snapshot> make_snapshot(std::string name, std::string source,
+                                        std::shared_ptr<const Graph> g);
+
+/// Name -> current snapshot, shared_ptr-swapped on reload. get() and
+/// publish() are safe from any thread.
+class SnapshotTable {
+ public:
+  /// nullptr when `name` is not loaded.
+  std::shared_ptr<const Snapshot> get(const std::string& name) const;
+
+  /// Installs `snap` under its name, bumping the version past any
+  /// predecessor's. Readers holding the old snapshot are unaffected.
+  void publish(std::shared_ptr<Snapshot> snap);
+
+  std::vector<std::shared_ptr<const Snapshot>> all() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Snapshot>> table_;
+};
+
+}  // namespace vgp::serve

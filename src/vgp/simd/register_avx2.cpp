@@ -9,6 +9,7 @@
 // "no-avx2-variant" reason.
 #include "vgp/community/label_prop.hpp"
 #include "vgp/community/move_ctx.hpp"
+#include "vgp/serve/batch.hpp"
 #include "vgp/simd/checksum.hpp"
 #include "vgp/simd/reduce_scatter.hpp"
 #include "vgp/simd/registry.hpp"
@@ -36,6 +37,13 @@ void register_avx2_kernels() {
   KernelTable<community::detail::LpProcessKernel>::instance().set(
       tier, &community::detail::lp_process_avx2);
   KernelTable<ChecksumKernel>::instance().set(tier, &crc32c_hw);
+
+  // The attribute gather has a real 8-lane variant; the degree path
+  // stays scalar at this tier (4-lane 64-bit gathers don't pay off).
+  serve::detail::GatherKernel::Fns gather_fns;
+  gather_fns.i32 = &serve::detail::gather_i32_avx2;
+  gather_fns.degree = &serve::detail::gather_degree_scalar;
+  KernelTable<serve::detail::GatherKernel>::instance().set(tier, gather_fns);
 }
 
 }  // namespace vgp::simd::detail

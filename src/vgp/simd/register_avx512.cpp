@@ -10,6 +10,7 @@
 #include "vgp/community/move_ctx.hpp"
 #include "vgp/community/ovpl.hpp"
 #include "vgp/graph/triangles.hpp"
+#include "vgp/serve/batch.hpp"
 #include "vgp/simd/checksum.hpp"
 #include "vgp/simd/reduce_scatter.hpp"
 #include "vgp/simd/registry.hpp"
@@ -54,6 +55,11 @@ void register_avx512_kernels() {
   KernelTable<TriangleIntersectKernel>::instance().set(
       tier, &intersect_count_avx512);
   KernelTable<ChecksumKernel>::instance().set(tier, &crc32c_hw3);
+
+  serve::detail::GatherKernel::Fns gather_fns;
+  gather_fns.i32 = &serve::detail::gather_i32_avx512;
+  gather_fns.degree = &serve::detail::gather_degree_avx512;
+  KernelTable<serve::detail::GatherKernel>::instance().set(tier, gather_fns);
 }
 
 }  // namespace vgp::simd::detail

@@ -1,0 +1,87 @@
+#include "vgp/support/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace vgp::support {
+namespace {
+
+std::mutex g_warned_mu;
+std::set<std::string>& warned_vars() {
+  static auto* s = new std::set<std::string>;  // leaked: atexit-order safe
+  return *s;
+}
+
+/// One warning per variable per process; repeated resolves (the thread
+/// pool re-resolves on every explicit-width construction) stay quiet.
+void warn_once(const char* var, const char* value, const char* expected) {
+  std::lock_guard<std::mutex> lock(g_warned_mu);
+  if (!warned_vars().insert(var).second) return;
+  std::fprintf(stderr, "vgp: ignoring %s=\"%s\" (%s)\n", var, value,
+               expected);
+}
+
+const char* trimmed(const char* s, const char** end_out) {
+  while (std::isspace(static_cast<unsigned char>(*s))) ++s;
+  const char* end = s + std::strlen(s);
+  while (end > s && std::isspace(static_cast<unsigned char>(end[-1]))) --end;
+  *end_out = end;
+  return s;
+}
+
+}  // namespace
+
+std::int64_t env_int(const char* var, std::int64_t fallback,
+                     std::int64_t min_value, std::int64_t max_value) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  const char* end = nullptr;
+  const char* begin = trimmed(raw, &end);
+  if (begin == end) return fallback;
+
+  errno = 0;
+  char* stop = nullptr;
+  const long long v = std::strtoll(begin, &stop, 10);
+  if (stop != end || errno == ERANGE) {
+    warn_once(var, raw, "expected an integer");
+    return fallback;
+  }
+  if (v < min_value || v > max_value) {
+    char expected[96];
+    std::snprintf(expected, sizeof(expected),
+                  "expected an integer in [%lld, %lld]",
+                  static_cast<long long>(min_value),
+                  static_cast<long long>(max_value));
+    warn_once(var, raw, expected);
+    return fallback;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+bool env_bool(const char* var, bool fallback) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  const char* end = nullptr;
+  const char* begin = trimmed(raw, &end);
+  const std::string v(begin, end);
+  if (v == "1" || v == "true" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "off") return false;
+  if (v.empty()) return fallback;
+  warn_once(var, raw, "expected 0/1, true/false, or on/off");
+  return fallback;
+}
+
+namespace detail {
+void reset_env_warnings() {
+  std::lock_guard<std::mutex> lock(g_warned_mu);
+  warned_vars().clear();
+}
+}  // namespace detail
+
+}  // namespace vgp::support

@@ -1,0 +1,37 @@
+// Strict environment-variable parsing.
+//
+// Every numeric knob the library reads from the environment
+// (VGP_THREADS, VGP_TRACE_BUFFER, VGP_TRACE_PERF) goes through these
+// helpers instead of a bare strtol/atol, for the same reason
+// VGP_BACKEND goes through parse_backend in simd/backend.cpp: a typo
+// ("VGP_THREADS=1O") must not be silently swallowed — it degrades to
+// the default after ONE stderr warning that names the variable and the
+// offending string, so the operator can see what was ignored without
+// the warning repeating on every resolve.
+#pragma once
+
+#include <cstdint>
+
+namespace vgp::support {
+
+/// Reads `var` as a strict base-10 integer. Returns `fallback` when the
+/// variable is unset or empty. The whole value must parse (leading and
+/// trailing whitespace allowed, nothing else) and land in
+/// [min_value, max_value]; anything else warns once per variable on
+/// stderr — naming the variable and the offending string — and returns
+/// `fallback`.
+std::int64_t env_int(const char* var, std::int64_t fallback,
+                     std::int64_t min_value, std::int64_t max_value);
+
+/// Reads `var` as a boolean: "0"/"false"/"off" -> false, "1"/"true"/
+/// "on" -> true, unset or empty -> `fallback`. Anything else warns once
+/// (as env_int does) and returns `fallback`.
+bool env_bool(const char* var, bool fallback);
+
+namespace detail {
+/// Testing hook: forget which variables have already warned so a test
+/// can assert the warning fires exactly once per variable.
+void reset_env_warnings();
+}  // namespace detail
+
+}  // namespace vgp::support

@@ -1,0 +1,102 @@
+#include "vgp/support/posix_io.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <mutex>
+
+namespace vgp::support {
+namespace {
+
+bool is_socket(int fd) {
+  struct stat st {};
+  return ::fstat(fd, &st) == 0 && S_ISSOCK(st.st_mode);
+}
+
+}  // namespace
+
+ssize_t retry_read(int fd, void* buf, std::size_t count) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, count);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t retry_write(int fd, const void* buf, std::size_t count) {
+  // Sockets go through send(MSG_NOSIGNAL): a peer that closed its end
+  // must produce EPIPE, not a process-killing SIGPIPE. Cache the
+  // fstat verdict per call site? The call is one cheap fstat; writes
+  // in this codebase are frame-sized, not byte-sized, so the overhead
+  // is noise against the syscall itself.
+  const bool sock = is_socket(fd);
+  for (;;) {
+    const ssize_t n = sock ? ::send(fd, buf, count, MSG_NOSIGNAL)
+                           : ::write(fd, buf, count);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+int retry_accept(int fd) {
+  for (;;) {
+    const int c = ::accept(fd, nullptr, nullptr);
+    if (c >= 0 || errno != EINTR) return c;
+  }
+}
+
+int retry_open(const char* path, int flags, unsigned mode) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int retry_fsync(int fd) {
+  for (;;) {
+    const int rc = ::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+int checked_close(int fd) { return ::close(fd); }
+
+std::size_t read_full(int fd, void* buf, std::size_t count, bool* eof) {
+  if (eof != nullptr) *eof = false;
+  std::size_t done = 0;
+  auto* p = static_cast<unsigned char*>(buf);
+  while (done < count) {
+    const ssize_t n = retry_read(fd, p + done, count - done);
+    if (n == 0) {
+      if (eof != nullptr) *eof = true;
+      break;
+    }
+    if (n < 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  return done;
+}
+
+bool write_full(int fd, const void* buf, std::size_t count) {
+  std::size_t done = 0;
+  const auto* p = static_cast<const unsigned char*>(buf);
+  while (done < count) {
+    const ssize_t n = retry_write(fd, p + done, count - done);
+    if (n <= 0) return false;
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa {};
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+  });
+}
+
+}  // namespace vgp::support

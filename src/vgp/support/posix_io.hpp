@@ -1,0 +1,61 @@
+// EINTR-hardened wrappers over the raw POSIX calls the library makes.
+//
+// A long-lived multi-client daemon gets interrupted system calls as a
+// matter of course (profilers, timers, the drain signals vgp-serve
+// itself installs), and a disconnecting client turns every write into a
+// potential SIGPIPE. These wrappers centralize the two disciplines:
+//
+//   * every read/write/accept/open/fsync retries on EINTR instead of
+//     surfacing a spurious failure;
+//   * socket writes pass MSG_NOSIGNAL so a closed peer yields EPIPE
+//     (an errno the caller can handle) instead of killing the process,
+//     with ignore_sigpipe() available as process-wide belt-and-braces.
+//
+// read_full/write_full additionally loop over short transfers, so a
+// frame either arrives whole or the caller learns exactly how many
+// bytes made it. Used by src/vgp/serve and the crash-safe binary writer
+// in src/vgp/graph/binary_io.cpp.
+#pragma once
+
+#include <cstddef>
+#include <sys/types.h>
+
+namespace vgp::support {
+
+/// read(fd) retrying on EINTR. Returns bytes read (0 = EOF) or -1 with
+/// errno set.
+ssize_t retry_read(int fd, void* buf, std::size_t count);
+
+/// write(fd) retrying on EINTR; uses send(MSG_NOSIGNAL) when `fd` is a
+/// socket so a vanished peer reports EPIPE instead of raising SIGPIPE.
+ssize_t retry_write(int fd, const void* buf, std::size_t count);
+
+/// accept(fd) retrying on EINTR. Returns the connected fd or -1.
+int retry_accept(int fd);
+
+/// open(path, flags[, mode]) retrying on EINTR.
+int retry_open(const char* path, int flags, unsigned mode = 0);
+
+/// fsync(fd) retrying on EINTR.
+int retry_fsync(int fd);
+
+/// close(fd); EINTR is deliberately NOT retried (POSIX leaves the fd
+/// state unspecified, and Linux always releases it — a retry could
+/// close a descriptor another thread just received).
+int checked_close(int fd);
+
+/// Reads exactly `count` bytes unless EOF or an error intervenes.
+/// Returns bytes actually read; sets *eof when the stream ended early
+/// (errno is only meaningful when the return value stopped short
+/// without EOF).
+std::size_t read_full(int fd, void* buf, std::size_t count, bool* eof);
+
+/// Writes all `count` bytes, looping over short writes. Returns true on
+/// success; false with errno set (EPIPE when the peer disconnected).
+bool write_full(int fd, const void* buf, std::size_t count);
+
+/// Installs SIG_IGN for SIGPIPE (idempotent, first call wins). A daemon
+/// must never die because a client closed its end mid-reply.
+void ignore_sigpipe();
+
+}  // namespace vgp::support

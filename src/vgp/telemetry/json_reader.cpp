@@ -4,6 +4,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -39,6 +40,39 @@ struct Parser {
     return true;
   }
 
+  /// Consumes the four hex digits after "\u" (p points at the 'u').
+  bool parse_hex4(long& code) {
+    if (end - p < 5) return fail("truncated \\u escape");
+    char hex[5] = {p[1], p[2], p[3], p[4], '\0'};
+    char* stop = nullptr;
+    code = std::strtol(hex, &stop, 16);
+    if (stop != hex + 4) return fail("bad \\u escape");
+    p += 4;  // leaves p on the last digit; the caller's ++p advances past
+    return true;
+  }
+
+  /// Appends `code` (any Unicode scalar value) as UTF-8. Graph and
+  /// metric names travel through metrics snapshots into the serve
+  /// status endpoint, so escapes must round-trip instead of degrading
+  /// to '?'.
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   bool parse_string(std::string& out) {
     if (p >= end || *p != '"') return fail("expected string");
     ++p;
@@ -57,15 +91,26 @@ struct Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (end - p < 5) return fail("truncated \\u escape");
-            char hex[5] = {p[1], p[2], p[3], p[4], '\0'};
-            char* stop = nullptr;
-            const long code = std::strtol(hex, &stop, 16);
-            if (stop != hex + 4) return fail("bad \\u escape");
-            // ASCII round-trips exactly (the sinks only \u-escape
-            // control characters); anything wider degrades to '?'.
-            out += code < 0x80 ? static_cast<char>(code) : '?';
-            p += 4;
+            long code = 0;
+            if (!parse_hex4(code)) return false;
+            // Surrogate pair: a high surrogate must be followed by a
+            // \u-escaped low surrogate; together they name one
+            // supplementary-plane code point.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (end - p < 3 || p[1] != '\\' || p[2] != 'u') {
+                return fail("high surrogate without low surrogate");
+              }
+              p += 2;  // consume "\u" of the low half
+              long low = 0;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return fail("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return fail("unpaired low surrogate");
+            }
+            append_utf8(out, static_cast<std::uint32_t>(code));
             break;
           }
           default: return fail("unknown escape");

@@ -1,10 +1,10 @@
 // Minimal JSON reader for the repo's own machine-readable outputs
 // (vgp.telemetry.v1 metrics, vgp.trace.v1 Chrome traces, vgp.bench.v1
 // summaries). Supports the full JSON value grammar — objects, arrays,
-// strings with escapes, numbers, booleans, null — with no external
-// dependency; it exists so `vgp-report` and the round-trip tests can
-// consume what the sinks emit, not as a general-purpose parser (no
-// surrogate-pair decoding: \uXXXX escapes outside ASCII degrade to '?').
+// strings with escapes (\uXXXX decodes to UTF-8, surrogate pairs
+// included), numbers, booleans, null — with no external dependency; it
+// exists so `vgp-report` and the round-trip tests can consume what the
+// sinks emit, not as a general-purpose parser.
 #pragma once
 
 #include <map>

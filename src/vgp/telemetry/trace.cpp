@@ -13,6 +13,7 @@
 #include <ostream>
 #include <vector>
 
+#include "vgp/support/env.hpp"
 #include "vgp/telemetry/perf_counters.hpp"
 #include "vgp/telemetry/sink.hpp"
 
@@ -78,13 +79,12 @@ namespace {
 Tracer::Impl* g_impl = nullptr;
 
 std::size_t buffer_capacity() {
-  static const std::size_t cap = [] {
-    if (const char* env = std::getenv("VGP_TRACE_BUFFER")) {
-      const long v = std::atol(env);
-      if (v > 0) return static_cast<std::size_t>(v);
-    }
-    return static_cast<std::size_t>(1) << 16;  // 65536 events / thread
-  }();
+  // Parsed once and frozen (buffers size themselves at first traced
+  // span); a malformed value must warn rather than silently shrink the
+  // buffers to the default and drop events later.
+  static const std::size_t cap = static_cast<std::size_t>(
+      support::env_int("VGP_TRACE_BUFFER", std::int64_t{1} << 16, 1,
+                       std::int64_t{1} << 28));
   return cap;
 }
 
@@ -102,10 +102,8 @@ thread_local std::int32_t t_depth = 0;
 Tracer::Tracer() : impl_(new Impl) {
   g_impl = impl_;
   impl_->epoch_ns = steady_now_ns();
-  if (const char* env = std::getenv("VGP_TRACE_PERF")) {
-    if (env[0] == '0' && env[1] == '\0') {
-      impl_->perf.store(false, std::memory_order_relaxed);
-    }
+  if (!support::env_bool("VGP_TRACE_PERF", true)) {
+    impl_->perf.store(false, std::memory_order_relaxed);
   }
   if (const char* env = std::getenv("VGP_TRACE")) {
     if (env[0] != '\0') {

@@ -10,6 +10,7 @@
 
 #include "vgp/telemetry/json_reader.hpp"
 #include "vgp/telemetry/report.hpp"
+#include "vgp/telemetry/sink.hpp"
 
 namespace vgp::telemetry {
 namespace {
@@ -53,6 +54,54 @@ TEST(JsonReader, FileErrorsAreDistinguished) {
   std::string error;
   EXPECT_FALSE(parse_json_file("/nonexistent/nope.json", v, &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonReader, DecodesUnicodeEscapesToUtf8) {
+  JsonValue v;
+  std::string error;
+  // 1-, 2-, and 3-byte UTF-8 targets plus a surrogate pair (4-byte).
+  ASSERT_TRUE(parse_json(
+      "[\"\\u0041\", \"\\u00e9\", \"\\u4e2d\", \"\\ud83d\\ude00\", "
+      "\"\\u0000x\"]",
+      v, &error))
+      << error;
+  ASSERT_EQ(v.arr.size(), 5u);
+  EXPECT_EQ(v.arr[0].str, "A");
+  EXPECT_EQ(v.arr[1].str, "\xC3\xA9");          // U+00E9
+  EXPECT_EQ(v.arr[2].str, "\xE4\xB8\xAD");      // U+4E2D
+  EXPECT_EQ(v.arr[3].str, "\xF0\x9F\x98\x80");  // U+1F600
+  EXPECT_EQ(v.arr[4].str, std::string("\0x", 2));
+}
+
+TEST(JsonReader, RejectsBrokenSurrogates) {
+  JsonValue v;
+  std::string error;
+  // Unpaired high surrogate (end of string / not followed by \u).
+  EXPECT_FALSE(parse_json(R"(["\ud83d"])", v, &error));
+  EXPECT_FALSE(parse_json(R"(["\ud83d abc"])", v, &error));
+  // High surrogate followed by a non-low escape.
+  EXPECT_FALSE(parse_json(R"(["\ud83dA"])", v, &error));
+  // Unpaired low surrogate.
+  EXPECT_FALSE(parse_json(R"(["\ude00"])", v, &error));
+  // Malformed hex digits.
+  EXPECT_FALSE(parse_json(R"(["\u12g4"])", v, &error));
+  EXPECT_FALSE(parse_json(R"(["\u12"])", v, &error));
+}
+
+TEST(JsonReader, RoundTripsThroughTheSinkEscaper) {
+  // write_json_string escapes control characters as \u00XX and passes
+  // multibyte UTF-8 through raw; the reader must reproduce the original
+  // bytes either way.
+  const std::string original =
+      std::string("line1\nline2\ttab \x01 bell\x07 ") + "\xC3\xA9" +
+      "\xE4\xB8\xAD" + "\xF0\x9F\x98\x80" + " \"quoted\" back\\slash";
+  std::ostringstream out;
+  write_json_string(out, original);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json(out.str(), v, &error)) << error << "\n" << out.str();
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.str, original);
 }
 
 std::string metrics_json(double sweep_mean, double level_mean) {

@@ -1,0 +1,457 @@
+// Tests for the serving layer: wire protocol encode/decode, the gather
+// kernel family's cross-backend parity, socketpair round-trips through
+// a live Server (no real listener needed — adopt() both ends), error
+// mapping, malformed-frame fuzz, concurrent-client parity against
+// direct library calls, and the snapshot-swap-during-queries race.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vgp/gen/suite.hpp"
+#include "vgp/serve/batch.hpp"
+#include "vgp/serve/client.hpp"
+#include "vgp/serve/protocol.hpp"
+#include "vgp/serve/server.hpp"
+#include "vgp/simd/backend.hpp"
+#include "vgp/simd/registry.hpp"
+#include "vgp/support/rng.hpp"
+
+namespace vgp::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol primitives
+
+TEST(Protocol, HeaderRoundTrips) {
+  FrameHeader h;
+  h.body_len = 0x01020304u;
+  h.request_id = 0xA1B2C3D4u;
+  h.op = static_cast<std::uint16_t>(Op::Lookup);
+  h.aux = static_cast<std::uint16_t>(Attr::Degree);
+  unsigned char buf[kHeaderBytes];
+  encode_header(h, buf);
+  const FrameHeader d = decode_header(buf);
+  EXPECT_EQ(d.body_len, h.body_len);
+  EXPECT_EQ(d.request_id, h.request_id);
+  EXPECT_EQ(d.op, h.op);
+  EXPECT_EQ(d.aux, h.aux);
+}
+
+TEST(Protocol, WireWriterReaderRoundTrip) {
+  WireWriter w;
+  w.u32(7);
+  w.i32(-5);
+  w.i64(std::int64_t{1} << 40);
+  w.f64(2.5);
+  w.str("hello");
+  const std::string body = w.take();
+
+  WireReader r(body);
+  std::uint32_t u = 0;
+  std::int32_t i = 0;
+  std::int64_t l = 0;
+  double d = 0.0;
+  std::string s;
+  EXPECT_TRUE(r.u32(u));
+  EXPECT_TRUE(r.i32(i));
+  EXPECT_TRUE(r.i64(l));
+  EXPECT_TRUE(r.f64(d));
+  EXPECT_TRUE(r.str(s));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(u, 7u);
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(l, std::int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Protocol, ReaderRejectsOverrunsAndStaysFailed) {
+  WireWriter w;
+  w.u32(3);  // claims a 3-byte string but supplies none
+  const std::string body = w.take();
+  WireReader r(body);
+  std::string s;
+  EXPECT_FALSE(r.str(s));
+  EXPECT_FALSE(r.ok());
+  std::uint32_t u = 0;
+  EXPECT_FALSE(r.u32(u));  // sticky failure
+}
+
+TEST(Protocol, SpanDetectsMultiplicationOverflow) {
+  const std::string body(16, 'x');
+  WireReader r(body);
+  const void* out = nullptr;
+  EXPECT_FALSE(r.span(out, std::size_t{1} << 62, 8));
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Gather kernel family
+
+TEST(GatherKernels, AllBackendsMatchScalar) {
+  Xoshiro256 rng(99);
+  const std::int64_t table_size = 10007;
+  std::vector<std::int32_t> table(table_size);
+  for (auto& v : table) {
+    v = static_cast<std::int32_t>(rng() % 100000);
+  }
+  std::vector<std::uint64_t> offsets(table_size + 1);
+  offsets[0] = 0;
+  for (std::int64_t i = 1; i <= table_size; ++i) {
+    offsets[i] = offsets[i - 1] + rng() % 17;
+  }
+  for (const std::int64_t n : {0LL, 1LL, 7LL, 16LL, 33LL, 1000LL}) {
+    std::vector<std::int32_t> idx(static_cast<std::size_t>(n));
+    for (auto& v : idx) {
+      v = static_cast<std::int32_t>(rng() % table_size);
+    }
+    std::vector<std::int64_t> expect_i32(idx.size()), expect_deg(idx.size());
+    detail::gather_i32_scalar(table.data(), idx.data(), expect_i32.data(), n);
+    detail::gather_degree_scalar(offsets.data(), idx.data(),
+                                 expect_deg.data(), n);
+    for (const auto backend :
+         {simd::Backend::Scalar, simd::Backend::Avx2, simd::Backend::Avx512,
+          simd::Backend::Auto}) {
+      const auto sel = simd::select<detail::GatherKernel>(backend);
+      std::vector<std::int64_t> got(idx.size());
+      sel.fn.i32(table.data(), idx.data(), got.data(), n);
+      EXPECT_EQ(got, expect_i32) << "i32 backend "
+                                 << simd::backend_name(sel.backend);
+      sel.fn.degree(offsets.data(), idx.data(), got.data(), n);
+      EXPECT_EQ(got, expect_deg) << "degree backend "
+                                 << simd::backend_name(sel.backend);
+    }
+  }
+}
+
+TEST(GatherKernels, FindOutOfRangeLocatesFirstBadId) {
+  const std::int32_t ids[] = {0, 5, 3, -1, 9};
+  EXPECT_EQ(find_out_of_range(ids, 5, 10), 3);
+  const std::int32_t high[] = {0, 10};
+  EXPECT_EQ(find_out_of_range(high, 2, 10), 1);
+  const std::int32_t fine[] = {0, 9, 4};
+  EXPECT_EQ(find_out_of_range(fine, 3, 10), -1);
+  EXPECT_EQ(find_out_of_range(nullptr, 0, 10), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Live server over socketpairs
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServeOptions so;
+    so.workers = 2;
+    so.queue_capacity = 256;
+    server = std::make_unique<Server>(so);
+    auto g = std::make_shared<Graph>(
+        gen::suite_entry("Oregon-2").make(gen::SuiteScale::Tiny));
+    server->snapshots().publish(make_snapshot("g", "test", std::move(g)));
+    snap = server->snapshots().get("g");
+    server->start();
+  }
+  void TearDown() override { server->shutdown(); }
+
+  Client connect() {
+    int sv[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    server->adopt(sv[0]);
+    Client c;
+    c.adopt(sv[1]);
+    return c;
+  }
+
+  std::unique_ptr<Server> server;
+  std::shared_ptr<const Snapshot> snap;
+};
+
+TEST_F(ServeTest, PingAndStatus) {
+  Client c = connect();
+  EXPECT_TRUE(c.ping());
+  std::string json;
+  ASSERT_EQ(c.status(json), Status::Ok);
+  EXPECT_NE(json.find("\"name\": \"g\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+}
+
+TEST_F(ServeTest, LookupMatchesDirectArraysForEveryAttr) {
+  Client c = connect();
+  const auto n = snap->graph->num_vertices();
+  Xoshiro256 rng(7);
+  std::vector<std::int32_t> ids(257);
+  for (auto& id : ids) {
+    id = static_cast<std::int32_t>(rng() % static_cast<std::uint64_t>(n));
+  }
+  std::vector<std::int64_t> values;
+  ASSERT_EQ(c.lookup("g", Attr::Membership, ids, values), Status::Ok);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(values[i], snap->membership[static_cast<std::size_t>(ids[i])]);
+  }
+  ASSERT_EQ(c.lookup("g", Attr::Color, ids, values), Status::Ok);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(values[i], snap->colors[static_cast<std::size_t>(ids[i])]);
+  }
+  ASSERT_EQ(c.lookup("g", Attr::Degree, ids, values), Status::Ok);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(values[i], snap->graph->degree(ids[i]));
+  }
+}
+
+TEST_F(ServeTest, VertexInfoMatchesDirect) {
+  Client c = connect();
+  Client::VertexInfo info;
+  ASSERT_EQ(c.vertex_info("g", 5, info), Status::Ok);
+  EXPECT_EQ(info.degree, snap->graph->degree(5));
+  EXPECT_EQ(info.membership, snap->membership[5]);
+  EXPECT_EQ(info.color, snap->colors[5]);
+  EXPECT_DOUBLE_EQ(info.volume, snap->graph->volume(5));
+}
+
+TEST_F(ServeTest, ErrorRepliesCarryTypedStatus) {
+  Client c = connect();
+  std::vector<std::int64_t> values;
+
+  EXPECT_EQ(c.lookup("nope", Attr::Membership, {0}, values),
+            Status::UnknownGraph);
+  EXPECT_EQ(c.lookup("g", Attr::Membership, {-1}, values), Status::OutOfRange);
+  EXPECT_EQ(c.lookup("g", Attr::Membership,
+                     {static_cast<std::int32_t>(snap->graph->num_vertices())},
+                     values),
+            Status::OutOfRange);
+
+  Reply reply;
+  ASSERT_TRUE(c.call(static_cast<Op>(99), 0, "", reply));
+  EXPECT_EQ(reply.status, Status::UnknownOp);
+  EXPECT_EQ(reply.error_code, "unknown-op");
+
+  WireWriter w;
+  w.str("g");
+  w.u32(1);
+  w.i32(0);
+  ASSERT_TRUE(c.call(Op::Lookup, 77, w.take(), reply));
+  EXPECT_EQ(reply.status, Status::UnknownAttr);
+
+  // Truncated Lookup body: claims 8 ids, carries 1.
+  WireWriter w2;
+  w2.str("g");
+  w2.u32(8);
+  w2.i32(0);
+  ASSERT_TRUE(c.call(Op::Lookup, 0, w2.take(), reply));
+  EXPECT_EQ(reply.status, Status::BadFrame);
+
+  // The connection survived every error above.
+  EXPECT_TRUE(c.ping());
+}
+
+TEST_F(ServeTest, OversizedFrameGetsBadFrameThenClose) {
+  Client c = connect();
+  FrameHeader h;
+  h.body_len = kMaxFrameBytes + 1;
+  h.request_id = 42;
+  h.op = static_cast<std::uint16_t>(Op::Ping);
+  unsigned char buf[kHeaderBytes];
+  encode_header(h, buf);
+  ASSERT_TRUE(c.send_raw(buf, sizeof(buf)));
+  Reply reply;
+  ASSERT_TRUE(c.read_reply(reply));
+  EXPECT_EQ(reply.status, Status::BadFrame);
+  EXPECT_EQ(reply.request_id, 42u);
+  // The stream cannot be re-framed after a hostile length; the server
+  // closes it, and a fresh connection still works.
+  EXPECT_FALSE(c.read_reply(reply));
+  Client c2 = connect();
+  EXPECT_TRUE(c2.ping());
+}
+
+TEST_F(ServeTest, MalformedBodyFuzzNeverKillsTheServer) {
+  Xoshiro256 rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    Client c = connect();
+    const auto op = static_cast<std::uint16_t>(rng() % 8);   // incl. unknown
+    const auto aux = static_cast<std::uint16_t>(rng() % 5);  // incl. unknown
+    std::string body(rng() % 64, '\0');
+    for (auto& ch : body) {
+      ch = static_cast<char>(rng() & 0xFF);
+    }
+    Reply reply;
+    ASSERT_TRUE(c.call(static_cast<Op>(op), aux, body, reply))
+        << "round " << round;
+    // Whatever the status, it decoded as a well-formed reply frame.
+  }
+  // Half-frame then disconnect: reader must just drop the connection.
+  {
+    Client c = connect();
+    FrameHeader h;
+    h.body_len = 100;
+    h.op = static_cast<std::uint16_t>(Op::Lookup);
+    unsigned char buf[kHeaderBytes];
+    encode_header(h, buf);
+    ASSERT_TRUE(c.send_raw(buf, sizeof(buf)));
+    c.close();
+  }
+  Client alive = connect();
+  EXPECT_TRUE(alive.ping());
+  EXPECT_EQ(server->stats().bad_frames, 0u);  // fuzz bodies were framed
+}
+
+TEST_F(ServeTest, ConcurrentClientsSeeParityWithDirectCalls) {
+  constexpr int kThreads = 4;
+  constexpr int kRequests = 200;
+  const auto n = static_cast<std::uint64_t>(snap->graph->num_vertices());
+  std::atomic<int> failures{0};
+  std::vector<Client> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) clients.push_back(connect());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+      std::vector<std::int32_t> ids(16);
+      std::vector<std::int64_t> values;
+      for (int i = 0; i < kRequests; ++i) {
+        for (auto& id : ids) {
+          id = static_cast<std::int32_t>(rng() % n);
+        }
+        const Attr attr = static_cast<Attr>(i % 3);
+        if (clients[static_cast<std::size_t>(t)].lookup("g", attr, ids,
+                                                        values) !=
+            Status::Ok) {
+          ++failures;
+          return;
+        }
+        for (std::size_t k = 0; k < ids.size(); ++k) {
+          const auto v = static_cast<std::size_t>(ids[k]);
+          const std::int64_t want =
+              attr == Attr::Membership
+                  ? snap->membership[v]
+                  : (attr == Attr::Color
+                         ? snap->colors[v]
+                         : snap->graph->degree(ids[k]));
+          if (values[k] != want) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  const ServeStats stats = server->stats();
+  EXPECT_GE(stats.requests, static_cast<std::uint64_t>(kThreads * kRequests));
+  EXPECT_GE(stats.batched_ids,
+            static_cast<std::uint64_t>(kThreads * kRequests * 16));
+}
+
+TEST_F(ServeTest, SnapshotSwapDuringQueriesNeverTearsAReply) {
+  // Two snapshots with distinct constant membership arrays: any reply
+  // mixing 7s and 9s would prove a gather ran across a half-swapped
+  // snapshot. shared_ptr swap semantics make that impossible; this test
+  // is the regression net for anyone "optimizing" the table.
+  const auto n = static_cast<std::size_t>(snap->graph->num_vertices());
+  auto make_const_snapshot = [&](std::int32_t value) {
+    auto s = std::make_shared<Snapshot>();
+    s->name = "swap";
+    s->source = "test";
+    s->graph = snap->graph;
+    s->membership.assign(n, value);
+    s->colors.assign(n, value);
+    return s;
+  };
+  server->snapshots().publish(make_const_snapshot(7));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> queries{0};
+  std::thread querier([&] {
+    Client c = connect();
+    Xoshiro256 rng(5);
+    std::vector<std::int32_t> ids(64);
+    std::vector<std::int64_t> values;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (auto& id : ids) {
+        id = static_cast<std::int32_t>(rng() % n);
+      }
+      if (c.lookup("swap", Attr::Membership, ids, values) != Status::Ok) {
+        ++torn;
+        return;
+      }
+      ++queries;
+      for (const auto v : values) {
+        if (v != values[0]) ++torn;           // mixed generations
+        if (v != 7 && v != 9) ++torn;         // value from nowhere
+      }
+    }
+  });
+  int published = 0;
+  for (; published < 200; ++published) {
+    server->snapshots().publish(
+        make_const_snapshot(published % 2 == 0 ? 9 : 7));
+  }
+  // Keep the swaps coming until the querier has demonstrably overlapped
+  // them (cheap publishes; bounded so a wedged querier can't hang us).
+  while (queries.load() < 10 && torn.load() == 0 && published < 100000) {
+    server->snapshots().publish(
+        make_const_snapshot(published % 2 == 0 ? 9 : 7));
+    ++published;
+  }
+  stop.store(true);
+  querier.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(queries.load(), 0);
+  // Versions kept climbing monotonically across the swaps.
+  EXPECT_GE(server->snapshots().get("swap")->version, 201u);
+}
+
+TEST_F(ServeTest, RunRepublishesAndReloadLoadsFiles) {
+  Client c = connect();
+  const std::uint64_t v0 = snap->version;
+
+  std::string summary;
+  ASSERT_EQ(c.run("g", "labelprop", "", summary), Status::Ok);
+  EXPECT_NE(summary.find("\"algorithm\": \"labelprop\""), std::string::npos);
+  EXPECT_GT(server->snapshots().get("g")->version, v0);
+  ASSERT_EQ(c.run("g", "color", "", summary), Status::Ok);
+  EXPECT_EQ(c.run("g", "does-not-exist", "", summary), Status::BadRequest);
+
+  const std::string path = ::testing::TempDir() + "/serve_reload.el";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "0 1\n1 2\n2 0\n3 0\n";
+  }
+  ASSERT_EQ(c.reload("tri", path, summary), Status::Ok);
+  EXPECT_NE(summary.find("\"vertices\": 4"), std::string::npos);
+  std::vector<std::int64_t> values;
+  ASSERT_EQ(c.lookup("tri", Attr::Degree, {0, 1, 2, 3}, values), Status::Ok);
+  EXPECT_EQ(values[0], 3);
+  EXPECT_EQ(values[3], 1);
+
+  // A failed reload reports a typed error and leaves the daemon alive.
+  EXPECT_EQ(c.reload("bad", "/nonexistent/graph.el", summary),
+            Status::IoFailed);
+  EXPECT_TRUE(c.ping());
+}
+
+TEST_F(ServeTest, ShutdownDrainsInFlightWork) {
+  Client c = connect();
+  EXPECT_TRUE(c.ping());
+  server->shutdown();
+  const ServeStats stats = server->stats();
+  EXPECT_GE(stats.requests, 1u);
+  // After the drain the socket is gone: the next call fails at the
+  // transport, not with a hang.
+  Reply reply;
+  EXPECT_FALSE(c.call(Op::Ping, 0, "", reply));
+  EXPECT_FALSE(reply.transport_ok);
+}
+
+}  // namespace
+}  // namespace vgp::serve

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <thread>
 
 #include "vgp/support/aligned.hpp"
 #include "vgp/support/cpu.hpp"
+#include "vgp/support/env.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/rng.hpp"
 #include "vgp/support/stats.hpp"
@@ -165,6 +167,66 @@ TEST(Timer, MeasuresElapsedTime) {
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_LT(t.seconds(), 10.0);
   EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, t.seconds() * 1e3 * 0.5 + 1.0);
+}
+
+class EnvParsing : public ::testing::Test {
+ protected:
+  void SetUp() override { support::detail::reset_env_warnings(); }
+  void TearDown() override {
+    ::unsetenv("VGP_TEST_ENV_INT");
+    ::unsetenv("VGP_TEST_ENV_BOOL");
+    support::detail::reset_env_warnings();
+  }
+};
+
+TEST_F(EnvParsing, IntParsesValidValuesAndWhitespace) {
+  ::setenv("VGP_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(support::env_int("VGP_TEST_ENV_INT", 7, 1, 100), 42);
+  ::setenv("VGP_TEST_ENV_INT", "  13  ", 1);
+  EXPECT_EQ(support::env_int("VGP_TEST_ENV_INT", 7, 1, 100), 13);
+}
+
+TEST_F(EnvParsing, IntFallsBackWhenUnsetOrEmpty) {
+  EXPECT_EQ(support::env_int("VGP_TEST_ENV_INT", 7, 1, 100), 7);
+  ::setenv("VGP_TEST_ENV_INT", "", 1);
+  EXPECT_EQ(support::env_int("VGP_TEST_ENV_INT", 7, 1, 100), 7);
+}
+
+TEST_F(EnvParsing, IntRejectsGarbageAndRangeViolations) {
+  // The VGP_THREADS=1O typo class: partial parses must not be accepted.
+  for (const char* bad : {"1O", "abc", "12x", "1 2", "0x10", "9999999999",
+                          "0", "-3"}) {
+    ::setenv("VGP_TEST_ENV_INT", bad, 1);
+    EXPECT_EQ(support::env_int("VGP_TEST_ENV_INT", 7, 1, 100), 7)
+        << "value: " << bad;
+  }
+}
+
+TEST_F(EnvParsing, BoolParsesTheDocumentedSpellings) {
+  for (const char* t : {"1", "true", "on"}) {
+    ::setenv("VGP_TEST_ENV_BOOL", t, 1);
+    EXPECT_TRUE(support::env_bool("VGP_TEST_ENV_BOOL", false)) << t;
+  }
+  for (const char* f : {"0", "false", "off"}) {
+    ::setenv("VGP_TEST_ENV_BOOL", f, 1);
+    EXPECT_FALSE(support::env_bool("VGP_TEST_ENV_BOOL", true)) << f;
+  }
+  ::setenv("VGP_TEST_ENV_BOOL", "maybe", 1);
+  EXPECT_TRUE(support::env_bool("VGP_TEST_ENV_BOOL", true));
+  EXPECT_FALSE(support::env_bool("VGP_TEST_ENV_BOOL", false));
+}
+
+TEST_F(EnvParsing, GarbageWarnsOnceThenStaysQuiet) {
+  ::setenv("VGP_TEST_ENV_INT", "1O", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(support::env_int("VGP_TEST_ENV_INT", 7, 1, 100), 7);
+  EXPECT_EQ(support::env_int("VGP_TEST_ENV_INT", 7, 1, 100), 7);
+  const std::string err = testing::internal::GetCapturedStderr();
+  // Exactly one warning, naming both the variable and the bad string.
+  EXPECT_NE(err.find("VGP_TEST_ENV_INT"), std::string::npos);
+  EXPECT_NE(err.find("1O"), std::string::npos);
+  EXPECT_EQ(err.find("VGP_TEST_ENV_INT", err.find("VGP_TEST_ENV_INT") + 1),
+            std::string::npos);
 }
 
 }  // namespace

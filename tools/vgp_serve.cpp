@@ -1,0 +1,184 @@
+// vgp-serve: the graph-serving daemon.
+//
+// Loads one or more graphs (files or generated suite entries) into
+// immutable snapshots and answers vgp.serve.v1 requests over a Unix
+// and/or TCP socket until SIGTERM/SIGINT, then drains gracefully.
+//
+//   vgp-serve --unix=/tmp/vgp.sock --gen=g:soc-LiveJournal@tiny
+//   vgp-serve --tcp=7071 --graph=road:data/road.metis --workers=4
+//
+// Signals are delivered to a self-pipe so the handler stays
+// async-signal-safe; the main thread blocks on the pipe and runs the
+// drain. A second signal while draining force-exits.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "vgp/harness/options.hpp"
+#include "vgp/serve/server.hpp"
+#include "vgp/support/cpu.hpp"
+#include "vgp/support/posix_io.hpp"
+#include "vgp/telemetry/registry.hpp"
+#include "vgp/telemetry/trace.hpp"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; a full pipe just drops the byte
+  // (one pending wakeup is all the drain needs).
+  [[maybe_unused]] const auto rc = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Splits "name:rest" (first colon only). Returns false when no colon.
+bool split2(const std::string& s, char sep, std::string& a, std::string& b) {
+  const auto pos = s.find(sep);
+  if (pos == std::string::npos) return false;
+  a = s.substr(0, pos);
+  b = s.substr(pos + 1);
+  return !a.empty() && !b.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vgp;
+  harness::Options opts;
+  opts.describe("unix", "serve on this unix-domain socket path")
+      .describe("tcp",
+                "serve on 127.0.0.1:<port>; 'auto' picks an ephemeral port")
+      .describe("graph", "load <name>:<path> (repeat with commas)")
+      .describe("gen",
+                "generate <name>:<suite-entry>@<scale> (repeat with commas), "
+                "e.g. g:soc-LiveJournal@tiny")
+      .describe("workers", "worker threads (default 2)")
+      .describe("queue", "request queue capacity (default 1024)")
+      .describe("metrics", "write telemetry to this file on exit")
+      .describe("trace", "write a Chrome-trace timeline to this file");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  serve::ServeOptions so;
+  so.unix_path = opts.get("unix", "");
+  const std::string tcp = opts.get("tcp", "");
+  if (tcp == "auto") {
+    so.tcp_port = -1;
+  } else if (!tcp.empty()) {
+    so.tcp_port = static_cast<int>(opts.get_int("tcp", 0));
+  }
+  so.workers = static_cast<int>(opts.get_int("workers", 2));
+  so.queue_capacity =
+      static_cast<std::size_t>(opts.get_int("queue", 1024));
+  if (const std::string metrics = opts.get("metrics", ""); !metrics.empty()) {
+    telemetry::enable_file_output(metrics);
+  }
+  if (const std::string trace = opts.get("trace", ""); !trace.empty()) {
+    telemetry::enable_trace_output(trace);
+  }
+
+  serve::Server server(so);
+
+  // Load every requested graph before accepting a single connection, so
+  // the first client never sees an UnknownGraph window.
+  auto for_each = [](const std::string& list, auto&& fn) {
+    std::size_t start = 0;
+    while (start < list.size()) {
+      const auto end = list.find(',', start);
+      const std::string item =
+          list.substr(start, end == std::string::npos ? end : end - start);
+      if (!item.empty()) fn(item);
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  };
+  try {
+    for_each(opts.get("graph", ""), [&](const std::string& item) {
+      std::string name, path;
+      if (!split2(item, ':', name, path)) {
+        throw std::invalid_argument("--graph wants <name>:<path>, got " +
+                                    item);
+      }
+      server.load_file(name, path);
+    });
+    for_each(opts.get("gen", ""), [&](const std::string& item) {
+      std::string name, rest, entry, scale;
+      if (!split2(item, ':', name, rest) ||
+          !split2(rest, '@', entry, scale)) {
+        throw std::invalid_argument(
+            "--gen wants <name>:<entry>@<scale>, got " + item);
+      }
+      server.load_generated(name, entry, scale);
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vgp-serve: load failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::string error;
+  if (!server.listen(&error)) {
+    std::fprintf(stderr, "vgp-serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("vgp-serve: pipe");
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = &on_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  server.start();
+  for (const auto& snap : server.snapshots().all()) {
+    std::printf("vgp-serve: loaded %s (%lld vertices, %lld edges) from %s\n",
+                snap->name.c_str(),
+                static_cast<long long>(snap->graph->num_vertices()),
+                static_cast<long long>(snap->graph->num_edges()),
+                snap->source.c_str());
+  }
+  if (!so.unix_path.empty()) {
+    std::printf("vgp-serve: listening on unix:%s\n", so.unix_path.c_str());
+  }
+  if (server.bound_tcp_port() > 0) {
+    std::printf("vgp-serve: listening on tcp:127.0.0.1:%d\n",
+                server.bound_tcp_port());
+  }
+  std::printf("vgp-serve: %d workers, queue %zu | cpu: %s\n", so.workers,
+              so.queue_capacity, cpu_feature_string().c_str());
+  std::fflush(stdout);
+
+  // Block until the first signal, then drain.
+  char byte = 0;
+  while (support::retry_read(g_signal_pipe[0], &byte, 1) < 0) {
+  }
+  std::printf("vgp-serve: draining...\n");
+  std::fflush(stdout);
+  server.shutdown();
+
+  const serve::ServeStats stats = server.stats();
+  std::printf(
+      "vgp-serve: served %llu requests (%llu errors, %llu bad frames) over "
+      "%llu connections; %llu ids through gather, %llu coalesced; "
+      "p50 %.0f us, p99 %.0f us\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.errors),
+      static_cast<unsigned long long>(stats.bad_frames),
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.batched_ids),
+      static_cast<unsigned long long>(stats.coalesced),
+      server.latency().percentile_us(50.0),
+      server.latency().percentile_us(99.0));
+  return 0;
+}
