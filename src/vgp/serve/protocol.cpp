@@ -38,6 +38,7 @@ const char* status_name(Status s) noexcept {
     case Status::Resource: return "resource";
     case Status::Internal: return "internal";
     case Status::ShuttingDown: return "shutting-down";
+    case Status::Conflict: return "conflict";
   }
   return "?";
 }

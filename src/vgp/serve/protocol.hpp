@@ -26,7 +26,11 @@
 //   Run         body: string graph, string algorithm
 //               ("louvain"|"labelprop"|"color"), string options
 //               (comma-separated key=value). Recomputes the derived
-//               arrays and publishes a fresh snapshot.
+//               arrays and publishes a fresh snapshot — unless a
+//               concurrent Run/Reload republished the graph while the
+//               algorithm ran, in which case the reply is Conflict and
+//               the newer snapshot is left in place (retry to rerun
+//               against it).
 //               Reply: string JSON summary.
 //   Reload      body: string name, string path. Loads the graph file and
 //               atomically swaps the named snapshot.
@@ -81,6 +85,7 @@ enum class Status : std::uint16_t {
   Resource = 10,     // vgp::ResourceError
   Internal = 11,     // anything else; the daemon survives
   ShuttingDown = 12, // request arrived during drain
+  Conflict = 13,     // Run lost a publish race with a Reload/Run; retry
 };
 
 const char* op_name(Op op) noexcept;

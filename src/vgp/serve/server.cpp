@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -133,9 +134,21 @@ struct Server::Connection {
   std::atomic<bool> closed{false};
 
   /// Shuts the receive side so the reader unblocks with EOF; the fd
-  /// itself is closed once the reader has exited (shutdown()).
+  /// itself is closed once the reader has been joined (close_fd()).
   void shut_read() {
     if (fd >= 0) ::shutdown(fd, SHUT_RD);
+  }
+
+  /// Releases the fd. The caller must have joined `reader` first;
+  /// taking write_mu guarantees no worker is mid-write when the
+  /// descriptor number goes back to the kernel for reuse.
+  void close_fd() {
+    std::lock_guard<std::mutex> lock(write_mu);
+    closed.store(true, std::memory_order_relaxed);
+    if (fd >= 0) {
+      support::checked_close(fd);
+      fd = -1;
+    }
   }
 };
 
@@ -244,23 +257,41 @@ void Server::adopt(int fd) {
   auto conn = std::make_shared<Connection>();
   conn->fd = fd;
   {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping()) {
+      // Raced shutdown(): its connection snapshot may already be taken,
+      // so a reader spawned now would never be joined. Refuse instead.
+      support::checked_close(fd);
+      return;
+    }
+    // Spawn inside the lock: the drain's snapshot (same mutex, taken
+    // after it sets stopping_) can then never observe a registered
+    // connection whose reader thread is not yet joinable.
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    conns_.push_back(conn);
+  }
+  {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.connections;
   }
   telemetry::Registry::global().add(ServeMetrics::get().connections);
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.push_back(conn);
-  }
-  conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  reap_connections();
 }
 
 void Server::shutdown() {
-  bool expected = false;
-  if (!stopping_.compare_exchange_strong(expected, true)) {
-    // Second caller: the first one is (or was) draining; just wait for
-    // the threads it owns to be joined by it. Destructor-safe because
-    // shutdown() runs to completion before returning either way.
+  // call_once: a second caller (say, the destructor racing an explicit
+  // shutdown on another thread) blocks until the winner finishes the
+  // drain, instead of both running the join sequence on the same
+  // std::thread objects.
+  std::call_once(shutdown_once_, [this] { do_shutdown(); });
+}
+
+void Server::do_shutdown() {
+  {
+    // Set under conns_mu_ so adopt() (which re-checks under the same
+    // lock) can never register a connection the snapshot below misses.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    stopping_.store(true, std::memory_order_relaxed);
   }
   // Wake readers blocked on a full queue and workers blocked on empty.
   queue_cv_.notify_all();
@@ -274,16 +305,25 @@ void Server::shutdown() {
   }
   accept_threads_.clear();
 
-  // Shut every connection's receive side; readers drain to EOF and exit.
+  // Shut every live connection's receive side; readers drain to EOF
+  // and exit. A connection whose client died earlier already moved
+  // itself to reaped_ and is joined by reap_connections() below.
   std::vector<std::shared_ptr<Connection>> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns = conns_;
   }
   for (auto& c : conns) c->shut_read();
-  for (auto& c : conns) {
-    if (c->reader.joinable()) c->reader.join();
+  {
+    // reap_mu_: a connection dying mid-drain can appear both in this
+    // snapshot and in reaped_; serialize the joins so only one runner
+    // touches a given std::thread at a time.
+    std::lock_guard<std::mutex> lock(reap_mu_);
+    for (auto& c : conns) {
+      if (c->reader.joinable()) c->reader.join();
+    }
   }
+  reap_connections();
 
   // Workers finish whatever is queued (pop_request returns false only
   // when stopping AND empty), then exit.
@@ -293,19 +333,30 @@ void Server::shutdown() {
   }
   workers_.clear();
 
+  // Replies are flushed; now the remaining fds can go.
+  std::vector<std::shared_ptr<Connection>> remaining;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& c : conns_) {
-      if (c->fd >= 0) {
-        support::checked_close(c->fd);
-        c->fd = -1;
-      }
-    }
-    conns_.clear();
+    remaining.swap(conns_);
   }
+  for (auto& c : remaining) c->close_fd();
   if (!unix_path_bound_.empty()) {
     ::unlink(unix_path_bound_.c_str());
     unix_path_bound_.clear();
+  }
+}
+
+void Server::reap_connections() {
+  std::vector<std::shared_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    dead.swap(reaped_);
+  }
+  if (dead.empty()) return;
+  std::lock_guard<std::mutex> lock(reap_mu_);
+  for (auto& c : dead) {
+    if (c->reader.joinable()) c->reader.join();
+    c->close_fd();
   }
 }
 
@@ -317,6 +368,11 @@ ServeStats Server::stats() const {
 std::size_t Server::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
   return queue_.size();
+}
+
+std::size_t Server::live_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -331,7 +387,12 @@ void Server::accept_loop(int listen_fd) {
       if (errno == EINTR) continue;
       break;  // listener died; shutdown() owns cleanup
     }
-    if (pr == 0) continue;
+    if (pr == 0) {
+      // Idle tick: join readers of connections that disconnected since
+      // the last pass and release their fds.
+      reap_connections();
+      continue;
+    }
     const int fd = support::retry_accept(listen_fd);
     if (fd < 0) {
       if (errno == EBADF || errno == EINVAL) break;  // closed under us
@@ -396,14 +457,24 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       break;
     }
   }
-  conn->closed.store(true, std::memory_order_relaxed);
   if (!stopping()) {
     // The stream is dead or unframeable: shut the send side as well so
     // the peer sees EOF instead of blocking on a reply that will never
-    // come (the protocol promises close-after-BadFrame). During drain
-    // the readers exit via shut_read() instead, and the send side must
-    // stay open until the workers have flushed the queued replies.
+    // come (the protocol promises close-after-BadFrame), mark the
+    // connection closed so workers drop replies still queued for it,
+    // and deregister so the next reap (accept tick, adopt, shutdown)
+    // joins this thread and releases the fd. During drain the readers
+    // exit via shut_read() instead and stay registered: the send side
+    // must stay open until the workers have flushed the queued
+    // replies, and do_shutdown() joins and closes.
+    conn->closed.store(true, std::memory_order_relaxed);
     ::shutdown(conn->fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    const auto it = std::find(conns_.begin(), conns_.end(), conn);
+    if (it != conns_.end()) {
+      conns_.erase(it);
+      reaped_.push_back(conn);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -443,17 +514,22 @@ bool Server::pop_request(Request& out) {
 void Server::pop_matching_lookups(const Request& head,
                                   std::vector<Request>& out,
                                   std::size_t max_extra) {
+  // Copy the attribute out first: `head` aliases out[0], so the first
+  // push_back below can reallocate out and dangle the reference.
+  const std::uint16_t attr = head.header.aux;
   std::lock_guard<std::mutex> lock(queue_mu_);
-  while (out.size() < max_extra && !queue_.empty()) {
+  std::size_t extra = 0;  // `out` already holds the head request
+  while (extra < max_extra && !queue_.empty()) {
     const Request& front = queue_.front();
     if (front.header.op != static_cast<std::uint16_t>(Op::Lookup) ||
-        front.header.aux != head.header.aux) {
+        front.header.aux != attr) {
       break;
     }
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
+    ++extra;
   }
-  if (!out.empty()) queue_space_cv_.notify_all();
+  if (extra > 0) queue_space_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -574,7 +650,16 @@ std::string Server::do_lookup(const Request& r, FrameHeader& reply) {
     return error_body(Status::UnknownGraph, "unknown-graph", graph);
   }
 
-  const auto* ids = static_cast<const std::int32_t*>(ids_raw);
+  // The span aliases the request body at offset 8 + len(graph name),
+  // which is int32-aligned only when the name length is a multiple of
+  // 4; copy into an aligned buffer before the scalar paths (and
+  // find_out_of_range) dereference typed pointers.
+  std::vector<std::int32_t> id_buf(count);
+  if (count > 0) {
+    std::memcpy(id_buf.data(), ids_raw,
+                std::size_t{count} * sizeof(std::int32_t));
+  }
+  const std::int32_t* ids = id_buf.data();
   const auto n = static_cast<std::int64_t>(count);
   const std::int64_t bad =
       find_out_of_range(ids, n, snap->graph->num_vertices());
@@ -692,7 +777,17 @@ std::string Server::do_run(const Request& r, FrameHeader& reply) {
   }
   (void)options;  // reserved: per-run option overrides
   next->build_seconds = timer.seconds();
-  snapshots_.publish(next);
+  // RCU conflict check: publish only while the base snapshot is still
+  // current. A Reload (or another Run) that landed while the algorithm
+  // ran must not be silently overwritten by arrays derived from the
+  // stale base — the client is told to retry against the newer
+  // snapshot instead.
+  if (!snapshots_.publish_if_version(next, snap->version)) {
+    reply.op = static_cast<std::uint16_t>(Status::Conflict);
+    return error_body(Status::Conflict, "conflict",
+                      "snapshot '" + graph +
+                          "' was republished during the run; retry");
+  }
 
   std::ostringstream out;
   out << "{\"graph\": ";
@@ -783,6 +878,9 @@ void Server::send_reply(Connection& conn, const FrameHeader& hdr,
   encode_header(h, hdr_buf);
 
   std::lock_guard<std::mutex> lock(conn.write_mu);
+  // Re-check under write_mu: a reap may have closed the fd between the
+  // fast-path check above and acquiring the lock.
+  if (conn.closed.load(std::memory_order_relaxed) || conn.fd < 0) return;
   if (VGP_FAILPOINT_SOFT("serve.write") ||
       !support::write_full(conn.fd, hdr_buf, kHeaderBytes) ||
       (!body.empty() &&

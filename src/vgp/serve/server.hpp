@@ -18,9 +18,12 @@
 // request carries a TraceSpan plus serve.* telemetry. All failures —
 // malformed frames, unknown graphs, vgp::Error from Run/Reload, injected
 // faults — become protocol error replies; nothing a client sends or an
-// algorithm throws kills the daemon. Shutdown drains: stop accepting,
-// shut the readers' receive sides, finish every queued request, then
-// join.
+// algorithm throws kills the daemon. A connection whose client vanishes
+// is reaped promptly: its reader self-deregisters and the next accept
+// tick (or adopt/shutdown) joins the thread and releases the fd, so a
+// long-lived daemon never accumulates dead connections. Shutdown
+// drains: stop accepting, shut the readers' receive sides, finish every
+// queued request, then join.
 #pragma once
 
 #include <atomic>
@@ -113,7 +116,8 @@ class Server {
   void adopt(int fd);
 
   /// Graceful drain: stop accepting, shut client receive sides, finish
-  /// queued requests, join every thread. Idempotent.
+  /// queued requests, join every thread. Idempotent and safe to call
+  /// concurrently (a second caller blocks until the drain completes).
   void shutdown();
   bool stopping() const noexcept {
     return stopping_.load(std::memory_order_relaxed);
@@ -122,6 +126,9 @@ class Server {
   ServeStats stats() const;
   /// Queue depth right now (gauge; racy by nature).
   std::size_t queue_depth() const;
+  /// Connections still registered (disconnected ones leave as soon as
+  /// their reader notices; gauge, racy by nature).
+  std::size_t live_connections() const;
   const LatencyHistogram& latency() const { return latency_; }
   /// The Status op's reply payload (also handy for tools/tests).
   std::string status_json() const;
@@ -143,6 +150,12 @@ class Server {
   void accept_loop(int listen_fd);
   void reader_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
+
+  void do_shutdown();  ///< the real drain; run once via shutdown_once_
+  /// Joins the reader threads of connections that deregistered
+  /// themselves and closes their fds. Called from the accept loop's
+  /// poll tick, adopt(), and do_shutdown().
+  void reap_connections();
 
   bool push_request(Request&& r);         // false once stopping
   bool pop_request(Request& out);         // false once drained + stopping
@@ -169,11 +182,19 @@ class Server {
   std::string unix_path_bound_;
 
   std::atomic<bool> stopping_{false};
+  std::once_flag shutdown_once_;
   std::vector<std::thread> accept_threads_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
+  /// Connections whose reader exited and self-deregistered; awaiting a
+  /// join + fd close from reap_connections().
+  std::vector<std::shared_ptr<Connection>> reaped_;
+  /// Serializes the thread joins in reap_connections() against the
+  /// drain's own join loop (a connection can appear in both a shutdown
+  /// snapshot and reaped_ when it dies mid-drain).
+  std::mutex reap_mu_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;       // waiters: workers

@@ -50,6 +50,22 @@ void SnapshotTable::publish(std::shared_ptr<Snapshot> snap) {
   slot = std::move(snap);
 }
 
+bool SnapshotTable::publish_if_version(std::shared_ptr<Snapshot> snap,
+                                       std::uint64_t base_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = table_.find(snap->name);
+  const std::uint64_t prev =
+      (it == table_.end() || it->second == nullptr) ? 0 : it->second->version;
+  if (prev != base_version) return false;
+  snap->version = prev + 1;
+  if (it == table_.end()) {
+    table_[snap->name] = std::move(snap);
+  } else {
+    it->second = std::move(snap);
+  }
+  return true;
+}
+
 std::vector<std::shared_ptr<const Snapshot>> SnapshotTable::all() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::shared_ptr<const Snapshot>> out;

@@ -62,6 +62,15 @@ class SnapshotTable {
   /// predecessor's. Readers holding the old snapshot are unaffected.
   void publish(std::shared_ptr<Snapshot> snap);
 
+  /// Read-copy-update publish with conflict detection: installs `snap`
+  /// (as `base_version + 1`) only while the current snapshot under its
+  /// name is still `base_version` — i.e. nobody published since the
+  /// caller copied its base. Returns false (and installs nothing) when
+  /// a concurrent Run/Reload won the race, so a result derived from a
+  /// stale base can never silently overwrite a newer snapshot.
+  bool publish_if_version(std::shared_ptr<Snapshot> snap,
+                          std::uint64_t base_version);
+
   std::vector<std::shared_ptr<const Snapshot>> all() const;
   std::size_t size() const;
 

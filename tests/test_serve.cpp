@@ -3,6 +3,7 @@
 // a live Server (no real listener needed — adopt() both ends), error
 // mapping, malformed-frame fuzz, concurrent-client parity against
 // direct library calls, and the snapshot-swap-during-queries race.
+#include <dirent.h>
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 
@@ -139,6 +140,30 @@ TEST(GatherKernels, FindOutOfRangeLocatesFirstBadId) {
   const std::int32_t fine[] = {0, 9, 4};
   EXPECT_EQ(find_out_of_range(fine, 3, 10), -1);
   EXPECT_EQ(find_out_of_range(nullptr, 0, 10), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot table
+
+TEST(SnapshotTable, PublishIfVersionDetectsConcurrentPublish) {
+  SnapshotTable table;
+  auto g = std::make_shared<Graph>(
+      gen::suite_entry("Oregon-2").make(gen::SuiteScale::Tiny));
+  table.publish(make_snapshot("g", "base", g));
+  const auto base = table.get("g");
+
+  // A concurrent Reload lands between the base copy and the publish:
+  // the stale-derived snapshot must be rejected, not installed.
+  table.publish(make_snapshot("g", "reloaded", g));
+  auto stale = std::make_shared<Snapshot>(*base);
+  EXPECT_FALSE(table.publish_if_version(stale, base->version));
+  EXPECT_EQ(table.get("g")->source, "reloaded");
+
+  // Against the current version it installs and bumps.
+  const auto cur = table.get("g");
+  auto fresh = std::make_shared<Snapshot>(*cur);
+  EXPECT_TRUE(table.publish_if_version(fresh, cur->version));
+  EXPECT_EQ(table.get("g")->version, cur->version + 1);
 }
 
 // ---------------------------------------------------------------------------
@@ -438,6 +463,52 @@ TEST_F(ServeTest, RunRepublishesAndReloadLoadsFiles) {
   EXPECT_EQ(c.reload("bad", "/nonexistent/graph.el", summary),
             Status::IoFailed);
   EXPECT_TRUE(c.ping());
+}
+
+std::size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST_F(ServeTest, DisconnectedConnectionsAreReaped) {
+  // A long-lived daemon must not accumulate one fd + one thread + one
+  // Connection per connect/disconnect cycle.
+  const std::size_t fds_before = open_fd_count();
+  constexpr int kCycles = 20;
+  for (int i = 0; i < kCycles; ++i) {
+    Client c = connect();
+    EXPECT_TRUE(c.ping());
+    c.close();
+    // The reader deregisters the connection before counting the
+    // disconnect, so once the count shows up the reap below sees it.
+    const auto want = static_cast<std::uint64_t>(i + 1);
+    while (server->stats().disconnects < want) std::this_thread::yield();
+  }
+  // adopt() reaps: the dead readers are joined and their fds released.
+  Client keeper = connect();
+  EXPECT_TRUE(keeper.ping());
+  EXPECT_EQ(server->live_connections(), 1u);
+  // Only the keeper's socketpair (2 fds) may remain beyond the start
+  // state; the 20 dead server-side fds are gone.
+  EXPECT_LE(open_fd_count(), fds_before + 3);
+}
+
+TEST_F(ServeTest, ConcurrentShutdownCallsAreSafe) {
+  Client c = connect();
+  EXPECT_TRUE(c.ping());
+  // Two racing callers (e.g. an explicit shutdown vs the destructor):
+  // the loser must block until the drain finishes, never double-join.
+  std::thread a([&] { server->shutdown(); });
+  std::thread b([&] { server->shutdown(); });
+  a.join();
+  b.join();
+  server->shutdown();  // and it stays idempotent afterwards
+  const ServeStats stats = server->stats();
+  EXPECT_GE(stats.requests, 1u);
 }
 
 TEST_F(ServeTest, ShutdownDrainsInFlightWork) {
