@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "vgp/harness/options.hpp"
 #include "vgp/harness/table.hpp"
 #include "vgp/simd/backend.hpp"
+#include "vgp/support/buffer.hpp"
 #include "vgp/support/cpu.hpp"
 #include "vgp/telemetry/registry.hpp"
 #include "vgp/telemetry/sink.hpp"
@@ -34,6 +37,7 @@ struct BenchConfig {
   int warmup = 1;
   bool paper_mode = false;   // larger sweeps, more reps
   std::string bench_json;    // --bench-json= machine-readable summary path
+  bool mmap_load = false;    // --mmap: prefer Graph::map_binary for .vgpb
 };
 
 /// Parses the standard knobs; returns false when --help was printed.
@@ -51,7 +55,13 @@ inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
                 "(Perfetto-loadable). Equivalent to setting VGP_TRACE")
       .describe("bench-json",
                 "write a machine-readable vgp.bench.v1 summary of every "
-                "reported series to this file");
+                "reported series to this file")
+      .describe("mmap",
+                "load .vgpb inputs via Graph::map_binary (zero-parse, "
+                "lazily faulted). Equivalent to VGP_MMAP=1")
+      .describe("numa",
+                "memory placement for the big arrays: bind|interleave|off "
+                "(default off; single-socket machines fall back silently)");
   // Bad values (e.g. --reps=1O) throw std::invalid_argument naming the
   // key; exit cleanly instead of letting it reach std::terminate.
   try {
@@ -62,6 +72,16 @@ inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
     cfg.warmup = static_cast<int>(opts.get_int("warmup", 1));
     cfg.paper_mode = opts.get_flag("paper");
     cfg.bench_json = opts.get("bench-json", "");
+    cfg.mmap_load = opts.get_flag("mmap");
+    if (cfg.mmap_load) ::setenv("VGP_MMAP", "1", 1);
+    if (const std::string numa = opts.get("numa", ""); !numa.empty()) {
+      NumaPolicy p = NumaPolicy::kOff;
+      if (!parse_numa_policy(numa, p)) {
+        throw std::invalid_argument("--numa must be bind|interleave|off, got " +
+                                    numa);
+      }
+      set_numa_policy(p);
+    }
     if (const std::string metrics = opts.get("metrics", "");
         !metrics.empty()) {
       telemetry::enable_file_output(metrics);
@@ -113,8 +133,14 @@ inline void report_series(const BenchConfig& cfg, const std::string& title,
   }
   out << "{\n  \"schema\": \"vgp.bench.v1\",\n  \"scale\": ";
   telemetry::write_json_string(out, cfg.scale_name);
+  // Memory footprint at report time: peak RSS tracks the heaviest run so
+  // far, mapped_bytes exposes how much of the input is served off mmap.
   out << ",\n  \"reps\": " << cfg.reps << ",\n  \"warmup\": " << cfg.warmup
-      << ",\n  \"figures\": [";
+      << ",\n  \"peak_rss_bytes\": " << support::peak_rss_bytes()
+      << ",\n  \"mapped_bytes\": " << support::mapped_bytes()
+      << ",\n  \"numa_policy\": ";
+  telemetry::write_json_string(out, numa_policy_name(numa_policy()));
+  out << ",\n  \"figures\": [";
   for (std::size_t f = 0; f < figures.size(); ++f) {
     out << (f == 0 ? "\n" : ",\n") << "    {\"title\": ";
     telemetry::write_json_string(out, figures[f].title);

@@ -1,0 +1,200 @@
+// Microbench: .vgpb v3 load paths — parse (read_binary_file: stream the
+// sections through CRC verification into fresh heap buffers) vs map
+// (Graph::map_binary: validate the 104-byte header and return views into
+// the page cache). The map path is the storage refactor's payoff: load
+// cost stops scaling with graph size, because no byte of the CSR arrays
+// is touched until a kernel faults it in.
+//
+// Reported series:
+//   load-parse-ms       median full-parse time
+//   load-map-ms         median map time (header verify only)
+//   load-map-touch-ms   map + sequential touch of every array page, the
+//                       honest "cold first sweep" cost
+//   load-speedup        parse / map (higher better — the series CI gates
+//                       with vgp-report --threshold --higher-is-better)
+//   louvain-<policy>-ms Louvain wall time on the heap-parsed graph vs the
+//                       mapped graph, off/bind/interleave placement
+//
+// Correctness rides along on every run: the mapped graph must be
+// bit-identical to the parsed one, and Louvain on the mapped graph must
+// produce exactly the parsed graph's modularity (the deterministic
+// pipeline makes equality exact, not approximate). --min-ratio (default
+// 10) turns the speedup into a self-check: exit 1 below the floor, so
+// CI catches a regression even without a baseline diff.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/graph/binary_io.hpp"
+#include "vgp/support/timer.hpp"
+
+using namespace vgp;
+
+namespace {
+
+Graph make_graph(gen::SuiteScale scale) {
+  int s = 13;
+  switch (scale) {
+    case gen::SuiteScale::Tiny: s = 13; break;
+    case gen::SuiteScale::Small: s = 16; break;
+    case gen::SuiteScale::Medium: s = 18; break;
+    case gen::SuiteScale::Large: s = 20; break;
+  }
+  return gen::rmat(gen::rmat_mix_graph500(s, 8));
+}
+
+bool same_graph(const Graph& a, const Graph& b) {
+  const auto n = static_cast<std::size_t>(a.num_vertices());
+  const auto arcs = static_cast<std::size_t>(a.num_arcs());
+  return a.num_vertices() == b.num_vertices() &&
+         a.num_arcs() == b.num_arcs() &&
+         std::memcmp(a.offsets_data(), b.offsets_data(),
+                     (n + 1) * sizeof(std::uint64_t)) == 0 &&
+         std::memcmp(a.adjacency_data(), b.adjacency_data(),
+                     arcs * sizeof(VertexId)) == 0 &&
+         std::memcmp(a.weights_data(), b.weights_data(),
+                     arcs * sizeof(float)) == 0 &&
+         a.total_edge_weight() == b.total_edge_weight();
+}
+
+/// Forces every page of the CSR arrays to fault in; returns a sum the
+/// optimizer cannot discard.
+double touch_all(const Graph& g) {
+  double sink = 0.0;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto arcs = static_cast<std::size_t>(g.num_arcs());
+  const std::uint64_t* off = g.offsets_data();
+  const VertexId* adj = g.adjacency_data();
+  const float* w = g.weights_data();
+  for (std::size_t i = 0; i <= n; i += 512) sink += static_cast<double>(off[i]);
+  for (std::size_t i = 0; i < arcs; i += 1024) sink += adj[i];
+  for (std::size_t i = 0; i < arcs; i += 1024) sink += w[i];
+  return sink;
+}
+
+double run_louvain(const Graph& g, double* modularity_out) {
+  community::LouvainOptions lo;
+  WallTimer t;
+  const auto res = community::louvain(g, lo);
+  if (modularity_out != nullptr) *modularity_out = res.modularity;
+  return t.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  opts.describe("min-ratio",
+                "fail (exit 1) when the parse/map load speedup falls below "
+                "this floor; 0 disables (default 10)");
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  const double min_ratio = opts.get_double("min-ratio", 10.0);
+  bench::print_banner("ubench: .vgpb v3 load — parse vs map");
+
+  const Graph g = make_graph(cfg.scale);
+  const std::string path =
+      "/tmp/vgp_ubench_load_" + std::to_string(::getpid()) + ".vgpb";
+  io::write_binary_file(g, path);
+
+  const auto repeat = bench::repeat_options(cfg);
+  volatile double sink = 0.0;
+
+  const auto parse_stats = harness::stats_repeated(repeat, [&] {
+    WallTimer t;
+    const Graph r = io::read_binary_file(path);
+    const double s = t.seconds();
+    sink = sink + static_cast<double>(r.num_arcs());
+    return s;
+  });
+  const auto map_stats = harness::stats_repeated(repeat, [&] {
+    WallTimer t;
+    const Graph r = Graph::map_binary(path);
+    const double s = t.seconds();
+    sink = sink + static_cast<double>(r.num_arcs());
+    return s;
+  });
+  const auto touch_stats = harness::stats_repeated(repeat, [&] {
+    WallTimer t;
+    const Graph r = Graph::map_binary(path);
+    sink = sink + touch_all(r);
+    return t.seconds();
+  });
+
+  // Bit-identity between the two load paths is the format's contract.
+  {
+    const Graph parsed = io::read_binary_file(path);
+    const Graph mapped = Graph::map_binary(path);
+    if (!same_graph(parsed, mapped)) {
+      std::fprintf(stderr, "ubench_load: map_binary differs from parse\n");
+      ::unlink(path.c_str());
+      return 1;
+    }
+    double q_heap = 0.0, q_map = 0.0;
+    const double heap_ms = run_louvain(parsed, &q_heap) * 1e3;
+    const double map_ms = run_louvain(mapped, &q_map) * 1e3;
+    if (q_heap != q_map) {
+      std::fprintf(stderr,
+                   "ubench_load: Louvain modularity differs: heap %.17g vs "
+                   "mapped %.17g\n",
+                   q_heap, q_map);
+      ::unlink(path.c_str());
+      return 1;
+    }
+    harness::Series louvain{"louvain-ms", {}, {}};
+    louvain.labels = {"heap", "mapped"};
+    louvain.values = {heap_ms, map_ms};
+
+    // Placement sweep: reload under each policy. On a single-socket
+    // machine bind/interleave fall back (numa.fallbacks ticks) and the
+    // three columns coincide — the sweep is about *not regressing* there
+    // while giving multi-socket hosts the real comparison.
+    harness::Series placement{"louvain-placement-ms", {}, {}};
+    for (const NumaPolicy p :
+         {NumaPolicy::kOff, NumaPolicy::kBind, NumaPolicy::kInterleave}) {
+      set_numa_policy(p);
+      const Graph r = io::read_binary_file(path);
+      double q = 0.0;
+      const double ms = run_louvain(r, &q) * 1e3;
+      if (q != q_heap) {
+        std::fprintf(stderr,
+                     "ubench_load: Louvain modularity drifted under "
+                     "--numa=%s\n",
+                     numa_policy_name(p));
+        ::unlink(path.c_str());
+        return 1;
+      }
+      placement.labels.push_back(numa_policy_name(p));
+      placement.values.push_back(ms);
+    }
+    set_numa_policy(NumaPolicy::kOff);
+
+    const double ratio = map_stats.median > 0.0
+                             ? parse_stats.median / map_stats.median
+                             : 0.0;
+    harness::Series load{"load-ms", {}, {}};
+    load.labels = {"parse", "map", "map+touch"};
+    load.values = {parse_stats.median * 1e3, map_stats.median * 1e3,
+                   touch_stats.median * 1e3};
+    harness::Series speed{"load-speedup", {}, {}};
+    speed.labels = {"parse/map"};
+    speed.values = {ratio};
+
+    bench::report_series(cfg, ".vgpb v3 load: parse vs map",
+                         {load, speed, louvain, placement});
+
+    ::unlink(path.c_str());
+    if (min_ratio > 0.0 && ratio < min_ratio) {
+      std::fprintf(stderr,
+                   "ubench_load: parse/map speedup %.1fx below --min-ratio "
+                   "%.1fx\n",
+                   ratio, min_ratio);
+      return 1;
+    }
+  }
+  return 0;
+}

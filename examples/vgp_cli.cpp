@@ -10,6 +10,7 @@
 //   vgp_cli --cmd=analyze   --gen=loc-Gowalla   (components/cores/triangles)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "vgp/classic/bfs.hpp"
@@ -25,6 +26,7 @@
 #include "vgp/graph/stats.hpp"
 #include "vgp/graph/triangles.hpp"
 #include "vgp/harness/options.hpp"
+#include "vgp/support/buffer.hpp"
 #include "vgp/support/cpu.hpp"
 #include "vgp/support/timer.hpp"
 #include "vgp/telemetry/registry.hpp"
@@ -171,13 +173,28 @@ int main(int argc, char** argv) {
                 "CSV). Equivalent to setting VGP_METRICS")
       .describe("trace",
                 "write a Chrome-trace-event timeline to this file "
-                "(Perfetto-loadable). Equivalent to setting VGP_TRACE");
+                "(Perfetto-loadable). Equivalent to setting VGP_TRACE")
+      .describe("mmap",
+                "load .vgpb v3 inputs via mmap (zero-parse; equivalent to "
+                "VGP_MMAP=1)")
+      .describe("numa",
+                "memory placement: bind|interleave|off (default off)");
   try {
     if (!opts.parse(argc, argv)) return 0;
     const std::string metrics = opts.get("metrics", "");
     if (!metrics.empty()) telemetry::enable_file_output(metrics);
     const std::string trace = opts.get("trace", "");
     if (!trace.empty()) telemetry::enable_trace_output(trace);
+    if (opts.get_flag("mmap")) ::setenv("VGP_MMAP", "1", 1);
+    if (const std::string numa = opts.get("numa", ""); !numa.empty()) {
+      vgp::NumaPolicy p = vgp::NumaPolicy::kOff;
+      if (!vgp::parse_numa_policy(numa, p)) {
+        std::fprintf(stderr, "--numa wants bind|interleave|off, got %s\n",
+                     numa.c_str());
+        return 2;
+      }
+      vgp::set_numa_policy(p);
+    }
     const std::string cmd = opts.get("cmd", "stats");
     const Graph g = load(opts);
     std::printf("# vgp_cli %s — %lld vertices, %lld edges (cpu: %s)\n",

@@ -245,7 +245,8 @@ void coarsen_direct(const Graph& g, const CommunityId* map, std::int64_t nc,
     // array.
     {
       telemetry::TraceSpan emit_span("coarsen.emit");
-      parallel_for(0, num_chunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+      parallel_for(0, num_chunks, 1, Placement::kBySocket,
+                   [&](std::int64_t cf, std::int64_t cl) {
         for (std::int64_t c = cf; c < cl; ++c) {
           const std::int64_t r0 = c * kRowGrain;
           const std::int64_t r1 = std::min(n, r0 + kRowGrain);
@@ -272,7 +273,8 @@ void coarsen_direct(const Graph& g, const CommunityId* map, std::int64_t nc,
     tuples = ds.tuples.get();
     {
       telemetry::TraceSpan move_span("coarsen.distribute");
-      parallel_for(0, num_chunks, 1, [&](std::int64_t cf, std::int64_t cl) {
+      parallel_for(0, num_chunks, 1, Placement::kBySocket,
+                   [&](std::int64_t cf, std::int64_t cl) {
         for (std::int64_t c = cf; c < cl; ++c) {
           const auto base = static_cast<std::size_t>(offs[c * kRowGrain]);
           const auto cnt =
@@ -412,7 +414,8 @@ void coarsen_direct(const Graph& g, const CommunityId* map, std::int64_t nc,
   // Per-row degrees first, without fold-time atomics: own uniques plus
   // the row's mirror count, accumulated column by column over the
   // block-major histogram so every pass is unit-stride.
-  parallel_for(0, nc, kRowGrain, [&](std::int64_t rf, std::int64_t rl) {
+  parallel_for(0, nc, kRowGrain, Placement::kBySocket,
+               [&](std::int64_t rf, std::int64_t rl) {
     for (std::int64_t r = rf; r < rl; ++r) {
       deg[static_cast<std::size_t>(r)] = uniq[static_cast<std::size_t>(r)];
     }
@@ -441,7 +444,8 @@ void coarsen_direct(const Graph& g, const CommunityId* map, std::int64_t nc,
     // first cell (block 0 — the first column) turns that into a rank
     // inside the row's mirror region, which starts at offsets[b].
     std::vector<std::int64_t> badj(static_cast<std::size_t>(nc));
-    parallel_for(0, nc, kRowGrain, [&](std::int64_t rf, std::int64_t rl) {
+    parallel_for(0, nc, kRowGrain, Placement::kBySocket,
+               [&](std::int64_t rf, std::int64_t rl) {
       for (std::int64_t r = rf; r < rl; ++r) {
         badj[static_cast<std::size_t>(r)] =
             static_cast<std::int64_t>(offsets[static_cast<std::size_t>(r)]) -

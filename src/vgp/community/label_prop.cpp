@@ -154,7 +154,7 @@ LabelPropResult label_propagation(const Graph& g,
 
     std::atomic<std::int64_t> updated{0};
     parallel_for(0, static_cast<std::int64_t>(worklist.size()), opts.grain,
-                 [&](std::int64_t first, std::int64_t last) {
+                 Placement::kBySocket, [&](std::int64_t first, std::int64_t last) {
                    thread_local DenseAffinity aff;
                    aff.ensure(n);
                    const auto c = process(ctx, worklist.data() + first,

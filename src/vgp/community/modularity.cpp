@@ -5,7 +5,7 @@
 
 namespace vgp::community {
 
-double modularity(const Graph& g, const std::vector<CommunityId>& zeta) {
+double modularity(const Graph& g, std::span<const CommunityId> zeta) {
   if (zeta.size() != static_cast<std::size_t>(g.num_vertices()))
     throw std::invalid_argument("modularity: partition size mismatch");
   const double omega = g.total_edge_weight();

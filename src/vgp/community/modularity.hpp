@@ -7,6 +7,7 @@
 // the total edge weight. Q lies in [-1/2, 1).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "vgp/community/partition.hpp"
@@ -14,7 +15,13 @@
 
 namespace vgp::community {
 
-double modularity(const Graph& g, const std::vector<CommunityId>& zeta);
+double modularity(const Graph& g, std::span<const CommunityId> zeta);
+
+/// Overload for vector callers (and brace-init lists in tests), which do
+/// not implicitly convert to std::span in C++20.
+inline double modularity(const Graph& g, const std::vector<CommunityId>& zeta) {
+  return modularity(g, std::span<const CommunityId>(zeta));
+}
 
 /// The paper's per-move gain (section 3.2):
 ///   dmod(u, C->D) = (w(u,D\{u}) - w(u,C\{u})) / omega

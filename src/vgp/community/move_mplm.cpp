@@ -33,7 +33,8 @@ MoveStats move_phase_mplm(const MoveCtx& ctx) {
     telemetry::TraceSpan iter_span("mplm.iter");
     iter_span.arg("iter", iter);
 
-    parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
+    parallel_for(0, n, ctx.grain, Placement::kBySocket,
+                 [&](std::int64_t first, std::int64_t last) {
       thread_local DenseAffinity aff_storage;
       DenseAffinity& aff = aff_storage;
       aff.ensure(n);

@@ -311,7 +311,8 @@ MoveStats move_phase_onpl_avx512(const MoveCtx& ctx) {
     rs_span.arg("iter", iter);
     rs_span.arg_str("backend", "avx512");
 
-    parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
+    parallel_for(0, n, ctx.grain, Placement::kBySocket,
+                 [&](std::int64_t first, std::int64_t last) {
       thread_local DenseAffinity aff_storage;
       DenseAffinity& aff = aff_storage;
       aff.ensure(n);

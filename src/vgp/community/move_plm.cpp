@@ -29,7 +29,8 @@ MoveStats move_phase_plm(const MoveCtx& ctx) {
     telemetry::TraceSpan iter_span("plm.iter");
     iter_span.arg("iter", iter);
 
-    parallel_for(0, n, ctx.grain, [&](std::int64_t first, std::int64_t last) {
+    parallel_for(0, n, ctx.grain, Placement::kBySocket,
+                 [&](std::int64_t first, std::int64_t last) {
       auto& oc = opcount::local();
       std::int64_t local_moves = 0;
       for (std::int64_t vi = first; vi < last; ++vi) {

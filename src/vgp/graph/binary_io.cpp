@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -13,6 +14,7 @@
 #include "vgp/fault/error.hpp"
 #include "vgp/fault/failpoint.hpp"
 #include "vgp/simd/checksum.hpp"
+#include "vgp/support/buffer.hpp"
 #include "vgp/support/posix_io.hpp"
 
 namespace vgp::io {
@@ -20,6 +22,7 @@ namespace {
 
 constexpr char kMagicV1[8] = {'V', 'G', 'P', 'B', 'I', 'N', '\1', '\n'};
 constexpr char kMagicV2[8] = {'V', 'G', 'P', 'B', 'I', 'N', '\2', '\n'};
+constexpr char kMagicV3[8] = {'V', 'G', 'P', 'B', 'I', 'N', '\3', '\n'};
 
 // Header field offsets within the 44-byte v2 header.
 constexpr std::size_t kOffN = 8;
@@ -30,6 +33,29 @@ constexpr std::size_t kOffCrcAdjacency = 32;
 constexpr std::size_t kOffCrcWeights = 36;
 constexpr std::size_t kOffHeaderCrc = 40;
 static_assert(kBinaryHeaderBytes == kOffHeaderCrc + 4);
+
+// Header field offsets within the 104-byte v3 header.
+constexpr std::size_t kV3OffN = 8;
+constexpr std::size_t kV3OffM = 16;
+constexpr std::size_t kV3OffFlags = 24;
+constexpr std::size_t kV3OffCrcOffsets = 28;
+constexpr std::size_t kV3OffCrcAdjacency = 32;
+constexpr std::size_t kV3OffCrcWeights = 36;
+constexpr std::size_t kV3OffCrcSelf = 40;
+constexpr std::size_t kV3OffUndirectedEdges = 44;
+constexpr std::size_t kV3OffMaxDegree = 52;
+constexpr std::size_t kV3OffTotalWeight = 60;
+constexpr std::size_t kV3OffSecOffsets = 68;
+constexpr std::size_t kV3OffSecAdjacency = 76;
+constexpr std::size_t kV3OffSecWeights = 84;
+constexpr std::size_t kV3OffSecSelf = 92;
+constexpr std::size_t kV3OffHeaderCrc = 100;
+static_assert(kBinaryHeaderBytesV3 == kV3OffHeaderCrc + 4);
+
+constexpr std::uint64_t align_section(std::uint64_t off) {
+  return (off + kBinarySectionAlign - 1) / kBinarySectionAlign *
+         kBinarySectionAlign;
+}
 
 void write_bytes(std::ostream& out, const void* data, std::uint64_t bytes,
                  std::uint64_t& off) {
@@ -45,6 +71,16 @@ void write_bytes(std::ostream& out, const void* data, std::uint64_t bytes,
                    .hint = "check free space on the target filesystem"});
   }
   off += bytes;
+}
+
+/// Zero padding up to the next section boundary (v3 only).
+void write_pad(std::ostream& out, std::uint64_t target, std::uint64_t& off) {
+  static const char zeros[4096] = {};
+  while (off < target) {
+    const std::uint64_t chunk =
+        target - off < sizeof(zeros) ? target - off : sizeof(zeros);
+    write_bytes(out, zeros, chunk, off);
+  }
 }
 
 template <typename T>
@@ -64,6 +100,24 @@ void read_raw(std::istream& in, T* data, std::size_t count,
                  "from the original source"});
   }
   off += want;
+}
+
+/// Consumes padding sequentially (no seek, so piped streams work too).
+void skip_bytes(std::istream& in, std::uint64_t target, std::uint64_t& off) {
+  char sink[4096];
+  while (off < target) {
+    const std::uint64_t chunk =
+        target - off < sizeof(sink) ? target - off : sizeof(sink);
+    in.read(sink, static_cast<std::streamsize>(chunk));
+    const std::uint64_t got = static_cast<std::uint64_t>(in.gcount());
+    off += got;
+    if (got != chunk) {
+      throw IoError(
+          ErrorCode::Truncated, "binary graph: truncated file",
+          {.offset = static_cast<std::int64_t>(off),
+           .hint = "the file ends inside section padding; regenerate it"});
+    }
+  }
 }
 
 void verify_section(const char* what, const void* data, std::uint64_t bytes,
@@ -90,40 +144,220 @@ void verify_section(const char* what, const void* data, std::uint64_t bytes,
                                  "restore from the original source"});
 }
 
+/// Structural invariants every consumer indexes by, unchecked: row
+/// boundaries must be monotonic and end at m, endpoints in [0, n).
+void check_structure(const std::uint64_t* offsets, std::int64_t n,
+                     const VertexId* adj, std::uint64_t m) {
+  if (offsets[0] != 0 || offsets[n] != m)
+    structural_error(ErrorCode::CorruptStructure, "inconsistent offsets");
+  for (std::int64_t v = 1; v <= n; ++v) {
+    if (offsets[v] < offsets[v - 1])
+      structural_error(ErrorCode::CorruptStructure,
+                       "non-monotonic offsets at vertex " +
+                           std::to_string(v - 1));
+  }
+  for (std::uint64_t e = 0; e < m; ++e) {
+    if (adj[e] < 0 || adj[e] >= n)
+      structural_error(ErrorCode::OutOfRange,
+                       "adjacency entry " + std::to_string(e) + " (" +
+                           std::to_string(adj[e]) + ") out of range [0, " +
+                           std::to_string(n) + ")");
+  }
+}
+
+/// Decoded v3 header, validated for internal consistency (but the
+/// sections themselves are not yet trusted).
+struct HeaderV3 {
+  std::int64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint32_t crc_offsets = 0;
+  std::uint32_t crc_adjacency = 0;
+  std::uint32_t crc_weights = 0;
+  std::uint32_t crc_self = 0;
+  Graph::CachedStats stats;
+  std::uint64_t sec_offsets = 0;
+  std::uint64_t sec_adjacency = 0;
+  std::uint64_t sec_weights = 0;
+  std::uint64_t sec_self = 0;
+
+  std::uint64_t offsets_bytes() const {
+    return (static_cast<std::uint64_t>(n) + 1) * 8;
+  }
+  std::uint64_t end_offset() const {
+    return sec_self + static_cast<std::uint64_t>(n) * 4;
+  }
+};
+
+/// Verifies the header CRC, decodes the fields, and validates every
+/// invariant that later byte arithmetic relies on (plausible counts,
+/// ordered page-aligned sections). `header` is the full 104 bytes.
+HeaderV3 parse_v3_header(const unsigned char* header) {
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, header + kV3OffHeaderCrc, 4);
+  verify_section("header", header, kV3OffHeaderCrc, stored_crc, 0);
+
+  HeaderV3 h;
+  std::memcpy(&h.n, header + kV3OffN, 8);
+  std::memcpy(&h.m, header + kV3OffM, 8);
+  std::memcpy(&h.crc_offsets, header + kV3OffCrcOffsets, 4);
+  std::memcpy(&h.crc_adjacency, header + kV3OffCrcAdjacency, 4);
+  std::memcpy(&h.crc_weights, header + kV3OffCrcWeights, 4);
+  std::memcpy(&h.crc_self, header + kV3OffCrcSelf, 4);
+  std::memcpy(&h.stats.undirected_edges, header + kV3OffUndirectedEdges, 8);
+  std::memcpy(&h.stats.max_degree, header + kV3OffMaxDegree, 8);
+  std::memcpy(&h.stats.total_weight, header + kV3OffTotalWeight, 8);
+  std::memcpy(&h.sec_offsets, header + kV3OffSecOffsets, 8);
+  std::memcpy(&h.sec_adjacency, header + kV3OffSecAdjacency, 8);
+  std::memcpy(&h.sec_weights, header + kV3OffSecWeights, 8);
+  std::memcpy(&h.sec_self, header + kV3OffSecSelf, 8);
+
+  // The caps keep all later byte arithmetic overflow-free in u64.
+  if (h.n < 0 || h.n > (1ll << 40) || h.m > (1ull << 40) ||
+      h.sec_self > (1ull << 48))
+    structural_error(ErrorCode::BadHeader, "implausible header sizes");
+  if (h.stats.undirected_edges < 0 ||
+      h.stats.undirected_edges > static_cast<std::int64_t>(h.m) ||
+      h.stats.max_degree < 0 || h.stats.max_degree > h.n ||
+      !std::isfinite(h.stats.total_weight))
+    structural_error(ErrorCode::BadHeader, "implausible cached statistics");
+  const bool aligned = h.sec_offsets % kBinarySectionAlign == 0 &&
+                       h.sec_adjacency % kBinarySectionAlign == 0 &&
+                       h.sec_weights % kBinarySectionAlign == 0 &&
+                       h.sec_self % kBinarySectionAlign == 0;
+  if (!aligned)
+    structural_error(ErrorCode::CorruptStructure,
+                     "section offset not page-aligned");
+  if (h.sec_offsets < kBinaryHeaderBytesV3 ||
+      h.sec_adjacency < h.sec_offsets + h.offsets_bytes() ||
+      h.sec_weights < h.sec_adjacency + h.m * 4 ||
+      h.sec_self < h.sec_weights + h.m * 4)
+    structural_error(ErrorCode::CorruptStructure,
+                     "overlapping or out-of-order sections");
+  return h;
+}
+
+/// Bounds the header's byte requirements against what the stream can
+/// still deliver, when the stream is seekable: a corrupt count would
+/// otherwise zero-fill gigabytes of buffer before the truncation check
+/// could fire.
+void bound_stream_length(std::istream& in, std::uint64_t need) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1)) return;
+  const std::streamoff avail = end - pos;
+  const std::uint64_t remaining =
+      avail > 0 ? static_cast<std::uint64_t>(avail) : 0u;
+  if (need > remaining)
+    structural_error(ErrorCode::Truncated,
+                     "file too short for its header counts");
+}
+
+/// v3 stream path: sections land in owned Buffers (allocated under the
+/// process NUMA policy) and the cached statistics come from the header,
+/// so the result is bit-identical to what map_binary() yields.
+Graph read_binary_v3(std::istream& in, unsigned char* header,
+                     std::uint64_t& off) {
+  read_raw(in, header + 8, kBinaryHeaderBytesV3 - 8, off);
+  const HeaderV3 h = parse_v3_header(header);
+  bound_stream_length(in, h.end_offset() - off);
+
+  const std::size_t n = static_cast<std::size_t>(h.n);
+  const std::size_t m = static_cast<std::size_t>(h.m);
+
+  skip_bytes(in, h.sec_offsets, off);
+  auto offsets = Buffer<std::uint64_t>::allocate(n + 1);
+  read_raw(in, offsets.data(), n + 1, off);
+  verify_section("offsets", offsets.data(), h.offsets_bytes(), h.crc_offsets,
+                 h.sec_offsets);
+
+  skip_bytes(in, h.sec_adjacency, off);
+  auto adj = Buffer<VertexId>::allocate(m);
+  read_raw(in, adj.data(), m, off);
+  verify_section("adjacency", adj.data(), h.m * 4, h.crc_adjacency,
+                 h.sec_adjacency);
+
+  skip_bytes(in, h.sec_weights, off);
+  auto weights = Buffer<float>::allocate(m);
+  read_raw(in, weights.data(), m, off);
+  verify_section("weights", weights.data(), h.m * 4, h.crc_weights,
+                 h.sec_weights);
+
+  skip_bytes(in, h.sec_self, off);
+  auto self_weight = Buffer<float>::allocate(n);
+  read_raw(in, self_weight.data(), n, off);
+  verify_section("self-weights", self_weight.data(),
+                 static_cast<std::uint64_t>(n) * 4, h.crc_self, h.sec_self);
+
+  check_structure(offsets.data(), h.n, adj.data(), h.m);
+  return Graph::from_buffers(h.n, std::move(offsets), std::move(adj),
+                             std::move(weights), std::move(self_weight),
+                             h.stats);
+}
+
 }  // namespace
 
 void write_binary(const Graph& g, std::ostream& out) {
   const std::int64_t n = g.num_vertices();
   const std::uint64_t m = static_cast<std::uint64_t>(g.num_arcs());
   const std::uint64_t offsets_bytes = (static_cast<std::uint64_t>(n) + 1) * 8;
+  const std::uint64_t self_bytes = static_cast<std::uint64_t>(n) * 4;
   const std::uint32_t flags = 0;
+
+  const std::uint64_t sec_offsets = align_section(kBinaryHeaderBytesV3);
+  const std::uint64_t sec_adjacency = align_section(sec_offsets + offsets_bytes);
+  const std::uint64_t sec_weights = align_section(sec_adjacency + m * 4);
+  const std::uint64_t sec_self = align_section(sec_weights + m * 4);
+
   const std::uint32_t crc_offsets = simd::crc32c(g.offsets_data(),
                                                  offsets_bytes);
   const std::uint32_t crc_adjacency = simd::crc32c(g.adjacency_data(), m * 4);
   const std::uint32_t crc_weights = simd::crc32c(g.weights_data(), m * 4);
+  const std::uint32_t crc_self = simd::crc32c(g.self_weights_data(),
+                                              self_bytes);
+  const std::int64_t undirected = g.num_edges();
+  const std::int64_t max_degree = g.max_degree();
+  const double total_weight = g.total_edge_weight();
 
-  unsigned char header[kBinaryHeaderBytes];
-  std::memcpy(header, kMagicV2, 8);
-  std::memcpy(header + kOffN, &n, 8);
-  std::memcpy(header + kOffM, &m, 8);
-  std::memcpy(header + kOffFlags, &flags, 4);
-  std::memcpy(header + kOffCrcOffsets, &crc_offsets, 4);
-  std::memcpy(header + kOffCrcAdjacency, &crc_adjacency, 4);
-  std::memcpy(header + kOffCrcWeights, &crc_weights, 4);
-  const std::uint32_t header_crc = simd::crc32c(header, kOffHeaderCrc);
-  std::memcpy(header + kOffHeaderCrc, &header_crc, 4);
+  unsigned char header[kBinaryHeaderBytesV3];
+  std::memcpy(header, kMagicV3, 8);
+  std::memcpy(header + kV3OffN, &n, 8);
+  std::memcpy(header + kV3OffM, &m, 8);
+  std::memcpy(header + kV3OffFlags, &flags, 4);
+  std::memcpy(header + kV3OffCrcOffsets, &crc_offsets, 4);
+  std::memcpy(header + kV3OffCrcAdjacency, &crc_adjacency, 4);
+  std::memcpy(header + kV3OffCrcWeights, &crc_weights, 4);
+  std::memcpy(header + kV3OffCrcSelf, &crc_self, 4);
+  std::memcpy(header + kV3OffUndirectedEdges, &undirected, 8);
+  std::memcpy(header + kV3OffMaxDegree, &max_degree, 8);
+  std::memcpy(header + kV3OffTotalWeight, &total_weight, 8);
+  std::memcpy(header + kV3OffSecOffsets, &sec_offsets, 8);
+  std::memcpy(header + kV3OffSecAdjacency, &sec_adjacency, 8);
+  std::memcpy(header + kV3OffSecWeights, &sec_weights, 8);
+  std::memcpy(header + kV3OffSecSelf, &sec_self, 8);
+  const std::uint32_t header_crc = simd::crc32c(header, kV3OffHeaderCrc);
+  std::memcpy(header + kV3OffHeaderCrc, &header_crc, 4);
 
   std::uint64_t off = 0;
   write_bytes(out, header, sizeof(header), off);
+  write_pad(out, sec_offsets, off);
   write_bytes(out, g.offsets_data(), offsets_bytes, off);
+  write_pad(out, sec_adjacency, off);
   write_bytes(out, g.adjacency_data(), m * 4, off);
+  write_pad(out, sec_weights, off);
   write_bytes(out, g.weights_data(), m * 4, off);
+  write_pad(out, sec_self, off);
+  write_bytes(out, g.self_weights_data(), self_bytes, off);
 }
 
 Graph read_binary(std::istream& in) {
   std::uint64_t off = 0;
-  unsigned char header[kBinaryHeaderBytes];
+  unsigned char header[kBinaryHeaderBytesV3];
   read_raw(in, header, 8, off);
+  if (std::memcmp(header, kMagicV3, 8) == 0)
+    return read_binary_v3(in, header, off);
   const bool v1 = std::memcmp(header, kMagicV1, 8) == 0;
   if (!v1 && std::memcmp(header, kMagicV2, 8) != 0) {
     throw ParseError(ErrorCode::BadMagic,
@@ -153,25 +387,8 @@ Graph read_binary(std::istream& in) {
   if (n < 0 || n > (1ll << 40) || m > (1ull << 40))
     structural_error(ErrorCode::BadHeader, "implausible header sizes");
 
-  // Bound the header counts against the stream length when the stream is
-  // seekable (files, stringstreams): a corrupt count would otherwise
-  // zero-fill gigabytes of vector before the truncation check could
-  // fire. The caps above keep the byte arithmetic overflow-free.
-  if (const auto pos = in.tellg(); pos != std::istream::pos_type(-1)) {
-    in.seekg(0, std::ios::end);
-    const auto end = in.tellg();
-    in.seekg(pos);
-    if (end != std::istream::pos_type(-1)) {
-      const std::streamoff avail = end - pos;
-      const std::uint64_t remaining =
-          avail > 0 ? static_cast<std::uint64_t>(avail) : 0u;
-      const std::uint64_t need =
-          (static_cast<std::uint64_t>(n) + 1) * 8 + m * (4 + 4);
-      if (need > remaining)
-        structural_error(ErrorCode::Truncated,
-                         "file too short for its header counts");
-    }
-  }
+  bound_stream_length(in, (static_cast<std::uint64_t>(n) + 1) * 8 +
+                              m * (4 + 4));
 
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1);
   const std::uint64_t offsets_off = off;
@@ -298,3 +515,82 @@ Graph read_binary_file(const std::string& path) {
 }
 
 }  // namespace vgp::io
+
+namespace vgp {
+
+// Defined here, next to the format, rather than in csr.cpp: everything
+// it needs (magic, header decode, section checks) is the io TU's.
+Graph Graph::map_binary(const std::string& path, bool verify_sections) {
+  auto mapping = support::Mapping::map_file(path);
+  try {
+    const unsigned char* base = mapping->data();
+    const std::size_t size = mapping->size();
+    if (size < 8 || (std::memcmp(base, io::kMagicV3, 8) != 0)) {
+      if (size >= 8 && (std::memcmp(base, io::kMagicV1, 8) == 0 ||
+                        std::memcmp(base, io::kMagicV2, 8) == 0)) {
+        throw ParseError(
+            ErrorCode::UnknownFormat,
+            "binary graph: v1/v2 .vgpb files have no mappable layout",
+            {.hint = "load with io::read_binary_file and rewrite with "
+                     "io::write_binary_file to upgrade to v3"});
+      }
+      throw ParseError(ErrorCode::BadMagic,
+                       "binary graph: bad magic (not a .vgpb file?)",
+                       {.offset = 0,
+                        .hint = "the extension says .vgpb but the content "
+                                "is something else"});
+    }
+    if (size < io::kBinaryHeaderBytesV3)
+      io::structural_error(ErrorCode::Truncated,
+                           "file too short for a v3 header");
+    const io::HeaderV3 h = io::parse_v3_header(base);
+    if (h.end_offset() > size)
+      io::structural_error(ErrorCode::Truncated,
+                           "file too short for its header counts");
+
+    const std::size_t n = static_cast<std::size_t>(h.n);
+    const std::size_t m = static_cast<std::size_t>(h.m);
+    const auto* offsets_p =
+        reinterpret_cast<const std::uint64_t*>(base + h.sec_offsets);
+    const auto* adj_p =
+        reinterpret_cast<const VertexId*>(base + h.sec_adjacency);
+    const auto* weights_p =
+        reinterpret_cast<const float*>(base + h.sec_weights);
+    const auto* self_p = reinterpret_cast<const float*>(base + h.sec_self);
+
+    if (verify_sections) {
+      // Touches every page: full section CRCs plus the structural scan
+      // the parse path runs. Without it only the header is trusted —
+      // the deal a caller makes for a zero-touch open.
+      io::verify_section("offsets", offsets_p, h.offsets_bytes(),
+                         h.crc_offsets, h.sec_offsets);
+      io::verify_section("adjacency", adj_p, h.m * 4, h.crc_adjacency,
+                         h.sec_adjacency);
+      io::verify_section("weights", weights_p, h.m * 4, h.crc_weights,
+                         h.sec_weights);
+      io::verify_section("self-weights", self_p,
+                         static_cast<std::uint64_t>(n) * 4, h.crc_self,
+                         h.sec_self);
+      io::check_structure(offsets_p, h.n, adj_p, h.m);
+    } else {
+      // Cheap sanity that faults a single page per section boundary:
+      // the row array must still span exactly the adjacency.
+      if (offsets_p[0] != 0 || offsets_p[n] != h.m)
+        io::structural_error(ErrorCode::CorruptStructure,
+                             "inconsistent offsets");
+    }
+
+    auto offsets = Buffer<std::uint64_t>::view(mapping, offsets_p, n + 1);
+    auto adj = Buffer<VertexId>::view(mapping, adj_p, m);
+    auto weights = Buffer<float>::view(mapping, weights_p, m);
+    auto self_weight = Buffer<float>::view(mapping, self_p, n);
+    return Graph::from_buffers(h.n, std::move(offsets), std::move(adj),
+                               std::move(weights), std::move(self_weight),
+                               h.stats);
+  } catch (Error& e) {
+    e.set_path(path);
+    throw;
+  }
+}
+
+}  // namespace vgp

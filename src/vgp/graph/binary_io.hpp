@@ -4,25 +4,42 @@
 // a single read per array, so the bench harness can cache generated
 // suites.
 //
-// Version 2 layout (all little-endian):
-//   8 bytes  magic "VGPBIN\2\n"
-//   i64      num_vertices
-//   u64      num_arcs (directed adjacency entries)
-//   u32      flags (reserved, 0)
-//   u32      crc32c(offsets section)
-//   u32      crc32c(adjacency section)
-//   u32      crc32c(weights section)
-//   u32      crc32c(header bytes 0..39)
-//   u64[n+1] offsets
-//   i32[m]   adjacency
-//   f32[m]   weights
+// Version 3 layout (all little-endian; written by write_binary):
+//   104-byte header
+//     8 bytes  magic "VGPBIN\3\n"
+//     i64      num_vertices
+//     u64      num_arcs (directed adjacency entries)
+//     u32      flags (reserved, 0)
+//     u32      crc32c(offsets section)
+//     u32      crc32c(adjacency section)
+//     u32      crc32c(weights section)
+//     u32      crc32c(self-weight section)
+//     i64      undirected_edges   } cached whole-graph statistics, so a
+//     i64      max_degree         } mapped graph never touches its
+//     f64      total_weight       } sections just to report them
+//     u64      file offset of the offsets section
+//     u64      file offset of the adjacency section
+//     u64      file offset of the weights section
+//     u64      file offset of the self-weight section
+//     u32      crc32c(header bytes 0..99)
+//   zero padding to the first section
+//   u64[n+1]  offsets      (each section starts on a 4096-byte boundary,
+//   i32[m]    adjacency     so Graph::map_binary() can hand the mapped
+//   f32[m]    weights       bytes to the AVX-512 kernels, which require
+//   f32[n]    self-weights  64-byte-aligned arrays)
+//
+// The page-aligned sections plus the cached statistics are what make
+// the format mappable: map_binary() verifies the header, wraps each
+// section in a Buffer view, and returns — no parse, no copy, no stats
+// pass faulting every page in.
 //
 // The reader validates the header checksum before trusting the counts,
 // each section checksum before structural validation, and the
 // structural invariants (monotonic offsets, in-range endpoints) before
-// handing the arrays to kernels. Version 1 files (magic "VGPBIN\1\n",
-// no checksum fields) are still read. Failures are typed vgp::Error
-// subclasses carrying byte offsets.
+// handing the arrays to kernels. Version 2 files (magic "VGPBIN\2\n",
+// 44-byte header, unaligned sections) and version 1 files (magic
+// "VGPBIN\1\n", no checksums) are still read. Failures are typed
+// vgp::Error subclasses carrying byte offsets.
 //
 // write_binary_file is crash-safe: it writes to a temporary in the
 // same directory, fsyncs, and atomically renames into place, so a
@@ -38,9 +55,13 @@
 
 namespace vgp::io {
 
-/// Size of the v2 header (magic through header CRC). Exposed for the
-/// corruption tests, which patch sections at computed offsets.
+/// Size of the legacy v2 header (magic through header CRC). Exposed for
+/// the corruption tests, which patch sections at computed offsets.
 inline constexpr std::size_t kBinaryHeaderBytes = 44;
+
+/// Size of the v3 header and the alignment of every v3 section start.
+inline constexpr std::size_t kBinaryHeaderBytesV3 = 104;
+inline constexpr std::size_t kBinarySectionAlign = 4096;
 
 void write_binary(const Graph& g, std::ostream& out);
 Graph read_binary(std::istream& in);

@@ -179,7 +179,7 @@ Graph Graph::from_edges(std::int64_t n, std::span<const Edge> edges) {
   Graph g;
   g.n_ = n;
   if (n == 0 || m == 0) {
-    g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    g.offsets_.assign(static_cast<std::size_t>(n) + 1, std::uint64_t{0});
     g.finalize();
     return g;
   }
@@ -228,9 +228,11 @@ Graph Graph::from_edges(std::int64_t n, std::span<const Edge> edges) {
 
   // Stage 3: rank-partitioned scatter into the CSR arrays, again with
   // per-bucket row cursor exclusivity instead of atomics.
-  g.offsets_ = offsets;
-  g.adj_.resize(arcs);
-  g.weights_.resize(arcs);
+  g.offsets_.assign(offsets.begin(), offsets.end());
+  g.adj_ = Buffer<VertexId>::allocate(arcs);
+  g.weights_ = Buffer<float>::allocate(arcs);
+  VertexId* adj_out = g.adj_.data();
+  float* w_out = g.weights_.data();
   parallel_for(0, num_buckets, 1, [&](std::int64_t bf, std::int64_t bl) {
     for (std::int64_t bkt = bf; bkt < bl; ++bkt) {
       const std::uint64_t lo = bucket_begin[static_cast<std::size_t>(bkt)];
@@ -238,8 +240,8 @@ Graph Graph::from_edges(std::int64_t n, std::span<const Edge> edges) {
       for (std::uint64_t i = lo; i < hi; ++i) {
         const RowHalf& h = halves[i];
         const std::uint64_t pos = offsets[static_cast<std::size_t>(h.row)]++;
-        g.adj_[pos] = h.col;
-        g.weights_[pos] = h.w;
+        adj_out[pos] = h.col;
+        w_out[pos] = h.w;
       }
     }
   });
@@ -260,10 +262,34 @@ Graph Graph::from_csr(std::int64_t n, std::vector<std::uint64_t> offsets,
   }
   Graph g;
   g.n_ = n;
-  g.offsets_ = std::move(offsets);
+  g.offsets_.assign(offsets.begin(), offsets.end());
   g.adj_.assign(adj.begin(), adj.end());
   g.weights_.assign(weights.begin(), weights.end());
   g.finalize();
+  return g;
+}
+
+Graph Graph::from_buffers(std::int64_t n, Buffer<std::uint64_t> offsets,
+                          Buffer<VertexId> adj, Buffer<float> weights,
+                          Buffer<float> self_weight, CachedStats stats) {
+  if (offsets.size() != static_cast<std::size_t>(n) + 1 ||
+      adj.size() != weights.size() || offsets.back() != adj.size() ||
+      self_weight.size() != static_cast<std::size_t>(n)) {
+    throw ValidationError(ErrorCode::CorruptStructure,
+                          "inconsistent CSR buffers",
+                          {.hint = "offsets must have n+1 entries ending at "
+                                   "adj.size(), |adj| must equal |weights|, "
+                                   "and |self_weight| must equal n"});
+  }
+  Graph g;
+  g.n_ = n;
+  g.undirected_edges_ = stats.undirected_edges;
+  g.max_degree_ = stats.max_degree;
+  g.total_weight_ = stats.total_weight;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  g.weights_ = std::move(weights);
+  g.self_weight_ = std::move(self_weight);
   return g;
 }
 
@@ -271,36 +297,42 @@ void Graph::finalize() {
   telemetry::TraceSpan span("graph.build.finalize");
   // Sort each row by neighbor id and merge parallel edges (summed weight).
   // Rows shrink in place; a compaction pass rebuilds the offsets.
+  // finalize() runs on owned buffers only (mapped graphs come through
+  // from_buffers and never get here); the raw pointers hoist the
+  // view-mutation check out of the hot loops.
   std::vector<std::uint64_t> new_len(static_cast<std::size_t>(n_), 0);
+  const std::uint64_t* offs = offsets_.data();
+  VertexId* adj = adj_.data();
+  float* wts = weights_.data();
 
   parallel_for(0, n_, 1024, [&](std::int64_t first, std::int64_t last) {
     std::vector<std::pair<VertexId, float>> row;
     for (std::int64_t u = first; u < last; ++u) {
-      const auto b = offsets_[static_cast<std::size_t>(u)];
-      const auto e = offsets_[static_cast<std::size_t>(u) + 1];
+      const auto b = offs[static_cast<std::size_t>(u)];
+      const auto e = offs[static_cast<std::size_t>(u) + 1];
       // A strictly ascending row is already sorted and parallel-edge-free;
       // skip the copy/sort/merge. Builders that emit canonical rows (the
       // coarsening pipeline) make this the common case, and on unsorted
       // input the scan bails at the first inversion.
       bool sorted = true;
       for (auto i = b + 1; i < e && sorted; ++i) {
-        sorted = adj_[i - 1] < adj_[i];
+        sorted = adj[i - 1] < adj[i];
       }
       if (sorted) {
         new_len[static_cast<std::size_t>(u)] = e - b;
         continue;
       }
       row.clear();
-      for (auto i = b; i < e; ++i) row.emplace_back(adj_[i], weights_[i]);
+      for (auto i = b; i < e; ++i) row.emplace_back(adj[i], wts[i]);
       std::sort(row.begin(), row.end(),
                 [](const auto& a, const auto& c) { return a.first < c.first; });
       std::uint64_t out = b;
       for (std::size_t i = 0; i < row.size(); ++i) {
-        if (out > b && adj_[out - 1] == row[i].first) {
-          weights_[out - 1] += row[i].second;
+        if (out > b && adj[out - 1] == row[i].first) {
+          wts[out - 1] += row[i].second;
         } else {
-          adj_[out] = row[i].first;
-          weights_[out] = row[i].second;
+          adj[out] = row[i].first;
+          wts[out] = row[i].second;
           ++out;
         }
       }
@@ -312,26 +344,26 @@ void Graph::finalize() {
   // parallel would let row u's destination overlap a lower row's
   // still-unread source (e.g. only row 0 shrinks — every later row then
   // copies into the region its left neighbour is reading).
-  std::vector<std::uint64_t> new_offsets(static_cast<std::size_t>(n_) + 1, 0);
-  std::copy(new_len.begin(), new_len.end(), new_offsets.begin());
+  Buffer<std::uint64_t> new_offsets =
+      Buffer<std::uint64_t>::allocate(static_cast<std::size_t>(n_) + 1);
+  std::copy(new_len.begin(), new_len.end(), new_offsets.data());
   const std::uint64_t compact_arcs = parallel_prefix_sum(
       std::span<std::uint64_t>(new_offsets.data(), static_cast<std::size_t>(n_)));
   new_offsets[static_cast<std::size_t>(n_)] = compact_arcs;
 
   if (compact_arcs != adj_.size()) {
-    aligned_vector<VertexId> new_adj(compact_arcs);
-    aligned_vector<float> new_weights(compact_arcs);
+    Buffer<VertexId> new_adj = Buffer<VertexId>::allocate(compact_arcs);
+    Buffer<float> new_weights = Buffer<float>::allocate(compact_arcs);
+    VertexId* nadj = new_adj.data();
+    float* nwts = new_weights.data();
+    const std::uint64_t* noffs = new_offsets.data();
     parallel_for(0, n_, 1024, [&](std::int64_t first, std::int64_t last) {
       for (std::int64_t u = first; u < last; ++u) {
-        const auto src = offsets_[static_cast<std::size_t>(u)];
-        const auto dst = new_offsets[static_cast<std::size_t>(u)];
+        const auto src = offs[static_cast<std::size_t>(u)];
+        const auto dst = noffs[static_cast<std::size_t>(u)];
         const auto len = new_len[static_cast<std::size_t>(u)];
-        std::copy(adj_.begin() + static_cast<std::ptrdiff_t>(src),
-                  adj_.begin() + static_cast<std::ptrdiff_t>(src + len),
-                  new_adj.begin() + static_cast<std::ptrdiff_t>(dst));
-        std::copy(weights_.begin() + static_cast<std::ptrdiff_t>(src),
-                  weights_.begin() + static_cast<std::ptrdiff_t>(src + len),
-                  new_weights.begin() + static_cast<std::ptrdiff_t>(dst));
+        std::copy(adj + src, adj + src + len, nadj + dst);
+        std::copy(wts + src, wts + src + len, nwts + dst);
       }
     });
     adj_ = std::move(new_adj);
@@ -340,8 +372,11 @@ void Graph::finalize() {
   offsets_ = std::move(new_offsets);
 
   // Cached statistics: per-chunk partials folded in chunk order, so the
-  // double sums round identically at any thread count.
+  // double sums round identically at any thread count. (The hoisted
+  // pointers above are stale after the array swaps; the member accessors
+  // below re-read the current buffers.)
   self_weight_.assign(static_cast<std::size_t>(n_), 0.0f);
+  float* selfw = self_weight_.data();
   struct StatsPartial {
     std::int64_t max_degree = 0;
     std::int64_t undirected_edges = 0;
@@ -361,7 +396,7 @@ void Graph::finalize() {
         const auto ws = edge_weights(static_cast<VertexId>(u));
         for (std::size_t i = 0; i < nbrs.size(); ++i) {
           if (nbrs[i] == u) {
-            self_weight_[static_cast<std::size_t>(u)] = ws[i];
+            selfw[static_cast<std::size_t>(u)] = ws[i];
             p.loop_weight += ws[i];
             ++p.undirected_edges;
           } else {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "vgp/support/aligned.hpp"
+#include "vgp/support/buffer.hpp"
 
 namespace vgp {
 
@@ -72,6 +73,10 @@ class Graph {
   const std::uint64_t* offsets_data() const noexcept { return offsets_.data(); }
   const VertexId* adjacency_data() const noexcept { return adj_.data(); }
   const float* weights_data() const noexcept { return weights_.data(); }
+  /// Per-vertex self-loop weights (size n; nullptr only when n == 0).
+  const float* self_weights_data() const noexcept {
+    return self_weight_.data();
+  }
 
   /// Weight of the self-loop at u (0 when none).
   float self_loop_weight(VertexId u) const noexcept {
@@ -110,6 +115,49 @@ class Graph {
   static Graph from_csr(std::int64_t n, std::vector<std::uint64_t> offsets,
                         std::vector<VertexId> adj, std::vector<float> weights);
 
+  /// Whole-graph statistics finalize() caches; .vgpb v3 persists them in
+  /// the header so a mapped graph skips the stats pass entirely.
+  struct CachedStats {
+    std::int64_t undirected_edges = 0;
+    std::int64_t max_degree = 0;
+    double total_weight = 0.0;
+  };
+
+  /// Adopts already-finalized storage without re-running finalize():
+  /// rows must be sorted, merged, and symmetric, `self_weight` sized n,
+  /// and `stats` consistent with the arrays. This is the binary
+  /// loader's constructor — both the v3 parse path and map_binary()
+  /// (where the buffers are read-only views into the file mapping) go
+  /// through it; structural validation is the caller's responsibility.
+  static Graph from_buffers(std::int64_t n, Buffer<std::uint64_t> offsets,
+                            Buffer<VertexId> adj, Buffer<float> weights,
+                            Buffer<float> self_weight, CachedStats stats);
+
+  /// Maps a .vgpb version-3 file read-only: the returned graph's CSR
+  /// arrays are views into a shared file mapping and fault in lazily on
+  /// first touch — no parse, no copy, graphs larger than RAM work.
+  /// Header integrity (magic, CRC, section alignment, file size) is
+  /// always verified; set `verify_sections` to additionally check the
+  /// section CRCs and structural invariants (touches every page).
+  /// Throws ParseError (UnknownFormat) for v1/v2 files — those have no
+  /// mappable layout; use io::read_binary_file. Implemented in
+  /// graph/binary_io.cpp next to the format definition.
+  static Graph map_binary(const std::string& path,
+                          bool verify_sections = false);
+
+  /// True when the CSR arrays are mmap views (the graph came from
+  /// map_binary); such a graph is immutable and its pages are dropped
+  /// when the last Graph/Buffer referencing the mapping dies.
+  bool mapped() const noexcept { return adj_.is_view(); }
+
+  /// Bytes of storage behind the four arrays (resident or mappable).
+  std::uint64_t storage_bytes() const noexcept {
+    return static_cast<std::uint64_t>(offsets_.size()) * 8 +
+           static_cast<std::uint64_t>(adj_.size()) * 4 +
+           static_cast<std::uint64_t>(weights_.size()) * 4 +
+           static_cast<std::uint64_t>(self_weight_.size()) * 4;
+  }
+
  private:
   void finalize();  // sorts rows, merges duplicates, computes cached stats
 
@@ -117,10 +165,10 @@ class Graph {
   std::int64_t undirected_edges_ = 0;
   std::int64_t max_degree_ = 0;
   double total_weight_ = 0.0;
-  std::vector<std::uint64_t> offsets_;  // size n+1
-  aligned_vector<VertexId> adj_;
-  aligned_vector<float> weights_;
-  std::vector<float> self_weight_;  // size n; 0 when no self-loop
+  Buffer<std::uint64_t> offsets_;  // size n+1
+  Buffer<VertexId> adj_;
+  Buffer<float> weights_;
+  Buffer<float> self_weight_;  // size n; 0 when no self-loop
 };
 
 }  // namespace vgp

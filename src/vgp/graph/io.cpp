@@ -3,6 +3,7 @@
 #include "vgp/fault/error.hpp"
 #include "vgp/fault/failpoint.hpp"
 #include "vgp/graph/binary_io.hpp"
+#include "vgp/support/env.hpp"
 
 #include <algorithm>
 #include <cerrno>
@@ -321,7 +322,18 @@ Graph read_auto(const std::string& path) {
   if (ext == "graph" || ext == "metis") return read_metis_file(path);
   if (ext == "mtx") return read_matrix_market_file(path);
   if (ext == "gr") return read_dimacs_gr_file(path);
-  if (ext == "vgpb") return read_binary_file(path);
+  if (ext == "vgpb") {
+    // VGP_MMAP=1 prefers the zero-parse map path for v3 files; v1/v2
+    // files (no mappable layout) quietly fall back to the parse path.
+    if (support::env_bool("VGP_MMAP", false)) {
+      try {
+        return Graph::map_binary(path);
+      } catch (const ParseError& e) {
+        if (e.code() != ErrorCode::UnknownFormat) throw;
+      }
+    }
+    return read_binary_file(path);
+  }
   throw ValidationError(
       ErrorCode::UnknownFormat, "unknown graph file extension",
       {.path = path,

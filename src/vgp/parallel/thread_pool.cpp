@@ -5,16 +5,68 @@
 #include <exception>
 #include <memory>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "vgp/fault/failpoint.hpp"
+#include "vgp/support/cpu.hpp"
 #include "vgp/support/env.hpp"
 
 namespace vgp {
+namespace {
+
+/// Socket-group count: an explicit force wins, then VGP_FORCE_SOCKETS
+/// (both are test knobs that segment without pinning), then topology.
+int resolve_sockets(int forced, bool& pinned) {
+  pinned = false;
+  if (forced > 0) return forced;
+  const std::int64_t v = support::env_int("VGP_FORCE_SOCKETS", 0, 1, 64);
+  if (v > 0) return static_cast<int>(v);
+  const SocketTopology& topo = socket_topology();
+  pinned = topo.multi_socket();
+  return topo.num_sockets();
+}
+
+/// Best-effort: confine the calling thread to its socket's CPUs so its
+/// first-touch pages and cache working set stay on one node. Failure is
+/// harmless (the scheduler just keeps its freedom).
+void pin_to_socket(int socket) {
+#if defined(__linux__)
+  const SocketTopology& topo = socket_topology();
+  if (socket < 0 || socket >= topo.num_sockets()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (const int cpu : topo.sockets[static_cast<std::size_t>(socket)].cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+      any = true;
+    }
+  }
+  if (any) pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)socket;
+#endif
+}
+
+}  // namespace
 
 struct ThreadPool::Job {
   std::int64_t end = 0;
   std::int64_t grain = 1;
   const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
-  std::atomic<std::int64_t> cursor{0};
+  /// One cursor per socket segment (kAuto jobs have a single segment).
+  /// Segment boundaries fall on chunk boundaries, so the set of
+  /// (first, last) chunks handed to fn is exactly what one shared
+  /// cursor would produce.
+  struct Segment {
+    std::atomic<std::int64_t> cursor{0};
+    std::int64_t end = 0;
+  };
+  std::unique_ptr<Segment[]> segs;
+  int nseg = 1;
   std::atomic<unsigned> active{0};
   std::atomic<bool> done{false};
   // First exception thrown by any participant; later ones are dropped.
@@ -24,27 +76,46 @@ struct ThreadPool::Job {
   std::atomic<bool> failed{false};
   std::exception_ptr error;
 
+  bool all_drained() const {
+    for (int s = 0; s < nseg; ++s) {
+      if (segs[s].cursor.load(std::memory_order_relaxed) < segs[s].end)
+        return false;
+    }
+    return true;
+  }
+
+  void abandon() {
+    for (int s = 0; s < nseg; ++s)
+      segs[s].cursor.store(segs[s].end, std::memory_order_relaxed);
+  }
+
   // A worker that wakes after the range is drained exits via the cursor
-  // check without touching `fn` (whose referent lives on the caller's
+  // checks without touching `fn` (whose referent lives on the caller's
   // stack); the Job itself is kept alive by the worker's shared_ptr copy.
-  void run_chunks() {
-    for (;;) {
-      const std::int64_t first = cursor.fetch_add(grain, std::memory_order_relaxed);
-      if (first >= end) break;
-      const std::int64_t last = std::min(first + grain, end);
-      try {
-        VGP_FAILPOINT("pool.worker.task");
-        (*fn)(first, last);
-      } catch (...) {
-        bool expected = false;
-        if (failed.compare_exchange_strong(expected, true,
-                                           std::memory_order_acq_rel)) {
-          error = std::current_exception();
+  // `home` biases which segment is drained first: a socket-s worker
+  // works its own segment and only then steals from the others.
+  void run_chunks(int home) {
+    for (int k = 0; k < nseg; ++k) {
+      Segment& seg = segs[(home + k) % nseg];
+      for (;;) {
+        const std::int64_t first =
+            seg.cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (first >= seg.end) break;
+        const std::int64_t last = std::min(first + grain, seg.end);
+        try {
+          VGP_FAILPOINT("pool.worker.task");
+          (*fn)(first, last);
+        } catch (...) {
+          bool expected = false;
+          if (failed.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+            error = std::current_exception();
+          }
+          // Drain the remaining chunks so every participant (and the done
+          // flag's drain check) winds down promptly.
+          abandon();
+          return;
         }
-        // Drain the remaining chunks so every participant (and the done
-        // flag's cursor check) winds down promptly.
-        cursor.store(end, std::memory_order_relaxed);
-        break;
       }
     }
   }
@@ -63,14 +134,22 @@ unsigned ThreadPool::resolve_threads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
-ThreadPool::ThreadPool(unsigned threads) {
+ThreadPool::ThreadPool(unsigned threads) : ThreadPool(threads, 0) {}
+
+ThreadPool::ThreadPool(unsigned threads, int force_sockets) {
   num_threads_ = resolve_threads(threads);
+  num_sockets_ = resolve_sockets(force_sockets, pin_workers_);
+  if (num_sockets_ < 1) num_sockets_ = 1;
   // The calling thread participates in every parallel_for, so spawn one
-  // fewer worker than the requested width.
+  // fewer worker than the requested width. Worker i's home socket is
+  // i+1 mod S (the caller takes segment 0), spreading the pool evenly
+  // over socket groups.
   const unsigned workers = num_threads_ > 0 ? num_threads_ - 1 : 0;
   workers_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    const int home = static_cast<int>((i + 1) % static_cast<unsigned>(
+                                                   num_sockets_));
+    workers_.emplace_back([this, home] { worker_loop(home); });
   }
 }
 
@@ -83,7 +162,8 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int home_socket) {
+  if (pin_workers_) pin_to_socket(home_socket);
   std::uint64_t seen_seq = 0;
   for (;;) {
     std::shared_ptr<Job> job;
@@ -95,9 +175,9 @@ void ThreadPool::worker_loop() {
       seen_seq = job_seq_;
       job->active.fetch_add(1, std::memory_order_acq_rel);
     }
-    job->run_chunks();
+    job->run_chunks(home_socket % job->nseg);
     if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-        job->cursor.load(std::memory_order_relaxed) >= job->end) {
+        job->all_drained()) {
       job->done.store(true, std::memory_order_release);
       job->done.notify_all();
     }
@@ -106,6 +186,13 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  parallel_for(begin, end, grain, Placement::kAuto, fn);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    Placement placement,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (begin >= end) return;
   if (grain < 1) grain = 1;
@@ -119,11 +206,28 @@ void ThreadPool::parallel_for(
     return;
   }
 
+  // Segment the chunk index space [0, chunks) contiguously per socket;
+  // converting back to element indices keeps every boundary on a grain
+  // multiple, so chunk (first, last) pairs match the kAuto decomposition.
+  const std::int64_t chunks = (end - begin + grain - 1) / grain;
+  int nseg = placement == Placement::kBySocket ? num_sockets_ : 1;
+  if (static_cast<std::int64_t>(nseg) > chunks)
+    nseg = static_cast<int>(chunks);
+  if (nseg < 1) nseg = 1;
+
   auto job = std::make_shared<Job>();
   job->end = end;
   job->grain = grain;
   job->fn = &fn;
-  job->cursor.store(begin, std::memory_order_relaxed);
+  job->nseg = nseg;
+  job->segs = std::make_unique<Job::Segment[]>(static_cast<std::size_t>(nseg));
+  for (int s = 0; s < nseg; ++s) {
+    const std::int64_t chunk_lo = chunks * s / nseg;
+    const std::int64_t chunk_hi = chunks * (s + 1) / nseg;
+    job->segs[s].cursor.store(begin + chunk_lo * grain,
+                              std::memory_order_relaxed);
+    job->segs[s].end = std::min(begin + chunk_hi * grain, end);
+  }
   // The caller counts as an active participant from the start, so `done`
   // can only flip to true after the caller and every registered worker
   // have drained their chunks.
@@ -142,7 +246,7 @@ void ThreadPool::parallel_for(
   cv_.notify_all();
 
   inside_pool_job = true;
-  job->run_chunks();
+  job->run_chunks(0);  // the caller's home is segment 0
   inside_pool_job = false;
 
   if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -152,7 +256,7 @@ void ThreadPool::parallel_for(
   }
 
   // Unpublish. Workers that grabbed a shared_ptr keep the Job alive; their
-  // cursor check keeps them away from `fn`.
+  // cursor checks keep them away from `fn`.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = nullptr;
@@ -187,6 +291,14 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
   ThreadPool* pool = g_pool_override.load(std::memory_order_acquire);
   (pool != nullptr ? *pool : ThreadPool::global())
       .parallel_for(begin, end, grain, fn);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Placement placement,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool* pool = g_pool_override.load(std::memory_order_acquire);
+  (pool != nullptr ? *pool : ThreadPool::global())
+      .parallel_for(begin, end, grain, placement, fn);
 }
 
 }  // namespace vgp

@@ -6,8 +6,22 @@
 // scheduling mirrors OpenMP `schedule(dynamic, grain)` which the reference
 // codes use for skewed-degree graphs).
 //
+// Socket awareness: on a multi-socket machine the pool pins each worker
+// to one socket and `parallel_for(..., Placement::kBySocket, ...)`
+// splits the iteration space into one contiguous chunk-aligned segment
+// per socket, each with its own cursor. Socket-s workers drain socket
+// s's segment first — which is exactly the slice of a `--numa=bind`
+// Buffer that lives on socket s's node — and steal from other segments
+// only once their own runs dry. The chunk decomposition is identical to
+// the single-cursor path (segment boundaries fall on grain multiples),
+// so any algorithm that folds per-chunk partials in chunk order stays
+// bit-identical whichever placement is used. On single-socket machines
+// every placement degenerates to the classic shared cursor.
+//
 // Thread count resolution order: explicit argument > VGP_THREADS env var >
-// std::thread::hardware_concurrency().
+// std::thread::hardware_concurrency(). Socket count: explicit
+// force_sockets argument > VGP_FORCE_SOCKETS env var (both test knobs;
+// they split segments without pinning) > detected topology.
 #pragma once
 
 #include <condition_variable>
@@ -19,16 +33,28 @@
 
 namespace vgp {
 
+/// How parallel_for distributes chunks over workers.
+enum class Placement {
+  kAuto,      ///< one shared cursor, pure dynamic scheduling
+  kBySocket,  ///< per-socket segments + work stealing (NUMA affinity)
+};
+
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 resolves via VGP_THREADS / hardware.
   explicit ThreadPool(unsigned threads = 0);
+  /// Test knob: pretends the machine has `force_sockets` sockets so the
+  /// by-socket segmentation runs (unpinned) on any machine; 0 detects.
+  ThreadPool(unsigned threads, int force_sockets);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned num_threads() const noexcept { return num_threads_; }
+  /// Socket groups this pool schedules by (1 on single-socket machines
+  /// unless forced higher for testing).
+  int num_sockets() const noexcept { return num_sockets_; }
 
   /// Runs fn(begin..end) split into chunks of `grain` indices, dynamically
   /// scheduled. fn receives (first, last) half-open index ranges. Blocks
@@ -42,6 +68,13 @@ class ThreadPool {
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+  /// Same, with an explicit placement hint. The chunk set — and thus
+  /// any chunk-order fold — is identical for every placement; only
+  /// which worker runs which chunk changes.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    Placement placement,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
   /// The process-wide default pool (lazily constructed).
   static ThreadPool& global();
 
@@ -50,7 +83,7 @@ class ThreadPool {
 
  private:
   struct Job;
-  void worker_loop();
+  void worker_loop(int home_socket);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -65,11 +98,16 @@ class ThreadPool {
   std::uint64_t job_seq_ = 0;     // bumped per job so workers notice new work
   bool stop_ = false;
   unsigned num_threads_ = 1;
+  int num_sockets_ = 1;
+  bool pin_workers_ = false;      // real multi-socket topology, not forced
 };
 
-/// Convenience wrapper over ThreadPool::global() (or the ScopedPool
+/// Convenience wrappers over ThreadPool::global() (or the ScopedPool
 /// override, when one is active).
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  Placement placement,
                   const std::function<void(std::int64_t, std::int64_t)>& fn);
 
 /// Temporarily reroutes the free vgp::parallel_for() through `pool`

@@ -24,6 +24,7 @@
 #include "vgp/graph/io.hpp"
 #include "vgp/serve/batch.hpp"
 #include "vgp/simd/registry.hpp"
+#include "vgp/support/buffer.hpp"
 #include "vgp/support/posix_io.hpp"
 #include "vgp/telemetry/registry.hpp"
 #include "vgp/telemetry/sink.hpp"
@@ -164,7 +165,17 @@ Server::Server(ServeOptions opts) : opts_(std::move(opts)) {
 Server::~Server() { shutdown(); }
 
 void Server::load_file(const std::string& name, const std::string& path) {
-  auto g = std::make_shared<Graph>(io::read_auto(path));
+  std::shared_ptr<Graph> g;
+  if (opts_.mmap_load && path.size() > 5 &&
+      path.compare(path.size() - 5, 5, ".vgpb") == 0) {
+    try {
+      g = std::make_shared<Graph>(Graph::map_binary(path));
+    } catch (const ParseError& e) {
+      // v1/v2 files have no mappable layout; parse them instead.
+      if (e.code() != ErrorCode::UnknownFormat) throw;
+    }
+  }
+  if (g == nullptr) g = std::make_shared<Graph>(io::read_auto(path));
   snapshots_.publish(make_snapshot(name, path, std::move(g)));
 }
 
@@ -747,12 +758,12 @@ std::string Server::do_run(const Request& r, FrameHeader& reply) {
 
   // The new snapshot shares the immutable Graph; only the derived
   // arrays are rebuilt, then the table pointer swaps.
-  auto next = std::make_shared<Snapshot>(*snap);
+  auto next = snap->clone();
   if (algorithm == "louvain") {
     community::LouvainOptions lo;
     lo.backend = opts_.backend;
     const community::LouvainResult res = community::louvain(*snap->graph, lo);
-    next->membership = res.communities;
+    next->membership.assign(res.communities.begin(), res.communities.end());
     next->num_communities = res.num_communities;
     next->modularity = res.modularity;
     next->membership_algorithm = "louvain";
@@ -761,15 +772,17 @@ std::string Server::do_run(const Request& r, FrameHeader& reply) {
     lo.backend = opts_.backend;
     const community::LabelPropResult res =
         community::label_propagation(*snap->graph, lo);
-    next->membership = res.labels;
+    next->membership.assign(res.labels.begin(), res.labels.end());
     next->num_communities = res.num_communities;
-    next->modularity = community::modularity(*snap->graph, next->membership);
+    next->modularity = community::modularity(
+        *snap->graph, std::span<const community::CommunityId>(
+                          next->membership.data(), next->membership.size()));
     next->membership_algorithm = "labelprop";
   } else if (algorithm == "color") {
     coloring::Options co;
     co.backend = opts_.backend;
     const coloring::Result res = coloring::color_graph(*snap->graph, co);
-    next->colors = res.colors;
+    next->colors.assign(res.colors.begin(), res.colors.end());
     next->num_colors = res.num_colors;
   } else {
     reply.op = static_cast<std::uint16_t>(Status::BadRequest);
@@ -848,10 +861,15 @@ std::string Server::status_json() const {
         << ", \"colors\": " << snap->num_colors
         << ", \"modularity\": " << snap->modularity << ", \"algorithm\": ";
     telemetry::write_json_string(out, snap->membership_algorithm);
-    out << "}";
+    out << ", \"mapped\": " << (snap->graph->mapped() ? "true" : "false")
+        << ", \"storage_bytes\": " << snap->graph->storage_bytes() << "}";
     first = false;
   }
-  out << "], \"stats\": {\"connections\": " << s.connections
+  out << "], \"mem\": {\"rss_bytes\": " << support::current_rss_bytes()
+      << ", \"peak_rss_bytes\": " << support::peak_rss_bytes()
+      << ", \"mapped_bytes\": " << support::mapped_bytes()
+      << ", \"numa_policy\": \"" << numa_policy_name(numa_policy()) << "\"}"
+      << ", \"stats\": {\"connections\": " << s.connections
       << ", \"disconnects\": " << s.disconnects
       << ", \"requests\": " << s.requests << ", \"errors\": " << s.errors
       << ", \"bad_frames\": " << s.bad_frames

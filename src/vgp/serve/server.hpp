@@ -57,6 +57,11 @@ struct ServeOptions {
   /// Cap on ids in one Lookup request (well below what kMaxFrameBytes
   /// admits; keeps one hostile request from monopolizing a worker).
   std::uint32_t max_batch_ids = 1u << 20;
+  /// Prefer Graph::map_binary for .vgpb files (load_file and Reload):
+  /// a v3 file is served zero-parse straight off the page cache, its
+  /// pages faulting in on first query. Legacy v1/v2 files (and every
+  /// other format) silently fall back to the parsing reader.
+  bool mmap_load = false;
 };
 
 /// Monotonic counters mirrored into the telemetry registry; readable

@@ -20,17 +20,35 @@ std::shared_ptr<Snapshot> make_snapshot(std::string name, std::string source,
   // request, which republished the snapshot with the refined result.
   community::LabelPropResult lp =
       community::label_propagation(*snap->graph, {});
-  snap->membership = std::move(lp.labels);
+  snap->membership.assign(lp.labels.begin(), lp.labels.end());
   snap->num_communities = lp.num_communities;
-  snap->modularity = community::modularity(*snap->graph, snap->membership);
+  snap->modularity = community::modularity(
+      *snap->graph, std::span<const community::CommunityId>(
+                        snap->membership.data(), snap->membership.size()));
   snap->membership_algorithm = "labelprop";
 
   coloring::Result col = coloring::color_graph(*snap->graph, {});
-  snap->colors = std::move(col.colors);
+  snap->colors.assign(col.colors.begin(), col.colors.end());
   snap->num_colors = col.num_colors;
 
   snap->build_seconds = timer.seconds();
   return snap;
+}
+
+std::shared_ptr<Snapshot> Snapshot::clone() const {
+  auto out = std::make_shared<Snapshot>();
+  out->name = name;
+  out->source = source;
+  out->version = version;
+  out->graph = graph;
+  out->membership.assign(membership.begin(), membership.end());
+  out->colors.assign(colors.begin(), colors.end());
+  out->num_communities = num_communities;
+  out->num_colors = num_colors;
+  out->modularity = modularity;
+  out->membership_algorithm = membership_algorithm;
+  out->build_seconds = build_seconds;
+  return out;
 }
 
 std::shared_ptr<const Snapshot> SnapshotTable::get(

@@ -19,6 +19,7 @@
 
 #include "vgp/community/partition.hpp"
 #include "vgp/graph/csr.hpp"
+#include "vgp/support/buffer.hpp"
 
 namespace vgp::serve {
 
@@ -32,8 +33,11 @@ struct Snapshot {
   /// copying the CSR arrays.
   std::shared_ptr<const Graph> graph;
 
-  std::vector<community::CommunityId> membership;  ///< size n
-  std::vector<std::int32_t> colors;                ///< size n
+  /// Derived per-vertex arrays, Buffer-backed so they obey the same
+  /// placement policy (--numa) as the graph's CSR arrays and count
+  /// toward the same storage telemetry.
+  Buffer<community::CommunityId> membership;  ///< size n
+  Buffer<std::int32_t> colors;                ///< size n
   std::int64_t num_communities = 0;
   std::int32_t num_colors = 0;
   double modularity = 0.0;
@@ -41,6 +45,12 @@ struct Snapshot {
   /// "louvain" after a Run that asked for it).
   std::string membership_algorithm;
   double build_seconds = 0.0;
+
+  /// Deep copy of the derived arrays (Buffers are move-only, so the
+  /// struct itself is not copyable). The Graph stays shared. Run clones
+  /// the base snapshot, replaces the arrays its algorithm rebuilt, and
+  /// publishes the clone.
+  std::shared_ptr<Snapshot> clone() const;
 };
 
 /// Builds a fresh snapshot: runs label propagation for the membership

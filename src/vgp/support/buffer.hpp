@@ -1,0 +1,251 @@
+// Typed storage with pluggable backing: the library's answer to
+// "where do the big arrays live?".
+//
+// Every multi-gigabyte array in the stack — the CSR offsets/adjacency/
+// weights, the serve snapshots' derived per-vertex arrays — is a
+// `Buffer<T>`: a move-only typed span that owns (or views) its storage.
+// Three backings exist:
+//
+//   * owned heap    64-byte-aligned allocation (the aligned_vector
+//                   discipline the AVX-512 kernels rely on);
+//   * mmap view     a read-only window into a file mapping shared via a
+//                   refcounted support::Mapping — this is how
+//                   Graph::map_binary() returns a zero-parse graph whose
+//                   pages fault in lazily;
+//   * NUMA-placed   an anonymous mapping whose pages are bound to one
+//                   socket each (policy bind: socket s gets the slice of
+//                   the array socket-s threads iterate) or interleaved
+//                   across sockets (policy interleave), via the raw
+//                   mbind syscall with graceful fallback to plain pages
+//                   when the kernel, container, or machine cannot place.
+//
+// Mutation discipline: views are immutable. The non-const accessors
+// throw vgp::InternalError on a view, so a builder that accidentally
+// writes through a mapped graph fails loudly instead of SIGSEGV-ing on
+// a read-only page.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vgp {
+
+/// Process-wide memory placement policy, set from --numa=bind|interleave|off
+/// (or VGP_NUMA). Applied by Buffer<T>::allocate unless an explicit
+/// policy is passed.
+enum class NumaPolicy { kOff, kBind, kInterleave };
+
+NumaPolicy numa_policy() noexcept;
+void set_numa_policy(NumaPolicy p) noexcept;
+/// Parses "off" | "bind" | "interleave". Returns false on anything else.
+bool parse_numa_policy(std::string_view text, NumaPolicy& out) noexcept;
+const char* numa_policy_name(NumaPolicy p) noexcept;
+
+namespace support {
+
+/// A read-only whole-file mmap, shared by every Buffer viewing into it.
+/// The file's pages fault in on first touch; destroying the last owner
+/// unmaps. Byte counts of live mappings are tracked process-wide
+/// (mapped_bytes(), mem.mapped_bytes gauge).
+class Mapping {
+ public:
+  /// Maps `path` read-only. Throws vgp::IoError when the file cannot be
+  /// opened or is empty, vgp::ResourceError when mmap itself fails.
+  /// Failpoints: io.open_read (open), io.mmap (the mapping call).
+  static std::shared_ptr<const Mapping> map_file(const std::string& path);
+
+  ~Mapping();
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+
+  const unsigned char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  Mapping() = default;
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+/// Resident set size right now (bytes; 0 when /proc is unavailable).
+std::size_t current_rss_bytes() noexcept;
+/// Peak resident set size of the process (bytes, via getrusage).
+std::size_t peak_rss_bytes() noexcept;
+/// Total bytes of live Mapping objects in this process.
+std::size_t mapped_bytes() noexcept;
+
+namespace detail {
+
+/// One raw allocation, heap- or mmap-backed depending on the placement
+/// policy that was applied. `placed` records what actually happened
+/// (kOff when the policy fell back).
+struct Block {
+  void* ptr = nullptr;
+  std::size_t bytes = 0;
+  bool is_mmap = false;
+  NumaPolicy placed = NumaPolicy::kOff;
+};
+
+/// Allocates `bytes` (64-byte aligned at minimum) and applies `policy`.
+/// Placement failures (single socket, mbind ENOSYS/EPERM, io.mbind
+/// failpoint) fall back to unplaced memory and bump numa.fallbacks;
+/// genuine allocation failure throws vgp::ResourceError.
+Block alloc_block(std::size_t bytes, NumaPolicy policy);
+void free_block(const Block& b) noexcept;
+
+[[noreturn]] void throw_view_mutation();
+
+}  // namespace detail
+}  // namespace support
+
+/// Move-only typed array over one of the three backings. The API is the
+/// slice of std::vector the graph builders actually use; growth is
+/// resize-with-copy (no capacity doubling — these arrays are sized
+/// once from counts, not appended to).
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+  ~Buffer() { release(); }
+
+  Buffer(Buffer&& o) noexcept { steal(o); }
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  /// Owned allocation of `count` default-initialized (zeroed) elements
+  /// under the process-wide placement policy.
+  static Buffer allocate(std::size_t count) {
+    return allocate(count, numa_policy());
+  }
+  static Buffer allocate(std::size_t count, NumaPolicy policy) {
+    Buffer b;
+    if (count == 0) return b;
+    b.block_ = support::detail::alloc_block(count * sizeof(T), policy);
+    b.data_ = static_cast<T*>(b.block_.ptr);
+    b.size_ = count;
+    // alloc_block memory is zero (mmap) or zeroed by it (heap), so the
+    // elements are value-initialized for the arithmetic types stored.
+    return b;
+  }
+
+  /// Read-only view of `count` elements at `data` inside `mapping`.
+  /// The mapping is retained; the view never outlives the pages.
+  static Buffer view(std::shared_ptr<const support::Mapping> mapping,
+                     const T* data, std::size_t count) {
+    Buffer b;
+    b.mapping_ = std::move(mapping);
+    b.data_ = const_cast<T*>(data);
+    b.size_ = count;
+    b.is_view_ = true;
+    return b;
+  }
+
+  /// Owned copy of [first, last).
+  template <typename It>
+  static Buffer copy_of(It first, It last, NumaPolicy policy) {
+    Buffer b = allocate(static_cast<std::size_t>(last - first), policy);
+    T* out = b.data_;
+    for (It it = first; it != last; ++it, ++out) *out = *it;
+    return b;
+  }
+  template <typename It>
+  static Buffer copy_of(It first, It last) {
+    return copy_of(first, last, numa_policy());
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool is_view() const noexcept { return is_view_; }
+  /// Placement that was actually applied (kOff for views and fallbacks).
+  NumaPolicy placement() const noexcept { return block_.placed; }
+
+  const T* data() const noexcept { return data_; }
+  T* data() {
+    if (is_view_) support::detail::throw_view_mutation();
+    return data_;
+  }
+
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& operator[](std::size_t i) {
+    if (is_view_) support::detail::throw_view_mutation();
+    return data_[i];
+  }
+
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+
+  const T& front() const noexcept { return data_[0]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+
+  /// Resizes to `count`, preserving the common prefix. Reallocates
+  /// under the buffer's original policy (owned buffers only).
+  void resize(std::size_t count) {
+    if (is_view_) support::detail::throw_view_mutation();
+    if (count == size_) return;
+    Buffer next = allocate(count, block_.placed);
+    const std::size_t keep = count < size_ ? count : size_;
+    if (keep != 0) std::memcpy(next.data_, data_, keep * sizeof(T));
+    *this = std::move(next);
+  }
+
+  void assign(std::size_t count, const T& value) {
+    *this = allocate(count, owned_policy());
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    *this = copy_of(first, last, owned_policy());
+  }
+
+  void clear() { release(); }
+
+ private:
+  NumaPolicy owned_policy() const noexcept {
+    return is_view_ ? numa_policy() : block_.placed;
+  }
+
+  void release() noexcept {
+    if (block_.ptr != nullptr) support::detail::free_block(block_);
+    block_ = {};
+    mapping_.reset();
+    data_ = nullptr;
+    size_ = 0;
+    is_view_ = false;
+  }
+
+  void steal(Buffer& o) noexcept {
+    block_ = o.block_;
+    mapping_ = std::move(o.mapping_);
+    data_ = o.data_;
+    size_ = o.size_;
+    is_view_ = o.is_view_;
+    o.block_ = {};
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.is_view_ = false;
+  }
+
+  support::detail::Block block_;
+  std::shared_ptr<const support::Mapping> mapping_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool is_view_ = false;
+};
+
+}  // namespace vgp

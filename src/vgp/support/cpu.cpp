@@ -2,6 +2,12 @@
 
 #include <cpuid.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
 namespace vgp {
 namespace {
 
@@ -42,6 +48,107 @@ std::string cpu_feature_string() {
   add(f.avx512bw, "avx512bw");
   add(f.avx512vl, "avx512vl");
   if (s.empty()) s = "none";
+  return s;
+}
+
+namespace {
+
+/// Parses a kernel cpulist ("0-3,8,10-11") into sorted cpu ids.
+/// Malformed chunks are skipped rather than failing the whole node.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    int lo = -1, hi = -1;
+    if (std::sscanf(chunk.c_str(), "%d-%d", &lo, &hi) == 2) {
+      for (int c = lo; c >= 0 && c <= hi; ++c) cpus.push_back(c);
+    } else if (std::sscanf(chunk.c_str(), "%d", &lo) == 1 && lo >= 0) {
+      cpus.push_back(lo);
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  return cpus;
+}
+
+SocketTopology detect_topology() {
+  SocketTopology topo;
+  // Nodes are contiguous in practice but probe a generous range; a gap
+  // of >=64 missing ids ends the scan.
+  int misses = 0;
+  for (int node = 0; misses < 64; ++node) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist";
+    std::ifstream in(path);
+    if (!in) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    std::string text;
+    std::getline(in, text);
+    std::vector<int> cpus = parse_cpulist(text);
+    // Memory-only nodes (CXL expanders) have an empty cpulist; they are
+    // not placement targets for compute, so skip them.
+    if (cpus.empty()) continue;
+    topo.sockets.push_back(SocketInfo{node, std::move(cpus)});
+  }
+  if (topo.sockets.empty()) {
+    // Fallback: one socket holding every CPU the runtime reports.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    SocketInfo s;
+    s.node = 0;
+    s.cpus.resize(hw);
+    for (unsigned i = 0; i < hw; ++i) s.cpus[static_cast<std::size_t>(i)] =
+        static_cast<int>(i);
+    topo.sockets.push_back(std::move(s));
+  }
+  return topo;
+}
+
+}  // namespace
+
+int SocketTopology::socket_of_cpu(int cpu) const noexcept {
+  for (std::size_t s = 0; s < sockets.size(); ++s) {
+    const auto& cpus = sockets[s].cpus;
+    if (std::binary_search(cpus.begin(), cpus.end(), cpu))
+      return static_cast<int>(s);
+  }
+  return 0;
+}
+
+unsigned long SocketTopology::node_mask() const noexcept {
+  unsigned long mask = 0;
+  for (const SocketInfo& s : sockets) {
+    if (s.node >= 0 && s.node < 64) mask |= 1ul << s.node;
+  }
+  return mask;
+}
+
+const SocketTopology& socket_topology() {
+  static const SocketTopology topo = detect_topology();
+  return topo;
+}
+
+std::string socket_topology_string() {
+  const SocketTopology& topo = socket_topology();
+  std::string s = std::to_string(topo.num_sockets()) + " socket" +
+                  (topo.num_sockets() == 1 ? "" : "s") + ":";
+  for (const SocketInfo& sock : topo.sockets) {
+    s += " node" + std::to_string(sock.node) + " cpus ";
+    // Compress runs back into the cpulist form for readability.
+    for (std::size_t i = 0; i < sock.cpus.size();) {
+      std::size_t j = i;
+      while (j + 1 < sock.cpus.size() &&
+             sock.cpus[j + 1] == sock.cpus[j] + 1) {
+        ++j;
+      }
+      if (i != 0) s += ',';
+      s += std::to_string(sock.cpus[i]);
+      if (j != i) s += '-' + std::to_string(sock.cpus[j]);
+      i = j + 1;
+    }
+  }
   return s;
 }
 

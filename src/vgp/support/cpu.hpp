@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace vgp {
 
@@ -32,5 +33,41 @@ const CpuFeatures& cpu_features();
 
 /// Human-readable feature summary, e.g. "avx512f avx512cd avx512vl".
 std::string cpu_feature_string();
+
+/// One NUMA node (socket, for the dual-socket boxes the paper targets)
+/// and the CPUs whose memory controller it is local to.
+struct SocketInfo {
+  int node = 0;                ///< kernel NUMA node id
+  std::vector<int> cpus;       ///< online CPUs on this node, ascending
+};
+
+/// Machine socket/NUMA layout, detected once from
+/// /sys/devices/system/node/node*/cpulist. On machines without that
+/// sysfs tree (non-Linux, restricted containers) the fallback is a
+/// single socket holding every CPU, so every caller can iterate
+/// sockets() unconditionally and NUMA-aware code degrades to the
+/// single-socket path.
+struct SocketTopology {
+  std::vector<SocketInfo> sockets;
+
+  int num_sockets() const noexcept {
+    return static_cast<int>(sockets.size());
+  }
+  bool multi_socket() const noexcept { return sockets.size() > 1; }
+
+  /// Socket index owning `cpu`; 0 when the cpu is not listed (offline,
+  /// or the fallback topology).
+  int socket_of_cpu(int cpu) const noexcept;
+
+  /// Bitmask of node ids as mbind wants it (bit node set per socket).
+  unsigned long node_mask() const noexcept;
+};
+
+/// Detects the topology once and caches it (like cpu_features()).
+const SocketTopology& socket_topology();
+
+/// Human-readable layout, e.g. "2 sockets: node0 cpus 0-15, node1 cpus
+/// 16-31".
+std::string socket_topology_string();
 
 }  // namespace vgp

@@ -1,0 +1,276 @@
+// Backing storage for Buffer<T>: heap/mmap allocation, NUMA placement
+// via the raw mbind syscall, file mappings, and process memory gauges.
+//
+// Placement policy (FlashMob-style):
+//   bind        the array is split into one contiguous page-aligned
+//               slice per socket and slice s is bound to socket s's
+//               node — matching the thread pool's by-socket iteration
+//               segments, so socket-s workers touch socket-s memory;
+//   interleave  pages round-robin across every node, trading best-case
+//               locality for worst-case balance (good for arrays with
+//               no socket-affine access pattern, e.g. gather targets).
+//
+// Every placement failure is a graceful fallback, never an error: a
+// single-socket machine, a kernel without CONFIG_NUMA (mbind ENOSYS),
+// a container denying the syscall (EPERM), and the io.mbind failpoint
+// all leave the allocation as ordinary first-touch pages and bump the
+// numa.fallbacks counter.
+
+#include "vgp/support/buffer.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/support/cpu.hpp"
+#include "vgp/support/posix_io.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp {
+namespace {
+
+std::atomic<NumaPolicy> g_numa_policy{NumaPolicy::kOff};
+
+// mbind(2) policy modes, defined locally so the build does not depend
+// on <numaif.h> (libnuma headers are absent on minimal images).
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+
+constexpr std::size_t kPage = 4096;
+/// Allocations at or above this size go through anonymous mmap even
+/// without a placement policy: the pages arrive zeroed for free, the
+/// base is page-aligned (a NUMA and madvise precondition), and huge
+/// freed blocks go straight back to the kernel.
+constexpr std::size_t kMmapThreshold = 1u << 20;
+
+std::size_t round_up_page(std::size_t bytes) {
+  return (bytes + kPage - 1) / kPage * kPage;
+}
+
+void bump(const char* name, double v) {
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) reg.add(reg.counter(name), v);
+}
+
+void set_gauge(const char* name, double v) {
+  auto& reg = telemetry::Registry::global();
+  if (reg.enabled()) reg.set(reg.gauge(name), v);
+}
+
+std::atomic<std::size_t> g_mapped_bytes{0};
+
+/// Applies `policy` to [p, p+bytes) (page-aligned). Returns the policy
+/// that actually took effect.
+NumaPolicy apply_numa(void* p, std::size_t bytes, NumaPolicy policy) {
+  if (policy == NumaPolicy::kOff || bytes == 0) return NumaPolicy::kOff;
+  const SocketTopology& topo = socket_topology();
+  if (!topo.multi_socket()) return NumaPolicy::kOff;
+
+  if (policy == NumaPolicy::kInterleave) {
+    const unsigned long mask = topo.node_mask();
+    if (support::retry_mbind(p, bytes, kMpolInterleave, &mask, 64, 0) != 0) {
+      bump("numa.fallbacks", 1.0);
+      return NumaPolicy::kOff;
+    }
+    bump("numa.interleaved_bytes", static_cast<double>(bytes));
+    return NumaPolicy::kInterleave;
+  }
+
+  // bind: one contiguous page-aligned slice per socket, proportional to
+  // socket index — the same equal split the thread pool uses for its
+  // by-socket iteration segments.
+  const std::size_t sockets = static_cast<std::size_t>(topo.num_sockets());
+  auto* base = static_cast<unsigned char*>(p);
+  bool any = false;
+  for (std::size_t s = 0; s < sockets; ++s) {
+    const std::size_t lo =
+        round_up_page(bytes * s / sockets);
+    const std::size_t hi =
+        s + 1 == sockets ? bytes : round_up_page(bytes * (s + 1) / sockets);
+    if (hi <= lo) continue;
+    const int node = topo.sockets[s].node;
+    const unsigned long mask = 1ul << node;
+    if (support::retry_mbind(base + lo, hi - lo, kMpolBind, &mask, 64, 0) !=
+        0) {
+      bump("numa.fallbacks", 1.0);
+      continue;
+    }
+    bump("numa.bound_bytes", static_cast<double>(hi - lo));
+    any = true;
+  }
+  return any ? NumaPolicy::kBind : NumaPolicy::kOff;
+}
+
+}  // namespace
+
+NumaPolicy numa_policy() noexcept {
+  return g_numa_policy.load(std::memory_order_relaxed);
+}
+
+void set_numa_policy(NumaPolicy p) noexcept {
+  g_numa_policy.store(p, std::memory_order_relaxed);
+  set_gauge("numa.policy", static_cast<double>(static_cast<int>(p)));
+  set_gauge("numa.nodes",
+            static_cast<double>(socket_topology().num_sockets()));
+}
+
+bool parse_numa_policy(std::string_view text, NumaPolicy& out) noexcept {
+  if (text == "off") {
+    out = NumaPolicy::kOff;
+  } else if (text == "bind") {
+    out = NumaPolicy::kBind;
+  } else if (text == "interleave") {
+    out = NumaPolicy::kInterleave;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* numa_policy_name(NumaPolicy p) noexcept {
+  switch (p) {
+    case NumaPolicy::kOff:
+      return "off";
+    case NumaPolicy::kBind:
+      return "bind";
+    case NumaPolicy::kInterleave:
+      return "interleave";
+  }
+  return "off";
+}
+
+namespace support {
+
+std::shared_ptr<const Mapping> Mapping::map_file(const std::string& path) {
+  VGP_FAILPOINT("io.open_read");
+  const int fd = retry_open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw IoError(ErrorCode::FileOpenFailed, "cannot open file for mapping",
+                  {.path = path, .sys_errno = errno,
+                   .hint = "check that the path exists and is readable"});
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    checked_close(fd);
+    throw IoError(ErrorCode::ReadFailed, "cannot stat file for mapping",
+                  {.path = path, .sys_errno = saved});
+  }
+  if (st.st_size <= 0) {
+    checked_close(fd);
+    throw IoError(ErrorCode::Truncated, "cannot map an empty file",
+                  {.path = path,
+                   .hint = "the file has no bytes; regenerate it"});
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* p = nullptr;
+  try {
+    p = retry_mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  } catch (Error& e) {
+    checked_close(fd);
+    e.set_path(path);
+    throw;
+  }
+  checked_close(fd);  // the mapping holds its own reference to the file
+
+  auto m = std::shared_ptr<Mapping>(new Mapping());
+  m->data_ = static_cast<unsigned char*>(p);
+  m->size_ = size;
+  m->path_ = path;
+  const std::size_t total =
+      g_mapped_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  set_gauge("mem.mapped_bytes", static_cast<double>(total));
+  return m;
+}
+
+Mapping::~Mapping() {
+  if (data_ != nullptr) {
+    retry_munmap(data_, size_);
+    const std::size_t total =
+        g_mapped_bytes.fetch_sub(size_, std::memory_order_relaxed) - size_;
+    set_gauge("mem.mapped_bytes", static_cast<double>(total));
+  }
+}
+
+std::size_t mapped_bytes() noexcept {
+  return g_mapped_bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t current_rss_bytes() noexcept {
+  // /proc/self/statm field 2 is resident pages; one read, no parsing
+  // beyond two integers. Returns 0 where /proc is unavailable.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long total = 0, resident = 0;
+  const int got = std::fscanf(f, "%lu %lu", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+}
+
+std::size_t peak_rss_bytes() noexcept {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024u;  // KiB on Linux
+}
+
+namespace detail {
+
+Block alloc_block(std::size_t bytes, NumaPolicy policy) {
+  Block b;
+  b.bytes = bytes;
+  if (bytes == 0) return b;
+  if (policy != NumaPolicy::kOff || bytes >= kMmapThreshold) {
+    // Anonymous mapping: page-aligned (mbind precondition), zeroed by
+    // the kernel, returned to it on free.
+    const std::size_t len = round_up_page(bytes);
+    b.ptr = retry_mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    b.bytes = len;
+    b.is_mmap = true;
+    b.placed = apply_numa(b.ptr, len, policy);
+  } else {
+    const std::size_t len = (bytes + 63) / 64 * 64;
+    b.ptr = std::aligned_alloc(64, len);
+    if (b.ptr == nullptr) {
+      throw ResourceError(ErrorCode::OutOfMemory,
+                          "aligned allocation failed",
+                          {.hint = "the process is out of memory"});
+    }
+    std::memset(b.ptr, 0, len);
+    b.bytes = len;
+  }
+  return b;
+}
+
+void free_block(const Block& b) noexcept {
+  if (b.ptr == nullptr) return;
+  if (b.is_mmap) {
+    retry_munmap(b.ptr, b.bytes);
+  } else {
+    std::free(b.ptr);
+  }
+}
+
+void throw_view_mutation() {
+  throw InternalError(
+      ErrorCode::ContractViolation,
+      "attempt to mutate a read-only mmap-view Buffer",
+      {.hint = "mapped graphs are immutable; copy into an owned Buffer "
+               "(Buffer::copy_of) before editing"});
+}
+
+}  // namespace detail
+}  // namespace support
+}  // namespace vgp

@@ -2,12 +2,19 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
 
 #include <cerrno>
 #include <mutex>
+
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
 
 namespace vgp::support {
 namespace {
@@ -97,6 +104,62 @@ void ignore_sigpipe() {
     sa.sa_handler = SIG_IGN;
     ::sigaction(SIGPIPE, &sa, nullptr);
   });
+}
+
+void* retry_mmap(void* addr, std::size_t length, int prot, int flags, int fd,
+                 std::int64_t offset) {
+  VGP_FAILPOINT("io.mmap");
+  for (;;) {
+    void* p = ::mmap(addr, length, prot, flags, fd,
+                     static_cast<off_t>(offset));
+    if (p != MAP_FAILED) return p;
+    if (errno == EINTR) continue;
+    throw ResourceError(
+        ErrorCode::OutOfMemory, "mmap failed",
+        {.sys_errno = errno,
+         .hint = "check available address space and vm.max_map_count; for "
+                 "file mappings, the file must be at least offset+length "
+                 "bytes long"});
+  }
+}
+
+int retry_munmap(void* addr, std::size_t length) {
+  for (;;) {
+    const int rc = ::munmap(addr, length);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+int retry_madvise(void* addr, std::size_t length, int advice) {
+  for (;;) {
+    const int rc = ::madvise(addr, length, advice);
+    if (rc == 0 || (errno != EINTR && errno != EAGAIN)) return rc;
+  }
+}
+
+int retry_mbind(void* addr, std::size_t length, int mode,
+                const unsigned long* nodemask, unsigned long maxnode,
+                unsigned flags) {
+  if (VGP_FAILPOINT_SOFT("io.mbind")) {
+    errno = ENOSYS;
+    return -1;
+  }
+#if defined(__linux__) && defined(SYS_mbind)
+  for (;;) {
+    const long rc = ::syscall(SYS_mbind, addr, length, mode, nodemask,
+                              maxnode, flags);
+    if (rc == 0 || errno != EINTR) return static_cast<int>(rc);
+  }
+#else
+  (void)addr;
+  (void)length;
+  (void)mode;
+  (void)nodemask;
+  (void)maxnode;
+  (void)flags;
+  errno = ENOSYS;
+  return -1;
+#endif
 }
 
 }  // namespace vgp::support

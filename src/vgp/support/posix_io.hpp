@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <sys/types.h>
 
 namespace vgp::support {
@@ -57,5 +58,32 @@ bool write_full(int fd, const void* buf, std::size_t count);
 /// Installs SIG_IGN for SIGPIPE (idempotent, first call wins). A daemon
 /// must never die because a client closed its end mid-reply.
 void ignore_sigpipe();
+
+/// mmap(2) retrying on EINTR. Throws vgp::ResourceError (carrying the
+/// saved errno) instead of returning MAP_FAILED, so every mapping call
+/// site reports failures through the one error taxonomy. Failpoint:
+/// `io.mmap` fires before the syscall (all modes usable).
+void* retry_mmap(void* addr, std::size_t length, int prot, int flags, int fd,
+                 std::int64_t offset);
+
+/// munmap(2) retrying on EINTR. Returns 0 or -1 with errno set; never
+/// throws — the primary caller is a destructor, and on Linux the region
+/// is gone either way.
+int retry_munmap(void* addr, std::size_t length);
+
+/// madvise(2) retrying on EINTR/EAGAIN. Advisory by contract: returns
+/// the raw result instead of throwing, because a refused hint must
+/// never fail a load that would otherwise succeed.
+int retry_madvise(void* addr, std::size_t length, int advice);
+
+/// mbind(2) via raw syscall (no libnuma dependency), retrying on EINTR.
+/// Returns 0 on success, -1 with errno set on failure — including
+/// ENOSYS on kernels without CONFIG_NUMA and on non-Linux builds — so
+/// callers can fall back to unplaced memory gracefully. Failpoint:
+/// `io.mbind` (soft) forces a -1/ENOSYS result to exercise exactly that
+/// fallback.
+int retry_mbind(void* addr, std::size_t length, int mode,
+                const unsigned long* nodemask, unsigned long maxnode,
+                unsigned flags);
 
 }  // namespace vgp::support

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "vgp/support/buffer.hpp"
 #include "vgp/support/opcount.hpp"
 #include "vgp/support/timer.hpp"
 #include "vgp/telemetry/sink.hpp"
@@ -223,6 +224,14 @@ std::vector<MetricValue> Registry::collect() {
                               {},
                               {}});
   }
+  // Process memory view, sampled at snapshot time. mem.mapped_bytes is
+  // the live Mapping total: a mapped graph shows up here immediately but
+  // reaches RSS only as its pages fault in.
+  gauge_out("mem.rss_bytes",
+            static_cast<double>(support::current_rss_bytes()));
+  gauge_out("mem.peak_rss_bytes",
+            static_cast<double>(support::peak_rss_bytes()));
+  gauge_out("mem.mapped_bytes", static_cast<double>(support::mapped_bytes()));
   return out;
 }
 

@@ -70,6 +70,58 @@ def v2_bytes(n=N, m=M, off=None, adj=None, w=None, fix_header_crc=True,
     return header + off + adj + w
 
 
+PAGE = 4096
+SELF = [0.0] * N
+
+
+def _align(x: int) -> int:
+    return (x + PAGE - 1) // PAGE * PAGE
+
+
+def v3_bytes(n=N, m=M, off=None, adj=None, w=None,
+             sec_adj=None, stats=None, fix_header_crc=True) -> bytes:
+    """v3 layout: 104-byte header | page-aligned sections incl. self-weights.
+
+    magic(8) "VGPBIN\\3\\n" | n(8) | m(8) | flags(4) | 4 section CRCs(16) |
+    undirected_edges(8) | max_degree(8) | total_weight(8) |
+    4 section file offsets(32) | header_crc(4)
+    """
+    soff, sadj, sw = sections()
+    off = soff if off is None else off
+    adj = sadj if adj is None else adj
+    w = sw if w is None else w
+    sself = b"".join(struct.pack("<f", x) for x in (SELF[:n] if n > 0 else []))
+    o0 = _align(104)
+    o1 = _align(o0 + len(off)) if sec_adj is None else sec_adj
+    o2 = _align(o1 + len(adj))
+    o3 = _align(o2 + len(w))
+    undirected, maxdeg, total = stats if stats else (3, 2, 3.0)
+    header = b"VGPBIN\3\n"
+    header += struct.pack("<q", n)
+    header += struct.pack("<Q", m)
+    header += struct.pack("<I", 0)  # flags
+    header += struct.pack("<I", crc32c(off))
+    header += struct.pack("<I", crc32c(adj))
+    header += struct.pack("<I", crc32c(w))
+    header += struct.pack("<I", crc32c(sself))
+    header += struct.pack("<q", undirected)
+    header += struct.pack("<q", maxdeg)
+    header += struct.pack("<d", total)
+    header += struct.pack("<Q", o0)
+    header += struct.pack("<Q", o1)
+    header += struct.pack("<Q", o2)
+    header += struct.pack("<Q", o3)
+    hcrc = crc32c(header) if fix_header_crc else 0xDEADBEEF
+    header += struct.pack("<I", hcrc)
+    blob = bytearray(o3 + len(sself))
+    blob[0:len(header)] = header
+    blob[o0:o0 + len(off)] = off
+    blob[o1:o1 + len(adj)] = adj
+    blob[o2:o2 + len(w)] = w
+    blob[o3:o3 + len(sself)] = sself
+    return bytes(blob)
+
+
 def v1_bytes(offsets=OFFSETS, adj=ADJ, weights=WEIGHTS) -> bytes:
     out = b"VGPBIN\1\n"
     out += struct.pack("<q", N)
@@ -130,6 +182,15 @@ def main():
     # Legacy v1 files (no checksums): structural checks still apply.
     write("v1_truncated.vgpb", v1_bytes()[:30])
     write("v1_nonmonotonic.vgpb", v1_bytes(offsets=[0, 5, 3, 5, 6]))
+
+    # v3 (page-aligned, mappable) corruption: a truncated section, a
+    # section offset off the page boundary, and cached statistics that
+    # contradict the counts — each with a *valid* header CRC so the
+    # specific check, not the checksum, is what rejects.
+    good3 = v3_bytes()
+    write("v3_truncated_section.vgpb", good3[: len(good3) // 2])
+    write("v3_misaligned_section.vgpb", v3_bytes(sec_adj=_align(104) + 48))
+    write("v3_bad_stats.vgpb", v3_bytes(stats=(3, N + 7, 3.0)))
 
     # Malformed text formats.
     with open(os.path.join(OUT, "bad_tokens.el"), "w") as f:

@@ -1,10 +1,15 @@
 // Tests for the .vgpb binary graph format.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "vgp/fault/error.hpp"
+#include "vgp/support/buffer.hpp"
 #include "vgp/gen/rmat.hpp"
 #include "vgp/simd/checksum.hpp"
 #include "vgp/graph/binary_io.hpp"
@@ -28,6 +33,23 @@ void expect_same(const Graph& a, const Graph& b) {
   }
 }
 
+/// Bit-level identity: the arrays, the cached statistics, and the
+/// double-precision total weight must match exactly, not approximately.
+void expect_bit_identical(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.max_degree(), b.max_degree());
+  EXPECT_EQ(a.total_edge_weight(), b.total_edge_weight());  // exact ==
+  const std::size_t n = static_cast<std::size_t>(a.num_vertices());
+  const std::size_t m = static_cast<std::size_t>(a.num_arcs());
+  EXPECT_EQ(0, std::memcmp(a.offsets_data(), b.offsets_data(), (n + 1) * 8));
+  EXPECT_EQ(0, std::memcmp(a.adjacency_data(), b.adjacency_data(), m * 4));
+  EXPECT_EQ(0, std::memcmp(a.weights_data(), b.weights_data(), m * 4));
+  EXPECT_EQ(0, std::memcmp(a.self_weights_data(), b.self_weights_data(),
+                           n * 4));
+}
+
 TEST(BinaryIo, RoundTripStream) {
   const auto g = gen::rmat(gen::rmat_mix_skewed(9, 6));
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
@@ -41,6 +63,16 @@ TEST(BinaryIo, RoundTripFileAndAutoDispatch) {
   write_binary_file(g, path);
   expect_same(g, read_binary_file(path));
   expect_same(g, read_auto(path));
+}
+
+TEST(BinaryIo, V3RoundTripIsBitIdentical) {
+  // v3 carries the cached stats in the header and both loaders adopt
+  // the arrays verbatim, so the round trip is exact — including the
+  // double-precision total weight, which a recompute could re-round.
+  const auto g = gen::rmat(gen::rmat_mix_skewed(9, 6));
+  const std::string path = ::testing::TempDir() + "/bits.vgpb";
+  write_binary_file(g, path);
+  expect_bit_identical(g, read_binary_file(path));
 }
 
 TEST(BinaryIo, EmptyGraphRoundTrip) {
@@ -83,9 +115,184 @@ TEST(BinaryIo, MissingFileThrows) {
   EXPECT_THROW(read_binary_file("/nonexistent/path/g.vgpb"), std::runtime_error);
 }
 
-// v2 byte layout: 44-byte header (magic | n | m | flags | section CRCs |
-// header CRC) then offsets((n+1)*8) | adj(m*4) | weights(m*4).
-constexpr std::size_t kHeaderBytes = kBinaryHeaderBytes;
+// ------------------------------------------------------- legacy readers
+
+/// Hand-rolled v2 serializer (the library now writes v3): 44-byte
+/// header | offsets | adjacency | weights, CRC32C everywhere.
+std::string legacy_v2_bytes(const Graph& g) {
+  const std::int64_t n = g.num_vertices();
+  const std::uint64_t m = static_cast<std::uint64_t>(g.num_arcs());
+  const std::uint64_t ob = (static_cast<std::uint64_t>(n) + 1) * 8;
+  std::string b(kBinaryHeaderBytes, '\0');
+  std::memcpy(&b[0], "VGPBIN\2\n", 8);
+  std::memcpy(&b[8], &n, 8);
+  std::memcpy(&b[16], &m, 8);
+  const std::uint32_t co = simd::crc32c(g.offsets_data(), ob);
+  const std::uint32_t ca = simd::crc32c(g.adjacency_data(), m * 4);
+  const std::uint32_t cw = simd::crc32c(g.weights_data(), m * 4);
+  std::memcpy(&b[28], &co, 4);
+  std::memcpy(&b[32], &ca, 4);
+  std::memcpy(&b[36], &cw, 4);
+  const std::uint32_t hc = simd::crc32c(b.data(), 40);
+  std::memcpy(&b[40], &hc, 4);
+  b.append(reinterpret_cast<const char*>(g.offsets_data()), ob);
+  b.append(reinterpret_cast<const char*>(g.adjacency_data()), m * 4);
+  b.append(reinterpret_cast<const char*>(g.weights_data()), m * 4);
+  return b;
+}
+
+/// v1: magic | n | m | sections, no checksums at all.
+std::string legacy_v1_bytes(const Graph& g) {
+  const std::int64_t n = g.num_vertices();
+  const std::uint64_t m = static_cast<std::uint64_t>(g.num_arcs());
+  std::string b;
+  b.append("VGPBIN\1\n", 8);
+  b.append(reinterpret_cast<const char*>(&n), 8);
+  b.append(reinterpret_cast<const char*>(&m), 8);
+  b.append(reinterpret_cast<const char*>(g.offsets_data()),
+           (static_cast<std::uint64_t>(n) + 1) * 8);
+  b.append(reinterpret_cast<const char*>(g.adjacency_data()), m * 4);
+  b.append(reinterpret_cast<const char*>(g.weights_data()), m * 4);
+  return b;
+}
+
+TEST(BinaryIo, ReadsLegacyV2) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(7, 4));
+  std::stringstream ss(legacy_v2_bytes(g));
+  expect_same(g, read_binary(ss));
+}
+
+TEST(BinaryIo, ReadsLegacyV1) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  std::stringstream ss(legacy_v1_bytes(g));
+  expect_same(g, read_binary(ss));
+}
+
+// ------------------------------------------------------------ map path
+
+TEST(BinaryIo, MapBinaryBitIdenticalToParse) {
+  const auto g = gen::rmat(gen::rmat_mix_skewed(9, 6));
+  const std::string path = ::testing::TempDir() + "/map.vgpb";
+  write_binary_file(g, path);
+  const Graph parsed = read_binary_file(path);
+  const Graph mapped = Graph::map_binary(path);
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_FALSE(parsed.mapped());
+  expect_bit_identical(parsed, mapped);
+  expect_bit_identical(g, mapped);
+}
+
+TEST(BinaryIo, MapBinaryFullVerifyAccepts) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(8, 4));
+  const std::string path = ::testing::TempDir() + "/map_verify.vgpb";
+  write_binary_file(g, path);
+  expect_bit_identical(g, Graph::map_binary(path, /*verify_sections=*/true));
+}
+
+TEST(BinaryIo, MapBinaryRejectsLegacyAsUnmappable) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  const std::string path = ::testing::TempDir() + "/legacy.vgpb";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const std::string bytes = legacy_v2_bytes(g);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    Graph::map_binary(path);
+    FAIL() << "v2 file mapped";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::UnknownFormat);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, ReadAutoUnderMmapEnvFallsBackForLegacy) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  const std::string v3_path = ::testing::TempDir() + "/auto_v3.vgpb";
+  const std::string v2_path = ::testing::TempDir() + "/auto_v2.vgpb";
+  write_binary_file(g, v3_path);
+  {
+    std::ofstream out(v2_path, std::ios::binary | std::ios::trunc);
+    const std::string bytes = legacy_v2_bytes(g);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ::setenv("VGP_MMAP", "1", 1);
+  const Graph via_map = read_auto(v3_path);
+  const Graph via_fallback = read_auto(v2_path);
+  ::unsetenv("VGP_MMAP");
+  EXPECT_TRUE(via_map.mapped());
+  EXPECT_FALSE(via_fallback.mapped());
+  expect_same(g, via_map);
+  expect_same(g, via_fallback);
+}
+
+TEST(BinaryIo, MapBinaryRejectsTruncatedFile) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(7, 4));
+  const std::string path = ::testing::TempDir() + "/short.vgpb";
+  write_binary_file(g, path);
+  // Keep the (valid) header page but drop everything after the offsets
+  // section starts: the size check must fire before any view is built.
+  ASSERT_EQ(0, ::truncate(path.c_str(),
+                          static_cast<off_t>(kBinarySectionAlign + 16)));
+  try {
+    Graph::map_binary(path);
+    FAIL() << "truncated file mapped";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Truncated);
+  }
+}
+
+TEST(BinaryIo, MapBinaryVerifySectionsCatchesBitFlip) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(7, 4));
+  const std::string path = ::testing::TempDir() + "/flip.vgpb";
+  write_binary_file(g, path);
+  // Flip one adjacency byte in place, leaving the header (and its CRC)
+  // intact: the default header-only open accepts it, the full verify
+  // must not.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  std::uint64_t adj_off = 0;
+  std::memcpy(&adj_off, bytes.data() + 76, 8);
+  bytes[adj_off + 3] = static_cast<char>(bytes[adj_off + 3] ^ 0x20);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_NO_THROW(Graph::map_binary(path));
+  try {
+    Graph::map_binary(path, /*verify_sections=*/true);
+    FAIL() << "corrupt section passed full verification";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ChecksumMismatch);
+    EXPECT_NE(std::string(e.what()).find("adjacency"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, MappedGraphRefusesMutation) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  const std::string path = ::testing::TempDir() + "/immutable.vgpb";
+  write_binary_file(g, path);
+  Graph mapped = Graph::map_binary(path);
+  // The mapping survives moving the graph around...
+  Graph moved = std::move(mapped);
+  EXPECT_TRUE(moved.mapped());
+  // ...and algorithms that only read work; there is no mutable surface
+  // on Graph itself, so exercise the Buffer contract directly instead.
+  auto m = support::Mapping::map_file(path);
+  auto view = Buffer<std::uint64_t>::view(
+      m, reinterpret_cast<const std::uint64_t*>(m->data()), 1);
+  EXPECT_THROW(view.data(), InternalError);
+  EXPECT_THROW(view[0] = 1, InternalError);
+}
+
+// v3 byte layout: 104-byte header (magic | n | m | flags | 4 section
+// CRCs | cached stats | 4 section file offsets | header CRC), then the
+// four sections each starting on a 4096-byte boundary.
 
 std::string serialized(const Graph& g) {
   std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
@@ -95,6 +302,12 @@ std::string serialized(const Graph& g) {
 
 constexpr std::size_t kOffN_test() { return 9; }  // inside the n field
 
+std::uint64_t u64_at(const std::string& bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + at, 8);
+  return v;
+}
+
 /// Recomputes every checksum over the (possibly hand-corrupted) bytes so
 /// structural validation is what rejects the file, not the CRCs.
 void refresh_checksums(std::string& bytes) {
@@ -102,10 +315,10 @@ void refresh_checksums(std::string& bytes) {
   std::uint64_t m = 0;
   std::memcpy(&n, bytes.data() + 8, 8);
   std::memcpy(&m, bytes.data() + 16, 8);
-  const std::size_t off_off = kHeaderBytes;
-  const std::size_t adj_off =
-      off_off + (static_cast<std::size_t>(n) + 1) * 8;
-  const std::size_t w_off = adj_off + static_cast<std::size_t>(m) * 4;
+  const std::uint64_t off_off = u64_at(bytes, 68);
+  const std::uint64_t adj_off = u64_at(bytes, 76);
+  const std::uint64_t w_off = u64_at(bytes, 84);
+  const std::uint64_t self_off = u64_at(bytes, 92);
   const auto put = [&](std::size_t at, std::uint32_t v) {
     std::memcpy(&bytes[at], &v, 4);
   };
@@ -115,7 +328,9 @@ void refresh_checksums(std::string& bytes) {
                        static_cast<std::size_t>(m) * 4));
   put(36, simd::crc32c(bytes.data() + w_off,
                        static_cast<std::size_t>(m) * 4));
-  put(40, simd::crc32c(bytes.data(), 40));
+  put(40, simd::crc32c(bytes.data() + self_off,
+                       static_cast<std::size_t>(n) * 4));
+  put(100, simd::crc32c(bytes.data(), 100));
 }
 
 void expect_rejected(std::string bytes, const char* what) {
@@ -134,7 +349,7 @@ TEST(BinaryIo, RejectsNonMonotonicOffsets) {
   std::string bytes = serialized(Graph::from_edges(4, edges));
   // Swap offsets[1] and offsets[2]: front/back stay valid, the row
   // boundaries between them go backwards.
-  const std::size_t off = kHeaderBytes;
+  const std::size_t off = u64_at(bytes, 68);
   std::string o1 = bytes.substr(off + 8, 8);
   std::string o2 = bytes.substr(off + 16, 8);
   bytes.replace(off + 8, 8, o2);
@@ -146,11 +361,10 @@ TEST(BinaryIo, RejectsNonMonotonicOffsets) {
 TEST(BinaryIo, RejectsOutOfRangeAdjacency) {
   const Edge edges[] = {{0, 1, 1.0f}, {1, 2, 1.0f}};
   const Graph g = Graph::from_edges(3, edges);
-  const std::size_t adj_off =
-      kHeaderBytes + (static_cast<std::size_t>(g.num_vertices()) + 1) * 8;
 
   {
     std::string bytes = serialized(g);
+    const std::size_t adj_off = u64_at(bytes, 76);
     const std::int32_t huge = 1 << 20;  // >= n
     bytes.replace(adj_off, 4, reinterpret_cast<const char*>(&huge), 4);
     refresh_checksums(bytes);
@@ -158,6 +372,7 @@ TEST(BinaryIo, RejectsOutOfRangeAdjacency) {
   }
   {
     std::string bytes = serialized(g);
+    const std::size_t adj_off = u64_at(bytes, 76);
     const std::int32_t neg = -7;
     bytes.replace(adj_off, 4, reinterpret_cast<const char*>(&neg), 4);
     refresh_checksums(bytes);
@@ -168,8 +383,7 @@ TEST(BinaryIo, RejectsOutOfRangeAdjacency) {
 TEST(BinaryIo, DetectsBitFlipViaChecksum) {
   const auto g = gen::rmat(gen::rmat_mix_flat(7, 4));
   std::string bytes = serialized(g);
-  const std::size_t adj_off =
-      kHeaderBytes + (static_cast<std::size_t>(g.num_vertices()) + 1) * 8;
+  const std::size_t adj_off = u64_at(bytes, 76);
   bytes[adj_off + 5] = static_cast<char>(bytes[adj_off + 5] ^ 0x10);
   std::stringstream ss(std::move(bytes));
   try {
@@ -196,20 +410,64 @@ TEST(BinaryIo, DetectsHeaderCorruption) {
 }
 
 TEST(BinaryIo, RejectsOverlongCountsBeforeAllocating) {
-  // A huge m with a fixed-up header CRC must be caught by the
-  // stream-length bound, not by a multi-GiB allocation.
+  // A huge m with self-consistent section offsets and a fixed-up header
+  // CRC must be caught by the stream-length bound, not by a multi-GiB
+  // allocation.
   const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
   std::string bytes = serialized(g);
   const std::uint64_t huge_m = 1ull << 38;
   std::memcpy(&bytes[16], &huge_m, 8);
-  const std::uint32_t hcrc = simd::crc32c(bytes.data(), 40);
-  std::memcpy(&bytes[40], &hcrc, 4);
+  const auto align = [](std::uint64_t v) {
+    return (v + kBinarySectionAlign - 1) / kBinarySectionAlign *
+           kBinarySectionAlign;
+  };
+  const std::uint64_t adj_off = u64_at(bytes, 76);
+  const std::uint64_t w_off = align(adj_off + huge_m * 4);
+  const std::uint64_t self_off = align(w_off + huge_m * 4);
+  std::memcpy(&bytes[84], &w_off, 8);
+  std::memcpy(&bytes[92], &self_off, 8);
+  const std::uint32_t hcrc = simd::crc32c(bytes.data(), 100);
+  std::memcpy(&bytes[100], &hcrc, 4);
   std::stringstream ss(std::move(bytes));
   try {
     read_binary(ss);
     FAIL() << "overlong counts accepted";
   } catch (const ValidationError& e) {
     EXPECT_EQ(e.code(), ErrorCode::Truncated);
+  }
+}
+
+TEST(BinaryIo, RejectsMisalignedSectionOffsets) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  std::string bytes = serialized(g);
+  const std::uint64_t adj_off = u64_at(bytes, 76) + 8;  // off the boundary
+  std::memcpy(&bytes[76], &adj_off, 8);
+  const std::uint32_t hcrc = simd::crc32c(bytes.data(), 100);
+  std::memcpy(&bytes[100], &hcrc, 4);
+  std::stringstream ss(std::move(bytes));
+  try {
+    read_binary(ss);
+    FAIL() << "misaligned section accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::CorruptStructure);
+    EXPECT_NE(std::string(e.what()).find("page-aligned"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, RejectsImplausibleCachedStats) {
+  const auto g = gen::rmat(gen::rmat_mix_flat(6, 4));
+  std::string bytes = serialized(g);
+  const std::int64_t bogus_degree = g.num_vertices() + 7;  // > n
+  std::memcpy(&bytes[52], &bogus_degree, 8);
+  const std::uint32_t hcrc = simd::crc32c(bytes.data(), 100);
+  std::memcpy(&bytes[100], &hcrc, 4);
+  std::stringstream ss(std::move(bytes));
+  try {
+    read_binary(ss);
+    FAIL() << "implausible stats accepted";
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::BadHeader);
+    EXPECT_NE(std::string(e.what()).find("statistics"), std::string::npos);
   }
 }
 

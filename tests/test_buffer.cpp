@@ -1,0 +1,234 @@
+// Buffer<T> storage abstraction: owned-heap and anonymous-mmap backings,
+// file-mapping views, the view-immutability contract, and the graceful
+// NUMA fallback path. The Graph-level consequences (map_binary
+// bit-identity, corrupted v3 files) live in test_binary_io.cpp; this
+// file tests the storage layer in isolation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vgp/fault/error.hpp"
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/support/buffer.hpp"
+#include "vgp/support/cpu.hpp"
+
+namespace vgp {
+namespace {
+
+struct ScopedFailpoints {
+  explicit ScopedFailpoints(const std::string& spec) {
+    std::string error;
+    EXPECT_TRUE(fault::set_spec(spec, &error)) << error;
+  }
+  ~ScopedFailpoints() { fault::clear(); }
+};
+
+/// Restores the process-wide placement policy after a test that sets it.
+struct ScopedPolicy {
+  explicit ScopedPolicy(NumaPolicy p) : prev(numa_policy()) {
+    set_numa_policy(p);
+  }
+  ~ScopedPolicy() { set_numa_policy(prev); }
+  NumaPolicy prev;
+};
+
+std::string write_temp(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+// ---------------------------------------------------------------- owned
+
+TEST(Buffer, AllocateIsZeroedAndCacheAligned) {
+  auto b = Buffer<std::uint64_t>::allocate(1000);
+  ASSERT_EQ(b.size(), 1000u);
+  EXPECT_FALSE(b.is_view());
+  // The AVX-512 kernels assume 64-byte alignment of every array.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+  for (std::size_t i = 0; i < b.size(); ++i) ASSERT_EQ(b[i], 0u);
+}
+
+TEST(Buffer, LargeAllocationTakesMmapPathAndIsZeroed) {
+  // Above the 1 MiB threshold alloc_block switches to anonymous mmap.
+  auto b = Buffer<float>::allocate((1u << 20) / sizeof(float) + 4096);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 4096, 0u);
+  EXPECT_EQ(b[0], 0.0f);
+  EXPECT_EQ(b[b.size() - 1], 0.0f);
+  b[7] = 1.5f;
+  EXPECT_EQ(b[7], 1.5f);
+}
+
+TEST(Buffer, EmptyAllocation) {
+  auto b = Buffer<int>::allocate(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Buffer, AssignAndResizePreservePrefix) {
+  Buffer<int> b;
+  b.assign(std::size_t{8}, 42);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(b[7], 42);
+  b[3] = 7;
+  b.resize(16);
+  ASSERT_EQ(b.size(), 16u);
+  EXPECT_EQ(b[3], 7);     // prefix kept
+  EXPECT_EQ(b[15], 0);    // growth zeroed
+  b.resize(2);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 42);
+}
+
+TEST(Buffer, AssignFromIteratorsAndCopyOf) {
+  const std::vector<int> src{1, 2, 3, 4, 5};
+  Buffer<int> b;
+  b.assign(src.begin(), src.end());
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[4], 5);
+  auto c = Buffer<int>::copy_of(b.begin(), b.end());
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c[0], 1);
+  c[0] = 99;
+  EXPECT_EQ(b[0], 1);  // deep copy
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  auto a = Buffer<int>::allocate(4);
+  a[2] = 11;
+  const int* p = a.data();
+  Buffer<int> b = std::move(a);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[2], 11);
+  a = std::move(b);
+  EXPECT_EQ(a.data(), p);
+}
+
+// ----------------------------------------------------------------- view
+
+TEST(Buffer, ViewReadsMappedFileAndRefusesMutation) {
+  std::string payload(8192, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i & 0x7F);
+  }
+  const std::string path = write_temp("buffer_view.bin", payload);
+  auto m = support::Mapping::map_file(path);
+  ASSERT_GE(support::mapped_bytes(), payload.size());
+  auto v = Buffer<unsigned char>::view(
+      m, m->data(), m->size());
+  const auto& cv = v;  // reads must go through the const accessors
+  EXPECT_TRUE(v.is_view());
+  EXPECT_EQ(v.size(), payload.size());
+  EXPECT_EQ(cv[100], static_cast<unsigned char>(100));
+
+  // Every mutating accessor must throw, not SIGSEGV on the RO page.
+  EXPECT_THROW(v.data(), InternalError);
+  EXPECT_THROW(v[0] = 1, InternalError);
+  EXPECT_THROW(v.resize(4), InternalError);
+
+  // The view keeps the mapping alive past the caller's shared_ptr.
+  m.reset();
+  EXPECT_EQ(cv[101], static_cast<unsigned char>(101));
+}
+
+TEST(Buffer, AssignConvertsViewToOwned) {
+  const std::string path = write_temp("buffer_view2.bin", std::string(64, 'x'));
+  auto m = support::Mapping::map_file(path);
+  auto v = Buffer<char>::view(m, reinterpret_cast<const char*>(m->data()),
+                              m->size());
+  const std::vector<char> fresh{'a', 'b', 'c'};
+  v.assign(fresh.begin(), fresh.end());
+  EXPECT_FALSE(v.is_view());
+  EXPECT_EQ(v.size(), 3u);
+  v[0] = 'z';  // mutable again
+  EXPECT_EQ(v[0], 'z');
+}
+
+TEST(Buffer, MappedBytesDropsWhenLastOwnerDies) {
+  const std::size_t before = support::mapped_bytes();
+  const std::string path =
+      write_temp("buffer_gauge.bin", std::string(4096, 'y'));
+  {
+    auto m = support::Mapping::map_file(path);
+    EXPECT_GE(support::mapped_bytes(), before + 4096);
+  }
+  EXPECT_EQ(support::mapped_bytes(), before);
+}
+
+TEST(Buffer, MapFileFailuresAreTyped) {
+  EXPECT_THROW(support::Mapping::map_file("/nonexistent/vgp.bin"), IoError);
+  const std::string empty = write_temp("buffer_empty.bin", "");
+  EXPECT_THROW(support::Mapping::map_file(empty), IoError);
+  const std::string ok = write_temp("buffer_ok.bin", "data");
+  ScopedFailpoints fp("io.mmap:error");
+  EXPECT_THROW(support::Mapping::map_file(ok), vgp::Error);
+}
+
+// ----------------------------------------------------------------- NUMA
+
+TEST(Buffer, PolicyParsingRoundTrips) {
+  NumaPolicy p = NumaPolicy::kOff;
+  EXPECT_TRUE(parse_numa_policy("bind", p));
+  EXPECT_EQ(p, NumaPolicy::kBind);
+  EXPECT_TRUE(parse_numa_policy("interleave", p));
+  EXPECT_EQ(p, NumaPolicy::kInterleave);
+  EXPECT_TRUE(parse_numa_policy("off", p));
+  EXPECT_EQ(p, NumaPolicy::kOff);
+  EXPECT_FALSE(parse_numa_policy("spread", p));
+  EXPECT_STREQ(numa_policy_name(NumaPolicy::kBind), "bind");
+  EXPECT_STREQ(numa_policy_name(NumaPolicy::kInterleave), "interleave");
+}
+
+TEST(Buffer, PlacementDegradesGracefully) {
+  // Whatever the machine (single socket, containers denying mbind,
+  // multi-socket where it works), a placed allocation must come back
+  // usable and zeroed; `placement()` reports what actually happened.
+  for (const NumaPolicy p : {NumaPolicy::kBind, NumaPolicy::kInterleave}) {
+    auto b = Buffer<std::int64_t>::allocate(100000, p);
+    ASSERT_EQ(b.size(), 100000u);
+    EXPECT_EQ(b[0], 0);
+    EXPECT_EQ(b[99999], 0);
+    b[5] = -3;
+    EXPECT_EQ(b[5], -3);
+    if (!socket_topology().multi_socket()) {
+      EXPECT_EQ(b.placement(), NumaPolicy::kOff);
+    }
+  }
+}
+
+TEST(Buffer, MbindFailpointForcesFallback) {
+  // Even where mbind would work, the io.mbind failpoint (or an EPERM
+  // container) must leave the allocation unplaced but valid.
+  ScopedFailpoints fp("io.mbind:error");
+  auto b = Buffer<int>::allocate(1 << 18, NumaPolicy::kInterleave);
+  EXPECT_EQ(b.placement(), NumaPolicy::kOff);
+  EXPECT_EQ(b[0], 0);
+}
+
+TEST(Buffer, ProcessPolicyAppliesToDefaultAllocate) {
+  ScopedPolicy scope(NumaPolicy::kInterleave);
+  auto b = Buffer<double>::allocate(4096);
+  // Single socket: silently unplaced. Multi socket: interleaved.
+  if (!socket_topology().multi_socket()) {
+    EXPECT_EQ(b.placement(), NumaPolicy::kOff);
+  }
+  EXPECT_EQ(b.size(), 4096u);
+}
+
+TEST(Buffer, RssGaugesAreSane) {
+  // Smoke: both gauges read non-zero on Linux and peak >= current.
+  const std::size_t rss = support::current_rss_bytes();
+  const std::size_t peak = support::peak_rss_bytes();
+  EXPECT_GT(rss, 0u);
+  EXPECT_GE(peak, rss / 2);  // tolerate RSS jitter between the two reads
+}
+
+}  // namespace
+}  // namespace vgp

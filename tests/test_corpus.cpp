@@ -42,6 +42,9 @@ const CorpusCase kCases[] = {
     {"bad_magic.vgpb", "bad magic"},
     {"v1_truncated.vgpb", ""},
     {"v1_nonmonotonic.vgpb", "non-monotonic"},
+    {"v3_truncated_section.vgpb", "too short"},
+    {"v3_misaligned_section.vgpb", "page-aligned"},
+    {"v3_bad_stats.vgpb", "implausible"},
     {"bad_tokens.el", ""},
     {"negative_weight.el", ""},
     {"bad_header.graph", ""},

@@ -1,0 +1,196 @@
+// Socket-aware scheduling and placement: topology detection sanity, the
+// by-socket parallel_for segmentation, and the load-bearing determinism
+// guarantee — a pool pretending the machine has S sockets must produce
+// BIT-IDENTICAL results to the default pool for every deterministic
+// socket-partitioned algorithm (Louvain, coarsen), because the segment
+// boundaries fall on chunk boundaries and the algorithms fold per-chunk
+// partials in chunk order. Without that property, --numa=bind would
+// change community assignments, which the paper's reproducibility claims
+// (and our cross-width tests) forbid. Asynchronous label propagation is
+// scheduling-dependent by design, so it gets quality parity instead.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "vgp/community/coarsen.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/support/cpu.hpp"
+
+namespace vgp {
+namespace {
+
+Graph test_graph() { return gen::rmat(gen::rmat_mix_graph500(10, 8)); }
+
+// ------------------------------------------------------------- topology
+
+TEST(SocketTopology, DetectsAtLeastOneSocketCoveringSomeCpu) {
+  const SocketTopology& topo = socket_topology();
+  ASSERT_GE(topo.num_sockets(), 1);
+  std::size_t cpus = 0;
+  for (const auto& s : topo.sockets) cpus += s.cpus.size();
+  EXPECT_GT(cpus, 0u);
+  EXPECT_FALSE(socket_topology_string().empty());
+  // Every cpu maps back into a valid socket index.
+  for (const auto& s : topo.sockets) {
+    for (const int cpu : s.cpus) {
+      const int idx = topo.socket_of_cpu(cpu);
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, topo.num_sockets());
+    }
+  }
+  // node_mask has one bit per socket.
+  unsigned long mask = topo.node_mask();
+  int bits = 0;
+  for (; mask != 0; mask &= mask - 1) ++bits;
+  EXPECT_EQ(bits, topo.num_sockets());
+}
+
+TEST(SocketTopology, ForcedSocketCountWinsOverDetection) {
+  ThreadPool pool(4, 3);
+  EXPECT_EQ(pool.num_sockets(), 3);
+  ThreadPool detected(2, 0);
+  EXPECT_EQ(detected.num_sockets(), socket_topology().num_sockets());
+}
+
+// --------------------------------------------------- by-socket coverage
+
+TEST(BySocket, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4, 3);  // three segments on any machine
+  for (const std::int64_t end : {1, 7, 64, 1000, 4099}) {
+    for (const std::int64_t grain : {1, 16, 100}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(end));
+      pool.parallel_for(0, end, grain, Placement::kBySocket,
+                        [&](std::int64_t a, std::int64_t b) {
+                          for (std::int64_t i = a; i < b; ++i) {
+                            hits[static_cast<std::size_t>(i)].fetch_add(1);
+                          }
+                        });
+      for (std::int64_t i = 0; i < end; ++i) {
+        ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i << " end " << end << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(BySocket, ChunkSetMatchesAutoDecomposition) {
+  // The (first, last) chunk pairs must be exactly the kAuto set — this
+  // is what makes chunk-order folds placement-independent.
+  ThreadPool pool(4, 3);
+  auto collect = [&](Placement p) {
+    std::mutex mu;
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+    pool.parallel_for(0, 1003, 17, p, [&](std::int64_t a, std::int64_t b) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(a, b);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(collect(Placement::kAuto), collect(Placement::kBySocket));
+}
+
+TEST(BySocket, ExceptionsStillPropagate) {
+  ThreadPool pool(4, 2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 10, Placement::kBySocket,
+                        [&](std::int64_t a, std::int64_t) {
+                          if (a >= 500) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(0, 100, 10, Placement::kBySocket,
+                    [&](std::int64_t a, std::int64_t b) {
+                      sum.fetch_add(b - a);
+                    });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+// ------------------------------------------------ forced-socket parity
+
+/// Runs `fn` under the default global pool, then under a pool forced to
+/// pretend the machine has 3 sockets, and returns both results.
+template <typename Fn>
+auto both_placements(Fn&& fn) {
+  auto base = fn();
+  ThreadPool forced(4, 3);
+  ScopedPool scope(forced);
+  auto forced_result = fn();
+  return std::make_pair(std::move(base), std::move(forced_result));
+}
+
+TEST(ForcedSocketParity, LouvainIsBitIdentical) {
+  const Graph g = test_graph();
+  auto [a, b] = both_placements([&] { return community::louvain(g); });
+  EXPECT_EQ(a.communities, b.communities);
+  EXPECT_EQ(a.num_communities, b.num_communities);
+  EXPECT_EQ(a.modularity, b.modularity);  // exact, not approximate
+}
+
+TEST(ForcedSocketParity, LabelPropHasEquivalentQuality) {
+  // Label propagation is asynchronous by design: a sweep reads neighbor
+  // labels that other chunks are concurrently rewriting, so the exact
+  // labeling depends on thread interleaving even under one pool (its own
+  // suite asserts quality parity, never bit-identity — see
+  // LabelProp.ScalarAndVectorSameQuality). By-socket placement must not
+  // change the *quality* of the result, and every label must stay valid.
+  const Graph g = test_graph();
+  auto [a, b] =
+      both_placements([&] { return community::label_propagation(g, {}); });
+  ASSERT_EQ(a.labels.size(), b.labels.size());
+  const auto n = static_cast<community::CommunityId>(g.num_vertices());
+  for (const auto lab : b.labels) ASSERT_LT(lab, n);
+  const double qa = community::modularity(g, a.labels);
+  const double qb = community::modularity(g, b.labels);
+  EXPECT_NEAR(qa, qb, 0.1);
+}
+
+TEST(ForcedSocketParity, CoarsenIsBitIdentical) {
+  const Graph g = test_graph();
+  std::vector<community::CommunityId> zeta(
+      static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < zeta.size(); ++i) {
+    zeta[i] = static_cast<community::CommunityId>(i / 16);
+  }
+  auto [a, b] =
+      both_placements([&] { return community::coarsen(g, zeta); });
+  EXPECT_EQ(a.mapping, b.mapping);
+  ASSERT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+  ASSERT_EQ(a.graph.num_arcs(), b.graph.num_arcs());
+  const auto n = static_cast<std::size_t>(a.graph.num_vertices());
+  const auto arcs = static_cast<std::size_t>(a.graph.num_arcs());
+  EXPECT_EQ(std::memcmp(a.graph.offsets_data(), b.graph.offsets_data(),
+                        (n + 1) * sizeof(std::uint64_t)),
+            0);
+  EXPECT_EQ(std::memcmp(a.graph.adjacency_data(), b.graph.adjacency_data(),
+                        arcs * sizeof(VertexId)),
+            0);
+  EXPECT_EQ(std::memcmp(a.graph.weights_data(), b.graph.weights_data(),
+                        arcs * sizeof(float)),
+            0);
+}
+
+TEST(ForcedSocketParity, EnvKnobSegmentsWithoutPinning) {
+  // VGP_FORCE_SOCKETS is the CI knob: it must segment (num_sockets > 1)
+  // while staying correct on this machine.
+  ::setenv("VGP_FORCE_SOCKETS", "2", 1);
+  ThreadPool pool(4);
+  ::unsetenv("VGP_FORCE_SOCKETS");
+  EXPECT_EQ(pool.num_sockets(), 2);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(0, 999, 8, Placement::kBySocket,
+                    [&](std::int64_t a, std::int64_t b) {
+                      for (std::int64_t i = a; i < b; ++i) sum.fetch_add(i);
+                    });
+  EXPECT_EQ(sum.load(), 999 * 998 / 2);
+}
+
+}  // namespace
+}  // namespace vgp

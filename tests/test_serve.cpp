@@ -155,13 +155,13 @@ TEST(SnapshotTable, PublishIfVersionDetectsConcurrentPublish) {
   // A concurrent Reload lands between the base copy and the publish:
   // the stale-derived snapshot must be rejected, not installed.
   table.publish(make_snapshot("g", "reloaded", g));
-  auto stale = std::make_shared<Snapshot>(*base);
+  auto stale = base->clone();
   EXPECT_FALSE(table.publish_if_version(stale, base->version));
   EXPECT_EQ(table.get("g")->source, "reloaded");
 
   // Against the current version it installs and bumps.
   const auto cur = table.get("g");
-  auto fresh = std::make_shared<Snapshot>(*cur);
+  auto fresh = cur->clone();
   EXPECT_TRUE(table.publish_if_version(fresh, cur->version));
   EXPECT_EQ(table.get("g")->version, cur->version + 1);
 }

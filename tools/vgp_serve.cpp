@@ -20,6 +20,7 @@
 
 #include "vgp/harness/options.hpp"
 #include "vgp/serve/server.hpp"
+#include "vgp/support/buffer.hpp"
 #include "vgp/support/cpu.hpp"
 #include "vgp/support/posix_io.hpp"
 #include "vgp/telemetry/registry.hpp"
@@ -60,7 +61,13 @@ int main(int argc, char** argv) {
       .describe("workers", "worker threads (default 2)")
       .describe("queue", "request queue capacity (default 1024)")
       .describe("metrics", "write telemetry to this file on exit")
-      .describe("trace", "write a Chrome-trace timeline to this file");
+      .describe("trace", "write a Chrome-trace timeline to this file")
+      .describe("mmap",
+                "serve .vgpb v3 graphs straight off the file mapping "
+                "(zero-parse load; pages fault in on first query)")
+      .describe("numa",
+                "memory placement for graph arrays: bind|interleave|off "
+                "(default off; falls back silently when not multi-socket)");
   try {
     if (!opts.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -84,6 +91,17 @@ int main(int argc, char** argv) {
   }
   if (const std::string trace = opts.get("trace", ""); !trace.empty()) {
     telemetry::enable_trace_output(trace);
+  }
+  so.mmap_load = opts.get_flag("mmap");
+  if (const std::string numa = opts.get("numa", ""); !numa.empty()) {
+    NumaPolicy p = NumaPolicy::kOff;
+    if (!parse_numa_policy(numa, p)) {
+      std::fprintf(stderr,
+                   "vgp-serve: --numa wants bind|interleave|off, got %s\n",
+                   numa.c_str());
+      return 2;
+    }
+    set_numa_policy(p);
   }
 
   serve::Server server(so);
