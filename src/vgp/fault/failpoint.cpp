@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "vgp/fault/error.hpp"
+#include "vgp/support/log.hpp"
 #include "vgp/telemetry/registry.hpp"
 
 namespace vgp::fault {
@@ -257,7 +258,10 @@ void configure_from_env() {
   if (env == nullptr || env[0] == '\0') return;
   std::string error;
   if (!set_spec(env, &error)) {
-    std::fprintf(stderr, "vgp: ignoring VGP_FAILPOINTS: %s\n", error.c_str());
+    log::warn("env.ignored")
+        .field("var", "VGP_FAILPOINTS")
+        .field("value", env)
+        .field("reason", error);
   }
 }
 

@@ -240,4 +240,42 @@ Status Client::status(std::string& json) {
   return Status::Ok;
 }
 
+Status Client::metrics(std::string& text) {
+  Reply reply;
+  if (!call(Op::Metrics, 0, std::string(), reply)) return Status::Internal;
+  if (reply.status != Status::Ok) return reply.status;
+  WireReader rd(reply.body);
+  if (!rd.str(text)) return Status::BadFrame;
+  return Status::Ok;
+}
+
+Status Client::profile_start(std::uint32_t hz) {
+  WireWriter w;
+  w.u32(hz);
+  Reply reply;
+  if (!call(Op::Profile, 0, w.take(), reply)) return Status::Internal;
+  return reply.status;
+}
+
+Status Client::profile_stop(std::string& collapsed, std::uint64_t& samples,
+                            std::uint64_t& dropped) {
+  Reply reply;
+  if (!call(Op::Profile, 1, std::string(), reply)) return Status::Internal;
+  if (reply.status != Status::Ok) return reply.status;
+  WireReader rd(reply.body);
+  if (!rd.str(collapsed) || !rd.u64(samples) || !rd.u64(dropped)) {
+    return Status::BadFrame;
+  }
+  return Status::Ok;
+}
+
+Status Client::trace_dump(std::string& json) {
+  Reply reply;
+  if (!call(Op::TraceDump, 0, std::string(), reply)) return Status::Internal;
+  if (reply.status != Status::Ok) return reply.status;
+  WireReader rd(reply.body);
+  if (!rd.str(json)) return Status::BadFrame;
+  return Status::Ok;
+}
+
 }  // namespace vgp::serve

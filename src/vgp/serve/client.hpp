@@ -77,6 +77,16 @@ class Client {
   Status reload(const std::string& name, const std::string& path,
                 std::string& summary);
   Status status(std::string& json);
+  /// Prometheus text exposition scrape (the Metrics op).
+  Status metrics(std::string& text);
+  /// Arms the server's sampling profiler (hz = 0 selects the default).
+  Status profile_start(std::uint32_t hz);
+  /// Disarms it and fetches the result: collapsed flamegraph stacks plus
+  /// the sample/drop counts.
+  Status profile_stop(std::string& collapsed, std::uint64_t& samples,
+                      std::uint64_t& dropped);
+  /// Retained slow/error request traces as a JSON array (TraceDump op).
+  Status trace_dump(std::string& json);
 
  private:
   int fd_ = -1;

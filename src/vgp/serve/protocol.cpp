@@ -10,6 +10,9 @@ const char* op_name(Op op) noexcept {
     case Op::Run: return "run";
     case Op::Reload: return "reload";
     case Op::Status: return "status";
+    case Op::Metrics: return "metrics";
+    case Op::Profile: return "profile";
+    case Op::TraceDump: return "trace-dump";
   }
   return "?";
 }

@@ -36,7 +36,19 @@
 //               atomically swaps the named snapshot.
 //               Reply: string JSON summary.
 //   Status      empty body. Reply: string JSON server status (graphs,
-//               counters, latency percentiles).
+//               counters, per-op latency quantiles, dispatch-backend
+//               mix, memory/NUMA gauges).
+//   Metrics     empty body. Reply: string Prometheus text exposition of
+//               the live serve metrics (the scrape endpoint).
+//   Profile     aux=0 starts a sampling CPU profile of the daemon
+//               (body: u32 hz, 0 = default 99); empty reply. aux=1
+//               stops it; reply: string collapsed stacks, u64 samples,
+//               u64 dropped. One profile at a time (BadRequest when a
+//               start races a running profile or a stop finds none).
+//   TraceDump   empty body. Reply: string JSON array of the retained
+//               slow/error request traces (tail-based retention: only
+//               requests slower than the server's threshold or ending
+//               in a non-Ok status are kept, newest last).
 //
 // Error replies carry status != Ok and body: string code, string
 // message. A malformed or oversized frame gets a BadFrame reply (when
@@ -62,7 +74,13 @@ enum class Op : std::uint16_t {
   Run = 3,
   Reload = 4,
   Status = 5,
+  Metrics = 6,
+  Profile = 7,
+  TraceDump = 8,
 };
+
+/// One past the highest Op value; sizes the per-op stats arrays.
+inline constexpr int kNumOps = 9;
 
 /// Which per-vertex attribute a Lookup gathers.
 enum class Attr : std::uint16_t {
@@ -112,6 +130,7 @@ class WireWriter {
  public:
   void u16(std::uint16_t v) { raw(&v, 2); }
   void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
   void i32(std::int32_t v) { raw(&v, 4); }
   void i64(std::int64_t v) { raw(&v, 8); }
   void f64(double v) { raw(&v, 8); }
@@ -145,6 +164,7 @@ class WireReader {
 
   bool u16(std::uint16_t& v) { return raw(&v, 2); }
   bool u32(std::uint32_t& v) { return raw(&v, 4); }
+  bool u64(std::uint64_t& v) { return raw(&v, 8); }
   bool i32(std::int32_t& v) { return raw(&v, 4); }
   bool i64(std::int64_t& v) { return raw(&v, 8); }
   bool f64(double& v) { return raw(&v, 8); }

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <set>
 #include <sstream>
 
 #include "vgp/community/label_prop.hpp"
@@ -25,7 +26,10 @@
 #include "vgp/serve/batch.hpp"
 #include "vgp/simd/registry.hpp"
 #include "vgp/support/buffer.hpp"
+#include "vgp/support/log.hpp"
 #include "vgp/support/posix_io.hpp"
+#include "vgp/telemetry/exporter.hpp"
+#include "vgp/telemetry/profiler.hpp"
 #include "vgp/telemetry/registry.hpp"
 #include "vgp/telemetry/sink.hpp"
 
@@ -84,46 +88,29 @@ Status status_for(const Error& e) {
   return Status::Internal;
 }
 
+/// Copies a live Histogram into the snapshot form render_prometheus
+/// understands (min/max degrade to bucket bounds; the scrape path does
+/// not use them).
+telemetry::HistogramData snap_histogram(const telemetry::Histogram& h) {
+  telemetry::HistogramData d;
+  d.count = h.count();
+  d.sum = h.sum();
+  d.buckets.resize(telemetry::Histogram::kBuckets);
+  for (int i = 0; i < telemetry::Histogram::kBuckets; ++i) {
+    d.buckets[static_cast<std::size_t>(i)] = h.bucket(i);
+  }
+  return d;
+}
+
+double unix_seconds() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count()) /
+         1e6;
+}
+
 }  // namespace
-
-// ---------------------------------------------------------------------------
-// LatencyHistogram
-
-void LatencyHistogram::observe_us(double us) noexcept {
-  int b = 0;
-  if (us >= 1.0) {
-    b = static_cast<int>(std::log2(us)) + 1;
-    if (b >= kBuckets) b = kBuckets - 1;
-  }
-  buckets_[b].fetch_add(1, std::memory_order_relaxed);
-}
-
-double LatencyHistogram::percentile_us(double p) const noexcept {
-  std::uint64_t counts[kBuckets];
-  std::uint64_t total = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(total);
-  std::uint64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += counts[i];
-    if (static_cast<double>(seen) >= rank) {
-      // Upper bound of bucket i: 2^(i-1)..2^i us (bucket 0 = sub-us).
-      return i == 0 ? 1.0 : std::pow(2.0, i);
-    }
-  }
-  return std::pow(2.0, kBuckets - 1);
-}
-
-std::uint64_t LatencyHistogram::count() const noexcept {
-  std::uint64_t total = 0;
-  for (int i = 0; i < kBuckets; ++i)
-    total += buckets_[i].load(std::memory_order_relaxed);
-  return total;
-}
 
 // ---------------------------------------------------------------------------
 // Connection
@@ -160,9 +147,18 @@ Server::Server(ServeOptions opts) : opts_(std::move(opts)) {
   if (opts_.workers < 1) opts_.workers = 1;
   if (opts_.queue_capacity < 1) opts_.queue_capacity = 1;
   support::ignore_sigpipe();
+  // The live latency histogram doubles as the registry's
+  // "serve.latency.us" metric, so snapshots and the Prometheus
+  // exposition carry its quantiles without double bookkeeping.
+  telemetry::Registry::global().attach_histogram("serve.latency.us",
+                                                 &latency_);
 }
 
-Server::~Server() { shutdown(); }
+Server::~Server() {
+  shutdown();
+  telemetry::Registry::global().detach_histogram("serve.latency.us",
+                                                 &latency_);
+}
 
 void Server::load_file(const std::string& name, const std::string& path) {
   std::shared_ptr<Graph> g;
@@ -286,6 +282,7 @@ void Server::adopt(int fd) {
     ++stats_.connections;
   }
   telemetry::Registry::global().add(ServeMetrics::get().connections);
+  log::debug("serve.connect").field("fd", fd);
   reap_connections();
 }
 
@@ -298,6 +295,9 @@ void Server::shutdown() {
 }
 
 void Server::do_shutdown() {
+  log::info("serve.drain")
+      .field("queued", static_cast<std::uint64_t>(queue_depth()))
+      .field("connections", static_cast<std::uint64_t>(live_connections()));
   {
     // Set under conns_mu_ so adopt() (which re-checks under the same
     // lock) can never register a connection the snapshot below misses.
@@ -452,6 +452,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     r.conn = conn;
     r.header = hdr;
     r.arrival_ns = steady_ns();
+    r.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
     if (hdr.body_len > 0) {
       r.body.resize(hdr.body_len);
       const std::size_t body_got =
@@ -492,6 +493,7 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     ++stats_.disconnects;
   }
   telemetry::Registry::global().add(ServeMetrics::get().disconnects);
+  log::debug("serve.disconnect").field("fd", conn->fd);
 }
 
 // ---------------------------------------------------------------------------
@@ -576,19 +578,26 @@ void Server::handle_batch(std::vector<Request>& batch) {
   for (Request& r : batch) {
     telemetry::TraceSpan span("serve.request");
     span.arg_str("op", op_name(static_cast<Op>(r.header.op)));
+    span.arg("trace_id", static_cast<double>(r.trace_id));
     const std::uint64_t t0 = steady_ns();
 
     FrameHeader reply = r.header;
     std::string body = handle_request(r, reply);
 
-    const double us = static_cast<double>(steady_ns() - r.arrival_ns) / 1e3;
-    latency_.observe_us(us);
-    telemetry::Registry::global().observe(
-        ServeMetrics::get().request_seconds,
-        static_cast<double>(steady_ns() - t0) / 1e9);
+    const std::uint64_t t1 = steady_ns();
+    const double queue_us = static_cast<double>(t0 - r.arrival_ns) / 1e3;
+    const double handle_us = static_cast<double>(t1 - t0) / 1e3;
+    const double us = queue_us + handle_us;
+    latency_.observe(us);
+    if (r.header.op < static_cast<std::uint16_t>(kNumOps)) {
+      per_op_latency_[r.header.op].observe(us);
+    }
+    telemetry::Registry::global().observe(ServeMetrics::get().request_seconds,
+                                          handle_us / 1e6);
     span.arg("us", us);
     span.arg_str("status",
                  status_name(static_cast<Status>(reply.op)));
+    retain_tail(r, static_cast<Status>(reply.op), queue_us, handle_us);
 
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -619,6 +628,18 @@ std::string Server::handle_request(const Request& r, FrameHeader& reply) {
         return do_reload(r, reply);
       case Op::Status:
         return status_json();
+      case Op::Metrics: {
+        WireWriter w;
+        w.str(metrics_text());
+        return w.take();
+      }
+      case Op::Profile:
+        return do_profile(r, reply);
+      case Op::TraceDump: {
+        WireWriter w;
+        w.str(trace_dump_json());
+        return w.take();
+      }
     }
     reply.op = static_cast<std::uint16_t>(Status::UnknownOp);
     return error_body(Status::UnknownOp, "unknown-op",
@@ -697,6 +718,7 @@ std::string Server::do_lookup(const Request& r, FrameHeader& reply) {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.batched_ids += static_cast<std::uint64_t>(n);
+    ++stats_.gathers_by_backend[static_cast<int>(sel.backend)];
   }
   telemetry::Registry::global().add(ServeMetrics::get().batched_ids,
                                     static_cast<double>(n));
@@ -832,6 +854,11 @@ std::string Server::do_reload(const Request& r, FrameHeader& reply) {
     ++stats_.reloads;
   }
   const auto snap = snapshots_.get(name);
+  log::info("serve.reload")
+      .field("graph", name)
+      .field("path", path)
+      .field("version", static_cast<std::int64_t>(snap->version))
+      .field("vertices", static_cast<std::int64_t>(snap->graph->num_vertices()));
   std::ostringstream out;
   out << "{\"graph\": ";
   telemetry::write_json_string(out, name);
@@ -876,12 +903,180 @@ std::string Server::status_json() const {
       << ", \"coalesced\": " << s.coalesced
       << ", \"batched_ids\": " << s.batched_ids
       << ", \"reloads\": " << s.reloads
+      << ", \"workers\": " << opts_.workers
       << ", \"queue_depth\": " << queue_depth()
-      << ", \"latency_p50_us\": " << latency_.percentile_us(50.0)
-      << ", \"latency_p99_us\": " << latency_.percentile_us(99.0) << "}}";
+      << ", \"latency_p50_us\": " << latency_.percentile(50.0)
+      << ", \"latency_p99_us\": " << latency_.percentile(99.0) << "}";
+  // Per-op latency quantiles (ops that never ran are omitted).
+  out << ", \"ops\": {";
+  bool first_op = true;
+  for (int i = 0; i < kNumOps; ++i) {
+    const telemetry::Histogram& h = per_op_latency_[i];
+    const std::uint64_t c = h.count();
+    if (c == 0) continue;
+    out << (first_op ? "" : ", ") << "\"" << op_name(static_cast<Op>(i))
+        << "\": {\"count\": " << c << ", \"p50_us\": " << h.percentile(50.0)
+        << ", \"p99_us\": " << h.percentile(99.0) << "}";
+    first_op = false;
+  }
+  // Dispatch-backend mix: which gather tier the Lookup sweeps ran on.
+  out << "}, \"dispatch\": {";
+  bool first_be = true;
+  for (int b = 1; b < 4; ++b) {
+    out << (first_be ? "" : ", ") << "\""
+        << simd::backend_name(static_cast<simd::Backend>(b))
+        << "\": " << s.gathers_by_backend[b];
+    first_be = false;
+  }
+  const auto& prof = telemetry::Profiler::global();
+  out << "}, \"profile\": {\"armed\": " << (prof.armed() ? "true" : "false")
+      << ", \"hz\": " << prof.hz()
+      << ", \"samples\": " << prof.sample_count()
+      << ", \"dropped\": " << prof.dropped_count() << "}}";
   WireWriter w;
   w.str(out.str());
   return w.take();
+}
+
+std::string Server::metrics_text() const {
+  const ServeStats s = stats();
+  std::vector<telemetry::MetricValue> metrics;
+  const auto counter = [&metrics](std::string name, std::uint64_t v) {
+    metrics.push_back(telemetry::MetricValue{
+        std::move(name), telemetry::Kind::Counter, static_cast<double>(v),
+        {}, {}});
+  };
+  const auto gauge = [&metrics](std::string name, double v) {
+    metrics.push_back(telemetry::MetricValue{
+        std::move(name), telemetry::Kind::Gauge, v, {}, {}});
+  };
+  const auto histogram = [&metrics](std::string name,
+                                    const telemetry::Histogram& h) {
+    metrics.push_back(telemetry::MetricValue{std::move(name),
+                                             telemetry::Kind::Histogram, 0.0,
+                                             {}, snap_histogram(h)});
+  };
+  // The serve stats are always on, so a scrape is meaningful even when
+  // registry telemetry is disabled (the common production state).
+  counter("serve.requests", s.requests);
+  counter("serve.errors", s.errors);
+  counter("serve.bad_frames", s.bad_frames);
+  counter("serve.coalesced", s.coalesced);
+  counter("serve.batched_ids", s.batched_ids);
+  counter("serve.connections", s.connections);
+  counter("serve.disconnects", s.disconnects);
+  counter("serve.reloads", s.reloads);
+  for (int b = 1; b < 4; ++b) {
+    counter(std::string("serve.gathers.") +
+                simd::backend_name(static_cast<simd::Backend>(b)),
+            s.gathers_by_backend[b]);
+  }
+  gauge("serve.queue.depth", static_cast<double>(queue_depth()));
+  gauge("serve.connections.live", static_cast<double>(live_connections()));
+  histogram("serve.latency.us", latency_);
+  for (int i = 0; i < kNumOps; ++i) {
+    if (per_op_latency_[i].count() == 0) continue;
+    histogram(std::string("serve.latency.") +
+                  op_name(static_cast<Op>(i)) + ".us",
+              per_op_latency_[i]);
+  }
+  const auto& prof = telemetry::Profiler::global();
+  gauge("profile.armed", prof.armed() ? 1.0 : 0.0);
+  gauge("profile.samples", static_cast<double>(prof.sample_count()));
+  gauge("profile.dropped", static_cast<double>(prof.dropped_count()));
+  gauge("log.dropped", static_cast<double>(log::dropped_count()));
+  // Registry metrics ride along (mem.* gauges, span.* aggregates, any
+  // enabled-telemetry counters) — minus names the serve view already
+  // published, so the exposition never carries duplicate families.
+  std::set<std::string> seen;
+  for (const auto& m : metrics) seen.insert(m.name);
+  for (auto& m : telemetry::Registry::global().collect()) {
+    if (seen.insert(m.name).second) metrics.push_back(std::move(m));
+  }
+  return telemetry::render_prometheus(metrics);
+}
+
+std::string Server::do_profile(const Request& r, FrameHeader& reply) {
+  auto& prof = telemetry::Profiler::global();
+  if (r.header.aux == 0) {  // start
+    WireReader rd(r.body);
+    std::uint32_t hz = 0;
+    if (!rd.u32(hz) || !rd.at_end()) {
+      reply.op = static_cast<std::uint16_t>(Status::BadFrame);
+      return error_body(Status::BadFrame, "bad-frame",
+                        "malformed Profile body");
+    }
+    const int want =
+        hz == 0 ? telemetry::Profiler::kDefaultHz : static_cast<int>(hz);
+    if (!prof.start(want)) {
+      reply.op = static_cast<std::uint16_t>(Status::BadRequest);
+      return error_body(Status::BadRequest, "profile-unavailable",
+                        "a profile is already running or the timer could "
+                        "not be armed");
+    }
+    log::info("serve.profile.start").field("hz", prof.hz());
+    return std::string();
+  }
+  if (r.header.aux == 1) {  // stop + fetch
+    if (!prof.armed()) {
+      reply.op = static_cast<std::uint16_t>(Status::BadRequest);
+      return error_body(Status::BadRequest, "profile-not-running",
+                        "no profile is running");
+    }
+    prof.stop();
+    log::info("serve.profile.stop")
+        .field("samples", prof.sample_count())
+        .field("dropped", prof.dropped_count());
+    WireWriter w;
+    w.str(prof.collapsed());
+    w.u64(prof.sample_count());
+    w.u64(prof.dropped_count());
+    return w.take();
+  }
+  reply.op = static_cast<std::uint16_t>(Status::BadRequest);
+  return error_body(Status::BadRequest, "bad-aux",
+                    "Profile aux must be 0 (start) or 1 (stop)");
+}
+
+void Server::retain_tail(const Request& r, Status status, double queue_us,
+                         double handle_us) {
+  const double total_us = queue_us + handle_us;
+  if (status == Status::Ok && total_us < opts_.tail_threshold_us) return;
+  TailTrace t;
+  t.trace_id = r.trace_id;
+  t.unix_ts = unix_seconds();
+  t.op = static_cast<Op>(r.header.op);
+  t.status = status;
+  t.queue_us = queue_us;
+  t.handle_us = handle_us;
+  t.total_us = total_us;
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  tail_.push_back(t);
+  while (tail_.size() > opts_.tail_capacity) tail_.pop_front();
+}
+
+std::vector<TailTrace> Server::tail_traces() const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  return std::vector<TailTrace>(tail_.begin(), tail_.end());
+}
+
+std::string Server::trace_dump_json() const {
+  const std::vector<TailTrace> traces = tail_traces();
+  std::ostringstream out;
+  out.precision(15);
+  out << "[";
+  bool first = true;
+  for (const TailTrace& t : traces) {
+    out << (first ? "" : ", ") << "{\"trace_id\": " << t.trace_id
+        << ", \"unix_ts\": " << t.unix_ts << ", \"op\": \"" << op_name(t.op)
+        << "\", \"status\": \"" << status_name(t.status)
+        << "\", \"queue_us\": " << t.queue_us
+        << ", \"handle_us\": " << t.handle_us
+        << ", \"total_us\": " << t.total_us << "}";
+    first = false;
+  }
+  out << "]";
+  return out.str();
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,7 @@
 #include "vgp/serve/protocol.hpp"
 #include "vgp/serve/snapshot.hpp"
 #include "vgp/simd/backend.hpp"
+#include "vgp/telemetry/histogram.hpp"
 
 namespace vgp::serve {
 
@@ -62,6 +63,12 @@ struct ServeOptions {
   /// pages faulting in on first query. Legacy v1/v2 files (and every
   /// other format) silently fall back to the parsing reader.
   bool mmap_load = false;
+  /// Tail-based trace retention: a request's trace record is kept for
+  /// TraceDump only when it ran at least this long or ended in a
+  /// non-Ok status. 0 keeps every request (debugging, tests).
+  double tail_threshold_us = 10000.0;
+  /// Retained trace records (ring; oldest evicted first).
+  std::size_t tail_capacity = 256;
 };
 
 /// Monotonic counters mirrored into the telemetry registry; readable
@@ -75,22 +82,21 @@ struct ServeStats {
   std::uint64_t coalesced = 0;   ///< Lookups folded into another's sweep
   std::uint64_t batched_ids = 0; ///< total ids run through gathers
   std::uint64_t reloads = 0;
+  /// Lookup sweeps per dispatch backend tier (scalar/avx2/avx512),
+  /// indexed by simd::Backend — the Status "dispatch" mix.
+  std::uint64_t gathers_by_backend[4] = {0, 0, 0, 0};
 };
 
-/// Lock-free-enough log2 latency histogram (one atomic counter per
-/// power-of-two microsecond bucket). The registry's histograms track
-/// count/sum/min/max only, so p50/p99 need real buckets.
-class LatencyHistogram {
- public:
-  void observe_us(double us) noexcept;
-  /// Percentile in microseconds from the bucket upper bounds (0 when
-  /// empty). `p` in [0, 100].
-  double percentile_us(double p) const noexcept;
-  std::uint64_t count() const noexcept;
-
- private:
-  static constexpr int kBuckets = 40;
-  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+/// One retained request trace (tail-based retention: kept only when the
+/// request was slow or errored). Dumpable via the TraceDump op.
+struct TailTrace {
+  std::uint64_t trace_id = 0;
+  double unix_ts = 0.0;     ///< request completion, unix seconds
+  Op op = Op::Ping;
+  Status status = Status::Ok;
+  double queue_us = 0.0;    ///< arrival -> worker pickup
+  double handle_us = 0.0;   ///< worker pickup -> reply built
+  double total_us = 0.0;    ///< arrival -> reply built
 };
 
 class Server {
@@ -134,9 +140,23 @@ class Server {
   /// Connections still registered (disconnected ones leave as soon as
   /// their reader notices; gauge, racy by nature).
   std::size_t live_connections() const;
-  const LatencyHistogram& latency() const { return latency_; }
+  /// All-op request latency histogram (microseconds). Shared
+  /// telemetry::Histogram, also attached to the registry as
+  /// "serve.latency.us" so metrics snapshots carry its quantiles.
+  const telemetry::Histogram& latency() const { return latency_; }
+  /// Per-op latency histogram (microseconds), op = Op enum value.
+  const telemetry::Histogram& latency_for(Op op) const {
+    return per_op_latency_[static_cast<std::size_t>(op)];
+  }
   /// The Status op's reply payload (also handy for tools/tests).
   std::string status_json() const;
+  /// The Metrics op's reply payload: Prometheus text exposition of the
+  /// serve counters/gauges/histograms plus whatever the registry holds.
+  std::string metrics_text() const;
+  /// The TraceDump op's reply payload: retained tail traces as JSON.
+  std::string trace_dump_json() const;
+  /// Retained tail traces, oldest first (tests).
+  std::vector<TailTrace> tail_traces() const;
 
   /// Bound TCP port (after listen(); for tcp_port=0 ephemeral binds).
   int bound_tcp_port() const { return bound_tcp_port_; }
@@ -150,6 +170,7 @@ class Server {
     FrameHeader header;
     std::string body;
     std::uint64_t arrival_ns = 0;  ///< steady_clock, for queue latency
+    std::uint64_t trace_id = 0;    ///< process-unique, assigned at read
   };
 
   void accept_loop(int listen_fd);
@@ -174,6 +195,10 @@ class Server {
   std::string do_vertex_info(const Request& r, FrameHeader& reply_hdr);
   std::string do_run(const Request& r, FrameHeader& reply_hdr);
   std::string do_reload(const Request& r, FrameHeader& reply_hdr);
+  std::string do_profile(const Request& r, FrameHeader& reply_hdr);
+  /// Tail-based retention check + record (handle_batch epilogue).
+  void retain_tail(const Request& r, Status status, double queue_us,
+                   double handle_us);
   void send_reply(Connection& conn, const FrameHeader& hdr,
                   const std::string& body);
   static std::string error_body(Status s, const std::string& code,
@@ -208,7 +233,15 @@ class Server {
 
   mutable std::mutex stats_mu_;
   ServeStats stats_;
-  LatencyHistogram latency_;
+  /// All-op + per-op request latency in microseconds. Wait-free
+  /// observe; registered with the telemetry registry in the
+  /// constructor (detached in the destructor).
+  telemetry::Histogram latency_;
+  telemetry::Histogram per_op_latency_[kNumOps];
+
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  mutable std::mutex tail_mu_;
+  std::deque<TailTrace> tail_;  ///< bounded by opts_.tail_capacity
 };
 
 }  // namespace vgp::serve

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "vgp/support/cpu.hpp"
+#include "vgp/support/log.hpp"
 
 namespace vgp::simd {
 namespace {
@@ -23,7 +24,10 @@ Backend env_override() {
     try {
       return parse_backend(env);
     } catch (const std::invalid_argument& e) {
-      std::fprintf(stderr, "vgp: ignoring VGP_BACKEND: %s\n", e.what());
+      log::warn("env.ignored")
+          .field("var", "VGP_BACKEND")
+          .field("value", env)
+          .field("reason", e.what());
       return Backend::Auto;
     }
   }();

@@ -9,6 +9,8 @@
 #include <set>
 #include <string>
 
+#include "vgp/support/log.hpp"
+
 namespace vgp::support {
 namespace {
 
@@ -23,8 +25,10 @@ std::set<std::string>& warned_vars() {
 void warn_once(const char* var, const char* value, const char* expected) {
   std::lock_guard<std::mutex> lock(g_warned_mu);
   if (!warned_vars().insert(var).second) return;
-  std::fprintf(stderr, "vgp: ignoring %s=\"%s\" (%s)\n", var, value,
-               expected);
+  log::warn("env.ignored")
+      .field("var", var)
+      .field("value", value)
+      .field("expected", expected);
 }
 
 const char* trimmed(const char* s, const char** end_out) {

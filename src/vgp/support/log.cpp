@@ -1,0 +1,258 @@
+#include "vgp/support/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace vgp::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::Warn)};
+std::atomic<int> g_rate_limit{200};
+std::atomic<std::uint64_t> g_dropped{0};
+
+/// Guards the sink pointer, the rate-limiter window, and every write, so
+/// concurrent events never interleave bytes.
+std::mutex& sink_mu() {
+  static auto* mu = new std::mutex;  // leaked: log sites run at exit
+  return *mu;
+}
+
+std::FILE* g_sink = nullptr;  // nullptr means stderr
+bool g_sink_owned = false;
+
+// Rate-limiter state (all under sink_mu).
+std::int64_t g_window_start_s = -1;
+int g_window_count = 0;
+std::uint64_t g_window_dropped = 0;
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+double now_unix_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+/// Writes one finished line to the sink, applying the rate limiter.
+/// Summary lines for a closed window are emitted before the new line so
+/// drops are visible in order.
+void emit_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(sink_mu());
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  const int limit = g_rate_limit.load(std::memory_order_relaxed);
+  if (limit > 0) {
+    const auto now_s = static_cast<std::int64_t>(now_unix_seconds());
+    if (now_s != g_window_start_s) {
+      if (g_window_dropped > 0) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ts\":%.3f,\"level\":\"warn\",\"msg\":"
+                      "\"log.rate_limited\",\"dropped\":%llu}\n",
+                      now_unix_seconds(),
+                      static_cast<unsigned long long>(g_window_dropped));
+        std::fputs(buf, out);
+      }
+      g_window_start_s = now_s;
+      g_window_count = 0;
+      g_window_dropped = 0;
+    }
+    if (g_window_count >= limit) {
+      ++g_window_dropped;
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++g_window_count;
+  }
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace
+
+Level level() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level l) noexcept {
+  g_level.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+bool enabled(Level l) noexcept {
+  return static_cast<int>(l) >= g_level.load(std::memory_order_relaxed);
+}
+
+bool set_path(const std::string& path) {
+  std::FILE* next = nullptr;
+  bool owned = false;
+  if (!path.empty() && path != "stderr") {
+    next = std::fopen(path.c_str(), "a");
+    if (next == nullptr) return false;
+    owned = true;
+  }
+  std::lock_guard<std::mutex> lock(sink_mu());
+  if (g_sink_owned && g_sink != nullptr) std::fclose(g_sink);
+  g_sink = next;
+  g_sink_owned = owned;
+  return true;
+}
+
+void set_rate_limit(int max_per_second) noexcept {
+  g_rate_limit.store(max_per_second, std::memory_order_relaxed);
+}
+
+std::uint64_t dropped_count() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+const char* level_name(Level l) noexcept {
+  switch (l) {
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+
+bool parse_level(std::string_view s, Level& out) noexcept {
+  for (const Level l : {Level::Debug, Level::Info, Level::Warn, Level::Error,
+                        Level::Off}) {
+    if (s == level_name(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+void init_from_env() {
+  static const bool once = [] {
+    const char* env = std::getenv("VGP_LOG");
+    if (env == nullptr || env[0] == '\0') return true;
+    const std::string spec(env);
+    const std::size_t colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    Level l = Level::Warn;
+    if (parse_level(name, l)) {
+      set_level(l);
+    } else {
+      // Can't use the logger for its own config error at a level the
+      // user may have tried to silence; this one stays plain.
+      std::fprintf(stderr, "vgp: ignoring VGP_LOG level \"%s\"\n",
+                   name.c_str());
+    }
+    if (colon != std::string::npos && colon + 1 < spec.size()) {
+      const std::string path = spec.substr(colon + 1);
+      if (!set_path(path)) {
+        std::fprintf(stderr, "vgp: cannot open VGP_LOG path \"%s\"\n",
+                     path.c_str());
+      }
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+Event::Event(Level l, std::string_view msg) : live_(false) {
+  init_from_env();
+  if (!enabled(l) || l == Level::Off) return;
+  live_ = true;
+  line_.reserve(128);
+  char head[64];
+  std::snprintf(head, sizeof(head), "{\"ts\":%.3f,\"level\":\"%s\",\"msg\":\"",
+                now_unix_seconds(), level_name(l));
+  line_ += head;
+  append_escaped(line_, msg);
+  line_ += '"';
+}
+
+Event::~Event() {
+  if (!live_) return;
+  line_ += "}\n";
+  emit_line(line_);
+}
+
+Event& Event::field(const char* key, std::string_view v) {
+  if (!live_) return *this;
+  line_ += ",\"";
+  append_escaped(line_, key);
+  line_ += "\":\"";
+  append_escaped(line_, v);
+  line_ += '"';
+  return *this;
+}
+
+Event& Event::field(const char* key, const char* v) {
+  return field(key, std::string_view(v != nullptr ? v : ""));
+}
+
+Event& Event::field(const char* key, std::int64_t v) {
+  if (!live_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  line_ += ",\"";
+  append_escaped(line_, key);
+  line_ += "\":";
+  line_ += buf;
+  return *this;
+}
+
+Event& Event::field(const char* key, std::uint64_t v) {
+  if (!live_) return *this;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  line_ += ",\"";
+  append_escaped(line_, key);
+  line_ += "\":";
+  line_ += buf;
+  return *this;
+}
+
+Event& Event::field(const char* key, double v) {
+  if (!live_) return *this;
+  char buf[32];
+  // JSON cannot carry non-finite numbers; degrade like the metric sink.
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  line_ += ",\"";
+  append_escaped(line_, key);
+  line_ += "\":";
+  line_ += (std::strstr(buf, "inf") != nullptr ||
+            std::strstr(buf, "nan") != nullptr)
+               ? "0"
+               : buf;
+  return *this;
+}
+
+Event& Event::field(const char* key, bool v) {
+  if (!live_) return *this;
+  line_ += ",\"";
+  append_escaped(line_, key);
+  line_ += "\":";
+  line_ += v ? "true" : "false";
+  return *this;
+}
+
+}  // namespace vgp::log

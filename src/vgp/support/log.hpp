@@ -1,0 +1,98 @@
+// Structured, leveled, rate-limited JSON-lines logging.
+//
+// Every diagnostic the library emits at runtime goes through here as one
+// self-describing JSON object per line:
+//
+//   {"ts":1723111845.123,"level":"warn","msg":"env.ignored",
+//    "var":"VGP_THREADS","value":"abc","expected":"an integer"}
+//
+// `msg` is a stable dotted event name (grep target, never prose); the
+// remaining fields carry the data. Lines go to stderr by default or to
+// the file configured via `VGP_LOG=level[:path]` / set_path(). Levels:
+// debug < info < warn < error < off; the default is warn so existing
+// "vgp: ignoring ..." diagnostics keep appearing, now machine-parseable.
+//
+// Cost contract (same discipline as telemetry / failpoints):
+//   * A suppressed event is one relaxed load and an integer compare;
+//     no formatting, no allocation, no lock.
+//   * An emitted event formats into a thread-local buffer and takes one
+//     mutex for the write, so concurrent lines never interleave.
+//   * A global token bucket (default 200 lines/second) bounds the I/O a
+//     misbehaving hot path can generate; suppressed lines are counted
+//     (dropped_count()) and summarized once per window.
+//
+// Usage:
+//   vgp::log::warn("env.ignored")
+//       .field("var", var).field("value", raw);
+// The Event destructor emits the line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vgp::log {
+
+enum class Level : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current threshold; events below it are suppressed.
+Level level() noexcept;
+void set_level(Level l) noexcept;
+
+/// One relaxed load + compare; the guard for every call site.
+bool enabled(Level l) noexcept;
+
+/// Redirects output. "" or "stderr" selects stderr; anything else is
+/// opened for append (JSON-lines files are concatenation-safe). Returns
+/// false and leaves the sink unchanged when the file cannot be opened.
+bool set_path(const std::string& path);
+
+/// Caps emitted lines per one-second window; <= 0 removes the cap.
+/// Suppressed lines increment dropped_count() and produce a single
+/// "log.rate_limited" summary when the window rolls over.
+void set_rate_limit(int max_per_second) noexcept;
+
+/// Cumulative lines suppressed by the rate limiter (monotonic).
+std::uint64_t dropped_count() noexcept;
+
+/// Lowercase level name ("debug" ... "off").
+const char* level_name(Level l) noexcept;
+
+/// Parses a level name (case-sensitive, lowercase). Returns false and
+/// leaves `out` untouched on unknown names.
+bool parse_level(std::string_view s, Level& out) noexcept;
+
+/// Applies VGP_LOG=level[:path] once per process (idempotent, thread-
+/// safe); every Event construction calls it, so explicit calls are only
+/// needed to force the parse before the first log site runs.
+void init_from_env();
+
+/// One log line under construction. Cheap when the level is suppressed:
+/// the constructor takes the one-load guard and every field() call is a
+/// dead branch. Emits on destruction.
+class Event {
+ public:
+  Event(Level l, std::string_view msg);
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  Event& field(const char* key, std::string_view v);
+  Event& field(const char* key, const char* v);
+  Event& field(const char* key, std::int64_t v);
+  Event& field(const char* key, std::uint64_t v);
+  Event& field(const char* key, int v) { return field(key, static_cast<std::int64_t>(v)); }
+  Event& field(const char* key, double v);
+  Event& field(const char* key, bool v);
+
+ private:
+  bool live_;
+  std::string line_;
+};
+
+inline Event debug(std::string_view msg) { return Event(Level::Debug, msg); }
+inline Event info(std::string_view msg) { return Event(Level::Info, msg); }
+inline Event warn(std::string_view msg) { return Event(Level::Warn, msg); }
+inline Event error(std::string_view msg) { return Event(Level::Error, msg); }
+
+}  // namespace vgp::log

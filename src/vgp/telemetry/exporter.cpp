@@ -1,0 +1,221 @@
+#include "vgp/telemetry/exporter.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "vgp/support/log.hpp"
+#include "vgp/telemetry/histogram.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+/// Monotonic-counter guard across Registry::reset(): raw values that
+/// move backwards fold the lost total into an offset (file comment in
+/// exporter.hpp). Keyed by metric name; process-lifetime state.
+struct CounterGuard {
+  std::mutex mu;
+  std::map<std::string, std::pair<double, double>> last_and_offset;
+
+  double monotonic(const std::string& name, double raw) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& [last, offset] = last_and_offset[name];
+    if (raw < last) offset += last;  // registry was reset between scrapes
+    last = raw;
+    return offset + raw;
+  }
+};
+
+CounterGuard& counter_guard() {
+  static auto* g = new CounterGuard;
+  return *g;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "vgp_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_prometheus(const std::vector<MetricValue>& metrics) {
+  std::string out;
+  out.reserve(metrics.size() * 64);
+  for (const MetricValue& m : metrics) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case Kind::Counter: {
+        out += "# TYPE " + name + " counter\n";
+        out += name + ' ';
+        append_number(out, counter_guard().monotonic(m.name, m.value));
+        out += '\n';
+        break;
+      }
+      case Kind::Gauge: {
+        out += "# TYPE " + name + " gauge\n";
+        out += name + ' ';
+        append_number(out, m.value);
+        out += '\n';
+        break;
+      }
+      case Kind::Series: {
+        // A series is an in-process array, not a time series the
+        // scraper can reconstruct; expose its latest value and size.
+        out += "# TYPE " + name + "_last gauge\n";
+        out += name + "_last ";
+        append_number(out, m.samples.empty() ? 0.0 : m.samples.back());
+        out += '\n';
+        out += "# TYPE " + name + "_count gauge\n";
+        out += name + "_count ";
+        append_number(out, static_cast<double>(m.samples.size()));
+        out += '\n';
+        break;
+      }
+      case Kind::Histogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.hist.buckets.size(); ++i) {
+          if (m.hist.buckets[i] == 0) continue;  // elide empty buckets
+          cumulative += m.hist.buckets[i];
+          out += name + "_bucket{le=\"";
+          append_number(out, Histogram::bucket_upper(static_cast<int>(i)));
+          out += "\"} ";
+          append_number(out, static_cast<double>(cumulative));
+          out += '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} ";
+        append_number(out, static_cast<double>(m.hist.count));
+        out += '\n';
+        out += name + "_sum ";
+        append_number(out, m.hist.sum);
+        out += '\n';
+        out += name + "_count ";
+        append_number(out, static_cast<double>(m.hist.count));
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus() {
+  return render_prometheus(Registry::global().collect());
+}
+
+// ---------------------------------------------------------------------------
+// Exporter thread
+
+struct Exporter::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  std::atomic<bool> running{false};
+  bool stop_requested = false;
+  std::string path;
+  double interval_s = 1.0;
+  std::function<std::string()> producer;
+  std::atomic<std::uint64_t> exports{0};
+
+  /// Write-temp + rename so a concurrent scrape never reads half a file.
+  bool write_atomic(const std::string& text) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fflush(f) == 0;
+    std::fclose(f);
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stop_requested) {
+      lock.unlock();
+      const std::string text = producer();
+      if (!write_atomic(text)) {
+        log::warn("exporter.write_failed").field("path", path);
+      } else {
+        exports.fetch_add(1, std::memory_order_relaxed);
+      }
+      lock.lock();
+      cv.wait_for(lock,
+                  std::chrono::duration<double>(interval_s),
+                  [this] { return stop_requested; });
+    }
+  }
+};
+
+Exporter::Exporter() : impl_(new Impl) {}
+
+Exporter& Exporter::global() {
+  static auto* e = new Exporter;  // leaked: may be stopped during exit
+  return *e;
+}
+
+bool Exporter::start(const std::string& path, double interval_s,
+                     std::function<std::string()> producer) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (impl_->running) return false;
+  impl_->path = path;
+  impl_->interval_s = interval_s < 0.05 ? 0.05 : interval_s;
+  impl_->producer =
+      producer ? std::move(producer)
+               : std::function<std::string()>(
+                     static_cast<std::string (*)()>(&render_prometheus));
+  // Probe writability now so a bad path fails the start() call instead
+  // of warning once a second from the thread.
+  if (!impl_->write_atomic(std::string())) return false;
+  impl_->stop_requested = false;
+  impl_->running = true;
+  impl_->thread = std::thread([this] { impl_->run(); });
+  return true;
+}
+
+void Exporter::stop() {
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    if (!impl_->running) return;
+    impl_->stop_requested = true;
+    impl_->cv.notify_all();
+    to_join = std::move(impl_->thread);
+    impl_->running = false;
+  }
+  if (to_join.joinable()) to_join.join();
+  // One final export so the file reflects the end state.
+  if (impl_->write_atomic(impl_->producer())) {
+    impl_->exports.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Exporter::running() const noexcept {
+  return impl_->running.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Exporter::exports() const noexcept {
+  return impl_->exports.load(std::memory_order_relaxed);
+}
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,93 @@
+// Continuous metrics exposition in Prometheus text format.
+//
+// The JSON/CSV sinks (sink.hpp) are post-mortem: one snapshot at
+// process exit. This exporter is the live complement — it renders the
+// same MetricValue snapshot in Prometheus text exposition format 0.0.4
+// so a scraper (or `curl`, or the serve `Metrics` op, or vgp-top) can
+// watch the counters move while the process works:
+//
+//   # TYPE vgp_serve_requests counter
+//   vgp_serve_requests 183220
+//   # TYPE vgp_serve_latency_us histogram
+//   vgp_serve_latency_us_bucket{le="64"} 171034
+//   vgp_serve_latency_us_bucket{le="+Inf"} 183220
+//   vgp_serve_latency_us_sum 9.73221e+06
+//   vgp_serve_latency_us_count 183220
+//
+// Mapping rules:
+//   * metric names are prefixed `vgp_` and every character outside
+//     [a-zA-Z0-9_] becomes '_' ("serve.latency.us" -> vgp_serve_latency_us)
+//   * counters are published as monotonic totals. The renderer is
+//     delta-aware across registry resets: if a raw counter ever moves
+//     backwards (reset() between scrapes), the lost total is folded
+//     into a per-name offset so the exposed value never decreases —
+//     rate() over a scrape series stays correct.
+//   * histograms publish cumulative `_bucket{le="..."}` counts on the
+//     log2 bucket upper bounds (empty buckets elided; `+Inf` always
+//     present), plus `_sum` and `_count`.
+//   * gauges publish as-is; series publish their last value as a gauge
+//     (`vgp_<name>_last`) plus a `vgp_<name>_count` sample count.
+//
+// The Exporter thread periodically renders a producer callback into a
+// file (write-temp + rename, so a scraper never reads a torn file) —
+// the "textfile collector" pattern. vgp-serve points it at
+// Server::metrics_text so the file carries the serve-layer stats even
+// when registry telemetry is disabled; library users get the plain
+// registry snapshot by default.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::telemetry {
+
+/// Prometheus-legal metric name: `vgp_` + name with every character
+/// outside [a-zA-Z0-9_] replaced by '_'.
+std::string prometheus_name(const std::string& name);
+
+/// Renders one snapshot in Prometheus text exposition format 0.0.4.
+/// Stateless and deterministic — same metrics, same text.
+std::string render_prometheus(const std::vector<MetricValue>& metrics);
+
+/// Registry::global().collect() + render, with the monotonic-counter
+/// guard (see file comment) applied across calls.
+std::string render_prometheus();
+
+/// Periodic exposition-file writer. One global instance; start() spawns
+/// the thread, stop() joins it. The producer runs on the exporter
+/// thread, so it must be safe to call concurrently with the workload
+/// (Registry::collect() and Server::metrics_text are).
+class Exporter {
+ public:
+  static Exporter& global();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Starts exporting `producer()` to `path` every `interval_s` seconds
+  /// (clamped to >= 0.05). A null producer means render_prometheus().
+  /// Returns false when already running or the path's directory is not
+  /// writable (probed immediately so misconfiguration fails loudly, not
+  /// silently on a detached thread).
+  bool start(const std::string& path, double interval_s,
+             std::function<std::string()> producer = nullptr);
+
+  /// Writes one final export, stops the thread, joins. Idempotent.
+  void stop();
+
+  bool running() const noexcept;
+  /// Completed file writes (tests wait on this to see a tick happen).
+  std::uint64_t exports() const noexcept;
+
+  struct Impl;
+
+ private:
+  Exporter();
+  Impl* impl_;
+};
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,66 @@
+#include "vgp/telemetry/histogram.hpp"
+
+#include <cmath>
+
+namespace vgp::telemetry {
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN both collapse to 0
+  const int b = static_cast<int>(std::floor(std::log2(v))) + kZeroBucket + 1;
+  if (b < 0) return 0;
+  if (b >= kBuckets) return kBuckets - 1;
+  return b;
+}
+
+double Histogram::bucket_upper(int i) noexcept {
+  return std::pow(2.0, i - kZeroBucket);
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // atomic<double> fetch_add is a CAS loop on x86-64; fine off the
+  // signal path (the profiler never calls this from its handler).
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double p) const noexcept {
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  const double add = other.sum();
+  while (!sum_.compare_exchange_weak(cur, cur + add, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace vgp::telemetry

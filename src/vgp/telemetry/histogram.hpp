@@ -1,0 +1,74 @@
+// Shared log2-bucketed latency/duration histogram.
+//
+// Before this class existed the repo carried three private copies of
+// the same idea: serve::LatencyHistogram (atomic buckets for p50/p99 in
+// Status), loadgen's PerThread::latency_buckets, and the registry's
+// HistogramData (count/sum/min/max only — no quantiles at all). This is
+// the one implementation all three now share, and the registry can
+// expose any instance's buckets so vgp-report diffs p50/p99 — not just
+// means — between runs.
+//
+// Bucketing: value v (in whatever unit the caller observes — the serve
+// path observes microseconds, ScopedPhase observes seconds) lands in
+// bucket floor(log2(v)) + kZeroBucket + 1, clamped to [0, kBuckets).
+// Bucket i therefore covers [2^(i-1-kZeroBucket), 2^(i-kZeroBucket))
+// and everything at or below 2^-kZeroBucket collapses into bucket 0, so
+// sub-unit values (fractional seconds) keep ~2x quantile resolution
+// down to one millionth of the unit. percentile() returns the upper
+// bound of the bucket holding the requested rank — the same upper-bound
+// convention the old serve histogram used, so for microsecond
+// observations >= 1 the reported quantiles are bit-identical to before.
+//
+// Concurrency: observe() is wait-free (one relaxed fetch_add per bucket
+// plus count/sum) and safe from any thread; readers see a consistent-
+// enough snapshot for monitoring (the count/sum/bucket reads are not
+// mutually atomic, which a live scrape tolerates by design). Not
+// async-signal-safe only because of the atomic<double> sum CAS loop —
+// the profiler keeps its own fixed ring instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace vgp::telemetry {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  /// Values at or below 2^-kZeroBucket land in bucket 0.
+  static constexpr int kZeroBucket = 20;
+
+  /// Bucket index for `v` (non-positive values count into bucket 0).
+  static int bucket_index(double v) noexcept;
+  /// Upper bound of bucket `i` in the observed unit: 2^(i - kZeroBucket).
+  static double bucket_upper(int i) noexcept;
+
+  void observe(double v) noexcept;
+
+  /// Quantile from the bucket upper bounds; `p` in [0, 100]. Returns 0
+  /// when the histogram is empty.
+  double percentile(double p) const noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Folds `other` into this histogram (loadgen merges per-connection
+  /// histograms this way). Not atomic with concurrent observers of
+  /// `other`; call when the producer is done.
+  void merge(const Histogram& other) noexcept;
+
+  /// Zeroes every bucket and the count/sum.
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,298 @@
+#include "vgp/telemetry/profiler.hpp"
+
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::telemetry {
+namespace {
+
+/// One captured stack. `depth` is committed last (release) so a reader
+/// scanning a live ring never sees a half-written frame array.
+struct Sample {
+  std::atomic<std::int32_t> depth{0};
+  void* pc[Profiler::kMaxFrames];
+};
+
+/// One thread's sample ring, claimed from the pool by the first SIGPROF
+/// that lands on the thread. Single writer (the owning thread's signal
+/// handler); concurrent readers tolerate a racing tail by honoring the
+/// release-published head.
+struct ThreadRing {
+  std::atomic<bool> claimed{false};
+  std::atomic<std::uint32_t> head{0};  ///< committed samples, never wraps
+  Sample samples[Profiler::kRingCapacity];
+};
+
+/// Thread-local ring pointer. Trivially initialized on purpose: a
+/// thread_local with a dynamic initializer would run a guard (and
+/// potentially allocate) on first access — which here happens inside
+/// the signal handler.
+thread_local ThreadRing* t_ring = nullptr;
+
+}  // namespace
+
+struct Profiler::Impl {
+  std::mutex mu;                ///< serializes start()/stop()
+  std::atomic<bool> armed{false};
+  std::atomic<std::uint64_t> dropped{0};
+  int hz = Profiler::kDefaultHz;
+  /// Pool of per-thread rings, allocated on the first start() (never in
+  /// the handler) and reused across profiles.
+  ThreadRing* pool = nullptr;
+  bool handler_installed = false;
+  struct sigaction prev_action {};
+
+  MetricId samples_gauge = -1;
+  MetricId dropped_gauge = -1;
+
+  static Impl* instance;  ///< for the signal handler
+};
+
+Profiler::Impl* Profiler::Impl::instance = nullptr;
+
+namespace {
+
+/// The SIGPROF handler: claim a ring (CAS, no allocation), capture the
+/// stack, commit. Everything here is async-signal-safe; errno is
+/// preserved because backtrace() may clobber it under the interrupted
+/// code's feet.
+void on_sigprof(int /*sig*/) {
+  const int saved_errno = errno;
+  Profiler::Impl* impl = Profiler::Impl::instance;
+  if (impl == nullptr || !impl->armed.load(std::memory_order_relaxed)) {
+    errno = saved_errno;
+    return;
+  }
+  ThreadRing* ring = t_ring;
+  if (ring == nullptr) {
+    for (int i = 0; i < Profiler::kMaxThreads; ++i) {
+      bool expected = false;
+      if (impl->pool[i].claimed.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        ring = t_ring = &impl->pool[i];
+        break;
+      }
+    }
+    if (ring == nullptr) {  // pool exhausted: count, don't crash
+      impl->dropped.fetch_add(1, std::memory_order_relaxed);
+      errno = saved_errno;
+      return;
+    }
+  }
+  const std::uint32_t h = ring->head.load(std::memory_order_relaxed);
+  if (h >= Profiler::kRingCapacity) {  // full: drop-not-wrap
+    impl->dropped.fetch_add(1, std::memory_order_relaxed);
+    errno = saved_errno;
+    return;
+  }
+  Sample& s = ring->samples[h];
+  // backtrace(3) walks the unwind tables; its one-time loader work was
+  // primed in start(), so from here it neither allocates nor locks.
+  const int depth = ::backtrace(s.pc, Profiler::kMaxFrames);
+  s.depth.store(depth, std::memory_order_release);
+  ring->head.store(h + 1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+/// Frames at the top of every capture that belong to the profiler
+/// itself, skipped at render time so flamegraphs start at the
+/// interrupted frame. On x86-64 glibc a backtrace taken inside a
+/// handler reads: [0] the handler, [1] __restore_rt (the signal
+/// trampoline), [2] the interrupted pc — so exactly two frames are
+/// ours. Skipping a third would eat the interrupted frame itself and
+/// every flamegraph leaf would be the victim's *caller*.
+constexpr int kSkipFrames = 2;
+
+/// Best-effort symbol name for a pc; hex when dladdr has nothing.
+std::string symbolize(void* pc) {
+  Dl_info info;
+  if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr &&
+      info.dli_sname[0] != '\0') {
+    return info.dli_sname;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIxPTR,
+                reinterpret_cast<std::uintptr_t>(pc));
+  return buf;
+}
+
+/// Folds every committed sample into stack -> count, rendering each
+/// frame once (symbolization is the expensive part; cache per pc).
+std::map<std::string, std::uint64_t> fold_stacks(ThreadRing* pool) {
+  std::map<void*, std::string> names;
+  std::map<std::string, std::uint64_t> folded;
+  if (pool == nullptr) return folded;
+  for (int t = 0; t < Profiler::kMaxThreads; ++t) {
+    const ThreadRing& ring = pool[t];
+    const std::uint32_t head = ring.head.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < head; ++i) {
+      const Sample& s = ring.samples[i];
+      const std::int32_t depth = s.depth.load(std::memory_order_acquire);
+      if (depth <= kSkipFrames) continue;
+      // backtrace() stores leaf-first; collapsed format wants
+      // root-first, semicolon-joined.
+      std::string key;
+      for (std::int32_t f = depth - 1; f >= kSkipFrames; --f) {
+        auto [it, inserted] = names.try_emplace(s.pc[f]);
+        if (inserted) it->second = symbolize(s.pc[f]);
+        if (!key.empty()) key += ';';
+        key += it->second;
+      }
+      ++folded[key];
+    }
+  }
+  return folded;
+}
+
+}  // namespace
+
+Profiler::Profiler() : impl_(new Impl) { Impl::instance = impl_; }
+
+Profiler& Profiler::global() {
+  static Profiler* p = new Profiler;  // leaked: handler may fire at exit
+  return *p;
+}
+
+bool Profiler::start(int hz) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->armed.load(std::memory_order_relaxed)) return false;
+  if (VGP_FAILPOINT_SOFT("prof.signal")) return false;
+  if (hz <= 0) hz = kDefaultHz;
+  hz = std::min(hz, 1000);
+
+  if (impl_->pool == nullptr) {
+    impl_->pool = new ThreadRing[kMaxThreads];
+  } else {
+    for (int i = 0; i < kMaxThreads; ++i) {
+      impl_->pool[i].head.store(0, std::memory_order_relaxed);
+    }
+  }
+  impl_->dropped.store(0, std::memory_order_relaxed);
+  impl_->hz = hz;
+
+  // Prime backtrace(): its first call may dlopen libgcc_s (malloc +
+  // loader lock). Do that here, on a normal stack, so the handler never
+  // pays it.
+  void* prime[4];
+  (void)::backtrace(prime, 4);
+
+  if (!impl_->handler_installed) {
+    struct sigaction sa {};
+    sa.sa_handler = &on_sigprof;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    if (::sigaction(SIGPROF, &sa, &impl_->prev_action) != 0) return false;
+    impl_->handler_installed = true;
+  }
+
+  impl_->armed.store(true, std::memory_order_release);
+  itimerval val{};
+  const long usec = std::max(1000000L / hz, 1L);
+  val.it_interval.tv_sec = usec / 1000000;
+  val.it_interval.tv_usec = usec % 1000000;
+  val.it_value = val.it_interval;
+  if (::setitimer(ITIMER_PROF, &val, nullptr) != 0) {
+    impl_->armed.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void Profiler::stop() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!impl_->armed.load(std::memory_order_relaxed)) return;
+  itimerval off{};
+  ::setitimer(ITIMER_PROF, &off, nullptr);
+  impl_->armed.store(false, std::memory_order_release);
+  // A signal already in flight sees armed == false and returns; the
+  // handler stays installed for the next start().
+
+  auto& reg = Registry::global();
+  if (impl_->samples_gauge < 0) {
+    impl_->samples_gauge = reg.gauge("profile.samples");
+    impl_->dropped_gauge = reg.gauge("profile.dropped");
+  }
+  reg.set(impl_->samples_gauge, static_cast<double>(sample_count()));
+  reg.set(impl_->dropped_gauge, static_cast<double>(dropped_count()));
+}
+
+bool Profiler::armed() const noexcept {
+  return impl_->armed.load(std::memory_order_relaxed);
+}
+
+int Profiler::hz() const noexcept { return impl_->hz; }
+
+std::uint64_t Profiler::sample_count() const noexcept {
+  if (impl_->pool == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    total += impl_->pool[i].head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t Profiler::dropped_count() const noexcept {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+std::string Profiler::collapsed() const {
+  std::string out;
+  for (const auto& [stack, count] : fold_stacks(impl_->pool)) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::to_json() const {
+  std::string out = "{\"schema\": \"vgp.profile.v1\", \"hz\": " +
+                    std::to_string(impl_->hz) +
+                    ", \"samples\": " + std::to_string(sample_count()) +
+                    ", \"dropped\": " + std::to_string(dropped_count()) +
+                    ", \"stacks\": [";
+  bool first = true;
+  for (const auto& [stack, count] : fold_stacks(impl_->pool)) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"frames\": [";
+    std::size_t start = 0;
+    bool first_frame = true;
+    while (start <= stack.size()) {
+      const std::size_t semi = stack.find(';', start);
+      const std::string frame =
+          stack.substr(start, semi == std::string::npos ? std::string::npos
+                                                        : semi - start);
+      if (!first_frame) out += ", ";
+      first_frame = false;
+      out += '"';
+      for (const char c : frame) {  // symbol names: escape the JSON few
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      if (semi == std::string::npos) break;
+      start = semi + 1;
+    }
+    out += "], \"count\": " + std::to_string(count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vgp::telemetry

@@ -1,0 +1,111 @@
+// In-process sampling CPU profiler.
+//
+// Answers "where are the cycles going *right now*" for a live process —
+// the question the post-mortem instruments (metrics snapshots, trace
+// files, vgp-report) cannot: spans only cover code someone wrapped, and
+// a long-lived vgp-serve cannot be restarted under perf every time p99
+// drifts. The profiler samples every running thread at a configurable
+// rate and aggregates the stacks into flamegraph-compatible collapsed
+// form, exportable live through the serve `Profile` op or vgp-top
+// --profile.
+//
+// Mechanism:
+//   * start(hz) arms an ITIMER_PROF interval timer; the kernel delivers
+//     SIGPROF to whichever thread is consuming CPU, so samples land on
+//     threads in proportion to the CPU they burn (idle threads cost and
+//     contribute nothing).
+//   * The SIGPROF handler captures the call stack and appends it to a
+//     per-thread sample ring claimed from a preallocated pool (same
+//     drop-not-wrap discipline as the trace rings: when a ring fills,
+//     later samples are counted in dropped_count() rather than
+//     overwriting earlier ones).
+//   * The handler is async-signal-safe by construction: no malloc, no
+//     locks, no formatting. Ring slots are claimed with one CAS on a
+//     thread-id field; the stack capture (glibc backtrace(3)) is primed
+//     once inside start() so its one-time dynamic loader work happens
+//     before the first signal, never inside one.
+//   * Symbolization is lazy: pcs stay raw in the rings and are resolved
+//     via dladdr(3) only when collapsed()/to_json() renders them (link
+//     the binary with -rdynamic / ENABLE_EXPORTS to get names for its
+//     own symbols; unresolvable frames render as hex).
+//
+// Cost contract (the same discipline as telemetry / trace / fault):
+//   * Disarmed — the steady state — armed() is one relaxed load; no
+//     timer exists, no signal fires, nothing allocates.
+//   * Armed: one signal + one ring append per sample per Hz. At the
+//     default 99 Hz the overhead is well under 1% of one core.
+//
+// Telemetry: stop() publishes `profile.samples` / `profile.dropped`
+// gauges into the registry. Failpoint `prof.signal` makes start() fail
+// as if the timer could not be armed (exercises the serve Profile op's
+// error path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vgp::telemetry {
+
+class Profiler {
+ public:
+  /// Deepest stack recorded per sample; deeper frames are truncated
+  /// (leaf-ward frames win — the caller chain near main collapses).
+  static constexpr int kMaxFrames = 48;
+  /// Samples per thread ring; at 99 Hz one ring holds ~40 s of a fully
+  /// busy thread before dropping.
+  static constexpr int kRingCapacity = 4096;
+  /// Thread slots in the pool. Threads beyond this many concurrently
+  /// sampled ones drop their samples (counted), they do not crash.
+  static constexpr int kMaxThreads = 64;
+  /// Default sampling rate (prime, so it cannot alias with periodic
+  /// work at round frequencies).
+  static constexpr int kDefaultHz = 99;
+
+  static Profiler& global();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Arms the timer at `hz` samples per second of process CPU time
+  /// (clamped to [1, 1000]; hz <= 0 selects kDefaultHz). Clears the
+  /// rings of any previous run. Returns false — without disturbing an
+  /// already-armed profile — when a profile is running, and false when
+  /// the timer cannot be armed (also injectable via the `prof.signal`
+  /// failpoint).
+  bool start(int hz = kDefaultHz);
+
+  /// Disarms the timer. Samples already committed stay readable until
+  /// the next start(). Publishes profile.samples / profile.dropped
+  /// gauges. Idempotent.
+  void stop();
+
+  /// One relaxed load: is a profile running right now?
+  bool armed() const noexcept;
+
+  /// Rate the current (or last) profile ran at.
+  int hz() const noexcept;
+
+  /// Samples committed across all thread rings (live-readable while
+  /// armed; exact after stop()).
+  std::uint64_t sample_count() const noexcept;
+  /// Samples dropped because a ring filled or the thread pool was
+  /// exhausted.
+  std::uint64_t dropped_count() const noexcept;
+
+  /// Aggregated collapsed-stack ("folded") form, one line per unique
+  /// stack: "root;caller;leaf <count>\n" — feed straight into
+  /// flamegraph.pl or speedscope. Empty string when no samples.
+  std::string collapsed() const;
+
+  /// JSON export: {"schema":"vgp.profile.v1","hz":..,"samples":..,
+  /// "dropped":..,"stacks":[{"frames":[...],"count":..},...]}.
+  std::string to_json() const;
+
+  struct Impl;
+
+ private:
+  Profiler();
+  Impl* impl_;  // leaked: the SIGPROF handler may outlive main's exit
+};
+
+}  // namespace vgp::telemetry

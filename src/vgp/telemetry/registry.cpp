@@ -21,7 +21,32 @@ struct Metric {
   double value = 0.0;          // merged counters, gauges
   std::vector<double> samples; // series
   HistogramData hist;
+  /// Non-null for attach_histogram() metrics: snapshots read the live
+  /// wait-free histogram instead of `hist`.
+  const Histogram* attached = nullptr;
 };
+
+/// Copies a live Histogram into the snapshot representation. min/max
+/// degrade to bucket bounds (the wait-free path tracks neither).
+HistogramData snapshot_histogram(const Histogram& h) {
+  HistogramData out;
+  out.count = h.count();
+  out.sum = h.sum();
+  out.buckets.resize(Histogram::kBuckets);
+  int lo = -1, hi = -1;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    out.buckets[static_cast<std::size_t>(i)] = h.bucket(i);
+    if (h.bucket(i) != 0) {
+      if (lo < 0) lo = i;
+      hi = i;
+    }
+  }
+  if (lo >= 0) {
+    out.min = lo == 0 ? 0.0 : Histogram::bucket_upper(lo - 1);
+    out.max = Histogram::bucket_upper(hi);
+  }
+  return out;
+}
 
 const char* kind_word(Kind k) {
   switch (k) {
@@ -34,6 +59,22 @@ const char* kind_word(Kind k) {
 }
 
 }  // namespace
+
+double HistogramData::percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= rank) {
+      return Histogram::bucket_upper(static_cast<int>(i));
+    }
+  }
+  return Histogram::bucket_upper(static_cast<int>(buckets.size()) - 1);
+}
 
 struct Registry::Impl {
   mutable std::mutex mu;
@@ -173,6 +214,25 @@ void Registry::observe(MetricId id, double v) {
   if (h.count == 0 || v > h.max) h.max = v;
   h.sum += v;
   ++h.count;
+  if (h.buckets.empty()) h.buckets.resize(Histogram::kBuckets, 0);
+  ++h.buckets[static_cast<std::size_t>(Histogram::bucket_index(v))];
+}
+
+MetricId Registry::attach_histogram(std::string_view name,
+                                    const Histogram* h) {
+  const MetricId id = impl_->register_metric(name, Kind::Histogram);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->metrics[static_cast<std::size_t>(id)].attached = h;
+  return id;
+}
+
+void Registry::detach_histogram(std::string_view name, const Histogram* h) {
+  const MetricId id = impl_->register_metric(name, Kind::Histogram);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Metric& m = impl_->metrics[static_cast<std::size_t>(id)];
+  if (m.attached != h) return;  // a newer owner took the name
+  m.hist = snapshot_histogram(*h);  // keep the data for the final flush
+  m.attached = nullptr;
 }
 
 void Registry::merge() {
@@ -186,7 +246,10 @@ std::vector<MetricValue> Registry::collect() {
   std::vector<MetricValue> out;
   out.reserve(impl_->metrics.size() + 5);
   for (const Metric& m : impl_->metrics) {
-    out.push_back(MetricValue{m.name, m.kind, m.value, m.samples, m.hist});
+    out.push_back(MetricValue{m.name, m.kind, m.value, m.samples,
+                              m.attached != nullptr
+                                  ? snapshot_histogram(*m.attached)
+                                  : m.hist});
   }
   // Fold the legacy operation-class counters into the snapshot so one
   // metrics file carries both views.

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "vgp/support/timer.hpp"
+#include "vgp/telemetry/histogram.hpp"
 #include "vgp/telemetry/trace.hpp"
 
 namespace vgp::telemetry {
@@ -46,7 +47,14 @@ struct HistogramData {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// Log2 bucket counts (Histogram::kBuckets entries, indexed per
+  /// Histogram::bucket_index). Empty only for histograms loaded from a
+  /// pre-bucket metrics file; every live observe() fills them.
+  std::vector<std::uint64_t> buckets;
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// Quantile over `buckets` (upper-bound convention, `p` in [0,100]);
+  /// 0 when empty or bucket-less.
+  double percentile(double p) const;
 };
 
 /// One metric in a snapshot. `value` holds counters and gauges;
@@ -88,8 +96,26 @@ class Registry {
   /// Appends one sample to a series (e.g. per-iteration move counts).
   /// No-op when disabled.
   void append(MetricId id, double v);
-  /// Histogram observation. No-op when disabled.
+  /// Histogram observation. No-op when disabled. Fills the metric's
+  /// log2 buckets as well as count/sum/min/max, so every registry
+  /// histogram carries p50/p99 in its snapshots.
   void observe(MetricId id, double v);
+
+  /// Registers `name` as a histogram whose data is read from `h` at
+  /// collect() time instead of via observe(). This is how always-on
+  /// wait-free histograms (the serve latency path observes on every
+  /// request regardless of telemetry state) surface in snapshots
+  /// without double bookkeeping. `h` must stay valid until
+  /// detach_histogram (or process exit). Idempotent per name; the last
+  /// pointer wins.
+  MetricId attach_histogram(std::string_view name, const Histogram* h);
+
+  /// Severs an attach_histogram binding before `h` dies (e.g. a serve
+  /// Server being destroyed). The metric's last-collected data is
+  /// copied into the snapshot storage first, so the final flush still
+  /// carries it. No-op when `name` is currently attached to a
+  /// different histogram.
+  void detach_histogram(std::string_view name, const Histogram* h);
 
   /// Folds every thread shard into the global table. Call only when no
   /// kernel is concurrently recording (phase boundary / pool idle).

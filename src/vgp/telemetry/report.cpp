@@ -48,6 +48,29 @@ void load_from_metrics(const JsonValue& root, Report& out) {
       }
     }
   }
+  // Histograms become per-quantile rows (`hist.<name>/p50` etc.), so a
+  // --threshold diff flags tail movement, not just mean drift. p50/p99
+  // come from the file when present (bucketed sinks emit them); files
+  // from the pre-bucket format contribute only the mean row.
+  const JsonValue* hists = root.get("histograms");
+  if (hists == nullptr || !hists->is_object()) return;
+  for (const auto& [name, h] : hists->obj) {
+    if (!h.is_object()) continue;
+    const JsonValue* count = h.get("count");
+    const double n = count != nullptr ? count->number_or(0.0) : 0.0;
+    const auto quantile_row = [&](const char* label, const JsonValue* v) {
+      if (v == nullptr || !v->is_number() || !std::isfinite(v->num)) return;
+      const std::string key = "hist." + name + "/" + label;
+      ReportRow& row = out.spans[key];
+      row.name = key;
+      row.count = n;
+      row.total_ms = v->num;
+      row.mean_ms = v->num;
+    };
+    quantile_row("p50", h.get("p50"));
+    quantile_row("p99", h.get("p99"));
+    quantile_row("mean", h.get("mean"));
+  }
 }
 
 void load_from_trace(const JsonValue& root, Report& out) {

@@ -58,6 +58,23 @@ void put_json_group(std::ostream& out, const char* label, Kind kind,
         put_number(out, m.hist.max);
         out << ", \"mean\": ";
         put_number(out, m.hist.mean());
+        if (!m.hist.buckets.empty()) {
+          out << ", \"p50\": ";
+          put_number(out, m.hist.percentile(50.0));
+          out << ", \"p99\": ";
+          put_number(out, m.hist.percentile(99.0));
+          // Trailing zero buckets are trimmed; index i covers
+          // (2^(i-1-zero), 2^(i-zero)] with zero = Histogram::kZeroBucket.
+          std::size_t last = m.hist.buckets.size();
+          while (last > 0 && m.hist.buckets[last - 1] == 0) --last;
+          out << ", \"zero_bucket\": " << Histogram::kZeroBucket
+              << ", \"buckets\": [";
+          for (std::size_t i = 0; i < last; ++i) {
+            if (i != 0) out << ',';
+            out << m.hist.buckets[i];
+          }
+          out << ']';
+        }
         out << '}';
         break;
       }
@@ -157,6 +174,12 @@ void write_csv(std::ostream& out, const std::vector<MetricValue>& metrics) {
         put_number(out, m.hist.min);
         out << ',';
         put_number(out, m.hist.max);
+        if (!m.hist.buckets.empty()) {
+          out << ',';
+          put_number(out, m.hist.percentile(50.0));
+          out << ',';
+          put_number(out, m.hist.percentile(99.0));
+        }
         out << '\n';
         break;
     }

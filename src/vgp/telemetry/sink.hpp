@@ -9,14 +9,20 @@
 //     "gauges":     { "<name>": <number>, ... },
 //     "series":     { "<name>": [<number>, ...], ... },
 //     "histograms": { "<name>": {"count":n,"sum":s,"min":a,"max":b,
-//                                "mean":m}, ... }
+//                                "mean":m,"p50":q,"p99":q,
+//                                "zero_bucket":z,"buckets":[...]}, ... }
 //   }
+//
+// p50/p99/buckets appear whenever the histogram carried log2 buckets
+// (every live observation does; only files written before the bucketed
+// format lack them). `buckets[i]` counts observations in
+// (2^(i-1-z), 2^(i-z)] with z = zero_bucket; trailing zeroes trimmed.
 //
 // CSV shape (line-oriented, greppable):
 //   counter,<name>,<value>
 //   gauge,<name>,<value>
 //   series,<name>,<index>,<value>
-//   histogram,<name>,<count>,<sum>,<min>,<max>
+//   histogram,<name>,<count>,<sum>,<min>,<max>[,<p50>,<p99>]
 #pragma once
 
 #include <ostream>

@@ -1,0 +1,182 @@
+// Prometheus exposition renderer + periodic exporter-thread tests:
+// name mangling, per-kind rendering, cumulative histogram buckets, the
+// monotonic-counter guard across registry resets, and the atomic
+// file-writer loop.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vgp/telemetry/exporter.hpp"
+#include "vgp/telemetry/histogram.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp {
+namespace {
+
+using telemetry::Exporter;
+using telemetry::Histogram;
+using telemetry::HistogramData;
+using telemetry::Kind;
+using telemetry::MetricValue;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const char* stem)
+      : path(std::string("/tmp/vgp_exporter_") + stem + "_" +
+             std::to_string(::getpid()) + ".prom") {}
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+TEST(PrometheusName, MangelsToLegalCharset) {
+  EXPECT_EQ(telemetry::prometheus_name("serve.latency.us"),
+            "vgp_serve_latency_us");
+  EXPECT_EQ(telemetry::prometheus_name("phase.move-sweep.seconds"),
+            "vgp_phase_move_sweep_seconds");
+  EXPECT_EQ(telemetry::prometheus_name("already_fine"), "vgp_already_fine");
+}
+
+TEST(RenderPrometheus, CountersGaugesAndSeries) {
+  std::vector<MetricValue> ms;
+  ms.push_back(MetricValue{"t1.render.count", Kind::Counter, 42.0, {}, {}});
+  ms.push_back(MetricValue{"t1.queue.depth", Kind::Gauge, 7.5, {}, {}});
+  ms.push_back(
+      MetricValue{"t1.moves", Kind::Series, 0.0, {1.0, 2.0, 9.0}, {}});
+
+  const std::string text = telemetry::render_prometheus(ms);
+  EXPECT_NE(text.find("# TYPE vgp_t1_render_count counter\n"
+                      "vgp_t1_render_count 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgp_t1_queue_depth 7.5\n"), std::string::npos);
+  EXPECT_NE(text.find("vgp_t1_moves_last 9\n"), std::string::npos);
+  EXPECT_NE(text.find("vgp_t1_moves_count 3\n"), std::string::npos);
+}
+
+TEST(RenderPrometheus, HistogramBucketsAreCumulative) {
+  Histogram h;
+  h.observe(3.0);   // bucket upper bound 4
+  h.observe(3.5);   // same bucket
+  h.observe(100.0); // bucket upper bound 128
+  HistogramData d;
+  d.count = h.count();
+  d.sum = h.sum();
+  d.buckets.resize(Histogram::kBuckets);
+  for (int i = 0; i < Histogram::kBuckets; ++i) d.buckets[i] = h.bucket(i);
+
+  std::vector<MetricValue> ms;
+  ms.push_back(MetricValue{"t2.lat.us", Kind::Histogram, 0.0, {}, d});
+  const std::string text = telemetry::render_prometheus(ms);
+
+  EXPECT_NE(text.find("# TYPE vgp_t2_lat_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("vgp_t2_lat_us_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  // Cumulative: the 128-bucket line counts the two earlier samples too.
+  EXPECT_NE(text.find("vgp_t2_lat_us_bucket{le=\"128\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgp_t2_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgp_t2_lat_us_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("vgp_t2_lat_us_sum 106.5\n"), std::string::npos);
+  // Empty buckets are elided: exactly the two populated bounds + Inf.
+  std::size_t buckets = 0, pos = 0;
+  while ((pos = text.find("vgp_t2_lat_us_bucket{", pos)) !=
+         std::string::npos) {
+    ++buckets;
+    ++pos;
+  }
+  EXPECT_EQ(buckets, 3u);
+}
+
+TEST(RenderPrometheus, CounterNeverDecreasesAcrossResets) {
+  // Unique name: the guard's state is keyed by name for the process
+  // lifetime, so reusing a name across tests would see stale offsets.
+  std::vector<MetricValue> ms;
+  ms.push_back(MetricValue{"t3.reset.count", Kind::Counter, 10.0, {}, {}});
+  std::string text = telemetry::render_prometheus(ms);
+  EXPECT_NE(text.find("vgp_t3_reset_count 10\n"), std::string::npos);
+
+  // Raw value moved backwards (registry reset between scrapes): the
+  // exposed total folds the lost 10 into an offset instead of dipping.
+  ms[0].value = 3.0;
+  text = telemetry::render_prometheus(ms);
+  EXPECT_NE(text.find("vgp_t3_reset_count 13\n"), std::string::npos);
+
+  ms[0].value = 4.0;
+  text = telemetry::render_prometheus(ms);
+  EXPECT_NE(text.find("vgp_t3_reset_count 14\n"), std::string::npos);
+}
+
+TEST(Exporter, WritesPeriodicallyAndStopsCleanly) {
+  TempPath tmp("periodic");
+  Exporter& ex = Exporter::global();
+  ASSERT_FALSE(ex.running());
+
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(ex.start(tmp.path, 0.05, [&calls] {
+    calls.fetch_add(1);
+    return std::string("# probe\nvgp_probe 1\n");
+  }));
+  EXPECT_TRUE(ex.running());
+  EXPECT_FALSE(ex.start(tmp.path, 0.05));  // already running
+
+  const std::uint64_t target = ex.exports() + 2;
+  for (int i = 0; i < 200 && ex.exports() < target; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(ex.exports(), target);
+
+  ex.stop();
+  EXPECT_FALSE(ex.running());
+  ex.stop();  // idempotent
+  EXPECT_GT(calls.load(), 0);
+  EXPECT_EQ(slurp(tmp.path), "# probe\nvgp_probe 1\n");
+  // No leftover temp file from the atomic write protocol.
+  EXPECT_NE(::access(tmp.path.c_str(), F_OK), -1);
+  EXPECT_EQ(::access((tmp.path + ".tmp").c_str(), F_OK), -1);
+}
+
+TEST(Exporter, UnwritablePathFailsTheStartCall) {
+  Exporter& ex = Exporter::global();
+  EXPECT_FALSE(ex.start("/nonexistent-dir/metrics.prom", 0.1));
+  EXPECT_FALSE(ex.running());
+}
+
+TEST(Exporter, DefaultProducerRendersTheRegistry) {
+  TempPath tmp("registry");
+  auto& reg = telemetry::Registry::global();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  const auto id = reg.counter("t4.exporter.pulse");
+  reg.add(id, 5.0);
+
+  Exporter& ex = Exporter::global();
+  ASSERT_TRUE(ex.start(tmp.path, 0.05));
+  const std::uint64_t target = ex.exports() + 1;
+  for (int i = 0; i < 200 && ex.exports() < target; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ex.stop();
+  reg.set_enabled(was_enabled);
+
+  const std::string text = slurp(tmp.path);
+  EXPECT_NE(text.find("vgp_t4_exporter_pulse"), std::string::npos);
+  // The registry folds the memory gauges into every snapshot.
+  EXPECT_NE(text.find("vgp_mem_rss_bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vgp

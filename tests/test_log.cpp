@@ -1,0 +1,164 @@
+// Tests for the structured JSON-lines logger: level filtering, field
+// formatting/escaping, file sinks, and the per-second rate limiter.
+//
+// The logger is process-global; every test restores the defaults
+// (level=warn, sink=stderr, limit=200) so ordering cannot leak state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vgp/support/log.hpp"
+
+namespace vgp {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    log::set_level(log::Level::Warn);
+    log::set_rate_limit(200);
+    ASSERT_TRUE(log::set_path(""));
+  }
+  void TearDown() override {
+    log::set_level(log::Level::Warn);
+    log::set_rate_limit(200);
+    (void)log::set_path("");
+  }
+
+  /// Captures everything the block logs to stderr.
+  template <typename Fn>
+  std::string capture(Fn&& fn) {
+    ::testing::internal::CaptureStderr();
+    fn();
+    return ::testing::internal::GetCapturedStderr();
+  }
+};
+
+TEST_F(LogTest, LevelThresholdFiltersEvents) {
+  const std::string out = capture([] {
+    log::debug("ev.debug");
+    log::info("ev.info");
+    log::warn("ev.warn");
+    log::error("ev.error");
+  });
+  EXPECT_EQ(out.find("ev.debug"), std::string::npos);
+  EXPECT_EQ(out.find("ev.info"), std::string::npos);
+  EXPECT_NE(out.find("ev.warn"), std::string::npos);
+  EXPECT_NE(out.find("ev.error"), std::string::npos);
+
+  log::set_level(log::Level::Off);
+  EXPECT_TRUE(capture([] { log::error("ev.silenced"); }).empty());
+
+  log::set_level(log::Level::Debug);
+  EXPECT_NE(capture([] { log::debug("ev.verbose"); }).find("ev.verbose"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, EnabledIsConsistentWithThreshold) {
+  log::set_level(log::Level::Info);
+  EXPECT_FALSE(log::enabled(log::Level::Debug));
+  EXPECT_TRUE(log::enabled(log::Level::Info));
+  EXPECT_TRUE(log::enabled(log::Level::Error));
+}
+
+TEST_F(LogTest, FieldsFormatAsJsonTypes) {
+  const std::string out = capture([] {
+    log::warn("ev.fields")
+        .field("s", "text")
+        .field("i", std::int64_t{-7})
+        .field("u", std::uint64_t{42})
+        .field("d", 1.5)
+        .field("b", true);
+  });
+  EXPECT_NE(out.find("\"msg\":\"ev.fields\""), std::string::npos);
+  EXPECT_NE(out.find("\"s\":\"text\""), std::string::npos);
+  EXPECT_NE(out.find("\"i\":-7"), std::string::npos);
+  EXPECT_NE(out.find("\"u\":42"), std::string::npos);
+  EXPECT_NE(out.find("\"d\":1.5"), std::string::npos);
+  EXPECT_NE(out.find("\"b\":true"), std::string::npos);
+  EXPECT_NE(out.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST_F(LogTest, HostileStringsAreEscaped) {
+  const std::string out = capture([] {
+    log::warn("ev.esc").field("v", "a\"b\\c\nd\x01");
+  });
+  EXPECT_NE(out.find("a\\\"b\\\\c\\nd\\u0001"), std::string::npos);
+  // One line despite the embedded newline.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST_F(LogTest, FileSinkAppendsJsonLines) {
+  const std::string path =
+      ::testing::TempDir() + "/vgp_log_test_sink.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(log::set_path(path));
+  log::warn("ev.file").field("n", std::int64_t{1});
+  log::warn("ev.file").field("n", std::int64_t{2});
+  ASSERT_TRUE(log::set_path(""));  // release the file
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("ev.file"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(LogTest, SetPathFailureLeavesSinkUsable) {
+  EXPECT_FALSE(log::set_path("/nonexistent-dir-vgp/x.log"));
+  EXPECT_NE(capture([] { log::warn("ev.still_stderr"); })
+                .find("ev.still_stderr"),
+            std::string::npos);
+}
+
+TEST_F(LogTest, RateLimiterCapsAndCounts) {
+  log::set_rate_limit(5);
+  const std::uint64_t dropped_before = log::dropped_count();
+  const std::string out = capture([] {
+    for (int i = 0; i < 25; ++i) {
+      log::warn("ev.flood").field("i", std::int64_t{i});
+    }
+  });
+  // At most 5 per window; the burst fits in 1-2 windows even if the
+  // clock ticks over mid-loop.
+  const auto emitted =
+      static_cast<int>(std::count(out.begin(), out.end(), '\n'));
+  EXPECT_LE(emitted, 11);  // 2 windows * 5 + 1 summary line
+  EXPECT_GE(log::dropped_count() - dropped_before, 14u);
+}
+
+TEST_F(LogTest, UnlimitedRateEmitsEverything) {
+  log::set_rate_limit(0);
+  const std::string out = capture([] {
+    for (int i = 0; i < 50; ++i) log::warn("ev.all");
+  });
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 50);
+}
+
+TEST(LogLevelNames, ParseAndNameRoundTrip) {
+  for (const log::Level l :
+       {log::Level::Debug, log::Level::Info, log::Level::Warn,
+        log::Level::Error, log::Level::Off}) {
+    log::Level parsed = log::Level::Debug;
+    EXPECT_TRUE(log::parse_level(log::level_name(l), parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  log::Level out = log::Level::Warn;
+  EXPECT_FALSE(log::parse_level("verbose", out));
+  EXPECT_FALSE(log::parse_level("WARN", out));
+  EXPECT_EQ(out, log::Level::Warn);
+}
+
+}  // namespace
+}  // namespace vgp

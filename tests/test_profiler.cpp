@@ -1,0 +1,224 @@
+// Sampling-profiler tests: the cost contract (disarmed = one relaxed
+// load, zero allocation), the async-signal-safety of the SIGPROF
+// handler (no operator new while armed), symbolization of the test's
+// own frames, the interaction with blocking I/O retry wrappers, and
+// the prof.signal failpoint.
+//
+// The allocation counter below replaces global operator new/delete for
+// this binary, so any test here can bracket a region and assert the
+// region allocated nothing. The handler must never allocate: a SIGPROF
+// landing inside malloc would otherwise deadlock on malloc's own lock.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "vgp/fault/failpoint.hpp"
+#include "vgp/support/posix_io.hpp"
+#include "vgp/telemetry/profiler.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vgp {
+namespace {
+
+using telemetry::Profiler;
+
+/// RAII: arms a failpoint spec for one test, disarms after.
+struct ScopedFailpoints {
+  explicit ScopedFailpoints(const std::string& spec) {
+    std::string error;
+    EXPECT_TRUE(fault::set_spec(spec, &error)) << error;
+  }
+  ~ScopedFailpoints() { fault::clear(); }
+};
+
+/// Burns CPU until roughly `seconds` of wall time passed, without a
+/// single allocation (the volatile accumulator defeats DCE). Named,
+/// extern "C", and noinline so the symbolization test can look for
+/// this exact frame in the collapsed output.
+extern "C" __attribute__((noinline)) double vgp_profiler_test_hot_loop(
+    double seconds) {
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  volatile double acc = 0.0;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 1; i < 1000; ++i) acc = acc + 1.0 / i;
+  }
+  return acc;
+}
+
+/// Burns CPU in 0.1 s slices until the armed profiler has committed at
+/// least `want` samples or `max_seconds` of wall time passed. CI boxes
+/// share cores, and ITIMER_PROF ticks on *CPU* time — a fixed wall-time
+/// burn can deliver arbitrarily few samples under contention. Performs
+/// no allocations, so it is safe inside the allocation brackets.
+void spin_until_samples(vgp::telemetry::Profiler& prof, std::uint64_t want,
+                        double max_seconds) {
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(max_seconds));
+  // Call through a volatile pointer: with a literal argument at every
+  // call site GCC otherwise emits a constant-propagated *local* clone
+  // (`.constprop`), which dladdr cannot name — and the symbolization
+  // tests look for this exact symbol in the collapsed output.
+  double (*volatile hot_loop)(double) = vgp_profiler_test_hot_loop;
+  while (prof.sample_count() < want &&
+         std::chrono::steady_clock::now() < until) {
+    hot_loop(0.1);
+  }
+}
+
+TEST(Profiler, DisarmedIsFreeAndAllocationFree) {
+  Profiler& prof = Profiler::global();
+  ASSERT_FALSE(prof.armed());
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_FALSE(prof.armed());
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+TEST(Profiler, CapturesSamplesWithoutAllocatingInHandler) {
+  Profiler& prof = Profiler::global();
+  ASSERT_TRUE(prof.start(250));
+  EXPECT_TRUE(prof.armed());
+  EXPECT_EQ(prof.hz(), 250);
+
+  // Every allocation between these two reads happened on this thread's
+  // normal control flow — which performs none — or inside the SIGPROF
+  // handler, which must perform none. backtrace() priming and the ring
+  // pool allocation both happened inside start(), before this bracket.
+  const std::uint64_t before = g_allocations.load();
+  spin_until_samples(prof, 10, 5.0);
+  const std::uint64_t during = g_allocations.load() - before;
+
+  prof.stop();
+  EXPECT_FALSE(prof.armed());
+  EXPECT_EQ(during, 0u);
+  EXPECT_GE(prof.sample_count(), 10u);
+}
+
+TEST(Profiler, SymbolizesItsOwnFrames) {
+  Profiler& prof = Profiler::global();
+  ASSERT_TRUE(prof.start(250));
+  spin_until_samples(prof, 25, 5.0);
+  prof.stop();
+  ASSERT_GT(prof.sample_count(), 0u);
+
+  const std::string collapsed = prof.collapsed();
+  ASSERT_FALSE(collapsed.empty());
+  // The hot loop burned essentially all the CPU, its symbol is
+  // exported (ENABLE_EXPORTS), and dladdr resolves exported symbols —
+  // so the collapsed output must name it.
+  EXPECT_NE(collapsed.find("vgp_profiler_test_hot_loop"), std::string::npos)
+      << collapsed;
+  // Collapsed lines end in " <count>".
+  const auto nl = collapsed.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::string first = collapsed.substr(0, nl);
+  const auto space = first.rfind(' ');
+  ASSERT_NE(space, std::string::npos);
+  EXPECT_GT(std::atoll(first.c_str() + space + 1), 0);
+}
+
+TEST(Profiler, JsonExportCarriesSchemaAndCounts) {
+  Profiler& prof = Profiler::global();
+  ASSERT_TRUE(prof.start(250));
+  spin_until_samples(prof, 25, 5.0);
+  prof.stop();
+
+  const std::string json = prof.to_json();
+  EXPECT_NE(json.find("\"schema\": \"vgp.profile.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"hz\": 250"), std::string::npos);
+  EXPECT_NE(json.find("\"stacks\": ["), std::string::npos);
+  EXPECT_NE(json.find("vgp_profiler_test_hot_loop"), std::string::npos);
+}
+
+TEST(Profiler, SecondStartFailsWhileRunning) {
+  Profiler& prof = Profiler::global();
+  ASSERT_TRUE(prof.start());
+  EXPECT_EQ(prof.hz(), Profiler::kDefaultHz);
+  EXPECT_FALSE(prof.start(50));
+  EXPECT_TRUE(prof.armed());     // the running profile is undisturbed
+  EXPECT_EQ(prof.hz(), Profiler::kDefaultHz);
+  prof.stop();
+  prof.stop();  // idempotent
+  EXPECT_FALSE(prof.armed());
+}
+
+TEST(Profiler, SignalFailpointMakesStartFail) {
+  ScopedFailpoints fp("prof.signal:error");
+  Profiler& prof = Profiler::global();
+  EXPECT_FALSE(prof.start());
+  EXPECT_FALSE(prof.armed());
+}
+
+TEST(Profiler, RestartClearsPreviousSamples) {
+  Profiler& prof = Profiler::global();
+  ASSERT_TRUE(prof.start(250));
+  spin_until_samples(prof, 5, 5.0);
+  prof.stop();
+  ASSERT_GT(prof.sample_count(), 0u);
+
+  ASSERT_TRUE(prof.start(99));
+  const std::uint64_t early = prof.sample_count();
+  prof.stop();
+  // The rings were reset on start; only samples from the (instant)
+  // second profile remain.
+  EXPECT_LT(early, 5u);
+}
+
+TEST(Profiler, BlockingReadsSurviveProfiling) {
+  // The serve reader threads sit in read_full() while SIGPROF fires
+  // process-wide. SA_RESTART plus the EINTR retry loops in posix_io
+  // must make that invisible: no short reads, no spurious failures.
+  Profiler& prof = Profiler::global();
+  ASSERT_TRUE(prof.start(500));
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::thread writer([w = fds[1]] {
+    vgp_profiler_test_hot_loop(0.2);  // keep SIGPROF raining first
+    const char payload[8] = "vgpprof";
+    ASSERT_TRUE(vgp::support::write_full(w, payload, sizeof(payload)));
+    ::close(w);
+  });
+
+  char buf[8] = {};
+  bool eof = false;
+  const std::size_t got =
+      support::read_full(fds[0], buf, sizeof(buf), &eof);
+  writer.join();
+  prof.stop();
+  ::close(fds[0]);
+
+  EXPECT_EQ(got, sizeof(buf));
+  EXPECT_FALSE(eof);
+  EXPECT_STREQ(buf, "vgpprof");
+}
+
+}  // namespace
+}  // namespace vgp

@@ -524,5 +524,156 @@ TEST_F(ServeTest, ShutdownDrainsInFlightWork) {
   EXPECT_FALSE(reply.transport_ok);
 }
 
+// ---------------------------------------------------------------------------
+// Observability ops: Metrics / Profile / TraceDump / extended Status
+
+TEST_F(ServeTest, StatusCarriesPerOpQuantilesAndDispatchMix) {
+  Client c = connect();
+  std::vector<std::int32_t> ids{1, 2, 3};
+  std::vector<std::int64_t> values;
+  ASSERT_EQ(c.lookup("g", Attr::Degree, ids, values), Status::Ok);
+  EXPECT_TRUE(c.ping());
+
+  std::string json;
+  ASSERT_EQ(c.status(json), Status::Ok);
+  // Per-op block: the lookup and ping above must both appear with
+  // counts and quantiles.
+  EXPECT_NE(json.find("\"ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"lookup\": {\"count\": "), std::string::npos);
+  EXPECT_NE(json.find("\"ping\": {\"count\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  // Dispatch mix names every tier; exactly one gather ran somewhere.
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"scalar\""), std::string::npos);
+  const ServeStats stats = server->stats();
+  std::uint64_t gathers = 0;
+  for (const std::uint64_t g : stats.gathers_by_backend) gathers += g;
+  EXPECT_EQ(gathers, 1u);
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"workers\": 2"), std::string::npos);
+}
+
+TEST_F(ServeTest, MetricsOpServesPrometheusExposition) {
+  Client c = connect();
+  std::vector<std::int32_t> ids{0, 1};
+  std::vector<std::int64_t> values;
+  ASSERT_EQ(c.lookup("g", Attr::Membership, ids, values), Status::Ok);
+
+  std::string text;
+  ASSERT_EQ(c.metrics(text), Status::Ok);
+  EXPECT_NE(text.find("# TYPE vgp_serve_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vgp_serve_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgp_serve_latency_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgp_serve_latency_lookup_us_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("vgp_serve_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("vgp_mem_rss_bytes"), std::string::npos);
+  // One family per name: the registry ride-along must not duplicate
+  // the synthesized serve counters.
+  EXPECT_EQ(text.find("# TYPE vgp_serve_requests counter"),
+            text.rfind("# TYPE vgp_serve_requests counter"));
+}
+
+TEST_F(ServeTest, ProfileRoundTripCollectsStacks) {
+  Client c = connect();
+  ASSERT_EQ(c.profile_start(400), Status::Ok);
+  // Starting again while running is refused without disturbing it.
+  EXPECT_EQ(c.profile_start(100), Status::BadRequest);
+
+  // Generate CPU work on the server's workers so samples land there.
+  std::vector<std::int32_t> ids(4096);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<std::int32_t>(
+        i % static_cast<std::size_t>(snap->graph->num_vertices()));
+  }
+  std::vector<std::int64_t> values;
+  for (int rep = 0; rep < 200; ++rep) {
+    ASSERT_EQ(c.lookup("g", Attr::Degree, ids, values), Status::Ok);
+  }
+
+  std::string collapsed;
+  std::uint64_t samples = 0, dropped = 0;
+  ASSERT_EQ(c.profile_stop(collapsed, samples, dropped), Status::Ok);
+  // Stopping again is a clean protocol error, not a hang or crash.
+  EXPECT_EQ(c.profile_stop(collapsed, samples, dropped),
+            Status::BadRequest);
+  // Sample counts depend on CI CPU time; the wire contract does not:
+  // collapsed is empty iff no samples were taken.
+  EXPECT_EQ(collapsed.empty(), samples == 0u);
+}
+
+TEST(ServeTailTrace, TraceDumpRetainsSlowAndErrorRequests) {
+  ServeOptions so;
+  so.workers = 1;
+  so.tail_threshold_us = 0.0;  // keep everything
+  so.tail_capacity = 4;
+  Server server(so);
+  auto g = std::make_shared<Graph>(
+      gen::suite_entry("Oregon-2").make(gen::SuiteScale::Tiny));
+  server.snapshots().publish(make_snapshot("g", "test", std::move(g)));
+  server.start();
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  server.adopt(sv[0]);
+  Client c;
+  c.adopt(sv[1]);
+
+  EXPECT_TRUE(c.ping());
+  std::vector<std::int64_t> values;
+  EXPECT_EQ(c.lookup("missing", Attr::Color, {1}, values),
+            Status::UnknownGraph);
+
+  const std::vector<TailTrace> traces = server.tail_traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].op, Op::Ping);
+  EXPECT_EQ(traces[0].status, Status::Ok);
+  EXPECT_EQ(traces[1].op, Op::Lookup);
+  EXPECT_EQ(traces[1].status, Status::UnknownGraph);
+  EXPECT_GT(traces[1].trace_id, traces[0].trace_id);
+  EXPECT_GE(traces[0].total_us, traces[0].handle_us);
+
+  std::string json;
+  ASSERT_EQ(c.trace_dump(json), Status::Ok);
+  EXPECT_NE(json.find("\"op\": \"ping\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"unknown-graph\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\": "), std::string::npos);
+
+  // Capacity bounds the deque: flood past 4 and only 4 remain (the
+  // TraceDump calls themselves are retained too at threshold 0).
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(c.ping());
+  EXPECT_EQ(server.tail_traces().size(), 4u);
+  server.shutdown();
+}
+
+TEST(ServeTailTrace, DefaultThresholdDropsFastOkRequests) {
+  ServeOptions so;
+  so.workers = 1;  // default tail_threshold_us = 10 ms
+  Server server(so);
+  auto g = std::make_shared<Graph>(
+      gen::suite_entry("Oregon-2").make(gen::SuiteScale::Tiny));
+  server.snapshots().publish(make_snapshot("g", "test", std::move(g)));
+  server.start();
+
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  server.adopt(sv[0]);
+  Client c;
+  c.adopt(sv[1]);
+
+  EXPECT_TRUE(c.ping());  // microseconds; far under the threshold
+  std::vector<std::int64_t> values;
+  EXPECT_EQ(c.lookup("missing", Attr::Color, {1}, values),
+            Status::UnknownGraph);  // errors are always retained
+
+  const std::vector<TailTrace> traces = server.tail_traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].status, Status::UnknownGraph);
+  server.shutdown();
+}
+
 }  // namespace
 }  // namespace vgp::serve

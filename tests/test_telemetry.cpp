@@ -124,6 +124,82 @@ TEST_F(TelemetryTest, GaugeSeriesHistogramSemantics) {
   EXPECT_DOUBLE_EQ(hist.mean(), 5.0);
 }
 
+TEST(Histogram, BucketIndexMatchesLog2Mapping) {
+  // v in (2^(b-1), 2^b] lands in bucket b + kZeroBucket whose upper
+  // bound is 2^b — the same mapping the serve latency path has always
+  // used for microsecond values, so quantiles stay bit-identical.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1.0), Histogram::kZeroBucket + 1);
+  EXPECT_EQ(Histogram::bucket_index(2.0), Histogram::kZeroBucket + 2);
+  EXPECT_EQ(Histogram::bucket_index(3.0), Histogram::kZeroBucket + 2);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+  // Sub-unit values resolve too (phase histograms record seconds).
+  EXPECT_EQ(Histogram::bucket_index(0.25), Histogram::kZeroBucket - 1);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper(Histogram::kZeroBucket + 3), 8.0);
+}
+
+TEST(Histogram, PercentileUsesUpperBoundConvention) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(1.5);   // bucket upper = 2
+  for (int i = 0; i < 10; ++i) h.observe(100.0); // bucket upper = 128
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(90.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 128.0);
+  EXPECT_NEAR(h.sum(), 90 * 1.5 + 10 * 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram{}.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, MergeAndResetAccumulateCounts) {
+  Histogram a, b;
+  a.observe(1.0);
+  b.observe(4.0);
+  b.observe(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 9.0);
+  // 4.0 is an exact power of two: [2^(b-1), 2^b) puts it in the bucket
+  // whose upper bound is 8 (same as the historical serve mapping).
+  EXPECT_DOUBLE_EQ(a.percentile(99.0), 8.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST_F(TelemetryTest, ObserveFillsBucketsAndPercentiles) {
+  auto& reg = Registry::global();
+  const MetricId h = reg.histogram("test.hist.buckets");
+  for (int i = 0; i < 99; ++i) reg.observe(h, 1.5);
+  reg.observe(h, 1000.0);
+  const auto metrics = reg.collect();
+  const auto& hist = find(metrics, "test.hist.buckets")->hist;
+  ASSERT_EQ(hist.buckets.size(),
+            static_cast<std::size_t>(Histogram::kBuckets));
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 1024.0);
+}
+
+TEST_F(TelemetryTest, AttachedHistogramSnapshotsLiveData) {
+  // attach_histogram() metrics read the wait-free histogram at collect()
+  // time — records land in snapshots even though observe() was never
+  // called through the registry.
+  static Histogram live;  // must outlive the process per the contract
+  live.reset();
+  auto& reg = Registry::global();
+  reg.attach_histogram("test.hist.attached", &live);
+  live.observe(3.0);
+  live.observe(300.0);
+  const auto metrics = reg.collect();
+  const auto& hist = find(metrics, "test.hist.attached")->hist;
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_DOUBLE_EQ(hist.sum, 303.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 4.0);
+  // min/max degrade to bucket bounds of the occupied range.
+  EXPECT_DOUBLE_EQ(hist.min, 2.0);
+  EXPECT_DOUBLE_EQ(hist.max, 512.0);
+}
+
 TEST_F(TelemetryTest, ResetZeroesValuesButKeepsRegistrations) {
   auto& reg = Registry::global();
   const MetricId c = reg.counter("test.reset");

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape on stdin or a file.
+
+Used by CI to check what vgp-top --scrape / the --prom exporter emit is
+something a real Prometheus server would ingest. Stdlib only — no pip.
+
+Checks:
+  * every non-comment line parses as `name{labels} value`
+  * metric and label names match the legal charsets
+  * every sample's family has a preceding # TYPE line, and the TYPE is
+    one of counter/gauge/histogram/untyped
+  * no family is declared twice (duplicate # TYPE = ingest error)
+  * histogram families carry _bucket/_sum/_count, buckets have `le`,
+    bucket counts are cumulative (non-decreasing as le grows), and the
+    last bucket is le="+Inf" with count == _count
+  * --require NAME (repeatable): fail unless the family is present
+
+Exit 0 when clean, 1 with a line-numbered complaint otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(?:\s+(\d+))?$"
+)
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def family_of(name):
+    """Strip histogram/summary sample suffixes down to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", nargs="?", default="-",
+                    help="scrape file, or - for stdin (default)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless this metric family is present")
+    args = ap.parse_args()
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    errors = []
+    types = {}        # family -> declared type
+    seen = set()      # families with at least one sample
+    buckets = {}      # family -> list of (le, count) in appearance order
+    sums = {}         # family -> _sum value
+    counts = {}       # family -> _count value
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                _, _, fam, kind = parts
+                if not NAME_RE.fullmatch(fam):
+                    errors.append(f"line {lineno}: illegal family name {fam!r}")
+                if kind not in TYPES:
+                    errors.append(f"line {lineno}: unknown TYPE {kind!r}")
+                if fam in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {fam}")
+                types[fam] = kind
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labelblock, value_text = m.group(1), m.group(2), m.group(3)
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {value_text!r}")
+            continue
+
+        labels = {}
+        if labelblock:
+            body = labelblock[1:-1].rstrip(",")
+            consumed = 0
+            for lm in LABEL_RE.finditer(body):
+                labels[lm.group(1)] = lm.group(2)
+                consumed = lm.end()
+            leftover = body[consumed:].strip(", ")
+            if leftover:
+                errors.append(
+                    f"line {lineno}: bad label syntax near {leftover!r}")
+
+        fam = family_of(name)
+        seen.add(fam)
+        if fam not in types:
+            errors.append(f"line {lineno}: sample {name} has no TYPE line")
+            continue
+
+        if types[fam] == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label")
+                else:
+                    buckets.setdefault(fam, []).append(
+                        (parse_value(labels["le"]), value))
+            elif name.endswith("_sum"):
+                sums[fam] = value
+            elif name.endswith("_count"):
+                counts[fam] = value
+            else:
+                errors.append(
+                    f"line {lineno}: bare sample {name} in histogram family")
+
+    for fam, kind in types.items():
+        if kind != "histogram":
+            continue
+        bs = buckets.get(fam, [])
+        if not bs:
+            errors.append(f"{fam}: histogram with no _bucket samples")
+            continue
+        les = [le for le, _ in bs]
+        cum = [c for _, c in bs]
+        if les != sorted(les):
+            errors.append(f"{fam}: bucket le bounds are not sorted")
+        if any(b > a for a, b in zip(cum[1:], cum[:-1])):
+            errors.append(f"{fam}: bucket counts are not cumulative")
+        if not math.isinf(les[-1]):
+            errors.append(f"{fam}: last bucket is not le=\"+Inf\"")
+        if fam not in counts:
+            errors.append(f"{fam}: histogram missing _count")
+        elif counts[fam] != cum[-1]:
+            errors.append(
+                f"{fam}: +Inf bucket {cum[-1]} != _count {counts[fam]}")
+        if fam not in sums:
+            errors.append(f"{fam}: histogram missing _sum")
+
+    for req in args.require:
+        if req not in seen:
+            errors.append(f"required metric family {req} is absent")
+
+    if errors:
+        for e in errors:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+        return 1
+    print(f"check_prometheus: OK "
+          f"({len(seen)} families, {len(types)} TYPE lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,9 @@
 #include "vgp/serve/server.hpp"
 #include "vgp/support/buffer.hpp"
 #include "vgp/support/cpu.hpp"
+#include "vgp/support/log.hpp"
 #include "vgp/support/posix_io.hpp"
+#include "vgp/telemetry/exporter.hpp"
 #include "vgp/telemetry/registry.hpp"
 #include "vgp/telemetry/trace.hpp"
 
@@ -61,6 +63,14 @@ int main(int argc, char** argv) {
       .describe("workers", "worker threads (default 2)")
       .describe("queue", "request queue capacity (default 1024)")
       .describe("metrics", "write telemetry to this file on exit")
+      .describe("prom",
+                "continuously export Prometheus text exposition to this "
+                "file (textfile-collector pattern)")
+      .describe("prom-interval",
+                "seconds between Prometheus exports (default 1)")
+      .describe("log",
+                "log level[:path], e.g. info or debug:/tmp/vgp.log "
+                "(overrides VGP_LOG)")
       .describe("trace", "write a Chrome-trace timeline to this file")
       .describe("mmap",
                 "serve .vgpb v3 graphs straight off the file mapping "
@@ -91,6 +101,24 @@ int main(int argc, char** argv) {
   }
   if (const std::string trace = opts.get("trace", ""); !trace.empty()) {
     telemetry::enable_trace_output(trace);
+  }
+  if (const std::string lg = opts.get("log", ""); !lg.empty()) {
+    const auto colon = lg.find(':');
+    const std::string lvl =
+        colon == std::string::npos ? lg : lg.substr(0, colon);
+    log::Level level = log::Level::Warn;
+    if (!log::parse_level(lvl, level)) {
+      std::fprintf(stderr, "vgp-serve: --log wants level[:path], got %s\n",
+                   lg.c_str());
+      return 2;
+    }
+    log::set_level(level);
+    if (colon != std::string::npos &&
+        !log::set_path(lg.substr(colon + 1))) {
+      std::fprintf(stderr, "vgp-serve: cannot open log path in %s\n",
+                   lg.c_str());
+      return 2;
+    }
   }
   so.mmap_load = opts.get_flag("mmap");
   if (const std::string numa = opts.get("numa", ""); !numa.empty()) {
@@ -159,6 +187,19 @@ int main(int argc, char** argv) {
   sigaction(SIGINT, &sa, nullptr);
 
   server.start();
+  // Continuous exposition: the exporter thread renders the server's
+  // always-on stats (plus registry metrics) into --prom atomically every
+  // interval, so a scraper/vgp-top can watch without speaking the wire
+  // protocol. Stopped (with a final export) after the drain below.
+  if (const std::string prom = opts.get("prom", ""); !prom.empty()) {
+    const double interval = opts.get_double("prom-interval", 1.0);
+    if (!telemetry::Exporter::global().start(
+            prom, interval, [&server] { return server.metrics_text(); })) {
+      std::fprintf(stderr, "vgp-serve: cannot write --prom file %s\n",
+                   prom.c_str());
+      return 1;
+    }
+  }
   for (const auto& snap : server.snapshots().all()) {
     std::printf("vgp-serve: loaded %s (%lld vertices, %lld edges) from %s\n",
                 snap->name.c_str(),
@@ -184,6 +225,9 @@ int main(int argc, char** argv) {
   std::printf("vgp-serve: draining...\n");
   std::fflush(stdout);
   server.shutdown();
+  // Final export reflects the drained end state; must run before the
+  // server (which the producer captures) goes out of scope.
+  telemetry::Exporter::global().stop();
 
   const serve::ServeStats stats = server.stats();
   std::printf(
@@ -196,7 +240,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.connections),
       static_cast<unsigned long long>(stats.batched_ids),
       static_cast<unsigned long long>(stats.coalesced),
-      server.latency().percentile_us(50.0),
-      server.latency().percentile_us(99.0));
+      server.latency().percentile(50.0),
+      server.latency().percentile(99.0));
   return 0;
 }

@@ -1,0 +1,271 @@
+// vgp-top: live observability console for a running vgp-serve.
+//
+// Connects over the vgp.serve.v1 protocol and refreshes a one-screen
+// view of the daemon: request rate, per-op latency quantiles, queue
+// depth, worker load, memory/NUMA gauges, and the dispatch-backend mix
+// of the gather sweeps — the serve-layer analogue of top(1).
+//
+//   vgp-top --unix=/tmp/vgp.sock                 # refresh until ^C
+//   vgp-top --tcp=7071 --interval=1 --count=5    # five frames, then exit
+//   vgp-top --unix=/tmp/vgp.sock --profile=2     # 2 s CPU profile,
+//                                                # collapsed stacks on
+//                                                # stdout (flamegraph.pl
+//                                                # ready)
+//   vgp-top --unix=/tmp/vgp.sock --scrape        # one Prometheus scrape
+//
+// QPS and load are deltas between consecutive Status snapshots, so the
+// first frame shows totals only. `load` is time spent in requests
+// (queue + handle) per worker-second — it overstates saturation when
+// requests pile up in the queue, which is exactly when you want the
+// number to look alarming.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+#include "vgp/harness/options.hpp"
+#include "vgp/serve/client.hpp"
+#include "vgp/telemetry/json_reader.hpp"
+
+namespace {
+
+using vgp::serve::Client;
+using vgp::serve::Status;
+using vgp::telemetry::JsonValue;
+
+double num(const JsonValue* v, double fallback = 0.0) {
+  return v == nullptr ? fallback : v->number_or(fallback);
+}
+
+std::string human_bytes(double b) {
+  const char* unit = "B";
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    b /= 1024.0 * 1024.0 * 1024.0;
+    unit = "GiB";
+  } else if (b >= 1024.0 * 1024.0) {
+    b /= 1024.0 * 1024.0;
+    unit = "MiB";
+  } else if (b >= 1024.0) {
+    b /= 1024.0;
+    unit = "KiB";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", b, unit);
+  return buf;
+}
+
+/// One rendered frame. `prev` is the previous Status document (Null on
+/// the first frame); `dt` the seconds between them.
+void render(const JsonValue& st, const JsonValue& prev, double dt) {
+  const JsonValue* stats = st.get("stats");
+  const JsonValue* pstats = prev.get("stats");
+  const double requests = num(stats ? stats->get("requests") : nullptr);
+  const double workers = num(stats ? stats->get("workers") : nullptr, 1.0);
+
+  char clock[16] = "--:--:--";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  if (localtime_r(&now, &tm_buf) != nullptr) {
+    std::strftime(clock, sizeof(clock), "%H:%M:%S", &tm_buf);
+  }
+  std::printf("vgp-top  %s\n", clock);
+
+  // Rate line: deltas when we have a previous frame, totals otherwise.
+  if (pstats != nullptr && dt > 0.0) {
+    const double dreq = requests - num(pstats->get("requests"));
+    const double derr = num(stats ? stats->get("errors") : nullptr) -
+                        num(pstats->get("errors"));
+    std::printf("qps %.0f   errors/s %.1f   ", dreq / dt, derr / dt);
+  } else {
+    std::printf("requests %.0f   errors %.0f   ", requests,
+                num(stats ? stats->get("errors") : nullptr));
+  }
+  std::printf("queue %.0f   conns %.0f   workers %.0f",
+              num(stats ? stats->get("queue_depth") : nullptr),
+              num(stats ? stats->get("connections") : nullptr) -
+                  num(stats ? stats->get("disconnects") : nullptr),
+              workers);
+
+  // Worker load: per-op latency sums are not in Status, but the all-op
+  // quantile pair plus the request delta bounds it well enough for a
+  // console: load ~= dreq * p50_us / (workers * dt * 1e6).
+  if (pstats != nullptr && dt > 0.0) {
+    const double dreq = requests - num(pstats->get("requests"));
+    const double p50 = num(stats ? stats->get("latency_p50_us") : nullptr);
+    double load = dreq * p50 / (workers * dt * 1e6);
+    if (load > 1.0) load = 1.0;
+    std::printf("   load %.0f%%", load * 100.0);
+  }
+  std::printf("\n");
+
+  const JsonValue* mem = st.get("mem");
+  std::printf("rss %s   peak %s   mapped %s   numa %s\n",
+              human_bytes(num(mem ? mem->get("rss_bytes") : nullptr)).c_str(),
+              human_bytes(num(mem ? mem->get("peak_rss_bytes") : nullptr))
+                  .c_str(),
+              human_bytes(num(mem ? mem->get("mapped_bytes") : nullptr))
+                  .c_str(),
+              mem != nullptr && mem->get("numa_policy") != nullptr
+                  ? mem->get("numa_policy")->str.c_str()
+                  : "?");
+
+  // Dispatch mix: which gather tier the Lookup sweeps actually ran on.
+  if (const JsonValue* dispatch = st.get("dispatch");
+      dispatch != nullptr && dispatch->is_object()) {
+    double total = 0.0;
+    for (const auto& [name, v] : dispatch->obj) total += v.number_or(0.0);
+    std::printf("dispatch ");
+    for (const auto& [name, v] : dispatch->obj) {
+      const double share =
+          total > 0.0 ? v.number_or(0.0) / total * 100.0 : 0.0;
+      std::printf(" %s %.1f%%", name.c_str(), share);
+    }
+    std::printf("\n");
+  }
+
+  if (const JsonValue* prof = st.get("profile");
+      prof != nullptr && prof->get("armed") != nullptr &&
+      prof->get("armed")->bval) {
+    std::printf("profile ARMED @ %.0f Hz, %.0f samples (%.0f dropped)\n",
+                num(prof->get("hz")), num(prof->get("samples")),
+                num(prof->get("dropped")));
+  }
+
+  // Per-op table, busiest first is overkill — protocol order is stable
+  // and short.
+  if (const JsonValue* ops = st.get("ops");
+      ops != nullptr && ops->is_object() && !ops->obj.empty()) {
+    std::printf("%-12s %12s %10s %10s %10s\n", "op", "count", "rate/s",
+                "p50_us", "p99_us");
+    const JsonValue* pops = prev.get("ops");
+    for (const auto& [name, v] : ops->obj) {
+      const double count = num(v.get("count"));
+      double rate = 0.0;
+      if (pops != nullptr && dt > 0.0) {
+        const JsonValue* pv = pops->get(name);
+        rate = (count - (pv != nullptr ? num(pv->get("count")) : 0.0)) / dt;
+      }
+      std::printf("%-12s %12.0f %10.1f %10.0f %10.0f\n", name.c_str(), count,
+                  rate, num(v.get("p50_us")), num(v.get("p99_us")));
+    }
+  }
+
+  if (const JsonValue* graphs = st.get("graphs");
+      graphs != nullptr && graphs->is_array()) {
+    for (const JsonValue& g : graphs->arr) {
+      std::printf("graph %s  v=%.0f e=%.0f  version=%.0f  %s%s\n",
+                  g.get("name") != nullptr ? g.get("name")->str.c_str() : "?",
+                  num(g.get("vertices")), num(g.get("edges")),
+                  num(g.get("version")),
+                  g.get("algorithm") != nullptr
+                      ? g.get("algorithm")->str.c_str()
+                      : "",
+                  g.get("mapped") != nullptr && g.get("mapped")->bval
+                      ? " [mmap]"
+                      : "");
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vgp;
+  harness::Options opts;
+  opts.describe("unix", "connect to this unix-domain socket path")
+      .describe("tcp", "connect to 127.0.0.1:<port>")
+      .describe("interval", "seconds between refreshes (default 2)")
+      .describe("count", "frames to render, 0 = until interrupted")
+      .describe("profile",
+                "instead of the console: run an N-second CPU profile on "
+                "the server and print collapsed flamegraph stacks")
+      .describe("scrape",
+                "instead of the console: print one Prometheus scrape "
+                "(the Metrics op) and exit");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  Client client;
+  const std::string unix_path = opts.get("unix", "");
+  const int tcp_port = static_cast<int>(opts.get_int("tcp", 0));
+  if (!unix_path.empty()) {
+    if (!client.connect_unix(unix_path)) {
+      std::perror("vgp-top: connect(unix)");
+      return 1;
+    }
+  } else if (tcp_port > 0) {
+    if (!client.connect_tcp(tcp_port)) {
+      std::perror("vgp-top: connect(tcp)");
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "vgp-top: need --unix=PATH or --tcp=PORT\n");
+    return 2;
+  }
+
+  if (opts.get_flag("scrape")) {
+    std::string text;
+    const serve::Status s = client.metrics(text);
+    if (s != serve::Status::Ok) {
+      std::fprintf(stderr, "vgp-top: Metrics failed: %s\n",
+                   serve::status_name(s));
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+
+  if (const double prof_s = opts.get_double("profile", 0.0); prof_s > 0.0) {
+    serve::Status s = client.profile_start(0);
+    if (s != serve::Status::Ok) {
+      std::fprintf(stderr, "vgp-top: Profile start failed: %s\n",
+                   serve::status_name(s));
+      return 1;
+    }
+    ::usleep(static_cast<useconds_t>(prof_s * 1e6));
+    std::string collapsed;
+    std::uint64_t samples = 0, dropped = 0;
+    s = client.profile_stop(collapsed, samples, dropped);
+    if (s != serve::Status::Ok) {
+      std::fprintf(stderr, "vgp-top: Profile stop failed: %s\n",
+                   serve::status_name(s));
+      return 1;
+    }
+    std::fprintf(stderr, "vgp-top: %llu samples (%llu dropped)\n",
+                 static_cast<unsigned long long>(samples),
+                 static_cast<unsigned long long>(dropped));
+    std::fwrite(collapsed.data(), 1, collapsed.size(), stdout);
+    return 0;
+  }
+
+  const double interval = opts.get_double("interval", 2.0);
+  const long count = static_cast<long>(opts.get_int("count", 0));
+  JsonValue prev;
+  for (long frame = 0; count == 0 || frame < count; ++frame) {
+    if (frame > 0) ::usleep(static_cast<useconds_t>(interval * 1e6));
+    std::string json;
+    const serve::Status s = client.status(json);
+    if (s != serve::Status::Ok) {
+      std::fprintf(stderr, "vgp-top: Status failed: %s\n",
+                   serve::status_name(s));
+      return 1;
+    }
+    JsonValue st;
+    std::string error;
+    if (!telemetry::parse_json(json, st, &error)) {
+      std::fprintf(stderr, "vgp-top: bad Status JSON: %s\n", error.c_str());
+      return 1;
+    }
+    render(st, prev, frame == 0 ? 0.0 : interval);
+    prev = std::move(st);
+  }
+  return 0;
+}
