@@ -22,6 +22,7 @@
 #include "vgp/harness/experiment.hpp"
 #include "vgp/harness/options.hpp"
 #include "vgp/harness/table.hpp"
+#include "vgp/plan/planner.hpp"
 #include "vgp/simd/backend.hpp"
 #include "vgp/support/buffer.hpp"
 #include "vgp/support/cpu.hpp"
@@ -38,6 +39,7 @@ struct BenchConfig {
   bool paper_mode = false;   // larger sweeps, more reps
   std::string bench_json;    // --bench-json= machine-readable summary path
   bool mmap_load = false;    // --mmap: prefer Graph::map_binary for .vgpb
+  plan::TuneMode tune = plan::TuneMode::Off;  // --tune=off|quick|full
 };
 
 /// Parses the standard knobs; returns false when --help was printed.
@@ -61,7 +63,10 @@ inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
                 "lazily faulted). Equivalent to VGP_MMAP=1")
       .describe("numa",
                 "memory placement for the big arrays: bind|interleave|off "
-                "(default off; single-socket machines fall back silently)");
+                "(default off; single-socket machines fall back silently)")
+      .describe("tune",
+                "self-tuning planner: off|quick|full (default off). Each "
+                "binary re-plans per benchmark graph via apply_tune()");
   // Bad values (e.g. --reps=1O) throw std::invalid_argument naming the
   // key; exit cleanly instead of letting it reach std::terminate.
   try {
@@ -74,6 +79,9 @@ inline bool parse_common(int argc, char** argv, BenchConfig& cfg,
     cfg.bench_json = opts.get("bench-json", "");
     cfg.mmap_load = opts.get_flag("mmap");
     if (cfg.mmap_load) ::setenv("VGP_MMAP", "1", 1);
+    if (const std::string tune = opts.get("tune", ""); !tune.empty()) {
+      cfg.tune = plan::parse_tune_mode(tune);
+    }
     if (const std::string numa = opts.get("numa", ""); !numa.empty()) {
       NumaPolicy p = NumaPolicy::kOff;
       if (!parse_numa_policy(numa, p)) {
@@ -166,6 +174,21 @@ inline void report_series(const BenchConfig& cfg, const std::string& title,
     out << "\n    ]}";
   }
   out << "\n  ]\n}\n";
+}
+
+/// Plans `g` and installs the result when --tune was given (call once
+/// per benchmark graph, before the timed region). Auto-dispatched
+/// kernels then follow the plan; explicit backend sweeps are unaffected
+/// because a non-Auto request bypasses the plan provider.
+inline void apply_tune(const BenchConfig& cfg, const Graph& g) {
+  if (cfg.tune == plan::TuneMode::Off) {
+    plan::clear_active_plan();
+    return;
+  }
+  plan::PlanOptions popts;
+  popts.mode = cfg.tune;
+  plan::set_active_plan(std::make_shared<const plan::ExecutionPlan>(
+      plan::plan_execution(g, popts)));
 }
 
 inline harness::RepeatOptions repeat_options(const BenchConfig& cfg) {

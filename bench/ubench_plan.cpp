@@ -1,0 +1,120 @@
+// ubench_plan: cost of the self-tuning planner and quality of its plans.
+//
+// Two figures on an rmat-g500 stand-in (Graph500 R-MAT mix, the paper's
+// skewed-degree worst case for one-size-fits-all dispatch):
+//
+//   plan-overhead      quick/full planning wall time, in ms and as a
+//                      percentage of one level-0 Louvain move phase —
+//                      the acceptance bar is quick < 5% of a level.
+//   planned-vs-static  label-prop per-iteration throughput under the
+//                      installed plan vs every static backend. The
+//                      `plan.ratio` series (planned / best static) is
+//                      the CI gate: >= 0.95 means self-tuning never
+//                      loses more than 5% to the best fixed choice.
+//
+//   ubench_plan --scale=small --bench-json=plan.json
+#include "bench_common.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/plan/planner.hpp"
+
+namespace {
+
+using namespace vgp;
+
+int rmat_scale(gen::SuiteScale s) {
+  switch (s) {
+    case gen::SuiteScale::Tiny: return 14;
+    case gen::SuiteScale::Small: return 16;
+    case gen::SuiteScale::Medium: return 18;
+    case gen::SuiteScale::Large: return 20;
+  }
+  return 14;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig cfg;
+  harness::Options opts;
+  if (!bench::parse_common(argc, argv, cfg, opts)) return 0;
+  bench::print_banner("ubench_plan: planner overhead + planned-vs-static");
+
+  const int scale = rmat_scale(cfg.scale);
+  const Graph g = gen::rmat(gen::rmat_mix_graph500(scale, 16));
+  std::printf("# rmat-g500 scale %d: %lld vertices, %lld edges\n", scale,
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()));
+
+  // --- plan-overhead --------------------------------------------------
+  const auto time_plan = [&](plan::TuneMode mode) {
+    return harness::stats_repeated(bench::repeat_options(cfg), [&] {
+      plan::PlanOptions popts;
+      popts.mode = mode;
+      popts.force_backend = simd::Backend::Auto;  // probe even under CI env
+      return plan::plan_execution(g, popts).plan_seconds;
+    }).median;
+  };
+  const double quick_s = time_plan(plan::TuneMode::Quick);
+  const double full_s = time_plan(plan::TuneMode::Full);
+
+  // One level-0 move phase (all iterations to local convergence) — the
+  // unit the acceptance criterion prices planning against.
+  plan::clear_active_plan();
+  const double level_s =
+      harness::stats_repeated(bench::repeat_options(cfg), [&] {
+        community::MoveState state = community::make_move_state(g);
+        community::MoveCtx ctx = community::make_move_ctx(g, state);
+        const auto ms = community::run_move_phase(
+            ctx, community::MovePolicy::ONPL, simd::Backend::Auto);
+        return ms.seconds;
+      }).median;
+
+  bench::report_series(
+      cfg, "plan-overhead",
+      {{"ms",
+        {"quick", "full", "louvain-level0"},
+        {quick_s * 1e3, full_s * 1e3, level_s * 1e3}},
+       {"pct-of-level",
+        {"quick", "full"},
+        {100.0 * quick_s / level_s, 100.0 * full_s / level_s}}});
+
+  // --- planned-vs-static ----------------------------------------------
+  // Per-iteration normalization for the same reason as time_move_phase:
+  // backends may take different round counts to converge.
+  const auto lp_edges_per_s = [&](simd::Backend backend) {
+    const double sec_per_iter =
+        harness::stats_repeated(bench::repeat_options(cfg), [&] {
+          community::LabelPropOptions lp;
+          lp.backend = backend;
+          const auto res = community::label_propagation(g, lp);
+          return res.seconds / static_cast<double>(std::max(1, res.iterations));
+        }).median;
+    return static_cast<double>(g.num_edges()) / sec_per_iter;
+  };
+
+  std::vector<std::string> labels;
+  std::vector<double> qps;
+  double best_static = 0.0;
+  plan::clear_active_plan();
+  for (const simd::Backend b : bench::backend_axis()) {
+    labels.push_back(simd::backend_name(b));
+    qps.push_back(lp_edges_per_s(b));
+    best_static = std::max(best_static, qps.back());
+  }
+
+  plan::PlanOptions popts;
+  popts.mode = plan::TuneMode::Quick;
+  popts.force_backend = simd::Backend::Auto;
+  plan::set_active_plan(std::make_shared<const plan::ExecutionPlan>(
+      plan::plan_execution(g, popts)));
+  labels.push_back("planned");
+  qps.push_back(lp_edges_per_s(simd::Backend::Auto));
+  plan::clear_active_plan();
+
+  bench::report_series(
+      cfg, "planned-vs-static",
+      {{"edges-per-s", labels, qps},
+       {"plan.ratio", {"labelprop"}, {qps.back() / best_static}}});
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "vgp/graph/stats.hpp"
 #include "vgp/graph/triangles.hpp"
 #include "vgp/harness/options.hpp"
+#include "vgp/plan/planner.hpp"
 #include "vgp/support/buffer.hpp"
 #include "vgp/support/cpu.hpp"
 #include "vgp/support/timer.hpp"
@@ -75,7 +76,21 @@ int cmd_color(const Graph& g, const harness::Options& opts) {
 
 int cmd_louvain(const Graph& g, const harness::Options& opts) {
   community::LouvainOptions lopts;
-  lopts.policy = community::parse_move_policy(opts.get("policy", "onpl"));
+  // An installed plan steers the knobs the dispatch layer cannot reach
+  // (policy, grain, coarsen pipeline); an explicit --policy still wins.
+  const auto plan = plan::active_plan();
+  const std::string policy = opts.get("policy", "");
+  if (!policy.empty()) {
+    lopts.policy = community::parse_move_policy(policy);
+  } else if (plan != nullptr && !plan->forced) {
+    lopts.policy = plan->move_policy;
+  } else {
+    lopts.policy = community::MovePolicy::ONPL;
+  }
+  if (plan != nullptr && !plan->forced) {
+    lopts.grain = plan->grain;
+    lopts.coarsen_pipeline = plan->coarsen_pipeline;
+  }
   lopts.backend = simd::parse_backend(opts.get("backend", "auto"));
   const std::string rs = opts.get("rs", "auto");
   lopts.rs_policy = rs == "conflict"   ? community::RsPolicy::Conflict
@@ -95,6 +110,10 @@ int cmd_labelprop(const Graph& g, const harness::Options& opts) {
   community::LabelPropOptions popts;
   popts.backend = simd::parse_backend(opts.get("backend", "auto"));
   popts.theta = opts.get_int("theta", -1);
+  if (const auto plan = plan::active_plan();
+      plan != nullptr && !plan->forced) {
+    popts.grain = plan->grain;
+  }
   const auto res = community::label_propagation(g, popts);
   std::printf("%lld communities after %d rounds (%.3fs), modularity %.4f\n",
               static_cast<long long>(res.num_communities), res.iterations,
@@ -178,7 +197,15 @@ int main(int argc, char** argv) {
                 "load .vgpb v3 inputs via mmap (zero-parse; equivalent to "
                 "VGP_MMAP=1)")
       .describe("numa",
-                "memory placement: bind|interleave|off (default off)");
+                "memory placement: bind|interleave|off (default off)")
+      .describe("tune",
+                "self-tuning planner: off|quick|full (default off). "
+                "Samples the loaded graph, mini-benchmarks the kernel "
+                "tiers, and installs the resulting execution plan")
+      .describe("plan-json",
+                "write the computed plan (vgp.plan.v1 JSON) to this file; "
+                "'-' prints to stdout. Implies --tune=quick when --tune "
+                "is absent");
   try {
     if (!opts.parse(argc, argv)) return 0;
     const std::string metrics = opts.get("metrics", "");
@@ -201,6 +228,48 @@ int main(int argc, char** argv) {
                 cmd.c_str(), static_cast<long long>(g.num_vertices()),
                 static_cast<long long>(g.num_edges()),
                 vgp::cpu_feature_string().c_str());
+    const std::string plan_json = opts.get("plan-json", "");
+    std::string tune = opts.get("tune", "");
+    if (tune.empty() && !plan_json.empty()) tune = "quick";
+    if (!tune.empty()) {
+      vgp::plan::PlanOptions popts;
+      popts.mode = vgp::plan::parse_tune_mode(tune);
+      if (popts.mode != vgp::plan::TuneMode::Off) {
+        auto plan = std::make_shared<const vgp::plan::ExecutionPlan>(
+            vgp::plan::plan_execution(g, popts));
+        vgp::plan::set_active_plan(plan);
+        std::printf("# plan %s%s: %.1f ms, sampled %lld vertices",
+                    vgp::plan::tune_mode_name(plan->mode),
+                    plan->forced ? " (forced by VGP_BACKEND)" : "",
+                    plan->plan_seconds * 1e3,
+                    static_cast<long long>(plan->sampled_vertices));
+        for (const auto& f : plan->families) {
+          std::printf("  %s=%s", f.family.c_str(),
+                      vgp::simd::backend_name(f.backend));
+          if (f.degree_threshold > 0) {
+            std::printf("(<%lld scalar)",
+                        static_cast<long long>(f.degree_threshold));
+          }
+        }
+        std::printf("\n");
+        if (!plan_json.empty()) {
+          const std::string doc = plan->to_json();
+          if (plan_json == "-") {
+            std::printf("%s\n", doc.c_str());
+          } else {
+            std::FILE* f = std::fopen(plan_json.c_str(), "w");
+            if (f == nullptr) {
+              std::fprintf(stderr, "error: cannot write %s\n",
+                           plan_json.c_str());
+              return 1;
+            }
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+          }
+        }
+      }
+    }
     int rc = 1;
     if (cmd == "stats") rc = cmd_stats(g);
     else if (cmd == "color") rc = cmd_color(g, opts);

@@ -151,6 +151,11 @@ LabelPropResult label_propagation(const Graph& g,
       res.compress_switch_iteration = iter;
     }
     ctx.salt = mix32(static_cast<std::uint32_t>(iter) + 0x9e3779b9u);
+    // Explicit option wins; otherwise adopt the active plan's hybrid
+    // cutoff (sel.degree_threshold is -1 when no plan is installed, which
+    // keeps the kernels' one-vector default).
+    ctx.degree_threshold = opts.degree_threshold >= 0 ? opts.degree_threshold
+                                                      : sel.degree_threshold;
 
     std::atomic<std::int64_t> updated{0};
     parallel_for(0, static_cast<std::int64_t>(worklist.size()), opts.grain,

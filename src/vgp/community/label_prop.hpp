@@ -40,6 +40,12 @@ struct LabelPropOptions {
   /// Wall-clock budget; <= 0 disables. Expiry stops after the current
   /// round and flags the result degraded (labels stay valid).
   double deadline_seconds = 0.0;
+  /// Hybrid degree cutoff: vertices with degree < degree_threshold take
+  /// the scalar per-vertex path inside the vector process kernels. -1
+  /// defers to the active ExecutionPlan (or the kernel default of one
+  /// vector width when no plan is active); 0 = all-vector; huge =
+  /// all-scalar.
+  std::int64_t degree_threshold = -1;
 };
 
 struct LabelPropResult {
@@ -78,6 +84,9 @@ struct LpCtx {
   /// floods one label across bridges). A vertex's tied candidates are
   /// ranked by mix32(label ^ mix32(salt ^ vertex)).
   std::uint32_t salt = 1;
+  /// Hybrid degree cutoff (see LabelPropOptions::degree_threshold); -1 =
+  /// kernel default of one vector width.
+  std::int64_t degree_threshold = -1;
 };
 
 /// Processes verts[0..count): recomputes each vertex's heaviest neighbor

@@ -236,15 +236,17 @@ std::int64_t lp_process_avx2(const LpCtx& ctx, const VertexId* verts,
   const Graph& g = *ctx.g;
   std::int64_t changed = 0;
   LaneUse lanes;
+  const std::int64_t scalar_below =
+      ctx.degree_threshold >= 0 ? ctx.degree_threshold : kLanes8;
 
   for (std::int64_t k = 0; k < count; ++k) {
     const VertexId u = verts[k];
     const auto nbrs = g.neighbors(u);
     if (nbrs.empty()) continue;
 
-    // Below one vector of neighbors the gathers cannot pay for
-    // themselves; use the shared scalar path.
-    if (static_cast<std::int64_t>(nbrs.size()) < kLanes8) {
+    // Below the cutoff (default: one vector of neighbors) the gathers
+    // cannot pay for themselves; use the shared scalar path.
+    if (static_cast<std::int64_t>(nbrs.size()) < scalar_below) {
       if (lp_update_one_scalar(ctx, u, aff)) ++changed;
       continue;
     }

@@ -49,7 +49,13 @@ MoveStats run_move_phase(const MoveCtx& ctx, MovePolicy policy,
       // degraded dispatch shows up in MoveStats and in the
       // dispatch.fallback.* counters, never silently.
       const auto sel = simd::select<OnplMoveKernel>(backend);
-      auto stats = sel.fn(ctx);
+      // Callers that set an explicit cutoff keep it; otherwise adopt the
+      // active plan's (still -1 when no plan is installed).
+      MoveCtx run_ctx = ctx;
+      if (run_ctx.degree_threshold < 0) {
+        run_ctx.degree_threshold = sel.degree_threshold;
+      }
+      auto stats = sel.fn(run_ctx);
       stats.backend = sel.backend;
       stats.fallback_reason = sel.fallback_reason;
       return stats;
@@ -97,6 +103,7 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
     ctx.max_iterations = opts.max_move_iterations;
     ctx.grain = opts.grain;
     ctx.rs_policy = opts.rs_policy;
+    ctx.degree_threshold = opts.degree_threshold;
     ctx.deadline = deadline;
     if (opts.iteration_budget > 0) {
       // The degraded-break below guarantees at least one sweep remains.
@@ -157,7 +164,9 @@ LouvainResult louvain(const Graph& g, const LouvainOptions& opts) {
     if (res.degraded) break;
 
     telemetry::ScopedPhase coarsen_phase("louvain.coarsen");
-    CoarseResult cr = coarsen(*current, state.zeta);
+    CoarseResult cr = opts.coarsen_pipeline
+                          ? coarsen(*current, state.zeta)
+                          : coarsen_reference(*current, state.zeta);
     coarse_storage = std::move(cr.graph);
     current = &coarse_storage;
     if (k <= 1) break;

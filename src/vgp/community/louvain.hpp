@@ -52,6 +52,15 @@ struct LouvainOptions {
   /// Cumulative move-sweep budget across all levels; <= 0 disables.
   /// Exhaustion degrades the same way the deadline does.
   std::int64_t iteration_budget = 0;
+  /// Hybrid degree cutoff for the vector move kernels (see
+  /// MoveCtx::degree_threshold). -1 defers to the active ExecutionPlan,
+  /// then to the kernel default of one vector width.
+  std::int64_t degree_threshold = -1;
+  /// When false, coarsening uses the sequential map-aggregation fallback
+  /// (coarsen_reference) instead of the parallel pipeline — the execution
+  /// planner turns the pipeline off on graphs too small to amortize its
+  /// bucket setup.
+  bool coarsen_pipeline = true;
 };
 
 struct LouvainResult {

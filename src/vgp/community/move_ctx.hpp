@@ -39,6 +39,15 @@ struct MoveCtx {
   int max_iterations = 25;
   std::int64_t grain = 256;
   RsPolicy rs_policy = RsPolicy::Auto;
+  /// Hybrid degree cutoff for the vector move kernels: vertices with
+  /// degree < degree_threshold run the scalar per-vertex path (affinity
+  /// accumulation + decide_and_move), vertices at or above it run the
+  /// vector lanes. -1 keeps each kernel's built-in default (one vector
+  /// width: 16 for AVX-512, 8 for AVX2); 0 forces everything through the
+  /// vector path; a huge value forces the scalar path for every vertex.
+  /// Scalar policies (PLM/MPLM) ignore it. Usually filled from the active
+  /// ExecutionPlan via simd::Selected::degree_threshold.
+  std::int64_t degree_threshold = -1;
   /// Optional wall-clock guard: every move-phase variant polls it once
   /// per sweep and stops early (MoveStats::hit_deadline) when it
   /// expires, leaving zeta at the best partition found so far.

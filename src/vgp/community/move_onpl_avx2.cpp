@@ -173,6 +173,8 @@ MoveStats move_phase_onpl_avx2(const MoveCtx& ctx) {
   const auto n = g.num_vertices();
   MoveStats stats;
   WallTimer timer;
+  const std::int64_t scalar_below =
+      ctx.degree_threshold >= 0 ? ctx.degree_threshold : kLanes8;
 
   auto& reg = telemetry::Registry::global();
   const bool telem = reg.enabled();
@@ -227,9 +229,9 @@ MoveStats move_phase_onpl_avx2(const MoveCtx& ctx) {
         const auto u = static_cast<VertexId>(vi);
         const auto deg = g.degree(u);
         if (deg == 0) continue;
-        // Hybrid dispatch: below one 8-lane vector of neighbors the
-        // gathers cannot pay for themselves.
-        if (deg < kLanes8) {
+        // Hybrid dispatch: below the cutoff (default: one 8-lane vector)
+        // the gathers cannot pay for themselves.
+        if (deg < scalar_below) {
           ++scalar_verts;
           accumulate_affinity_scalar(g, *ctx.zeta, u, aff);
           tally.add(0, 0, 0, 2 * static_cast<int>(deg));

@@ -273,6 +273,8 @@ MoveStats move_phase_onpl_avx512(const MoveCtx& ctx) {
   MoveStats stats;
   WallTimer timer;
   const bool slow = simd::emulate_slow_scatter();
+  const std::int64_t scalar_below =
+      ctx.degree_threshold >= 0 ? ctx.degree_threshold : kLanes;
 
   auto& reg = telemetry::Registry::global();
   const bool telem = reg.enabled();
@@ -324,11 +326,12 @@ MoveStats move_phase_onpl_avx512(const MoveCtx& ctx) {
         const auto u = static_cast<VertexId>(vi);
         const auto deg = g.degree(u);
         if (deg == 0) continue;
-        // Hybrid dispatch: a vertex with fewer neighbors than one vector
-        // cannot fill a single 16-lane chunk — gather/scatter latency
-        // only loses against the scalar loop there (this is also why the
-        // paper's gains concentrate on high-average-degree graphs).
-        if (deg < kLanes) {
+        // Hybrid dispatch: a vertex with fewer neighbors than the cutoff
+        // runs the scalar loop — gather/scatter latency only loses there
+        // (this is also why the paper's gains concentrate on
+        // high-average-degree graphs). The default cutoff is one 16-lane
+        // vector; the execution planner can move it per graph.
+        if (deg < scalar_below) {
           ++scalar_verts;
           accumulate_affinity_scalar(g, *ctx.zeta, u, aff);
           tally.add(0, 0, 0, 2 * static_cast<int>(deg));

@@ -1,0 +1,203 @@
+#include "vgp/plan/minibench.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "vgp/community/coarsen.hpp"
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/partition.hpp"
+#include "vgp/parallel/atomic_bitmap.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/serve/batch.hpp"
+#include "vgp/support/log.hpp"
+#include "vgp/support/timer.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::plan {
+
+namespace {
+
+/// A tier is probed iff its TU registered a variant for this family AND
+/// the CPU reports the ISA. Enumerated straight from the KernelTable, so
+/// no per-family availability code exists anywhere else.
+template <typename K>
+bool tier_runnable(int tier) {
+  if (tier == 1 && !simd::avx2_kernels_available()) return false;
+  if (tier == 2 && !simd::avx512_kernels_available()) return false;
+  return simd::KernelTable<K>::instance().has(simd::tier_backend(tier));
+}
+
+int resolve_reps(const PlanOptions& opts) {
+  if (opts.reps > 0) return opts.reps;
+  return opts.mode == TuneMode::Full ? 5 : 2;
+}
+
+/// min-of-reps timing of a thunk.
+template <typename Fn>
+double time_probe(int reps, const Fn& fn) {
+  double best = -1.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    const double s = t.seconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+MiniBenchResult run_minibench(const Graph& g, const SampleSet& sample,
+                              const PlanOptions& opts) {
+  MiniBenchResult r;
+  const std::int64_t n = g.num_vertices();
+  if (n == 0 || sample.all.empty()) return r;
+
+  simd::detail::ensure_kernels_registered();
+  telemetry::ScopedPhase phase("tune.bmk");
+  WallTimer total;
+  const int reps = resolve_reps(opts);
+
+  double lp_t = 0.0, grain_t = 0.0, gather_t = 0.0, emit_t = 0.0;
+  // --- labelprop.process per degree bucket per tier ------------------
+  // The probes run on a live labels array (reset once, not per probe):
+  // label drift between probes changes which community a gather hits but
+  // not the gather count, so the timing signal is unaffected and we
+  // avoid an O(n) reset per probe.
+  {
+    using community::detail::LpProcessKernel;
+    std::vector<community::CommunityId> labels =
+        community::singleton_partition(n);
+    AtomicBitmap next(static_cast<std::size_t>(n));
+    community::DenseAffinity aff;
+    aff.ensure(n);
+    community::detail::LpCtx ctx;
+    ctx.g = &g;
+    ctx.labels = labels.data();
+    ctx.next_active = &next;
+    ctx.use_compress = false;  // the common (early-iteration) flavor
+    ctx.salt = 1;
+    const auto& table = simd::KernelTable<LpProcessKernel>::instance();
+    for (int t = 0; t < simd::kNumBackendTiers; ++t) {
+      r.lp_tier_runnable[static_cast<std::size_t>(t)] =
+          tier_runnable<LpProcessKernel>(t);
+      auto& row = r.lp_bucket_seconds[static_cast<std::size_t>(t)];
+      row.assign(sample.buckets.size(), -1.0);
+      if (!r.lp_tier_runnable[static_cast<std::size_t>(t)]) continue;
+      const auto fn = table.get(simd::tier_backend(t));
+      // Vector tiers run with the scalar fast path disabled so the DP
+      // sees the pure vector cost of every stratum, low-degree included.
+      ctx.degree_threshold = t == 0 ? -1 : 0;
+      for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+        const auto& verts = sample.buckets[i].verts;
+        row[i] = time_probe(reps, [&] {
+          fn(ctx, verts.data(), static_cast<std::int64_t>(verts.size()), aff);
+        });
+      }
+    }
+    ctx.degree_threshold = -1;
+    lp_t = total.seconds();
+
+    // --- grain candidates on the widest runnable tier ----------------
+    // Through the real thread pool, so per-chunk scheduling overhead is
+    // part of the measurement — that is the thing grain trades against.
+    // Full mode only: pool dispatch costs milliseconds per probe, which
+    // alone would blow the quick budget; quick keeps the default grain.
+    if (opts.mode == TuneMode::Full) {
+      int widest = 0;
+      for (int t = 0; t < simd::kNumBackendTiers; ++t) {
+        if (r.lp_tier_runnable[static_cast<std::size_t>(t)]) widest = t;
+      }
+      const auto fn = table.get(simd::tier_backend(widest));
+      const std::int64_t count = static_cast<std::int64_t>(sample.all.size());
+      r.grain_candidates = {64, 256, 1024};
+      for (const std::int64_t grain : r.grain_candidates) {
+        r.grain_seconds.push_back(time_probe(reps, [&] {
+          parallel_for(0, count, grain, Placement::kBySocket,
+                       [&](std::int64_t first, std::int64_t last) {
+                         thread_local community::DenseAffinity wa;
+                         wa.ensure(n);
+                         fn(ctx, sample.all.data() + first, last - first, wa);
+                       });
+        }));
+      }
+    }
+  }
+
+  grain_t = total.seconds() - lp_t;
+
+  // --- serve.gather: seconds/id at several batch lengths -------------
+  {
+    using serve::detail::GatherKernel;
+    r.gather_batches = {16, 256, 4096};
+    const std::int64_t max_batch = r.gather_batches.back();
+    std::vector<std::int32_t> table_vals(static_cast<std::size_t>(n), 0);
+    std::vector<std::int32_t> idx(static_cast<std::size_t>(max_batch));
+    std::vector<std::int64_t> out(static_cast<std::size_t>(max_batch));
+    for (std::int64_t i = 0; i < max_batch; ++i) {
+      idx[static_cast<std::size_t>(i)] =
+          sample.all[static_cast<std::size_t>(i) % sample.all.size()];
+    }
+    const auto& table = simd::KernelTable<GatherKernel>::instance();
+    for (int t = 0; t < simd::kNumBackendTiers; ++t) {
+      r.gather_tier_runnable[static_cast<std::size_t>(t)] =
+          tier_runnable<GatherKernel>(t);
+      auto& row = r.gather_sec_per_id[static_cast<std::size_t>(t)];
+      row.assign(r.gather_batches.size(), -1.0);
+      if (!r.gather_tier_runnable[static_cast<std::size_t>(t)]) continue;
+      const auto fns = table.get(simd::tier_backend(t));
+      for (std::size_t bi = 0; bi < r.gather_batches.size(); ++bi) {
+        const std::int64_t batch = r.gather_batches[bi];
+        // Enough calls per rep that even the 16-id batch is measurable.
+        const std::int64_t calls = std::max<std::int64_t>(1, 65536 / batch);
+        const double sec = time_probe(reps, [&] {
+          for (std::int64_t c = 0; c < calls; ++c) {
+            fns.i32(table_vals.data(), idx.data(), out.data(), batch);
+          }
+        });
+        row[bi] = sec / static_cast<double>(calls * batch);
+      }
+    }
+  }
+
+  gather_t = total.seconds() - lp_t - grain_t;
+
+  // --- coarsen.emit over a contiguous row prefix ----------------------
+  {
+    using community::detail::CoarsenEmitKernel;
+    const std::int64_t rows = std::min(n, sample.sampled_vertices);
+    const auto arcs = static_cast<std::int64_t>(
+        g.offset(static_cast<VertexId>(rows)));
+    std::vector<community::CommunityId> map(static_cast<std::size_t>(n));
+    std::iota(map.begin(), map.end(), 0);
+    std::vector<VertexId> out_a(static_cast<std::size_t>(arcs));
+    std::vector<VertexId> out_b(static_cast<std::size_t>(arcs));
+    std::vector<float> out_w(static_cast<std::size_t>(arcs));
+    const auto& table = simd::KernelTable<CoarsenEmitKernel>::instance();
+    for (int t = 0; t < simd::kNumBackendTiers; ++t) {
+      r.emit_tier_runnable[static_cast<std::size_t>(t)] =
+          tier_runnable<CoarsenEmitKernel>(t);
+      r.emit_seconds[static_cast<std::size_t>(t)] = -1.0;
+      if (!r.emit_tier_runnable[static_cast<std::size_t>(t)] || rows == 0) {
+        continue;
+      }
+      const auto fn = table.get(simd::tier_backend(t));
+      r.emit_seconds[static_cast<std::size_t>(t)] = time_probe(reps, [&] {
+        fn(g.offsets_data(), g.adjacency_data(), g.weights_data(), 0, rows,
+           map.data(), out_a.data(), out_b.data(), out_w.data());
+      });
+    }
+  }
+
+  r.seconds = total.seconds();
+  emit_t = r.seconds - lp_t - grain_t - gather_t;
+  log::debug("tune.bmk")
+      .field("lp_ms", lp_t * 1e3)
+      .field("grain_ms", grain_t * 1e3)
+      .field("gather_ms", gather_t * 1e3)
+      .field("emit_ms", emit_t * 1e3)
+      .field("total_ms", r.seconds * 1e3);
+  return r;
+}
+
+}  // namespace vgp::plan

@@ -1,0 +1,67 @@
+// Mini-benchmark harness: microsecond-scale probes of the registered
+// kernel families on a sample of the loaded graph (FlashMob-style).
+//
+// Tiers are enumerated straight from the SIMD registry's KernelTable —
+// a tier is probed iff its translation unit registered a variant AND the
+// CPU can run it — so adding a kernel family needs no per-family probe
+// code beyond the call adapter below. Probes call the table slots
+// directly (bypassing select()) so probing does not pollute the
+// dispatch.* counters the plan is later judged by.
+//
+// What is measured:
+//   * labelprop.process — per degree-bucket, per tier, vector path forced
+//     (degree_threshold = 0) so the DP sees pure scalar-vs-vector costs
+//     per stratum. This probe also stands in for louvain.onpl: the move
+//     kernel has the same gather + reduce-scatter inner loop shape, and
+//     probing it directly would mutate community volumes.
+//   * serve.gather — seconds/id at several batch lengths per tier (the
+//     batch-length crossover is the serve analogue of the degree split).
+//   * coarsen.emit — one pass over a contiguous row prefix per tier.
+//   * grain — the label-prop sweep through parallel_for at several chunk
+//     sizes (scheduling overhead included), on the widest runnable tier.
+//
+// The whole harness runs inside a `tune.bmk` phase, so planning cost is
+// visible as the phase.tune.bmk.seconds histogram and a tune.bmk trace
+// span.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+#include "vgp/plan/plan.hpp"
+#include "vgp/plan/sampler.hpp"
+#include "vgp/simd/registry.hpp"
+
+namespace vgp::plan {
+
+struct MiniBenchResult {
+  /// lp_bucket_seconds[tier][i]: min-of-reps seconds for one pass over
+  /// sample.buckets[i].verts on that tier; -1 when the tier is not
+  /// runnable (not compiled, CPU lacks it, or no registered variant).
+  std::array<std::vector<double>, simd::kNumBackendTiers> lp_bucket_seconds;
+  std::array<bool, simd::kNumBackendTiers> lp_tier_runnable{};
+
+  /// Batch lengths probed for serve.gather and the per-id cost at each;
+  /// -1 rows for non-runnable tiers.
+  std::vector<std::int64_t> gather_batches;
+  std::array<std::vector<double>, simd::kNumBackendTiers> gather_sec_per_id;
+  std::array<bool, simd::kNumBackendTiers> gather_tier_runnable{};
+
+  /// Seconds for one coarsen-emit pass over the sampled row prefix.
+  std::array<double, simd::kNumBackendTiers> emit_seconds{};
+  std::array<bool, simd::kNumBackendTiers> emit_tier_runnable{};
+
+  /// Grain candidates and the sweep seconds at each (widest tier).
+  std::vector<std::int64_t> grain_candidates;
+  std::vector<double> grain_seconds;
+
+  /// Total probing wall time.
+  double seconds = 0.0;
+};
+
+MiniBenchResult run_minibench(const Graph& g, const SampleSet& sample,
+                              const PlanOptions& opts);
+
+}  // namespace vgp::plan

@@ -1,0 +1,145 @@
+#include "vgp/plan/plan.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "vgp/simd/registry.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::plan {
+
+const char* tune_mode_name(TuneMode m) {
+  switch (m) {
+    case TuneMode::Off: return "off";
+    case TuneMode::Quick: return "quick";
+    case TuneMode::Full: return "full";
+  }
+  return "?";
+}
+
+TuneMode parse_tune_mode(const std::string& name) {
+  if (name == "off") return TuneMode::Off;
+  if (name == "quick") return TuneMode::Quick;
+  if (name == "full") return TuneMode::Full;
+  throw std::invalid_argument("unknown tune mode: \"" + name +
+                              "\" (expected off, quick, or full)");
+}
+
+const FamilyPlan* ExecutionPlan::family(const char* name) const {
+  for (const auto& f : families) {
+    if (f.family == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string ExecutionPlan::to_json() const {
+  char buf[256];
+  std::string out = "{\"format\":\"vgp.plan.v1\"";
+  std::snprintf(buf, sizeof(buf),
+                ",\"mode\":\"%s\",\"forced\":%s,\"plan_seconds\":%.6f",
+                tune_mode_name(mode), forced ? "true" : "false", plan_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"graph\":{\"vertices\":%lld,\"edges\":%lld}",
+                static_cast<long long>(graph_vertices),
+                static_cast<long long>(graph_edges));
+  out += buf;
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"sample\":{\"fraction\":%.6f,\"vertices\":%lld,\"edges\":%lld}",
+      sample_fraction, static_cast<long long>(sampled_vertices),
+      static_cast<long long>(sampled_edges));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"move_policy\":\"%s\",\"coarsen_pipeline\":%s,"
+                "\"grain\":%lld",
+                community::move_policy_name(move_policy),
+                coarsen_pipeline ? "true" : "false",
+                static_cast<long long>(grain));
+  out += buf;
+  out += ",\"families\":[";
+  bool first = true;
+  for (const auto& f : families) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"family\":\"%s\",\"backend\":\"%s\","
+                  "\"degree_threshold\":%lld,\"predicted_ms\":%.4f}",
+                  f.family.c_str(), simd::backend_name(f.backend),
+                  static_cast<long long>(f.degree_threshold), f.predicted_ms);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+// The active plan: a shared_ptr swap under a mutex. The provider below
+// runs on every Auto dispatch; select() happens once per phase/sweep
+// (never per vertex), so an uncontended lock + linear family scan is
+// well under the noise floor of the work it steers.
+std::mutex g_plan_mutex;
+std::shared_ptr<const ExecutionPlan> g_active_plan;
+
+simd::PlanChoice plan_provider(const char* kernel) {
+  std::shared_ptr<const ExecutionPlan> p;
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    p = g_active_plan;
+  }
+  if (p == nullptr) return {};
+  const FamilyPlan* f = p->family(kernel);
+  if (f == nullptr) return {};
+  return {f->backend, f->degree_threshold};
+}
+
+void publish_gauges(const ExecutionPlan& p) {
+  auto& reg = telemetry::Registry::global();
+  if (!reg.enabled()) return;
+  reg.set(reg.gauge("plan.mode"), static_cast<double>(static_cast<int>(p.mode)));
+  reg.set(reg.gauge("plan.forced"), p.forced ? 1.0 : 0.0);
+  reg.set(reg.gauge("plan.grain"), static_cast<double>(p.grain));
+  reg.set(reg.gauge("plan.move_policy"),
+          static_cast<double>(static_cast<int>(p.move_policy)));
+  reg.set(reg.gauge("plan.coarsen_pipeline"), p.coarsen_pipeline ? 1.0 : 0.0);
+  reg.set(reg.gauge("plan.tune_ms"), p.plan_seconds * 1e3);
+  reg.set(reg.gauge("plan.sample_vertices"),
+          static_cast<double>(p.sampled_vertices));
+  for (const auto& f : p.families) {
+    reg.set(reg.gauge("plan." + f.family + ".backend"),
+            static_cast<double>(simd::tier_index(f.backend)));
+    reg.set(reg.gauge("plan." + f.family + ".degree_threshold"),
+            static_cast<double>(f.degree_threshold));
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const ExecutionPlan> active_plan() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  return g_active_plan;
+}
+
+void set_active_plan(std::shared_ptr<const ExecutionPlan> p) {
+  if (p == nullptr) {
+    clear_active_plan();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    g_active_plan = p;
+  }
+  simd::detail::set_plan_provider(&plan_provider);
+  publish_gauges(*p);
+}
+
+void clear_active_plan() {
+  simd::detail::set_plan_provider(nullptr);
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  g_active_plan.reset();
+}
+
+}  // namespace vgp::plan

@@ -1,0 +1,99 @@
+// Self-tuning execution plans (ROADMAP item 5).
+//
+// The SIMD registry dispatches "what the CPU has"; the planner dispatches
+// "what this graph wants". At load time a degree-stratified sample of the
+// actual graph (sampler.hpp) is pushed through every probed kernel family
+// × backend tier × chunk size (minibench.hpp), and a small DP over the
+// measured costs (planner.hpp) emits an ExecutionPlan: per-family backend
+// tier + hybrid degree threshold, ONPL vs OVPL move policy, worklist
+// grain, coarsen pipeline on/off. set_active_plan() installs the plan
+// behind simd::select()'s plan-provider hook so every Auto dispatch in
+// the process follows it, publishes the decisions as plan.* gauges, and
+// the plan serializes as a vgp.plan.v1 JSON document.
+//
+// Precedence (highest wins): explicit caller backend > VGP_BACKEND env >
+// active plan > CPUID Auto resolution. A VGP_BACKEND override therefore
+// short-circuits planning entirely — plan_execution() returns a trivial
+// forced plan without sampling or benchmarking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vgp/community/louvain.hpp"
+#include "vgp/simd/backend.hpp"
+
+namespace vgp::plan {
+
+enum class TuneMode { Off, Quick, Full };
+
+const char* tune_mode_name(TuneMode m);
+/// Parses "off"/"quick"/"full"; throws std::invalid_argument naming the
+/// offending string otherwise.
+TuneMode parse_tune_mode(const std::string& name);
+
+struct PlanOptions {
+  TuneMode mode = TuneMode::Quick;
+  std::uint64_t seed = 0x5eedu;
+  /// Vertex fraction to sample; < 0 picks the mode default (quick: 0.1%,
+  /// full: 1%). The sampler clamps to [min per-bucket floor, 64Ki total].
+  double sample_fraction = -1.0;
+  /// Timed repetitions per probe (min taken); < 0 picks the mode default
+  /// (quick: 2, full: 5).
+  int reps = -1;
+  /// Hard override that skips sampling and benchmarking entirely and
+  /// emits a trivial plan forcing every family to this tier. Defaults to
+  /// the VGP_BACKEND env override, keeping the env var the top authority.
+  simd::Backend force_backend = simd::env_backend_override();
+};
+
+/// One kernel family's verdict. degree_threshold < 0 means "no hybrid
+/// split" (the family either has no hybrid path or runs one tier
+/// throughout); 0 forces the vector path everywhere.
+struct FamilyPlan {
+  std::string family;
+  simd::Backend backend = simd::Backend::Auto;
+  std::int64_t degree_threshold = -1;
+  /// Modeled cost of one full-graph sweep on the chosen configuration,
+  /// extrapolated from the sample (0 for forced plans).
+  double predicted_ms = 0.0;
+};
+
+struct ExecutionPlan {
+  TuneMode mode = TuneMode::Off;
+  /// True when VGP_BACKEND (or PlanOptions::force_backend) short-circuited
+  /// the planner; the mini-benchmarks never ran.
+  bool forced = false;
+  double sample_fraction = 0.0;
+  std::int64_t sampled_vertices = 0;
+  std::int64_t sampled_edges = 0;
+  std::int64_t graph_vertices = 0;
+  std::int64_t graph_edges = 0;
+  community::MovePolicy move_policy = community::MovePolicy::ONPL;
+  bool coarsen_pipeline = true;
+  std::int64_t grain = 256;
+  std::vector<FamilyPlan> families;
+  /// Wall time spent planning (sampling + mini-benchmarks + solve).
+  double plan_seconds = 0.0;
+
+  /// The family's entry, or nullptr when the plan has no opinion.
+  const FamilyPlan* family(const char* name) const;
+  /// vgp.plan.v1 JSON document (one object, no trailing newline).
+  std::string to_json() const;
+};
+
+/// The plan currently steering Auto dispatches, or nullptr. Snapshot
+/// semantics: the returned plan stays valid even if replaced later.
+std::shared_ptr<const ExecutionPlan> active_plan();
+
+/// Installs `p` as the process-wide plan: registers the provider hook in
+/// the SIMD registry and publishes the plan.* gauges (when telemetry is
+/// on). Passing nullptr is equivalent to clear_active_plan().
+void set_active_plan(std::shared_ptr<const ExecutionPlan> p);
+
+/// Uninstalls the provider; Auto dispatches fall back to CPUID ordering.
+void clear_active_plan();
+
+}  // namespace vgp::plan

@@ -1,0 +1,215 @@
+#include "vgp/plan/planner.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "vgp/plan/minibench.hpp"
+#include "vgp/plan/sampler.hpp"
+#include "vgp/support/timer.hpp"
+#include "vgp/telemetry/trace.hpp"
+
+namespace vgp::plan {
+
+namespace {
+
+constexpr const char* kNeighborhoodFamilies[] = {"louvain.onpl",
+                                                 "labelprop.process"};
+
+double mode_fraction(const PlanOptions& opts) {
+  if (opts.sample_fraction >= 0.0) return opts.sample_fraction;
+  return opts.mode == TuneMode::Full ? 0.01 : 0.001;
+}
+
+/// Split-point DP over the degree buckets for one neighborhood family.
+/// Returns {backend, degree_threshold, predicted_seconds}.
+struct SplitChoice {
+  simd::Backend backend = simd::Backend::Scalar;
+  std::int64_t threshold = -1;
+  double seconds = 0.0;
+};
+
+SplitChoice solve_split(const SampleSet& sample, const MiniBenchResult& mb) {
+  const std::size_t B = sample.buckets.size();
+  // Extrapolate each bucket's sampled cost to the whole bucket by its
+  // edge-count ratio (neighborhood kernels are edge-dominated).
+  std::vector<std::vector<double>> full(simd::kNumBackendTiers);
+  for (int t = 0; t < simd::kNumBackendTiers; ++t) {
+    auto& row = full[static_cast<std::size_t>(t)];
+    row.assign(B, 0.0);
+    if (!mb.lp_tier_runnable[static_cast<std::size_t>(t)]) continue;
+    for (std::size_t b = 0; b < B; ++b) {
+      const auto& bucket = sample.buckets[b];
+      const double scale =
+          bucket.population_edges /
+          static_cast<double>(std::max<std::int64_t>(1, bucket.sampled_edges));
+      row[b] = mb.lp_bucket_seconds[static_cast<std::size_t>(t)][b] * scale;
+    }
+  }
+
+  SplitChoice best;
+  for (std::size_t b = 0; b < B; ++b) best.seconds += full[0][b];
+
+  for (int t = 1; t < simd::kNumBackendTiers; ++t) {
+    if (!mb.lp_tier_runnable[static_cast<std::size_t>(t)]) continue;
+    // prefix_s[k] = scalar cost of buckets [0, k); suffix_v computed on
+    // the fly right-to-left would also work, but B is ~30 at most.
+    double prefix_s = 0.0;
+    std::vector<double> suffix_v(B + 1, 0.0);
+    for (std::size_t k = B; k-- > 0;) {
+      suffix_v[k] = suffix_v[k + 1] + full[static_cast<std::size_t>(t)][k];
+    }
+    for (std::size_t k = 0; k <= B; ++k) {
+      const double cost = prefix_s + suffix_v[k];
+      // Strict <: ties keep the earlier (scalar / narrower) choice, and
+      // k == B (all-scalar on a vector tier) never beats the scalar
+      // baseline it equals.
+      if (cost < best.seconds) {
+        best.seconds = cost;
+        best.backend = simd::tier_backend(t);
+        best.threshold = k == 0 ? 0 : sample.buckets[k].lo;
+      }
+      if (k < B) prefix_s += full[0][k];
+    }
+  }
+  if (best.backend == simd::Backend::Scalar) best.threshold = -1;
+  return best;
+}
+
+}  // namespace
+
+ExecutionPlan plan_execution(const Graph& g, const PlanOptions& opts) {
+  WallTimer timer;
+  ExecutionPlan plan;
+  plan.mode = opts.mode;
+  plan.graph_vertices = g.num_vertices();
+  plan.graph_edges = g.num_edges();
+
+  if (opts.mode == TuneMode::Off) return plan;
+
+  // VGP_BACKEND (or an explicit force) is the top authority: emit a
+  // trivial plan naming that tier everywhere and skip all probing. The
+  // dispatch layer re-checks the env var anyway, so this plan is mostly
+  // for observability (plan.* gauges / Status show the forced tier).
+  if (opts.force_backend != simd::Backend::Auto) {
+    plan.forced = true;
+    for (const char* fam : kNeighborhoodFamilies) {
+      plan.families.push_back({fam, opts.force_backend, -1, 0.0});
+    }
+    plan.families.push_back({"serve.gather", opts.force_backend, -1, 0.0});
+    plan.families.push_back({"coarsen.emit", opts.force_backend, -1, 0.0});
+    plan.plan_seconds = timer.seconds();
+    return plan;
+  }
+
+  telemetry::TraceSpan span("tune.plan");
+  const SampleSet sample = sample_vertices(g, mode_fraction(opts), opts.seed);
+  plan.sample_fraction = sample.fraction;
+  plan.sampled_vertices = sample.sampled_vertices;
+  plan.sampled_edges = sample.sampled_edges;
+  if (sample.all.empty()) {
+    // Nothing to measure (empty/isolated graph): keep defaults.
+    plan.plan_seconds = timer.seconds();
+    return plan;
+  }
+
+  const MiniBenchResult mb = run_minibench(g, sample, opts);
+
+  // Neighborhood families: ONPL move shares labelprop's verdict — same
+  // gather + reduce-scatter inner loop on the same CSR; probing the move
+  // kernel directly would mutate community volumes (see minibench.hpp).
+  const SplitChoice nb = solve_split(sample, mb);
+  for (const char* fam : kNeighborhoodFamilies) {
+    plan.families.push_back(
+        {fam, nb.backend, nb.threshold, nb.seconds * 1e3});
+  }
+
+  // serve.gather: tier by large-batch throughput, plus the batch-length
+  // crossover below which the scalar loop wins (the serve layer's
+  // analogue of the degree split; predicted over one full-table sweep).
+  {
+    const auto& scalar_row = mb.gather_sec_per_id[0];
+    int best_tier = 0;
+    for (int t = 1; t < simd::kNumBackendTiers; ++t) {
+      if (!mb.gather_tier_runnable[static_cast<std::size_t>(t)]) continue;
+      const auto& row = mb.gather_sec_per_id[static_cast<std::size_t>(t)];
+      if (row.back() <
+          mb.gather_sec_per_id[static_cast<std::size_t>(best_tier)].back()) {
+        best_tier = t;
+      }
+    }
+    std::int64_t threshold = -1;
+    if (best_tier != 0) {
+      const auto& row = mb.gather_sec_per_id[static_cast<std::size_t>(best_tier)];
+      threshold = -1;
+      for (std::size_t bi = 0; bi < mb.gather_batches.size(); ++bi) {
+        if (row[bi] < scalar_row[bi]) {
+          threshold = bi == 0 ? 0 : mb.gather_batches[bi];
+          break;
+        }
+      }
+      if (threshold < 0) threshold = 0;  // won the big batch: always vector
+    }
+    const double per_id =
+        mb.gather_sec_per_id[static_cast<std::size_t>(best_tier)].back();
+    plan.families.push_back({"serve.gather", simd::tier_backend(best_tier),
+                             threshold,
+                             per_id * static_cast<double>(g.num_vertices()) *
+                                 1e3});
+  }
+
+  // coarsen.emit: cheapest measured tier, scaled from the row prefix the
+  // probe covered to the whole adjacency.
+  {
+    int best_tier = 0;
+    for (int t = 1; t < simd::kNumBackendTiers; ++t) {
+      if (!mb.emit_tier_runnable[static_cast<std::size_t>(t)]) continue;
+      if (mb.emit_seconds[static_cast<std::size_t>(t)] >= 0.0 &&
+          mb.emit_seconds[static_cast<std::size_t>(t)] <
+              mb.emit_seconds[static_cast<std::size_t>(best_tier)]) {
+        best_tier = t;
+      }
+    }
+    const std::int64_t rows =
+        std::min(g.num_vertices(), sample.sampled_vertices);
+    const auto prefix_arcs =
+        static_cast<double>(g.offset(static_cast<VertexId>(rows)));
+    const double scale =
+        prefix_arcs > 0.0 ? static_cast<double>(g.num_arcs()) / prefix_arcs
+                          : 0.0;
+    plan.families.push_back(
+        {"coarsen.emit", simd::tier_backend(best_tier), -1,
+         std::max(0.0, mb.emit_seconds[static_cast<std::size_t>(best_tier)]) *
+             scale * 1e3});
+  }
+
+  // Worklist grain: cheapest probed chunk size.
+  plan.grain = 256;
+  if (!mb.grain_seconds.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < mb.grain_seconds.size(); ++i) {
+      if (mb.grain_seconds[i] < mb.grain_seconds[best]) best = i;
+    }
+    plan.grain = mb.grain_candidates[best];
+  }
+
+  // Move policy: ONPL is the general winner; OVPL's one-vertex-per-lane
+  // blocking only pays when degrees are balanced enough that its lanes
+  // stay full AND the 16-lane tier is the planned one. Shape heuristic
+  // (documented in docs/tuning.md) — a real OVPL probe would need the
+  // full coloring + blocking preprocessing pass.
+  plan.move_policy = (nb.backend == simd::Backend::Avx512 &&
+                      sample.degree_cv < 0.3)
+                         ? community::MovePolicy::OVPL
+                         : community::MovePolicy::ONPL;
+
+  // Coarsen pipeline: the parallel bucket pipeline needs enough tuples
+  // to amortize its setup; below that the sequential map fallback wins.
+  plan.coarsen_pipeline = g.num_vertices() >= 4096;
+
+  plan.plan_seconds = timer.seconds();
+  span.arg("sampled_vertices", plan.sampled_vertices);
+  span.arg("bmk_ms", static_cast<std::int64_t>(mb.seconds * 1e3));
+  return plan;
+}
+
+}  // namespace vgp::plan

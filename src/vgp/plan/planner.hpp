@@ -1,0 +1,40 @@
+// Cost-model planner: turns mini-benchmark measurements into an
+// ExecutionPlan.
+//
+// The core solve is a split-point DP per neighborhood family: with
+// per-degree-bucket costs c_scalar[b] and c_vector[t][b] (extrapolated
+// from the sample to full-bucket edge counts), the hybrid execution
+// "buckets < k scalar, buckets >= k vector on tier t" costs
+//
+//   C(t, k) = sum_{b<k} c_scalar[b] + sum_{b>=k} c_vector[t][b]
+//
+// which prefix sums solve exactly in O(tiers × buckets). The winning
+// (t, k) yields the family's backend and degree threshold (2^b of the
+// first vector bucket; 0 when everything goes vector; an all-scalar win
+// selects the scalar backend outright). This is the degenerate
+// single-resource case of the MCKP formulation FlashMob uses — each
+// bucket picks one "implementation" (scalar or vector), there is no
+// budget coupling, so the greedy split is optimal for monotone splits
+// and we only consider those (scalar below, vector above, matching the
+// kernels' hybrid structure).
+//
+// serve.gather picks its tier and a batch-length crossover the same way,
+// coarsen.emit picks the cheapest measured tier, grain the cheapest
+// probed chunk size. ONPL-vs-OVPL and the coarsen pipeline toggle are
+// heuristics over graph shape (documented in docs/tuning.md) rather than
+// probe-driven: both would need preprocessing passes costlier than the
+// whole mini-benchmark budget.
+#pragma once
+
+#include "vgp/graph/csr.hpp"
+#include "vgp/plan/plan.hpp"
+
+namespace vgp::plan {
+
+/// Samples g, runs the mini-benchmarks, solves the DP, and returns the
+/// plan. Does NOT install it — callers decide via set_active_plan().
+/// When opts.force_backend != Auto (e.g. VGP_BACKEND is set) the probes
+/// are skipped and a trivial forced plan comes back.
+ExecutionPlan plan_execution(const Graph& g, const PlanOptions& opts = {});
+
+}  // namespace vgp::plan

@@ -1,0 +1,138 @@
+#include "vgp/plan/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vgp/support/rng.hpp"
+
+namespace vgp::plan {
+
+namespace {
+
+// floor(log2(deg)) for deg >= 1.
+int degree_bucket(std::int64_t deg) {
+  return 63 - __builtin_clzll(static_cast<unsigned long long>(deg));
+}
+
+}  // namespace
+
+SampleSet sample_vertices(const Graph& g, double fraction, std::uint64_t seed,
+                          std::int64_t min_per_bucket, std::int64_t max_total,
+                          std::int64_t max_bucket_edges) {
+  SampleSet s;
+  const std::int64_t n = g.num_vertices();
+  if (n == 0) return s;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+
+  // Pass 1: bucket populations, edge totals, and degree moments. Degrees
+  // are O(1) row-pointer subtractions, so this is one cheap linear scan.
+  constexpr int kMaxBuckets = 64;
+  std::int64_t population[kMaxBuckets] = {};
+  double population_edges[kMaxBuckets] = {};
+  double deg_sum = 0.0, deg_sumsq = 0.0;
+  std::int64_t non_isolated = 0;
+  for (std::int64_t u = 0; u < n; ++u) {
+    const std::int64_t deg = g.degree(static_cast<VertexId>(u));
+    if (deg == 0) continue;
+    ++non_isolated;
+    deg_sum += static_cast<double>(deg);
+    deg_sumsq += static_cast<double>(deg) * static_cast<double>(deg);
+    const int b = degree_bucket(deg);
+    ++population[b];
+    population_edges[b] += static_cast<double>(deg);
+  }
+  if (non_isolated == 0) return s;
+  s.mean_degree = deg_sum / static_cast<double>(non_isolated);
+  const double var =
+      deg_sumsq / static_cast<double>(non_isolated) - s.mean_degree * s.mean_degree;
+  s.degree_cv = s.mean_degree > 0.0
+                    ? std::sqrt(std::max(0.0, var)) / s.mean_degree
+                    : 0.0;
+
+  // Per-bucket reservoir capacities: ceil(pop * fraction), floored at
+  // min_per_bucket (or the whole bucket when smaller), then trimmed
+  // largest-first to respect max_total without starving small buckets.
+  std::int64_t cap[kMaxBuckets] = {};
+  std::int64_t total_cap = 0;
+  for (int b = 0; b < kMaxBuckets; ++b) {
+    if (population[b] == 0) continue;
+    std::int64_t c = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(population[b]) * fraction));
+    c = std::max(c, std::min(min_per_bucket, population[b]));
+    c = std::min(c, population[b]);
+    cap[b] = c;
+    total_cap += c;
+  }
+  while (total_cap > max_total) {
+    int widest = -1;
+    for (int b = 0; b < kMaxBuckets; ++b) {
+      if (cap[b] > std::min(min_per_bucket, population[b]) &&
+          (widest < 0 || cap[b] > cap[widest])) {
+        widest = b;
+      }
+    }
+    if (widest < 0) break;  // every bucket is at its floor already
+    const std::int64_t excess = total_cap - max_total;
+    const std::int64_t floor_b = std::min(min_per_bucket, population[widest]);
+    const std::int64_t cut = std::min(excess, cap[widest] - floor_b);
+    cap[widest] -= cut;
+    total_cap -= cut;
+  }
+
+  // Pass 2: one reservoir per bucket (algorithm R), single shared RNG so
+  // the whole sample is a pure function of (graph, fraction, seed).
+  std::vector<std::vector<VertexId>> res(kMaxBuckets);
+  std::int64_t seen[kMaxBuckets] = {};
+  Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (int b = 0; b < kMaxBuckets; ++b) res[b].reserve(cap[b]);
+  for (std::int64_t u = 0; u < n; ++u) {
+    const std::int64_t deg = g.degree(static_cast<VertexId>(u));
+    if (deg == 0) continue;
+    const int b = degree_bucket(deg);
+    ++seen[b];
+    if (static_cast<std::int64_t>(res[b].size()) < cap[b]) {
+      res[b].push_back(static_cast<VertexId>(u));
+    } else if (cap[b] > 0) {
+      const std::uint64_t j = rng.bounded(static_cast<std::uint64_t>(seen[b]));
+      if (j < static_cast<std::uint64_t>(cap[b])) {
+        res[b][static_cast<std::size_t>(j)] = static_cast<VertexId>(u);
+      }
+    }
+  }
+
+  for (int b = 0; b < kMaxBuckets; ++b) {
+    if (population[b] == 0 || res[b].empty()) continue;
+    DegreeBucket bucket;
+    bucket.log2_degree = b;
+    bucket.lo = std::int64_t{1} << b;
+    bucket.population = population[b];
+    bucket.population_edges = population_edges[b];
+    bucket.verts = std::move(res[b]);
+    // Edge budget: drop reservoir entries (already a uniform subset, so
+    // any prefix is too) once the bucket's summed degree passes the cap,
+    // keeping at least two vertices. High-degree strata are edge-wise
+    // self-averaging; this keeps the probe cost O(max_bucket_edges) per
+    // bucket instead of O(16 * max_degree).
+    if (max_bucket_edges > 0) {
+      std::int64_t kept_edges = 0;
+      std::size_t kept = 0;
+      while (kept < bucket.verts.size()) {
+        const std::int64_t deg = g.degree(bucket.verts[kept]);
+        if (kept >= 2 && kept_edges + deg > max_bucket_edges) break;
+        kept_edges += deg;
+        ++kept;
+      }
+      bucket.verts.resize(kept);
+    }
+    for (const VertexId u : bucket.verts) bucket.sampled_edges += g.degree(u);
+    s.sampled_vertices += static_cast<std::int64_t>(bucket.verts.size());
+    s.sampled_edges += bucket.sampled_edges;
+    s.all.insert(s.all.end(), bucket.verts.begin(), bucket.verts.end());
+    s.buckets.push_back(std::move(bucket));
+  }
+  s.fraction = static_cast<double>(s.sampled_vertices) /
+               static_cast<double>(non_isolated);
+  return s;
+}
+
+}  // namespace vgp::plan

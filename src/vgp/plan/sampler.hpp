@@ -1,0 +1,63 @@
+// Degree-stratified reservoir sampling for the mini-benchmark harness.
+//
+// A uniform vertex sample of a power-law graph is almost all low-degree
+// vertices: the high-degree tail — exactly where the vector kernels win
+// or lose — would go unmeasured. So vertices are stratified into log2
+// degree buckets (bucket b holds degrees [2^b, 2^(b+1))) and each bucket
+// is sampled independently with a fixed-size reservoir (Vitter's
+// algorithm R), guaranteeing every populated bucket contributes at least
+// a floor of vertices regardless of how skewed the graph is. Bucket
+// populations and edge totals are kept so the planner can extrapolate
+// sampled costs back to full-graph costs per bucket.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vgp/graph/csr.hpp"
+
+namespace vgp::plan {
+
+struct DegreeBucket {
+  /// Bucket b covers degrees [2^b, 2^(b+1)); lo == 2^b.
+  int log2_degree = 0;
+  std::int64_t lo = 0;
+  /// Whole-graph totals for this bucket (the extrapolation basis).
+  std::int64_t population = 0;
+  double population_edges = 0.0;
+  /// The sampled members and their summed degree.
+  std::vector<VertexId> verts;
+  std::int64_t sampled_edges = 0;
+};
+
+struct SampleSet {
+  /// Ascending by degree; buckets with no population are omitted.
+  std::vector<DegreeBucket> buckets;
+  /// Concatenation of every bucket's sample (bucket order).
+  std::vector<VertexId> all;
+  std::int64_t sampled_vertices = 0;
+  std::int64_t sampled_edges = 0;
+  /// Realized vertex fraction (sampled / non-isolated population).
+  double fraction = 0.0;
+  /// Whole-graph degree statistics over non-isolated vertices, for the
+  /// planner's policy heuristics (OVPL wants balanced degrees).
+  double mean_degree = 0.0;
+  /// Coefficient of variation (stddev / mean) of the degrees.
+  double degree_cv = 0.0;
+};
+
+/// Samples ~`fraction` of g's non-isolated vertices, stratified by log2
+/// degree. Deterministic for a given (graph, fraction, seed). Each
+/// populated bucket keeps at least min(min_per_bucket, population)
+/// vertices; the total is capped at max_total (largest buckets trimmed
+/// proportionally never below the floor). max_bucket_edges additionally
+/// caps each bucket's summed sampled degree (keeping at least two
+/// vertices): a single 4096-degree vertex is already a 4096-edge sample
+/// of its stratum, so probing sixteen of them buys no signal and makes
+/// the tail buckets dominate the whole mini-benchmark budget.
+SampleSet sample_vertices(const Graph& g, double fraction, std::uint64_t seed,
+                          std::int64_t min_per_bucket = 16,
+                          std::int64_t max_total = 1 << 16,
+                          std::int64_t max_bucket_edges = 4096);
+
+}  // namespace vgp::plan

@@ -23,6 +23,7 @@
 #include "vgp/fault/failpoint.hpp"
 #include "vgp/gen/suite.hpp"
 #include "vgp/graph/io.hpp"
+#include "vgp/plan/planner.hpp"
 #include "vgp/serve/batch.hpp"
 #include "vgp/simd/registry.hpp"
 #include "vgp/support/buffer.hpp"
@@ -172,6 +173,7 @@ void Server::load_file(const std::string& name, const std::string& path) {
     }
   }
   if (g == nullptr) g = std::make_shared<Graph>(io::read_auto(path));
+  replan(*g);
   snapshots_.publish(make_snapshot(name, path, std::move(g)));
 }
 
@@ -179,8 +181,25 @@ void Server::load_generated(const std::string& name, const std::string& entry,
                             const std::string& scale) {
   const gen::SuiteScale s = gen::parse_suite_scale(scale);
   auto g = std::make_shared<Graph>(gen::suite_entry(entry).make(s));
+  replan(*g);
   snapshots_.publish(
       make_snapshot(name, "gen:" + entry + "@" + scale, std::move(g)));
+}
+
+void Server::replan(const Graph& g) {
+  if (opts_.tune == plan::TuneMode::Off) return;
+  plan::PlanOptions popts;
+  popts.mode = opts_.tune;
+  auto p = std::make_shared<const plan::ExecutionPlan>(
+      plan::plan_execution(g, popts));
+  const plan::FamilyPlan* gather = p->family("serve.gather");
+  log::info("serve.plan")
+      .field("mode", plan::tune_mode_name(p->mode))
+      .field("forced", p->forced)
+      .field("gather_backend",
+             gather != nullptr ? simd::backend_name(gather->backend) : "auto")
+      .field("plan_ms", p->plan_seconds * 1e3);
+  plan::set_active_plan(std::move(p));
 }
 
 bool Server::listen(std::string* error) {
@@ -703,7 +722,14 @@ std::string Server::do_lookup(const Request& r, FrameHeader& reply) {
   }
 
   std::vector<std::int64_t> values(static_cast<std::size_t>(n));
-  const auto sel = simd::select<detail::GatherKernel>(opts_.backend);
+  auto sel = simd::select<detail::GatherKernel>(opts_.backend);
+  if (sel.degree_threshold >= 0 && n < sel.degree_threshold &&
+      sel.backend != simd::Backend::Scalar) {
+    // Planned batch-length crossover: a batch shorter than the measured
+    // break-even takes the scalar loop (re-selected so telemetry records
+    // the tier that actually ran).
+    sel = simd::select<detail::GatherKernel>(simd::Backend::Scalar);
+  }
   switch (attr) {
     case Attr::Membership:
       sel.fn.i32(snap->membership.data(), ids, values.data(), n);
@@ -928,8 +954,11 @@ std::string Server::status_json() const {
         << "\": " << s.gathers_by_backend[b];
     first_be = false;
   }
+  out << "}, \"plan\": ";
+  const auto active = plan::active_plan();
+  out << (active != nullptr ? active->to_json() : "{\"mode\":\"off\"}");
   const auto& prof = telemetry::Profiler::global();
-  out << "}, \"profile\": {\"armed\": " << (prof.armed() ? "true" : "false")
+  out << ", \"profile\": {\"armed\": " << (prof.armed() ? "true" : "false")
       << ", \"hz\": " << prof.hz()
       << ", \"samples\": " << prof.sample_count()
       << ", \"dropped\": " << prof.dropped_count() << "}}";

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "vgp/plan/plan.hpp"
 #include "vgp/serve/protocol.hpp"
 #include "vgp/serve/snapshot.hpp"
 #include "vgp/simd/backend.hpp"
@@ -69,6 +70,11 @@ struct ServeOptions {
   double tail_threshold_us = 10000.0;
   /// Retained trace records (ring; oldest evicted first).
   std::size_t tail_capacity = 256;
+  /// Self-tuning: when not Off, every load (load_file, load_generated,
+  /// and therefore Reload) re-runs the mini-benchmark planner against
+  /// the newly published snapshot and installs the resulting plan, so
+  /// the gather tier and batch-length crossover track the data served.
+  plan::TuneMode tune = plan::TuneMode::Off;
 };
 
 /// Monotonic counters mirrored into the telemetry registry; readable
@@ -112,6 +118,9 @@ class Server {
   /// Generates a suite graph ("gen:<entry>@<scale>") and publishes it.
   void load_generated(const std::string& name, const std::string& entry,
                       const std::string& scale);
+  /// Re-runs the planner against g and installs the plan (no-op when
+  /// opts.tune == Off). Called by both load paths, hence by Reload.
+  void replan(const Graph& g);
 
   SnapshotTable& snapshots() { return snapshots_; }
   const ServeOptions& options() const { return opts_; }

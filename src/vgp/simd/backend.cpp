@@ -13,11 +13,13 @@ namespace {
 
 std::atomic<bool> g_slow_scatter{false};
 
-// The env override is parsed exactly once per process: the first resolve()
+}  // namespace
+
+// The env override is parsed exactly once per process: the first caller
 // pays the getenv + parse, every later call reads the cached value. A bad
 // value must not abort whatever kernel happened to resolve first, so it
 // degrades to Auto after one stderr warning.
-Backend env_override() {
+Backend env_backend_override() {
   static const Backend value = [] {
     const char* env = std::getenv("VGP_BACKEND");
     if (env == nullptr) return Backend::Auto;
@@ -33,8 +35,6 @@ Backend env_override() {
   }();
   return value;
 }
-
-}  // namespace
 
 bool avx512_kernels_available() {
 #if defined(VGP_HAVE_AVX512)
@@ -54,7 +54,7 @@ bool avx2_kernels_available() {
 
 Backend resolve(Backend requested) {
   if (requested == Backend::Auto) {
-    const Backend forced = env_override();
+    const Backend forced = env_backend_override();
     if (forced != Backend::Auto) requested = forced;
   }
   if (requested == Backend::Auto) {

@@ -45,6 +45,11 @@ bool avx2_kernels_available();
 /// Auto. The VGP_BACKEND lookup behind Auto is cached per process.
 Backend resolve(Backend requested);
 
+/// The cached VGP_BACKEND override, or Auto when the variable is unset or
+/// unparsable. The execution planner (plan/planner.hpp) consults this so a
+/// hard env override short-circuits planning entirely.
+Backend env_backend_override();
+
 const char* backend_name(Backend b);
 /// Parses "auto"/"scalar"/"avx2"/"avx512"; throws std::invalid_argument
 /// naming the offending string (and the accepted values) otherwise.

@@ -1,5 +1,6 @@
 #include "vgp/simd/registry.hpp"
 
+#include <atomic>
 #include <mutex>
 #include <string>
 
@@ -7,6 +8,23 @@
 #include "vgp/telemetry/registry.hpp"
 
 namespace vgp::simd::detail {
+
+namespace {
+
+// Installed by plan::set_active_plan(); select() reads it on every Auto
+// dispatch, so it is a lock-free pointer swap rather than a mutex.
+std::atomic<PlanProviderFn> g_plan_provider{nullptr};
+
+}  // namespace
+
+void set_plan_provider(PlanProviderFn fn) {
+  g_plan_provider.store(fn, std::memory_order_release);
+}
+
+PlanChoice plan_choice(const char* kernel) {
+  const PlanProviderFn fn = g_plan_provider.load(std::memory_order_acquire);
+  return fn != nullptr ? fn(kernel) : PlanChoice{};
+}
 
 void ensure_kernels_registered() {
   // std::once keeps registration race-free when the first select() calls
@@ -58,17 +76,25 @@ const char* family_gap_reason(Backend resolved) {
 }
 
 void record_dispatch(const char* kernel, Backend requested, Backend actual,
-                     const char* reason) {
-  (void)requested;
+                     const char* reason, bool planned) {
   auto& reg = telemetry::Registry::global();
   if (!reg.enabled()) return;
   reg.add(reg.counter(std::string("dispatch.") + kernel + "." +
                       backend_name(actual)),
           1.0);
+  if (planned) {
+    reg.add(reg.counter(std::string("dispatch.planned.") + kernel + "." +
+                        backend_name(actual)),
+            1.0);
+  }
   if (reason != nullptr) {
     reg.add(reg.counter("dispatch.fallback"), 1.0);
+    // The requested tier is in the name: a planner-forced avx512 that
+    // landed on scalar shows up as <kernel>.avx512.<reason>, while an
+    // Auto dispatch missing a family variant shows up as
+    // <kernel>.auto.<reason>.
     reg.add(reg.counter(std::string("dispatch.fallback.") + kernel + "." +
-                        reason),
+                        backend_name(requested) + "." + reason),
             1.0);
   }
 }

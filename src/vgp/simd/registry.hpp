@@ -25,8 +25,8 @@
 // down the tier chain avx512 -> avx2 -> scalar to the widest tier the
 // family actually registered. Every decision (requested backend, actual
 // backend, fallback reason) is recorded through the telemetry registry as
-// `dispatch.<kernel>.<backend>` / `dispatch.fallback[.<kernel>.<reason>]`
-// counters.
+// `dispatch.<kernel>.<backend>` /
+// `dispatch.fallback[.<kernel>.<requested>.<reason>]` counters.
 //
 // Which TUs register which tiers is decided here in the simd layer — the
 // only place allowed to test VGP_HAVE_AVX2 / VGP_HAVE_AVX512 — so a
@@ -35,10 +35,20 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 
 #include "vgp/simd/backend.hpp"
 
 namespace vgp::simd {
+
+/// Per-family verdict contributed by the execution planner (plan/): a
+/// backend tier plus an optional degree threshold below which hybrid call
+/// sites run their scalar per-vertex path. Backend::Auto means "the plan
+/// has no opinion for this family" and leaves resolution untouched.
+struct PlanChoice {
+  Backend backend = Backend::Auto;
+  std::int64_t degree_threshold = -1;
+};
 
 /// Backend tiers orderable by width: Scalar=0 < Avx2=1 < Avx512=2.
 inline constexpr int kNumBackendTiers = 3;
@@ -66,9 +76,22 @@ void ensure_kernels_registered();
 
 /// Telemetry hook: counts the dispatch under `dispatch.<kernel>.<actual>`
 /// and, when `reason` is non-null, bumps `dispatch.fallback` and
-/// `dispatch.fallback.<kernel>.<reason>`. No-op while telemetry is off.
+/// `dispatch.fallback.<kernel>.<requested>.<reason>`. The *requested* tier
+/// is part of the fallback counter name so a planner- or caller-forced
+/// downgrade (requested=avx512) is distinguishable from an Auto dispatch
+/// that merely lacked a family variant (requested=auto). Planned
+/// dispatches additionally bump `dispatch.planned.<kernel>.<actual>`.
+/// No-op while telemetry is off.
 void record_dispatch(const char* kernel, Backend requested, Backend actual,
-                     const char* reason);
+                     const char* reason, bool planned);
+
+/// Planner hook: select() consults this for Auto requests (when no
+/// VGP_BACKEND override is active) to steer the family toward the tier the
+/// active ExecutionPlan measured as fastest. nullptr clears. The provider
+/// must be safe to call from any thread and must not call select().
+using PlanProviderFn = PlanChoice (*)(const char* kernel);
+void set_plan_provider(PlanProviderFn fn);
+PlanChoice plan_choice(const char* kernel);
 
 /// Why resolve() degraded an explicit request for `requested` (static
 /// string, e.g. "avx512-not-supported-by-cpu").
@@ -122,19 +145,40 @@ struct Selected {
   /// string naming the FIRST degradation step (hardware/build gap before
   /// family gap). Safe to store indefinitely.
   const char* fallback_reason = nullptr;
+  /// Hybrid degree threshold the active plan chose for this family
+  /// (vertices/batches below it run the scalar path), or -1 when no plan
+  /// is active or the plan has no opinion. Call sites that support hybrid
+  /// execution read this; others ignore it.
+  std::int64_t degree_threshold = -1;
+  /// True when the active ExecutionPlan steered this dispatch (only
+  /// possible for Auto requests with no VGP_BACKEND override).
+  bool planned = false;
 };
 
 /// Picks the variant of `Kernel` that runs for `requested`: resolve the
 /// backend against build flags + CPUID + VGP_BACKEND, then walk down the
 /// avx512 -> avx2 -> scalar chain to the widest tier this family
 /// registered. Every family registers a scalar variant, so the walk always
-/// lands. Records the decision in telemetry.
+/// lands. An Auto request with no env override additionally consults the
+/// active execution plan (set_plan_provider): the plan's per-family tier
+/// is treated as the effective request, so a stale plan naming an
+/// unavailable tier degrades through the normal chain and records a
+/// fallback against the *planned* tier. Records the decision in telemetry.
 template <typename Kernel>
 Selected<Kernel> select(Backend requested) {
   detail::ensure_kernels_registered();
   const auto& table = KernelTable<Kernel>::instance();
 
-  const Backend resolved = resolve(requested);
+  // Precedence: explicit caller request > VGP_BACKEND > plan > CPUID.
+  Backend effective = requested;
+  PlanChoice plan;
+  if (requested == Backend::Auto &&
+      env_backend_override() == Backend::Auto) {
+    plan = detail::plan_choice(Kernel::name);
+    if (plan.backend != Backend::Auto) effective = plan.backend;
+  }
+
+  const Backend resolved = resolve(effective);
   int tier = tier_index(resolved);
   while (tier > 0 && !table.has(tier_backend(tier))) --tier;
 
@@ -142,13 +186,15 @@ Selected<Kernel> select(Backend requested) {
   sel.fn = table.get(tier_backend(tier));
   sel.requested = requested;
   sel.backend = tier_backend(tier);
-  if (requested != Backend::Auto && resolved != requested) {
-    sel.fallback_reason = detail::resolve_gap_reason(requested);
+  sel.degree_threshold = plan.degree_threshold;
+  sel.planned = plan.backend != Backend::Auto;
+  if (effective != Backend::Auto && resolved != effective) {
+    sel.fallback_reason = detail::resolve_gap_reason(effective);
   } else if (sel.backend != resolved) {
     sel.fallback_reason = detail::family_gap_reason(resolved);
   }
-  detail::record_dispatch(Kernel::name, requested, sel.backend,
-                          sel.fallback_reason);
+  detail::record_dispatch(Kernel::name, effective, sel.backend,
+                          sel.fallback_reason, sel.planned);
   return sel;
 }
 

@@ -186,8 +186,12 @@ TEST(RegistryTelemetry, DispatchAndFallbackCountersRecorded) {
     (void)select<TagNoAvx2>(Backend::Avx2);
     const auto after = reg.collect();
     EXPECT_DOUBLE_EQ(find_metric(after, "dispatch.fallback")->value, 1.0);
-    const auto* why =
-        find_metric(after, "dispatch.fallback.test.no_avx2.no-avx2-variant");
+    // The per-kernel counter names the *requested* tier, so a fleet of
+    // avx2 requests degrading to scalar is attributable from metrics
+    // alone (the old name dropped the tier, making "which request
+    // degraded?" unanswerable).
+    const auto* why = find_metric(
+        after, "dispatch.fallback.test.no_avx2.avx2.no-avx2-variant");
     ASSERT_NE(why, nullptr);
     EXPECT_DOUBLE_EQ(why->value, 1.0);
     EXPECT_DOUBLE_EQ(

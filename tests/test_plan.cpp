@@ -1,0 +1,359 @@
+// Tests for the self-tuning execution planner: the degree-stratified
+// sampler, the mini-benchmark -> cost-model -> ExecutionPlan pipeline,
+// the dispatch-layer plan provider hook, and the bit-identity of the
+// degree-bucketed hybrid kernels against their single-tier baselines.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vgp/community/label_prop.hpp"
+#include "vgp/community/louvain.hpp"
+#include "vgp/gen/rmat.hpp"
+#include "vgp/parallel/thread_pool.hpp"
+#include "vgp/plan/minibench.hpp"
+#include "vgp/plan/planner.hpp"
+#include "vgp/plan/sampler.hpp"
+#include "vgp/serve/server.hpp"
+#include "vgp/simd/registry.hpp"
+#include "vgp/telemetry/registry.hpp"
+
+namespace vgp::plan {
+namespace {
+
+Graph skewed_graph() {
+  // Graph500 R-MAT mix: a long degree tail, so the sampler has real
+  // strata to cover and the hybrid split point is non-trivial.
+  return gen::rmat(gen::rmat_mix_graph500(12, 8));
+}
+
+int degree_bucket(std::int64_t deg) {
+  return 63 - __builtin_clzll(static_cast<unsigned long long>(deg));
+}
+
+TEST(PlanSampler, DeterministicForSeed) {
+  const Graph g = skewed_graph();
+  const SampleSet a = sample_vertices(g, 0.01, 42);
+  const SampleSet b = sample_vertices(g, 0.01, 42);
+  ASSERT_EQ(a.all.size(), b.all.size());
+  EXPECT_EQ(a.all, b.all);
+  const SampleSet c = sample_vertices(g, 0.01, 43);
+  EXPECT_NE(a.all, c.all);  // astronomically unlikely to collide
+}
+
+TEST(PlanSampler, StratifiedAndInBucket) {
+  const Graph g = skewed_graph();
+  const SampleSet s = sample_vertices(g, 0.005, 1);
+  ASSERT_FALSE(s.buckets.empty());
+  // Every populated degree stratum is represented, and every sampled
+  // vertex really belongs to its bucket.
+  std::vector<bool> populated(64, false);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    if (g.degree(u) > 0) populated[static_cast<std::size_t>(
+        degree_bucket(g.degree(u)))] = true;
+  }
+  std::vector<bool> sampled(64, false);
+  for (const auto& b : s.buckets) {
+    EXPECT_GT(b.population, 0);
+    EXPECT_FALSE(b.verts.empty());
+    sampled[static_cast<std::size_t>(b.log2_degree)] = true;
+    for (const VertexId u : b.verts) {
+      EXPECT_EQ(degree_bucket(g.degree(u)), b.log2_degree);
+    }
+  }
+  for (int b = 0; b < 64; ++b) EXPECT_EQ(populated[b], sampled[b]);
+}
+
+TEST(PlanSampler, BucketEdgeBudgetRespected) {
+  const Graph g = skewed_graph();
+  const SampleSet s = sample_vertices(g, 0.01, 7, 16, 1 << 16, 512);
+  for (const auto& b : s.buckets) {
+    // Over-budget buckets are trimmed, but never below two vertices
+    // (one vertex may alone exceed the budget).
+    if (b.verts.size() > 2) {
+      EXPECT_LE(b.sampled_edges, 512 + (b.lo << 1));
+    }
+    EXPECT_GE(b.verts.size(), std::min<std::size_t>(
+        2, static_cast<std::size_t>(b.population)));
+  }
+}
+
+TEST(PlanSampler, EmptyGraph) {
+  const Graph g;
+  const SampleSet s = sample_vertices(g, 0.01, 1);
+  EXPECT_TRUE(s.all.empty());
+  EXPECT_EQ(s.sampled_vertices, 0);
+}
+
+TEST(Planner, OffModeReturnsDefaults) {
+  const Graph g = skewed_graph();
+  PlanOptions opts;
+  opts.mode = TuneMode::Off;
+  const ExecutionPlan p = plan_execution(g, opts);
+  EXPECT_TRUE(p.families.empty());
+  EXPECT_EQ(p.sampled_vertices, 0);
+}
+
+TEST(Planner, ForcedBackendSkipsProbing) {
+  const Graph g = skewed_graph();
+  PlanOptions opts;
+  opts.mode = TuneMode::Quick;
+  opts.force_backend = simd::Backend::Scalar;
+  const ExecutionPlan p = plan_execution(g, opts);
+  EXPECT_TRUE(p.forced);
+  EXPECT_EQ(p.sampled_vertices, 0);  // no sampling happened
+  ASSERT_GE(p.families.size(), 4u);
+  for (const auto& f : p.families) {
+    EXPECT_EQ(f.backend, simd::Backend::Scalar) << f.family;
+  }
+}
+
+TEST(Planner, QuickPlanIsValid) {
+  const Graph g = skewed_graph();
+  PlanOptions opts;
+  opts.mode = TuneMode::Quick;
+  opts.force_backend = simd::Backend::Auto;  // ignore any CI VGP_BACKEND
+  const ExecutionPlan p = plan_execution(g, opts);
+  EXPECT_FALSE(p.forced);
+  EXPECT_GT(p.sampled_vertices, 0);
+  EXPECT_GT(p.sampled_edges, 0);
+  for (const char* fam :
+       {"louvain.onpl", "labelprop.process", "serve.gather", "coarsen.emit"}) {
+    const FamilyPlan* f = p.family(fam);
+    ASSERT_NE(f, nullptr) << fam;
+    EXPECT_GE(f->degree_threshold, -1);
+    EXPECT_GE(f->predicted_ms, 0.0);
+    // A vector pick must be runnable here; scalar always is.
+    if (f->backend == simd::Backend::Avx2) {
+      EXPECT_TRUE(simd::avx2_kernels_available());
+    } else if (f->backend == simd::Backend::Avx512) {
+      EXPECT_TRUE(simd::avx512_kernels_available());
+    }
+  }
+  const std::string json = p.to_json();
+  EXPECT_NE(json.find("\"format\":\"vgp.plan.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"families\":["), std::string::npos);
+  EXPECT_NE(json.find("labelprop.process"), std::string::npos);
+}
+
+TEST(Planner, FullModeSweepsGrain) {
+  const Graph g = skewed_graph();
+  PlanOptions opts;
+  opts.force_backend = simd::Backend::Auto;
+  opts.mode = TuneMode::Full;
+  const SampleSet s = sample_vertices(g, 0.01, opts.seed);
+  const MiniBenchResult mb = run_minibench(g, s, opts);
+  EXPECT_FALSE(mb.grain_seconds.empty());  // full probes the pool grain
+  opts.mode = TuneMode::Quick;
+  const MiniBenchResult quick = run_minibench(g, s, opts);
+  EXPECT_TRUE(quick.grain_seconds.empty());  // quick keeps the default
+}
+
+class PlanProviderTest : public ::testing::Test {
+ protected:
+  void TearDown() override { clear_active_plan(); }
+};
+
+TEST_F(PlanProviderTest, SteersAutoDispatch) {
+  if (simd::env_backend_override() != simd::Backend::Auto) {
+    GTEST_SKIP() << "VGP_BACKEND outranks the plan by design";
+  }
+  auto p = std::make_shared<ExecutionPlan>();
+  p->mode = TuneMode::Quick;
+  p->families.push_back({"labelprop.process", simd::Backend::Scalar, 7, 0.0});
+  set_active_plan(p);
+
+  const auto sel =
+      simd::select<community::detail::LpProcessKernel>(simd::Backend::Auto);
+  EXPECT_EQ(sel.backend, simd::Backend::Scalar);
+  EXPECT_EQ(sel.degree_threshold, 7);
+  EXPECT_TRUE(sel.planned);
+  EXPECT_EQ(sel.fallback_reason, nullptr);  // a plan pick is not a fallback
+
+  // An explicit caller request outranks the plan.
+  if (simd::avx512_kernels_available()) {
+    const auto forced =
+        simd::select<community::detail::LpProcessKernel>(simd::Backend::Avx512);
+    EXPECT_EQ(forced.backend, simd::Backend::Avx512);
+    EXPECT_FALSE(forced.planned);
+  }
+
+  // Families the plan does not name keep default dispatch.
+  const auto other =
+      simd::select<community::OnplMoveKernel>(simd::Backend::Auto);
+  EXPECT_FALSE(other.planned);
+
+  clear_active_plan();
+  const auto after =
+      simd::select<community::detail::LpProcessKernel>(simd::Backend::Auto);
+  EXPECT_FALSE(after.planned);
+}
+
+TEST_F(PlanProviderTest, PlannedDispatchCounterRecorded) {
+  if (simd::env_backend_override() != simd::Backend::Auto) {
+    GTEST_SKIP() << "VGP_BACKEND outranks the plan by design";
+  }
+  auto& reg = telemetry::Registry::global();
+  reg.set_enabled(true);
+  reg.reset();
+  auto p = std::make_shared<ExecutionPlan>();
+  p->families.push_back({"labelprop.process", simd::Backend::Scalar, -1, 0.0});
+  set_active_plan(p);
+  (void)simd::select<community::detail::LpProcessKernel>(simd::Backend::Auto);
+  bool found = false;
+  for (const auto& m : reg.collect()) {
+    if (m.name == "dispatch.planned.labelprop.process.scalar") {
+      found = true;
+      EXPECT_DOUBLE_EQ(m.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST_F(PlanProviderTest, GaugesPublishedOnInstall) {
+  auto& reg = telemetry::Registry::global();
+  reg.set_enabled(true);
+  reg.reset();
+  auto p = std::make_shared<ExecutionPlan>();
+  p->mode = TuneMode::Full;
+  p->grain = 1024;
+  p->families.push_back({"serve.gather", simd::Backend::Scalar, 256, 0.5});
+  set_active_plan(p);
+  bool saw_mode = false, saw_family = false;
+  for (const auto& m : reg.collect()) {
+    if (m.name == "plan.mode") saw_mode = true;
+    if (m.name == "plan.serve.gather.degree_threshold") {
+      saw_family = true;
+      EXPECT_DOUBLE_EQ(m.value, 256.0);
+    }
+  }
+  EXPECT_TRUE(saw_mode);
+  EXPECT_TRUE(saw_family);
+  reg.reset();
+  reg.set_enabled(false);
+}
+
+TEST_F(PlanProviderTest, ServerWithTuneReplansOnLoad) {
+  serve::ServeOptions so;
+  so.tune = TuneMode::Quick;
+  serve::Server server(so);
+  server.load_generated("g", "loc-Gowalla", "tiny");
+  const auto p = active_plan();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->mode, TuneMode::Quick);
+  // The Status payload surfaces the active plan for vgp-top.
+  const std::string status = server.status_json();
+  EXPECT_NE(status.find("\"plan\": {\"format\":\"vgp.plan.v1\""),
+            std::string::npos);
+}
+
+TEST(ServerStatus, PlanSectionOffWithoutTune) {
+  clear_active_plan();
+  serve::ServeOptions so;
+  serve::Server server(so);
+  server.load_generated("g", "loc-Gowalla", "tiny");
+  EXPECT_EQ(active_plan(), nullptr);
+  EXPECT_NE(server.status_json().find("\"plan\": {\"mode\":\"off\"}"),
+            std::string::npos);
+}
+
+// --- hybrid bit-identity ---------------------------------------------
+//
+// Under a deterministic pipeline (one pool thread, conflict-detection
+// reduce-scatter), the degree split must not change results at all: the
+// scalar low-degree path and the vector high-degree path compute the
+// same argmax from the same affinities in the same vertex order.
+
+community::LabelPropResult run_lp(const Graph& g, simd::Backend backend,
+                                  std::int64_t threshold) {
+  community::LabelPropOptions opts;
+  opts.backend = backend;
+  opts.rs_policy = community::RsPolicy::Conflict;
+  opts.theta = 0;
+  opts.degree_threshold = threshold;
+  return community::label_propagation(g, opts);
+}
+
+TEST(HybridLabelProp, BitIdenticalAcrossThresholds) {
+  const Graph g = skewed_graph();
+  ThreadPool pool(1);
+  ScopedPool scope(pool);
+  const auto scalar = run_lp(g, simd::Backend::Scalar, -1);
+  for (const simd::Backend backend :
+       {simd::Backend::Avx2, simd::Backend::Avx512}) {
+    if (backend == simd::Backend::Avx2 && !simd::avx2_kernels_available()) {
+      continue;
+    }
+    if (backend == simd::Backend::Avx512 &&
+        !simd::avx512_kernels_available()) {
+      continue;
+    }
+    for (const std::int64_t threshold :
+         {std::int64_t{0}, std::int64_t{5}, std::int64_t{16},
+          std::int64_t{1} << 30}) {
+      const auto hybrid = run_lp(g, backend, threshold);
+      EXPECT_EQ(hybrid.labels, scalar.labels)
+          << simd::backend_name(backend) << " threshold " << threshold;
+    }
+  }
+}
+
+community::LouvainResult run_louvain(const Graph& g,
+                                     community::MovePolicy policy,
+                                     simd::Backend backend,
+                                     std::int64_t threshold) {
+  community::LouvainOptions opts;
+  opts.policy = policy;
+  opts.backend = backend;
+  opts.rs_policy = community::RsPolicy::Conflict;
+  opts.degree_threshold = threshold;
+  opts.full_multilevel = false;  // level 0: where the hybrid kernels run
+  return community::louvain(g, opts);
+}
+
+TEST(HybridOnplMove, Avx512ThresholdClassesAgree) {
+  if (!simd::avx512_kernels_available()) GTEST_SKIP();
+  const Graph g = skewed_graph();
+  ThreadPool pool(1);
+  ScopedPool scope(pool);
+  // Thresholds 0..16 are one equivalence class: rerouting a deg<16
+  // vertex between the scalar cutoff and the vector kernel's own
+  // sub-width fallback lands in the same decide_and_move.
+  const auto t0 = run_louvain(g, community::MovePolicy::ONPL,
+                              simd::Backend::Avx512, 0);
+  for (const std::int64_t threshold : {std::int64_t{5}, std::int64_t{16}}) {
+    const auto t = run_louvain(g, community::MovePolicy::ONPL,
+                               simd::Backend::Avx512, threshold);
+    EXPECT_EQ(t.communities, t0.communities) << "threshold " << threshold;
+  }
+  // An all-scalar split (huge threshold) routes every vertex through
+  // decide_and_move — exactly MPLM's sequential sweep.
+  const auto all_scalar = run_louvain(g, community::MovePolicy::ONPL,
+                                      simd::Backend::Avx512, std::int64_t{1}
+                                          << 30);
+  const auto mplm = run_louvain(g, community::MovePolicy::MPLM,
+                                simd::Backend::Scalar, -1);
+  EXPECT_EQ(all_scalar.communities, mplm.communities);
+}
+
+TEST(HybridOnplMove, Avx2MatchesMplmAtAllThresholds) {
+  if (!simd::avx2_kernels_available()) GTEST_SKIP();
+  const Graph g = skewed_graph();
+  ThreadPool pool(1);
+  ScopedPool scope(pool);
+  const auto mplm = run_louvain(g, community::MovePolicy::MPLM,
+                                simd::Backend::Scalar, -1);
+  for (const std::int64_t threshold :
+       {std::int64_t{0}, std::int64_t{8}, std::int64_t{1} << 30}) {
+    const auto t = run_louvain(g, community::MovePolicy::ONPL,
+                               simd::Backend::Avx2, threshold);
+    EXPECT_EQ(t.communities, mplm.communities) << "threshold " << threshold;
+  }
+}
+
+}  // namespace
+}  // namespace vgp::plan

@@ -77,7 +77,10 @@ int main(int argc, char** argv) {
                 "(zero-parse load; pages fault in on first query)")
       .describe("numa",
                 "memory placement for graph arrays: bind|interleave|off "
-                "(default off; falls back silently when not multi-socket)");
+                "(default off; falls back silently when not multi-socket)")
+      .describe("tune",
+                "self-tuning planner: off|quick|full (default off). "
+                "Re-plans on every load, including Reload");
   try {
     if (!opts.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -121,6 +124,14 @@ int main(int argc, char** argv) {
     }
   }
   so.mmap_load = opts.get_flag("mmap");
+  if (const std::string tune = opts.get("tune", ""); !tune.empty()) {
+    try {
+      so.tune = plan::parse_tune_mode(tune);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vgp-serve: %s\n", e.what());
+      return 2;
+    }
+  }
   if (const std::string numa = opts.get("numa", ""); !numa.empty()) {
     NumaPolicy p = NumaPolicy::kOff;
     if (!parse_numa_policy(numa, p)) {

@@ -125,6 +125,34 @@ void render(const JsonValue& st, const JsonValue& prev, double dt) {
     std::printf("\n");
   }
 
+  // Active execution plan (self-tuning, --tune on the server): chosen
+  // backend per kernel family, with the degree/batch threshold below
+  // which the hybrid kernels take the scalar path.
+  if (const JsonValue* plan = st.get("plan");
+      plan != nullptr && plan->is_object() &&
+      plan->get("mode") != nullptr && plan->get("mode")->str != "off") {
+    std::printf("plan %s%s  grain %.0f", plan->get("mode")->str.c_str(),
+                plan->get("forced") != nullptr && plan->get("forced")->bval
+                    ? " (forced)"
+                    : "",
+                num(plan->get("grain"), 256.0));
+    if (const JsonValue* fams = plan->get("families");
+        fams != nullptr && fams->is_array()) {
+      for (const JsonValue& f : fams->arr) {
+        std::printf("  %s=%s",
+                    f.get("family") != nullptr ? f.get("family")->str.c_str()
+                                               : "?",
+                    f.get("backend") != nullptr ? f.get("backend")->str.c_str()
+                                                : "?");
+        if (const double thr = num(f.get("degree_threshold"), -1.0);
+            thr > 0.0) {
+          std::printf("(<%.0f scalar)", thr);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
   if (const JsonValue* prof = st.get("profile");
       prof != nullptr && prof->get("armed") != nullptr &&
       prof->get("armed")->bval) {
